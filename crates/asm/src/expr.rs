@@ -1,0 +1,251 @@
+//! Assembler expressions: integers, symbols, `.`, `%hi()`/`%lo()`,
+//! additive arithmetic.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A symbolic expression appearing in an operand or data directive.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// An integer literal.
+    Num(i64),
+    /// A symbol reference, resolved against the label table.
+    Sym(String),
+    /// The current location counter (`.`).
+    Here,
+    /// `%hi(e)` — upper 22 bits, as `sethi` wants them.
+    Hi(Box<Expr>),
+    /// `%lo(e)` — low 10 bits.
+    Lo(Box<Expr>),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Sym(s) => write!(f, "{s}"),
+            Expr::Here => write!(f, "."),
+            Expr::Hi(e) => write!(f, "%hi({e})"),
+            Expr::Lo(e) => write!(f, "%lo({e})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Neg(e) => write!(f, "-{e}"),
+        }
+    }
+}
+
+impl Expr {
+    /// Evaluates against a label table and the current location counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first undefined symbol.
+    pub fn eval(&self, labels: &HashMap<String, u32>, here: u32) -> Result<i64, String> {
+        Ok(match self {
+            Expr::Num(n) => *n,
+            Expr::Sym(s) => *labels.get(s).ok_or_else(|| s.clone())? as i64,
+            Expr::Here => here as i64,
+            Expr::Hi(e) => (e.eval(labels, here)? as u32 >> 10) as i64,
+            Expr::Lo(e) => (e.eval(labels, here)? as u32 & 0x3ff) as i64,
+            Expr::Add(a, b) => a.eval(labels, here)?.wrapping_add(b.eval(labels, here)?),
+            Expr::Sub(a, b) => a.eval(labels, here)?.wrapping_sub(b.eval(labels, here)?),
+            Expr::Neg(e) => e.eval(labels, here)?.wrapping_neg(),
+        })
+    }
+
+    /// Parses an expression from a string (whole-string parse).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed input.
+    pub fn parse(text: &str) -> Result<Expr, String> {
+        let mut p = Parser { text: text.trim(), at: 0 };
+        let e = p.additive()?;
+        p.skip_ws();
+        if p.at != p.text.len() {
+            return Err(format!("trailing input after expression: {:?}", &p.text[p.at..]));
+        }
+        Ok(e)
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+            self.at += 1;
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.at..]
+    }
+
+    fn additive(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.primary()?;
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with('+') {
+                self.at += 1;
+                let rhs = self.primary()?;
+                lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+            } else if self.rest().starts_with('-') {
+                self.at += 1;
+                let rhs = self.primary()?;
+                lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, String> {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.is_empty() {
+            return Err("expected expression".into());
+        }
+        if let Some(tail) = rest.strip_prefix('-') {
+            self.at = self.text.len() - tail.len();
+            return Ok(Expr::Neg(Box::new(self.primary()?)));
+        }
+        if let Some(tail) = rest.strip_prefix('(') {
+            self.at = self.text.len() - tail.len();
+            let inner = self.additive()?;
+            self.skip_ws();
+            if !self.rest().starts_with(')') {
+                return Err("missing ')'".into());
+            }
+            self.at += 1;
+            return Ok(inner);
+        }
+        for (prefix, wrap) in [("%hi(", true), ("%lo(", false)] {
+            if let Some(tail) = rest.strip_prefix(prefix) {
+                self.at = self.text.len() - tail.len();
+                let inner = self.additive()?;
+                self.skip_ws();
+                if !self.rest().starts_with(')') {
+                    return Err(format!("missing ')' after {prefix}"));
+                }
+                self.at += 1;
+                return Ok(if wrap {
+                    Expr::Hi(Box::new(inner))
+                } else {
+                    Expr::Lo(Box::new(inner))
+                });
+            }
+        }
+        if rest.starts_with('.')
+            && !rest[1..].starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.at += 1;
+            return Ok(Expr::Here);
+        }
+        // Number: 0x..., decimal.
+        if rest.starts_with(|c: char| c.is_ascii_digit()) {
+            let end = rest
+                .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                .unwrap_or(rest.len());
+            let token = &rest[..end];
+            self.at += end;
+            let value = if let Some(hex) = token.strip_prefix("0x").or(token.strip_prefix("0X")) {
+                i64::from_str_radix(hex, 16)
+            } else if let Some(bin) = token.strip_prefix("0b").or(token.strip_prefix("0B")) {
+                i64::from_str_radix(bin, 2)
+            } else {
+                token.parse()
+            };
+            return value.map(Expr::Num).map_err(|_| format!("bad number {token:?}"));
+        }
+        // Symbol: [A-Za-z_.$][A-Za-z0-9_.$]*
+        if rest.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_' || c == '.' || c == '$') {
+            let end = rest
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'))
+                .unwrap_or(rest.len());
+            let token = &rest[..end];
+            self.at += end;
+            return Ok(Expr::Sym(token.to_string()));
+        }
+        Err(format!("unexpected input: {rest:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(text: &str) -> i64 {
+        let mut labels = HashMap::new();
+        labels.insert("foo".to_string(), 0x12345678);
+        labels.insert("L1".to_string(), 0x1000);
+        Expr::parse(text).unwrap().eval(&labels, 0x2000).unwrap()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(eval("42"), 42);
+        assert_eq!(eval("0x10"), 16);
+        assert_eq!(eval("0b101"), 5);
+        assert_eq!(eval("-7"), -7);
+    }
+
+    #[test]
+    fn symbols_and_arithmetic() {
+        assert_eq!(eval("L1 + 8"), 0x1008);
+        assert_eq!(eval("L1 - 4"), 0xffc);
+        assert_eq!(eval("L1 + 4 - 8"), 0xffc);
+        assert_eq!(eval("(L1)"), 0x1000);
+    }
+
+    #[test]
+    fn hi_lo() {
+        assert_eq!(eval("%hi(foo)"), (0x12345678u32 >> 10) as i64);
+        assert_eq!(eval("%lo(foo)"), (0x12345678u32 & 0x3ff) as i64);
+        assert_eq!(eval("%hi(0x1000)"), 4);
+    }
+
+    #[test]
+    fn here() {
+        assert_eq!(eval("."), 0x2000);
+        assert_eq!(eval(". + 8"), 0x2008);
+        assert_eq!(eval(".+8"), 0x2008);
+        assert_eq!(eval(".-4"), 0x1ffc);
+    }
+
+    #[test]
+    fn undefined_symbol_reports_name() {
+        let err = Expr::parse("nope").unwrap().eval(&HashMap::new(), 0).unwrap_err();
+        assert_eq!(err, "nope");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("1 +").is_err());
+        assert!(Expr::parse("%hi(1").is_err());
+        assert!(Expr::parse("1 2").is_err());
+        assert!(Expr::parse("@").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for text in ["1 + 2", "%hi(foo + 4)", "L1 - 8", "-3"] {
+            let e = Expr::parse(text).unwrap();
+            let e2 = Expr::parse(&e.to_string()).unwrap();
+            let labels: HashMap<_, _> = [("foo".to_string(), 64u32), ("L1".to_string(), 128)]
+                .into_iter()
+                .collect();
+            assert_eq!(e.eval(&labels, 0).unwrap(), e2.eval(&labels, 0).unwrap());
+        }
+    }
+}

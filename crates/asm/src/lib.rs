@@ -1,0 +1,950 @@
+//! # eel-asm: a two-pass assembler for the EEL target ISA
+//!
+//! Assembles SPARC-syntax source into WEF executable images
+//! ([`eel_exe::Image`]). The assembler serves three roles in the
+//! reproduction:
+//!
+//! 1. authoring test programs and examples by hand,
+//! 2. the back end of the `eel-cc` compiler, and
+//! 3. authoring *code snippets* (paper §3.5) — [`assemble_fragment`]
+//!    assembles a position-relative fragment into raw instructions for
+//!    `eel-core`'s snippet machinery (the paper's Figure 5 snippet is
+//!    exactly such a fragment).
+//!
+//! ## Example
+//!
+//! ```
+//! let image = eel_asm::assemble(r#"
+//!     .text
+//!     .global main
+//! main:
+//!     mov 3, %o0
+//!     retl
+//!     nop
+//! "#)?;
+//! assert_eq!(image.find_symbol("main").unwrap().value, image.entry);
+//! # Ok::<(), eel_asm::AsmError>(())
+//! ```
+
+mod expr;
+mod parse;
+
+pub use expr::Expr;
+pub use parse::{Line, Operand, Part, Section, Stmt};
+
+use eel_exe::{Image, Symbol, SymbolKind, DATA_BASE, TEXT_BASE};
+use eel_isa::{AluOp, Builder, Cond, Insn, MemWidth, Reg, Src2};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error, tagged with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembler options: segment load addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Text segment base.
+    pub text_base: u32,
+    /// Data segment base.
+    pub data_base: u32,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { text_base: TEXT_BASE, data_base: DATA_BASE }
+    }
+}
+
+/// Assembles a full program with default segment bases.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] (unknown mnemonic, undefined label,
+/// out-of-range immediate or displacement, ...).
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    assemble_with(source, &Options::default())
+}
+
+/// Assembles a full program.
+///
+/// The entry point is chosen by `.entry name`, else a `main` label, else a
+/// `start` label, else the first text address.
+///
+/// # Errors
+///
+/// See [`assemble`].
+pub fn assemble_with(source: &str, options: &Options) -> Result<Image, AsmError> {
+    let lines = parse::parse_source(source)?;
+    let mut asm = Assembler::new(*options);
+    asm.run(&lines)
+}
+
+/// Assembles a position-relative text fragment into instructions, for use
+/// as snippet bodies. Labels are permitted but resolve relative to `base`;
+/// data directives are rejected.
+///
+/// # Errors
+///
+/// See [`assemble`]; additionally rejects any non-text statement.
+pub fn assemble_fragment(source: &str, base: u32) -> Result<Vec<Insn>, AsmError> {
+    let lines = parse::parse_source(source)?;
+    for line in &lines {
+        match line.stmt {
+            Stmt::Insn { .. } | Stmt::Label(_) | Stmt::Section(Section::Text) | Stmt::Word(_) => {}
+            _ => {
+                return Err(AsmError {
+                    line: line.number,
+                    message: "only instructions and labels are allowed in a fragment".into(),
+                })
+            }
+        }
+    }
+    let options = Options { text_base: base, data_base: base.wrapping_add(0x0100_0000) };
+    let mut asm = Assembler::new(options);
+    asm.fragment = true;
+    let image = asm.run(&lines)?;
+    Ok(image.text_words().map(|(_, w)| eel_isa::decode(w)).collect())
+}
+
+struct Assembler {
+    options: Options,
+    fragment: bool,
+    labels: HashMap<String, u32>,
+    label_sections: HashMap<String, Section>,
+    globals: Vec<String>,
+    types: HashMap<String, SymbolKind>,
+    entry_name: Option<String>,
+    text: Vec<u8>,
+    data: Vec<u8>,
+}
+
+impl Assembler {
+    fn new(options: Options) -> Assembler {
+        Assembler {
+            options,
+            fragment: false,
+            labels: HashMap::new(),
+            label_sections: HashMap::new(),
+            globals: Vec::new(),
+            types: HashMap::new(),
+            entry_name: None,
+            text: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    fn run(&mut self, lines: &[Line]) -> Result<Image, AsmError> {
+        self.pass1(lines)?;
+        self.pass2(lines)?;
+        self.finish()
+    }
+
+    /// Pass 1: compute label addresses. Every instruction is 4 bytes
+    /// except `set`, whose expansion length is shape-determined (so both
+    /// passes agree).
+    fn pass1(&mut self, lines: &[Line]) -> Result<(), AsmError> {
+        let mut section = Section::Text;
+        let mut text_lc = self.options.text_base;
+        let mut data_lc = self.options.data_base;
+        for line in lines {
+            let lc = match section {
+                Section::Text => &mut text_lc,
+                Section::Data => &mut data_lc,
+            };
+            match &line.stmt {
+                Stmt::Label(name) => {
+                    if self.labels.insert(name.clone(), *lc).is_some() {
+                        return Err(AsmError {
+                            line: line.number,
+                            message: format!("duplicate label {name:?}"),
+                        });
+                    }
+                    self.label_sections.insert(name.clone(), section);
+                }
+                Stmt::Section(s) => section = *s,
+                Stmt::Global(name) => self.globals.push(name.clone()),
+                Stmt::Entry(name) => self.entry_name = Some(name.clone()),
+                Stmt::Type(name, kind) => {
+                    self.types.insert(name.clone(), *kind);
+                }
+                Stmt::Word(es) => *lc += 4 * es.len() as u32,
+                Stmt::Half(es) => *lc += 2 * es.len() as u32,
+                Stmt::Byte(es) => *lc += es.len() as u32,
+                Stmt::Ascii(bytes) => *lc += bytes.len() as u32,
+                Stmt::Align(n) => *lc = lc.next_multiple_of(*n),
+                Stmt::Skip(n) => *lc += n,
+                Stmt::Insn { mnemonic, operands, .. } => {
+                    if section == Section::Data {
+                        return Err(AsmError {
+                            line: line.number,
+                            message: "instruction in .data section".into(),
+                        });
+                    }
+                    *lc += self.insn_size(mnemonic, operands);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn insn_size(&self, mnemonic: &str, operands: &[Operand]) -> u32 {
+        if mnemonic == "set" {
+            if let Some(Operand::Expr(Expr::Num(n))) = operands.first() {
+                let v = *n as u32;
+                if Src2::fits_simm13(v as i32) || eel_isa::lo10(v) == 0 {
+                    return 4;
+                }
+            }
+            return 8;
+        }
+        4
+    }
+
+    fn pass2(&mut self, lines: &[Line]) -> Result<(), AsmError> {
+        let mut section = Section::Text;
+        for line in lines {
+            match &line.stmt {
+                Stmt::Section(s) => section = *s,
+                Stmt::Label(_) | Stmt::Global(_) | Stmt::Entry(_) | Stmt::Type(..) => {}
+                Stmt::Word(es) => self.emit_data(section, line, es, 4)?,
+                Stmt::Half(es) => self.emit_data(section, line, es, 2)?,
+                Stmt::Byte(es) => self.emit_data(section, line, es, 1)?,
+                Stmt::Ascii(bytes) => self.buf(section).extend_from_slice(bytes),
+                Stmt::Align(n) => {
+                    let lc = self.lc(section);
+                    let pad = lc.next_multiple_of(*n) - lc;
+                    self.buf(section).extend(std::iter::repeat_n(0, pad as usize));
+                }
+                Stmt::Skip(n) => {
+                    self.buf(section).extend(std::iter::repeat_n(0, *n as usize))
+                }
+                Stmt::Insn { mnemonic, annul, operands } => {
+                    let here = self.lc(Section::Text);
+                    let words =
+                        self.encode_insn(mnemonic, *annul, operands, here).map_err(|message| {
+                            AsmError { line: line.number, message }
+                        })?;
+                    for w in words {
+                        self.text.extend_from_slice(&w.to_be_bytes());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lc(&self, section: Section) -> u32 {
+        match section {
+            Section::Text => self.options.text_base + self.text.len() as u32,
+            Section::Data => self.options.data_base + self.data.len() as u32,
+        }
+    }
+
+    fn buf(&mut self, section: Section) -> &mut Vec<u8> {
+        match section {
+            Section::Text => &mut self.text,
+            Section::Data => &mut self.data,
+        }
+    }
+
+    fn emit_data(
+        &mut self,
+        section: Section,
+        line: &Line,
+        exprs: &[Expr],
+        width: usize,
+    ) -> Result<(), AsmError> {
+        for e in exprs {
+            let here = self.lc(section);
+            let v = e.eval(&self.labels, here).map_err(|sym| AsmError {
+                line: line.number,
+                message: format!("undefined symbol {sym:?}"),
+            })? as u64;
+            let bytes = v.to_be_bytes();
+            self.buf(section).extend_from_slice(&bytes[8 - width..]);
+        }
+        Ok(())
+    }
+
+    fn eval(&self, e: &Expr, here: u32) -> Result<i64, String> {
+        e.eval(&self.labels, here).map_err(|sym| format!("undefined symbol {sym:?}"))
+    }
+
+    fn as_reg(op: &Operand) -> Result<Reg, String> {
+        match op {
+            Operand::Reg(r) => Ok(*r),
+            other => Err(format!("expected register, got {other:?}")),
+        }
+    }
+
+    fn as_src2(&self, op: &Operand, here: u32) -> Result<Src2, String> {
+        match op {
+            Operand::Reg(r) => Ok(Src2::Reg(*r)),
+            Operand::Expr(e) => {
+                let v = self.eval(e, here)?;
+                if !Src2::fits_simm13(v as i32) || v > i32::MAX as i64 || v < i32::MIN as i64 {
+                    return Err(format!("immediate {v} exceeds simm13"));
+                }
+                Ok(Src2::Imm(v as i32))
+            }
+            other => Err(format!("expected register or immediate, got {other:?}")),
+        }
+    }
+
+    /// Decomposes a memory / jump-target operand into `(rs1, src2)`.
+    fn as_addr(&self, op: &Operand, here: u32) -> Result<(Reg, Src2), String> {
+        let imm = |v: i64| -> Result<Src2, String> {
+            if !Src2::fits_simm13(v as i32) || v > i32::MAX as i64 || v < i32::MIN as i64 {
+                return Err(format!("address offset {v} exceeds simm13"));
+            }
+            Ok(Src2::Imm(v as i32))
+        };
+        let decompose = |base: &Part, neg: bool, off: &Option<Part>| -> Result<(Reg, Src2), String> {
+            match (base, off) {
+                (Part::Reg(r), None) => Ok((*r, Src2::Imm(0))),
+                (Part::Reg(r), Some(Part::Reg(r2))) => {
+                    if neg {
+                        Err("cannot subtract a register in an address".into())
+                    } else {
+                        Ok((*r, Src2::Reg(*r2)))
+                    }
+                }
+                (Part::Reg(r), Some(Part::Expr(e))) => {
+                    let v = self.eval(e, here)?;
+                    Ok((*r, imm(if neg { -v } else { v })?))
+                }
+                (Part::Expr(e), Some(Part::Reg(r))) => {
+                    if neg {
+                        Err("cannot subtract a register in an address".into())
+                    } else {
+                        Ok((*r, imm(self.eval(e, here)?)?))
+                    }
+                }
+                (Part::Expr(e), None) => Ok((Reg::G0, imm(self.eval(e, here)?)?)),
+                (Part::Expr(_), Some(Part::Expr(_))) => {
+                    Err("address needs at most one expression part".into())
+                }
+            }
+        };
+        match op {
+            Operand::Mem { base, neg, off } => decompose(base, *neg, off),
+            Operand::Pair(r, neg, part) => {
+                decompose(&Part::Reg(*r), *neg, &Some(part.clone()))
+            }
+            Operand::Reg(r) => Ok((*r, Src2::Imm(0))),
+            Operand::Expr(e) => Ok((Reg::G0, imm(self.eval(e, here)?)?)),
+        }
+    }
+
+    fn branch_disp(&self, op: &Operand, here: u32) -> Result<i32, String> {
+        let target = match op {
+            Operand::Expr(e) => self.eval(e, here)?,
+            other => return Err(format!("expected branch target, got {other:?}")),
+        } as i64;
+        let delta = target - here as i64;
+        if delta % 4 != 0 {
+            return Err(format!("branch target {target:#x} is not word-aligned"));
+        }
+        Ok((delta / 4) as i32)
+    }
+
+    fn encode_insn(
+        &self,
+        mnemonic: &str,
+        annul: bool,
+        ops: &[Operand],
+        here: u32,
+    ) -> Result<Vec<u32>, String> {
+        let need = |n: usize| -> Result<(), String> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(format!("{mnemonic} takes {n} operand(s), got {}", ops.len()))
+            }
+        };
+
+        // Conditional branches.
+        let branch_conds: &[(&str, Cond)] = &[
+            ("ba", Cond::Always),
+            ("bn", Cond::Never),
+            ("bne", Cond::Ne),
+            ("be", Cond::Eq),
+            ("bg", Cond::Gt),
+            ("ble", Cond::Le),
+            ("bge", Cond::Ge),
+            ("bl", Cond::Lt),
+            ("bgu", Cond::Gtu),
+            ("bleu", Cond::Leu),
+            ("bcs", Cond::CarrySet),
+            ("blu", Cond::CarrySet),
+            ("bcc", Cond::CarryClear),
+            ("bgeu", Cond::CarryClear),
+            ("bneg", Cond::Neg),
+            ("bpos", Cond::Pos),
+            ("bvs", Cond::OverflowSet),
+            ("bvc", Cond::OverflowClear),
+        ];
+        if let Some((_, cond)) = branch_conds.iter().find(|(m, _)| *m == mnemonic) {
+            need(1)?;
+            let disp22 = self.branch_disp(&ops[0], here)?;
+            if !(-(1 << 21)..(1 << 21)).contains(&disp22) {
+                return Err(format!("branch displacement {disp22} exceeds 22 bits"));
+            }
+            return Ok(vec![Builder::branch(*cond, annul, disp22).word]);
+        }
+        if annul {
+            return Err(format!("`,a` suffix is only valid on branches, not {mnemonic}"));
+        }
+
+        // ALU operations (with optional cc suffix).
+        let alu_table: &[(&str, AluOp)] = &[
+            ("add", AluOp::Add),
+            ("sub", AluOp::Sub),
+            ("and", AluOp::And),
+            ("or", AluOp::Or),
+            ("xor", AluOp::Xor),
+            ("andn", AluOp::Andn),
+            ("orn", AluOp::Orn),
+            ("xnor", AluOp::Xnor),
+            ("umul", AluOp::Umul),
+            ("smul", AluOp::Smul),
+            ("udiv", AluOp::Udiv),
+            ("sdiv", AluOp::Sdiv),
+            ("sll", AluOp::Sll),
+            ("srl", AluOp::Srl),
+            ("sra", AluOp::Sra),
+            ("save", AluOp::Save),
+            ("restore", AluOp::Restore),
+        ];
+        let (base_mnem, cc) = match mnemonic.strip_suffix("cc") {
+            Some(base) if alu_table.iter().any(|(m, _)| *m == base) => (base, true),
+            _ => (mnemonic, false),
+        };
+        if let Some((_, op)) = alu_table.iter().find(|(m, _)| *m == base_mnem) {
+            if ops.is_empty() && matches!(op, AluOp::Save | AluOp::Restore) {
+                return Ok(vec![Builder::alu(*op, false, Reg::G0, Reg::G0, Src2::Imm(0)).word]);
+            }
+            need(3)?;
+            let rs1 = Self::as_reg(&ops[0])?;
+            let src2 = self.as_src2(&ops[1], here)?;
+            let rd = Self::as_reg(&ops[2])?;
+            if cc && !op.supports_cc() {
+                return Err(format!("{base_mnem} has no cc variant"));
+            }
+            return Ok(vec![Builder::alu(*op, cc, rd, rs1, src2).word]);
+        }
+
+        // Loads and stores.
+        let load_table: &[(&str, MemWidth, bool)] = &[
+            ("ld", MemWidth::Word, false),
+            ("ldub", MemWidth::Byte, false),
+            ("ldsb", MemWidth::Byte, true),
+            ("lduh", MemWidth::Half, false),
+            ("ldsh", MemWidth::Half, true),
+            ("ldd", MemWidth::Double, false),
+        ];
+        if let Some((_, width, signed)) = load_table.iter().find(|(m, ..)| *m == mnemonic) {
+            need(2)?;
+            let (rs1, src2) = self.as_addr(&ops[0], here)?;
+            let rd = Self::as_reg(&ops[1])?;
+            return Ok(vec![Builder::load(*width, *signed, rd, rs1, src2).word]);
+        }
+        let store_table: &[(&str, MemWidth)] = &[
+            ("st", MemWidth::Word),
+            ("stb", MemWidth::Byte),
+            ("sth", MemWidth::Half),
+            ("std", MemWidth::Double),
+        ];
+        if let Some((_, width)) = store_table.iter().find(|(m, _)| *m == mnemonic) {
+            need(2)?;
+            let rd = Self::as_reg(&ops[0])?;
+            let (rs1, src2) = self.as_addr(&ops[1], here)?;
+            return Ok(vec![Builder::store(*width, rd, rs1, src2).word]);
+        }
+
+        // Traps: t<cond>.
+        if let Some(suffix) = mnemonic.strip_prefix('t') {
+            if let Some(cond) = Cond::ALL.iter().find(|c| c.suffix() == suffix) {
+                need(1)?;
+                let (rs1, src2) = self.as_addr(&ops[0], here)?;
+                return Ok(vec![eel_isa::encode(&eel_isa::Op::Trap { cond: *cond, rs1, src2 })]);
+            }
+        }
+
+        match mnemonic {
+            "nop" => {
+                need(0)?;
+                Ok(vec![Builder::nop().word])
+            }
+            "wr" => {
+                // wr rs1, src2, %y|%psr
+                need(3)?;
+                let rs1 = Self::as_reg(&ops[0])?;
+                let src2 = self.as_src2(&ops[1], here)?;
+                let op = match Self::as_reg(&ops[2])? {
+                    Reg::Y => AluOp::Wry,
+                    Reg::PSR => AluOp::Wrpsr,
+                    other => return Err(format!("wr destination must be %y or %psr, got {other}")),
+                };
+                Ok(vec![Builder::alu(op, false, Reg::G0, rs1, src2).word])
+            }
+            "rd" => {
+                // rd %y|%psr, rd
+                need(2)?;
+                let op = match Self::as_reg(&ops[0])? {
+                    Reg::Y => AluOp::Rdy,
+                    Reg::PSR => AluOp::Rdpsr,
+                    other => return Err(format!("rd source must be %y or %psr, got {other}")),
+                };
+                let rd = Self::as_reg(&ops[1])?;
+                Ok(vec![
+                    Builder::alu(op, false, rd, Reg::G0, Src2::Reg(Reg::G0)).word,
+                ])
+            }
+            "mov" => {
+                need(2)?;
+                let src2 = self.as_src2(&ops[0], here)?;
+                let rd = Self::as_reg(&ops[1])?;
+                Ok(vec![Builder::mov(rd, src2).word])
+            }
+            "clr" => {
+                need(1)?;
+                Ok(vec![Builder::mov(Self::as_reg(&ops[0])?, Src2::Imm(0)).word])
+            }
+            "inc" => {
+                need(1)?;
+                let r = Self::as_reg(&ops[0])?;
+                Ok(vec![Builder::add(r, r, Src2::Imm(1)).word])
+            }
+            "dec" => {
+                need(1)?;
+                let r = Self::as_reg(&ops[0])?;
+                Ok(vec![Builder::sub(r, r, Src2::Imm(1)).word])
+            }
+            "cmp" => {
+                need(2)?;
+                let rs1 = Self::as_reg(&ops[0])?;
+                let src2 = self.as_src2(&ops[1], here)?;
+                Ok(vec![Builder::cmp(rs1, src2).word])
+            }
+            "tst" => {
+                need(1)?;
+                Ok(vec![Builder::cmp(Self::as_reg(&ops[0])?, Src2::Imm(0)).word])
+            }
+            "set" => {
+                need(2)?;
+                let value = match &ops[0] {
+                    Operand::Expr(e) => self.eval(e, here)? as u32,
+                    other => return Err(format!("set takes an expression, got {other:?}")),
+                };
+                let rd = Self::as_reg(&ops[1])?;
+                // Match pass-1 sizing: literal numbers may shrink, symbolic
+                // expressions always take the full sethi/or pair.
+                let shape_known = matches!(&ops[0], Operand::Expr(Expr::Num(_)));
+                if shape_known {
+                    Ok(Builder::set(rd, value).iter().map(|i| i.word).collect())
+                } else {
+                    Ok(vec![
+                        Builder::sethi_hi(rd, value).word,
+                        Builder::or_lo(rd, rd, value).word,
+                    ])
+                }
+            }
+            "sethi" => {
+                need(2)?;
+                let field = match &ops[0] {
+                    Operand::Expr(e) => self.eval(e, here)? as u32,
+                    other => return Err(format!("sethi takes an expression, got {other:?}")),
+                };
+                if field >= (1 << 22) {
+                    return Err(format!("sethi field {field:#x} exceeds 22 bits"));
+                }
+                let rd = Self::as_reg(&ops[1])?;
+                Ok(vec![eel_isa::encode(&eel_isa::Op::Sethi { rd, imm22: field })])
+            }
+            "call" => {
+                need(1)?;
+                let disp30 = self.branch_disp(&ops[0], here)?;
+                Ok(vec![Builder::call(disp30).word])
+            }
+            "jmp" => {
+                need(1)?;
+                let (rs1, src2) = self.as_addr(&ops[0], here)?;
+                Ok(vec![Builder::jmpl(Reg::G0, rs1, src2).word])
+            }
+            "jmpl" => {
+                need(2)?;
+                let (rs1, src2) = self.as_addr(&ops[0], here)?;
+                let rd = Self::as_reg(&ops[1])?;
+                Ok(vec![Builder::jmpl(rd, rs1, src2).word])
+            }
+            "ret" => {
+                need(0)?;
+                Ok(vec![Builder::jmpl(Reg::G0, Reg::I7, Src2::Imm(8)).word])
+            }
+            "retl" => {
+                need(0)?;
+                Ok(vec![Builder::retl().word])
+            }
+            "unimp" => {
+                need(1)?;
+                let v = match &ops[0] {
+                    Operand::Expr(e) => self.eval(e, here)? as u32,
+                    other => return Err(format!("unimp takes an expression, got {other:?}")),
+                };
+                Ok(vec![eel_isa::encode(&eel_isa::Op::Unimp { const22: v & 0x3fffff })])
+            }
+            other => Err(format!("unknown mnemonic {other:?}")),
+        }
+    }
+
+    fn finish(&mut self) -> Result<Image, AsmError> {
+        let mut image = Image::new(self.options.text_base, self.options.data_base);
+        image.text = std::mem::take(&mut self.text);
+        image.data = std::mem::take(&mut self.data);
+
+        // Emit symbols in definition order.
+        let mut names: Vec<&String> = self.labels.keys().collect();
+        names.sort_by_key(|n| (self.labels[*n], n.as_str()));
+        for name in names {
+            let value = self.labels[name];
+            let section = self.label_sections[name];
+            let global = self.globals.contains(name);
+            let kind = self.types.get(name).copied().unwrap_or(match section {
+                Section::Text if global => SymbolKind::Routine,
+                Section::Text => SymbolKind::Label,
+                Section::Data => SymbolKind::Object,
+            });
+            image.symbols.push(Symbol { name: name.clone(), value, size: 0, kind, global });
+        }
+
+        // Entry point.
+        let entry = if let Some(name) = &self.entry_name {
+            *self.labels.get(name).ok_or_else(|| AsmError {
+                line: 0,
+                message: format!("entry symbol {name:?} is undefined"),
+            })?
+        } else if let Some(&a) = self.labels.get("main").or_else(|| self.labels.get("start")) {
+            a
+        } else {
+            self.options.text_base
+        };
+        image.entry = entry;
+
+        if !self.fragment {
+            image.validate().map_err(|e| AsmError { line: 0, message: e.to_string() })?;
+        }
+        Ok(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eel_isa::{decode, Category, Op};
+
+    #[test]
+    fn minimal_program() {
+        let image = assemble(
+            r#"
+            .text
+            .global main
+        main:
+            mov 3, %o0
+            retl
+            nop
+        "#,
+        )
+        .unwrap();
+        assert_eq!(image.text.len(), 12);
+        assert_eq!(image.entry, image.text_addr);
+        let words: Vec<_> = image.text_words().map(|(_, w)| decode(w)).collect();
+        assert_eq!(words[0].to_string(), "mov 3, %o0");
+        assert_eq!(words[1].to_string(), "retl");
+        assert_eq!(words[2].to_string(), "nop");
+    }
+
+    #[test]
+    fn branches_resolve_labels_both_directions() {
+        let image = assemble(
+            r#"
+        main:
+        loop:
+            cmp %l0, 10
+            bge done
+            nop
+            ba loop
+            nop
+        done:
+            retl
+            nop
+        "#,
+        )
+        .unwrap();
+        let insns: Vec<_> = image.text_words().map(|(_, w)| decode(w)).collect();
+        // bge done: from offset 4 to offset 20 = +16 bytes = 4 words.
+        match insns[1].op {
+            Op::Branch { disp22, .. } => assert_eq!(disp22, 4),
+            other => panic!("{other:?}"),
+        }
+        // ba loop: from offset 12 to offset 0 = -12 = -3 words.
+        match insns[3].op {
+            Op::Branch { disp22, .. } => assert_eq!(disp22, -3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_and_hi_lo_and_data() {
+        let image = assemble(
+            r#"
+            .text
+            .global main
+        main:
+            sethi %hi(counter), %g6
+            ld [%lo(counter) + %g6], %g7
+            inc %g7
+            st %g7, [%lo(counter) + %g6]
+            call helper
+            nop
+            retl
+            nop
+        helper:
+            retl
+            nop
+            .data
+        counter:
+            .word 0
+        "#,
+        )
+        .unwrap();
+        let counter = image.find_symbol("counter").unwrap().value;
+        let insns: Vec<_> = image.text_words().map(|(_, w)| decode(w)).collect();
+        match insns[0].op {
+            Op::Sethi { imm22, .. } => assert_eq!(imm22, counter >> 10),
+            other => panic!("{other:?}"),
+        }
+        match insns[1].op {
+            Op::Load { src2: Src2::Imm(lo), .. } => assert_eq!(lo as u32, counter & 0x3ff),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(insns[4].category(), Category::Call);
+        let helper = image.find_symbol("helper").unwrap().value;
+        assert_eq!(insns[4].direct_target(image.text_addr + 16), Some(helper));
+    }
+
+    #[test]
+    fn annulled_branch() {
+        let image = assemble("main: bne,a main\n nop\n").unwrap();
+        let insn = decode(image.word_at(image.text_addr).unwrap());
+        match insn.op {
+            Op::Branch { annul, cond, .. } => {
+                assert!(annul);
+                assert_eq!(cond, Cond::Ne);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_sizes_match_between_passes() {
+        // A label *after* `set` proves pass-1 sizing equals pass-2 output.
+        let image = assemble(
+            r#"
+        main:
+            set 5, %l0          ! 1 word
+            set 0x12345678, %l1 ! 2 words
+            set after, %l2      ! symbolic: always 2 words
+            ba after
+            nop
+        after:
+            retl
+            nop
+        "#,
+        )
+        .unwrap();
+        let after = image.find_symbol("after").unwrap().value;
+        assert_eq!(after - image.text_addr, 4 + 8 + 8 + 8);
+        // `ba after` at offset 20 must jump to offset 28.
+        let ba = decode(image.word_at(image.text_addr + 20).unwrap());
+        assert_eq!(ba.direct_target(image.text_addr + 20), Some(after));
+    }
+
+    #[test]
+    fn data_directives_lay_out_correctly() {
+        let image = assemble(
+            r#"
+        main:
+            retl
+            nop
+            .data
+        tbl:
+            .word 0x11223344, main
+        bytes:
+            .byte 1, 2
+            .half 0x55aa
+            .ascii "ok"
+            .align 4
+        buf:
+            .skip 8
+        "#,
+        )
+        .unwrap();
+        assert_eq!(image.word_at(image.data_addr), Some(0x11223344));
+        assert_eq!(image.word_at(image.data_addr + 4), Some(image.entry));
+        let bytes = image.find_symbol("bytes").unwrap().value;
+        assert_eq!(bytes, image.data_addr + 8);
+        let buf = image.find_symbol("buf").unwrap().value;
+        assert_eq!(buf % 4, 0);
+        assert_eq!(image.data.len() as u32, buf - image.data_addr + 8);
+    }
+
+    #[test]
+    fn entry_directive_overrides_main() {
+        let image = assemble(
+            r#"
+            .entry start2
+        main:
+            retl
+            nop
+        start2:
+            retl
+            nop
+        "#,
+        )
+        .unwrap();
+        assert_eq!(image.entry, image.find_symbol("start2").unwrap().value);
+    }
+
+    #[test]
+    fn symbol_kinds() {
+        let image = assemble(
+            r#"
+            .global main
+            .type hidden, debug
+        main:
+            retl
+            nop
+        hidden:
+            retl
+            nop
+        inner:
+            nop
+            .data
+        d:  .word 1
+        "#,
+        )
+        .unwrap();
+        assert_eq!(image.find_symbol("main").unwrap().kind, SymbolKind::Routine);
+        assert!(image.find_symbol("main").unwrap().global);
+        assert_eq!(image.find_symbol("hidden").unwrap().kind, SymbolKind::Debug);
+        assert_eq!(image.find_symbol("inner").unwrap().kind, SymbolKind::Label);
+        assert_eq!(image.find_symbol("d").unwrap().kind, SymbolKind::Object);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        for (src, needle) in [
+            ("main: frobnicate %o0\n", "unknown mnemonic"),
+            ("main: ba nowhere\n", "undefined symbol"),
+            ("main: mov 99999, %o0\n", "simm13"),
+            ("main: add %o0, %o1\n", "takes 3 operand"),
+            ("main: main: nop\n", "duplicate label"),
+            ("main: nop,a\n", "only valid on branches"),
+            ("main: add,a %o0, 1, %o0\n", "only valid on branches"),
+            (".entry nope\nmain: nop\n", "undefined"),
+        ] {
+            let err = assemble(src).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "source {src:?} produced {err}, wanted {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fragment_assembly() {
+        let insns = assemble_fragment(
+            r#"
+            sethi 0x1, %g6
+            ld [%lo(0x1) + %g6], %g7
+            add %g7, 1, %g7
+            st %g7, [%lo(0x1) + %g6]
+        "#,
+            0,
+        )
+        .unwrap();
+        assert_eq!(insns.len(), 4);
+        assert_eq!(insns[2].to_string(), "add %g7, 1, %g7");
+    }
+
+    #[test]
+    fn fragment_rejects_data() {
+        assert!(assemble_fragment(".data\nx: .word 1\n", 0).is_err());
+    }
+
+    #[test]
+    fn trap_conditions() {
+        let image = assemble("main: ta 0\n te 3\n nop\n").unwrap();
+        let insns: Vec<_> = image.text_words().map(|(_, w)| decode(w)).collect();
+        assert!(matches!(insns[0].op, Op::Trap { cond: Cond::Always, .. }));
+        assert!(matches!(insns[1].op, Op::Trap { cond: Cond::Eq, .. }));
+    }
+
+    #[test]
+    fn register_indexed_load() {
+        let image = assemble("main: ld [%o0 + %o1], %o2\n retl\n nop\n").unwrap();
+        let i = decode(image.word_at(image.text_addr).unwrap());
+        assert_eq!(i.to_string(), "ld [%o0 + %o1], %o2");
+    }
+
+    #[test]
+    fn disassembly_reassembles_identically() {
+        // Round-trip: assemble → disassemble → reassemble → same words.
+        let src = r#"
+        main:
+            save %sp, -96, %sp
+            mov 10, %l0
+            cmp %l0, 0
+            bne,a .+8
+            nop
+            add %l0, %l1, %l2
+            smul %l2, 3, %o0
+            srl %o0, 2, %o0
+            ld [%sp + 64], %o1
+            st %o1, [%sp - 8]
+            ldsb [%o1], %o2
+            jmpl %o2 + 4, %o7
+            nop
+            ta 0
+            retl
+            restore %g0, 0, %g0
+        "#;
+        let image = assemble(src).unwrap();
+        let disasm: String = image
+            .text_words()
+            .map(|(_, w)| format!("{}\n", decode(w)))
+            .collect();
+        let src2 = format!("main:\n{disasm}");
+        let image2 = assemble(&src2).unwrap();
+        assert_eq!(image.text, image2.text, "disassembly:\n{disasm}");
+    }
+}

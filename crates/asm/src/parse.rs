@@ -1,0 +1,459 @@
+//! Line-level parsing: source text → statements.
+//!
+//! Syntax follows SPARC assembler conventions: one statement per line,
+//! `label:` prefixes, `!`-to-end-of-line comments (also `//` and `#`),
+//! directives beginning with `.`, and bracketed memory operands.
+
+use crate::expr::Expr;
+use crate::AsmError;
+use eel_exe::SymbolKind;
+use eel_isa::Reg;
+
+/// Which output section a statement lands in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Section {
+    /// The executable text segment.
+    Text,
+    /// The initialized data segment.
+    Data,
+}
+
+/// One piece of a compound address operand.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Part {
+    /// A register.
+    Reg(Reg),
+    /// A symbolic expression.
+    Expr(Expr),
+}
+
+/// A parsed instruction operand.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Operand {
+    /// A bare register.
+    Reg(Reg),
+    /// An immediate / label expression.
+    Expr(Expr),
+    /// A bracketed memory address `[base ± off]`.
+    Mem {
+        /// The base part.
+        base: Part,
+        /// True when the offset is subtracted.
+        neg: bool,
+        /// The optional offset part.
+        off: Option<Part>,
+    },
+    /// An unbracketed `reg ± part` pair (jump targets: `jmpl %o1 + 8, ...`).
+    Pair(Reg, bool, Part),
+}
+
+/// A parsed statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `name:` — define a label at the current location.
+    Label(String),
+    /// `.global name`.
+    Global(String),
+    /// `.entry name` — select the image entry point.
+    Entry(String),
+    /// `.text` / `.data`.
+    Section(Section),
+    /// `.word e, e, ...` (4 bytes each).
+    Word(Vec<Expr>),
+    /// `.half e, ...` (2 bytes each).
+    Half(Vec<Expr>),
+    /// `.byte e, ...`.
+    Byte(Vec<Expr>),
+    /// `.ascii "..."` / `.asciz "..."` (the latter appends NUL).
+    Ascii(Vec<u8>),
+    /// `.align n` — pad with zero bytes to an n-byte boundary.
+    Align(u32),
+    /// `.skip n` — emit n zero bytes.
+    Skip(u32),
+    /// `.type name, kind` — override the emitted symbol kind (lets tests
+    /// fabricate the misleading symbol tables §3.1 describes).
+    Type(String, SymbolKind),
+    /// A machine instruction.
+    Insn {
+        /// Lower-cased mnemonic without any `,a` suffix.
+        mnemonic: String,
+        /// Branch annul flag (`bne,a`).
+        annul: bool,
+        /// Parsed operands, in source order.
+        operands: Vec<Operand>,
+    },
+}
+
+/// A statement tagged with its 1-based source line for diagnostics.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The statement.
+    pub stmt: Stmt,
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'!' | b'#' if !in_str => return &line[..i],
+            b'/' if !in_str && bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Splits on top-level commas (not inside brackets, parens, or strings).
+fn split_operands(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut current = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            '\\' if in_str => {
+                current.push(c);
+                if let Some(n) = chars.next() {
+                    current.push(n);
+                }
+            }
+            '[' | '(' if !in_str => {
+                depth += 1;
+                current.push(c);
+            }
+            ']' | ')' if !in_str => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 && !in_str => {
+                parts.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current.trim().to_string());
+    }
+    parts
+}
+
+fn parse_part(text: &str) -> Result<Part, String> {
+    if let Some(r) = Reg::parse(text) {
+        Ok(Part::Reg(r))
+    } else {
+        Ok(Part::Expr(Expr::parse(text)?))
+    }
+}
+
+/// Splits `text` at the first top-level `+` or `-` (not inside parens and
+/// not at position 0), returning `(lhs, is_minus, rhs)`.
+fn split_top_level_sign(text: &str) -> Option<(&str, bool, &str)> {
+    let mut depth = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            '+' | '-' if depth == 0 && i > 0 => {
+                return Some((&text[..i], c == '-', &text[i + 1..]));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_operand(text: &str) -> Result<Operand, String> {
+    let text = text.trim();
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated memory operand {text:?}"))?
+            .trim();
+        if let Some((lhs, neg, rhs)) = split_top_level_sign(inner) {
+            return Ok(Operand::Mem {
+                base: parse_part(lhs.trim())?,
+                neg,
+                off: Some(parse_part(rhs.trim())?),
+            });
+        }
+        return Ok(Operand::Mem { base: parse_part(inner)?, neg: false, off: None });
+    }
+    if let Some(r) = Reg::parse(text) {
+        return Ok(Operand::Reg(r));
+    }
+    // Unbracketed reg ± part (jump-target syntax).
+    if text.starts_with('%') && !text.starts_with("%hi") && !text.starts_with("%lo") {
+        if let Some((lhs, neg, rhs)) = split_top_level_sign(text) {
+            if let Some(r) = Reg::parse(lhs.trim()) {
+                return Ok(Operand::Pair(r, neg, parse_part(rhs.trim())?));
+            }
+        }
+        return Err(format!("bad register operand {text:?}"));
+    }
+    Ok(Operand::Expr(Expr::parse(text)?))
+}
+
+fn unescape(s: &str) -> Result<Vec<u8>, String> {
+    let inner = s
+        .trim()
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("expected quoted string, got {s:?}"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                Some(other) => return Err(format!("unknown escape \\{other}")),
+                None => return Err("dangling backslash".into()),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+fn parse_directive(name: &str, rest: &str) -> Result<Stmt, String> {
+    let operands = || split_operands(rest);
+    let exprs = || -> Result<Vec<Expr>, String> { operands().iter().map(|s| Expr::parse(s)).collect() };
+    match name {
+        ".text" => Ok(Stmt::Section(Section::Text)),
+        ".data" => Ok(Stmt::Section(Section::Data)),
+        ".global" | ".globl" => Ok(Stmt::Global(rest.trim().to_string())),
+        ".entry" => Ok(Stmt::Entry(rest.trim().to_string())),
+        ".word" => Ok(Stmt::Word(exprs()?)),
+        ".half" => Ok(Stmt::Half(exprs()?)),
+        ".byte" => Ok(Stmt::Byte(exprs()?)),
+        ".ascii" => Ok(Stmt::Ascii(unescape(rest)?)),
+        ".asciz" => {
+            let mut bytes = unescape(rest)?;
+            bytes.push(0);
+            Ok(Stmt::Ascii(bytes))
+        }
+        ".align" => {
+            let n = Expr::parse(rest)?
+                .eval(&Default::default(), 0)
+                .map_err(|s| format!("undefined symbol {s} in .align"))?;
+            if n <= 0 || (n & (n - 1)) != 0 {
+                return Err(format!(".align needs a positive power of two, got {n}"));
+            }
+            Ok(Stmt::Align(n as u32))
+        }
+        ".skip" | ".space" => {
+            let n = Expr::parse(rest)?
+                .eval(&Default::default(), 0)
+                .map_err(|s| format!("undefined symbol {s} in .skip"))?;
+            if n < 0 {
+                return Err(format!(".skip needs a non-negative size, got {n}"));
+            }
+            Ok(Stmt::Skip(n as u32))
+        }
+        ".type" => {
+            let ops = operands();
+            if ops.len() != 2 {
+                return Err(".type takes `name, kind`".into());
+            }
+            let kind = match ops[1].as_str() {
+                "routine" | "function" => SymbolKind::Routine,
+                "object" => SymbolKind::Object,
+                "label" => SymbolKind::Label,
+                "debug" => SymbolKind::Debug,
+                "temp" => SymbolKind::Temp,
+                other => return Err(format!("unknown symbol kind {other:?}")),
+            };
+            Ok(Stmt::Type(ops[0].clone(), kind))
+        }
+        other => Err(format!("unknown directive {other}")),
+    }
+}
+
+/// Parses a whole source file into statements.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line.
+pub fn parse_source(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut line = strip_comment(raw).trim();
+        // Peel off any leading `label:` prefixes.
+        while let Some(colon) = line.find(':') {
+            let (head, tail) = line.split_at(colon);
+            let head = head.trim();
+            let valid = !head.is_empty()
+                && head
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$');
+            if !valid {
+                break;
+            }
+            out.push(Line { number, stmt: Stmt::Label(head.to_string()) });
+            line = tail[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let stmt = if line.starts_with('.') {
+            let (name, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            parse_directive(name, rest.trim())
+                .map_err(|message| AsmError { line: number, message })?
+        } else {
+            let (mnem, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            let mnem = mnem.to_ascii_lowercase();
+            let (mnemonic, annul) = match mnem.strip_suffix(",a") {
+                Some(base) => (base.to_string(), true),
+                None => (mnem, false),
+            };
+            let operands = split_operands(rest)
+                .iter()
+                .map(|s| parse_operand(s))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|message| AsmError { line: number, message })?;
+            Ok(Stmt::Insn { mnemonic, annul, operands })
+                .map_err(|message: String| AsmError { line: number, message })?
+        };
+        out.push(Line { number, stmt });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Stmt {
+        let lines = parse_source(src).unwrap();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        lines[0].stmt.clone()
+    }
+
+    #[test]
+    fn labels_and_comments() {
+        let lines = parse_source("foo: ! a label\n  bar: add %g1, 1, %g1 // tail\n").unwrap();
+        assert_eq!(lines[0].stmt, Stmt::Label("foo".into()));
+        assert_eq!(lines[1].stmt, Stmt::Label("bar".into()));
+        match &lines[2].stmt {
+            Stmt::Insn { mnemonic, operands, .. } => {
+                assert_eq!(mnemonic, "add");
+                assert_eq!(operands.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn annul_suffix() {
+        match one("bne,a target") {
+            Stmt::Insn { mnemonic, annul, .. } => {
+                assert_eq!(mnemonic, "bne");
+                assert!(annul);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_operands() {
+        match one("ld [%sp + 64], %o0") {
+            Stmt::Insn { operands, .. } => {
+                assert_eq!(
+                    operands[0],
+                    Operand::Mem {
+                        base: Part::Reg(Reg::SP),
+                        neg: false,
+                        off: Some(Part::Expr(Expr::Num(64)))
+                    }
+                );
+                assert_eq!(operands[1], Operand::Reg(Reg(8)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_and_lo_memory_operands() {
+        match one("st %g7, [%lo(counter) + %g6]") {
+            Stmt::Insn { operands, .. } => match &operands[1] {
+                Operand::Mem { base: Part::Expr(Expr::Lo(_)), neg: false, off: Some(Part::Reg(r)) } => {
+                    assert_eq!(*r, Reg(6));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        match one("st %o0, [%sp - 4]") {
+            Stmt::Insn { operands, .. } => match &operands[1] {
+                Operand::Mem { neg, .. } => assert!(neg),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pair_operand_for_jmpl() {
+        match one("jmpl %o1 + 8, %g0") {
+            Stmt::Insn { operands, .. } => {
+                assert_eq!(operands[0], Operand::Pair(Reg(9), false, Part::Expr(Expr::Num(8))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives() {
+        assert_eq!(one(".text"), Stmt::Section(Section::Text));
+        assert_eq!(one(".global main"), Stmt::Global("main".into()));
+        assert_eq!(one(".word 1, 2, 3"), Stmt::Word(vec![Expr::Num(1), Expr::Num(2), Expr::Num(3)]));
+        assert_eq!(one(".ascii \"hi\\n\""), Stmt::Ascii(b"hi\n".to_vec()));
+        assert_eq!(one(".asciz \"x\""), Stmt::Ascii(b"x\0".to_vec()));
+        assert_eq!(one(".align 8"), Stmt::Align(8));
+        assert_eq!(one(".skip 12"), Stmt::Skip(12));
+        assert_eq!(one(".type t, temp"), Stmt::Type("t".into(), SymbolKind::Temp));
+    }
+
+    #[test]
+    fn directive_errors_carry_line_numbers() {
+        let err = parse_source("\n\n.bogus 1\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(parse_source(".align 3").is_err());
+        assert!(parse_source(".skip -1").is_err());
+        assert!(parse_source(".type x, frob").is_err());
+    }
+
+    #[test]
+    fn string_with_comment_chars_inside() {
+        assert_eq!(one(".ascii \"a!b\""), Stmt::Ascii(b"a!b".to_vec()));
+    }
+
+    #[test]
+    fn expr_operand_with_plus_is_not_a_pair() {
+        match one("call foo + 8") {
+            Stmt::Insn { operands, .. } => {
+                assert!(matches!(operands[0], Operand::Expr(Expr::Add(_, _))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

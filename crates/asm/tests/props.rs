@@ -1,0 +1,128 @@
+//! Property tests for the assembler: disassembly → assembly round trips,
+//! and structural robustness of the parser.
+
+use eel_asm::{assemble, assemble_fragment};
+use eel_isa::{AluOp, Cond, Insn, MemWidth, Op, Reg, Src2};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn arb_src2() -> impl Strategy<Value = Src2> {
+    prop_oneof![
+        arb_reg().prop_map(Src2::Reg),
+        (-4096i32..=4095).prop_map(Src2::Imm),
+    ]
+}
+
+/// Instructions whose disassembly is accepted back by the assembler
+/// verbatim (all except PC-relative ones, whose `.+N` form needs a
+/// position, handled separately below).
+fn arb_positionless_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_reg(), 0u32..(1 << 22)).prop_map(|(rd, imm22)| Op::Sethi { rd, imm22 }),
+        (
+            prop::sample::select(vec![
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Andn,
+                AluOp::Orn,
+                AluOp::Xnor,
+                AluOp::Umul,
+                AluOp::Smul,
+                AluOp::Udiv,
+                AluOp::Sdiv,
+                AluOp::Sll,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Save,
+                AluOp::Restore,
+            ]),
+            any::<bool>(),
+            arb_reg(),
+            arb_reg(),
+            arb_src2()
+        )
+            .prop_map(|(op, cc, rd, rs1, src2)| {
+                let cc = cc && op.supports_cc();
+                Op::Alu { op, cc, rd, rs1, src2 }
+            }),
+        (arb_reg(), arb_reg(), arb_src2()).prop_map(|(rd, rs1, src2)| Op::Jmpl { rd, rs1, src2 }),
+        (
+            prop::sample::select(vec![
+                (MemWidth::Byte, false),
+                (MemWidth::Byte, true),
+                (MemWidth::Half, false),
+                (MemWidth::Half, true),
+                (MemWidth::Word, false),
+                (MemWidth::Double, false),
+            ]),
+            arb_reg(),
+            arb_reg(),
+            arb_src2()
+        )
+            .prop_map(|((width, signed), rd, rs1, src2)| {
+                let rd = if width == MemWidth::Double { Reg(rd.0 & !1) } else { rd };
+                Op::Load { width, signed, rd, rs1, src2, fp: false }
+            }),
+        (
+            prop::sample::select(vec![
+                MemWidth::Byte,
+                MemWidth::Half,
+                MemWidth::Word,
+                MemWidth::Double
+            ]),
+            arb_reg(),
+            arb_reg(),
+            arb_src2()
+        )
+            .prop_map(|(width, rd, rs1, src2)| {
+                let rd = if width == MemWidth::Double { Reg(rd.0 & !1) } else { rd };
+                Op::Store { width, rd, rs1, src2, fp: false }
+            }),
+        (0u32..16, arb_reg(), arb_src2())
+            .prop_map(|(c, rs1, src2)| Op::Trap { cond: Cond::from_bits(c), rs1, src2 }),
+    ]
+    .prop_map(|op| Insn::from_word(eel_isa::encode(&op)))
+}
+
+proptest! {
+    /// Disassemble → reassemble = identity for position-independent
+    /// instructions.
+    #[test]
+    fn disasm_reasm_round_trip(insns in prop::collection::vec(arb_positionless_insn(), 1..24)) {
+        let text: String = insns.iter().map(|i| format!("    {i}\n")).collect();
+        let src = format!("main:\n{text}");
+        let image = assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let words: Vec<u32> = image.text_words().map(|(_, w)| w).collect();
+        let expect: Vec<u32> = insns.iter().map(|i| i.word).collect();
+        prop_assert_eq!(words, expect, "source:\n{}", src);
+    }
+
+    /// PC-relative instructions round trip through their `.+N` rendering
+    /// when reassembled at the same position.
+    #[test]
+    fn branch_disasm_round_trip(
+        cond in (0u32..16).prop_map(Cond::from_bits),
+        annul in any::<bool>(),
+        disp in -4096i32..4096,
+    ) {
+        let b = Insn::from_word(eel_isa::encode(&Op::Branch { cond, annul, disp22: disp, fp: false }));
+        let src = format!("main:\n    {b}\n    nop\n");
+        let image = assemble(&src).unwrap();
+        let word = image.word_at(image.text_addr).unwrap();
+        prop_assert_eq!(word, b.word, "{}", b);
+    }
+
+    /// The parser never panics on arbitrary line soup.
+    #[test]
+    fn parser_never_panics(lines in prop::collection::vec("[ -~]{0,40}", 0..20)) {
+        let src = lines.join("\n");
+        let _ = assemble(&src); // may Err, must not panic
+        let _ = assemble_fragment(&src, 0);
+    }
+}

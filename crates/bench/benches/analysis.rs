@@ -1,0 +1,76 @@
+//! Throughput of EEL's analyses (§3): symbol refinement, CFG construction
+//! with delay-slot normalization, liveness, dominators, slicing, and the
+//! whole edit-and-relayout pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eel_cc::Personality;
+use eel_core::{Dominators, Executable, Liveness, Slicer};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let w = eel_progen::spim_like(100);
+    let image = eel_progen::compile(&w, Personality::Gcc).expect("compiles");
+    let insns = (image.text.len() / 4) as u64;
+
+    let mut group = c.benchmark_group("analysis");
+    group.throughput(Throughput::Elements(insns));
+
+    group.bench_function("read_contents", |b| {
+        b.iter(|| {
+            let mut exec = Executable::from_image(black_box(image.clone())).unwrap();
+            exec.read_contents().unwrap();
+            exec
+        })
+    });
+
+    group.bench_function("build_all_cfgs", |b| {
+        b.iter(|| {
+            let mut exec = Executable::from_image(image.clone()).unwrap();
+            exec.read_contents().unwrap();
+            let mut blocks = 0usize;
+            for id in exec.all_routine_ids() {
+                blocks += exec.build_cfg(id).unwrap().block_count();
+            }
+            black_box(blocks)
+        })
+    });
+
+    // Per-CFG analyses over a prebuilt graph.
+    let mut exec = Executable::from_image(image.clone()).unwrap();
+    exec.read_contents().unwrap();
+    let main_id = exec
+        .all_routine_ids()
+        .into_iter()
+        .max_by_key(|&id| exec.routine(id).size())
+        .unwrap();
+    let cfg = exec.build_cfg(main_id).unwrap();
+
+    group.bench_function("liveness", |b| b.iter(|| black_box(Liveness::compute(&cfg))));
+    group.bench_function("dominators", |b| b.iter(|| black_box(Dominators::compute(&cfg))));
+    group.bench_function("slice_all_memory_refs", |b| {
+        b.iter(|| {
+            let mut slicer = Slicer::new(&cfg);
+            for (bid, block) in cfg.blocks() {
+                for (i, ia) in block.insns.iter().enumerate() {
+                    if ia.insn.is_memory() {
+                        slicer.slice_address(bid, i);
+                    }
+                }
+            }
+            black_box(slicer.len())
+        })
+    });
+
+    group.bench_function("passthrough_relayout", |b| {
+        b.iter(|| {
+            let mut exec = Executable::from_image(image.clone()).unwrap();
+            exec.read_contents().unwrap();
+            black_box(exec.write_edited().unwrap().text.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

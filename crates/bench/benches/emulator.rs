@@ -1,0 +1,31 @@
+//! Emulator throughput (the testbed substrate): instructions per second
+//! executing original and instrumented programs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eel_cc::Personality;
+use eel_emu::run_image;
+use std::hint::black_box;
+
+fn bench_emulator(c: &mut Criterion) {
+    let w = eel_progen::compress_like(300);
+    let image = eel_progen::compile(&w, Personality::Gcc).expect("compiles");
+    let cycles = run_image(&image).expect("runs").cycles;
+
+    let mut group = c.benchmark_group("emulator");
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("run_original", |b| {
+        b.iter(|| black_box(run_image(&image).expect("runs").exit_code))
+    });
+
+    let instrumented = eel_tools::qpt2::instrument(image, eel_tools::qpt2::Granularity::Edges)
+        .expect("instruments");
+    let icycles = run_image(&instrumented.image).expect("runs").cycles;
+    group.throughput(Throughput::Elements(icycles));
+    group.bench_function("run_qpt2_instrumented", |b| {
+        b.iter(|| black_box(run_image(&instrumented.image).expect("runs").exit_code))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 1's time axis: how long each tool takes to instrument the
+//! spim-like workload, plus the other tools for context. The paper
+//! measured qpt2 at 2.4–4.3× the ad-hoc qpt's instrumentation time; the
+//! *direction* (EEL's general analysis costs instrumentation time) is the
+//! reproduced claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eel_cc::Personality;
+use eel_tools::{active_memory, blizzard, qpt1, qpt2};
+use std::hint::black_box;
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let w = eel_progen::spim_like(100);
+    let image = eel_progen::compile(&w, Personality::Gcc).expect("compiles");
+
+    let mut group = c.benchmark_group("table1_instrument");
+    group.bench_function("qpt1_adhoc", |b| {
+        b.iter(|| qpt1::instrument(black_box(image.clone())).expect("instruments"))
+    });
+    group.bench_function("qpt2_eel_blocks", |b| {
+        b.iter(|| {
+            qpt2::instrument(black_box(image.clone()), qpt2::Granularity::Blocks)
+                .expect("instruments")
+        })
+    });
+    group.bench_function("qpt2_eel_edges", |b| {
+        b.iter(|| {
+            qpt2::instrument(black_box(image.clone()), qpt2::Granularity::Edges)
+                .expect("instruments")
+        })
+    });
+    group.bench_function("active_memory", |b| {
+        b.iter(|| active_memory::instrument(black_box(image.clone())).expect("instruments"))
+    });
+    group.bench_function("blizzard", |b| {
+        b.iter(|| blizzard::instrument(black_box(image.clone())).expect("instruments"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumentation);
+criterion_main!(benches);

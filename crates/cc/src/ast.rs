@@ -1,0 +1,157 @@
+//! Abstract syntax for Wisc, the workload language.
+//!
+//! Wisc is a deliberately C-shaped language — everything is a 32-bit
+//! integer — whose compiler emits the code idioms the EEL paper's analyses
+//! confront: `switch` statements become text-segment dispatch tables,
+//! comparisons become annulled-branch sequences, calls fill delay slots,
+//! and (in SunPro personality) tail calls become frame-popping indirect
+//! jumps.
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed remainder)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i32),
+    /// Variable or parameter reference.
+    Var(String),
+    /// Global scalar reference.
+    Global(String),
+    /// Global array element: `name[index]`.
+    Index(String, Box<Expr>),
+    /// `&name` — the address of a function or global.
+    AddrOf(String),
+    /// Direct call: `f(a, b)`.
+    Call(String, Vec<Expr>),
+    /// Indirect call through a computed address: `(*e)(a, b)`.
+    CallPtr(Box<Expr>, Vec<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical not (`!e` — yields 0/1).
+    Not(Box<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `var x;` / `var x = e;`
+    Var(String, Option<Expr>),
+    /// Assignment to a variable, global, or array element.
+    Assign(LValue, Expr),
+    /// `if (e) {..} else {..}`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (e) {..}`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) {..}` — desugared by the parser into the
+    /// equivalent `while`, so codegen never sees it.
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// `switch (e) { case k: {..} ... default: {..} }`. Cases must be
+    /// dense-ish; codegen builds a dispatch table over `0..=max`.
+    Switch(Expr, Vec<(i32, Vec<Stmt>)>, Vec<Stmt>),
+    /// `return e;` (or `return;` ≡ `return 0;`).
+    Return(Expr),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `print(e);` — writes the decimal value and a newline.
+    Print(Expr),
+    /// An expression evaluated for effect (usually a call).
+    Expr(Expr),
+}
+
+/// Assignment targets.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LValue {
+    /// A local variable or parameter.
+    Var(String),
+    /// A global scalar.
+    Global(String),
+    /// A global array element.
+    Index(String, Expr),
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (≤ 6: they arrive in `%o0–%o5`).
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A global declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Element count: 1 for scalars, N for `global name[N];`.
+    pub count: u32,
+    /// Initializer for scalars (arrays are zero-initialized).
+    pub init: i32,
+}
+
+/// A whole program.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Global variables/arrays.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions; must include `main`.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDecl> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}

@@ -1,0 +1,877 @@
+//! Code generation: Wisc AST → textual assembly → WEF image.
+//!
+//! The generated code deliberately reproduces the idioms the EEL paper's
+//! analyses confront on real SPARC compilers:
+//!
+//! * **dispatch tables in the text segment** for `switch` (§3.3's
+//!   slicing-based jump-table recovery, and §3.1's "data tables in the
+//!   text segment"),
+//! * **annulled-branch comparison idioms** (`bcc,a` with a meaningful
+//!   delay slot — Figure 3's normalization case),
+//! * **filled delay slots** on calls and unconditional branches (the
+//!   delay-slot folding that EEL must undo and redo),
+//! * **SunPro-personality frame-popping tail calls** whose jump target is
+//!   reloaded from the stack — the exact pattern behind the paper's 138
+//!   unanalyzable indirect jumps on Solaris.
+//!
+//! Calling convention (flat, no register windows): arguments in
+//! `%o0–%o5`, result in `%o0`, return address in `%o7`; `%l0–%l7` form the
+//! expression-evaluation stack and are callee-clobbered, so live values are
+//! spilled around calls.
+
+use crate::ast::*;
+use crate::{CcError, Options, Personality};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Frame offsets (relative to `%sp` after the prologue).
+const SLOT_SCRATCH: u32 = 0; // tail-call target home slot
+const SLOT_RA: u32 = 4; // saved %o7
+const SLOT_LOCALS: u32 = 8; // locals/params, then eval-stack spill area
+
+/// Number of `%l` registers used as the expression stack.
+const EVAL_REGS: usize = 8;
+
+/// Generates the full assembly source for a program.
+pub fn generate(program: &Program, options: &Options) -> Result<String, CcError> {
+    let mut cg = Codegen::new(program, options);
+    cg.program()?;
+    Ok(cg.out)
+}
+
+struct Codegen<'a> {
+    program: &'a Program,
+    options: &'a Options,
+    out: String,
+    label: u32,
+    /// Per-function state.
+    locals: HashMap<String, u32>,
+    frame: u32,
+    depth: usize,
+    loop_stack: Vec<(String, String)>, // (continue target, break target)
+    fname: String,
+}
+
+impl<'a> Codegen<'a> {
+    fn new(program: &'a Program, options: &'a Options) -> Codegen<'a> {
+        Codegen {
+            program,
+            options,
+            out: String::new(),
+            label: 0,
+            locals: HashMap::new(),
+            frame: 0,
+            depth: 0,
+            loop_stack: Vec::new(),
+            fname: String::new(),
+        }
+    }
+
+    fn fresh(&mut self, kind: &str) -> String {
+        self.label += 1;
+        format!(".L{}_{}{}", self.fname, kind, self.label)
+    }
+
+    fn line(&mut self, text: &str) {
+        let _ = writeln!(self.out, "    {text}");
+    }
+
+    fn raw(&mut self, text: &str) {
+        let _ = writeln!(self.out, "{text}");
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CcError {
+        CcError::Semantic(format!("in function {:?}: {}", self.fname, msg.into()))
+    }
+
+    // ----- top level -------------------------------------------------
+
+    fn program(&mut self) -> Result<(), CcError> {
+        if self.program.function("main").is_none() {
+            return Err(CcError::Semantic("program has no `main` function".into()));
+        }
+        self.raw("    .text");
+        self.raw("    .entry __start");
+        self.raw("    .global __start");
+        self.raw("__start:");
+        self.line("call main");
+        self.line("nop");
+        self.line("mov 1, %g1");
+        self.line("ta 0");
+        self.line("nop");
+
+        for f in &self.program.functions {
+            self.function(f)?;
+        }
+        self.emit_print_runtime();
+        self.emit_data();
+        Ok(())
+    }
+
+    fn emit_data(&mut self) {
+        self.raw("    .data");
+        self.raw("__print_buf:");
+        self.raw("    .skip 16");
+        for g in &self.program.globals {
+            let _ = writeln!(self.out, "    .global {}", mangle_global(&g.name));
+            let _ = writeln!(self.out, "{}:", mangle_global(&g.name));
+            if g.count == 1 {
+                let _ = writeln!(self.out, "    .word {}", g.init);
+            } else {
+                let _ = writeln!(self.out, "    .skip {}", g.count * 4);
+            }
+        }
+    }
+
+    /// The decimal-printing runtime routine (a leaf; clobbers `%o0–%o5`,
+    /// `%g1`, `%y`).
+    fn emit_print_runtime(&mut self) {
+        self.raw("    .global __print_int");
+        self.raw("__print_int:");
+        // %o0 = value. Build digits backwards from __print_buf+15.
+        self.line("set __print_buf + 15, %o3");
+        self.line("mov 10, %o5");
+        self.line("stb %o5, [%o3]"); // trailing '\n'
+        self.line("mov %o0, %o1"); // working copy
+        self.line("mov 0, %o4"); // sign flag
+        self.line("cmp %o0, 0");
+        self.line("bge .Lpi_digits");
+        self.line("nop");
+        self.line("mov 1, %o4");
+        self.line("sub %g0, %o1, %o1"); // negate
+        self.raw(".Lpi_digits:");
+        self.line("wr %g0, %g0, %y");
+        self.line("udiv %o1, 10, %o2"); // quotient
+        self.line("smul %o2, 10, %o5");
+        self.line("sub %o1, %o5, %o5"); // remainder
+        self.line("add %o5, 48, %o5"); // ASCII digit
+        self.line("dec %o3");
+        self.line("stb %o5, [%o3]");
+        self.line("cmp %o2, 0");
+        self.line("bne .Lpi_digits");
+        self.line("mov %o2, %o1"); // delay: value = quotient
+        self.line("cmp %o4, 0");
+        self.line("be .Lpi_write");
+        self.line("nop");
+        self.line("dec %o3");
+        self.line("mov 45, %o5"); // '-'
+        self.line("stb %o5, [%o3]");
+        self.raw(".Lpi_write:");
+        // write(1, %o3, buf+16 - %o3)
+        self.line("set __print_buf + 16, %o2");
+        self.line("sub %o2, %o3, %o2");
+        self.line("mov %o3, %o1");
+        self.line("mov 1, %o0");
+        self.line("mov 4, %g1");
+        self.line("ta 0");
+        self.line("retl");
+        self.line("nop");
+    }
+
+    // ----- functions -------------------------------------------------
+
+    fn function(&mut self, f: &Function) -> Result<(), CcError> {
+        self.fname = f.name.clone();
+        self.locals.clear();
+        self.depth = 0;
+        self.loop_stack.clear();
+
+        // Slot assignment: params first, then every `var` in the body
+        // (pre-scanned so the frame size is known up front).
+        let mut names: Vec<String> = f.params.clone();
+        collect_vars(&f.body, &mut names);
+        for (i, name) in names.iter().enumerate() {
+            if self.locals.insert(name.clone(), SLOT_LOCALS + 4 * i as u32).is_some() {
+                return Err(self.err(format!("duplicate variable {name:?}")));
+            }
+        }
+        let spill_base = SLOT_LOCALS + 4 * names.len() as u32;
+        self.frame = (spill_base + 4 * EVAL_REGS as u32 + 7) & !7;
+
+        let _ = writeln!(self.out, "    .global {}", f.name);
+        let _ = writeln!(self.out, "{}:", f.name);
+        let frame = self.frame;
+        self.line(&format!("sub %sp, {frame}, %sp"));
+        self.line(&format!("st %o7, [%sp + {SLOT_RA}]"));
+        for (i, p) in f.params.iter().enumerate() {
+            let slot = self.locals[p];
+            self.line(&format!("st %o{i}, [%sp + {slot}]"));
+        }
+        self.stmts(&f.body)?;
+        // Implicit `return 0` at the end of a function body.
+        self.line("mov 0, %o0");
+        self.epilogue();
+        Ok(())
+    }
+
+    fn epilogue(&mut self) {
+        let frame = self.frame;
+        self.line(&format!("ld [%sp + {SLOT_RA}], %o7"));
+        self.line("retl");
+        self.line(&format!("add %sp, {frame}, %sp")); // delay slot pops
+    }
+
+    fn spill_base(&self) -> u32 {
+        self.frame - 4 * EVAL_REGS as u32
+    }
+
+    // ----- statements ------------------------------------------------
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CcError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CcError> {
+        match s {
+            Stmt::Var(name, init) => {
+                let slot = *self
+                    .locals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("internal: var {name:?} unscanned")))?;
+                if let Some(e) = init {
+                    let r = self.expr(e)?;
+                    self.line(&format!("st {r}, [%sp + {slot}]"));
+                    self.pop();
+                }
+                Ok(())
+            }
+            Stmt::Assign(lv, e) => {
+                let r = self.expr(e)?;
+                match lv {
+                    LValue::Var(name) => {
+                        if let Some(&slot) = self.locals.get(name) {
+                            self.line(&format!("st {r}, [%sp + {slot}]"));
+                        } else if self.program.global(name).is_some() {
+                            return self.store_global(name, &r).map(|()| self.pop());
+                        } else {
+                            return Err(self.err(format!("undefined variable {name:?}")));
+                        }
+                    }
+                    LValue::Global(name) => {
+                        self.store_global(name, &r)?;
+                    }
+                    LValue::Index(name, index) => {
+                        let g = self
+                            .program
+                            .global(name)
+                            .ok_or_else(|| self.err(format!("undefined array {name:?}")))?;
+                        if g.count == 1 {
+                            return Err(self.err(format!("{name:?} is not an array")));
+                        }
+                        let ri = self.expr(index)?;
+                        let rt = self.push()?;
+                        self.line(&format!("sll {ri}, 2, {ri}"));
+                        self.line(&format!("set {}, {rt}", mangle_global(name)));
+                        self.line(&format!("st {r}, [{rt} + {ri}]"));
+                        self.pop(); // rt
+                        self.pop(); // ri
+                    }
+                }
+                self.pop(); // r
+                Ok(())
+            }
+            Stmt::If(cond, then, els) => {
+                let lelse = self.fresh("else");
+                let lend = self.fresh("endif");
+                self.branch_if_false(cond, &lelse)?;
+                self.stmts(then)?;
+                if els.is_empty() {
+                    self.raw(&format!("{lelse}:"));
+                } else {
+                    self.line(&format!("ba {lend}"));
+                    self.line("nop");
+                    self.raw(&format!("{lelse}:"));
+                    self.stmts(els)?;
+                    self.raw(&format!("{lend}:"));
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let lhead = self.fresh("while");
+                let lend = self.fresh("endwhile");
+                self.raw(&format!("{lhead}:"));
+                self.branch_if_false(cond, &lend)?;
+                self.loop_stack.push((lhead.clone(), lend.clone()));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.line(&format!("ba {lhead}"));
+                self.line("nop");
+                self.raw(&format!("{lend}:"));
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body) => {
+                // Desugar: init; while (cond) { body; step; } — except
+                // `continue` must reach the step, so the continue target
+                // is a dedicated label.
+                self.stmt(init)?;
+                let lhead = self.fresh("for");
+                let lstep = self.fresh("forstep");
+                let lend = self.fresh("endfor");
+                self.raw(&format!("{lhead}:"));
+                self.branch_if_false(cond, &lend)?;
+                self.loop_stack.push((lstep.clone(), lend.clone()));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.raw(&format!("{lstep}:"));
+                self.stmt(step)?;
+                self.line(&format!("ba {lhead}"));
+                self.line("nop");
+                self.raw(&format!("{lend}:"));
+                Ok(())
+            }
+            Stmt::Switch(scrutinee, cases, default) => self.switch(scrutinee, cases, default),
+            Stmt::Return(e) => {
+                // SunPro personality: a returned call becomes a
+                // frame-popping tail jump (§3.3's unanalyzable idiom).
+                if self.options.personality == Personality::SunPro {
+                    match e {
+                        Expr::Call(name, args) if self.program.function(name).is_some() => {
+                            return self.tail_call(Some(name.clone()), None, args);
+                        }
+                        Expr::CallPtr(target, args) => {
+                            let t = (**target).clone();
+                            return self.tail_call(None, Some(&t), args);
+                        }
+                        _ => {}
+                    }
+                }
+                let r = self.expr(e)?;
+                self.line(&format!("mov {r}, %o0"));
+                self.pop();
+                self.epilogue();
+                Ok(())
+            }
+            Stmt::Break => {
+                let (_, lend) = self
+                    .loop_stack
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| self.err("`break` outside a loop"))?;
+                self.line(&format!("ba {lend}"));
+                self.line("nop");
+                Ok(())
+            }
+            Stmt::Continue => {
+                let (lcont, _) = self
+                    .loop_stack
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| self.err("`continue` outside a loop"))?;
+                self.line(&format!("ba {lcont}"));
+                self.line("nop");
+                Ok(())
+            }
+            Stmt::Print(e) => {
+                let r = self.expr(e)?;
+                self.spill_eval_stack();
+                self.line(&format!("mov {r}, %o0"));
+                self.line("call __print_int");
+                self.line("nop");
+                self.reload_eval_stack();
+                self.pop();
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.pop();
+                Ok(())
+            }
+        }
+    }
+
+    fn store_global(&mut self, name: &str, r: &str) -> Result<(), CcError> {
+        if self.program.global(name).is_none() {
+            return Err(self.err(format!("undefined global {name:?}")));
+        }
+        let rt = self.push()?;
+        let sym = mangle_global(name);
+        self.line(&format!("sethi %hi({sym}), {rt}"));
+        self.line(&format!("st {r}, [%lo({sym}) + {rt}]"));
+        self.pop();
+        Ok(())
+    }
+
+    /// Emits a bounds-checked dispatch table (gap cases go to default),
+    /// falling back to a compare chain when values are sparse or negative.
+    fn switch(
+        &mut self,
+        scrutinee: &Expr,
+        cases: &[(i32, Vec<Stmt>)],
+        default: &[Stmt],
+    ) -> Result<(), CcError> {
+        let lend = self.fresh("endswitch");
+        let ldefault = self.fresh("swdefault");
+        let max = cases.iter().map(|(v, _)| *v).max().unwrap_or(-1);
+        let min = cases.iter().map(|(v, _)| *v).min().unwrap_or(0);
+        let dense = min >= 0
+            && max < 1024
+            && !cases.is_empty()
+            && (cases.len() as i64) * 4 >= (max as i64 + 1);
+
+        let case_labels: Vec<(i32, String)> = cases
+            .iter()
+            .map(|(v, _)| (*v, self.fresh("case")))
+            .collect();
+
+        let r = self.expr(scrutinee)?;
+        if dense {
+            let rt = self.push()?;
+            let ltbl = self.fresh("swtbl");
+            self.line(&format!("cmp {r}, {}", max + 1));
+            self.line(&format!("bgeu {ldefault}")); // unsigned: negatives too
+            self.line("nop");
+            self.line(&format!("sll {r}, 2, {r}"));
+            self.line(&format!("set {ltbl}, {rt}"));
+            self.line(&format!("ld [{rt} + {r}], {rt}"));
+            self.line(&format!("jmp {rt}"));
+            self.line("nop");
+            // The dispatch table lives in the text segment, right after
+            // the jump — data that EEL's analysis must not decode as code.
+            self.raw(&format!("{ltbl}:"));
+            for v in 0..=max {
+                let target = case_labels
+                    .iter()
+                    .find(|(cv, _)| *cv == v)
+                    .map(|(_, l)| l.clone())
+                    .unwrap_or_else(|| ldefault.clone());
+                self.line(&format!(".word {target}"));
+            }
+            self.pop(); // rt
+        } else {
+            for (v, l) in &case_labels {
+                self.line(&format!("cmp {r}, {v}"));
+                self.line(&format!("be {l}"));
+                self.line("nop");
+            }
+            self.line(&format!("ba {ldefault}"));
+            self.line("nop");
+        }
+        self.pop(); // r
+
+        for ((_, body), (_, label)) in cases.iter().zip(&case_labels) {
+            self.raw(&format!("{label}:"));
+            self.stmts(body)?;
+            self.line(&format!("ba {lend}"));
+            self.line("nop");
+        }
+        self.raw(&format!("{ldefault}:"));
+        self.stmts(default)?;
+        self.raw(&format!("{lend}:"));
+        Ok(())
+    }
+
+    /// SunPro frame-popping tail call. The target address is homed to a
+    /// stack slot and reloaded before the jump: a backward slice from the
+    /// jump hits a stack load and cannot resolve it — exactly why the
+    /// paper's 138 Solaris jumps were unanalyzable.
+    fn tail_call(
+        &mut self,
+        callee: Option<String>,
+        target: Option<&Expr>,
+        args: &[Expr],
+    ) -> Result<(), CcError> {
+        // Compute the target into %g4 first (it may use the eval stack).
+        match (&callee, target) {
+            (Some(name), None) => {
+                let arity = self.program.function(name).map(|f| f.params.len());
+                if arity != Some(args.len()) {
+                    return Err(self.err(format!("arity mismatch calling {name:?}")));
+                }
+                self.line(&format!("set {name}, %g4"));
+            }
+            (None, Some(e)) => {
+                let r = self.expr(e)?;
+                self.line(&format!("mov {r}, %g4"));
+                self.pop();
+            }
+            _ => unreachable!("exactly one of callee/target"),
+        }
+        self.line(&format!("st %g4, [%sp + {SLOT_SCRATCH}]"));
+        // Marshal arguments.
+        let regs = self.eval_args(args)?;
+        for (i, r) in regs.iter().enumerate() {
+            self.line(&format!("mov {r}, %o{i}"));
+        }
+        for _ in regs {
+            self.pop();
+        }
+        // Pop the frame and jump.
+        let frame = self.frame;
+        self.line(&format!("ld [%sp + {SLOT_RA}], %o7"));
+        self.line(&format!("ld [%sp + {SLOT_SCRATCH}], %g4"));
+        self.line(&format!("add %sp, {frame}, %sp"));
+        self.line("jmp %g4");
+        self.line("nop");
+        Ok(())
+    }
+
+    // ----- expressions -----------------------------------------------
+
+    /// Pushes a new eval-stack register name (`%l0`–`%l7`).
+    fn push(&mut self) -> Result<String, CcError> {
+        if self.depth >= EVAL_REGS {
+            return Err(self.err(format!(
+                "expression too deep (more than {EVAL_REGS} live temporaries)"
+            )));
+        }
+        let r = format!("%l{}", self.depth);
+        self.depth += 1;
+        Ok(r)
+    }
+
+    fn pop(&mut self) {
+        debug_assert!(self.depth > 0, "eval stack underflow");
+        self.depth -= 1;
+    }
+
+
+    /// Spills all live eval registers to the frame (before a call, whose
+    /// callee clobbers `%l0–%l7`).
+    fn spill_eval_stack(&mut self) {
+        let base = self.spill_base();
+        for i in 0..self.depth {
+            self.line(&format!("st %l{i}, [%sp + {}]", base + 4 * i as u32));
+        }
+    }
+
+    fn reload_eval_stack(&mut self) {
+        let base = self.spill_base();
+        for i in 0..self.depth {
+            self.line(&format!("ld [%sp + {}], %l{i}", base + 4 * i as u32));
+        }
+    }
+
+    /// Evaluates all arguments, leaving them on the eval stack. Returns
+    /// their register names in order.
+    fn eval_args(&mut self, args: &[Expr]) -> Result<Vec<String>, CcError> {
+        let mut regs = Vec::new();
+        for a in args {
+            regs.push(self.expr(a)?);
+        }
+        Ok(regs)
+    }
+
+    /// Evaluates an expression; the result lands in a fresh eval register
+    /// whose name is returned (caller pops it).
+    fn expr(&mut self, e: &Expr) -> Result<String, CcError> {
+        match e {
+            Expr::Num(n) => {
+                let r = self.push()?;
+                if eel_isa::Src2::fits_simm13(*n) {
+                    self.line(&format!("mov {n}, {r}"));
+                } else {
+                    self.line(&format!("set {}, {r}", *n as u32));
+                }
+                Ok(r)
+            }
+            Expr::Var(name) => {
+                if let Some(&slot) = self.locals.get(name) {
+                    let r = self.push()?;
+                    self.line(&format!("ld [%sp + {slot}], {r}"));
+                    Ok(r)
+                } else if self.program.global(name).is_some() {
+                    self.expr(&Expr::Global(name.clone()))
+                } else {
+                    Err(self.err(format!("undefined variable {name:?}")))
+                }
+            }
+            Expr::Global(name) => {
+                let g = self
+                    .program
+                    .global(name)
+                    .ok_or_else(|| self.err(format!("undefined global {name:?}")))?;
+                if g.count != 1 {
+                    return Err(self.err(format!("{name:?} is an array; index it")));
+                }
+                let r = self.push()?;
+                let sym = mangle_global(name);
+                self.line(&format!("sethi %hi({sym}), {r}"));
+                self.line(&format!("ld [%lo({sym}) + {r}], {r}"));
+                Ok(r)
+            }
+            Expr::Index(name, index) => {
+                let g = self
+                    .program
+                    .global(name)
+                    .ok_or_else(|| self.err(format!("undefined array {name:?}")))?;
+                if g.count == 1 {
+                    return Err(self.err(format!("{name:?} is not an array")));
+                }
+                let ri = self.expr(index)?;
+                let rt = self.push()?;
+                self.line(&format!("sll {ri}, 2, {ri}"));
+                self.line(&format!("set {}, {rt}", mangle_global(name)));
+                self.line(&format!("ld [{rt} + {ri}], {ri}"));
+                self.pop(); // rt
+                Ok(ri)
+            }
+            Expr::AddrOf(name) => {
+                let r = self.push()?;
+                if self.program.function(name).is_some() {
+                    self.line(&format!("set {name}, {r}"));
+                } else if self.program.global(name).is_some() {
+                    self.line(&format!("set {}, {r}", mangle_global(name)));
+                } else {
+                    return Err(self.err(format!("cannot take address of {name:?}")));
+                }
+                Ok(r)
+            }
+            Expr::Call(name, args) => {
+                let f = self
+                    .program
+                    .function(name)
+                    .ok_or_else(|| self.err(format!("undefined function {name:?}")))?;
+                if f.params.len() != args.len() {
+                    return Err(self.err(format!(
+                        "arity mismatch: {name} takes {} argument(s), got {}",
+                        f.params.len(),
+                        args.len()
+                    )));
+                }
+                let regs = self.eval_args(args)?;
+                // Arg registers are the top |args| eval slots; everything
+                // below must survive the call.
+                for _ in &regs {
+                    self.pop();
+                }
+                self.spill_eval_stack();
+                // The just-popped registers still hold the argument values
+                // (nothing has clobbered them).
+                for (i, r) in regs.iter().enumerate() {
+                    self.line(&format!("mov {r}, %o{i}"));
+                }
+                self.line(&format!("call {name}"));
+                self.line("nop");
+                self.reload_eval_stack();
+                let r = self.push()?;
+                self.line(&format!("mov %o0, {r}"));
+                Ok(r)
+            }
+            Expr::CallPtr(target, args) => {
+                let rt = self.expr(target)?;
+                let regs = self.eval_args(args)?;
+                for _ in &regs {
+                    self.pop();
+                }
+                self.pop(); // rt
+                self.spill_eval_stack();
+                self.line(&format!("mov {rt}, %g4"));
+                for (i, r) in regs.iter().enumerate() {
+                    self.line(&format!("mov {r}, %o{i}"));
+                }
+                self.line("jmpl %g4, %o7"); // indirect call
+                self.line("nop");
+                self.reload_eval_stack();
+                let r = self.push()?;
+                self.line(&format!("mov %o0, {r}"));
+                Ok(r)
+            }
+            Expr::Neg(inner) => {
+                let r = self.expr(inner)?;
+                self.line(&format!("sub %g0, {r}, {r}"));
+                Ok(r)
+            }
+            Expr::Not(inner) => {
+                let r = self.expr(inner)?;
+                self.bool_from_cmp(&r, "0", "be");
+                Ok(r)
+            }
+            Expr::Bin(op, lhs, rhs) => self.binop(*op, lhs, rhs),
+        }
+    }
+
+    /// The SPARC boolean idiom: `r = (r <cmp-op> rhs) ? 1 : 0` using an
+    /// annulled branch whose delay slot is meaningful.
+    fn bool_from_cmp(&mut self, r: &str, rhs: &str, bcc: &str) {
+        let l = self.fresh("cc");
+        self.line(&format!("cmp {r}, {rhs}"));
+        self.line(&format!("{bcc},a {l}"));
+        self.line(&format!("mov 1, {r}")); // delay: executes iff taken
+        self.line(&format!("mov 0, {r}")); // fall-through (delay annulled)
+        self.raw(&format!("{l}:"));
+    }
+
+    fn binop(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<String, CcError> {
+        // Short-circuit forms first.
+        match op {
+            BinOp::LogAnd => {
+                let lend = self.fresh("and");
+                let r = self.expr(lhs)?;
+                self.line(&format!("cmp {r}, 0"));
+                self.line(&format!("be,a {lend}"));
+                self.line(&format!("mov 0, {r}")); // taken (lhs==0) → result 0
+                self.pop();
+                let r2 = self.expr(rhs)?;
+                debug_assert_eq!(r, r2, "eval stack discipline");
+                self.bool_from_cmp(&r2, "0", "bne");
+                self.raw(&format!("{lend}:"));
+                return Ok(r2);
+            }
+            BinOp::LogOr => {
+                let lend = self.fresh("or");
+                let r = self.expr(lhs)?;
+                self.line(&format!("cmp {r}, 0"));
+                self.line(&format!("bne,a {lend}"));
+                self.line(&format!("mov 1, {r}"));
+                self.pop();
+                let r2 = self.expr(rhs)?;
+                debug_assert_eq!(r, r2, "eval stack discipline");
+                self.bool_from_cmp(&r2, "0", "bne");
+                self.raw(&format!("{lend}:"));
+                return Ok(r2);
+            }
+            _ => {}
+        }
+
+        let ra = self.expr(lhs)?;
+        let rb = self.expr(rhs)?;
+        match op {
+            BinOp::Add => self.line(&format!("add {ra}, {rb}, {ra}")),
+            BinOp::Sub => self.line(&format!("sub {ra}, {rb}, {ra}")),
+            BinOp::Mul => self.line(&format!("smul {ra}, {rb}, {ra}")),
+            BinOp::Div => {
+                // sdiv consumes %y:rs1 as a 64-bit dividend; sign-extend.
+                self.line(&format!("sra {ra}, 31, %g4"));
+                self.line("wr %g4, %g0, %y");
+                self.line(&format!("sdiv {ra}, {rb}, {ra}"));
+            }
+            BinOp::Rem => {
+                self.line(&format!("sra {ra}, 31, %g4"));
+                self.line("wr %g4, %g0, %y");
+                self.line(&format!("sdiv {ra}, {rb}, %g4"));
+                self.line(&format!("smul %g4, {rb}, %g4"));
+                self.line(&format!("sub {ra}, %g4, {ra}"));
+            }
+            BinOp::And => self.line(&format!("and {ra}, {rb}, {ra}")),
+            BinOp::Or => self.line(&format!("or {ra}, {rb}, {ra}")),
+            BinOp::Xor => self.line(&format!("xor {ra}, {rb}, {ra}")),
+            BinOp::Shl => self.line(&format!("sll {ra}, {rb}, {ra}")),
+            BinOp::Shr => self.line(&format!("sra {ra}, {rb}, {ra}")),
+            BinOp::Eq => self.bool_from_cmp(&ra, &rb, "be"),
+            BinOp::Ne => self.bool_from_cmp(&ra, &rb, "bne"),
+            BinOp::Lt => self.bool_from_cmp(&ra, &rb, "bl"),
+            BinOp::Le => self.bool_from_cmp(&ra, &rb, "ble"),
+            BinOp::Gt => self.bool_from_cmp(&ra, &rb, "bg"),
+            BinOp::Ge => self.bool_from_cmp(&ra, &rb, "bge"),
+            BinOp::LogAnd | BinOp::LogOr => unreachable!("handled above"),
+        }
+        self.pop(); // rb
+        Ok(ra)
+    }
+
+    /// Evaluates `cond` and branches to `target` when it is zero.
+    fn branch_if_false(&mut self, cond: &Expr, target: &str) -> Result<(), CcError> {
+        let r = self.expr(cond)?;
+        self.line(&format!("cmp {r}, 0"));
+        self.line(&format!("be {target}"));
+        self.line("nop");
+        self.pop();
+        Ok(())
+    }
+}
+
+/// Globals get a `G_` prefix so a global named like a function cannot
+/// collide in the assembler's flat namespace.
+fn mangle_global(name: &str) -> String {
+    format!("G_{name}")
+}
+
+/// Pre-scans a body for `var` declarations (Wisc is function-scoped).
+fn collect_vars(body: &[Stmt], out: &mut Vec<String>) {
+    for s in body {
+        match s {
+            Stmt::Var(name, _)
+                if !out.contains(name) => {
+                    out.push(name.clone());
+                }
+            Stmt::If(_, a, b) => {
+                collect_vars(a, out);
+                collect_vars(b, out);
+            }
+            Stmt::While(_, b) => collect_vars(b, out),
+            Stmt::For(init, _, step, b) => {
+                collect_vars(std::slice::from_ref(init), out);
+                collect_vars(std::slice::from_ref(step), out);
+                collect_vars(b, out);
+            }
+            Stmt::Switch(_, cases, default) => {
+                for (_, b) in cases {
+                    collect_vars(b, out);
+                }
+                collect_vars(default, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Post-pass over assembly lines: moves an eligible preceding instruction
+/// into a `nop` delay slot (calls, `ba`, and condition-code-safe
+/// conditional branches). Mirrors what optimizing SPARC compilers did, and
+/// gives EEL's CFG normalization real filled slots to handle.
+pub fn fill_delay_slots(asm: &str) -> String {
+    fn mnemonic(line: &str) -> &str {
+        line.split_whitespace().next().unwrap_or("")
+    }
+    fn is_cti(line: &str) -> bool {
+        let m = mnemonic(line);
+        (m.starts_with('b') && !m.starts_with("byte"))
+            || m.starts_with("fb")
+            || m.starts_with('t') && eel_isa::Cond::ALL.iter().any(|c| format!("t{}", c.suffix()) == m)
+            || matches!(m, "call" | "jmp" | "jmpl" | "ret" | "retl")
+    }
+    /// A "plain" line is an instruction that is neither a label, a
+    /// directive, nor a control transfer.
+    fn is_plain_insn(line: &str) -> bool {
+        !line.is_empty() && !line.ends_with(':') && !line.starts_with('.') && !is_cti(line)
+    }
+
+    let lines: Vec<&str> = asm.lines().collect();
+    let mut out: Vec<String> = Vec::with_capacity(lines.len());
+    let mut i = 0;
+    while i < lines.len() {
+        let cand = lines[i].trim();
+        // The candidate may move only if its own predecessor is a plain
+        // instruction: not a label (the candidate would be a branch
+        // target), not a CTI (the candidate would be a delay slot), and
+        // not a directive (alignment unknown).
+        let before_ok = out
+            .last()
+            .map(|l| is_plain_insn(l.trim()))
+            .unwrap_or(false);
+        if before_ok && is_plain_insn(cand) && cand != "nop" && i + 2 < lines.len() {
+            let cti = lines[i + 1].trim();
+            let slot = lines[i + 2].trim();
+            if slot == "nop" && is_fillable_pair(cand, cti) {
+                out.push(format!("    {cti}"));
+                out.push(format!("    {cand}"));
+                i += 3;
+                continue;
+            }
+        }
+        out.push(lines[i].to_string());
+        i += 1;
+    }
+    out.join("\n") + "\n"
+}
+
+/// May the plain instruction `prev` move into `cti`'s delay slot?
+fn is_fillable_pair(prev: &str, cti: &str) -> bool {
+    let prev_mnem = prev.split_whitespace().next().unwrap_or("");
+    let cti_mnem = cti.split_whitespace().next().unwrap_or("");
+    match cti_mnem {
+        // The call's delay slot runs before the callee; argument setup is
+        // the classic use. %o7 is written by the call itself.
+        "call" => !prev.contains("%o7"),
+        "ba" => true,
+        m if m.starts_with('b') && !m.contains(",a") && m != "byte" => {
+            // Conditional branch: prev executes on both paths either way,
+            // but must not change the tested condition codes.
+            !(prev_mnem == "cmp" || prev_mnem == "tst" || prev_mnem.ends_with("cc"))
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,476 @@
+//! A direct AST interpreter for Wisc.
+//!
+//! This is the compiler's differential-testing oracle: progen workloads
+//! are executed both here and as compiled code under `eel-emu`, and must
+//! produce identical exit codes and output. The arithmetic mirrors the
+//! target ISA exactly (wrapping ops, SPARC `sdiv` clamping on overflow).
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interpreter failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Reference to an unknown name.
+    Undefined(String),
+    /// Division by zero (the compiled program would trap).
+    DivZero,
+    /// Array index outside the declared bounds (compiled code has no
+    /// bounds check; workloads must stay in bounds for the oracle to be
+    /// meaningful).
+    OutOfBounds {
+        /// Array name.
+        name: String,
+        /// Offending index.
+        index: i32,
+    },
+    /// An indirect call through a value that is not a function address.
+    BadFunPtr(i32),
+    /// Wrong number of arguments.
+    Arity(String),
+    /// Evaluation budget exhausted.
+    StepLimit,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Undefined(n) => write!(f, "undefined name {n:?}"),
+            InterpError::DivZero => write!(f, "division by zero"),
+            InterpError::OutOfBounds { name, index } => {
+                write!(f, "index {index} out of bounds for {name:?}")
+            }
+            InterpError::BadFunPtr(v) => write!(f, "call through non-function value {v}"),
+            InterpError::Arity(n) => write!(f, "arity mismatch calling {n:?}"),
+            InterpError::StepLimit => write!(f, "interpreter step limit exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Result of interpreting a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpOutcome {
+    /// `main`'s return value (the process exit code).
+    pub exit_code: i32,
+    /// Everything `print` produced, newline-separated (matching the
+    /// compiled `__print_int` format).
+    pub output: String,
+}
+
+/// Synthetic base address for function-pointer tokens.
+const FN_TOKEN_BASE: i32 = 0x1000_0000;
+
+struct Interp<'a> {
+    program: &'a Program,
+    globals: HashMap<String, Vec<i32>>,
+    output: String,
+    budget: u64,
+}
+
+enum Flow {
+    Normal,
+    Return(i32),
+    Break,
+    Continue,
+}
+
+/// Runs a program's `main` with the given evaluation budget (a count of
+/// statements + expression nodes).
+///
+/// # Errors
+///
+/// Any [`InterpError`]; see its variants.
+pub fn interpret(program: &Program, budget: u64) -> Result<InterpOutcome, InterpError> {
+    let mut interp = Interp {
+        program,
+        globals: program
+            .globals
+            .iter()
+            .map(|g| {
+                let mut v = vec![0i32; g.count as usize];
+                if g.count == 1 {
+                    v[0] = g.init;
+                }
+                (g.name.clone(), v)
+            })
+            .collect(),
+        output: String::new(),
+        budget,
+    };
+    let main = program
+        .function("main")
+        .ok_or_else(|| InterpError::Undefined("main".into()))?;
+    if !main.params.is_empty() {
+        return Err(InterpError::Arity("main".into()));
+    }
+    let exit_code = interp.call(main, &[])?;
+    Ok(InterpOutcome { exit_code, output: interp.output })
+}
+
+impl<'a> Interp<'a> {
+    fn tick(&mut self) -> Result<(), InterpError> {
+        if self.budget == 0 {
+            return Err(InterpError::StepLimit);
+        }
+        self.budget -= 1;
+        Ok(())
+    }
+
+    fn call(&mut self, f: &Function, args: &[i32]) -> Result<i32, InterpError> {
+        if args.len() != f.params.len() {
+            return Err(InterpError::Arity(f.name.clone()));
+        }
+        let mut locals: HashMap<String, i32> =
+            f.params.iter().cloned().zip(args.iter().copied()).collect();
+        match self.block(&f.body, &mut locals)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(0), // implicit `return 0`
+        }
+    }
+
+    fn block(
+        &mut self,
+        stmts: &[Stmt],
+        locals: &mut HashMap<String, i32>,
+    ) -> Result<Flow, InterpError> {
+        for s in stmts {
+            match self.stmt(s, locals)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(
+        &mut self,
+        s: &Stmt,
+        locals: &mut HashMap<String, i32>,
+    ) -> Result<Flow, InterpError> {
+        self.tick()?;
+        match s {
+            Stmt::Var(name, init) => {
+                let v = match init {
+                    Some(e) => self.expr(e, locals)?,
+                    None => 0,
+                };
+                locals.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(lv, e) => {
+                let v = self.expr(e, locals)?;
+                match lv {
+                    LValue::Var(name) => {
+                        if locals.contains_key(name) {
+                            locals.insert(name.clone(), v);
+                        } else if let Some(cells) = self.globals.get_mut(name) {
+                            cells[0] = v;
+                        } else {
+                            return Err(InterpError::Undefined(name.clone()));
+                        }
+                    }
+                    LValue::Global(name) => {
+                        self.globals
+                            .get_mut(name)
+                            .ok_or_else(|| InterpError::Undefined(name.clone()))?[0] = v;
+                    }
+                    LValue::Index(name, idx) => {
+                        let i = self.expr(idx, locals)?;
+                        let cells = self
+                            .globals
+                            .get_mut(name)
+                            .ok_or_else(|| InterpError::Undefined(name.clone()))?;
+                        let slot = cells.get_mut(i.max(0) as usize).ok_or(
+                            InterpError::OutOfBounds { name: name.clone(), index: i },
+                        )?;
+                        if i < 0 {
+                            return Err(InterpError::OutOfBounds {
+                                name: name.clone(),
+                                index: i,
+                            });
+                        }
+                        *slot = v;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then, els) => {
+                if self.expr(cond, locals)? != 0 {
+                    self.block(then, locals)
+                } else {
+                    self.block(els, locals)
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.expr(cond, locals)? != 0 {
+                    self.tick()?;
+                    match self.block(body, locals)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For(init, cond, step, body) => {
+                self.stmt(init, locals)?;
+                while self.expr(cond, locals)? != 0 {
+                    self.tick()?;
+                    match self.block(body, locals)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    self.stmt(step, locals)?;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Switch(scrutinee, cases, default) => {
+                let v = self.expr(scrutinee, locals)?;
+                for (cv, body) in cases {
+                    if *cv == v {
+                        return self.block(body, locals);
+                    }
+                }
+                self.block(default, locals)
+            }
+            Stmt::Return(e) => Ok(Flow::Return(self.expr(e, locals)?)),
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Print(e) => {
+                let v = self.expr(e, locals)?;
+                self.output.push_str(&format!("{v}\n"));
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.expr(e, locals)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn expr(
+        &mut self,
+        e: &Expr,
+        locals: &mut HashMap<String, i32>,
+    ) -> Result<i32, InterpError> {
+        self.tick()?;
+        match e {
+            Expr::Num(n) => Ok(*n),
+            Expr::Var(name) => {
+                if let Some(&v) = locals.get(name) {
+                    Ok(v)
+                } else if let Some(cells) = self.globals.get(name) {
+                    Ok(cells[0])
+                } else {
+                    Err(InterpError::Undefined(name.clone()))
+                }
+            }
+            Expr::Global(name) => self
+                .globals
+                .get(name)
+                .map(|c| c[0])
+                .ok_or_else(|| InterpError::Undefined(name.clone())),
+            Expr::Index(name, idx) => {
+                let i = self.expr(idx, locals)?;
+                let cells = self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| InterpError::Undefined(name.clone()))?;
+                if i < 0 || i as usize >= cells.len() {
+                    return Err(InterpError::OutOfBounds { name: name.clone(), index: i });
+                }
+                Ok(cells[i as usize])
+            }
+            Expr::AddrOf(name) => {
+                if let Some(pos) = self.program.functions.iter().position(|f| f.name == *name) {
+                    Ok(FN_TOKEN_BASE + pos as i32)
+                } else if self.globals.contains_key(name) {
+                    // Global addresses are opaque tokens; the language has
+                    // no way to dereference them, only compare/pass them.
+                    Ok(FN_TOKEN_BASE + 0x0800_0000 + self.global_index(name))
+                } else {
+                    Err(InterpError::Undefined(name.clone()))
+                }
+            }
+            Expr::Call(name, args) => {
+                let f = self
+                    .program
+                    .function(name)
+                    .ok_or_else(|| InterpError::Undefined(name.clone()))?
+                    .clone();
+                let vals = self.eval_args(args, locals)?;
+                self.call(&f, &vals)
+            }
+            Expr::CallPtr(target, args) => {
+                let t = self.expr(target, locals)?;
+                let idx = t - FN_TOKEN_BASE;
+                if idx < 0 || idx as usize >= self.program.functions.len() {
+                    return Err(InterpError::BadFunPtr(t));
+                }
+                let f = self.program.functions[idx as usize].clone();
+                let vals = self.eval_args(args, locals)?;
+                self.call(&f, &vals)
+            }
+            Expr::Neg(inner) => Ok(self.expr(inner, locals)?.wrapping_neg()),
+            Expr::Not(inner) => Ok((self.expr(inner, locals)? == 0) as i32),
+            Expr::Bin(op, lhs, rhs) => {
+                // Short-circuit forms must not evaluate rhs eagerly.
+                match op {
+                    BinOp::LogAnd => {
+                        if self.expr(lhs, locals)? == 0 {
+                            return Ok(0);
+                        }
+                        return Ok((self.expr(rhs, locals)? != 0) as i32);
+                    }
+                    BinOp::LogOr => {
+                        if self.expr(lhs, locals)? != 0 {
+                            return Ok(1);
+                        }
+                        return Ok((self.expr(rhs, locals)? != 0) as i32);
+                    }
+                    _ => {}
+                }
+                let a = self.expr(lhs, locals)?;
+                let b = self.expr(rhs, locals)?;
+                Ok(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => sdiv(a, b)?,
+                    BinOp::Rem => {
+                        // Mirror codegen: q = sdiv(a,b); r = a - q*b.
+                        let q = sdiv(a, b)?;
+                        a.wrapping_sub(q.wrapping_mul(b))
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b as u32),
+                    BinOp::Shr => a.wrapping_shr(b as u32),
+                    BinOp::Eq => (a == b) as i32,
+                    BinOp::Ne => (a != b) as i32,
+                    BinOp::Lt => (a < b) as i32,
+                    BinOp::Le => (a <= b) as i32,
+                    BinOp::Gt => (a > b) as i32,
+                    BinOp::Ge => (a >= b) as i32,
+                    BinOp::LogAnd | BinOp::LogOr => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+
+    fn eval_args(
+        &mut self,
+        args: &[Expr],
+        locals: &mut HashMap<String, i32>,
+    ) -> Result<Vec<i32>, InterpError> {
+        args.iter().map(|a| self.expr(a, locals)).collect()
+    }
+
+    fn global_index(&self, name: &str) -> i32 {
+        self.program.globals.iter().position(|g| g.name == name).unwrap_or(0) as i32
+    }
+}
+
+/// SPARC `sdiv` semantics: 64-bit dividend (sign-extended here), quotient
+/// clamped to the 32-bit range on overflow.
+fn sdiv(a: i32, b: i32) -> Result<i32, InterpError> {
+    if b == 0 {
+        return Err(InterpError::DivZero);
+    }
+    let q = (a as i64) / (b as i64);
+    Ok(q.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn run(src: &str) -> InterpOutcome {
+        interpret(&parse(src).unwrap(), 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_control() {
+        let out = run(
+            r#"
+            fn main() {
+                var total = 0;
+                var i;
+                for (i = 1; i <= 10; i = i + 1) { total = total + i; }
+                print(total);
+                return total;
+            }
+        "#,
+        );
+        assert_eq!(out.exit_code, 55);
+        assert_eq!(out.output, "55\n");
+    }
+
+    #[test]
+    fn switch_and_globals() {
+        let out = run(
+            r#"
+            global hits[4];
+            fn main() {
+                var i;
+                for (i = 0; i < 8; i = i + 1) {
+                    switch (i % 4) {
+                        case 0: { hits[0] = hits[0] + 1; }
+                        case 1: { hits[1] = hits[1] + 1; }
+                        case 2: { hits[2] = hits[2] + 1; }
+                        default: { hits[3] = hits[3] + 1; }
+                    }
+                }
+                return hits[0] * 1000 + hits[3];
+            }
+        "#,
+        );
+        assert_eq!(out.exit_code, 2002);
+    }
+
+    #[test]
+    fn function_pointers() {
+        let out = run(
+            r#"
+            fn double(x) { return x * 2; }
+            fn triple(x) { return x * 3; }
+            fn apply(f, x) { return (*f)(x); }
+            fn main() { return apply(&double, 10) + apply(&triple, 10); }
+        "#,
+        );
+        assert_eq!(out.exit_code, 50);
+    }
+
+    #[test]
+    fn sdiv_clamps_like_hardware() {
+        let out = run("fn main() { return (0 - 2147483647 - 1) / (0 - 1); }");
+        assert_eq!(out.exit_code, i32::MAX);
+    }
+
+    #[test]
+    fn div_zero_is_an_error() {
+        let program = parse("fn main() { return 1 / 0; }").unwrap();
+        assert_eq!(interpret(&program, 1000), Err(InterpError::DivZero));
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let program = parse("fn main() { while (1) { } return 0; }").unwrap();
+        assert_eq!(interpret(&program, 1000), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let program = parse("global a[2]; fn main() { return a[5]; }").unwrap();
+        assert!(matches!(
+            interpret(&program, 1000),
+            Err(InterpError::OutOfBounds { .. })
+        ));
+    }
+}

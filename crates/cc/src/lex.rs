@@ -1,0 +1,146 @@
+//! Tokenizer for Wisc.
+
+use crate::CcError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Integer literal.
+    Num(i32),
+    /// Identifier or keyword.
+    Ident(String),
+    /// Punctuation / operator, e.g. `"+"`, `"<<"`, `"&&"`, `"("`.
+    Punct(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")", "{", "}", "[", "]", ";", ":", ",",
+    "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!",
+];
+
+/// Tokenizes Wisc source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns [`CcError`] for unknown characters or malformed numbers.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CcError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split("//").next().unwrap_or("");
+        let mut rest = text;
+        'outer: while !rest.trim_start().is_empty() {
+            rest = rest.trim_start();
+            let c = rest.chars().next().unwrap();
+            if c.is_ascii_digit() {
+                let end = rest
+                    .find(|ch: char| !ch.is_ascii_alphanumeric())
+                    .unwrap_or(rest.len());
+                let token = &rest[..end];
+                let value = if let Some(hex) = token.strip_prefix("0x") {
+                    i64::from_str_radix(hex, 16)
+                } else {
+                    token.parse()
+                }
+                .map_err(|_| CcError::syntax(line, format!("bad number {token:?}")))?;
+                if value > u32::MAX as i64 {
+                    return Err(CcError::syntax(line, format!("number {token} out of range")));
+                }
+                out.push(SpannedTok { tok: Tok::Num(value as u32 as i32), line });
+                rest = &rest[end..];
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let end = rest
+                    .find(|ch: char| !ch.is_ascii_alphanumeric() && ch != '_')
+                    .unwrap_or(rest.len());
+                out.push(SpannedTok { tok: Tok::Ident(rest[..end].to_string()), line });
+                rest = &rest[end..];
+                continue;
+            }
+            for p in PUNCTS {
+                if let Some(tail) = rest.strip_prefix(p) {
+                    out.push(SpannedTok { tok: Tok::Punct(p), line });
+                    rest = tail;
+                    continue 'outer;
+                }
+            }
+            return Err(CcError::syntax(line, format!("unexpected character {c:?}")));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basics() {
+        assert_eq!(
+            toks("x = 10 + 0x1f; // comment"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Num(10),
+                Tok::Punct("+"),
+                Tok::Num(31),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch() {
+        assert_eq!(
+            toks("a<<b <= c && d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("b".into()),
+                Tok::Punct("<="),
+                Tok::Ident("c".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers() {
+        let spanned = lex("a\nb\n\nc").unwrap();
+        assert_eq!(spanned.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("0xzz").is_err());
+        assert!(lex("99999999999").is_err());
+    }
+}

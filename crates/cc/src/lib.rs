@@ -1,0 +1,472 @@
+//! # eel-cc: the Wisc compiler
+//!
+//! Compiles **Wisc**, a small C-like language (32-bit integers, functions,
+//! globals and global arrays, `if`/`while`/`for`/`switch`, function
+//! pointers), into WEF executables for the EEL reproduction.
+//!
+//! Its purpose is to stand in for the gcc / SunPro compilers whose output
+//! the paper analyzed: the generated code exhibits the same idioms EEL's
+//! analyses confront — text-segment dispatch tables for `switch`, annulled
+//! branch delay slots, filled `call`/`ba` delay slots, and (with
+//! [`Personality::SunPro`]) frame-popping tail calls that produce
+//! *unanalyzable* indirect jumps (§3.3 of the paper: all 138 unanalyzable
+//! Solaris jumps came from this optimization).
+//!
+//! The crate also contains a direct AST [`interp`]reter used as a
+//! differential-testing oracle: compiled programs run under `eel-emu` must
+//! agree with it exactly.
+//!
+//! ## Example
+//!
+//! ```
+//! use eel_cc::{compile_str, Options};
+//!
+//! let image = compile_str(
+//!     "fn main() { var i; var t = 0;
+//!        for (i = 0; i < 5; i = i + 1) { t = t + i; }
+//!        return t; }",
+//!     &Options::default(),
+//! )?;
+//! let outcome = eel_emu::run_image(&image)?;
+//! assert_eq!(outcome.exit_code, 10);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+mod codegen;
+pub mod interp;
+mod lex;
+mod parse;
+
+pub use interp::{interpret, InterpError, InterpOutcome};
+pub use parse::parse;
+
+use eel_exe::Image;
+use std::fmt;
+
+/// Compiler errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcError {
+    /// Lexical or syntactic problem at a source line.
+    Syntax {
+        /// 1-based line (0 when unknown).
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A name-resolution or typing problem.
+    Semantic(String),
+    /// The generated assembly failed to assemble (a compiler bug; surfaced
+    /// rather than panicking so fuzzing can catch it).
+    Asm(String),
+}
+
+impl CcError {
+    pub(crate) fn syntax(line: usize, message: String) -> CcError {
+        CcError::Syntax { line, message }
+    }
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            CcError::Semantic(m) => write!(f, "semantic error: {m}"),
+            CcError::Asm(m) => write!(f, "internal assembly error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Which real compiler's code shape to imitate (paper §3.3's two measured
+/// configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Personality {
+    /// gcc 2.6.2-like: returns are plain `ret`; every indirect jump is a
+    /// dispatch table (the paper found 0 of 1,325 unanalyzable).
+    #[default]
+    Gcc,
+    /// SunPro sc3.0.1-like: `return f(...)` pops the frame and jumps,
+    /// reloading the target from its stack home — unanalyzable by slicing
+    /// (the paper found 138 of 1,244, all from this idiom).
+    SunPro,
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Code-shape personality.
+    pub personality: Personality,
+    /// Run the delay-slot-filling peephole (on by default; turning it off
+    /// models unoptimized code and is used by the folding ablation).
+    pub fill_delay_slots: bool,
+    /// Strip the symbol table from the output image.
+    pub strip: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { personality: Personality::Gcc, fill_delay_slots: true, strip: false }
+    }
+}
+
+/// Compiles Wisc source to a WEF image.
+///
+/// # Errors
+///
+/// Returns [`CcError`] for syntax, semantic, or internal assembly errors.
+pub fn compile_str(source: &str, options: &Options) -> Result<Image, CcError> {
+    let asm = compile_to_asm(source, options)?;
+    let mut image =
+        eel_asm::assemble(&asm).map_err(|e| CcError::Asm(format!("{e}\n--- asm ---\n{asm}")))?;
+    if options.strip {
+        image.strip();
+    }
+    Ok(image)
+}
+
+/// Compiles Wisc source to textual assembly (exposed for debugging, tests,
+/// and the experiment reports).
+///
+/// # Errors
+///
+/// See [`compile_str`].
+pub fn compile_to_asm(source: &str, options: &Options) -> Result<String, CcError> {
+    let program = parse(source)?;
+    compile_ast_to_asm(&program, options)
+}
+
+/// Compiles an already-parsed program to assembly.
+///
+/// # Errors
+///
+/// See [`compile_str`].
+pub fn compile_ast_to_asm(program: &ast::Program, options: &Options) -> Result<String, CcError> {
+    let asm = codegen::generate(program, options)?;
+    Ok(if options.fill_delay_slots { codegen::fill_delay_slots(&asm) } else { asm })
+}
+
+/// Compiles an already-parsed program to an image.
+///
+/// # Errors
+///
+/// See [`compile_str`].
+pub fn compile_ast(program: &ast::Program, options: &Options) -> Result<Image, CcError> {
+    let asm = compile_ast_to_asm(program, options)?;
+    let mut image =
+        eel_asm::assemble(&asm).map_err(|e| CcError::Asm(format!("{e}\n--- asm ---\n{asm}")))?;
+    if options.strip {
+        image.strip();
+    }
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, options: &Options) -> eel_emu::Outcome {
+        let image = compile_str(src, options).expect("compile failed");
+        eel_emu::run_image(&image).expect("run failed")
+    }
+
+    /// Compile + emulate, and check against the interpreter oracle.
+    fn check(src: &str) {
+        let program = parse(src).unwrap();
+        let oracle = interpret(&program, 50_000_000).expect("interp failed");
+        for personality in [Personality::Gcc, Personality::SunPro] {
+            for fill in [true, false] {
+                let options = Options { personality, fill_delay_slots: fill, strip: false };
+                let out = run(src, &options);
+                assert_eq!(
+                    out.exit_code, oracle.exit_code as u32,
+                    "exit code mismatch ({personality:?}, fill={fill})"
+                );
+                assert_eq!(
+                    out.output_str(),
+                    oracle.output,
+                    "output mismatch ({personality:?}, fill={fill})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimal() {
+        check("fn main() { return 42; }");
+    }
+
+    #[test]
+    fn arithmetic() {
+        check(
+            r#"fn main() {
+                var a = 7; var b = 3;
+                print(a + b); print(a - b); print(a * b); print(a / b);
+                print(a % b); print(a & b); print(a | b); print(a ^ b);
+                print(a << b); print(a >> 1); print(-a); print(!a); print(!0);
+                return (a + b) * 100 + a % b;
+            }"#,
+        );
+    }
+
+    #[test]
+    fn negative_printing() {
+        check("fn main() { print(0 - 12345); print(0); return 0; }");
+    }
+
+    #[test]
+    fn comparisons_produce_booleans() {
+        check(
+            r#"fn main() {
+                var x = 5; var y = 9;
+                return (x < y) * 100000 + (x > y) * 10000 + (x == 5) * 1000
+                     + (y != 9) * 100 + (x <= 5) * 10 + (y >= 10);
+            }"#,
+        );
+    }
+
+    #[test]
+    fn short_circuit() {
+        // The right operand must not run when short-circuited (it would
+        // divide by zero).
+        check(
+            r#"
+            global trap;
+            fn boom() { trap = 1 / 0; return 1; }
+            fn main() {
+                var a = 0 && boom();
+                var b = 1 || boom();
+                return a * 10 + b;
+            }"#,
+        );
+    }
+
+    #[test]
+    fn loops_and_break_continue() {
+        check(
+            r#"fn main() {
+                var total = 0; var i = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > 20) { break; }
+                    if (i % 3 == 0) { continue; }
+                    total = total + i;
+                }
+                for (i = 0; i < 5; i = i + 1) { total = total * 2; }
+                return total;
+            }"#,
+        );
+    }
+
+    #[test]
+    fn dense_switch_uses_jump_table() {
+        let src = r#"
+            fn classify(x) {
+                switch (x) {
+                    case 0: { return 100; }
+                    case 1: { return 101; }
+                    case 2: { return 102; }
+                    case 3: { return 103; }
+                    case 5: { return 105; }
+                    default: { return 999; }
+                }
+            }
+            fn main() {
+                var i; var acc = 0;
+                for (i = 0 - 2; i < 8; i = i + 1) { acc = acc + classify(i); }
+                return acc % 100000;
+            }"#;
+        check(src);
+        // The gcc-shaped output must actually contain a dispatch table.
+        let asm = compile_to_asm(src, &Options::default()).unwrap();
+        assert!(asm.contains("swtbl"), "expected a jump table:\n{asm}");
+        assert!(asm.contains("jmp %l"), "expected an indirect jump:\n{asm}");
+    }
+
+    #[test]
+    fn sparse_switch_uses_compare_chain() {
+        let src = r#"
+            fn main() {
+                switch (700) {
+                    case 1: { return 1; }
+                    case 700: { return 2; }
+                    default: { return 3; }
+                }
+            }"#;
+        check(src);
+        let asm = compile_to_asm(src, &Options::default()).unwrap();
+        assert!(!asm.contains("swtbl"), "sparse switch must not use a table:\n{asm}");
+    }
+
+    #[test]
+    fn recursion() {
+        check(
+            r#"
+            fn fib(n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() { print(fib(15)); return fib(10); }"#,
+        );
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        check(
+            r#"
+            global counter = 5;
+            global grid[64];
+            fn main() {
+                var i;
+                for (i = 0; i < 64; i = i + 1) { grid[i] = i * i; }
+                for (i = 0; i < 64; i = i + 1) { counter = counter + grid[i] % 7; }
+                return counter;
+            }"#,
+        );
+    }
+
+    #[test]
+    fn function_pointers_and_indirect_calls() {
+        check(
+            r#"
+            fn double(x) { return x * 2; }
+            fn negate(x) { return 0 - x; }
+            fn apply(f, x) { return (*f)(x); }
+            fn main() {
+                var d = &double;
+                return apply(d, 21) + apply(&negate, 2);
+            }"#,
+        );
+    }
+
+    #[test]
+    fn sunpro_tail_calls_work_and_jump() {
+        let src = r#"
+            fn helper(x) { return x + 1; }
+            fn caller(x) { return helper(x * 2); }
+            fn main() { return caller(10); }
+        "#;
+        check(src);
+        let asm = compile_to_asm(
+            src,
+            &Options { personality: Personality::SunPro, ..Options::default() },
+        )
+        .unwrap();
+        assert!(asm.contains("jmp %g4"), "expected a frame-popping tail jump:\n{asm}");
+    }
+
+    #[test]
+    fn sunpro_indirect_tail_calls() {
+        check(
+            r#"
+            fn id(x) { return x; }
+            fn via(f, x) { return (*f)(x); }
+            fn main() { return via(&id, 77); }"#,
+        );
+    }
+
+    #[test]
+    fn deep_expressions_within_limit() {
+        check("fn main() { return ((((1 + 2) * (3 + 4)) + ((5 + 6) * (7 + 8))) % 97); }");
+    }
+
+    #[test]
+    fn too_deep_expression_is_an_error() {
+        // 9+ live temporaries should be rejected, not miscompiled.
+        let mut e = String::from("1");
+        for i in 2..12 {
+            e = format!("({e} + (1 * {i}))");
+        }
+        let src = format!("fn main() {{ return {e}; }}");
+        match compile_str(&src, &Options::default()) {
+            Err(CcError::Semantic(m)) => assert!(m.contains("too deep"), "{m}"),
+            Ok(_) => {
+                // If it compiled, it must at least be correct.
+                check(&src);
+            }
+            Err(other) => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn semantic_errors() {
+        for (src, needle) in [
+            ("fn f() { return 0; }", "no `main`"),
+            ("fn main() { return x; }", "undefined variable"),
+            ("fn main() { return f(1); }", "undefined function"),
+            ("fn g(a) { return a; } fn main() { return g(); }", "arity"),
+            ("global a[4]; fn main() { return a; }", "array"),
+            ("global s; fn main() { return s[0]; }", "not an array"),
+            ("fn main() { break; }", "outside a loop"),
+            ("fn main() { return &nope; }", "address"),
+        ] {
+            let err = compile_str(src, &Options::default()).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{src:?} gave {err}, wanted {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn calls_preserve_eval_stack() {
+        // A call in the middle of an expression must not clobber the
+        // partially evaluated left operand (spill/reload around calls).
+        check(
+            r#"
+            fn seven() { return 7; }
+            fn main() { return 100 + seven() * 10 + seven(); }"#,
+        );
+    }
+
+    #[test]
+    fn print_inside_expression_context() {
+        check(
+            r#"
+            fn noisy(x) { print(x); return x; }
+            fn main() { return noisy(1) + noisy(2) + noisy(3); }"#,
+        );
+    }
+
+    #[test]
+    fn stripped_output_has_no_symbols() {
+        let image = compile_str(
+            "fn main() { return 0; }",
+            &Options { strip: true, ..Options::default() },
+        )
+        .unwrap();
+        assert!(image.is_stripped());
+        assert_eq!(eel_emu::run_image(&image).unwrap().exit_code, 0);
+    }
+
+    #[test]
+    fn delay_slot_filling_reduces_nops() {
+        let src = r#"
+            fn work(a, b) { return a * b + a - b; }
+            fn main() {
+                var i; var t = 0;
+                for (i = 0; i < 10; i = i + 1) { t = t + work(i, t); }
+                return t;
+            }"#;
+        let filled = compile_to_asm(src, &Options::default()).unwrap();
+        let unfilled = compile_to_asm(
+            src,
+            &Options { fill_delay_slots: false, ..Options::default() },
+        )
+        .unwrap();
+        let count_nops = |s: &str| s.lines().filter(|l| l.trim() == "nop").count();
+        assert!(
+            count_nops(&filled) < count_nops(&unfilled),
+            "filling should remove nops: {} vs {}",
+            count_nops(&filled),
+            count_nops(&unfilled)
+        );
+    }
+
+    #[test]
+    fn hardware_division_semantics() {
+        check("fn main() { return (0 - 2147483647 - 1) / (0 - 1); }");
+        check("fn main() { return (0 - 17) / 5 * 100 + (0 - 17) % 5; }");
+    }
+}

@@ -1,0 +1,474 @@
+//! Recursive-descent parser for Wisc.
+
+use crate::ast::*;
+use crate::lex::{lex, SpannedTok, Tok};
+use crate::CcError;
+
+/// Parses a Wisc program.
+///
+/// # Errors
+///
+/// Returns [`CcError`] with the offending line for lexical or syntactic
+/// problems, including duplicate definitions.
+pub fn parse(source: &str) -> Result<Program, CcError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, at: 0 };
+    let program = p.program()?;
+    // Duplicate checks.
+    for (i, f) in program.functions.iter().enumerate() {
+        if program.functions[..i].iter().any(|g| g.name == f.name) {
+            return Err(CcError::syntax(0, format!("duplicate function {:?}", f.name)));
+        }
+    }
+    for (i, g) in program.globals.iter().enumerate() {
+        if program.globals[..i].iter().any(|h| h.name == g.name) {
+            return Err(CcError::syntax(0, format!("duplicate global {:?}", g.name)));
+        }
+    }
+    Ok(program)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    at: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks.get(self.at).map_or(0, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|t| t.tok.clone());
+        self.at += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CcError> {
+        Err(CcError::syntax(self.line(), msg.into()))
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.is_punct(p) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Punct(q)) if *q == p)
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CcError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected {p:?}, found {}", self.describe()))
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("{t}"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CcError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                self.at = self.at.saturating_sub(1);
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn num(&mut self) -> Result<i32, CcError> {
+        let neg = self.eat_punct("-");
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(if neg { n.wrapping_neg() } else { n }),
+            other => {
+                self.at = self.at.saturating_sub(1);
+                self.err(format!("expected number, found {other:?}"))
+            }
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CcError> {
+        let mut program = Program::default();
+        while self.peek().is_some() {
+            if self.eat_kw("global") {
+                let name = self.ident()?;
+                let mut decl = GlobalDecl { name, count: 1, init: 0 };
+                if self.eat_punct("[") {
+                    let n = self.num()?;
+                    if n <= 0 {
+                        return self.err("array size must be positive");
+                    }
+                    decl.count = n as u32;
+                    self.expect_punct("]")?;
+                } else if self.eat_punct("=") {
+                    decl.init = self.num()?;
+                }
+                self.expect_punct(";")?;
+                program.globals.push(decl);
+            } else if self.eat_kw("fn") {
+                program.functions.push(self.function()?);
+            } else {
+                return self.err(format!("expected `global` or `fn`, found {}", self.describe()));
+            }
+        }
+        Ok(program)
+    }
+
+    fn function(&mut self) -> Result<Function, CcError> {
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.is_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        if params.len() > 6 {
+            return self.err("at most 6 parameters (they arrive in %o0-%o5)");
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CcError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.peek().is_none() {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CcError> {
+        if self.eat_kw("var") {
+            let name = self.ident()?;
+            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Var(name, init));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.block()?;
+            let els = if self.eat_kw("else") {
+                if matches!(self.peek(), Some(Tok::Ident(s)) if s == "if") {
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = self.simple_stmt()?;
+            self.expect_punct(";")?;
+            let cond = self.expr()?;
+            self.expect_punct(";")?;
+            let step = self.simple_stmt()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::For(Box::new(init), cond, Box::new(step), body));
+        }
+        if self.eat_kw("switch") {
+            self.expect_punct("(")?;
+            let scrutinee = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let mut cases = Vec::new();
+            let mut default = Vec::new();
+            while !self.eat_punct("}") {
+                if self.eat_kw("case") {
+                    let value = self.num()?;
+                    self.expect_punct(":")?;
+                    cases.push((value, self.block()?));
+                } else if self.eat_kw("default") {
+                    self.expect_punct(":")?;
+                    default = self.block()?;
+                } else {
+                    return self.err(format!(
+                        "expected `case` or `default`, found {}",
+                        self.describe()
+                    ));
+                }
+            }
+            return Ok(Stmt::Switch(scrutinee, cases, default));
+        }
+        if self.eat_kw("return") {
+            let value = if self.is_punct(";") { Expr::Num(0) } else { self.expr()? };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(value));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.eat_kw("print") {
+            self.expect_punct("(")?;
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Print(e));
+        }
+        let s = self.simple_stmt()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// Assignment or expression statement (used bare and in `for` headers).
+    fn simple_stmt(&mut self) -> Result<Stmt, CcError> {
+        let start = self.at;
+        let e = self.expr()?;
+        if self.eat_punct("=") {
+            let rhs = self.expr()?;
+            let lv = match e {
+                Expr::Var(n) => LValue::Var(n),
+                Expr::Global(n) => LValue::Global(n),
+                Expr::Index(n, i) => LValue::Index(n, *i),
+                _ => {
+                    self.at = start;
+                    return self.err("invalid assignment target");
+                }
+            };
+            return Ok(Stmt::Assign(lv, rhs));
+        }
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, CcError> {
+        self.binary(0)
+    }
+
+    /// Precedence-climbing over C-like levels.
+    fn binary(&mut self, min_level: u8) -> Result<Expr, CcError> {
+        const LEVELS: &[&[(&str, BinOp)]] = &[
+            &[("||", BinOp::LogOr)],
+            &[("&&", BinOp::LogAnd)],
+            &[("|", BinOp::Or)],
+            &[("^", BinOp::Xor)],
+            &[("&", BinOp::And)],
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)],
+        ];
+        if min_level as usize >= LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(min_level + 1)?;
+        'outer: loop {
+            for (p, op) in LEVELS[min_level as usize] {
+                if self.is_punct(p) {
+                    self.at += 1;
+                    let rhs = self.binary(min_level + 1)?;
+                    lhs = Expr::Bin(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CcError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("&") {
+            let name = self.ident()?;
+            return Ok(Expr::AddrOf(name));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CcError> {
+        if self.eat_punct("(") {
+            // Either a parenthesized expression or an indirect call
+            // `(*e)(args)`.
+            if self.eat_punct("*") {
+                let target = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct("(")?;
+                let args = self.args()?;
+                return Ok(Expr::CallPtr(Box::new(target), args));
+            }
+            let inner = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(inner);
+        }
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Ident(name)) => {
+                if self.eat_punct("(") {
+                    let args = self.args()?;
+                    Ok(Expr::Call(name, args))
+                } else if self.eat_punct("[") {
+                    let index = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(index)))
+                } else {
+                    // Var vs Global is resolved during codegen (scope
+                    // dependent); the parser emits Var and codegen rewrites.
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => {
+                self.at = self.at.saturating_sub(1);
+                self.err(format!("expected expression, found {other:?}"))
+            }
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, CcError> {
+        let mut args = Vec::new();
+        if !self.is_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        if args.len() > 6 {
+            return self.err("at most 6 arguments");
+        }
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_representative_program() {
+        let p = parse(
+            r#"
+            global counter;
+            global table[16];
+            global seed = 42;
+
+            fn add(a, b) { return a + b; }
+
+            fn main() {
+                var i;
+                var total = 0;
+                for (i = 0; i < 10; i = i + 1) {
+                    total = total + add(i, seed);
+                    table[i] = total;
+                }
+                while (total > 100) {
+                    total = total - 7;
+                    if (total % 2 == 0) { continue; }
+                    if (total < 50) { break; }
+                }
+                switch (total % 4) {
+                    case 0: { counter = counter + 1; }
+                    case 1: { counter = counter + 2; }
+                    default: { counter = 0; }
+                }
+                print(total);
+                return (*&add)(total, 1);
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[2].init, 42);
+        assert_eq!(p.globals[1].count, 16);
+        assert_eq!(p.functions.len(), 2);
+        let main = p.function("main").unwrap();
+        assert!(main.body.len() >= 6);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("fn f() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Expr::Bin(BinOp::LogAnd, lhs, _)) => {
+                assert!(matches!(**lhs, Expr::Bin(BinOp::Eq, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse("fn f(x) { if (x) { return 1; } else if (x - 1) { return 2; } else { return 3; } }")
+            .unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::If(_, _, els) => assert!(matches!(els[0], Stmt::If(..))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("fn f( {").is_err());
+        assert!(parse("fn f() { 1 = 2; }").is_err());
+        assert!(parse("fn f() { return 1 }").is_err());
+        assert!(parse("fn f(a,b,c,d,e,f,g) { }").is_err());
+        assert!(parse("global g[0];").is_err());
+        assert!(parse("fn f() {} fn f() {}").is_err());
+        assert!(parse("global x; global x;").is_err());
+        assert!(parse("blah").is_err());
+    }
+
+    #[test]
+    fn switch_negative_case_values_parse() {
+        let p = parse("fn f(x) { switch (x) { case -1: { return 0; } default: { return 1; } } }")
+            .unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Switch(_, cases, _) => assert_eq!(cases[0].0, -1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

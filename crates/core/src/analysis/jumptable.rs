@@ -1,0 +1,488 @@
+//! Indirect-jump resolution (paper §3.3).
+//!
+//! Most indirect jumps come from `case` statements and jump through a
+//! dispatch table. EEL finds the table by computing a backward slice from
+//! the jump's registers: a path from the routine's entry to the jump must
+//! compute the table's address. The same analysis also recognizes the
+//! "indirect jump to a literal value" idiom. When neither resolves, the
+//! jump is [`JumpResolution::Unknown`] and the edited program translates
+//! the target at run time.
+//!
+//! The implementation here is a *linear* backward slice: it walks the
+//! instruction stream backwards from the jump (crossing one conditional
+//! branch to find the bounds check that real compilers emit just before
+//! the dispatch), then abstractly evaluates the collected window forward.
+//! This resolves the patterns real compilers emit — `sethi`/`or` base
+//! construction, `sll` scaling, `ld [base + index]` — while remaining
+//! honest: anything else is `Unknown`, never a guess. The full dataflow
+//! slicer of Figure 4 lives in [`crate::analysis::slice`].
+
+use eel_exe::Image;
+use eel_isa::{AluOp, Category, Cond, Insn, Op, Reg, Src2};
+use std::collections::HashMap;
+
+/// A single resolved jump-table target.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JumpTarget {
+    /// Table slot index.
+    pub slot: u32,
+    /// Original destination address.
+    pub target: u32,
+}
+
+/// Outcome of analyzing one indirect jump (or indirect call).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JumpResolution {
+    /// The jump dispatches through a table of code addresses.
+    Table {
+        /// Address of the table (inside the text segment).
+        table_addr: u32,
+        /// Per-slot original targets (`targets.len()` = entry count).
+        targets: Vec<u32>,
+        /// Addresses of the instructions materializing the table base
+        /// (`sethi`(+`or`)); the editor re-points them at the relocated
+        /// table.
+        base_insns: Vec<u32>,
+    },
+    /// The jump goes to a constant address materialized in code.
+    Literal {
+        /// The original destination.
+        target: u32,
+        /// Instructions materializing the constant, for re-pointing.
+        base_insns: Vec<u32>,
+    },
+    /// Static analysis failed; run-time translation is required.
+    Unknown,
+}
+
+/// Abstract value during the forward evaluation of the collected window.
+#[derive(Clone, PartialEq, Debug)]
+enum Sym {
+    /// Unknown contents.
+    Top,
+    /// A known constant, with the addresses of the instructions that
+    /// built it (empty ⇒ built before the window; unpatchable).
+    Const(u32, Vec<u32>),
+    /// A value loaded from `table + index` where `table` is constant.
+    TableLoad {
+        table: u32,
+        base_insns: Vec<u32>,
+    },
+}
+
+/// How far back the linear walk looks.
+const WINDOW: usize = 24;
+
+/// Upper bound on dispatch-table entries when no bounds check is found.
+const MAX_SCAN_ENTRIES: u32 = 1024;
+
+/// Resolves the indirect control transfer at `jump_addr` (an `Op::Jmpl`).
+///
+/// `extent` is the containing routine's `[start, end)`; table targets are
+/// validated against the whole text segment but bounds-scanned within it.
+pub fn resolve_indirect(
+    image: &Image,
+    extent: (u32, u32),
+    jump_addr: u32,
+    jump: Insn,
+) -> JumpResolution {
+    let Op::Jmpl { rs1, src2, .. } = jump.op else {
+        return JumpResolution::Unknown;
+    };
+
+    // Collect the linear window of instructions preceding the jump,
+    // crossing at most one conditional branch + delay (the bounds check).
+    let mut window: Vec<(u32, Insn)> = Vec::new();
+    let mut bound: Option<(Reg, u32)> = None;
+    let mut addr = jump_addr;
+    let mut crossed_branch = false;
+    while window.len() < WINDOW && addr > extent.0 {
+        addr -= 4;
+        let Some(word) = image.word_at(addr) else { break };
+        let insn = eel_isa::decode(word);
+        match insn.category() {
+            Category::Computation | Category::Load | Category::Store => {
+                window.push((addr, insn));
+            }
+            Category::Branch if !crossed_branch => {
+                // Potential bounds check: `cmp idx, K; bgeu default`. The
+                // instruction *at* `addr` is in this branch's delay slot,
+                // so drop it from the window (it belongs to the branch).
+                crossed_branch = true;
+                window.pop();
+                if let Op::Branch { cond: Cond::CarryClear | Cond::Gtu, .. } = insn.op {
+                    if addr >= extent.0 + 4 {
+                        if let Some(w) = image.word_at(addr - 4) {
+                            if let Op::Alu {
+                                op: AluOp::Sub,
+                                cc: true,
+                                rd: Reg::G0,
+                                rs1: idx,
+                                src2: Src2::Imm(k),
+                            } = eel_isa::decode(w).op
+                            {
+                                if k > 0 {
+                                    bound = Some((idx, k as u32));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Keep walking past the cmp.
+                addr = addr.saturating_sub(4);
+            }
+            _ => break,
+        }
+    }
+    window.reverse();
+
+    // Forward abstract evaluation.
+    let mut vals: HashMap<Reg, Sym> = HashMap::new();
+    let get = |vals: &HashMap<Reg, Sym>, r: Reg| -> Sym {
+        if r == Reg::G0 {
+            Sym::Const(0, Vec::new())
+        } else {
+            vals.get(&r).cloned().unwrap_or(Sym::Top)
+        }
+    };
+    for (iaddr, insn) in &window {
+        match insn.op {
+            Op::Sethi { rd, imm22 } if rd != Reg::G0 => {
+                vals.insert(rd, Sym::Const(imm22 << 10, vec![*iaddr]));
+            }
+            Op::Alu { op, cc: false, rd, rs1, src2 } if rd != Reg::G0 => {
+                let a = get(&vals, rs1);
+                let b = match src2 {
+                    Src2::Reg(r) => get(&vals, r),
+                    Src2::Imm(v) => Sym::Const(v as u32, Vec::new()),
+                };
+                let result = match (op, a, b) {
+                    (AluOp::Or | AluOp::Add, Sym::Const(x, xi), Sym::Const(y, yi)) => {
+                        // A patchable materialization chain is the
+                        // sethi/or idiom building a value in ONE register;
+                        // a constant flowing through moves or cross-register
+                        // arithmetic keeps its value but loses
+                        // patchability (empty insn list), which downgrades
+                        // literal jumps to run-time translation.
+                        let value = x.wrapping_add_or(op, y);
+                        let chain_rd = |addrs: &[u32]| -> Option<Reg> {
+                            addrs.last().and_then(|a| {
+                                image.word_at(*a).map(|w| match eel_isa::decode(w).op {
+                                    Op::Sethi { rd, .. } => rd,
+                                    Op::Alu { rd, .. } => rd,
+                                    _ => Reg::G0,
+                                })
+                            })
+                        };
+                        let insns = match (xi.is_empty(), yi.is_empty()) {
+                            (false, true) if chain_rd(&xi) == Some(rd) => {
+                                let mut v = xi;
+                                v.push(*iaddr);
+                                v
+                            }
+                            (true, false) if chain_rd(&yi) == Some(rd) => {
+                                let mut v = yi;
+                                v.push(*iaddr);
+                                v
+                            }
+                            _ => Vec::new(),
+                        };
+                        Sym::Const(value, insns)
+                    }
+                    _ => Sym::Top,
+                };
+                vals.insert(rd, result);
+            }
+            Op::Load { width: eel_isa::MemWidth::Word, rd, rs1, src2, fp: false, .. }
+                if rd != Reg::G0 =>
+            {
+                // `ld [const + idx]` or `ld [idx + const]` is the table
+                // access; `ld [const + imm]` from text is a literal load.
+                let base = get(&vals, rs1);
+                let value = match (base, src2) {
+                    (Sym::Const(c, bi), Src2::Reg(r)) if r != Reg::G0 => {
+                        Sym::TableLoad { table: c, base_insns: bi }
+                    }
+                    (Sym::Const(c, bi), Src2::Reg(Reg::G0)) | (Sym::Const(c, bi), Src2::Imm(0)) => {
+                        // Word-sized constant load; treat as a literal if
+                        // the word lies in (immutable) text.
+                        match image.in_text(c).then(|| image.word_at(c)).flatten() {
+                            Some(w) => Sym::Const(w, bi),
+                            None => Sym::Top,
+                        }
+                    }
+                    (s, Src2::Reg(r)) => {
+                        // Maybe the index is in rs1 and the table in rs2.
+                        match (s, get(&vals, r)) {
+                            (_, Sym::Const(c, bi)) => Sym::TableLoad { table: c, base_insns: bi },
+                            _ => Sym::Top,
+                        }
+                    }
+                    _ => Sym::Top,
+                };
+                vals.insert(rd, value);
+            }
+            _ => {
+                // Anything else clobbers its written registers.
+                for r in insn.writes().iter() {
+                    vals.insert(r, Sym::Top);
+                }
+            }
+        }
+    }
+
+    // Combine rs1 + src2 into the final target value.
+    let target_sym = match (get(&vals, rs1), src2) {
+        (s, Src2::Imm(0)) | (s, Src2::Reg(Reg::G0)) => s,
+        (Sym::Const(c, mut ci), Src2::Imm(v)) => {
+            ci.push(jump_addr); // offset folded into the jump itself
+            Sym::Const(c.wrapping_add(v as u32), ci)
+        }
+        (Sym::Const(c, ci), Src2::Reg(r)) => match get(&vals, r) {
+            Sym::TableLoad { .. } => get(&vals, r),
+            Sym::Const(c2, mut c2i) => {
+                c2i.extend(ci);
+                Sym::Const(c.wrapping_add(c2), c2i)
+            }
+            Sym::Top => Sym::Top,
+        },
+        _ => Sym::Top,
+    };
+
+    match target_sym {
+        Sym::Const(target, base_insns) => {
+            // A known target with an empty instruction list is still a
+            // literal — the value flowed through moves or arithmetic that
+            // cannot be re-pointed in place, so the *transfer instruction*
+            // is replaced instead (a direct call/branch to the new
+            // address).
+            if target % 4 == 0 && image.in_text(target) {
+                JumpResolution::Literal { target, base_insns }
+            } else {
+                JumpResolution::Unknown
+            }
+        }
+        Sym::TableLoad { table, base_insns } => {
+            if base_insns.is_empty() || table % 4 != 0 || !image.in_text(table) {
+                return JumpResolution::Unknown;
+            }
+            let count = match bound {
+                Some((_, k)) => k,
+                None => scan_entry_count(image, extent, table),
+            };
+            if count == 0 {
+                return JumpResolution::Unknown;
+            }
+            let mut targets = Vec::with_capacity(count as usize);
+            for slot in 0..count {
+                match image.word_at(table + 4 * slot) {
+                    Some(t) if t % 4 == 0 && image.in_text(t) => targets.push(t),
+                    _ => return JumpResolution::Unknown,
+                }
+            }
+            JumpResolution::Table { table_addr: table, targets, base_insns }
+        }
+        Sym::Top => JumpResolution::Unknown,
+    }
+}
+
+/// With no bounds check found, count plausible entries: consecutive words
+/// that are aligned addresses inside the routine.
+fn scan_entry_count(image: &Image, extent: (u32, u32), table: u32) -> u32 {
+    let mut count = 0;
+    while count < MAX_SCAN_ENTRIES {
+        match image.word_at(table + 4 * count) {
+            Some(w) if w % 4 == 0 && w >= extent.0 && w < extent.1 => count += 1,
+            _ => break,
+        }
+    }
+    count
+}
+
+/// Helper: `or` merges bit-patterns from `sethi`, `add` adds.
+trait AluFold {
+    fn wrapping_add_or(self, op: AluOp, rhs: u32) -> u32;
+}
+
+impl AluFold for u32 {
+    fn wrapping_add_or(self, op: AluOp, rhs: u32) -> u32 {
+        match op {
+            AluOp::Or => self | rhs,
+            _ => self.wrapping_add(rhs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Assemble a routine and resolve the indirect jump at `jump_label`.
+    fn resolve(asm: &str, jump_label: &str) -> JumpResolution {
+        let image = eel_asm::assemble(asm).unwrap();
+        let jump_addr = image.find_symbol(jump_label).unwrap().value;
+        let insn = eel_isa::decode(image.word_at(jump_addr).unwrap());
+        resolve_indirect(&image, (image.text_addr, image.text_end()), jump_addr, insn)
+    }
+
+    #[test]
+    fn dispatch_table_with_bounds_check() {
+        let resolution = resolve(
+            r#"
+        main:
+            cmp %l0, 3
+            bgeu default
+            nop
+            sll %l0, 2, %l0
+            set table, %l1
+            ld [%l1 + %l0], %l1
+        thejump:
+            jmp %l1
+            nop
+        table:
+            .word case0, case1, case2
+        case0:
+            nop
+        case1:
+            nop
+        case2:
+            nop
+        default:
+            retl
+            nop
+        "#,
+            "thejump",
+        );
+        match resolution {
+            JumpResolution::Table { targets, base_insns, .. } => {
+                assert_eq!(targets.len(), 3);
+                assert_eq!(base_insns.len(), 2, "sethi + or: {base_insns:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dispatch_table_without_bounds_check_scans() {
+        let resolution = resolve(
+            r#"
+        main:
+            sll %l0, 2, %l0
+            set table, %l1
+            ld [%l1 + %l0], %l1
+        thejump:
+            jmp %l1
+            nop
+        table:
+            .word case0, case0
+        case0:
+            retl
+            nop
+        "#,
+            "thejump",
+        );
+        match resolution {
+            JumpResolution::Table { targets, .. } => assert_eq!(targets.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_jump_resolves() {
+        let resolution = resolve(
+            r#"
+        main:
+            set dest, %g4
+        thejump:
+            jmp %g4
+            nop
+        dest:
+            retl
+            nop
+        "#,
+            "thejump",
+        );
+        match resolution {
+            JumpResolution::Literal { target, base_insns } => {
+                assert_eq!(base_insns.len(), 2, "sethi + or");
+                assert!(target > 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_loaded_target_is_unknown() {
+        // The SunPro tail-call pattern: target reloaded from the stack.
+        let resolution = resolve(
+            r#"
+        main:
+            ld [%sp + 0], %g4
+        thejump:
+            jmp %g4
+            nop
+        "#,
+            "thejump",
+        );
+        assert_eq!(resolution, JumpResolution::Unknown);
+    }
+
+    #[test]
+    fn register_from_nowhere_is_unknown() {
+        let resolution = resolve("main:\nthejump: jmp %o0\n nop\n", "thejump");
+        assert_eq!(resolution, JumpResolution::Unknown);
+    }
+
+    #[test]
+    fn clobbered_base_is_unknown() {
+        // The table base register is overwritten by an unknown value
+        // before the load.
+        let resolution = resolve(
+            r#"
+        main:
+            set table, %l1
+            ld [%sp], %l1
+            ld [%l1 + %l0], %l1
+        thejump:
+            jmp %l1
+            nop
+        table:
+            .word main
+        "#,
+            "thejump",
+        );
+        assert_eq!(resolution, JumpResolution::Unknown);
+    }
+
+    #[test]
+    fn bounds_check_limits_entry_count() {
+        // Without the bound, the scan would run into the next words; the
+        // cmp/bgeu caps it at 2.
+        let resolution = resolve(
+            r#"
+        main:
+            cmp %l0, 2
+            bgeu default
+            nop
+            sll %l0, 2, %l0
+            set table, %l1
+            ld [%l1 + %l0], %l1
+        thejump:
+            jmp %l1
+            nop
+        table:
+            .word case0, case0, case0, case0
+        case0:
+            nop
+        default:
+            retl
+            nop
+        "#,
+            "thejump",
+        );
+        match resolution {
+            JumpResolution::Table { targets, .. } => assert_eq!(targets.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Live-register analysis (paper §3.3, §3.5).
+//!
+//! EEL's snippet machinery allocates *dead* registers at each insertion
+//! point (register scavenging, §3.5); Blizzard's fast-path optimization
+//! depends on knowing whether the condition codes are live (§5). Liveness
+//! is a standard backward bit-vector dataflow over [`RegSet`]s.
+//!
+//! Two pieces of calling-convention knowledge are baked in (the paper
+//! notes spawn leaves conventions to "additional processing"):
+//!
+//! * [`CALL_USES`]/[`CALL_DEFS`] summarize a callee's effect at a
+//!   [`BlockKind::CallSurrogate`] block under this system's flat
+//!   convention (arguments in `%o0–%o5`, everything caller-saved except
+//!   `%sp`/`%fp`/`%i*`).
+//! * [`EXIT_LIVE`] is the conservative live set at routine exit.
+
+use crate::cfg::{Block, BlockId, BlockKind, Cfg, EdgeId};
+use eel_isa::{Reg, RegSet};
+
+/// Registers a callee may read: its arguments and the stack pointer.
+pub fn call_uses() -> RegSet {
+    let mut s = RegSet::of(&[Reg::SP, Reg::O7]);
+    for i in 8..14 {
+        s.insert(Reg(i)); // %o0-%o5
+    }
+    s
+}
+
+/// Registers a callee may clobber under the flat convention: globals,
+/// out-registers, locals, condition codes, and `%y`.
+pub fn call_defs() -> RegSet {
+    let mut s = RegSet::of(&[Reg::ICC, Reg::Y, Reg::O7]);
+    for i in 1..8 {
+        s.insert(Reg(i)); // %g1-%g7
+    }
+    for i in 8..14 {
+        s.insert(Reg(i)); // %o0-%o5
+    }
+    for i in 16..24 {
+        s.insert(Reg(i)); // %l0-%l7
+    }
+    s
+}
+
+/// Conservatively live at routine exit: the result pair, the stack and
+/// frame pointers, the in-registers, and the return path.
+pub fn exit_live() -> RegSet {
+    let mut s = RegSet::of(&[Reg::O0, Reg(9), Reg::SP, Reg::FP, Reg::O7]);
+    for i in 24..32 {
+        s.insert(Reg(i)); // %i0-%i7
+    }
+    s
+}
+
+/// Block-level liveness results with point queries.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+}
+
+fn block_use_def(block: &Block) -> (RegSet, RegSet) {
+    if block.kind == BlockKind::CallSurrogate {
+        return (call_uses(), call_defs());
+    }
+    let mut uses = RegSet::new();
+    let mut defs = RegSet::new();
+    for ia in &block.insns {
+        uses = uses.union(ia.insn.reads().without(defs));
+        defs = defs.union(ia.insn.writes());
+    }
+    (uses, defs)
+}
+
+impl Liveness {
+    /// Runs the backward fixpoint over the whole CFG.
+    pub fn compute(cfg: &Cfg) -> Liveness {
+        let n = cfg.block_count();
+        let mut live_in = vec![RegSet::new(); n];
+        let mut live_out = vec![RegSet::new(); n];
+        let use_def: Vec<(RegSet, RegSet)> =
+            cfg.blocks.iter().map(block_use_def).collect();
+        live_in[cfg.exit_block().index()] = exit_live();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Iterating in reverse id order approximates reverse topological
+            // order well enough; the fixpoint is correct regardless.
+            for b in (0..n).rev() {
+                if BlockId(b) == cfg.exit_block() {
+                    continue;
+                }
+                let mut out = RegSet::new();
+                for &e in &cfg.blocks[b].succs {
+                    out = out.union(live_in[cfg.edges[e.index()].to.index()]);
+                }
+                let (uses, defs) = use_def[b];
+                let inn = uses.union(out.without(defs));
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to a block.
+    pub fn live_in(&self, b: BlockId) -> RegSet {
+        self.live_in[b.index()]
+    }
+
+    /// Registers live on exit from a block.
+    pub fn live_out(&self, b: BlockId) -> RegSet {
+        self.live_out[b.index()]
+    }
+
+    /// Registers live immediately *before* instruction `idx` of block `b`.
+    pub fn live_before(&self, cfg: &Cfg, b: BlockId, idx: usize) -> RegSet {
+        let block = cfg.block(b);
+        let mut live = self.live_out[b.index()];
+        for ia in block.insns[idx..].iter().rev() {
+            live = live.without(ia.insn.writes()).union(ia.insn.reads());
+        }
+        live
+    }
+
+    /// Registers live immediately *after* instruction `idx` of block `b`.
+    pub fn live_after(&self, cfg: &Cfg, b: BlockId, idx: usize) -> RegSet {
+        self.live_before(cfg, b, idx + 1)
+    }
+
+    /// Registers live along an edge (live-in of its destination).
+    pub fn live_on_edge(&self, cfg: &Cfg, e: EdgeId) -> RegSet {
+        self.live_in[cfg.edge(e).to.index()]
+    }
+}

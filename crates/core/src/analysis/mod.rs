@@ -1,0 +1,11 @@
+//! Standard CFG analyses (paper §3.3): dominators, natural loops, live
+//! registers, and backward slicing. EEL uses them internally (dispatch
+//! tables, register scavenging, delay-slot folding) and exposes them as
+//! "an analytic basis for building tools".
+
+pub mod callgraph;
+pub mod dom;
+pub mod jumptable;
+pub mod live;
+pub mod loops;
+pub mod slice;

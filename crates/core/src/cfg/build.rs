@@ -1,0 +1,557 @@
+//! CFG construction with delay-slot normalization (paper §3.3, Figure 3).
+//!
+//! Construction is two-phase:
+//!
+//! 1. **Scan** — a worklist reachability pass from the routine's entry
+//!    points over the raw instruction stream. Control-transfer sites are
+//!    recorded, indirect jumps are resolved ([`resolve_indirect`]) so
+//!    dispatch-table targets extend reachability, and table storage is
+//!    marked as data.
+//! 2. **Materialize** — leaders split the covered addresses into normal
+//!    blocks; delay-slot blocks, call surrogates, entry/exit blocks, and
+//!    edges are synthesized per the normalization rules; uneditable
+//!    blocks/edges are marked.
+//!
+//! The scan also reports the paper's §3.1 stage-3/4 discoveries to the
+//! caller: escape targets (entry points of *other* routines) and a
+//! trailing unreachable region (a *hidden routine* candidate).
+
+use super::*;
+use crate::analysis::jumptable::resolve_indirect;
+use crate::executable::RoutineId;
+use eel_exe::Image;
+use eel_isa::{Cond, JumpKind, Op};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// What the builder learned beyond the CFG itself.
+pub(crate) struct BuildOutput {
+    /// The finished CFG.
+    pub cfg: Cfg,
+    /// First address of a trailing unreachable valid-code region — a
+    /// hidden-routine candidate (§3.1 stage 4).
+    pub trailing_unreachable: Option<u32>,
+    /// Known control-transfer targets *outside* this routine (new entry
+    /// points for the routines containing them, §3.1 stage 3).
+    pub escape_targets: Vec<u32>,
+}
+
+/// How a scanned control-transfer site behaves.
+#[derive(Clone, Debug)]
+enum CtiSucc {
+    /// Conditional or unconditional PC-relative branch.
+    Branch {
+        cond: Cond,
+        annul: bool,
+        /// Taken target (`None` for `bn`, which never takes).
+        taken: Option<Target>,
+        /// Fall-through address (`None` for `ba`).
+        fall: Option<u32>,
+    },
+    /// Direct call; control resumes after the delay slot.
+    Call {
+        /// Original target (also recorded in `call_sites`).
+        #[allow(dead_code)]
+        target: u32,
+    },
+    /// Indirect call (through a register); `literal` when the slice
+    /// resolved the callee (also recorded in `indirect_calls`).
+    IndirectCall {
+        #[allow(dead_code)]
+        literal: Option<u32>,
+    },
+    /// Subroutine return.
+    Return,
+    /// Indirect jump with its resolution.
+    IndirectJump { resolution: JumpResolution },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Target {
+    /// Inside this routine.
+    In(u32),
+    /// In some other routine.
+    Out(u32),
+}
+
+#[derive(Clone, Debug)]
+struct CtiRec {
+    #[allow(dead_code)]
+    insn: Insn,
+    /// The delay-slot instruction, unless the transfer sits at the very
+    /// end of the extent.
+    delay: Option<Insn>,
+    succ: CtiSucc,
+}
+
+pub(crate) fn build_cfg(
+    image: &Image,
+    routine: RoutineId,
+    extent: (u32, u32),
+    entries: &[u32],
+    jump_analysis: bool,
+) -> Result<BuildOutput, EelError> {
+    let (start, end) = extent;
+    let mut leaders: BTreeSet<u32> = entries.iter().copied().collect();
+    let mut worklist: Vec<u32> = entries.to_vec();
+    let mut scanned: BTreeSet<u32> = BTreeSet::new();
+    let mut covered: BTreeSet<u32> = BTreeSet::new();
+    let mut ctis: HashMap<u32, CtiRec> = HashMap::new();
+    let mut data_ranges: Vec<DataRange> = Vec::new();
+    let mut escape_targets: Vec<u32> = Vec::new();
+    let mut indirect_jumps: Vec<IndirectJumpInfo> = Vec::new();
+    let mut indirect_calls: Vec<IndirectJumpInfo> = Vec::new();
+    let mut call_sites: Vec<(u32, u32)> = Vec::new();
+    let mut incomplete = false;
+
+    let in_extent = |a: u32| a >= start && a < end;
+    let classify = |a: u32| if in_extent(a) { Target::In(a) } else { Target::Out(a) };
+
+    // ---- phase 1: scan --------------------------------------------------
+
+    while let Some(leader) = worklist.pop() {
+        if !scanned.insert(leader) {
+            continue;
+        }
+        let mut pc = leader;
+        loop {
+            if !in_extent(pc) {
+                // Fell off the extent: control flows into the next routine
+                // (treated as an escape; extremely unusual).
+                if pc == end && pc > start {
+                    escape_targets.push(pc);
+                }
+                break;
+            }
+            if data_ranges.iter().any(|r| pc >= r.start && pc < r.end) {
+                break; // ran into a dispatch table
+            }
+            if pc != leader && leaders.contains(&pc) {
+                break; // merged into another block
+            }
+            if pc != leader && covered.contains(&pc) {
+                // Ran into code another scan already covered; its CTIs and
+                // coverage are recorded, so stop here. (Block splitting at
+                // branch targets is handled by the leader set.)
+                break;
+            }
+            let Some(word) = image.word_at(pc) else { break };
+            let insn = eel_isa::decode(word);
+            covered.insert(pc);
+            if insn.category() == eel_isa::Category::Invalid {
+                // Reachable invalid instruction: the routine contains data
+                // (§3.1 stage 4). Dead-end the block.
+                break;
+            }
+            if !insn.is_delayed() {
+                pc += 4;
+                continue;
+            }
+
+            // A delayed control transfer: capture its delay slot.
+            let delay_addr = pc + 4;
+            let delay = if in_extent(delay_addr) {
+                image.word_at(delay_addr).map(eel_isa::decode)
+            } else {
+                None
+            };
+            let annulled_always = matches!(
+                insn.op,
+                Op::Branch { cond: Cond::Always, annul: true, .. }
+            );
+            if let Some(d) = delay {
+                if d.is_delayed() && !annulled_always {
+                    return Err(EelError::DelaySlotTransfer { addr: delay_addr });
+                }
+                // The slot word belongs to this transfer even when
+                // annulled-always (it just never executes).
+                covered.insert(delay_addr);
+            }
+
+            let push_leader = |a: u32, worklist: &mut Vec<u32>, leaders: &mut BTreeSet<u32>| {
+                if in_extent(a) && leaders.insert(a) {
+                    worklist.push(a);
+                }
+            };
+
+            let succ = match insn.op {
+                Op::Branch { cond, annul, disp22, fp } => {
+                    if fp {
+                        // We never emit FP branches; treat conservatively
+                        // as a two-way branch on an unknown condition.
+                    }
+                    let target_addr = pc.wrapping_add((disp22 as u32) << 2);
+                    let taken = if cond == Cond::Never {
+                        None
+                    } else {
+                        let t = classify(target_addr);
+                        match t {
+                            Target::In(a) => push_leader(a, &mut worklist, &mut leaders),
+                            Target::Out(a) => escape_targets.push(a),
+                        }
+                        Some(t)
+                    };
+                    let fall = if cond == Cond::Always {
+                        None
+                    } else {
+                        push_leader(pc + 8, &mut worklist, &mut leaders);
+                        Some(pc + 8)
+                    };
+                    CtiSucc::Branch { cond, annul, taken, fall }
+                }
+                Op::Call { disp30 } => {
+                    let target = pc.wrapping_add((disp30 as u32) << 2);
+                    call_sites.push((pc, target));
+                    if !in_extent(target) {
+                        escape_targets.push(target);
+                    } else {
+                        // Recursive call to an entry of this routine.
+                        escape_targets.push(target);
+                    }
+                    push_leader(pc + 8, &mut worklist, &mut leaders);
+                    CtiSucc::Call { target }
+                }
+                Op::Jmpl { .. } => match insn.jump_kind() {
+                    Some(JumpKind::Return) => CtiSucc::Return,
+                    Some(JumpKind::IndirectCall) => {
+                        let resolution = if jump_analysis {
+                            resolve_indirect(image, extent, pc, insn)
+                        } else {
+                            JumpResolution::Unknown
+                        };
+                        let literal = match &resolution {
+                            JumpResolution::Literal { target, .. } => {
+                                escape_targets.push(*target);
+                                Some(*target)
+                            }
+                            _ => None,
+                        };
+                        indirect_calls
+                            .push(IndirectJumpInfo { addr: pc, resolution });
+                        push_leader(pc + 8, &mut worklist, &mut leaders);
+                        CtiSucc::IndirectCall { literal }
+                    }
+                    _ => {
+                        let resolution = if jump_analysis {
+                            resolve_indirect(image, extent, pc, insn)
+                        } else {
+                            JumpResolution::Unknown
+                        };
+                        match &resolution {
+                            JumpResolution::Table { table_addr, targets, .. } => {
+                                let table_end = table_addr + 4 * targets.len() as u32;
+                                data_ranges.push(DataRange {
+                                    start: *table_addr,
+                                    end: table_end.min(end),
+                                });
+                                for &t in targets {
+                                    match classify(t) {
+                                        Target::In(a) => {
+                                            push_leader(a, &mut worklist, &mut leaders)
+                                        }
+                                        Target::Out(a) => escape_targets.push(a),
+                                    }
+                                }
+                            }
+                            JumpResolution::Literal { target, .. } => match classify(*target) {
+                                Target::In(a) => push_leader(a, &mut worklist, &mut leaders),
+                                Target::Out(a) => escape_targets.push(a),
+                            },
+                            JumpResolution::Unknown => incomplete = true,
+                        }
+                        indirect_jumps.push(IndirectJumpInfo { addr: pc, resolution: resolution.clone() });
+                        CtiSucc::IndirectJump { resolution }
+                    }
+                },
+                _ => unreachable!("is_delayed covers branch/call/jmpl"),
+            };
+            ctis.insert(pc, CtiRec { insn, delay, succ });
+            break;
+        }
+    }
+
+    // ---- phase 2: materialize blocks -----------------------------------
+
+    let mut cfg = Cfg {
+        routine,
+        blocks: Vec::new(),
+        edges: Vec::new(),
+        entry: BlockId(0),
+        exit: BlockId(0),
+        entry_addrs: entries.to_vec(),
+        data_ranges: data_ranges.clone(),
+        indirect_jumps,
+        indirect_calls,
+        call_sites,
+        incomplete,
+        extent,
+        edits: Vec::new(),
+    };
+    let entry = push_block(&mut cfg, BlockKind::Entry, start, true);
+    let exit = push_block(&mut cfg, BlockKind::Exit, end, false);
+    cfg.entry = entry;
+    cfg.exit = exit;
+
+    // Map leader → block id, building normal blocks in address order.
+    let mut block_of: BTreeMap<u32, BlockId> = BTreeMap::new();
+    let leaders_sorted: Vec<u32> = leaders
+        .iter()
+        .copied()
+        .filter(|a| covered.contains(a))
+        .collect();
+    for &leader in &leaders_sorted {
+        let id = push_block(&mut cfg, BlockKind::Normal, leader, true);
+        block_of.insert(leader, id);
+    }
+
+    // Fill instructions and record each block's ending CTI (if any).
+    #[derive(Clone, Copy)]
+    enum Ending {
+        Cti(u32),
+        FallTo(u32),
+        DeadEnd,
+    }
+    let mut endings: Vec<(BlockId, Ending)> = Vec::new();
+    for (i, &leader) in leaders_sorted.iter().enumerate() {
+        let bid = block_of[&leader];
+        let next_leader = leaders_sorted.get(i + 1).copied();
+        let mut pc = leader;
+        let ending = loop {
+            if Some(pc) == next_leader && pc != leader {
+                break Ending::FallTo(pc);
+            }
+            if !in_extent(pc)
+                || data_ranges.iter().any(|r| pc >= r.start && pc < r.end)
+                || !covered.contains(&pc)
+            {
+                break Ending::DeadEnd;
+            }
+            let word = image.word_at(pc).unwrap_or(0);
+            let insn = eel_isa::decode(word);
+            cfg.blocks[bid.0].insns.push(InsnAt { addr: Some(pc), insn });
+            if ctis.contains_key(&pc) {
+                break Ending::Cti(pc);
+            }
+            if insn.category() == eel_isa::Category::Invalid {
+                break Ending::DeadEnd;
+            }
+            pc += 4;
+        };
+        endings.push((bid, ending));
+    }
+
+    // Entry edges.
+    for &e in entries {
+        if let Some(&b) = block_of.get(&e) {
+            add_edge(&mut cfg, entry, b, EdgeKind::Fall, true);
+        }
+    }
+
+    // Successor structure per ending.
+    for (bid, ending) in endings {
+        match ending {
+            Ending::DeadEnd => {}
+            Ending::FallTo(a) => {
+                if let Some(&to) = block_of.get(&a) {
+                    add_edge(&mut cfg, bid, to, EdgeKind::Fall, true);
+                }
+            }
+            Ending::Cti(addr) => {
+                let rec = ctis[&addr].clone();
+                connect_cti(&mut cfg, &block_of, bid, addr, &rec, exit, in_extent);
+            }
+        }
+    }
+
+    // ---- trailing unreachable region (hidden routine candidate) --------
+    let last_used = covered
+        .iter()
+        .next_back()
+        .copied()
+        .map(|a| a + 4) // `covered` includes delay-slot words
+        .unwrap_or(start);
+    let last_data = data_ranges.iter().map(|r| r.end).max().unwrap_or(start);
+    let mut tail = last_used.max(last_data).max(start);
+    // Skip padding (invalid words) to the first plausible instruction.
+    let mut trailing_unreachable = None;
+    while tail < end {
+        let word = image.word_at(tail).unwrap_or(0);
+        if eel_isa::decode(word).category() != eel_isa::Category::Invalid {
+            trailing_unreachable = Some(tail);
+            break;
+        }
+        tail += 4;
+    }
+
+    escape_targets.sort_unstable();
+    escape_targets.dedup();
+    Ok(BuildOutput { cfg, trailing_unreachable, escape_targets })
+}
+
+fn push_block(cfg: &mut Cfg, kind: BlockKind, addr: u32, editable: bool) -> BlockId {
+    cfg.blocks.push(Block {
+        kind,
+        addr,
+        insns: Vec::new(),
+        editable,
+        preds: Vec::new(),
+        succs: Vec::new(),
+    });
+    BlockId(cfg.blocks.len() - 1)
+}
+
+fn add_edge(cfg: &mut Cfg, from: BlockId, to: BlockId, kind: EdgeKind, editable: bool) -> EdgeId {
+    let id = EdgeId(cfg.edges.len());
+    cfg.edges.push(Edge { from, to, kind, editable });
+    cfg.blocks[from.0].succs.push(id);
+    cfg.blocks[to.0].preds.push(id);
+    id
+}
+
+/// Creates a delay-slot block holding `delay` on the way from `from`,
+/// returning it (or `from` when there is no delay instruction to place).
+fn delay_block(
+    cfg: &mut Cfg,
+    from: BlockId,
+    site: u32,
+    delay: Option<Insn>,
+    kind: EdgeKind,
+    editable: bool,
+) -> BlockId {
+    match delay {
+        Some(d) => {
+            let b = push_block(cfg, BlockKind::DelaySlot, site + 4, editable);
+            cfg.blocks[b.0].insns.push(InsnAt { addr: Some(site + 4), insn: d });
+            add_edge(cfg, from, b, kind, editable);
+            b
+        }
+        None => from,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn connect_cti(
+    cfg: &mut Cfg,
+    block_of: &BTreeMap<u32, BlockId>,
+    bid: BlockId,
+    addr: u32,
+    rec: &CtiRec,
+    exit: BlockId,
+    in_extent: impl Fn(u32) -> bool,
+) {
+    let delay = rec.delay;
+    // Resolve an in-routine address to its block (present iff covered).
+    let target_block = |a: u32| block_of.get(&a).copied();
+
+    match &rec.succ {
+        CtiSucc::Branch { cond, annul, taken, fall } => {
+            // Taken path.
+            if let Some(t) = taken {
+                // Delay executes on the taken path unless `ba,a`.
+                let executes = !(*annul && *cond == Cond::Always);
+                let src = if executes {
+                    delay_block(cfg, bid, addr, delay, EdgeKind::Taken, true)
+                } else {
+                    bid
+                };
+                let kind_from_src =
+                    if src == bid { EdgeKind::Taken } else { EdgeKind::Fall };
+                match t {
+                    Target::In(a) => {
+                        if let Some(tb) = target_block(*a) {
+                            add_edge(cfg, src, tb, kind_from_src, true);
+                        }
+                    }
+                    Target::Out(a) => {
+                        // Interprocedural branch: escapes the routine.
+                        if src != bid {
+                            // delay block on an escaping path is uneditable
+                            cfg.blocks[src.0].editable = false;
+                        }
+                        add_edge(cfg, src, exit, EdgeKind::Escape { target: *a }, false);
+                    }
+                }
+            }
+            // Fall-through path.
+            if let Some(f) = fall {
+                // Delay executes on fall-through only if not annulled.
+                let src = if !*annul {
+                    delay_block(cfg, bid, addr, delay, EdgeKind::Fall, true)
+                } else {
+                    bid
+                };
+                if let Some(fb) = target_block(*f) {
+                    add_edge(cfg, src, fb, EdgeKind::Fall, true);
+                } else if !in_extent(*f) {
+                    add_edge(cfg, src, exit, EdgeKind::Escape { target: *f }, false);
+                }
+            }
+        }
+        CtiSucc::Call { .. } | CtiSucc::IndirectCall { .. } => {
+            // block → delay (uneditable) → surrogate → return site.
+            let dly = delay_block(cfg, bid, addr, delay, EdgeKind::CallFlow, false);
+            if dly != bid {
+                cfg.blocks[dly.0].editable = false;
+            }
+            let surr = push_block(cfg, BlockKind::CallSurrogate, addr, false);
+            add_edge(cfg, dly, surr, EdgeKind::CallFlow, false);
+            let ret_site = addr + 8;
+            if let Some(rb) = target_block(ret_site) {
+                add_edge(cfg, surr, rb, EdgeKind::Fall, true);
+            } else {
+                // Callee never returns here (e.g. call at extent end).
+                add_edge(cfg, surr, exit, EdgeKind::Fall, false);
+            }
+        }
+        CtiSucc::Return => {
+            let dly = delay_block(cfg, bid, addr, delay, EdgeKind::ReturnFlow, false);
+            if dly != bid {
+                cfg.blocks[dly.0].editable = false;
+            }
+            add_edge(cfg, dly, exit, EdgeKind::ReturnFlow, false);
+        }
+        CtiSucc::IndirectJump { resolution } => match resolution {
+            JumpResolution::Table { targets, .. } => {
+                let mut distinct: Vec<u32> = targets.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                for t in distinct {
+                    let dly = delay_block(cfg, bid, addr, delay, EdgeKind::Table, true);
+                    match target_block(t) {
+                        Some(tb) => {
+                            let kind = if dly == bid { EdgeKind::Table } else { EdgeKind::Fall };
+                            add_edge(cfg, dly, tb, kind, true);
+                        }
+                        None => {
+                            if dly != bid {
+                                cfg.blocks[dly.0].editable = false;
+                            }
+                            add_edge(cfg, dly, exit, EdgeKind::Escape { target: t }, false);
+                        }
+                    }
+                }
+            }
+            JumpResolution::Literal { target, .. } => {
+                let dly = delay_block(cfg, bid, addr, delay, EdgeKind::Taken, true);
+                match target_block(*target) {
+                    Some(tb) => {
+                        let kind = if dly == bid { EdgeKind::Taken } else { EdgeKind::Fall };
+                        add_edge(cfg, dly, tb, kind, true);
+                    }
+                    None => {
+                        if dly != bid {
+                            cfg.blocks[dly.0].editable = false;
+                        }
+                        add_edge(cfg, dly, exit, EdgeKind::Escape { target: *target }, false);
+                    }
+                }
+            }
+            JumpResolution::Unknown => {
+                let dly = delay_block(cfg, bid, addr, delay, EdgeKind::RuntimeIndirect, false);
+                if dly != bid {
+                    cfg.blocks[dly.0].editable = false;
+                }
+                add_edge(cfg, dly, exit, EdgeKind::RuntimeIndirect, false);
+            }
+        },
+    }
+}

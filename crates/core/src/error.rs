@@ -1,0 +1,116 @@
+//! The library error type.
+
+use std::fmt;
+
+/// Errors from analyzing or editing an executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EelError {
+    /// The underlying image is structurally bad.
+    BadImage(String),
+    /// `read_contents` has not been called yet.
+    NotAnalyzed,
+    /// An address expected to be inside a routine was not.
+    BadAddress {
+        /// The offending address.
+        addr: u32,
+        /// What it was expected to be.
+        expected: &'static str,
+    },
+    /// A routine id that does not name a current routine.
+    BadRoutine(usize),
+    /// A control-transfer instruction sits in a delay slot — a documented
+    /// limitation (the paper notes the normalization "can repeat"; our
+    /// compiler never emits this shape, so it is rejected, not mishandled).
+    DelaySlotTransfer {
+        /// Address of the delay-slot instruction.
+        addr: u32,
+    },
+    /// An edit targeted an uneditable block or edge (§3.3: 15–20% of
+    /// blocks/edges transfer control out of the routine and cannot hold
+    /// foreign code).
+    Uneditable {
+        /// What the tool tried to edit.
+        what: &'static str,
+        /// Its address (block/edge source).
+        addr: u32,
+    },
+    /// An edit referenced a block/edge/instruction not in this CFG.
+    BadEditTarget(String),
+    /// A snippet needed registers that could not be provided even with
+    /// spilling (e.g. it asked for more GPRs than exist).
+    RegisterPressure(String),
+    /// An indirect jump's target register pair is live-in a way that the
+    /// run-time translation stub cannot preserve.
+    TranslationClash {
+        /// Address of the jump.
+        addr: u32,
+    },
+    /// Layout produced an unencodable displacement even after span
+    /// lengthening.
+    LayoutOverflow(String),
+    /// Internal assembly of synthesized code failed (a library bug
+    /// surfaced as an error).
+    Internal(String),
+}
+
+impl fmt::Display for EelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EelError::BadImage(m) => write!(f, "bad image: {m}"),
+            EelError::NotAnalyzed => {
+                write!(f, "executable contents not read yet (call read_contents)")
+            }
+            EelError::BadAddress { addr, expected } => {
+                write!(f, "address {addr:#010x} is not {expected}")
+            }
+            EelError::BadRoutine(i) => write!(f, "no routine with id {i}"),
+            EelError::DelaySlotTransfer { addr } => write!(
+                f,
+                "control transfer in a delay slot at {addr:#010x} (unsupported)"
+            ),
+            EelError::Uneditable { what, addr } => {
+                write!(f, "cannot edit uneditable {what} at {addr:#010x}")
+            }
+            EelError::BadEditTarget(m) => write!(f, "bad edit target: {m}"),
+            EelError::RegisterPressure(m) => write!(f, "snippet register allocation failed: {m}"),
+            EelError::TranslationClash { addr } => write!(
+                f,
+                "indirect jump at {addr:#010x} keeps scratch registers live across the jump"
+            ),
+            EelError::LayoutOverflow(m) => write!(f, "layout overflow: {m}"),
+            EelError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EelError {}
+
+impl From<eel_exe::WefError> for EelError {
+    fn from(e: eel_exe::WefError) -> EelError {
+        EelError::BadImage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            EelError::BadImage("x".into()),
+            EelError::NotAnalyzed,
+            EelError::BadAddress { addr: 4, expected: "a routine entry" },
+            EelError::BadRoutine(7),
+            EelError::DelaySlotTransfer { addr: 8 },
+            EelError::Uneditable { what: "edge", addr: 12 },
+            EelError::BadEditTarget("x".into()),
+            EelError::RegisterPressure("x".into()),
+            EelError::TranslationClash { addr: 16 },
+            EelError::LayoutOverflow("x".into()),
+            EelError::Internal("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,793 @@
+//! The executable abstraction (paper §3.1).
+//!
+//! An [`Executable`] wraps a WEF image and provides EEL's top-level
+//! workflow:
+//!
+//! 1. [`Executable::read_contents`] — refine the (unreliable) symbol table
+//!    into a set of [`Routine`]s using the paper's four-stage analysis:
+//!    label cleanup, stripped-executable call-target discovery,
+//!    interprocedural entry-point discovery, and (lazily, during CFG
+//!    construction) hidden-routine discovery from unreachable tails.
+//! 2. [`Executable::build_cfg`] / [`Executable::install_edits`] — analyze
+//!    and edit routines one at a time (the Figure 1 driver pattern, with
+//!    [`Executable::pop_hidden`] draining newly discovered routines).
+//! 3. [`Executable::write_edited`] — lay out the edited program, fix every
+//!    displacement and dispatch table, append run-time support (the
+//!    address translator and tool-added routines), and emit a new image.
+
+use crate::cfg::{build_cfg as cfg_build, Cfg};
+use crate::error::EelError;
+use crate::instr::{AllocStats, InstructionPool};
+use crate::layout::{lay_out_routine, Item, RoutineLayout, Tgt, TRANSLATOR};
+use crate::routine::Routine;
+use eel_exe::{Image, Symbol, SymbolKind};
+use eel_isa::{Builder, Cond, Insn, Op};
+use std::collections::{BTreeMap, HashMap};
+
+/// Stable identifier of a routine within an [`Executable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RoutineId(usize);
+
+impl RoutineId {
+    /// The raw index (stable across discovery).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An executable opened for analysis and editing.
+pub struct Executable {
+    image: Image,
+    routines: Vec<Routine>,
+    analyzed: bool,
+    hidden_queue: Vec<RoutineId>,
+    layouts: HashMap<usize, RoutineLayout>,
+    runtime_routines: Vec<(String, String)>,
+    reserved_len: u32,
+    reserved_init: Vec<(u32, Vec<u8>)>,
+    pool: InstructionPool,
+    addr_map: Option<HashMap<u32, u32>>,
+    written: bool,
+    jump_analysis: bool,
+    removed: std::collections::HashSet<usize>,
+}
+
+impl std::fmt::Debug for Executable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executable")
+            .field("routines", &self.routines.len())
+            .field("analyzed", &self.analyzed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Executable {
+    /// Opens an in-memory image.
+    ///
+    /// # Errors
+    ///
+    /// [`EelError::BadImage`] when the image fails validation.
+    pub fn from_image(image: Image) -> Result<Executable, EelError> {
+        image.validate()?;
+        Ok(Executable {
+            image,
+            routines: Vec::new(),
+            analyzed: false,
+            hidden_queue: Vec::new(),
+            layouts: HashMap::new(),
+            runtime_routines: Vec::new(),
+            reserved_len: 0,
+            reserved_init: Vec::new(),
+            pool: InstructionPool::new(),
+            addr_map: None,
+            written: false,
+            jump_analysis: true,
+            removed: std::collections::HashSet::new(),
+        })
+    }
+
+    /// Opens an executable file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O, parse, and validation failures.
+    pub fn open<P: AsRef<std::path::Path>>(path: P) -> Result<Executable, EelError> {
+        Executable::from_image(Image::read_file(path)?)
+    }
+
+    /// The underlying image.
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// The original program entry point.
+    pub fn start_address(&self) -> u32 {
+        self.image.entry
+    }
+
+    /// Disables the slicing-based indirect-jump analysis: every indirect
+    /// jump resolves to Unknown and falls back to run-time translation
+    /// (§3.3's fallback). This exists for ablations measuring what the
+    /// analysis buys.
+    ///
+    /// **Warning:** editing a program whose dispatch tables were not
+    /// analyzed produces a broken executable — the table's address is a
+    /// literal in code pointing at the *original* text, which run-time
+    /// target translation cannot repair. This is precisely why the paper
+    /// treats the slicing analysis as load-bearing rather than an
+    /// optimization.
+    pub fn set_jump_analysis(&mut self, enabled: bool) {
+        self.jump_analysis = enabled;
+    }
+
+    /// Reads and refines the program's contents (§3.1's staged analysis),
+    /// establishing the routine set.
+    ///
+    /// # Errors
+    ///
+    /// [`EelError::BadImage`] for structurally impossible inputs.
+    pub fn read_contents(&mut self) -> Result<(), EelError> {
+        if self.analyzed {
+            return Ok(());
+        }
+        let text = (self.image.text_addr, self.image.text_end());
+
+        // Pre-scan: decode every text word once; collect direct-call
+        // targets and branch targets (with their sources).
+        let mut call_targets: Vec<u32> = Vec::new();
+        let mut branch_edges: Vec<(u32, u32)> = Vec::new(); // (src, target)
+        for (addr, word) in self.image.text_words() {
+            self.pool.intern(word);
+            match eel_isa::decode(word).op {
+                Op::Call { disp30 } => {
+                    let t = addr.wrapping_add((disp30 as u32) << 2);
+                    if t >= text.0 && t < text.1 && t % 4 == 0 {
+                        call_targets.push(t);
+                    }
+                }
+                Op::Branch { disp22, cond, .. } if cond != Cond::Never => {
+                    let t = addr.wrapping_add((disp22 as u32) << 2);
+                    if t >= text.0 && t < text.1 {
+                        branch_edges.push((addr, t));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Stage 1: clean the symbol table's candidate labels.
+        let mut candidates: BTreeMap<u32, Option<String>> = BTreeMap::new();
+        if !self.image.is_stripped() {
+            let mut raw: Vec<&Symbol> = self
+                .image
+                .symbols
+                .iter()
+                .filter(|s| {
+                    s.kind == SymbolKind::Routine
+                        && s.value >= text.0
+                        && s.value < text.1
+                })
+                .collect();
+            raw.sort_by_key(|s| s.value);
+            // Misaligned labels are dropped; duplicates keep the first name.
+            raw.retain(|s| s.value % 4 == 0);
+            // Drop labels that are branch targets from the region since the
+            // previous surviving candidate (probably internal labels, §3.1).
+            let mut branch_targets: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (src, t) in &branch_edges {
+                branch_targets.entry(*t).or_default().push(*src);
+            }
+            let mut prev_start = text.0;
+            for s in raw {
+                let internal = branch_targets
+                    .get(&s.value)
+                    .map(|srcs| {
+                        srcs.iter().any(|&src| src >= prev_start && src < s.value)
+                    })
+                    .unwrap_or(false);
+                if internal {
+                    continue;
+                }
+                candidates.entry(s.value).or_insert_with(|| Some(s.name.clone()));
+                prev_start = s.value;
+            }
+        }
+
+        // Stage 2: a stripped executable starts from the entry point, the
+        // first text address, and every direct-call target.
+        if candidates.is_empty() {
+            candidates.insert(self.image.entry, None);
+            candidates.entry(text.0).or_insert(None);
+            for &t in &call_targets {
+                candidates.entry(t).or_insert(None);
+            }
+        }
+        // The program's entry point is always a routine.
+        candidates.entry(self.image.entry).or_insert(None);
+
+        // Stage 3: call targets not in the set become (hidden) routines.
+        for &t in &call_targets {
+            candidates.entry(t).or_insert(None);
+        }
+
+        // Materialize routines in address order; extent = next start.
+        let starts: Vec<(u32, Option<String>)> = candidates.into_iter().collect();
+        for (i, (start, name)) in starts.iter().enumerate() {
+            let end = starts.get(i + 1).map(|(s, _)| *s).unwrap_or(text.1);
+            if end <= *start {
+                continue;
+            }
+            let hidden = name.is_none() && !self.image.is_stripped();
+            let id = RoutineId(self.routines.len());
+            self.routines.push(Routine {
+                name: name.clone(),
+                start: *start,
+                end,
+                entries: vec![*start],
+                hidden,
+            });
+            if hidden {
+                self.hidden_queue.push(id);
+            }
+        }
+        if self.routines.is_empty() {
+            return Err(EelError::BadImage("no routines found in text segment".into()));
+        }
+        self.analyzed = true;
+        Ok(())
+    }
+
+    /// Ids of the routines known from the symbol table (the paper's
+    /// `exec->routines()`); hidden routines arrive via
+    /// [`Executable::pop_hidden`].
+    pub fn routine_ids(&self) -> Vec<RoutineId> {
+        self.routines
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.hidden)
+            .map(|(i, _)| RoutineId(i))
+            .collect()
+    }
+
+    /// Ids of every routine currently known (named and hidden).
+    pub fn all_routine_ids(&self) -> Vec<RoutineId> {
+        (0..self.routines.len()).map(RoutineId).collect()
+    }
+
+    /// Pops the next discovered-but-unprocessed hidden routine (the
+    /// paper's `exec->hidden_routines()` drain loop, Figure 1).
+    pub fn pop_hidden(&mut self) -> Option<RoutineId> {
+        self.hidden_queue.pop()
+    }
+
+    /// The routine for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale id from a different executable.
+    pub fn routine(&self, id: RoutineId) -> &Routine {
+        &self.routines[id.0]
+    }
+
+    /// All routines, in discovery order.
+    pub fn routines(&self) -> &[Routine] {
+        &self.routines
+    }
+
+    /// The routine containing an address.
+    pub fn routine_containing(&self, addr: u32) -> Option<RoutineId> {
+        self.routines
+            .iter()
+            .position(|r| r.contains(addr))
+            .map(RoutineId)
+    }
+
+    /// Instruction-object allocation statistics (experiment E-OBJ).
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.pool.stats()
+    }
+
+    /// Builds (or rebuilds) the routine's delay-slot-normalized CFG.
+    ///
+    /// Side effects reproduce §3.1's late stages: a trailing unreachable
+    /// region splits off as a new hidden routine (stage 4), and
+    /// interprocedural targets register as entry points of the routines
+    /// containing them (stage 3).
+    ///
+    /// # Errors
+    ///
+    /// [`EelError::NotAnalyzed`] before [`Executable::read_contents`];
+    /// [`EelError::DelaySlotTransfer`] for the documented unsupported
+    /// shape.
+    pub fn build_cfg(&mut self, id: RoutineId) -> Result<Cfg, EelError> {
+        if !self.analyzed {
+            return Err(EelError::NotAnalyzed);
+        }
+        let _ = self.routines.get(id.0).ok_or(EelError::BadRoutine(id.0))?;
+        loop {
+            let r = &self.routines[id.0];
+            let out =
+                cfg_build(&self.image, id, (r.start, r.end), &r.entries, self.jump_analysis)?;
+            // Register interprocedural entry points (stage 3).
+            for t in &out.escape_targets {
+                if let Some(cid) = self.routine_containing(*t) {
+                    let cr = &mut self.routines[cid.0];
+                    if !cr.entries.contains(t) {
+                        cr.entries.push(*t);
+                        cr.entries.sort_unstable();
+                    }
+                }
+            }
+            // Trailing unreachable code: a hidden routine (stage 4).
+            if let Some(t) = out.trailing_unreachable {
+                let r = &self.routines[id.0];
+                if t > r.start && t < r.end && self.routine_containing(t) == Some(id) {
+                    let end = r.end;
+                    self.routines[id.0].end = t;
+                    self.routines[id.0].entries.retain(|&e| e < t);
+                    let new_id = RoutineId(self.routines.len());
+                    self.routines.push(Routine {
+                        name: None,
+                        start: t,
+                        end,
+                        entries: vec![t],
+                        hidden: true,
+                    });
+                    self.hidden_queue.push(new_id);
+                    // Rebuild with the shrunk extent so the CFG and the
+                    // later layout agree.
+                    continue;
+                }
+            }
+            // Account instruction objects (shared pool, §3.4).
+            for b in &out.cfg.blocks {
+                for ia in &b.insns {
+                    self.pool.intern(ia.insn.word);
+                }
+            }
+            return Ok(out.cfg);
+        }
+    }
+
+    /// Installs a routine's (possibly edited) CFG, producing its edited
+    /// layout (the paper's `produce_edited_routine`).
+    ///
+    /// # Errors
+    ///
+    /// Layout failures: register pressure, translation clashes, bad edit
+    /// targets.
+    pub fn install_edits(&mut self, cfg: Cfg) -> Result<(), EelError> {
+        let id = cfg.routine_id();
+        let layout = lay_out_routine(&self.image, cfg)?;
+        self.layouts.insert(id.0, layout);
+        Ok(())
+    }
+
+    /// Reserves zero-initialized space in the edited executable's data
+    /// segment (counter arrays, tool state) and returns its address.
+    pub fn reserve_data(&mut self, bytes: u32) -> u32 {
+        let base = self.image.data_end() + self.reserved_len;
+        self.reserved_len += bytes.next_multiple_of(8);
+        base
+    }
+
+    /// Reserves initialized data; `bytes` are copied into the edited
+    /// executable.
+    pub fn reserve_data_init(&mut self, bytes: &[u8]) -> u32 {
+        let addr = self.reserve_data(bytes.len() as u32);
+        let off = addr - self.image.data_end();
+        self.reserved_init.push((off, bytes.to_vec()));
+        addr
+    }
+
+    /// Adds a run-time routine (assembly fragment) to the edited
+    /// executable. Snippets may call it via [`crate::Snippet::with_call`];
+    /// Active Memory's handlers and Elsie's simulator calls use this to
+    /// add "another program" to the executable (§5).
+    pub fn add_runtime_routine(&mut self, name: &str, asm: &str) {
+        self.runtime_routines.push((name.to_string(), asm.to_string()));
+    }
+
+    /// Marks a routine for removal: [`Executable::write_edited`] omits
+    /// its code entirely (§1's *optimization* use of executable editing —
+    /// whole-program dead-code elimination that per-file compilers cannot
+    /// do). The caller is responsible for unreachability; prefer
+    /// [`crate::CallGraph`]-driven tools (`eel-tools`) which refuse when
+    /// unknown indirect call sites exist.
+    ///
+    /// # Errors
+    ///
+    /// [`EelError::BadRoutine`] for stale ids;
+    /// [`EelError::BadEditTarget`] when the routine holds the program's
+    /// entry point.
+    pub fn remove_routine(&mut self, id: RoutineId) -> Result<(), EelError> {
+        let r = self.routines.get(id.0).ok_or(EelError::BadRoutine(id.0))?;
+        if r.contains(self.image.entry) {
+            return Err(EelError::BadEditTarget(
+                "cannot remove the routine containing the entry point".into(),
+            ));
+        }
+        self.removed.insert(id.0);
+        self.layouts.remove(&id.0);
+        Ok(())
+    }
+
+    /// The edited address corresponding to an original address (valid
+    /// after [`Executable::write_edited`]).
+    pub fn edited_addr(&self, orig: u32) -> Option<u32> {
+        self.addr_map.as_ref()?.get(&orig).copied()
+    }
+
+    /// Produces the edited executable: routines not explicitly edited are
+    /// rebuilt pass-through, every displacement and dispatch table is
+    /// adjusted, and run-time support is appended.
+    ///
+    /// # Errors
+    ///
+    /// Any analysis or layout failure; also if called twice.
+    pub fn write_edited(&mut self) -> Result<Image, EelError> {
+        if self.written {
+            return Err(EelError::Internal("write_edited may only be called once".into()));
+        }
+        if !self.analyzed {
+            return Err(EelError::NotAnalyzed);
+        }
+        // Lay out every remaining routine (discovery may add more).
+        loop {
+            let pending: Vec<RoutineId> = (0..self.routines.len())
+                .map(RoutineId)
+                .filter(|id| {
+                    !self.layouts.contains_key(&id.0) && !self.removed.contains(&id.0)
+                })
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            for id in pending {
+                if self.layouts.contains_key(&id.0) || self.removed.contains(&id.0) {
+                    continue;
+                }
+                let cfg = self.build_cfg(id)?;
+                self.install_edits(cfg)?;
+            }
+        }
+
+        let mut layouts = std::mem::take(&mut self.layouts);
+        for dead in &self.removed {
+            layouts.remove(dead);
+        }
+        let mut order: Vec<usize> = layouts.keys().copied().collect();
+        order.sort_by_key(|i| self.routines[*i].start);
+
+        let needs_translator =
+            layouts.values().any(|l| l.needs_translator);
+
+        // Reserve the translation table before assembling the translator
+        // (its address is baked into the code). The table holds the FULL
+        // original→edited map: any original text address can live in a
+        // register or data word and reach an unanalyzable transfer, so
+        // entries-only tables miss function pointers in stripped binaries.
+        let mapped_key_count: usize = {
+            let mut keys: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+            for layout in layouts.values() {
+                for item in &layout.items {
+                    match item {
+                        Item::MapOrig(a)
+                        | Item::Orig { addr: a, .. }
+                        | Item::RawWord { addr: a, .. } => {
+                            keys.insert(*a);
+                        }
+                        Item::BranchTo { orig: Some(a), .. }
+                        | Item::CallTo { orig: Some(a), .. }
+                        | Item::SethiHiOf { orig: Some(a), .. }
+                        | Item::OrLoOf { orig: Some(a), .. }
+                        | Item::TableWord { orig: Some(a), .. } => {
+                            keys.insert(*a);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            keys.len()
+        };
+        let xlate_table_addr = if needs_translator {
+            Some(self.reserve_data(4 + 8 * mapped_key_count as u32))
+        } else {
+            None
+        };
+        let mut runtime: Vec<(String, String)> = Vec::new();
+        if let Some(t) = xlate_table_addr {
+            runtime.push((TRANSLATOR.to_string(), translator_asm(t)));
+        }
+        runtime.extend(self.runtime_routines.iter().cloned());
+
+        // ---- pass 1: sizes and addresses ----------------------------------
+        let text_base = self.image.text_addr;
+        let mut addr = text_base;
+        // (routine idx, item idx) → address; and label tables.
+        let mut label_addr: HashMap<(usize, usize), u32> = HashMap::new();
+        let mut item_addrs: Vec<Vec<u32>> = Vec::new();
+        for &ri in &order {
+            let layout = &layouts[&ri];
+            let mut addrs = Vec::with_capacity(layout.items.len());
+            for item in &layout.items {
+                addrs.push(addr);
+                if let Item::Label(l) = item {
+                    label_addr.insert((ri, *l), addr);
+                }
+                addr += item.size(&layout.snippets);
+            }
+            item_addrs.push(addrs);
+        }
+        // Runtime routines: size by assembling at base 0 (set-shape is
+        // stable), then place.
+        let mut runtime_addr: HashMap<String, u32> = HashMap::new();
+        let mut runtime_code: Vec<(String, u32, Vec<Insn>)> = Vec::new();
+        for (name, src) in &runtime {
+            let probe = eel_asm::assemble_fragment(src, 0)
+                .map_err(|e| EelError::Internal(format!("runtime routine {name}: {e}")))?;
+            runtime_addr.insert(name.clone(), addr);
+            runtime_code.push((name.clone(), addr, Vec::new()));
+            let _ = probe.len();
+            addr += 4 * probe.len() as u32;
+        }
+        for (name, base, code) in &mut runtime_code {
+            let src = &runtime.iter().find(|(n, _)| n == name).unwrap().1;
+            *code = eel_asm::assemble_fragment(src, *base)
+                .map_err(|e| EelError::Internal(format!("runtime routine {name}: {e}")))?;
+        }
+        let text_end = addr;
+        if text_end > self.image.data_addr && self.image.data_addr > text_base {
+            return Err(EelError::LayoutOverflow(format!(
+                "edited text ({} bytes) would overlap the data segment",
+                text_end - text_base
+            )));
+        }
+
+        // ---- pass 2: original → edited address map ------------------------
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        for (oi, &ri) in order.iter().enumerate() {
+            let layout = &layouts[&ri];
+            for (ii, item) in layout.items.iter().enumerate() {
+                let here = item_addrs[oi][ii];
+                match item {
+                    Item::MapOrig(a) => {
+                        map.entry(*a).or_insert(here);
+                    }
+                    Item::Orig { addr: a, .. } | Item::RawWord { addr: a, .. } => {
+                        map.entry(*a).or_insert(here);
+                    }
+                    Item::BranchTo { orig: Some(a), .. }
+                    | Item::CallTo { orig: Some(a), .. }
+                    | Item::SethiHiOf { orig: Some(a), .. }
+                    | Item::OrLoOf { orig: Some(a), .. }
+                    | Item::TableWord { orig: Some(a), .. } => {
+                        map.entry(*a).or_insert(here);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // ---- pass 3: resolve and encode ------------------------------------
+        let resolve = |tgt: &Tgt, ri: usize| -> Result<u32, EelError> {
+            match tgt {
+                Tgt::Local(l) => label_addr
+                    .get(&(ri, *l))
+                    .copied()
+                    .ok_or_else(|| EelError::Internal(format!("unbound label {l}"))),
+                Tgt::Orig(a) => map.get(a).copied().ok_or(EelError::BadAddress {
+                    addr: *a,
+                    expected: "a mapped original address",
+                }),
+                Tgt::Runtime(name) => runtime_addr
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| EelError::Internal(format!("unknown runtime routine {name}"))),
+            }
+        };
+
+        let mut text = Vec::with_capacity((text_end - text_base) as usize);
+        let push_word = |text: &mut Vec<u8>, w: u32| text.extend_from_slice(&w.to_be_bytes());
+        for (oi, &ri) in order.iter().enumerate() {
+            let layout = layouts.get_mut(&ri).expect("layout present");
+            for (ii, here) in item_addrs[oi].iter().copied().enumerate() {
+                match &layout.items[ii] {
+                    Item::Label(_) | Item::MapOrig(_) => {}
+                    Item::Orig { insn, .. } => push_word(&mut text, insn.word),
+                    Item::New(insn) => push_word(&mut text, insn.word),
+                    Item::RawWord { word, .. } => push_word(&mut text, *word),
+                    Item::BranchTo { cond, annul, target, .. } => {
+                        let t = resolve(target, ri)?;
+                        let disp = branch_disp(here, t)?;
+                        push_word(
+                            &mut text,
+                            eel_isa::encode(&Op::Branch {
+                                cond: *cond,
+                                annul: *annul,
+                                disp22: disp,
+                                fp: false,
+                            }),
+                        );
+                    }
+                    Item::CallTo { target, .. } => {
+                        let t = resolve(target, ri)?;
+                        let disp = (t.wrapping_sub(here) as i32) >> 2;
+                        push_word(&mut text, eel_isa::encode(&Op::Call { disp30: disp }));
+                    }
+                    Item::SethiHiOf { rd, target, .. } => {
+                        let t = resolve(target, ri)?;
+                        push_word(&mut text, Builder::sethi_hi(*rd, t).word);
+                    }
+                    Item::OrLoOf { rd, rs1, target, .. } => {
+                        let t = resolve(target, ri)?;
+                        push_word(&mut text, Builder::or_lo(*rd, *rs1, t).word);
+                    }
+                    Item::TableWord { target, .. } => {
+                        let t = resolve(target, ri)?;
+                        push_word(&mut text, t);
+                    }
+                    Item::SnippetRef(si) => {
+                        let si = *si;
+                        // Patch runtime calls, then run the call-back
+                        // (which may modify but not resize).
+                        let (mut insns, calls, source, assignment) = {
+                            let p = &layout.snippets[si];
+                            (p.insns.clone(), p.calls.clone(), p.source, p.assignment.clone())
+                        };
+                        for (idx, name) in &calls {
+                            let t = resolve(&Tgt::Runtime(name.clone()), ri)?;
+                            let site = here + 4 * *idx as u32;
+                            let disp = (t.wrapping_sub(site) as i32) >> 2;
+                            insns[*idx] =
+                                Insn::from_word(eel_isa::encode(&Op::Call { disp30: disp }));
+                        }
+                        layout.snippet_store[source].run_callback(
+                            &mut insns,
+                            here,
+                            &assignment,
+                        );
+                        for i in &insns {
+                            push_word(&mut text, i.word);
+                        }
+                    }
+                }
+            }
+        }
+        for (_, _, code) in &runtime_code {
+            for i in code {
+                push_word(&mut text, i.word);
+            }
+        }
+        debug_assert_eq!(text.len() as u32, text_end - text_base);
+
+        // ---- data segment ---------------------------------------------------
+        let mut data = self.image.data.clone();
+        data.extend(std::iter::repeat_n(0, self.image.bss_size as usize));
+        let reserved_base = data.len();
+        data.extend(std::iter::repeat_n(0, self.reserved_len as usize));
+        for (off, bytes) in &self.reserved_init {
+            let at = reserved_base + *off as usize;
+            data[at..at + bytes.len()].copy_from_slice(bytes);
+        }
+        if let Some(taddr) = xlate_table_addr {
+            let mut pairs: Vec<(u32, u32)> = map.iter().map(|(&o, &n)| (o, n)).collect();
+            pairs.sort_unstable();
+            debug_assert_eq!(pairs.len(), mapped_key_count);
+            let off = (taddr - self.image.data_addr) as usize;
+            data[off..off + 4].copy_from_slice(&(pairs.len() as u32).to_be_bytes());
+            for (i, (old, new)) in pairs.iter().enumerate() {
+                let at = off + 4 + 8 * i;
+                data[at..at + 4].copy_from_slice(&old.to_be_bytes());
+                data[at + 4..at + 8].copy_from_slice(&new.to_be_bytes());
+            }
+        }
+
+        // ---- symbols (EEL maintains them for the edited program, §3.1) ----
+        let mut symbols: Vec<Symbol> = Vec::new();
+        for r in &self.routines {
+            if let Some(new) = map.get(&r.start) {
+                let mut s = Symbol::routine(&r.name(), *new);
+                s.global = !r.hidden;
+                symbols.push(s);
+            }
+        }
+        for (name, a) in &runtime_addr {
+            symbols.push(Symbol::routine(name, *a));
+        }
+        for s in &self.image.symbols {
+            if self.image.in_data(s.value) {
+                symbols.push(s.clone());
+            }
+        }
+        if let Some(t) = xlate_table_addr {
+            symbols.push(Symbol::object("__eel_xlate_table", t, 0));
+        }
+
+        let entry = *map.get(&self.image.entry).ok_or(EelError::BadAddress {
+            addr: self.image.entry,
+            expected: "a mapped entry point",
+        })?;
+
+        let edited = Image {
+            entry,
+            text_addr: text_base,
+            text,
+            data_addr: self.image.data_addr,
+            data,
+            bss_size: 0,
+            symbols,
+        };
+        edited.validate()?;
+        self.addr_map = Some(map);
+        self.written = true;
+        Ok(edited)
+    }
+}
+
+fn branch_disp(here: u32, target: u32) -> Result<i32, EelError> {
+    let disp = (target.wrapping_sub(here) as i32) >> 2;
+    if !(-(1 << 21)..(1 << 21)).contains(&disp) {
+        return Err(EelError::LayoutOverflow(format!(
+            "branch from {here:#x} to {target:#x} exceeds 22-bit displacement"
+        )));
+    }
+    Ok(disp)
+}
+
+/// The run-time address translator: binary-searches the full
+/// original→edited address table, mapping `%g6` in place. `%g7` is the
+/// call linkage; everything else (including the condition codes, via
+/// `%psr`) is preserved using scratch slots below `%sp`.
+fn translator_asm(table_addr: u32) -> String {
+    format!(
+        r#"
+__eel_translate:
+    st %o0, [%sp - 56]
+    st %o1, [%sp - 64]
+    st %o2, [%sp - 72]
+    st %o3, [%sp - 80]
+    st %o4, [%sp - 88]
+    st %o5, [%sp - 96]
+    rd %psr, %o5
+    set {table_addr}, %o0
+    ld [%o0], %o1        ! hi = n
+    add %o0, 4, %o0      ! pair base
+    mov 0, %o2           ! lo
+xl_loop:
+    cmp %o2, %o1
+    bgeu xl_miss
+    nop
+    add %o2, %o1, %o3
+    srl %o3, 1, %o3      ! mid
+    sll %o3, 3, %o4
+    add %o0, %o4, %o4
+    ld [%o4], %o4        ! old[mid]
+    cmp %o4, %g6
+    be xl_hit
+    nop
+    bgu xl_upper
+    nop
+    ba xl_loop
+    add %o3, 1, %o2      ! lo = mid + 1
+xl_upper:
+    ba xl_loop
+    mov %o3, %o1         ! hi = mid
+xl_hit:
+    sll %o3, 3, %o4
+    add %o0, %o4, %o4
+    ld [%o4 + 4], %g6
+    wr %o5, %g0, %psr
+    ld [%sp - 56], %o0
+    ld [%sp - 64], %o1
+    ld [%sp - 72], %o2
+    ld [%sp - 80], %o3
+    ld [%sp - 88], %o4
+    ld [%sp - 96], %o5
+    jmpl %g7 + 8, %g0
+    nop
+xl_miss:
+    unimp 1023
+"#
+    )
+}

@@ -1,0 +1,74 @@
+//! # eel-core: the Executable Editing Library
+//!
+//! The Rust reproduction of **EEL** (Larus & Schnarr, *EEL:
+//! Machine-Independent Executable Editing*, PLDI 1995): a library for
+//! building tools that analyze and modify fully-linked executables without
+//! source code or relocation information.
+//!
+//! The five abstractions from §3 of the paper map onto this crate as:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `executable` | [`Executable`] — open, [`Executable::read_contents`] (four-stage symbol-table refinement, hidden-routine discovery), write an edited executable |
+//! | `routine` | [`Routine`] — name, extent, entry points |
+//! | CFG | [`Cfg`] — delay-slot-normalized basic blocks and edges, uneditable marking, dominators / loops / liveness / slicing, dispatch-table recovery |
+//! | instruction | [`Instruction`] — category + effect inquiries, one shared object per distinct machine word |
+//! | snippet | [`Snippet`] — foreign code with scavenged register allocation, spill wrapping, and placement call-backs |
+//!
+//! Editing is *batch*: a tool records edits against the original CFG
+//! ([`Cfg::delete_insn`], [`Cfg::add_code_before`], [`Cfg::add_code_along`],
+//! ...), then [`Executable::install_edits`] produces the edited routine and
+//! [`Executable::write_edited`] lays out the new executable, adjusting every
+//! displacement, rewriting dispatch tables, and falling back to run-time
+//! address translation for unanalyzable indirect jumps.
+//!
+//! ## Example: count every routine entry
+//!
+//! ```
+//! use eel_core::{Executable, Snippet};
+//!
+//! let image = eel_cc::compile_str(
+//!     "fn main() { var i; var t = 0;
+//!        for (i = 0; i < 3; i = i + 1) { t = t + i; } return t; }",
+//!     &eel_cc::Options::default(),
+//! )?;
+//! let mut exec = Executable::from_image(image)?;
+//! exec.read_contents()?;
+//!
+//! let counters = exec.reserve_data(4 * 64); // a counter array
+//! for id in exec.routine_ids() {
+//!     let mut cfg = exec.build_cfg(id)?;
+//!     let entry = cfg.entry_block();
+//!     let snippet = Snippet::counter_increment(counters + 4 * id.index() as u32);
+//!     cfg.add_code_at_block_start(entry, snippet)?;
+//!     exec.install_edits(cfg)?;
+//! }
+//! let edited = exec.write_edited()?;
+//! assert_eq!(eel_emu::run_image(&edited)?.exit_code, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod analysis;
+mod cfg;
+mod error;
+mod executable;
+mod instr;
+mod layout;
+mod routine;
+mod snippet;
+
+pub use analysis::callgraph::{CallGraph, CallSite};
+pub use analysis::dom::Dominators;
+pub use analysis::jumptable::{JumpResolution, JumpTarget};
+pub use analysis::live::Liveness;
+pub use analysis::loops::{natural_loops, NaturalLoop};
+pub use analysis::slice::{SliceMark, Slicer};
+pub use cfg::{
+    Block, BlockId, BlockKind, Cfg, CfgStats, DataRange, Edge, EdgeId, EdgeKind, Edit,
+    EditPoint, InsnAt,
+};
+pub use error::EelError;
+pub use executable::{Executable, RoutineId};
+pub use instr::{AllocStats, Instruction, InstructionPool};
+pub use routine::Routine;
+pub use snippet::{Callback, RegAssignment, Snippet};

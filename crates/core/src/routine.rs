@@ -1,0 +1,69 @@
+//! The routine abstraction (paper §3.2).
+
+/// A named region of the text segment containing instructions (and
+/// possibly data), with one or more entry points.
+///
+/// Routines are discovered by [`crate::Executable::read_contents`]'s
+/// symbol-table refinement: symbol-table routines survive stage 1's label
+/// cleanup; *hidden* routines are found from call targets (stage 2/3) and
+/// trailing unreachable code (stage 4). In a stripped executable all
+/// routines are found but names cannot be recreated (§3.1), so
+/// [`Routine::name`] falls back to a synthetic `fn_<addr>` label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Routine {
+    pub(crate) name: Option<String>,
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    pub(crate) entries: Vec<u32>,
+    pub(crate) hidden: bool,
+}
+
+impl Routine {
+    /// The routine's name: its symbol if one exists, else a synthetic
+    /// `fn_<hexaddr>` (names cannot be recreated for stripped binaries).
+    pub fn name(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("fn_{:x}", self.start),
+        }
+    }
+
+    /// Does the routine have a real (symbol-table) name?
+    pub fn has_symbol_name(&self) -> bool {
+        self.name.is_some()
+    }
+
+    /// First address of the routine.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// One past the last address (the next routine's start or the text
+    /// end).
+    pub fn end(&self) -> u32 {
+        self.end
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// All entry points, ascending. The first is the primary entry;
+    /// additional ones come from interprocedural jumps or calls into the
+    /// middle (§3.1 stage 3).
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// Was this routine absent from the symbol table (discovered by
+    /// analysis)?
+    pub fn is_hidden(&self) -> bool {
+        self.hidden
+    }
+
+    /// Does this address fall inside the routine?
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+}

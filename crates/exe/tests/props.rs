@@ -1,0 +1,104 @@
+//! Property tests for the WEF format: serialization round trips and
+//! parser robustness against arbitrary and mutated inputs.
+
+use eel_exe::{Image, Symbol, SymbolKind};
+use proptest::prelude::*;
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    (
+        "[a-zA-Z_.$][a-zA-Z0-9_.$]{0,12}",
+        any::<u32>(),
+        any::<u32>(),
+        0u8..5,
+        any::<bool>(),
+    )
+        .prop_map(|(name, value, size, kind, global)| Symbol {
+            name,
+            value,
+            size,
+            kind: match kind {
+                0 => SymbolKind::Routine,
+                1 => SymbolKind::Object,
+                2 => SymbolKind::Label,
+                3 => SymbolKind::Debug,
+                _ => SymbolKind::Temp,
+            },
+            global,
+        })
+}
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (
+        prop::collection::vec(any::<u8>(), 0..256),
+        prop::collection::vec(any::<u8>(), 0..128),
+        prop::collection::vec(arb_symbol(), 0..8),
+        0u32..1024,
+        any::<u32>(),
+    )
+        .prop_map(|(mut text, data, symbols, bss, entry)| {
+            text.truncate(text.len() & !3); // word-sized text
+            Image {
+                entry,
+                text_addr: 0x10000,
+                text,
+                data_addr: 0x40000,
+                data,
+                bss_size: bss,
+                symbols,
+            }
+        })
+}
+
+proptest! {
+    /// to_bytes ∘ from_bytes = identity.
+    #[test]
+    fn round_trip(image in arb_image()) {
+        let back = Image::from_bytes(&image.to_bytes()).unwrap();
+        prop_assert_eq!(back, image);
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parser_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Image::from_bytes(&bytes);
+    }
+
+    /// The parser never panics on mutated valid files (every error is a
+    /// structured WefError).
+    #[test]
+    fn parser_total_on_mutations(
+        image in arb_image(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = image.to_bytes();
+        for (idx, val) in flips {
+            if bytes.is_empty() {
+                break;
+            }
+            let i = idx.index(bytes.len());
+            bytes[i] ^= val;
+        }
+        let _ = Image::from_bytes(&bytes);
+    }
+
+    /// Truncation at any point yields an error, never a panic or a
+    /// silently wrong image.
+    #[test]
+    fn truncation_is_detected(image in arb_image(), cut in any::<prop::sample::Index>()) {
+        let bytes = image.to_bytes();
+        let n = cut.index(bytes.len().max(1));
+        if n < bytes.len() {
+            prop_assert!(Image::from_bytes(&bytes[..n]).is_err());
+        }
+    }
+
+    /// word_at/patch_word agree on every aligned address.
+    #[test]
+    fn word_accessors_agree(image in arb_image(), off in 0u32..64, value in any::<u32>()) {
+        let mut image = image;
+        let addr = image.text_addr + off * 4;
+        if image.patch_word(addr, value) {
+            prop_assert_eq!(image.word_at(addr), Some(value));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Machine-independent instruction categories and inquiries (paper §3.4).
+//!
+//! EEL divides instructions into functional categories — memory references,
+//! control transfers (calls, returns, system calls, jumps, branches),
+//! computations, and invalid (data) — and provides inquiries about an
+//! instruction's effect on program state: which registers it reads and
+//! writes, how it changes the program counter, what it operates on. Tools
+//! analyze these categories instead of raw machine instructions.
+
+use crate::insn::{AluOp, Cond, Insn, MemWidth, Op, Src2};
+use crate::reg::{Reg, RegSet};
+
+/// How an indirect `jmpl` is being used. SPARC overloads one opcode for
+/// three roles; the paper's Figure 6 shows spawn-generated code resolving
+/// exactly this overloading.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum JumpKind {
+    /// `jmpl ..., %o7` — an indirect subroutine call.
+    IndirectCall,
+    /// `jmpl %i7+8, %g0` or `jmpl %o7+8, %g0` — a subroutine return.
+    Return,
+    /// `jmpl` through a register that a dispatch table or literal feeds —
+    /// the general indirect jump (case statements, tail calls).
+    IndirectJump,
+}
+
+/// EEL's machine-independent instruction category (§3.4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Category {
+    /// Direct (PC-relative) call.
+    Call,
+    /// Indirect call through a register.
+    IndirectCall,
+    /// Subroutine return.
+    Return,
+    /// Unconditional direct jump (`ba` used as goto is still `Branch`;
+    /// this category is for indirect jumps).
+    IndirectJump,
+    /// Conditional (or always/never) PC-relative branch.
+    Branch,
+    /// System call (conditional trap).
+    SystemCall,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Plain computation (ALU, sethi).
+    Computation,
+    /// No defined semantics — data masquerading as code.
+    Invalid,
+}
+
+impl Insn {
+    /// The machine-independent category of this instruction.
+    ///
+    /// ```
+    /// use eel_isa::{Builder, Category, Reg, Src2};
+    /// assert_eq!(Builder::retl().category(), Category::Return);
+    /// assert_eq!(Builder::nop().category(), Category::Computation);
+    /// assert_eq!(
+    ///     Builder::jmpl(Reg::O7, Reg(9), Src2::Imm(0)).category(),
+    ///     Category::IndirectCall
+    /// );
+    /// ```
+    pub fn category(&self) -> Category {
+        match self.op {
+            Op::Call { .. } => Category::Call,
+            Op::Branch { .. } => Category::Branch,
+            Op::Jmpl { .. } => match self.jump_kind() {
+                Some(JumpKind::IndirectCall) => Category::IndirectCall,
+                Some(JumpKind::Return) => Category::Return,
+                _ => Category::IndirectJump,
+            },
+            Op::Load { .. } => Category::Load,
+            Op::Store { .. } => Category::Store,
+            Op::Trap { .. } => Category::SystemCall,
+            Op::Alu { .. } | Op::Sethi { .. } => Category::Computation,
+            Op::Unimp { .. } | Op::Invalid => Category::Invalid,
+        }
+    }
+
+    /// Resolves the overloaded uses of `jmpl` (Figure 6): indirect call,
+    /// return, or general indirect jump. `None` for non-`jmpl`.
+    pub fn jump_kind(&self) -> Option<JumpKind> {
+        let Op::Jmpl { rd, rs1, src2 } = self.op else {
+            return None;
+        };
+        if rd == Reg::O7 {
+            Some(JumpKind::IndirectCall)
+        } else if rd == Reg::G0
+            && (rs1 == Reg::O7 || rs1 == Reg::I7)
+            && src2 == Src2::Imm(8)
+        {
+            Some(JumpKind::Return)
+        } else {
+            Some(JumpKind::IndirectJump)
+        }
+    }
+
+    /// Is this any control-transfer instruction?
+    pub fn is_control_transfer(&self) -> bool {
+        matches!(
+            self.category(),
+            Category::Call
+                | Category::IndirectCall
+                | Category::Return
+                | Category::IndirectJump
+                | Category::Branch
+        )
+    }
+
+    /// Is this a memory reference (load or store)?
+    pub fn is_memory(&self) -> bool {
+        matches!(self.op, Op::Load { .. } | Op::Store { .. })
+    }
+
+    /// Width in bytes of the memory access, if any — the spawn `{{WIDTH}}`
+    /// attribute.
+    pub fn mem_width(&self) -> Option<u32> {
+        match self.op {
+            Op::Load { width, .. } | Op::Store { width, .. } => Some(width.bytes()),
+            _ => None,
+        }
+    }
+
+    /// The register resources this instruction reads.
+    ///
+    /// Conservative and complete: includes `icc` for conditional branches
+    /// and traps, the stored value for stores, `%y` for divides, and the
+    /// syscall argument registers for `ta` (the kernel reads them).
+    /// `%g0` is never reported (reading it yields no dataflow).
+    pub fn reads(&self) -> RegSet {
+        fn rr(s: &mut RegSet, r: Reg) {
+            if r != Reg::G0 {
+                s.insert(r);
+            }
+        }
+        fn read_src2(s: &mut RegSet, src2: Src2) {
+            if let Src2::Reg(r) = src2 {
+                rr(s, r);
+            }
+        }
+        let mut s = RegSet::new();
+        match self.op {
+            Op::Sethi { .. } | Op::Call { .. } | Op::Unimp { .. } | Op::Invalid => {}
+            Op::Branch { cond, fp, .. } => {
+                if cond != Cond::Always && cond != Cond::Never && !fp {
+                    s.insert(Reg::ICC);
+                }
+            }
+            Op::Alu { op, rd: _, rs1, src2, .. } => match op {
+                AluOp::Rdy => s.insert(Reg::Y),
+                AluOp::Rdpsr => s.insert(Reg::ICC),
+                _ => {
+                    rr(&mut s, rs1);
+                    read_src2(&mut s, src2);
+                    if matches!(op, AluOp::Udiv | AluOp::Sdiv) {
+                        s.insert(Reg::Y);
+                    }
+                }
+            },
+            Op::Jmpl { rs1, src2, .. } => {
+                rr(&mut s, rs1);
+                read_src2(&mut s, src2);
+            }
+            Op::Load { rs1, src2, .. } => {
+                rr(&mut s, rs1);
+                read_src2(&mut s, src2);
+            }
+            Op::Store { width, rd, rs1, src2, fp } => {
+                rr(&mut s, rs1);
+                read_src2(&mut s, src2);
+                if !fp {
+                    rr(&mut s, rd);
+                    if width == MemWidth::Double {
+                        rr(&mut s, Reg(rd.0 | 1));
+                    }
+                }
+            }
+            Op::Trap { cond, rs1, src2 } => {
+                if cond != Cond::Always && cond != Cond::Never {
+                    s.insert(Reg::ICC);
+                }
+                rr(&mut s, rs1);
+                read_src2(&mut s, src2);
+                // System-call convention: number in %g1, arguments in
+                // %o0–%o5; the kernel observes them, so they are live here.
+                s.insert(Reg::G1);
+                for i in 8..14 {
+                    s.insert(Reg(i));
+                }
+            }
+        }
+        s
+    }
+
+    /// The register resources this instruction writes.
+    ///
+    /// Includes `icc` for `cc`-variants, `%y` for multiplies, the link
+    /// register for calls and linking `jmpl`s, and the kernel-clobbered
+    /// result registers for system calls. Writes to `%g0` are discarded by
+    /// hardware and never reported.
+    pub fn writes(&self) -> RegSet {
+        fn wr(s: &mut RegSet, r: Reg) {
+            if r != Reg::G0 {
+                s.insert(r);
+            }
+        }
+        let mut s = RegSet::new();
+        match self.op {
+            Op::Sethi { rd, .. } => wr(&mut s, rd),
+            Op::Branch { .. } | Op::Unimp { .. } | Op::Invalid => {}
+            Op::Call { .. } => wr(&mut s, Reg::O7),
+            Op::Alu { op, cc, rd, .. } => {
+                match op {
+                    AluOp::Wry => s.insert(Reg::Y),
+                    AluOp::Wrpsr => {
+                        s.insert(Reg::ICC);
+                    }
+                    _ => {
+                        wr(&mut s, rd);
+                        if matches!(op, AluOp::Umul | AluOp::Smul) {
+                            s.insert(Reg::Y);
+                        }
+                    }
+                }
+                if cc {
+                    s.insert(Reg::ICC);
+                }
+            }
+            Op::Jmpl { rd, .. } => wr(&mut s, rd),
+            Op::Load { width, rd, fp, .. } => {
+                if !fp {
+                    wr(&mut s, rd);
+                    if width == MemWidth::Double {
+                        wr(&mut s, Reg(rd.0 | 1));
+                    }
+                }
+            }
+            Op::Store { .. } => {}
+            Op::Trap { .. } => {
+                // Kernel returns results in %o0/%o1 and may clobber %g1.
+                s.insert(Reg::O0);
+                s.insert(Reg(9));
+                s.insert(Reg::G1);
+            }
+        }
+        s
+    }
+
+    /// Registers read to *form an address* (the base/offset of a memory
+    /// reference or indirect jump). Empty for other instructions. This is
+    /// the seed set for the paper's backward address slice (Figure 4).
+    pub fn address_reads(&self) -> RegSet {
+        match self.op {
+            Op::Load { rs1, src2, .. }
+            | Op::Store { rs1, src2, .. }
+            | Op::Jmpl { rs1, src2, .. } => {
+                let mut s = RegSet::new();
+                if rs1 != Reg::G0 {
+                    s.insert(rs1);
+                }
+                if let Src2::Reg(r) = src2 {
+                    if r != Reg::G0 {
+                        s.insert(r);
+                    }
+                }
+                s
+            }
+            _ => RegSet::new(),
+        }
+    }
+
+    /// Does this instruction read any floating-point state? (Our subset
+    /// confines FP to `ldf`/`stf`/`fb*`; the slicer refuses to trace
+    /// through FP, as in Figure 4's `mark_as_impossible`.)
+    pub fn reads_fp(&self) -> bool {
+        match self.op {
+            Op::Branch { fp, .. } => fp,
+            Op::Store { fp, .. } => fp,
+            _ => false,
+        }
+    }
+
+    /// Can the instruction fall through to the next sequential instruction?
+    /// (`ba`/`call`/`jmpl` cannot, apart from their delay slot; see
+    /// `eel-core`'s CFG builder for how delay slots are handled.)
+    pub fn falls_through(&self) -> bool {
+        match self.op {
+            Op::Branch { cond: Cond::Always, .. } => false,
+            Op::Jmpl { .. } => false,
+            // A call returns (we treat it as falling through past the call,
+            // as EEL's intraprocedural CFGs do via call surrogate blocks).
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Builder;
+    use crate::Op;
+
+    #[test]
+    fn categories() {
+        assert_eq!(Builder::call(4).category(), Category::Call);
+        assert_eq!(Builder::ba(4).category(), Category::Branch);
+        assert_eq!(Builder::retl().category(), Category::Return);
+        assert_eq!(Builder::ta(Src2::Imm(0)).category(), Category::SystemCall);
+        assert_eq!(
+            Builder::ld(Reg(8), Reg::SP, Src2::Imm(0)).category(),
+            Category::Load
+        );
+        assert_eq!(
+            Builder::st(Reg(8), Reg::SP, Src2::Imm(0)).category(),
+            Category::Store
+        );
+        assert_eq!(
+            Builder::jmpl(Reg::G0, Reg(9), Src2::Imm(0)).category(),
+            Category::IndirectJump
+        );
+        assert_eq!(crate::decode(0xffffffff).category(), Category::Invalid);
+    }
+
+    #[test]
+    fn jmpl_overloads() {
+        // ret = jmpl %i7 + 8, %g0
+        let ret = Builder::jmpl(Reg::G0, Reg::I7, Src2::Imm(8));
+        assert_eq!(ret.jump_kind(), Some(JumpKind::Return));
+        assert_eq!(Builder::retl().jump_kind(), Some(JumpKind::Return));
+        // Indirect call links through %o7.
+        let icall = Builder::jmpl(Reg::O7, Reg(9), Src2::Imm(0));
+        assert_eq!(icall.jump_kind(), Some(JumpKind::IndirectCall));
+        // jmpl %o7 + 12 is NOT a return (wrong offset).
+        let notret = Builder::jmpl(Reg::G0, Reg::O7, Src2::Imm(12));
+        assert_eq!(notret.jump_kind(), Some(JumpKind::IndirectJump));
+        assert_eq!(Builder::nop().jump_kind(), None);
+    }
+
+    #[test]
+    fn reads_writes_alu() {
+        let i = Builder::alu(AluOp::Add, true, Reg(9), Reg(10), Src2::Reg(Reg(11)));
+        assert_eq!(i.reads(), RegSet::of(&[Reg(10), Reg(11)]));
+        assert_eq!(i.writes(), RegSet::of(&[Reg(9), Reg::ICC]));
+    }
+
+    #[test]
+    fn g0_never_appears_in_dataflow() {
+        let i = Builder::mov(Reg(9), Src2::Imm(1)); // or %g0, 1, %o1
+        assert!(i.reads().is_empty());
+        let z = Builder::add(Reg::G0, Reg(9), Src2::Imm(0));
+        assert!(z.writes().is_empty());
+    }
+
+    #[test]
+    fn store_reads_its_source() {
+        let i = Builder::st(Reg(8), Reg::SP, Src2::Imm(4));
+        assert!(i.reads().contains(Reg(8)));
+        assert!(i.reads().contains(Reg::SP));
+        assert!(i.writes().is_empty());
+    }
+
+    #[test]
+    fn std_reads_register_pair() {
+        let i = Builder::store(MemWidth::Double, Reg(16), Reg::SP, Src2::Imm(0));
+        assert!(i.reads().contains(Reg(16)));
+        assert!(i.reads().contains(Reg(17)));
+    }
+
+    #[test]
+    fn ldd_writes_register_pair() {
+        let i = Builder::load(MemWidth::Double, false, Reg(16), Reg::SP, Src2::Imm(0));
+        assert!(i.writes().contains(Reg(16)));
+        assert!(i.writes().contains(Reg(17)));
+    }
+
+    #[test]
+    fn conditional_branch_reads_icc_but_ba_does_not() {
+        let bne = Builder::branch(Cond::Ne, false, 4);
+        assert!(bne.reads().contains(Reg::ICC));
+        let ba = Builder::ba(4);
+        assert!(ba.reads().is_empty());
+    }
+
+    #[test]
+    fn call_writes_link() {
+        assert!(Builder::call(4).writes().contains(Reg::O7));
+    }
+
+    #[test]
+    fn syscall_reads_convention_registers() {
+        let t = Builder::ta(Src2::Imm(0));
+        assert!(t.reads().contains(Reg::G1));
+        assert!(t.reads().contains(Reg::O0));
+        assert!(t.writes().contains(Reg::O0));
+    }
+
+    #[test]
+    fn mul_div_touch_y() {
+        let m = Builder::alu(AluOp::Umul, false, Reg(9), Reg(10), Src2::Imm(3));
+        assert!(m.writes().contains(Reg::Y));
+        let d = Builder::alu(AluOp::Sdiv, false, Reg(9), Reg(10), Src2::Imm(3));
+        assert!(d.reads().contains(Reg::Y));
+    }
+
+    #[test]
+    fn address_reads_isolates_address_operands() {
+        let i = Builder::st(Reg(8), Reg(20), Src2::Reg(Reg(21)));
+        assert_eq!(i.address_reads(), RegSet::of(&[Reg(20), Reg(21)]));
+        // The stored value is NOT part of the address.
+        assert!(!i.address_reads().contains(Reg(8)));
+        assert!(Builder::nop().address_reads().is_empty());
+    }
+
+    #[test]
+    fn fall_through() {
+        assert!(!Builder::ba(4).falls_through());
+        assert!(!Builder::retl().falls_through());
+        assert!(Builder::branch(Cond::Ne, false, 4).falls_through());
+        assert!(Builder::call(4).falls_through());
+        assert!(Builder::nop().falls_through());
+    }
+
+    #[test]
+    fn fp_branch_reads_no_icc_but_reads_fp() {
+        let w = crate::encode(&Op::Branch { cond: Cond::Eq, annul: false, disp22: 4, fp: true });
+        let i = crate::decode(w);
+        assert!(!i.reads().contains(Reg::ICC));
+        assert!(i.reads_fp());
+    }
+}

@@ -1,0 +1,289 @@
+//! The handwritten, total instruction decoder.
+//!
+//! Every 32-bit word decodes to an [`Insn`]; words matching no defined
+//! encoding decode to [`Op::Invalid`]. Totality matters: EEL distinguishes
+//! data from instructions by noticing when control would reach an invalid
+//! instruction (§3.1 stage 4, §4), so the decoder must reliably reject
+//! ill-formed words rather than guess.
+//!
+//! This module plays the role of the paper's 2,268 lines of handwritten
+//! architecture-specific C++; the `eel-spawn` crate derives an equivalent
+//! decoder from a 145-line machine description and is differentially tested
+//! against this one.
+
+use crate::insn::{AluOp, Cond, Insn, MemWidth, Op, Src2};
+use crate::reg::Reg;
+
+/// Extracts bits `lo..=hi` of `word` (LSB = bit 0), unshifted to bit 0.
+fn field(word: u32, lo: u32, hi: u32) -> u32 {
+    (word >> lo) & ((1u32 << (hi - lo + 1)) - 1)
+}
+
+/// Sign-extends the low `bits` bits of `v`.
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Decodes a raw 32-bit word into an [`Insn`]. Total: never fails.
+///
+/// ```
+/// use eel_isa::{decode, Op};
+/// assert!(matches!(decode(0x01000000).op, Op::Sethi { .. })); // nop
+/// assert!(matches!(decode(0xffffffff).op, Op::Invalid));
+/// ```
+pub fn decode(word: u32) -> Insn {
+    let op = match field(word, 30, 31) {
+        0b00 => decode_format2(word),
+        0b01 => Op::Call {
+            disp30: sext(field(word, 0, 29), 30),
+        },
+        0b10 => decode_format3_arith(word),
+        0b11 => decode_format3_mem(word),
+        _ => unreachable!("2-bit field"),
+    };
+    Insn { word, op }
+}
+
+fn decode_format2(word: u32) -> Op {
+    let op2 = field(word, 22, 24);
+    let rd = field(word, 25, 29);
+    match op2 {
+        0b100 => Op::Sethi {
+            rd: Reg(rd as u8),
+            imm22: field(word, 0, 21),
+        },
+        0b010 | 0b110 => Op::Branch {
+            cond: Cond::from_bits(field(word, 25, 28)),
+            annul: field(word, 29, 29) != 0,
+            disp22: sext(field(word, 0, 21), 22),
+            fp: op2 == 0b110,
+        },
+        0b000 if rd == 0 => Op::Unimp {
+            const22: field(word, 0, 21),
+        },
+        _ => Op::Invalid,
+    }
+}
+
+/// Decodes the `i`-selected second operand. Returns `None` when the
+/// reserved `asi` bits (5–12) are nonzero in register form, which SPARC
+/// treats as an undefined encoding; rejecting it keeps the decoder's
+/// invalid-detection sharp.
+fn decode_src2(word: u32) -> Option<Src2> {
+    if field(word, 13, 13) != 0 {
+        Some(Src2::Imm(sext(field(word, 0, 12), 13)))
+    } else if field(word, 5, 12) == 0 {
+        Some(Src2::Reg(Reg(field(word, 0, 4) as u8)))
+    } else {
+        None
+    }
+}
+
+fn decode_format3_arith(word: u32) -> Op {
+    let op3 = field(word, 19, 24);
+    let rd = Reg(field(word, 25, 29) as u8);
+    let rs1 = Reg(field(word, 14, 18) as u8);
+    let Some(src2) = decode_src2(word) else {
+        return Op::Invalid;
+    };
+
+    // cc-setting families: bit 4 of op3 distinguishes e.g. add (0b000000)
+    // from addcc (0b010000).
+    let base = op3 & !0b010000;
+    let cc = op3 & 0b010000 != 0;
+    let cc_family = matches!(base, 0b000000..=0b000111 | 0b001010 | 0b001011 | 0b001110 | 0b001111);
+    if cc_family {
+        let op = match base {
+            0b000000 => AluOp::Add,
+            0b000001 => AluOp::And,
+            0b000010 => AluOp::Or,
+            0b000011 => AluOp::Xor,
+            0b000100 => AluOp::Sub,
+            0b000101 => AluOp::Andn,
+            0b000110 => AluOp::Orn,
+            0b000111 => AluOp::Xnor,
+            0b001010 => AluOp::Umul,
+            0b001011 => AluOp::Smul,
+            0b001110 => AluOp::Udiv,
+            0b001111 => AluOp::Sdiv,
+            _ => unreachable!("filtered by cc_family"),
+        };
+        return Op::Alu { op, cc, rd, rs1, src2 };
+    }
+
+    match op3 {
+        0b100101 => Op::Alu { op: AluOp::Sll, cc: false, rd, rs1, src2 },
+        0b100110 => Op::Alu { op: AluOp::Srl, cc: false, rd, rs1, src2 },
+        0b100111 => Op::Alu { op: AluOp::Sra, cc: false, rd, rs1, src2 },
+        0b111000 => Op::Jmpl { rd, rs1, src2 },
+        0b101000 if rs1 == Reg::G0 && src2 == Src2::Reg(Reg::G0) => {
+            Op::Alu { op: AluOp::Rdy, cc: false, rd, rs1, src2 }
+        }
+        0b101001 if rs1 == Reg::G0 && src2 == Src2::Reg(Reg::G0) => {
+            Op::Alu { op: AluOp::Rdpsr, cc: false, rd, rs1, src2 }
+        }
+        0b110000 if rd == Reg::G0 => Op::Alu { op: AluOp::Wry, cc: false, rd, rs1, src2 },
+        0b110001 if rd == Reg::G0 => Op::Alu { op: AluOp::Wrpsr, cc: false, rd, rs1, src2 },
+        0b111010 if field(word, 29, 29) == 0 => Op::Trap {
+            cond: Cond::from_bits(field(word, 25, 28)),
+            rs1,
+            src2,
+        },
+        0b111100 => Op::Alu { op: AluOp::Save, cc: false, rd, rs1, src2 },
+        0b111101 => Op::Alu { op: AluOp::Restore, cc: false, rd, rs1, src2 },
+        _ => Op::Invalid,
+    }
+}
+
+fn decode_format3_mem(word: u32) -> Op {
+    let op3 = field(word, 19, 24);
+    let rd = Reg(field(word, 25, 29) as u8);
+    let rs1 = Reg(field(word, 14, 18) as u8);
+    let Some(src2) = decode_src2(word) else {
+        return Op::Invalid;
+    };
+
+    let load = |width, signed, fp| Op::Load { width, signed, rd, rs1, src2, fp };
+    let store = |width, fp| Op::Store { width, rd, rs1, src2, fp };
+
+    match op3 {
+        0b000000 => load(MemWidth::Word, false, false),
+        0b000001 => load(MemWidth::Byte, false, false),
+        0b000010 => load(MemWidth::Half, false, false),
+        // Doubleword transfers require an even register pair.
+        0b000011 if rd.0.is_multiple_of(2) => load(MemWidth::Double, false, false),
+        0b000100 => store(MemWidth::Word, false),
+        0b000101 => store(MemWidth::Byte, false),
+        0b000110 => store(MemWidth::Half, false),
+        0b000111 if rd.0.is_multiple_of(2) => store(MemWidth::Double, false),
+        0b001001 => load(MemWidth::Byte, true, false),
+        0b001010 => load(MemWidth::Half, true, false),
+        0b100000 => load(MemWidth::Word, false, true),
+        0b100100 => store(MemWidth::Word, true),
+        _ => Op::Invalid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn nop_is_sethi_zero() {
+        let i = decode(0x01000000);
+        assert_eq!(i.op, Op::Sethi { rd: Reg::G0, imm22: 0 });
+    }
+
+    #[test]
+    fn annulled_bne() {
+        // From the crate docs: 0x32800004 = bne,a .+16
+        let i = decode(0x32800004);
+        assert_eq!(
+            i.op,
+            Op::Branch { cond: Cond::Ne, annul: true, disp22: 4, fp: false }
+        );
+    }
+
+    #[test]
+    fn backward_branch_sign_extends() {
+        let w = encode(&Op::Branch { cond: Cond::Always, annul: false, disp22: -1, fp: false });
+        match decode(w).op {
+            Op::Branch { disp22, .. } => assert_eq!(disp22, -1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_displacement() {
+        let w = encode(&Op::Call { disp30: -100 });
+        assert_eq!(decode(w).op, Op::Call { disp30: -100 });
+    }
+
+    #[test]
+    fn reserved_asi_bits_invalidate() {
+        // add %g1, %g2, %g3 with a nonzero asi field.
+        let good = encode(&Op::Alu {
+            op: AluOp::Add,
+            cc: false,
+            rd: Reg(3),
+            rs1: Reg(1),
+            src2: Src2::Reg(Reg(2)),
+        });
+        assert!(matches!(decode(good).op, Op::Alu { .. }));
+        let bad = good | (1 << 7);
+        assert_eq!(decode(bad).op, Op::Invalid);
+    }
+
+    #[test]
+    fn odd_ldd_is_invalid() {
+        let even = encode(&Op::Load {
+            width: MemWidth::Double,
+            signed: false,
+            rd: Reg(16),
+            rs1: Reg::SP,
+            src2: Src2::Imm(0),
+            fp: false,
+        });
+        assert!(matches!(decode(even).op, Op::Load { width: MemWidth::Double, .. }));
+        // Force rd odd.
+        let odd = (even & !(0x1f << 25)) | (17 << 25);
+        assert_eq!(decode(odd).op, Op::Invalid);
+    }
+
+    #[test]
+    fn trap_always() {
+        // ta 0 (software trap, syscall gateway).
+        let w = encode(&Op::Trap { cond: Cond::Always, rs1: Reg::G0, src2: Src2::Imm(0) });
+        assert_eq!(
+            decode(w).op,
+            Op::Trap { cond: Cond::Always, rs1: Reg::G0, src2: Src2::Imm(0) }
+        );
+    }
+
+    #[test]
+    fn unknown_op3_is_invalid() {
+        // op=10, op3=0b111111 is undefined in our subset.
+        let w = (0b10 << 30) | (0b111111 << 19);
+        assert_eq!(decode(w).op, Op::Invalid);
+    }
+
+    #[test]
+    fn unimp_requires_zero_rd() {
+        let w = 0x00000007; // op=0, op2=0, rd=0 -> unimp 7
+        assert_eq!(decode(w).op, Op::Unimp { const22: 7 });
+        let w_bad_rd = w | (1 << 25);
+        assert_eq!(decode(w_bad_rd).op, Op::Invalid);
+    }
+
+    #[test]
+    fn fp_branch_decodes_as_branch() {
+        let w = encode(&Op::Branch { cond: Cond::Eq, annul: false, disp22: 8, fp: true });
+        match decode(w).op {
+            Op::Branch { fp, .. } => assert!(fp),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_alu_op_round_trips_both_operand_forms() {
+        for op in AluOp::ALL {
+            for src2 in [Src2::Reg(Reg(5)), Src2::Imm(-7)] {
+                let rd = if matches!(op, AluOp::Wry | AluOp::Wrpsr) { Reg::G0 } else { Reg(9) };
+                let (rs1, s2) = if matches!(op, AluOp::Rdy | AluOp::Rdpsr) {
+                    (Reg::G0, Src2::Reg(Reg::G0))
+                } else {
+                    (Reg(3), src2)
+                };
+                for cc in [false, true] {
+                    if cc && !op.supports_cc() {
+                        continue;
+                    }
+                    let orig = Op::Alu { op, cc, rd, rs1, src2: s2 };
+                    assert_eq!(decode(encode(&orig)).op, orig, "{op:?} cc={cc}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Disassembly: `Display` for [`Insn`], in SPARC assembler syntax.
+//!
+//! The output round-trips through `eel-asm`'s parser (a property-tested
+//! invariant over in `eel-asm`), with PC-relative targets printed as
+//! `.+N`/`.-N` word offsets.
+
+use crate::insn::{AluOp, Insn, MemWidth, Op, Src2};
+use crate::reg::Reg;
+use std::fmt;
+
+fn fmt_addr(f: &mut fmt::Formatter<'_>, rs1: Reg, src2: Src2) -> fmt::Result {
+    // Only the zero-immediate form may be abbreviated: register operands
+    // (even %g0) must print in full so reassembly reproduces the exact
+    // encoding (the i bit and operand roles).
+    match src2 {
+        Src2::Reg(r) => write!(f, "[{rs1} + {r}]"),
+        Src2::Imm(0) => write!(f, "[{rs1}]"),
+        Src2::Imm(v) if v < 0 => write!(f, "[{rs1} - {}]", -(v as i64)),
+        Src2::Imm(v) => write!(f, "[{rs1} + {v}]"),
+    }
+}
+
+fn fmt_disp(f: &mut fmt::Formatter<'_>, disp: i32) -> fmt::Result {
+    if disp < 0 {
+        write!(f, ".-{}", -(disp as i64) * 4)
+    } else {
+        write!(f, ".+{}", (disp as i64) * 4)
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Op::Sethi { rd: Reg::G0, imm22: 0 } => write!(f, "nop"),
+            Op::Sethi { rd, imm22 } => write!(f, "sethi {:#x}, {rd}", imm22),
+            Op::Branch { cond, annul, disp22, fp } => {
+                let prefix = if fp { "fb" } else { "b" };
+                write!(f, "{prefix}{}{} ", cond.suffix(), if annul { ",a" } else { "" })?;
+                fmt_disp(f, disp22)
+            }
+            Op::Call { disp30 } => {
+                write!(f, "call ")?;
+                fmt_disp(f, disp30)
+            }
+            Op::Alu { op, cc, rd, rs1, src2 } => match op {
+                AluOp::Rdy => write!(f, "rd %y, {rd}"),
+                AluOp::Rdpsr => write!(f, "rd %psr, {rd}"),
+                AluOp::Wry => write!(f, "wr {rs1}, {src2}, %y"),
+                AluOp::Wrpsr => write!(f, "wr {rs1}, {src2}, %psr"),
+                // Synthetic forms the assembler understands.
+                AluOp::Or if !cc && rs1 == Reg::G0 => write!(f, "mov {src2}, {rd}"),
+                AluOp::Sub if cc && rd == Reg::G0 => write!(f, "cmp {rs1}, {src2}"),
+                _ => write!(
+                    f,
+                    "{}{} {rs1}, {src2}, {rd}",
+                    op.mnemonic(),
+                    if cc { "cc" } else { "" }
+                ),
+            },
+            Op::Jmpl { rd, rs1, src2 } => {
+                if rd == Reg::G0 && rs1 == Reg::O7 && src2 == Src2::Imm(8) {
+                    write!(f, "retl")
+                } else if rd == Reg::G0 && rs1 == Reg::I7 && src2 == Src2::Imm(8) {
+                    write!(f, "ret")
+                } else {
+                    match src2 {
+                        Src2::Imm(0) => write!(f, "jmpl {rs1}, {rd}"),
+                        _ => write!(f, "jmpl {rs1} + {src2}, {rd}"),
+                    }
+                }
+            }
+            Op::Load { width, signed, rd, rs1, src2, fp } => {
+                let mnem = match (width, signed, fp) {
+                    (MemWidth::Word, _, true) => "ldf",
+                    (MemWidth::Word, _, false) => "ld",
+                    (MemWidth::Byte, false, _) => "ldub",
+                    (MemWidth::Byte, true, _) => "ldsb",
+                    (MemWidth::Half, false, _) => "lduh",
+                    (MemWidth::Half, true, _) => "ldsh",
+                    (MemWidth::Double, _, _) => "ldd",
+                };
+                write!(f, "{mnem} ")?;
+                fmt_addr(f, rs1, src2)?;
+                write!(f, ", {rd}")
+            }
+            Op::Store { width, rd, rs1, src2, fp } => {
+                let mnem = match (width, fp) {
+                    (MemWidth::Word, true) => "stf",
+                    (MemWidth::Word, false) => "st",
+                    (MemWidth::Byte, _) => "stb",
+                    (MemWidth::Half, _) => "sth",
+                    (MemWidth::Double, _) => "std",
+                };
+                write!(f, "{mnem} {rd}, ")?;
+                fmt_addr(f, rs1, src2)
+            }
+            Op::Trap { cond, rs1, src2 } => {
+                write!(f, "t{} ", cond.suffix())?;
+                match (rs1, src2) {
+                    // Immediate-only form prints bare; anything involving
+                    // a register prints the full `rs1 + src2` form so the
+                    // assembler reconstructs the exact encoding.
+                    (Reg::G0, Src2::Imm(_)) => write!(f, "{src2}"),
+                    _ => write!(f, "{rs1} + {src2}"),
+                }
+            }
+            Op::Unimp { const22 } => write!(f, "unimp {const22:#x}"),
+            Op::Invalid => write!(f, ".word {:#010x}", self.word),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Builder;
+    use crate::insn::Cond;
+
+    #[test]
+    fn representative_disassembly() {
+        assert_eq!(Builder::nop().to_string(), "nop");
+        assert_eq!(Builder::mov(Reg(9), Src2::Imm(7)).to_string(), "mov 7, %o1");
+        assert_eq!(Builder::cmp(Reg(16), Src2::Imm(0)).to_string(), "cmp %l0, 0");
+        assert_eq!(
+            Builder::add(Reg(17), Reg(16), Src2::Reg(Reg(18))).to_string(),
+            "add %l0, %l2, %l1"
+        );
+        assert_eq!(Builder::branch(Cond::Ne, true, 4).to_string(), "bne,a .+16");
+        assert_eq!(Builder::ba(-2).to_string(), "ba .-8");
+        assert_eq!(Builder::retl().to_string(), "retl");
+        assert_eq!(
+            Builder::ld(Reg(8), Reg::SP, Src2::Imm(64)).to_string(),
+            "ld [%sp + 64], %o0"
+        );
+        assert_eq!(
+            Builder::st(Reg(8), Reg::SP, Src2::Imm(-4)).to_string(),
+            "st %o0, [%sp - 4]"
+        );
+        assert_eq!(Builder::ta(Src2::Imm(0)).to_string(), "ta 0");
+        assert_eq!(Builder::call(2).to_string(), "call .+8");
+        assert_eq!(
+            Builder::jmpl(Reg::G0, Reg(9), Src2::Imm(0)).to_string(),
+            "jmpl %o1, %g0"
+        );
+        assert_eq!(crate::decode(0xffffffff).to_string(), ".word 0xffffffff");
+    }
+
+    #[test]
+    fn sethi_prints_immediate() {
+        let i = Builder::sethi_hi(Reg(6), 0x12345678);
+        assert_eq!(i.to_string(), format!("sethi {:#x}, %g6", 0x12345678u32 >> 10));
+    }
+
+    #[test]
+    fn zero_offset_address_omits_offset() {
+        assert_eq!(
+            Builder::ld(Reg(8), Reg(9), Src2::Imm(0)).to_string(),
+            "ld [%o1], %o0"
+        );
+        assert_eq!(
+            Builder::ld(Reg(8), Reg(9), Src2::Reg(Reg::G0)).to_string(),
+            "ld [%o1 + %g0], %o0"
+        );
+    }
+
+    #[test]
+    fn register_indexed_address() {
+        assert_eq!(
+            Builder::ld(Reg(8), Reg(9), Src2::Reg(Reg(10))).to_string(),
+            "ld [%o1 + %o2], %o0"
+        );
+    }
+}

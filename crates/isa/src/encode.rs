@@ -1,0 +1,276 @@
+//! Instruction encoder and convenience builders.
+//!
+//! [`encode`] is the exact inverse of [`crate::decode`] on all valid
+//! operations (a property-tested invariant). [`Builder`] offers the
+//! idiomatic constructors the assembler, compiler, and snippet machinery
+//! use (`mov`, `cmp`, `set`, `ba`, ...).
+
+use crate::insn::{AluOp, Cond, Insn, MemWidth, Op, Src2};
+use crate::reg::Reg;
+
+fn src2_bits(src2: Src2) -> u32 {
+    match src2 {
+        Src2::Reg(r) => r.0 as u32,
+        Src2::Imm(v) => {
+            assert!(Src2::fits_simm13(v), "immediate {v} exceeds simm13");
+            (1 << 13) | ((v as u32) & 0x1fff)
+        }
+    }
+}
+
+fn format3(op: u32, rd: u32, op3: u32, rs1: u32, src2: Src2) -> u32 {
+    (op << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | src2_bits(src2)
+}
+
+/// Encodes a structured operation into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics if the operation is not encodable: [`Op::Invalid`], an immediate
+/// outside simm13, a branch displacement outside 22 bits, a call
+/// displacement outside 30 bits, or a doubleword access with an odd
+/// register.
+///
+/// ```
+/// use eel_isa::{encode, decode, Op, Cond};
+/// let op = Op::Branch { cond: Cond::Ne, annul: true, disp22: 4, fp: false };
+/// assert_eq!(decode(encode(&op)).op, op);
+/// ```
+pub fn encode(op: &Op) -> u32 {
+    match *op {
+        Op::Sethi { rd, imm22 } => {
+            assert!(imm22 < (1 << 22), "sethi immediate exceeds 22 bits");
+            ((rd.0 as u32) << 25) | (0b100 << 22) | imm22
+        }
+        Op::Branch { cond, annul, disp22, fp } => {
+            assert!((-(1 << 21)..(1 << 21)).contains(&disp22), "disp22 out of range: {disp22}");
+            let op2 = if fp { 0b110 } else { 0b010 };
+            ((annul as u32) << 29)
+                | (cond.bits() << 25)
+                | (op2 << 22)
+                | ((disp22 as u32) & 0x3fffff)
+        }
+        Op::Call { disp30 } => (0b01 << 30) | ((disp30 as u32) & 0x3fffffff),
+        Op::Alu { op, cc, rd, rs1, src2 } => {
+            assert!(!cc || op.supports_cc(), "{op:?} has no cc variant");
+            let op3 = (op as u32) | if cc { 0b010000 } else { 0 };
+            format3(0b10, rd.0 as u32, op3, rs1.0 as u32, src2)
+        }
+        Op::Jmpl { rd, rs1, src2 } => format3(0b10, rd.0 as u32, 0b111000, rs1.0 as u32, src2),
+        Op::Trap { cond, rs1, src2 } => format3(0b10, cond.bits(), 0b111010, rs1.0 as u32, src2),
+        Op::Load { width, signed, rd, rs1, src2, fp } => {
+            let op3 = match (width, signed, fp) {
+                (MemWidth::Word, false, false) => 0b000000,
+                (MemWidth::Byte, false, false) => 0b000001,
+                (MemWidth::Half, false, false) => 0b000010,
+                (MemWidth::Double, false, false) => {
+                    assert!(rd.0 % 2 == 0, "ldd needs an even register");
+                    0b000011
+                }
+                (MemWidth::Byte, true, false) => 0b001001,
+                (MemWidth::Half, true, false) => 0b001010,
+                (MemWidth::Word, false, true) => 0b100000,
+                other => panic!("unencodable load {other:?}"),
+            };
+            format3(0b11, rd.0 as u32, op3, rs1.0 as u32, src2)
+        }
+        Op::Store { width, rd, rs1, src2, fp } => {
+            let op3 = match (width, fp) {
+                (MemWidth::Word, false) => 0b000100,
+                (MemWidth::Byte, false) => 0b000101,
+                (MemWidth::Half, false) => 0b000110,
+                (MemWidth::Double, false) => {
+                    assert!(rd.0 % 2 == 0, "std needs an even register");
+                    0b000111
+                }
+                (MemWidth::Word, true) => 0b100100,
+                other => panic!("unencodable store {other:?}"),
+            };
+            format3(0b11, rd.0 as u32, op3, rs1.0 as u32, src2)
+        }
+        Op::Unimp { const22 } => {
+            assert!(const22 < (1 << 22));
+            const22
+        }
+        Op::Invalid => panic!("cannot encode Op::Invalid"),
+    }
+}
+
+/// Convenience constructors for common instructions, returning [`Insn`]s.
+///
+/// These mirror the synthetic mnemonics SPARC assemblers provide (`mov`,
+/// `cmp`, `set`) and are what `eel-cc`, `eel-asm`, and `eel-core`'s edit
+/// machinery use to synthesize code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Builder;
+
+impl Builder {
+    /// `nop` (encoded as `sethi 0, %g0`).
+    pub fn nop() -> Insn {
+        Self::build(Op::Sethi { rd: Reg::G0, imm22: 0 })
+    }
+
+    /// `sethi %hi(value), rd` — sets the upper 22 bits of `rd`.
+    pub fn sethi_hi(rd: Reg, value: u32) -> Insn {
+        Self::build(Op::Sethi { rd, imm22: crate::hi22(value) })
+    }
+
+    /// A generic ALU instruction.
+    pub fn alu(op: AluOp, cc: bool, rd: Reg, rs1: Reg, src2: Src2) -> Insn {
+        Self::build(Op::Alu { op, cc, rd, rs1, src2 })
+    }
+
+    /// `add rd, rs1, src2`.
+    pub fn add(rd: Reg, rs1: Reg, src2: Src2) -> Insn {
+        Self::alu(AluOp::Add, false, rd, rs1, src2)
+    }
+
+    /// `sub rd, rs1, src2`.
+    pub fn sub(rd: Reg, rs1: Reg, src2: Src2) -> Insn {
+        Self::alu(AluOp::Sub, false, rd, rs1, src2)
+    }
+
+    /// `mov src2, rd` (`or %g0, src2, rd`).
+    pub fn mov(rd: Reg, src2: Src2) -> Insn {
+        Self::alu(AluOp::Or, false, rd, Reg::G0, src2)
+    }
+
+    /// `cmp rs1, src2` (`subcc rs1, src2, %g0`).
+    pub fn cmp(rs1: Reg, src2: Src2) -> Insn {
+        Self::alu(AluOp::Sub, true, Reg::G0, rs1, src2)
+    }
+
+    /// `or rd, rs1, %lo(value)` — the second half of a `set`.
+    pub fn or_lo(rd: Reg, rs1: Reg, value: u32) -> Insn {
+        Self::alu(AluOp::Or, false, rd, rs1, Src2::Imm(crate::lo10(value) as i32))
+    }
+
+    /// The `set value, rd` synthetic: one or two instructions materializing
+    /// an arbitrary 32-bit constant.
+    pub fn set(rd: Reg, value: u32) -> Vec<Insn> {
+        if Src2::fits_simm13(value as i32) {
+            vec![Self::mov(rd, Src2::Imm(value as i32))]
+        } else if crate::lo10(value) == 0 {
+            vec![Self::sethi_hi(rd, value)]
+        } else {
+            vec![Self::sethi_hi(rd, value), Self::or_lo(rd, rd, value)]
+        }
+    }
+
+    /// Conditional branch on `icc` with explicit annul bit and word
+    /// displacement.
+    pub fn branch(cond: Cond, annul: bool, disp22: i32) -> Insn {
+        Self::build(Op::Branch { cond, annul, disp22, fp: false })
+    }
+
+    /// `ba disp` — branch always.
+    pub fn ba(disp22: i32) -> Insn {
+        Self::branch(Cond::Always, false, disp22)
+    }
+
+    /// `call disp` (word displacement).
+    pub fn call(disp30: i32) -> Insn {
+        Self::build(Op::Call { disp30 })
+    }
+
+    /// `jmpl rs1 + src2, rd`.
+    pub fn jmpl(rd: Reg, rs1: Reg, src2: Src2) -> Insn {
+        Self::build(Op::Jmpl { rd, rs1, src2 })
+    }
+
+    /// `retl` — return from a leaf routine (`jmpl %o7 + 8, %g0`).
+    pub fn retl() -> Insn {
+        Self::jmpl(Reg::G0, Reg::O7, Src2::Imm(8))
+    }
+
+    /// Integer load of the given width.
+    pub fn load(width: MemWidth, signed: bool, rd: Reg, rs1: Reg, src2: Src2) -> Insn {
+        Self::build(Op::Load { width, signed, rd, rs1, src2, fp: false })
+    }
+
+    /// `ld [rs1 + src2], rd`.
+    pub fn ld(rd: Reg, rs1: Reg, src2: Src2) -> Insn {
+        Self::load(MemWidth::Word, false, rd, rs1, src2)
+    }
+
+    /// Integer store of the given width.
+    pub fn store(width: MemWidth, rd: Reg, rs1: Reg, src2: Src2) -> Insn {
+        Self::build(Op::Store { width, rd, rs1, src2, fp: false })
+    }
+
+    /// `st rd, [rs1 + src2]`.
+    pub fn st(rd: Reg, rs1: Reg, src2: Src2) -> Insn {
+        Self::store(MemWidth::Word, rd, rs1, src2)
+    }
+
+    /// `ta src2` — trap always; the system-call gateway.
+    pub fn ta(src2: Src2) -> Insn {
+        Self::build(Op::Trap { cond: Cond::Always, rs1: Reg::G0, src2 })
+    }
+
+    fn build(op: Op) -> Insn {
+        Insn { word: encode(&op), op }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn builders_round_trip() {
+        for insn in [
+            Builder::nop(),
+            Builder::mov(Reg(9), Src2::Imm(42)),
+            Builder::cmp(Reg(9), Src2::Reg(Reg(10))),
+            Builder::ba(-3),
+            Builder::retl(),
+            Builder::ld(Reg(8), Reg::SP, Src2::Imm(64)),
+            Builder::st(Reg(8), Reg::SP, Src2::Imm(-4)),
+            Builder::ta(Src2::Imm(0)),
+            Builder::call(1000),
+        ] {
+            assert_eq!(decode(insn.word), insn);
+        }
+    }
+
+    #[test]
+    fn set_small_constant_is_one_mov() {
+        let insns = Builder::set(Reg(9), 100);
+        assert_eq!(insns.len(), 1);
+    }
+
+    #[test]
+    fn set_aligned_constant_is_one_sethi() {
+        let insns = Builder::set(Reg(9), 0x40000);
+        assert_eq!(insns.len(), 1);
+        assert!(matches!(insns[0].op, Op::Sethi { .. }));
+    }
+
+    #[test]
+    fn set_large_constant_is_sethi_or_pair() {
+        let value = 0x12345678;
+        let insns = Builder::set(Reg(9), value);
+        assert_eq!(insns.len(), 2);
+        // Verify the pair reconstructs the constant.
+        match (insns[0].op, insns[1].op) {
+            (Op::Sethi { imm22, .. }, Op::Alu { src2: Src2::Imm(lo), .. }) => {
+                assert_eq!((imm22 << 10) | (lo as u32), value);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "simm13")]
+    fn oversized_immediate_panics() {
+        Builder::mov(Reg(9), Src2::Imm(99999));
+    }
+
+    #[test]
+    #[should_panic(expected = "disp22")]
+    fn oversized_branch_panics() {
+        encode(&Op::Branch { cond: Cond::Eq, annul: false, disp22: 1 << 21, fp: false });
+    }
+}

@@ -1,0 +1,682 @@
+//! Executable instruction semantics.
+//!
+//! This module gives every instruction an operational meaning: it is the
+//! core of the `eel-emu` emulator, and its pure helpers ([`eval_alu`],
+//! [`eval_cond`]) are also what EEL's analyses use to "replicate the
+//! computation in most instructions, such as computing the target address
+//! of a jump" (§4) — e.g. when the backward slicer evaluates the
+//! `sethi`/`or`/`sll`/`ld` chain that feeds an indirect jump.
+//!
+//! Control flow is modeled exactly as SPARC does: a PC/nPC pair plus an
+//! annul flag, so delayed branches and annulled delay slots behave
+//! bit-for-bit like the hardware the paper measured.
+
+use crate::insn::{AluOp, Cond, Insn, MemWidth, Op, Src2};
+use crate::reg::Reg;
+
+/// Integer condition codes, packed N|Z|V|C in the low four bits.
+pub mod icc {
+    /// Negative.
+    pub const N: u8 = 0b1000;
+    /// Zero.
+    pub const Z: u8 = 0b0100;
+    /// Overflow.
+    pub const V: u8 = 0b0010;
+    /// Carry.
+    pub const C: u8 = 0b0001;
+}
+
+/// Abstract memory interface for instruction execution.
+///
+/// Loads return zero-extended values; [`step`] applies sign extension.
+/// Doubleword accesses are performed as two word accesses by [`step`].
+/// Pass `&mut M` where an owned memory is inconvenient.
+pub trait Memory {
+    /// Loads `bytes ∈ {1,2,4}` bytes at `addr` (big-endian, like SPARC),
+    /// zero-extended. Returns `None` on fault (unmapped address).
+    fn load(&mut self, addr: u32, bytes: u32) -> Option<u32>;
+    /// Stores the low `bytes` bytes of `value` at `addr`. Returns `None`
+    /// on fault.
+    fn store(&mut self, addr: u32, bytes: u32, value: u32) -> Option<()>;
+}
+
+impl<M: Memory + ?Sized> Memory for &mut M {
+    fn load(&mut self, addr: u32, bytes: u32) -> Option<u32> {
+        (**self).load(addr, bytes)
+    }
+    fn store(&mut self, addr: u32, bytes: u32, value: u32) -> Option<()> {
+        (**self).store(addr, bytes, value)
+    }
+}
+
+/// Architected register state: 32 GPRs, `icc`, `%y`, and the PC/nPC pair
+/// with the annul flag for delayed control transfers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineState {
+    /// General-purpose registers; `regs[0]` (`%g0`) is kept at zero.
+    pub regs: [u32; 32],
+    /// Condition codes (N|Z|V|C in the low nibble; see the `icc` module).
+    pub icc: u8,
+    /// The `%y` register.
+    pub y: u32,
+    /// Address of the instruction currently executing.
+    pub pc: u32,
+    /// Address of the next instruction (differs from `pc + 4` in a delay
+    /// slot).
+    pub npc: u32,
+    /// When set, the instruction at `pc` is annulled: skipped without
+    /// effect.
+    pub annul: bool,
+}
+
+impl MachineState {
+    /// Fresh state with all registers zero, starting execution at `entry`.
+    pub fn new(entry: u32) -> MachineState {
+        MachineState {
+            regs: [0; 32],
+            icc: 0,
+            y: 0,
+            pc: entry,
+            npc: entry.wrapping_add(4),
+            annul: false,
+        }
+    }
+
+    /// Reads a GPR (`%g0` reads as zero by construction).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() & 31]
+    }
+
+    /// Writes a GPR; writes to `%g0` are discarded.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r != Reg::G0 {
+            self.regs[r.index() & 31] = value;
+        }
+    }
+
+    fn operand(&self, src2: Src2) -> u32 {
+        match src2 {
+            Src2::Reg(r) => self.reg(r),
+            Src2::Imm(v) => v as u32,
+        }
+    }
+}
+
+/// What happened when an instruction executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Normal completion.
+    Ok,
+    /// A taken trap: a system call with this trap number. State has already
+    /// advanced; the handler runs "between" instructions.
+    Trap(u32),
+    /// The instruction word has no defined semantics (illegal instruction).
+    Illegal,
+    /// A misaligned or unmapped memory access at this address.
+    MemFault(u32),
+    /// Integer division by zero.
+    DivZero,
+    /// A control transfer to a misaligned target address.
+    BadJump(u32),
+}
+
+/// Evaluates a branch/trap condition against condition codes.
+///
+/// ```
+/// use eel_isa::{eval_cond, Cond};
+/// // Z set ⇒ `be` true, `bne` false.
+/// assert!(eval_cond(Cond::Eq, 0b0100));
+/// assert!(!eval_cond(Cond::Ne, 0b0100));
+/// assert!(eval_cond(Cond::Always, 0));
+/// ```
+pub fn eval_cond(cond: Cond, cc: u8) -> bool {
+    let n = cc & icc::N != 0;
+    let z = cc & icc::Z != 0;
+    let v = cc & icc::V != 0;
+    let c = cc & icc::C != 0;
+    match cond {
+        Cond::Never => false,
+        Cond::Eq => z,
+        Cond::Le => z || (n != v),
+        Cond::Lt => n != v,
+        Cond::Leu => c || z,
+        Cond::CarrySet => c,
+        Cond::Neg => n,
+        Cond::OverflowSet => v,
+        Cond::Always => true,
+        Cond::Ne => !z,
+        Cond::Gt => !(z || (n != v)),
+        Cond::Ge => n == v,
+        Cond::Gtu => !(c || z),
+        Cond::CarryClear => !c,
+        Cond::Pos => !n,
+        Cond::OverflowClear => !v,
+    }
+}
+
+/// Computes an ALU operation: returns `(result, new_icc, new_y)` where the
+/// latter two are `None` if unchanged. `y` is the current `%y` value
+/// (consumed by divides, produced by multiplies).
+///
+/// # Errors
+///
+/// Returns `Err(StepEvent::DivZero)` for division by zero.
+pub fn eval_alu(
+    op: AluOp,
+    cc: bool,
+    a: u32,
+    b: u32,
+    y: u32,
+) -> Result<(u32, Option<u8>, Option<u32>), StepEvent> {
+    let mut new_y = None;
+    let (result, carry, overflow) = match op {
+        AluOp::Add | AluOp::Save | AluOp::Restore => {
+            let (r, c) = a.overflowing_add(b);
+            let v = ((a ^ !b) & (a ^ r)) & 0x8000_0000 != 0;
+            (r, c, v)
+        }
+        AluOp::Sub => {
+            let (r, borrow) = a.overflowing_sub(b);
+            let v = ((a ^ b) & (a ^ r)) & 0x8000_0000 != 0;
+            (r, borrow, v)
+        }
+        AluOp::And => (a & b, false, false),
+        AluOp::Or => (a | b, false, false),
+        AluOp::Xor => (a ^ b, false, false),
+        AluOp::Andn => (a & !b, false, false),
+        AluOp::Orn => (a | !b, false, false),
+        AluOp::Xnor => (!(a ^ b), false, false),
+        AluOp::Umul => {
+            let p = (a as u64) * (b as u64);
+            new_y = Some((p >> 32) as u32);
+            (p as u32, false, false)
+        }
+        AluOp::Smul => {
+            let p = (a as i32 as i64) * (b as i32 as i64);
+            new_y = Some((p as u64 >> 32) as u32);
+            (p as u32, false, false)
+        }
+        AluOp::Udiv => {
+            if b == 0 {
+                return Err(StepEvent::DivZero);
+            }
+            let dividend = ((y as u64) << 32) | a as u64;
+            let q = dividend / b as u64;
+            (q.min(u32::MAX as u64) as u32, false, q > u32::MAX as u64)
+        }
+        AluOp::Sdiv => {
+            if b == 0 {
+                return Err(StepEvent::DivZero);
+            }
+            let dividend = (((y as u64) << 32) | a as u64) as i64;
+            let q = dividend / b as i32 as i64;
+            let clamped = q.clamp(i32::MIN as i64, i32::MAX as i64);
+            (clamped as u32, false, q != clamped)
+        }
+        AluOp::Sll => (a.wrapping_shl(b & 31), false, false),
+        AluOp::Srl => (a.wrapping_shr(b & 31), false, false),
+        AluOp::Sra => (((a as i32).wrapping_shr(b & 31)) as u32, false, false),
+        AluOp::Rdy => (y, false, false),
+        AluOp::Wry => {
+            new_y = Some(a ^ b);
+            (0, false, false)
+        }
+        // Rdpsr/Wrpsr move the condition codes through bits 20-23; the
+        // flag plumbing happens in `step` (eval_alu has no icc input).
+        AluOp::Rdpsr => (0, false, false),
+        AluOp::Wrpsr => (0, false, false),
+    };
+    let new_icc = if cc {
+        let mut f = 0u8;
+        if result & 0x8000_0000 != 0 {
+            f |= icc::N;
+        }
+        if result == 0 {
+            f |= icc::Z;
+        }
+        if overflow {
+            f |= icc::V;
+        }
+        if carry {
+            f |= icc::C;
+        }
+        Some(f)
+    } else {
+        None
+    };
+    Ok((result, new_icc, new_y))
+}
+
+/// Executes one instruction, advancing `state` and touching `mem`.
+///
+/// The caller fetches the word at `state.pc`, decodes it, and passes it in.
+/// If `state.annul` is set, the instruction is skipped (the state still
+/// advances) — callers may also implement annulment themselves and simply
+/// not call `step`. On [`StepEvent::Trap`], the PC has already advanced;
+/// the caller services the trap and resumes.
+pub fn step<M: Memory>(state: &mut MachineState, mem: &mut M, insn: Insn) -> StepEvent {
+    // Default sequential advance; control transfers override `next_npc`.
+    let pc = state.pc;
+    let mut next_npc = state.npc.wrapping_add(4);
+    let mut next_annul = false;
+
+    if state.annul {
+        state.annul = false;
+        state.pc = state.npc;
+        state.npc = next_npc;
+        return StepEvent::Ok;
+    }
+
+    let mut event = StepEvent::Ok;
+    match insn.op {
+        Op::Sethi { rd, imm22 } => state.set_reg(rd, imm22 << 10),
+        Op::Alu { op, cc, rd, rs1, src2 } => {
+            let a = if matches!(op, AluOp::Rdy | AluOp::Rdpsr) { 0 } else { state.reg(rs1) };
+            let b = state.operand(src2);
+            match eval_alu(op, cc, a, b, state.y) {
+                Ok((result, new_icc, new_y)) => {
+                    match op {
+                        AluOp::Rdpsr => {
+                            state.set_reg(rd, (state.icc as u32) << 20);
+                        }
+                        AluOp::Wrpsr => {
+                            state.icc = ((state.reg(rs1) ^ state.operand(src2)) >> 20) as u8 & 0xf;
+                        }
+                        _ => {}
+                    }
+                    if !matches!(op, AluOp::Wry | AluOp::Wrpsr | AluOp::Rdpsr) {
+                        state.set_reg(rd, result);
+                    }
+                    if let Some(f) = new_icc {
+                        state.icc = f;
+                    }
+                    if let Some(yv) = new_y {
+                        state.y = yv;
+                    }
+                }
+                Err(e) => event = e,
+            }
+        }
+        Op::Branch { cond, annul, disp22, fp } => {
+            // We never emit FP branches; executing one is illegal here.
+            if fp {
+                event = StepEvent::Illegal;
+            } else {
+                let taken = eval_cond(cond, state.icc);
+                if taken {
+                    next_npc = pc.wrapping_add((disp22 as u32) << 2);
+                    // `ba,a` annuls its delay slot even though taken.
+                    if annul && cond == Cond::Always {
+                        next_annul = true;
+                    }
+                } else if annul {
+                    next_annul = true;
+                }
+            }
+        }
+        Op::Call { disp30 } => {
+            state.set_reg(Reg::O7, pc);
+            next_npc = pc.wrapping_add((disp30 as u32) << 2);
+        }
+        Op::Jmpl { rd, rs1, src2 } => {
+            let target = state.reg(rs1).wrapping_add(state.operand(src2));
+            if !target.is_multiple_of(4) {
+                event = StepEvent::BadJump(target);
+            } else {
+                state.set_reg(rd, pc);
+                next_npc = target;
+            }
+        }
+        Op::Load { width, signed, rd, rs1, src2, fp } => {
+            if fp {
+                event = StepEvent::Illegal;
+            } else {
+                let addr = state.reg(rs1).wrapping_add(state.operand(src2));
+                event = exec_load(state, mem, width, signed, rd, addr);
+            }
+        }
+        Op::Store { width, rd, rs1, src2, fp } => {
+            if fp {
+                event = StepEvent::Illegal;
+            } else {
+                let addr = state.reg(rs1).wrapping_add(state.operand(src2));
+                event = exec_store(state, mem, width, rd, addr);
+            }
+        }
+        Op::Trap { cond, rs1, src2 } => {
+            if eval_cond(cond, state.icc) {
+                let number = state.reg(rs1).wrapping_add(state.operand(src2)) & 0x7f;
+                event = StepEvent::Trap(number);
+            }
+        }
+        Op::Unimp { .. } | Op::Invalid => event = StepEvent::Illegal,
+    }
+
+    match event {
+        StepEvent::Ok | StepEvent::Trap(_) => {
+            state.pc = state.npc;
+            state.npc = next_npc;
+            state.annul = next_annul;
+        }
+        // Faulting instructions leave the PC on themselves so the emulator
+        // can report a precise fault address.
+        _ => {}
+    }
+    event
+}
+
+fn exec_load<M: Memory>(
+    state: &mut MachineState,
+    mem: &mut M,
+    width: MemWidth,
+    signed: bool,
+    rd: Reg,
+    addr: u32,
+) -> StepEvent {
+    let bytes = width.bytes().min(4);
+    if !addr.is_multiple_of(bytes) || (width == MemWidth::Double && !addr.is_multiple_of(8)) {
+        return StepEvent::MemFault(addr);
+    }
+    if width == MemWidth::Double {
+        let (Some(hi), Some(lo)) = (mem.load(addr, 4), mem.load(addr + 4, 4)) else {
+            return StepEvent::MemFault(addr);
+        };
+        state.set_reg(rd, hi);
+        state.set_reg(Reg(rd.0 | 1), lo);
+        return StepEvent::Ok;
+    }
+    let Some(raw) = mem.load(addr, bytes) else {
+        return StepEvent::MemFault(addr);
+    };
+    let value = if signed {
+        match width {
+            MemWidth::Byte => raw as u8 as i8 as i32 as u32,
+            MemWidth::Half => raw as u16 as i16 as i32 as u32,
+            _ => raw,
+        }
+    } else {
+        raw
+    };
+    state.set_reg(rd, value);
+    StepEvent::Ok
+}
+
+fn exec_store<M: Memory>(
+    state: &mut MachineState,
+    mem: &mut M,
+    width: MemWidth,
+    rd: Reg,
+    addr: u32,
+) -> StepEvent {
+    let bytes = width.bytes().min(4);
+    if !addr.is_multiple_of(bytes) || (width == MemWidth::Double && !addr.is_multiple_of(8)) {
+        return StepEvent::MemFault(addr);
+    }
+    if width == MemWidth::Double {
+        let hi = state.reg(rd);
+        let lo = state.reg(Reg(rd.0 | 1));
+        if mem.store(addr, 4, hi).is_none() || mem.store(addr + 4, 4, lo).is_none() {
+            return StepEvent::MemFault(addr);
+        }
+        return StepEvent::Ok;
+    }
+    match mem.store(addr, bytes, state.reg(rd)) {
+        Some(()) => StepEvent::Ok,
+        None => StepEvent::MemFault(addr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Builder;
+    use std::collections::HashMap;
+
+    /// Trivial word-granular test memory.
+    #[derive(Default)]
+    struct TestMem(HashMap<u32, u8>);
+
+    impl Memory for TestMem {
+        fn load(&mut self, addr: u32, bytes: u32) -> Option<u32> {
+            let mut v = 0u32;
+            for i in 0..bytes {
+                v = (v << 8) | *self.0.get(&(addr + i)).unwrap_or(&0) as u32;
+            }
+            Some(v)
+        }
+        fn store(&mut self, addr: u32, bytes: u32, value: u32) -> Option<()> {
+            for i in 0..bytes {
+                self.0.insert(addr + i, (value >> (8 * (bytes - 1 - i))) as u8);
+            }
+            Some(())
+        }
+    }
+
+    fn run(insns: &[Insn]) -> MachineState {
+        let mut st = MachineState::new(0x1000);
+        let mut mem = TestMem::default();
+        for _ in 0..insns.len() * 4 {
+            let idx = (st.pc - 0x1000) / 4;
+            if idx as usize >= insns.len() {
+                break;
+            }
+            step(&mut st, &mut mem, insns[idx as usize]);
+        }
+        st
+    }
+
+    #[test]
+    fn add_and_flags() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        step(&mut st, &mut mem, Builder::mov(Reg(9), Src2::Imm(-1)));
+        step(&mut st, &mut mem, Builder::alu(AluOp::Add, true, Reg(10), Reg(9), Src2::Imm(1)));
+        assert_eq!(st.reg(Reg(10)), 0);
+        assert_eq!(st.icc & icc::Z, icc::Z);
+        assert_eq!(st.icc & icc::C, icc::C);
+        assert_eq!(st.icc & icc::V, 0);
+    }
+
+    #[test]
+    fn signed_overflow_sets_v() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        st.set_reg(Reg(9), 0x7fff_ffff);
+        step(&mut st, &mut mem, Builder::alu(AluOp::Add, true, Reg(10), Reg(9), Src2::Imm(1)));
+        assert_eq!(st.icc & icc::V, icc::V);
+        assert_eq!(st.icc & icc::N, icc::N);
+    }
+
+    #[test]
+    fn g0_is_immutable() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        step(&mut st, &mut mem, Builder::mov(Reg::G0, Src2::Imm(5)));
+        assert_eq!(st.reg(Reg::G0), 0);
+    }
+
+    #[test]
+    fn taken_branch_executes_delay_slot() {
+        // 0x1000: ba +3 ; 0x1004: mov 1,%o0 (delay) ; 0x1008: mov 2,%o1 (skipped)
+        // 0x100c: mov 3,%o2 (target)
+        let prog = [
+            Builder::ba(3),
+            Builder::mov(Reg(8), Src2::Imm(1)),
+            Builder::mov(Reg(9), Src2::Imm(2)),
+            Builder::mov(Reg(10), Src2::Imm(3)),
+        ];
+        let st = run(&prog);
+        assert_eq!(st.reg(Reg(8)), 1, "delay slot must execute");
+        assert_eq!(st.reg(Reg(9)), 0, "skipped instruction must not");
+        assert_eq!(st.reg(Reg(10)), 3);
+    }
+
+    #[test]
+    fn untaken_annulled_branch_skips_delay_slot() {
+        // cmp 0,0 ; bne,a +3 ; mov 1,%o0 (annulled) ; mov 2,%o1
+        let prog = [
+            Builder::cmp(Reg::G0, Src2::Imm(0)),
+            Builder::branch(Cond::Ne, true, 3),
+            Builder::mov(Reg(8), Src2::Imm(1)),
+            Builder::mov(Reg(9), Src2::Imm(2)),
+        ];
+        let st = run(&prog);
+        assert_eq!(st.reg(Reg(8)), 0, "annulled delay slot must not execute");
+        assert_eq!(st.reg(Reg(9)), 2);
+    }
+
+    #[test]
+    fn taken_annulled_branch_executes_delay_slot() {
+        let prog = [
+            Builder::cmp(Reg::G0, Src2::Imm(1)), // 0 != 1 → Ne true
+            Builder::branch(Cond::Ne, true, 3),
+            Builder::mov(Reg(8), Src2::Imm(1)), // delay: executes (taken)
+            Builder::mov(Reg(9), Src2::Imm(2)), // skipped
+            Builder::mov(Reg(10), Src2::Imm(3)), // target
+        ];
+        let st = run(&prog);
+        assert_eq!(st.reg(Reg(8)), 1);
+        assert_eq!(st.reg(Reg(9)), 0);
+        assert_eq!(st.reg(Reg(10)), 3);
+    }
+
+    #[test]
+    fn ba_annulled_never_executes_delay_slot() {
+        let prog = [
+            Builder::branch(Cond::Always, true, 2),
+            Builder::mov(Reg(8), Src2::Imm(1)), // annulled despite taken
+            Builder::mov(Reg(9), Src2::Imm(2)), // target
+        ];
+        let st = run(&prog);
+        assert_eq!(st.reg(Reg(8)), 0);
+        assert_eq!(st.reg(Reg(9)), 2);
+    }
+
+    #[test]
+    fn call_links_and_transfers() {
+        let prog = [
+            Builder::call(3),
+            Builder::nop(),
+            Builder::mov(Reg(9), Src2::Imm(9)), // skipped
+            Builder::mov(Reg(10), Src2::Imm(1)), // callee
+        ];
+        let st = run(&prog);
+        assert_eq!(st.reg(Reg::O7), 0x1000);
+        assert_eq!(st.reg(Reg(10)), 1);
+        assert_eq!(st.reg(Reg(9)), 0);
+    }
+
+    #[test]
+    fn jmpl_links_and_faults_on_misalignment() {
+        let mut st = MachineState::new(0x1000);
+        let mut mem = TestMem::default();
+        st.set_reg(Reg(9), 0x2002);
+        let ev = step(&mut st, &mut mem, Builder::jmpl(Reg(10), Reg(9), Src2::Imm(0)));
+        assert_eq!(ev, StepEvent::BadJump(0x2002));
+        assert_eq!(st.pc, 0x1000, "faulting pc preserved");
+    }
+
+    #[test]
+    fn memory_round_trip_and_sign_extension() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        st.set_reg(Reg(9), 0x8000);
+        st.set_reg(Reg(8), 0xffff_ff85);
+        step(&mut st, &mut mem, Builder::store(MemWidth::Byte, Reg(8), Reg(9), Src2::Imm(0)));
+        step(&mut st, &mut mem, Builder::load(MemWidth::Byte, true, Reg(10), Reg(9), Src2::Imm(0)));
+        assert_eq!(st.reg(Reg(10)), 0xffff_ff85);
+        step(&mut st, &mut mem, Builder::load(MemWidth::Byte, false, Reg(11), Reg(9), Src2::Imm(0)));
+        assert_eq!(st.reg(Reg(11)), 0x85);
+    }
+
+    #[test]
+    fn misaligned_word_access_faults() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        st.set_reg(Reg(9), 0x8002);
+        let ev = step(&mut st, &mut mem, Builder::ld(Reg(8), Reg(9), Src2::Imm(0)));
+        assert_eq!(ev, StepEvent::MemFault(0x8002));
+    }
+
+    #[test]
+    fn trap_fires_only_when_condition_holds() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        assert_eq!(step(&mut st, &mut mem, Builder::ta(Src2::Imm(5))), StepEvent::Trap(5));
+        // tn never traps.
+        let tn = Insn::from_word(crate::encode(&Op::Trap {
+            cond: Cond::Never,
+            rs1: Reg::G0,
+            src2: Src2::Imm(5),
+        }));
+        assert_eq!(step(&mut st, &mut mem, tn), StepEvent::Ok);
+    }
+
+    #[test]
+    fn div_by_zero_reported() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        st.set_reg(Reg(9), 10);
+        let ev = step(
+            &mut st,
+            &mut mem,
+            Builder::alu(AluOp::Sdiv, false, Reg(10), Reg(9), Src2::Imm(0)),
+        );
+        assert_eq!(ev, StepEvent::DivZero);
+    }
+
+    #[test]
+    fn smul_fills_y() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        st.set_reg(Reg(9), 0x10000);
+        st.set_reg(Reg(10), 0x10000);
+        step(
+            &mut st,
+            &mut mem,
+            Builder::alu(AluOp::Smul, false, Reg(11), Reg(9), Src2::Reg(Reg(10))),
+        );
+        assert_eq!(st.reg(Reg(11)), 0);
+        assert_eq!(st.y, 1);
+    }
+
+    #[test]
+    fn sdiv_uses_y() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        st.y = 0;
+        st.set_reg(Reg(9), 100);
+        step(&mut st, &mut mem, Builder::alu(AluOp::Sdiv, false, Reg(10), Reg(9), Src2::Imm(7)));
+        assert_eq!(st.reg(Reg(10)), 14);
+    }
+
+    #[test]
+    fn shifts_mask_count() {
+        let mut st = MachineState::new(0);
+        let mut mem = TestMem::default();
+        st.set_reg(Reg(9), 1);
+        step(&mut st, &mut mem, Builder::alu(AluOp::Sll, false, Reg(10), Reg(9), Src2::Imm(33)));
+        assert_eq!(st.reg(Reg(10)), 2, "shift count is mod 32");
+    }
+
+    #[test]
+    fn eval_cond_signed_unsigned_split() {
+        // -1 vs 1: signed less (N=1, V=0), unsigned greater (no borrow).
+        let (_, f, _) = eval_alu(AluOp::Sub, true, u32::MAX, 1, 0).unwrap();
+        let f = f.unwrap();
+        assert!(eval_cond(Cond::Lt, f), "signed: -1 < 1");
+        assert!(eval_cond(Cond::Gtu, f), "unsigned: 0xffffffff > 1");
+    }
+
+    #[test]
+    fn eval_cond_lt_after_cmp() {
+        // cmp 3, 5 → less.
+        let (_, f, _) = eval_alu(AluOp::Sub, true, 3, 5, 0).unwrap();
+        let f = f.unwrap();
+        assert!(eval_cond(Cond::Lt, f));
+        assert!(eval_cond(Cond::Le, f));
+        assert!(!eval_cond(Cond::Ge, f));
+        assert!(!eval_cond(Cond::Eq, f));
+        assert!(eval_cond(Cond::Ne, f));
+    }
+}

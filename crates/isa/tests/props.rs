@@ -1,0 +1,139 @@
+//! Property-based tests for the ISA: encode/decode round trips, decoder
+//! totality, and semantic sanity over arbitrary words and operations.
+
+use eel_isa::{decode, encode, AluOp, Cond, Insn, MemWidth, Op, Reg, Src2};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn arb_src2() -> impl Strategy<Value = Src2> {
+    prop_oneof![
+        arb_reg().prop_map(Src2::Reg),
+        (-4096i32..=4095).prop_map(Src2::Imm),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u32..16).prop_map(Cond::from_bits)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_reg(), 0u32..(1 << 22)).prop_map(|(rd, imm22)| Op::Sethi { rd, imm22 }),
+        (arb_cond(), any::<bool>(), -(1i32 << 21)..(1 << 21), any::<bool>())
+            .prop_map(|(cond, annul, disp22, fp)| Op::Branch { cond, annul, disp22, fp }),
+        (-(1i32 << 29)..(1 << 29)).prop_map(|disp30| Op::Call { disp30 }),
+        (arb_alu_op(), any::<bool>(), arb_reg(), arb_reg(), arb_src2()).prop_map(
+            |(op, cc, rd, rs1, src2)| {
+                // Normalize to an encodable form: rdy/wry fix operands,
+                // cc only where supported.
+                let cc = cc && op.supports_cc();
+                match op {
+                    AluOp::Rdy | AluOp::Rdpsr => Op::Alu {
+                        op,
+                        cc: false,
+                        rd,
+                        rs1: Reg::G0,
+                        src2: Src2::Reg(Reg::G0),
+                    },
+                    AluOp::Wry | AluOp::Wrpsr => Op::Alu { op, cc: false, rd: Reg::G0, rs1, src2 },
+                    _ => Op::Alu { op, cc, rd, rs1, src2 },
+                }
+            }
+        ),
+        (arb_reg(), arb_reg(), arb_src2()).prop_map(|(rd, rs1, src2)| Op::Jmpl { rd, rs1, src2 }),
+        (
+            prop::sample::select(vec![
+                (MemWidth::Byte, false),
+                (MemWidth::Byte, true),
+                (MemWidth::Half, false),
+                (MemWidth::Half, true),
+                (MemWidth::Word, false),
+                (MemWidth::Double, false),
+            ]),
+            arb_reg(),
+            arb_reg(),
+            arb_src2()
+        )
+            .prop_map(|((width, signed), rd, rs1, src2)| {
+                let rd = if width == MemWidth::Double { Reg(rd.0 & !1) } else { rd };
+                Op::Load { width, signed, rd, rs1, src2, fp: false }
+            }),
+        (
+            prop::sample::select(vec![MemWidth::Byte, MemWidth::Half, MemWidth::Word, MemWidth::Double]),
+            arb_reg(),
+            arb_reg(),
+            arb_src2()
+        )
+            .prop_map(|(width, rd, rs1, src2)| {
+                let rd = if width == MemWidth::Double { Reg(rd.0 & !1) } else { rd };
+                Op::Store { width, rd, rs1, src2, fp: false }
+            }),
+        (arb_cond(), arb_reg(), arb_src2())
+            .prop_map(|(cond, rs1, src2)| Op::Trap { cond, rs1, src2 }),
+        (0u32..(1 << 22)).prop_map(|const22| Op::Unimp { const22 }),
+    ]
+}
+
+proptest! {
+    /// encode ∘ decode = id on every encodable operation.
+    #[test]
+    fn encode_decode_round_trip(op in arb_op()) {
+        let word = encode(&op);
+        let decoded = decode(word);
+        prop_assert_eq!(decoded.op, op);
+        prop_assert_eq!(decoded.word, word);
+    }
+
+    /// The decoder is total and decode ∘ encode = id on valid decodes:
+    /// re-encoding whatever a word decodes to yields the same word.
+    #[test]
+    fn decode_encode_stability(word in any::<u32>()) {
+        let insn = decode(word);
+        if !matches!(insn.op, Op::Invalid) {
+            prop_assert_eq!(encode(&insn.op), word);
+        }
+    }
+
+    /// Disassembly never panics and is never empty (C-DEBUG-NONEMPTY analog).
+    #[test]
+    fn disasm_total(word in any::<u32>()) {
+        let text = decode(word).to_string();
+        prop_assert!(!text.is_empty());
+    }
+
+    /// reads()/writes() never report %g0 and never panic.
+    #[test]
+    fn dataflow_never_reports_g0(word in any::<u32>()) {
+        let insn = decode(word);
+        prop_assert!(!insn.reads().contains(Reg::G0));
+        prop_assert!(!insn.writes().contains(Reg::G0));
+        prop_assert!(!insn.address_reads().contains(Reg::G0));
+    }
+
+    /// A condition and its negation partition every flag state.
+    #[test]
+    fn cond_negation_partitions(cond in arb_cond(), flags in 0u8..16) {
+        prop_assert_ne!(
+            eel_isa::eval_cond(cond, flags),
+            eel_isa::eval_cond(cond.negate(), flags)
+        );
+    }
+
+    /// Direct targets are consistent with displacement arithmetic.
+    #[test]
+    fn direct_target_arithmetic(disp in -(1i32 << 21)..(1 << 21), pc in 0u32..0x0fff_ffff) {
+        let pc = pc & !3;
+        let insn = Insn::from_word(encode(&Op::Branch {
+            cond: Cond::Always, annul: false, disp22: disp, fp: false,
+        }));
+        let target = insn.direct_target(pc).unwrap();
+        prop_assert_eq!(target.wrapping_sub(pc) as i32 >> 2, disp);
+    }
+}

@@ -1,0 +1,363 @@
+//! Seeded random Wisc program generation.
+//!
+//! Used to fuzz the whole stack: generated programs are interpreted (the
+//! oracle), compiled, emulated, and round-tripped through EEL's editor —
+//! all four must agree. Generation is constructed to terminate: loops are
+//! bounded `for` loops over fresh counters, recursion is never emitted,
+//! divisors are forced nonzero, and array indices are masked into range.
+
+use eel_cc::ast::{BinOp, Expr, Function, GlobalDecl, LValue, Program, Stmt};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of functions besides `main`.
+    pub functions: usize,
+    /// Statements per function body (before nesting).
+    pub stmts_per_fn: usize,
+    /// Maximum statement nesting depth.
+    pub max_depth: usize,
+    /// Number of global scalars.
+    pub globals: usize,
+    /// Number of global arrays (each 64 elements, power of two).
+    pub arrays: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig { functions: 4, stmts_per_fn: 8, max_depth: 3, globals: 3, arrays: 2 }
+    }
+}
+
+/// Array length for generated arrays (power of two so `& (len-1)` masks
+/// indices into range).
+const ARRAY_LEN: u32 = 64;
+
+/// Generates a random, terminating, well-defined program.
+pub fn random_program(seed: u64, config: &GenConfig) -> Program {
+    let mut g = Gen { rng: StdRng::seed_from_u64(seed), config: *config, counter: 0 };
+    g.program()
+}
+
+struct Gen {
+    rng: StdRng,
+    config: GenConfig,
+    counter: u32,
+}
+
+/// What a generated function may reference.
+#[derive(Clone)]
+struct Scope {
+    locals: Vec<String>,
+    /// Callable function names with their arities (only *earlier*
+    /// functions are callable, so call graphs are acyclic — termination).
+    callables: Vec<(String, usize)>,
+    globals: Vec<String>,
+    arrays: Vec<String>,
+    depth: usize,
+    /// Nesting depth of enclosing loops (break/continue legality).
+    loops: usize,
+}
+
+impl Gen {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}{}", self.counter)
+    }
+
+    fn program(&mut self) -> Program {
+        let mut p = Program::default();
+        for i in 0..self.config.globals {
+            p.globals.push(GlobalDecl {
+                name: format!("g{i}"),
+                count: 1,
+                init: self.rng.gen_range(-50..50),
+            });
+        }
+        for i in 0..self.config.arrays {
+            p.globals.push(GlobalDecl { name: format!("arr{i}"), count: ARRAY_LEN, init: 0 });
+        }
+        let globals: Vec<String> = (0..self.config.globals).map(|i| format!("g{i}")).collect();
+        let arrays: Vec<String> = (0..self.config.arrays).map(|i| format!("arr{i}")).collect();
+
+        let mut callables: Vec<(String, usize)> = Vec::new();
+        for i in 0..self.config.functions {
+            let name = format!("f{i}");
+            let arity = self.rng.gen_range(0..=3);
+            let params: Vec<String> = (0..arity).map(|k| format!("p{k}")).collect();
+            let mut scope = Scope {
+                locals: params.clone(),
+                callables: callables.clone(),
+                globals: globals.clone(),
+                arrays: arrays.clone(),
+                depth: 0,
+                loops: 0,
+            };
+            let mut body = self.block(&mut scope);
+            body.push(Stmt::Return(self.expr(&scope, 0)));
+            p.functions.push(Function { name: name.clone(), params, body });
+            callables.push((name, arity));
+        }
+        // main: calls into the generated functions and aggregates.
+        let mut scope = Scope {
+            locals: Vec::new(),
+            callables,
+            globals,
+            arrays,
+            depth: 0,
+            loops: 0,
+        };
+        let mut body = self.block(&mut scope);
+        body.push(Stmt::Return(self.expr(&scope, 0)));
+        p.functions.push(Function { name: "main".into(), params: Vec::new(), body });
+        p
+    }
+
+    fn block(&mut self, scope: &mut Scope) -> Vec<Stmt> {
+        let n = self.rng.gen_range(2..=self.config.stmts_per_fn.max(3));
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(self.stmt(scope));
+        }
+        out
+    }
+
+    fn stmt(&mut self, scope: &mut Scope) -> Stmt {
+        let deep = scope.depth >= self.config.max_depth;
+        // break/continue only inside loops, and rarely.
+        if scope.loops > 0 && self.rng.gen_bool(0.04) {
+            return if self.rng.gen_bool(0.5) { Stmt::Break } else { Stmt::Continue };
+        }
+        let choice = if deep { self.rng.gen_range(0..5) } else { self.rng.gen_range(0..9) };
+        match choice {
+            0 => {
+                let name = self.fresh("v");
+                let init = self.expr(scope, 0);
+                scope.locals.push(name.clone());
+                Stmt::Var(name, Some(init))
+            }
+            1 | 2 => {
+                let value = self.expr(scope, 0);
+                Stmt::Assign(self.lvalue(scope), value)
+            }
+            3 => Stmt::Print(self.expr(scope, 0)),
+            4 => Stmt::Expr(self.expr(scope, 0)),
+            5 => {
+                // Bounded for loop with a fresh counter, never reassigned.
+                let i = self.fresh("i");
+                let bound = self.rng.gen_range(1..8);
+                scope.locals.push(i.clone());
+                let mut inner = scope.clone();
+                inner.depth += 1;
+                inner.loops += 1;
+                // The loop variable must not be assigned inside; the
+                // generator only assigns through `lvalue`, which draws
+                // from `locals` — exclude the counter.
+                let saved = inner.locals.clone();
+                inner.locals.retain(|n| n != &i);
+                if inner.locals.is_empty() {
+                    inner.locals.push(i.clone()); // reads are fine
+                }
+                let body_scope = &mut Scope { locals: saved, ..inner.clone() };
+                body_scope.loops = inner.loops;
+                body_scope.locals.retain(|n| n != &i);
+                let body = self.block_no_assign_to(body_scope, &i);
+                Stmt::For(
+                    Box::new(Stmt::Var(i.clone(), Some(Expr::Num(0)))),
+                    Expr::Bin(
+                        BinOp::Lt,
+                        Box::new(Expr::Var(i.clone())),
+                        Box::new(Expr::Num(bound)),
+                    ),
+                    Box::new(Stmt::Assign(
+                        LValue::Var(i.clone()),
+                        Expr::Bin(BinOp::Add, Box::new(Expr::Var(i)), Box::new(Expr::Num(1))),
+                    )),
+                    body,
+                )
+            }
+            6 => {
+                // Each arm gets its own scope clone: a `var` declared in
+                // one arm must not be referenced from the other (it would
+                // read an undeclared variable on that path).
+                let cond = self.expr(scope, 0);
+                let mut then_scope = scope.clone();
+                then_scope.depth += 1;
+                let then = self.block(&mut then_scope);
+                let els = if self.rng.gen_bool(0.5) {
+                    let mut else_scope = scope.clone();
+                    else_scope.depth += 1;
+                    self.block(&mut else_scope)
+                } else {
+                    Vec::new()
+                };
+                Stmt::If(cond, then, els)
+            }
+            7 => {
+                // Dense switch: exercises dispatch tables. Each case body
+                // gets a fresh scope (no cross-case variable leaks).
+                let ncases = self.rng.gen_range(4..9);
+                let scrutinee = Expr::Bin(
+                    BinOp::Rem,
+                    Box::new(self.expr(scope, 1)),
+                    Box::new(Expr::Num(ncases + 2)),
+                );
+                let cases = (0..ncases)
+                    .map(|v| {
+                        let mut case_scope = scope.clone();
+                        case_scope.depth += 1;
+                        (v, self.block(&mut case_scope))
+                    })
+                    .collect();
+                let mut default_scope = scope.clone();
+                default_scope.depth += 1;
+                let default = self.block(&mut default_scope);
+                Stmt::Switch(scrutinee, cases, default)
+            }
+            _ => {
+                let value = self.expr(scope, 0);
+                Stmt::Assign(self.lvalue(scope), value)
+            }
+        }
+    }
+
+    /// A block in which `banned` is never an assignment target (protects
+    /// loop counters so loops terminate).
+    fn block_no_assign_to(&mut self, scope: &mut Scope, banned: &str) -> Vec<Stmt> {
+        let mut body = self.block(scope);
+        fn scrub(stmts: &mut [Stmt], banned: &str) {
+            for s in stmts.iter_mut() {
+                match s {
+                    Stmt::Assign(LValue::Var(n), _) if n == banned => {
+                        *s = Stmt::Expr(Expr::Num(0));
+                    }
+                    Stmt::If(_, a, b) => {
+                        scrub(a, banned);
+                        scrub(b, banned);
+                    }
+                    Stmt::For(_, _, _, b) | Stmt::While(_, b) => scrub(b, banned),
+                    Stmt::Switch(_, cases, d) => {
+                        for (_, b) in cases.iter_mut() {
+                            scrub(b, banned);
+                        }
+                        scrub(d, banned);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        scrub(&mut body, banned);
+        body
+    }
+
+    fn lvalue(&mut self, scope: &Scope) -> LValue {
+        let pick = self.rng.gen_range(0..3);
+        if pick == 0 && !scope.arrays.is_empty() {
+            let a = scope.arrays[self.rng.gen_range(0..scope.arrays.len())].clone();
+            let idx = self.masked_index(scope);
+            LValue::Index(a, idx)
+        } else if pick == 1 && !scope.globals.is_empty() {
+            LValue::Global(scope.globals[self.rng.gen_range(0..scope.globals.len())].clone())
+        } else if !scope.locals.is_empty() {
+            LValue::Var(scope.locals[self.rng.gen_range(0..scope.locals.len())].clone())
+        } else if !scope.globals.is_empty() {
+            LValue::Global(scope.globals[0].clone())
+        } else {
+            LValue::Var("spill".into()) // unreachable with default configs
+        }
+    }
+
+    /// `expr & (ARRAY_LEN - 1)` — always a valid index.
+    fn masked_index(&mut self, scope: &Scope) -> Expr {
+        Expr::Bin(
+            BinOp::And,
+            Box::new(self.expr(scope, 2)),
+            Box::new(Expr::Num((ARRAY_LEN - 1) as i32)),
+        )
+    }
+
+    fn expr(&mut self, scope: &Scope, depth: u32) -> Expr {
+        if depth >= 3 {
+            return self.leaf(scope);
+        }
+        match self.rng.gen_range(0..10) {
+            0..=2 => self.leaf(scope),
+            3 => Expr::Neg(Box::new(self.expr(scope, depth + 1))),
+            4 => Expr::Not(Box::new(self.expr(scope, depth + 1))),
+            5 if !scope.callables.is_empty() => {
+                let (name, arity) =
+                    scope.callables[self.rng.gen_range(0..scope.callables.len())].clone();
+                let args = (0..arity).map(|_| self.expr(scope, depth + 1)).collect();
+                Expr::Call(name, args)
+            }
+            6 => {
+                // Division by a guaranteed-nonzero value.
+                let divisor = Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Bin(
+                        BinOp::And,
+                        Box::new(self.expr(scope, depth + 1)),
+                        Box::new(Expr::Num(7)),
+                    )),
+                    Box::new(Expr::Num(1)),
+                );
+                let op = if self.rng.gen_bool(0.5) { BinOp::Div } else { BinOp::Rem };
+                Expr::Bin(op, Box::new(self.expr(scope, depth + 1)), Box::new(divisor))
+            }
+            _ => {
+                let op = *[
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::LogAnd,
+                    BinOp::LogOr,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                ]
+                .get(self.rng.gen_range(0..16))
+                .unwrap();
+                let lhs = self.expr(scope, depth + 1);
+                let rhs = if matches!(op, BinOp::Shl | BinOp::Shr) {
+                    // Bounded shift counts.
+                    Expr::Bin(
+                        BinOp::And,
+                        Box::new(self.expr(scope, depth + 1)),
+                        Box::new(Expr::Num(15)),
+                    )
+                } else {
+                    self.expr(scope, depth + 1)
+                };
+                Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+            }
+        }
+    }
+
+    fn leaf(&mut self, scope: &Scope) -> Expr {
+        match self.rng.gen_range(0..4) {
+            0 => Expr::Num(self.rng.gen_range(-100..100)),
+            1 if !scope.locals.is_empty() => {
+                Expr::Var(scope.locals[self.rng.gen_range(0..scope.locals.len())].clone())
+            }
+            2 if !scope.globals.is_empty() => Expr::Global(
+                scope.globals[self.rng.gen_range(0..scope.globals.len())].clone(),
+            ),
+            3 if !scope.arrays.is_empty() => {
+                let a = scope.arrays[self.rng.gen_range(0..scope.arrays.len())].clone();
+                let idx = self.masked_index(scope);
+                Expr::Index(a, Box::new(idx))
+            }
+            _ => Expr::Num(self.rng.gen_range(0..50)),
+        }
+    }
+}

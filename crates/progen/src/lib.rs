@@ -1,0 +1,196 @@
+//! # eel-progen: workload generation for the EEL reproduction
+//!
+//! The paper's measurements run over SPEC92 binaries produced by two real
+//! compilers, plus the `spim` simulator for Table 1. This crate supplies
+//! the reproduction's equivalents:
+//!
+//! * [`suite`]: a fixed, deterministic set of SPEC92-shaped Wisc programs
+//!   (interpreter loops with dispatch tables, quicksort, bit-set sweeps,
+//!   pointer-dispatched evaluation, spreadsheet recomputation).
+//! * [`random_program`]: a seeded generator of terminating, well-defined
+//!   Wisc programs for differential fuzzing of the entire stack.
+//! * [`degrade_symbols`]: fabricates the *misleading symbol tables* §3.1
+//!   complains about (temp/debug labels, hidden routines) so the
+//!   refinement analysis has something real to refine.
+//!
+//! ## Example
+//!
+//! ```
+//! use eel_progen::{suite, compile};
+//!
+//! let workload = &suite()[0]; // the spim-like interpreter
+//! let image = compile(workload, eel_cc::Personality::Gcc)?;
+//! let out = eel_emu::run_image(&image)?;
+//! assert!(out.executed > 1_000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod gen;
+mod suite;
+
+pub use gen::{random_program, GenConfig};
+pub use suite::{
+    compress_like, eqntott_like, espresso_like, gcc_like, li_like, sc_like, spim_like, suite,
+    suite_sized, Workload,
+};
+
+use eel_cc::{CcError, Options, Personality};
+use eel_exe::{Image, Symbol, SymbolKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Compiles a workload with the given compiler personality.
+///
+/// # Errors
+///
+/// Propagates compiler errors (a workload bug).
+pub fn compile(w: &Workload, personality: Personality) -> Result<Image, CcError> {
+    eel_cc::compile_str(&w.source, &Options { personality, ..Options::default() })
+}
+
+/// Makes an image's symbol table realistically unreliable (§3.1):
+///
+/// * drops a fraction of routine symbols (hidden routines),
+/// * adds compiler-temporary and debugging labels in the text segment,
+/// * adds a `Routine`-kinded label pointing into the middle of a routine
+///   (an "internal label" stage 1 must discard as a branch target, or
+///   treat as a multi-entry point).
+///
+/// `main`/`__start` symbols are preserved so the program stays loadable.
+pub fn degrade_symbols(image: &mut Image, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keep = ["__start"];
+    image.symbols.retain(|s| {
+        s.kind != SymbolKind::Routine
+            || keep.contains(&s.name.as_str())
+            || rng.gen_bool(0.7)
+    });
+    // Junk labels.
+    let text_len = image.text.len() as u32;
+    for i in 0..4u32 {
+        let addr = image.text_addr + (rng.gen_range(0..text_len.max(4)) & !3);
+        image.symbols.push(Symbol {
+            name: format!("Ltmp.{i}"),
+            value: addr,
+            size: 0,
+            kind: if i % 2 == 0 { SymbolKind::Temp } else { SymbolKind::Debug },
+            global: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eel_cc::{interpret, parse};
+
+    /// Every fixed workload: interpreter oracle == compiled execution,
+    /// under both compiler personalities.
+    #[test]
+    fn suite_agrees_with_oracle() {
+        for w in suite() {
+            let program = parse(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let oracle = interpret(&program, 200_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            for personality in [Personality::Gcc, Personality::SunPro] {
+                let image = compile(&w, personality).unwrap();
+                let out = eel_emu::run_image(&image)
+                    .unwrap_or_else(|e| panic!("{} ({personality:?}): {e}", w.name));
+                assert_eq!(
+                    out.exit_code, oracle.exit_code as u32,
+                    "{} exit ({personality:?})",
+                    w.name
+                );
+                assert_eq!(out.output_str(), oracle.output, "{} output", w.name);
+            }
+        }
+    }
+
+    /// The suite contains dispatch tables (its reason for existing).
+    #[test]
+    fn suite_has_indirect_jumps() {
+        let mut tables = 0;
+        for w in suite() {
+            let image = compile(&w, Personality::Gcc).unwrap();
+            let mut exec = eel_core::Executable::from_image(image).unwrap();
+            exec.read_contents().unwrap();
+            for id in exec.all_routine_ids() {
+                let cfg = exec.build_cfg(id).unwrap();
+                tables += cfg
+                    .indirect_jumps()
+                    .filter(|(_, r)| matches!(r, eel_core::JumpResolution::Table { .. }))
+                    .count();
+            }
+        }
+        assert!(tables >= 3, "suite produced only {tables} dispatch tables");
+    }
+
+    /// Random programs: interpreter == compiled == EEL-edited, across
+    /// seeds and personalities. This is the whole-stack fuzzer.
+    #[test]
+    fn random_programs_differential() {
+        let config = GenConfig::default();
+        for seed in 0..25u64 {
+            let program = random_program(seed, &config);
+            let oracle = match interpret(&program, 5_000_000) {
+                Ok(o) => o,
+                Err(eel_cc::InterpError::StepLimit) => continue, // too slow, skip
+                Err(e) => panic!("seed {seed}: oracle failed: {e}"),
+            };
+            for personality in [Personality::Gcc, Personality::SunPro] {
+                let options = Options { personality, ..Options::default() };
+                let image = match eel_cc::compile_ast(&program, &options) {
+                    Ok(i) => i,
+                    Err(eel_cc::CcError::Semantic(m)) if m.contains("too deep") => continue,
+                    Err(e) => panic!("seed {seed}: compile failed: {e}"),
+                };
+                let direct = eel_emu::run_image(&image)
+                    .unwrap_or_else(|e| panic!("seed {seed} ({personality:?}): {e}"));
+                assert_eq!(
+                    direct.exit_code, oracle.exit_code as u32,
+                    "seed {seed} exit ({personality:?})"
+                );
+                assert_eq!(direct.output_str(), oracle.output, "seed {seed} output");
+
+                // Round-trip through the editor.
+                let mut exec = eel_core::Executable::from_image(image).unwrap();
+                exec.read_contents().unwrap();
+                let edited = exec
+                    .write_edited()
+                    .unwrap_or_else(|e| panic!("seed {seed} edit ({personality:?}): {e}"));
+                let after = eel_emu::run_image(&edited)
+                    .unwrap_or_else(|e| panic!("seed {seed} edited run: {e}"));
+                assert_eq!(after.exit_code, direct.exit_code, "seed {seed} edited exit");
+                assert_eq!(after.output, direct.output, "seed {seed} edited output");
+            }
+        }
+    }
+
+    /// Degraded symbol tables: hidden routines exist, and EEL still
+    /// round-trips the program correctly.
+    #[test]
+    fn degraded_symbols_still_edit_correctly() {
+        for seed in 0..5u64 {
+            let w = &suite()[seed as usize % suite().len()];
+            let mut image = compile(w, Personality::Gcc).unwrap();
+            let before = eel_emu::run_image(&image).unwrap();
+            degrade_symbols(&mut image, seed);
+            let mut exec = eel_core::Executable::from_image(image).unwrap();
+            exec.read_contents().unwrap();
+            let edited = exec.write_edited().unwrap();
+            let after = eel_emu::run_image(&edited)
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", w.name));
+            assert_eq!(before.exit_code, after.exit_code, "{} seed {seed}", w.name);
+            assert_eq!(before.output, after.output, "{} seed {seed}", w.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_program(42, &GenConfig::default());
+        let b = random_program(42, &GenConfig::default());
+        assert_eq!(a, b);
+        let c = random_program(43, &GenConfig::default());
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,442 @@
+//! The spawn semantic evaluator: executes description semantics against a
+//! machine state, replicating instruction computation exactly as the
+//! paper claims spawn-generated code does (§4). Differentially tested
+//! against the handwritten `eel_isa::step`.
+
+use crate::ast::*;
+use crate::machine::{Decoded, Machine};
+use crate::SpawnError;
+use eel_isa::Memory;
+
+/// Machine state for spawn evaluation (mirrors `eel_isa::MachineState`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnState {
+    /// Integer registers (`R[0]` pinned to zero).
+    pub r: [u32; 32],
+    /// Condition codes (N|Z|V|C in the low nibble).
+    pub icc: u8,
+    /// The `Y` register.
+    pub y: u32,
+    /// Current PC.
+    pub pc: u32,
+    /// Next PC.
+    pub npc: u32,
+    /// Annul flag for the next instruction.
+    pub annul: bool,
+}
+
+impl SpawnState {
+    /// Fresh state at an entry point.
+    pub fn new(entry: u32) -> SpawnState {
+        SpawnState { r: [0; 32], icc: 0, y: 0, pc: entry, npc: entry + 4, annul: false }
+    }
+}
+
+/// Evaluation outcome (mirrors `eel_isa::StepEvent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnEvent {
+    /// Normal completion.
+    Ok,
+    /// Trap taken with this number.
+    Trap(u32),
+    /// No semantics (illegal instruction).
+    Illegal,
+    /// Misaligned or failed memory access.
+    MemFault(u32),
+    /// Division by zero.
+    DivZero,
+    /// Misaligned control-transfer target.
+    BadJump(u32),
+}
+
+/// A pending state update (parallel statements commit together).
+enum Update {
+    Reg(String, u32, u32),
+    Npc(u32),
+    Mem(u32, u32, u32),
+    Annul,
+    Trap(u32),
+}
+
+/// Applies a binary operator (shared with field-expression folding).
+pub(crate) fn apply_binop(op: BinOp, a: u32, b: u32) -> u32 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b & 31),
+        BinOp::Shru => a.wrapping_shr(b & 31),
+        BinOp::Shrs => ((a as i32).wrapping_shr(b & 31)) as u32,
+        BinOp::Eq => (a == b) as u32,
+        BinOp::Ne => (a != b) as u32,
+        BinOp::LogAnd => ((a != 0) && (b != 0)) as u32,
+        BinOp::LogOr => ((a != 0) || (b != 0)) as u32,
+    }
+}
+
+impl Machine {
+    /// Executes one decoded instruction's semantics against the state,
+    /// advancing PC/nPC exactly like the hardware model.
+    ///
+    /// # Errors
+    ///
+    /// [`SpawnError::Semantic`] for malformed semantics (unknown builtin,
+    /// register set, or value) — description bugs, not data.
+    pub fn execute<M: Memory>(
+        &self,
+        d: &Decoded<'_>,
+        state: &mut SpawnState,
+        mem: &mut M,
+    ) -> Result<SpawnEvent, SpawnError> {
+        if state.annul {
+            state.annul = false;
+            state.pc = state.npc;
+            state.npc = state.npc.wrapping_add(4);
+            return Ok(SpawnEvent::Ok);
+        }
+        let Some(sem) = &d.spec.sem else {
+            return Ok(SpawnEvent::Illegal);
+        };
+        let mut ev = Evaluator {
+            machine: self,
+            word: d.word,
+            state,
+            mem,
+            npc_override: None,
+            annul: false,
+            trap: None,
+        };
+        let mut updates = Vec::new();
+        for s in sem {
+            match ev.stmt(s, &mut updates) {
+                Ok(()) => {}
+                Err(EvalStop::Event(e)) => return Ok(e),
+                Err(EvalStop::Bug(e)) => return Err(e),
+            }
+            // `;` = sequential: commit between statements.
+            if let Some(e) = ev.commit(&mut updates)? {
+                return Ok(e);
+            }
+        }
+        let (npc_override, annul) = (ev.npc_override, ev.annul);
+        let trap = ev.trap;
+        // Advance PC/nPC.
+        let next_npc = match npc_override {
+            Some(t) => {
+                if t % 4 != 0 {
+                    return Ok(SpawnEvent::BadJump(t));
+                }
+                t
+            }
+            None => state.npc.wrapping_add(4),
+        };
+        state.pc = state.npc;
+        state.npc = next_npc;
+        state.annul = annul;
+        if let Some(n) = trap {
+            return Ok(SpawnEvent::Trap(n & 0x7f));
+        }
+        Ok(SpawnEvent::Ok)
+    }
+}
+
+enum EvalStop {
+    Event(SpawnEvent),
+    Bug(SpawnError),
+}
+
+impl From<SpawnError> for EvalStop {
+    fn from(e: SpawnError) -> EvalStop {
+        EvalStop::Bug(e)
+    }
+}
+
+struct Evaluator<'a, M: Memory> {
+    machine: &'a Machine,
+    word: u32,
+    state: &'a mut SpawnState,
+    mem: &'a mut M,
+    // Accumulated control effects (applied once at the end).
+    npc_override: Option<u32>,
+    annul: bool,
+    trap: Option<u32>,
+}
+
+impl<'a, M: Memory> Evaluator<'a, M> {
+    fn stmt(&mut self, s: &Stmt, updates: &mut Vec<Update>) -> Result<(), EvalStop> {
+        match s {
+            Stmt::Assign(lv, e) => {
+                let v = self.expr(e)?;
+                match lv {
+                    LValue::Reg(set, idx) => {
+                        let i = match idx {
+                            Some(ie) => self.expr(ie)?,
+                            None => 0,
+                        };
+                        updates.push(Update::Reg(set.clone(), i, v));
+                    }
+                    LValue::Npc => updates.push(Update::Npc(v)),
+                    LValue::Mem(a, w) => {
+                        let addr = self.expr(a)?;
+                        updates.push(Update::Mem(addr, *w, v));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If(c, a, b) => {
+                let cv = self.expr(c)?;
+                let arm = if cv != 0 { a } else { b };
+                for s in arm {
+                    self.stmt(s, updates)?;
+                }
+                Ok(())
+            }
+            Stmt::Annul => {
+                updates.push(Update::Annul);
+                Ok(())
+            }
+            Stmt::Trap(e) => {
+                let n = self.expr(e)?;
+                updates.push(Update::Trap(n));
+                Ok(())
+            }
+            Stmt::Par(g) => {
+                // All right-hand sides were computed against the pre-state
+                // already because commits only happen between `;` groups.
+                for s in g {
+                    self.stmt(s, updates)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<u32, EvalStop> {
+        Ok(match e {
+            Expr::Num(n) => *n,
+            Expr::Pc => self.state.pc,
+            Expr::Field(f) => self.machine.field(f, self.word),
+            Expr::SxField(f) => {
+                let fd = self.machine.description().field(f).ok_or_else(|| {
+                    SpawnError::Semantic(format!("unknown field {f:?}"))
+                })?;
+                let v = fd.extract(self.word);
+                let sh = 32 - fd.width();
+                (((v << sh) as i32) >> sh) as u32
+            }
+            Expr::Sxm(e, bits) => {
+                let v = self.expr(e)?;
+                let sh = 32 - bits;
+                (((v << sh) as i32) >> sh) as u32
+            }
+            Expr::Reg(set, idx) => {
+                let i = match idx {
+                    Some(ie) => self.expr(ie)?,
+                    None => 0,
+                };
+                self.read_reg(set, i)?
+            }
+            Expr::Val(n) => {
+                let v = self
+                    .machine
+                    .description()
+                    .val(n)
+                    .cloned()
+                    .ok_or_else(|| SpawnError::Semantic(format!("unknown value {n:?}")))?;
+                self.expr(&v)?
+            }
+            Expr::Param(p) => {
+                return Err(EvalStop::Bug(SpawnError::Semantic(format!(
+                    "unsubstituted parameter {p:?}"
+                ))))
+            }
+            Expr::Mem(a, w) => {
+                let addr = self.expr(a)?;
+                if addr % w != 0 {
+                    return Err(EvalStop::Event(SpawnEvent::MemFault(addr)));
+                }
+                self.mem
+                    .load(addr, *w)
+                    .ok_or(EvalStop::Event(SpawnEvent::MemFault(addr)))?
+            }
+            Expr::Apply(f, args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.builtin(f, &vals)?
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.expr(a)?;
+                let b = self.expr(b)?;
+                apply_binop(*op, a, b)
+            }
+            Expr::Cond(c, a, b) => {
+                if self.expr(c)? != 0 {
+                    self.expr(a)?
+                } else {
+                    self.expr(b)?
+                }
+            }
+        })
+    }
+
+    fn read_reg(&self, set: &str, i: u32) -> Result<u32, EvalStop> {
+        match set {
+            "R" => Ok(if i == 0 { 0 } else { self.state.r[(i & 31) as usize] }),
+            "ICC" => Ok(self.state.icc as u32),
+            "Y" => Ok(self.state.y),
+            other => Err(EvalStop::Bug(SpawnError::Semantic(format!(
+                "unknown register set {other:?}"
+            )))),
+        }
+    }
+
+    fn builtin(&self, name: &str, args: &[u32]) -> Result<u32, EvalStop> {
+        let bin = |f: fn(u32, u32) -> u32| -> Result<u32, EvalStop> {
+            if args.len() != 2 {
+                return Err(EvalStop::Bug(SpawnError::Semantic(format!(
+                    "{name} expects 2 arguments"
+                ))));
+            }
+            Ok(f(args[0], args[1]))
+        };
+        // Condition-code tests: a bound test name applied to the cc value.
+        if let Some(cond) = cond_by_suffix(name) {
+            let cc = args.first().copied().unwrap_or(0) as u8;
+            return Ok(eel_isa::eval_cond(cond, cc) as u32);
+        }
+        match name {
+            "fadd" => bin(u32::wrapping_add),
+            "fsub" => bin(u32::wrapping_sub),
+            "fand" => bin(|a, b| a & b),
+            "for" => bin(|a, b| a | b),
+            "fxor" => bin(|a, b| a ^ b),
+            "fandn" => bin(|a, b| a & !b),
+            "forn" => bin(|a, b| a | !b),
+            "fxnor" => bin(|a, b| !(a ^ b)),
+            "fnor" => bin(|a, b| !(a | b)),
+            "lts" => bin(|a, b| ((a as i32) < (b as i32)) as u32),
+            "ltu" => bin(|a, b| (a < b) as u32),
+            "addflags" => bin(|a, b| flags_of(eel_isa::AluOp::Add, a, b)),
+            "subflags" => bin(|a, b| flags_of(eel_isa::AluOp::Sub, a, b)),
+            "logflags" => {
+                let x = args[0];
+                let mut f = 0u32;
+                if x & 0x8000_0000 != 0 {
+                    f |= 0b1000;
+                }
+                if x == 0 {
+                    f |= 0b0100;
+                }
+                Ok(f)
+            }
+            "mulhiu" => bin(|a, b| ((a as u64 * b as u64) >> 32) as u32),
+            "mulhis" => bin(|a, b| ((a as i32 as i64 * b as i32 as i64) as u64 >> 32) as u32),
+            "divuflags" | "divsflags" => {
+                let (y, a, b) = (args[0], args[1], args[2]);
+                if b == 0 {
+                    return Err(EvalStop::Event(SpawnEvent::DivZero));
+                }
+                let op = if name == "divuflags" { eel_isa::AluOp::Udiv } else { eel_isa::AluOp::Sdiv };
+                match eel_isa::eval_alu(op, true, a, b, y) {
+                    Ok((_, Some(f), _)) => Ok(f as u32),
+                    _ => Err(EvalStop::Event(SpawnEvent::DivZero)),
+                }
+            }
+            "divu" | "divs" => {
+                let (y, a, b) = (args[0], args[1], args[2]);
+                if b == 0 {
+                    return Err(EvalStop::Event(SpawnEvent::DivZero));
+                }
+                if name == "divu" {
+                    let dividend = ((y as u64) << 32) | a as u64;
+                    Ok((dividend / b as u64).min(u32::MAX as u64) as u32)
+                } else {
+                    let dividend = (((y as u64) << 32) | a as u64) as i64;
+                    let q = dividend / b as i32 as i64;
+                    Ok(q.clamp(i32::MIN as i64, i32::MAX as i64) as u32)
+                }
+            }
+            "test" => {
+                // test(cond_field, cc): dynamic condition evaluation.
+                let cond = eel_isa::Cond::from_bits(args[0]);
+                Ok(eel_isa::eval_cond(cond, args[1] as u8) as u32)
+            }
+            other => Err(EvalStop::Bug(SpawnError::Semantic(format!(
+                "unknown builtin {other:?}"
+            )))),
+        }
+    }
+
+}
+
+/// Computes SPARC condition codes for add/sub (shared with eel-isa via its
+/// public `eval_alu`).
+fn flags_of(op: eel_isa::AluOp, a: u32, b: u32) -> u32 {
+    match eel_isa::eval_alu(op, true, a, b, 0) {
+        Ok((_, Some(f), _)) => f as u32,
+        _ => 0,
+    }
+}
+
+fn cond_by_suffix(name: &str) -> Option<eel_isa::Cond> {
+    use eel_isa::Cond;
+    Some(match name {
+        "n" => Cond::Never,
+        "e" => Cond::Eq,
+        "le" => Cond::Le,
+        "l" => Cond::Lt,
+        "leu" => Cond::Leu,
+        "cs" => Cond::CarrySet,
+        "neg" => Cond::Neg,
+        "vs" => Cond::OverflowSet,
+        "always" => Cond::Always,
+        "ne" => Cond::Ne,
+        "g" => Cond::Gt,
+        "ge" => Cond::Ge,
+        "gu" => Cond::Gtu,
+        "cc" => Cond::CarryClear,
+        "pos" => Cond::Pos,
+        "vc" => Cond::OverflowClear,
+        _ => return None,
+    })
+}
+
+impl<'a, M: Memory> Evaluator<'a, M> {
+    fn commit(&mut self, updates: &mut Vec<Update>) -> Result<Option<SpawnEvent>, SpawnError> {
+        for u in updates.drain(..) {
+            match u {
+                Update::Reg(set, i, v) => match set.as_str() {
+                    "R" => {
+                        if i != 0 {
+                            self.state.r[(i & 31) as usize] = v;
+                        }
+                    }
+                    "ICC" => self.state.icc = (v & 0xf) as u8,
+                    "Y" => self.state.y = v,
+                    other => {
+                        return Err(SpawnError::Semantic(format!(
+                            "unknown register set {other:?}"
+                        )))
+                    }
+                },
+                Update::Npc(t) => self.npc_override = Some(t),
+                Update::Mem(addr, w, v) => {
+                    if addr % w != 0 {
+                        return Ok(Some(SpawnEvent::MemFault(addr)));
+                    }
+                    if self.mem.store(addr, w, v).is_none() {
+                        return Ok(Some(SpawnEvent::MemFault(addr)));
+                    }
+                }
+                Update::Annul => self.annul = true,
+                Update::Trap(n) => self.trap = Some(n),
+            }
+        }
+        Ok(None)
+    }
+}

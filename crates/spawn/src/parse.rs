@@ -1,0 +1,699 @@
+//! Parser for the spawn machine-description language.
+
+use crate::ast::*;
+use crate::SpawnError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u32),
+    Punct(&'static str),
+}
+
+const PUNCTS: &[&str] = &[
+    ":=", "&&", "||", ">>u", ">>s", "!=", "..", "<<", "(", ")", "[", "]", "{", "}", ",", ";",
+    ":", "?", "@", "=", "&", "|", "^", "+", "-", "*", "/",
+];
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, SpawnError> {
+    let mut out = Vec::new();
+    for (li, raw) in src.lines().enumerate() {
+        let line = li + 1;
+        // `!` starts a comment unless it is the `!=` operator.
+        let mut comment_at = raw.len();
+        let bytes = raw.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'!' && bytes.get(i + 1) != Some(&b'=') {
+                comment_at = i;
+                break;
+            }
+        }
+        let text = &raw[..comment_at];
+        let mut rest = text;
+        'outer: while !rest.trim_start().is_empty() {
+            rest = rest.trim_start();
+            let c = rest.chars().next().unwrap();
+            if c.is_ascii_digit() {
+                let end = rest
+                    .find(|ch: char| !ch.is_ascii_alphanumeric())
+                    .unwrap_or(rest.len());
+                let token = &rest[..end];
+                let v = if let Some(h) = token.strip_prefix("0x") {
+                    u32::from_str_radix(h, 16)
+                } else if let Some(b) = token.strip_prefix("0b") {
+                    u32::from_str_radix(b, 2)
+                } else {
+                    token.parse()
+                }
+                .map_err(|_| SpawnError::Parse { line, message: format!("bad number {token:?}") })?;
+                out.push((line, Tok::Num(v)));
+                rest = &rest[end..];
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let end = rest
+                    .find(|ch: char| !ch.is_ascii_alphanumeric() && ch != '_')
+                    .unwrap_or(rest.len());
+                out.push((line, Tok::Ident(rest[..end].to_string())));
+                rest = &rest[end..];
+                continue;
+            }
+            for p in PUNCTS {
+                if let Some(tail) = rest.strip_prefix(p) {
+                    // `>>u`/`>>s` must not swallow `>> u`-less contexts;
+                    // plain `>>` is not an operator in this language.
+                    out.push((line, Tok::Punct(p)));
+                    rest = tail;
+                    continue 'outer;
+                }
+            }
+            return Err(SpawnError::Parse { line, message: format!("unexpected character {c:?}") });
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a machine description.
+///
+/// # Errors
+///
+/// [`SpawnError::Parse`] with the offending line.
+pub fn parse(src: &str) -> Result<Description, SpawnError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, at: 0 };
+    let mut d = Description { word_bits: 32, ..Description::default() };
+    while let Some(kw) = p.peek_ident() {
+        match kw.as_str() {
+            "machine" => {
+                p.bump();
+                d.machine = p.ident()?;
+            }
+            "word" => {
+                p.bump();
+                d.word_bits = p.num()?;
+            }
+            "fields" => {
+                p.bump();
+                loop {
+                    let name = p.ident()?;
+                    let lo = p.num()?;
+                    p.expect(":")?;
+                    let hi = p.num()?;
+                    d.fields.push(FieldDecl { name, lo, hi });
+                    if !p.eat(",") {
+                        break;
+                    }
+                }
+            }
+            "registers" => {
+                p.bump();
+                while matches!(p.peek_ident().as_deref(), Some("int") | Some("cc")) {
+                    let kind = if p.ident()? == "int" { RegKind::Int } else { RegKind::Cc };
+                    let name = p.ident()?;
+                    let count = if p.eat("[") {
+                        let n = p.num()?;
+                        p.expect("]")?;
+                        n
+                    } else {
+                        1
+                    };
+                    let w = p.ident()?;
+                    if w != "width" {
+                        return p.err("expected `width`");
+                    }
+                    let width = p.num()?;
+                    d.registers.push(RegDecl { kind, name, count, width });
+                }
+            }
+            "val" => {
+                p.bump();
+                let name = p.ident()?;
+                p.expect_kw("is")?;
+                let e = p.expr(&d)?;
+                d.vals.push((name, e));
+            }
+            "cons" => {
+                p.bump();
+                let name = p.ident()?;
+                p.expect_kw("is")?;
+                let c = p.constraint(1)?;
+                d.conses.push((name, c));
+            }
+            "pat" => {
+                p.bump();
+                let names = p.name_vector()?;
+                p.expect_kw("is")?;
+                let cons = p.constraint(names.len())?;
+                let class_override = if p.peek_ident().as_deref() == Some("class") {
+                    p.bump();
+                    Some(p.ident()?)
+                } else {
+                    None
+                };
+                d.patterns.push(Pattern { names, cons, class_override });
+            }
+            "def" => {
+                p.bump();
+                let name = p.ident()?;
+                p.expect("(")?;
+                let mut params = Vec::new();
+                if !p.eat(")") {
+                    loop {
+                        params.push(p.ident()?);
+                        if !p.eat(",") {
+                            break;
+                        }
+                    }
+                    p.expect(")")?;
+                }
+                p.expect_kw("is")?;
+                let body = p.stmts(&d, &params)?;
+                d.defs.push(SemDef { name, params, body });
+            }
+            "sem" => {
+                p.bump();
+                let names = p.name_vector()?;
+                p.expect_kw("is")?;
+                // Lookahead: `ident @` means a def application.
+                let body = if p.is_apply() {
+                    let func = p.ident()?;
+                    let mut arg_vectors = Vec::new();
+                    while p.eat("@") {
+                        arg_vectors.push(p.name_vector()?);
+                    }
+                    SemBody::Apply { func, arg_vectors }
+                } else {
+                    SemBody::Direct(p.stmts(&d, &[])?)
+                };
+                d.sems.push(Sem { names, body });
+            }
+            other => {
+                return p.err(format!("unexpected keyword {other:?}"));
+            }
+        }
+    }
+    validate(&d)?;
+    Ok(d)
+}
+
+fn validate(d: &Description) -> Result<(), SpawnError> {
+    let mut seen = std::collections::HashSet::new();
+    for p in &d.patterns {
+        for n in &p.names {
+            if !seen.insert(n.clone()) {
+                return Err(SpawnError::Semantic(format!("duplicate instruction {n:?}")));
+            }
+        }
+        for c in &p.cons {
+            check_cons(d, c, p.names.len())?;
+        }
+    }
+    for s in &d.sems {
+        for n in &s.names {
+            if !seen.contains(n) {
+                return Err(SpawnError::Semantic(format!("sem for unknown instruction {n:?}")));
+            }
+        }
+        if let SemBody::Apply { func, arg_vectors } = &s.body {
+            let def = d
+                .def(func)
+                .ok_or_else(|| SpawnError::Semantic(format!("unknown def {func:?}")))?;
+            if arg_vectors.len() != def.params.len() {
+                return Err(SpawnError::Semantic(format!(
+                    "{func}: {} argument vectors for {} parameters",
+                    arg_vectors.len(),
+                    def.params.len()
+                )));
+            }
+            for v in arg_vectors {
+                if v.len() != s.names.len() {
+                    return Err(SpawnError::Semantic(format!(
+                        "{func}: argument vector length {} != instruction count {}",
+                        v.len(),
+                        s.names.len()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_cons(d: &Description, c: &Cons, n: usize) -> Result<(), SpawnError> {
+    match c {
+        Cons::Field { field, value, .. } => {
+            if d.field(field).is_none() {
+                return Err(SpawnError::Semantic(format!("unknown field {field:?}")));
+            }
+            if let ConsValue::PerInstruction(vs) = value {
+                if vs.len() != n {
+                    return Err(SpawnError::Semantic(format!(
+                        "matrix for {field:?} has {} values for {} instructions",
+                        vs.len(),
+                        n
+                    )));
+                }
+            }
+            Ok(())
+        }
+        Cons::Named(name) => {
+            if d.cons(name).is_none() {
+                return Err(SpawnError::Semantic(format!("unknown constraint {name:?}")));
+            }
+            Ok(())
+        }
+        Cons::Any(alts) => {
+            for alt in alts {
+                for c in alt {
+                    check_cons(d, c, n)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+struct P {
+    toks: Vec<(usize, Tok)>,
+    at: usize,
+}
+
+impl P {
+    fn line(&self) -> usize {
+        self.toks.get(self.at).map_or(0, |(l, _)| *l)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SpawnError> {
+        Err(SpawnError::Parse { line: self.line(), message: message.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|(_, t)| t)
+    }
+
+    fn peek_ident(&self) -> Option<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    fn bump(&mut self) {
+        self.at += 1;
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &str) -> Result<(), SpawnError> {
+        if self.eat(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected {p:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SpawnError> {
+        if self.peek_ident().as_deref() == Some(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SpawnError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn num(&mut self) -> Result<u32, SpawnError> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.bump();
+                Ok(n)
+            }
+            other => self.err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn name_vector(&mut self) -> Result<Vec<String>, SpawnError> {
+        if self.eat("[") {
+            let mut names = Vec::new();
+            while !self.eat("]") {
+                names.push(self.ident()?);
+            }
+            if names.is_empty() {
+                return self.err("empty name vector");
+            }
+            Ok(names)
+        } else {
+            Ok(vec![self.ident()?])
+        }
+    }
+
+    /// Is the upcoming sem body a `f @ [...]` application?
+    fn is_apply(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(_)))
+            && matches!(self.toks.get(self.at + 1), Some((_, Tok::Punct("@"))))
+    }
+
+    // ---- constraints ---------------------------------------------------
+
+    fn constraint(&mut self, n: usize) -> Result<Vec<Cons>, SpawnError> {
+        let mut terms = vec![self.cons_term(n)?];
+        while self.eat("&&") {
+            terms.push(self.cons_term(n)?);
+        }
+        Ok(terms)
+    }
+
+    fn cons_term(&mut self, n: usize) -> Result<Cons, SpawnError> {
+        if self.eat("(") {
+            let mut alts = vec![self.constraint(n)?];
+            while self.eat("||") {
+                alts.push(self.constraint(n)?);
+            }
+            self.expect(")")?;
+            return Ok(Cons::Any(alts));
+        }
+        let name = self.ident()?;
+        // Either `field (& mask)? = value(s)` or a named constraint.
+        let mask = if self.eat("&") { Some(self.num()?) } else { None };
+        if mask.is_none() && !matches!(self.peek(), Some(Tok::Punct("="))) {
+            return Ok(Cons::Named(name));
+        }
+        self.expect("=")?;
+        let value = if self.eat("[") {
+            let mut values = Vec::new();
+            while !self.eat("]") {
+                let v = self.num()?;
+                if self.eat("..") {
+                    let hi = self.num()?;
+                    for x in v..=hi {
+                        values.push(x);
+                    }
+                } else {
+                    values.push(v);
+                }
+            }
+            if n > 1 || values.len() > 1 {
+                ConsValue::PerInstruction(values)
+            } else {
+                ConsValue::One(values[0])
+            }
+        } else {
+            ConsValue::One(self.num()?)
+        };
+        Ok(Cons::Field { field: name, mask, value })
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmts(&mut self, d: &Description, params: &[String]) -> Result<Vec<Stmt>, SpawnError> {
+        let mut out = vec![self.par_stmt(d, params)?];
+        while self.eat(";") {
+            out.push(self.par_stmt(d, params)?);
+        }
+        Ok(out)
+    }
+
+    fn par_stmt(&mut self, d: &Description, params: &[String]) -> Result<Stmt, SpawnError> {
+        let first = self.simple_stmt(d, params)?;
+        if !matches!(self.peek(), Some(Tok::Punct(","))) {
+            return Ok(first);
+        }
+        let mut group = vec![first];
+        while self.eat(",") {
+            group.push(self.simple_stmt(d, params)?);
+        }
+        Ok(Stmt::Par(group))
+    }
+
+    fn simple_stmt(&mut self, d: &Description, params: &[String]) -> Result<Stmt, SpawnError> {
+        match self.peek_ident().as_deref() {
+            Some("if") => {
+                self.bump();
+                let cond = self.expr_in(d, params)?;
+                self.expect("{")?;
+                let then = self.stmts(d, params)?;
+                self.expect("}")?;
+                let els = if self.peek_ident().as_deref() == Some("else") {
+                    self.bump();
+                    self.expect("{")?;
+                    let e = self.stmts(d, params)?;
+                    self.expect("}")?;
+                    e
+                } else {
+                    Vec::new()
+                };
+                return Ok(Stmt::If(cond, then, els));
+            }
+            Some("annul") => {
+                self.bump();
+                return Ok(Stmt::Annul);
+            }
+            Some("trap") => {
+                self.bump();
+                let e = self.expr_in(d, params)?;
+                return Ok(Stmt::Trap(e));
+            }
+            _ => {}
+        }
+        // Assignment.
+        let lv = self.lvalue(d, params)?;
+        self.expect(":=")?;
+        let e = self.expr_in(d, params)?;
+        Ok(Stmt::Assign(lv, e))
+    }
+
+    fn lvalue(&mut self, d: &Description, params: &[String]) -> Result<LValue, SpawnError> {
+        let name = self.ident()?;
+        if name == "npc" {
+            return Ok(LValue::Npc);
+        }
+        if name == "mem" {
+            self.expect("[")?;
+            let addr = self.expr_in(d, params)?;
+            self.expect("]")?;
+            self.expect(":")?;
+            let w = self.num()?;
+            return Ok(LValue::Mem(Box::new(addr), w));
+        }
+        if self.eat("[") {
+            let idx = self.expr_in(d, params)?;
+            self.expect("]")?;
+            return Ok(LValue::Reg(name, Some(Box::new(idx))));
+        }
+        Ok(LValue::Reg(name, None))
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn expr(&mut self, d: &Description) -> Result<Expr, SpawnError> {
+        self.expr_in(d, &[])
+    }
+
+    fn expr_in(&mut self, d: &Description, params: &[String]) -> Result<Expr, SpawnError> {
+        // Ternary is lowest.
+        let c = self.bin(d, params, 0)?;
+        if self.eat("?") {
+            let a = self.expr_in(d, params)?;
+            self.expect(":")?;
+            let b = self.expr_in(d, params)?;
+            return Ok(Expr::Cond(Box::new(c), Box::new(a), Box::new(b)));
+        }
+        Ok(c)
+    }
+
+    fn bin(&mut self, d: &Description, params: &[String], level: usize) -> Result<Expr, SpawnError> {
+        const LEVELS: &[&[(&str, BinOp)]] = &[
+            &[("||", BinOp::LogOr)],
+            &[("&&", BinOp::LogAnd)],
+            &[("=", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[("|", BinOp::Or)],
+            &[("^", BinOp::Xor)],
+            &[("&", BinOp::And)],
+            &[("<<", BinOp::Shl), (">>u", BinOp::Shru), (">>s", BinOp::Shrs)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul)],
+        ];
+        if level >= LEVELS.len() {
+            return self.primary(d, params);
+        }
+        let mut lhs = self.bin(d, params, level + 1)?;
+        'outer: loop {
+            for (p, op) in LEVELS[level] {
+                if matches!(self.peek(), Some(Tok::Punct(q)) if q == p) {
+                    self.bump();
+                    let rhs = self.bin(d, params, level + 1)?;
+                    lhs = Expr::Bin(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn primary(&mut self, d: &Description, params: &[String]) -> Result<Expr, SpawnError> {
+        if self.eat("(") {
+            let e = self.expr_in(d, params)?;
+            self.expect(")")?;
+            return Ok(e);
+        }
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                match name.as_str() {
+                    "pc" => return Ok(Expr::Pc),
+                    "sx" => {
+                        self.expect("(")?;
+                        let f = self.ident()?;
+                        self.expect(")")?;
+                        if d.field(&f).is_none() {
+                            return self.err(format!("sx of unknown field {f:?}"));
+                        }
+                        return Ok(Expr::SxField(f));
+                    }
+                    "sxm" => {
+                        self.expect("(")?;
+                        let e = self.expr_in(d, params)?;
+                        self.expect(",")?;
+                        let bits = self.num()?;
+                        self.expect(")")?;
+                        return Ok(Expr::Sxm(Box::new(e), bits));
+                    }
+                    "mem" => {
+                        self.expect("[")?;
+                        let addr = self.expr_in(d, params)?;
+                        self.expect("]")?;
+                        self.expect(":")?;
+                        let w = self.num()?;
+                        return Ok(Expr::Mem(Box::new(addr), w));
+                    }
+                    _ => {}
+                }
+                if self.eat("(") {
+                    let mut args = Vec::new();
+                    if !self.eat(")") {
+                        loop {
+                            args.push(self.expr_in(d, params)?);
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                        self.expect(")")?;
+                    }
+                    return Ok(Expr::Apply(name, args));
+                }
+                if self.eat("[") {
+                    let idx = self.expr_in(d, params)?;
+                    self.expect("]")?;
+                    return Ok(Expr::Reg(name, Some(Box::new(idx))));
+                }
+                if params.contains(&name) {
+                    Ok(Expr::Param(name))
+                } else if d.field(&name).is_some() {
+                    Ok(Expr::Field(name))
+                } else if d.registers.iter().any(|r| r.name == name) {
+                    Ok(Expr::Reg(name, None))
+                } else if d.val(&name).is_some() {
+                    Ok(Expr::Val(name))
+                } else {
+                    // Unknown bare name — tolerate as a val reference that
+                    // may be declared later; re-validated at analysis time.
+                    Ok(Expr::Val(name))
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_sparc_description() {
+        let d = parse(include_str!("../descriptions/sparc.spawn")).unwrap();
+        assert_eq!(d.machine, "sparc");
+        assert_eq!(d.word_bits, 32);
+        assert!(d.fields.len() >= 12);
+        assert!(d.patterns.len() >= 20);
+        // All 16 integer branches in the matrix pattern.
+        let branches = d
+            .patterns
+            .iter()
+            .find(|p| p.names.contains(&"bne".to_string()))
+            .unwrap();
+        assert_eq!(branches.names.len(), 16);
+        // Every non-overridden pattern has semantics.
+        let with_sem: std::collections::HashSet<&str> = d
+            .sems
+            .iter()
+            .flat_map(|s| s.names.iter().map(|n| n.as_str()))
+            .collect();
+        for p in &d.patterns {
+            if p.class_override.is_some() || p.names[0] == "unimp" || p.names[0] == "ticc" {
+                continue;
+            }
+            for n in &p.names {
+                if n == "ticc" || n == "unimp" {
+                    continue;
+                }
+                assert!(with_sem.contains(n.as_str()), "{n} lacks semantics");
+            }
+        }
+    }
+
+    #[test]
+    fn field_extraction() {
+        let f = FieldDecl { name: "op".into(), lo: 30, hi: 31 };
+        assert_eq!(f.width(), 2);
+        assert_eq!(f.extract(0xc000_0000), 3);
+        assert_eq!(f.extract(0x4000_0000), 1);
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let err = parse("machine x\nbogus stuff\n").unwrap_err();
+        match err {
+            SpawnError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_matrices() {
+        let src = "machine m\nfields f 0:3\npat [a b] is f = [1 2 3]\n";
+        assert!(matches!(parse(src), Err(SpawnError::Semantic(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_instructions() {
+        let src = "machine m\nfields f 0:3\npat a is f = 1\npat a is f = 2\n";
+        assert!(matches!(parse(src), Err(SpawnError::Semantic(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let src = "machine m\nfields f 0:3\npat a is g = 1\n";
+        assert!(matches!(parse(src), Err(SpawnError::Semantic(_))));
+    }
+}

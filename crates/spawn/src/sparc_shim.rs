@@ -1,0 +1,43 @@
+//! The SPARC convention shim — the reproduction of Figure 6.
+//!
+//! Spawn is deliberately "unaware of a system's subroutine and system
+//! call conventions, so these instructions require additional processing
+//! to distinguish overloaded instruction uses" (§4). The paper's Figure 6
+//! shows the annotated C++ that resolves, e.g., SPARC's three overloaded
+//! uses of `jmpl`. This module is that code: a small, handwritten layer on
+//! top of the derived [`Machine`] that produces EEL's final
+//! machine-independent categories.
+
+use crate::machine::{Class, Decoded, Machine};
+use eel_isa::Category;
+
+/// Resolves a spawn-decoded SPARC instruction to its EEL category,
+/// including the convention-dependent `jmpl` overloading (Figure 6).
+pub fn category(machine: &Machine, d: &Decoded<'_>) -> Category {
+    match d.spec.class {
+        Class::Invalid => Category::Invalid,
+        Class::System => Category::SystemCall,
+        Class::Branch => Category::Branch,
+        // `ba`/`bn` derive as unconditional direct jumps but are branches
+        // in EEL's category scheme (PC-relative with a displacement).
+        Class::DirectJump if !d.spec.links => Category::Branch,
+        Class::DirectJump => Category::Call,
+        Class::IndirectJump => {
+            // Figure 6's overload resolution for jmpl.
+            let rd = machine.field("rd", d.word);
+            let rs1 = machine.field("rs1", d.word);
+            let i = machine.field("i", d.word);
+            let simm13 = machine.field("simm13", d.word);
+            if rd == 15 {
+                Category::IndirectCall
+            } else if rd == 0 && (rs1 == 15 || rs1 == 31) && i == 1 && simm13 == 8 {
+                Category::Return
+            } else {
+                Category::IndirectJump
+            }
+        }
+        Class::Load => Category::Load,
+        Class::Store => Category::Store,
+        Class::Computation => Category::Computation,
+    }
+}

@@ -1,0 +1,227 @@
+//! Active Memory — cache simulation by executable editing (paper §1, §5).
+//!
+//! Lebeck & Wood's Active Memory lowered cache simulation to a 2–7×
+//! slowdown by inserting a quick state test before each load/store
+//! instead of post-processing an address trace. This module reproduces
+//! it: every memory reference gets an inline direct-mapped-cache tag
+//! check that bumps a hit or miss counter (and updates the tag on miss).
+//!
+//! Because the inline test writes the condition codes, snippet
+//! materialization automatically wraps it with `rd %psr`/`wr %psr` *only
+//! where `icc` is live* — the same liveness-driven fast-path optimization
+//! the paper credits to the EEL rewrite of Blizzard (§5).
+
+use crate::ToolError;
+use eel_core::{Executable, Snippet};
+use eel_emu::Machine;
+use eel_exe::Image;
+use eel_isa::{Insn, Op, Reg, RegSet, Src2};
+
+/// Cache geometry: direct-mapped, `LINES` lines of `1 << LINE_SHIFT`
+/// bytes.
+pub const LINES: u32 = 256;
+/// log2 of the line size (32-byte lines).
+pub const LINE_SHIFT: u32 = 5;
+
+/// The instrumented program plus the addresses of its statistics.
+#[derive(Debug)]
+pub struct CacheSim {
+    /// The edited executable.
+    pub image: Image,
+    /// Address of the hit counter.
+    pub hits_addr: u32,
+    /// Address of the miss counter.
+    pub misses_addr: u32,
+    /// Number of instrumented reference sites.
+    pub sites: u32,
+    /// How many sites needed the condition-code save/restore (slow
+    /// sequence) vs the fast one.
+    pub cc_saved_sites: u32,
+}
+
+/// Result of running the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Program outcome.
+    pub exit_code: u32,
+    /// Cache hits observed by the instrumentation.
+    pub hits: u32,
+    /// Cache misses observed.
+    pub misses: u32,
+    /// Dynamic cycles of the instrumented program.
+    pub cycles: u64,
+}
+
+/// Picks three placeholder registers distinct from everything the site
+/// instruction touches (so substitution cannot capture a site operand).
+fn pick_placeholders(site: Insn) -> [Reg; 3] {
+    let used = site.reads().union(site.writes());
+    let mut picks = Vec::new();
+    for i in [5u8, 6, 7, 2, 3, 4, 16, 17, 18, 19, 20, 21] {
+        if !used.contains(Reg(i)) {
+            picks.push(Reg(i));
+            if picks.len() == 3 {
+                break;
+            }
+        }
+    }
+    [picks[0], picks[1], picks[2]]
+}
+
+/// The inline tag-check snippet for one memory reference.
+fn check_snippet(
+    site: Insn,
+    tags: u32,
+    hits: u32,
+    misses: u32,
+) -> Result<Snippet, ToolError> {
+    let (rs1, src2) = match site.op {
+        Op::Load { rs1, src2, .. } | Op::Store { rs1, src2, .. } => (rs1, src2),
+        other => {
+            return Err(ToolError::Internal(format!("not a memory reference: {other:?}")))
+        }
+    };
+    let [a, b, c] = pick_placeholders(site);
+    let ea = match src2 {
+        Src2::Imm(v) => format!("add {rs1}, {v}, {a}"),
+        Src2::Reg(r) => format!("add {rs1}, {r}, {a}"),
+    };
+    let line_mask = LINES - 1;
+    let tag_shift = LINE_SHIFT + LINES.trailing_zeros();
+    let body = format!(
+        r#"
+        {ea}
+        srl {a}, {LINE_SHIFT}, {b}
+        and {b}, {line_mask}, {b}
+        sll {b}, 2, {b}
+        sethi %hi({tags}), {c}
+        or {c}, %lo({tags}), {c}
+        add {c}, {b}, {c}
+        ld [{c}], {b}
+        srl {a}, {tag_shift}, {a}
+        cmp {a}, {b}
+        be Lhit
+        nop
+        st {a}, [{c}]
+        sethi %hi({misses}), {c}
+        ld [%lo({misses}) + {c}], {b}
+        add {b}, 1, {b}
+        ba Lend
+        st {b}, [%lo({misses}) + {c}]
+    Lhit:
+        sethi %hi({hits}), {c}
+        ld [%lo({hits}) + {c}], {b}
+        add {b}, 1, {b}
+        st {b}, [%lo({hits}) + {c}]
+    Lend:
+    "#
+    );
+    Ok(Snippet::from_asm(&body)?.with_scavenged(&[a, b, c]))
+}
+
+/// Instruments every memory reference in normal blocks with the inline
+/// cache test. (References hiding in delay slots are reached through the
+/// adjacent edit points, as in the paper's "find an alternative
+/// location".)
+///
+/// # Errors
+///
+/// Propagates analysis/editing failures.
+pub fn instrument(image: Image) -> Result<CacheSim, ToolError> {
+    let mut exec = Executable::from_image(image)?;
+    exec.read_contents()?;
+    let tags = exec.reserve_data(4 * LINES);
+    let hits_addr = exec.reserve_data(4);
+    let misses_addr = exec.reserve_data(4);
+    let mut sites = 0u32;
+    let mut cc_saved_sites = 0u32;
+
+    for id in exec.all_routine_ids() {
+        let mut cfg = exec.build_cfg(id)?;
+        let live = eel_core::Liveness::compute(&cfg);
+        let mems = cfg.memory_sites();
+        for m in mems {
+            let Some(addr) = m.addr else { continue };
+            // Count how many sites will take the slow (cc-saving) path,
+            // for the §5 optimization statistics.
+            if let Some((b, i)) = cfg.block_at(addr) {
+                if live.live_before(&cfg, b, i).contains(Reg::ICC) {
+                    cc_saved_sites += 1;
+                }
+            }
+            let snippet = check_snippet(m.insn, tags, hits_addr, misses_addr)?;
+            cfg.add_code_before(addr, snippet)?;
+            sites += 1;
+        }
+        // Delay-slot references: check them on their edges.
+        let (edge_jobs, call_jobs) = crate::delay_slot_memory_jobs(&cfg, |_| true);
+        for (e, insn) in edge_jobs {
+            cfg.add_code_along(e, check_snippet(insn, tags, hits_addr, misses_addr)?)?;
+            sites += 1;
+        }
+        for (a, insn) in call_jobs {
+            cfg.add_code_before(a, check_snippet(insn, tags, hits_addr, misses_addr)?)?;
+            sites += 1;
+        }
+        exec.install_edits(cfg)?;
+    }
+    let image = exec.write_edited()?;
+    Ok(CacheSim { image, hits_addr, misses_addr, sites, cc_saved_sites })
+}
+
+impl CacheSim {
+    /// Runs the instrumented program and reads back the statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator failures.
+    pub fn run(&self) -> Result<CacheStats, ToolError> {
+        let mut machine = Machine::load(&self.image)?;
+        let outcome = machine.run()?;
+        Ok(CacheStats {
+            exit_code: outcome.exit_code,
+            hits: machine.read_word(self.hits_addr),
+            misses: machine.read_word(self.misses_addr),
+            cycles: outcome.cycles,
+        })
+    }
+}
+
+/// A reference Rust model of the same cache, fed by an emulator memory
+/// trace — the ground truth the instrumented counts must match exactly.
+#[derive(Debug)]
+pub struct ReferenceCache {
+    tags: Vec<Option<u32>>,
+    /// Hits so far.
+    pub hits: u32,
+    /// Misses so far.
+    pub misses: u32,
+}
+
+impl Default for ReferenceCache {
+    fn default() -> Self {
+        ReferenceCache { tags: vec![None; LINES as usize], hits: 0, misses: 0 }
+    }
+}
+
+impl ReferenceCache {
+    /// Creates an empty cache.
+    pub fn new() -> ReferenceCache {
+        ReferenceCache::default()
+    }
+
+    /// Simulates one access.
+    pub fn access(&mut self, addr: u32) {
+        let line = ((addr >> LINE_SHIFT) & (LINES - 1)) as usize;
+        let tag = addr >> (LINE_SHIFT + LINES.trailing_zeros());
+        if self.tags[line] == Some(tag) {
+            self.hits += 1;
+        } else {
+            self.tags[line] = Some(tag);
+            self.misses += 1;
+        }
+    }
+}
+
+/// Keep the unused import warnings away in minimal builds.
+const _: fn() -> RegSet = RegSet::new;

@@ -1,0 +1,118 @@
+//! `eelobjdump` — disassemble and analyze a WEF executable.
+//!
+//! ```text
+//! eelobjdump PROGRAM.wef [--cfg] [--symbols]
+//! ```
+//!
+//! Default: a disassembly listing with routine headers and data-range
+//! annotations (dispatch tables). `--cfg` prints per-routine CFG
+//! summaries; `--symbols` dumps the symbol table.
+
+use eel_core::Executable;
+use eel_exe::Image;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut show_cfg = false;
+    let mut show_symbols = false;
+    for a in &args {
+        match a.as_str() {
+            "--cfg" => show_cfg = true,
+            "--symbols" => show_symbols = true,
+            "-h" | "--help" => {
+                eprintln!("usage: eelobjdump PROGRAM.wef [--cfg] [--symbols]");
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("eelobjdump: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("eelobjdump: no input file (see --help)");
+        return ExitCode::FAILURE;
+    };
+    let image = match Image::read_file(&input) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("eelobjdump: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if show_symbols {
+        println!("SYMBOL TABLE:");
+        for s in &image.symbols {
+            println!(
+                "  {:#010x} {:<9} {:<6} {}",
+                s.value,
+                format!("{:?}", s.kind).to_lowercase(),
+                if s.global { "global" } else { "local" },
+                s.name
+            );
+        }
+        println!();
+    }
+
+    let mut exec = match Executable::from_image(image) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("eelobjdump: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = exec.read_contents() {
+        eprintln!("eelobjdump: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for id in exec.all_routine_ids() {
+        let routine = exec.routine(id).clone();
+        let cfg = match exec.build_cfg(id) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("eelobjdump: {}: {e}", routine.name());
+                continue;
+            }
+        };
+        println!(
+            "{:#010x} <{}>{}:",
+            routine.start(),
+            routine.name(),
+            if routine.is_hidden() { " (hidden)" } else { "" }
+        );
+        if show_cfg {
+            let s = cfg.stats();
+            println!(
+                "    ; blocks={} (delay={} surrogate={}) edges={} uneditable={:.0}%{}",
+                s.total_blocks(),
+                s.delay_slot_blocks,
+                s.call_surrogate_blocks,
+                s.edges,
+                100.0 * s.uneditable_edge_fraction(),
+                if cfg.is_incomplete() { " INCOMPLETE" } else { "" },
+            );
+        }
+        let image = exec.image();
+        let mut addr = routine.start();
+        while addr < routine.end() {
+            let word = image.word_at(addr).unwrap_or(0);
+            let in_table = cfg
+                .data_ranges()
+                .iter()
+                .any(|r| addr >= r.start && addr < r.end);
+            if in_table {
+                println!("  {addr:#010x}:  {word:08x}    .word {word:#010x}  ; dispatch table");
+            } else {
+                println!("  {addr:#010x}:  {word:08x}    {}", eel_isa::decode(word));
+            }
+            addr += 4;
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,77 @@
+//! `eelrun` — run a WEF executable in the emulator.
+//!
+//! ```text
+//! eelrun PROGRAM.wef [--stats] [--limit N]
+//! ```
+
+use eel_emu::Machine;
+use eel_exe::Image;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut stats = false;
+    let mut limit = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => stats = true,
+            "--limit" => {
+                i += 1;
+                limit = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "-h" | "--help" => {
+                eprintln!("usage: eelrun PROGRAM.wef [--stats] [--limit N]");
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("eelrun: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        eprintln!("eelrun: no input file (see --help)");
+        return ExitCode::FAILURE;
+    };
+    let image = match Image::read_file(&input) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("eelrun: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut machine = match Machine::load(&image) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("eelrun: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(n) = limit {
+        machine = machine.with_step_limit(n);
+    }
+    match machine.run() {
+        Ok(outcome) => {
+            print!("{}", outcome.output_str());
+            if stats {
+                eprintln!(
+                    "cycles={} executed={} loads={} stores={} transfers={}",
+                    outcome.cycles,
+                    outcome.executed,
+                    outcome.loads,
+                    outcome.stores,
+                    outcome.transfers
+                );
+            }
+            ExitCode::from((outcome.exit_code & 0xff) as u8)
+        }
+        Err(e) => {
+            eprintln!("eelrun: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

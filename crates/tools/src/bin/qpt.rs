@@ -1,0 +1,92 @@
+//! `qpt` — the profiling CLI (the paper's tool, end to end).
+//!
+//! ```text
+//! qpt IN.wef [-o OUT.wef] [--blocks|--edges|--entries] [--run]
+//! ```
+//!
+//! With `--run`, executes the instrumented program in the emulator and
+//! prints the non-zero counters as a profile.
+
+use eel_exe::Image;
+use eel_tools::qpt2::{instrument, Granularity};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut granularity = Granularity::Edges;
+    let mut run = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                output = args.get(i).cloned();
+            }
+            "--blocks" => granularity = Granularity::Blocks,
+            "--edges" => granularity = Granularity::Edges,
+            "--entries" => granularity = Granularity::Entries,
+            "--run" => run = true,
+            "-h" | "--help" => {
+                eprintln!("usage: qpt IN.wef [-o OUT.wef] [--blocks|--edges|--entries] [--run]");
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("qpt: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        eprintln!("qpt: no input file (see --help)");
+        return ExitCode::FAILURE;
+    };
+    let image = match Image::read_file(&input) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("qpt: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profiled = match instrument(image, granularity) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("qpt: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("qpt: instrumented {} sites", profiled.counters.len());
+    if let Some(out) = &output {
+        if let Err(e) = profiled.image.write_file(out) {
+            eprintln!("qpt: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if run {
+        match profiled.run() {
+            Ok(result) => {
+                println!("# exit code: {}", result.outcome.exit_code);
+                println!("# cycles: {}", result.outcome.cycles);
+                let mut rows: Vec<_> = result
+                    .counts
+                    .iter()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|((r, site, idx), &c)| (c, r.clone(), *site, *idx))
+                    .collect();
+                rows.sort_by_key(|row| std::cmp::Reverse(row.0));
+                println!("{:>12}  {:<20} {:>10}  edge", "count", "routine", "site");
+                for (c, r, site, idx) in rows {
+                    println!("{c:>12}  {r:<20} {site:>#10x}  {idx}");
+                }
+            }
+            Err(e) => {
+                eprintln!("qpt: run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

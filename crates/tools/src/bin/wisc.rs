@@ -1,0 +1,88 @@
+//! `wisc` — the Wisc compiler CLI.
+//!
+//! ```text
+//! wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm]
+//! ```
+
+use eel_cc::{compile_str, compile_to_asm, Options, Personality};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut options = Options::default();
+    let mut emit_asm = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                output = args.get(i).cloned();
+            }
+            "--sunpro" => options.personality = Personality::SunPro,
+            "--no-fill" => options.fill_delay_slots = false,
+            "--strip" => options.strip = true,
+            "--emit-asm" => emit_asm = true,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("wisc: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        eprintln!("wisc: no input file (see --help)");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wisc: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if emit_asm {
+        match compile_to_asm(&source, &options) {
+            Ok(asm) => {
+                print!("{asm}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("wisc: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let image = match compile_str(&source, &options) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("wisc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let output = output.unwrap_or_else(|| format!("{input}.wef"));
+    if let Err(e) = image.write_file(&output) {
+        eprintln!("wisc: cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wisc: {} -> {} ({} text bytes, {} routines)",
+        input,
+        output,
+        image.text.len(),
+        image
+            .symbols
+            .iter()
+            .filter(|s| s.kind == eel_exe::SymbolKind::Routine)
+            .count()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,165 @@
+//! Blizzard-S — fine-grain access control by executable editing (paper
+//! §1, §5; Schoinas et al., ASPLOS VI).
+//!
+//! Blizzard-S implements distributed-shared-memory protection domains by
+//! inserting fine-grain access tests before shared stores. The EEL
+//! rewrite (§5) was ~1,300 lines instead of 2,800 and used live-register
+//! analysis to pick a faster test sequence when the condition codes are
+//! dead. This module reproduces the shape: every store gets an inline
+//! state-table test; "invalid" lines fault to a handler that validates
+//! the line and counts the fault.
+
+use crate::ToolError;
+use eel_core::{Executable, Snippet};
+use eel_emu::Machine;
+use eel_exe::Image;
+use eel_isa::{Insn, Op, Reg, Src2};
+
+/// State-table entries (one byte per 32-byte line, hashed).
+pub const STATE_LINES: u32 = 1024;
+
+/// The access-controlled program.
+#[derive(Debug)]
+pub struct AccessControlled {
+    /// The edited executable.
+    pub image: Image,
+    /// Address of the fault counter.
+    pub faults_addr: u32,
+    /// Address of the check counter (every store checks).
+    pub checks_addr: u32,
+    /// Instrumented store sites.
+    pub sites: u32,
+}
+
+fn pick3(site: Insn) -> [Reg; 3] {
+    let used = site.reads().union(site.writes());
+    let mut picks = Vec::new();
+    for i in [5u8, 6, 7, 2, 3, 4, 16, 17, 18, 19, 20, 21] {
+        if !used.contains(Reg(i)) {
+            picks.push(Reg(i));
+            if picks.len() == 3 {
+                break;
+            }
+        }
+    }
+    [picks[0], picks[1], picks[2]]
+}
+
+fn check_snippet(
+    site: Insn,
+    state: u32,
+    faults: u32,
+    checks: u32,
+) -> Result<Snippet, ToolError> {
+    let (rs1, src2) = match site.op {
+        Op::Store { rs1, src2, .. } => (rs1, src2),
+        other => return Err(ToolError::Internal(format!("not a store: {other:?}"))),
+    };
+    let [a, b, c] = pick3(site);
+    let ea = match src2 {
+        Src2::Imm(v) => format!("add {rs1}, {v}, {a}"),
+        Src2::Reg(r) => format!("add {rs1}, {r}, {a}"),
+    };
+    let mask = STATE_LINES - 1;
+    let body = format!(
+        r#"
+        {ea}
+        srl {a}, 5, {a}
+        and {a}, {mask}, {a}
+        sethi %hi({state}), {c}
+        or {c}, %lo({state}), {c}
+        add {c}, {a}, {c}
+        sethi %hi({checks}), {a}
+        ld [%lo({checks}) + {a}], {b}
+        add {b}, 1, {b}
+        st {b}, [%lo({checks}) + {a}]
+        ldub [{c}], {b}
+        cmp {b}, 1
+        be Lvalid
+        nop
+        ! fault path: validate the line and count the fault
+        mov 1, {b}
+        stb {b}, [{c}]
+        sethi %hi({faults}), {c}
+        ld [%lo({faults}) + {c}], {b}
+        add {b}, 1, {b}
+        st {b}, [%lo({faults}) + {c}]
+    Lvalid:
+    "#
+    );
+    Ok(Snippet::from_asm(&body)?.with_scavenged(&[a, b, c]))
+}
+
+/// Inserts an access check before every store in normal blocks.
+///
+/// # Errors
+///
+/// Propagates analysis/editing failures.
+pub fn instrument(image: Image) -> Result<AccessControlled, ToolError> {
+    let mut exec = Executable::from_image(image)?;
+    exec.read_contents()?;
+    let state = exec.reserve_data(STATE_LINES);
+    let faults_addr = exec.reserve_data(4);
+    let checks_addr = exec.reserve_data(4);
+    let mut sites = 0u32;
+
+    for id in exec.all_routine_ids() {
+        let mut cfg = exec.build_cfg(id)?;
+        let stores: Vec<eel_core::InsnAt> = cfg
+            .memory_sites()
+            .into_iter()
+            .filter(|m| matches!(m.insn.op, Op::Store { .. }))
+            .collect();
+        for m in stores {
+            if let Some(addr) = m.addr {
+                cfg.add_code_before(addr, check_snippet(m.insn, state, faults_addr, checks_addr)?)?;
+                sites += 1;
+            }
+        }
+        // Stores hiding in delay slots.
+        let (edge_jobs, call_jobs) =
+            crate::delay_slot_memory_jobs(&cfg, |i| matches!(i.op, Op::Store { .. }));
+        for (e, insn) in edge_jobs {
+            cfg.add_code_along(e, check_snippet(insn, state, faults_addr, checks_addr)?)?;
+            sites += 1;
+        }
+        for (a, insn) in call_jobs {
+            cfg.add_code_before(a, check_snippet(insn, state, faults_addr, checks_addr)?)?;
+            sites += 1;
+        }
+        exec.install_edits(cfg)?;
+    }
+    let image = exec.write_edited()?;
+    Ok(AccessControlled { image, faults_addr, checks_addr, sites })
+}
+
+/// Fault/check counts after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Program exit code.
+    pub exit_code: u32,
+    /// Stores that found their line invalid (first touch).
+    pub faults: u32,
+    /// Total checked stores.
+    pub checks: u32,
+    /// Dynamic cycles.
+    pub cycles: u64,
+}
+
+impl AccessControlled {
+    /// Runs the program and reads the counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator failures.
+    pub fn run(&self) -> Result<AccessStats, ToolError> {
+        let mut machine = Machine::load(&self.image)?;
+        let outcome = machine.run()?;
+        Ok(AccessStats {
+            exit_code: outcome.exit_code,
+            faults: machine.read_word(self.faults_addr),
+            checks: machine.read_word(self.checks_addr),
+            cycles: outcome.cycles,
+        })
+    }
+}

@@ -1,0 +1,376 @@
+//! qpt1 — the *ad-hoc* block-count profiler, the paper's "before" picture.
+//!
+//! This is a deliberate reproduction of the pre-EEL style the paper
+//! criticizes (§1: "Ad-hoc systems are unlikely to employ reliable,
+//! general analyses for difficult constructs"). It is built directly on
+//! `eel-isa`/`eel-exe` with no EEL analyses, and it makes exactly the
+//! assumptions real ad-hoc instrumenters made:
+//!
+//! * the symbol table is complete and truthful (no hidden routines, no
+//!   data masquerading as routines);
+//! * `%g6`/`%g7` are dead at every block boundary (register *scavenging by
+//!   fiat*, no liveness analysis);
+//! * dispatch tables match one hardcoded pattern (`sethi`/`or`,
+//!   `ld [base + idx]`, `jmp`), bounded by an immediately preceding
+//!   `cmp`/`bgeu`;
+//! * no branches land in delay slots;
+//! * any other indirect jump is an error — no run-time fallback.
+//!
+//! Under those assumptions it instruments every basic block with a
+//! counter. On inputs that violate them (SunPro tail calls, stripped or
+//! degraded symbol tables) it fails where qpt2 succeeds — the paper's
+//! robustness argument, reproduced as a test.
+
+use crate::ToolError;
+use eel_exe::{Image, Symbol, SymbolKind};
+use eel_isa::{decode, Builder, Category, Cond, Insn, Op, Reg, Src2};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Words of instrumentation inserted at each block head.
+const PREFIX_WORDS: u32 = 4;
+
+/// An instrumented program with its counter directory.
+#[derive(Debug)]
+pub struct Qpt1Profiled {
+    /// The instrumented executable.
+    pub image: Image,
+    /// Original block-start address → counter address.
+    pub counters: BTreeMap<u32, u32>,
+}
+
+/// Instruments every basic block with an execution counter, ad-hoc style.
+///
+/// # Errors
+///
+/// [`ToolError::Unsupported`] whenever reality violates the tool's
+/// assumptions (stripped input, unanalyzable indirect jump).
+pub fn instrument(image: Image) -> Result<Qpt1Profiled, ToolError> {
+    if image.is_stripped() {
+        return Err(ToolError::Unsupported(
+            "qpt1 trusts the symbol table; stripped executables are not supported".into(),
+        ));
+    }
+    let text = (image.text_addr, image.text_end());
+
+    // ---- pass 1: leaders, tables, target patches ------------------------
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    let mut table_ranges: Vec<(u32, u32)> = Vec::new(); // [start, end)
+    let mut table_words: BTreeSet<u32> = BTreeSet::new();
+
+    for sym in &image.symbols {
+        if sym.kind == SymbolKind::Routine && sym.value >= text.0 && sym.value < text.1 {
+            leaders.insert(sym.value);
+        }
+    }
+    if leaders.is_empty() {
+        return Err(ToolError::Unsupported("no routine symbols".into()));
+    }
+
+    let word_of = |a: u32| image.word_at(a).unwrap_or(0);
+    let mut addr = text.0;
+    while addr < text.1 {
+        if table_words.contains(&addr) {
+            addr += 4;
+            continue;
+        }
+        let insn = decode(word_of(addr));
+        match insn.op {
+            Op::Branch { cond, disp22, .. } if cond != Cond::Never => {
+                let t = addr.wrapping_add((disp22 as u32) << 2);
+                if t >= text.0 && t < text.1 {
+                    leaders.insert(t);
+                }
+                leaders.insert(addr + 8);
+            }
+            Op::Call { .. } => {
+                leaders.insert(addr + 8);
+            }
+            Op::Jmpl { rd, .. } => {
+                match insn.jump_kind() {
+                    Some(eel_isa::JumpKind::Return) => {
+                        leaders.insert(addr + 8);
+                    }
+                    Some(eel_isa::JumpKind::IndirectCall) => {
+                        leaders.insert(addr + 8);
+                        let _ = rd;
+                    }
+                    _ => {
+                        // The one dispatch pattern qpt1 knows.
+                        let (table, count) =
+                            match_dispatch_pattern(&image, text, addr).ok_or_else(|| {
+                                ToolError::Unsupported(format!(
+                                    "unanalyzable indirect jump at {addr:#x} (qpt1 has no run-time fallback)"
+                                ))
+                            })?;
+                        table_ranges.push((table, table + 4 * count));
+                        for i in 0..count {
+                            table_words.insert(table + 4 * i);
+                            let t = word_of(table + 4 * i);
+                            if t >= text.0 && t < text.1 {
+                                leaders.insert(t);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        addr += 4;
+    }
+
+    // ---- pass 2: layout with a counter prefix at each leader -------------
+    // Two address maps: `map_target` sends a block start to its counter
+    // prefix (so branches into the block execute the counter), while
+    // `map_insn` sends each instruction to its own new position (for
+    // PC-relative encoding).
+    let mut map_target: HashMap<u32, u32> = HashMap::new();
+    let mut map_insn: HashMap<u32, u32> = HashMap::new();
+    let mut new_addr = text.0;
+    let mut addr = text.0;
+    let mut counters: BTreeMap<u32, u32> = BTreeMap::new();
+    // Counters live after the original data (same convention as EEL).
+    let counter_base = image.data_end().next_multiple_of(8);
+    let mut next_counter = 0u32;
+    let mut prev_was_cti = false;
+    while addr < text.1 {
+        let is_data = table_words.contains(&addr);
+        map_target.insert(addr, new_addr);
+        // No counter between a transfer and its delay slot.
+        if leaders.contains(&addr) && !is_data && !prev_was_cti {
+            counters.insert(addr, counter_base + 4 * next_counter);
+            next_counter += 1;
+            new_addr += 4 * PREFIX_WORDS;
+        }
+        map_insn.insert(addr, new_addr);
+        new_addr += 4;
+        prev_was_cti = !is_data && decode(word_of(addr)).is_delayed();
+        addr += 4;
+    }
+
+    // ---- pass 3: emit ------------------------------------------------------
+    let mut out: Vec<u8> = Vec::with_capacity((new_addr - text.0) as usize);
+    let emit = |out: &mut Vec<u8>, w: u32| out.extend_from_slice(&w.to_be_bytes());
+    let mut addr = text.0;
+    let mut prev_was_cti = false;
+    while addr < text.1 {
+        let here = map_insn[&addr];
+        let is_data = table_words.contains(&addr);
+        if let Some(&counter) = counters.get(&addr) {
+            if !prev_was_cti {
+                // sethi %hi(c), %g6 ; ld [%g6+%lo], %g7 ; add ; st
+                let lo = Src2::Imm(eel_isa::lo10(counter) as i32);
+                emit(&mut out, Builder::sethi_hi(Reg(6), counter).word);
+                emit(&mut out, Builder::ld(Reg(7), Reg(6), lo).word);
+                emit(&mut out, Builder::add(Reg(7), Reg(7), Src2::Imm(1)).word);
+                emit(&mut out, Builder::st(Reg(7), Reg(6), lo).word);
+            }
+        }
+        if is_data {
+            // Dispatch-table word: remap the code address it holds.
+            let t = word_of(addr);
+            let patched = *map_target.get(&t).unwrap_or(&t);
+            emit(&mut out, patched);
+            prev_was_cti = false;
+            addr += 4;
+            continue;
+        }
+        let insn = decode(word_of(addr));
+        let word = match insn.op {
+            Op::Branch { cond, annul, disp22, fp } => {
+                let t = addr.wrapping_add((disp22 as u32) << 2);
+                let new_t = *map_target.get(&t).unwrap_or(&t);
+                eel_isa::encode(&Op::Branch {
+                    cond,
+                    annul,
+                    disp22: (new_t.wrapping_sub(here) as i32) >> 2,
+                    fp,
+                })
+            }
+            Op::Call { disp30 } => {
+                let t = addr.wrapping_add((disp30 as u32) << 2);
+                let new_t = *map_target.get(&t).unwrap_or(&t);
+                eel_isa::encode(&Op::Call {
+                    disp30: (new_t.wrapping_sub(here) as i32) >> 2,
+                })
+            }
+            Op::Sethi { rd, .. } => {
+                // Function-pointer / table-base materialization: patch
+                // `sethi`/`or` pairs that build a text address.
+                match sethi_or_text_address(&image, text, addr) {
+                    Some(value) => {
+                        let new_v = *map_target.get(&value).unwrap_or(&value);
+                        Builder::sethi_hi(rd, new_v).word
+                    }
+                    None => insn.word,
+                }
+            }
+            Op::Alu { op: eel_isa::AluOp::Or, cc: false, rd, rs1, src2: Src2::Imm(_) }
+                if rd == rs1 && addr >= text.0 + 4 =>
+            {
+                // The `or` half of a set pair.
+                match sethi_or_text_address(&image, text, addr - 4) {
+                    Some(value) if {
+                        let prev = decode(word_of(addr - 4));
+                        matches!(prev.op, Op::Sethi { rd: prd, .. } if prd == rd)
+                    } =>
+                    {
+                        let new_v = *map_target.get(&value).unwrap_or(&value);
+                        Builder::or_lo(rd, rd, new_v).word
+                    }
+                    _ => insn.word,
+                }
+            }
+            _ => insn.word,
+        };
+        emit(&mut out, word);
+        prev_was_cti = insn.is_delayed();
+        addr += 4;
+    }
+
+    // ---- assemble the output image -----------------------------------------
+    let mut data = image.data.clone();
+    data.extend(std::iter::repeat_n(0, image.bss_size as usize));
+    let pad = (counter_base - (image.data_addr + data.len() as u32)) as usize;
+    data.extend(std::iter::repeat_n(0, pad + 4 * next_counter as usize));
+
+    let mut symbols: Vec<Symbol> = Vec::new();
+    for s in &image.symbols {
+        let mut s = s.clone();
+        if let Some(&n) = map_target.get(&s.value) {
+            s.value = n;
+        }
+        symbols.push(s);
+    }
+
+    let edited = Image {
+        entry: *map_target.get(&image.entry).unwrap_or(&image.entry),
+        text_addr: text.0,
+        text: out,
+        data_addr: image.data_addr,
+        data,
+        bss_size: 0,
+        symbols,
+    };
+    edited.validate().map_err(|e| ToolError::Unsupported(e.to_string()))?;
+    Ok(Qpt1Profiled { image: edited, counters })
+}
+
+/// The single dispatch pattern qpt1 recognizes: within the 8 preceding
+/// instructions, `sethi`+`or` building the table base feeding
+/// `ld [base + idx]`, plus a `cmp idx, N; bgeu` bound. Returns
+/// `(table, entries)`.
+fn match_dispatch_pattern(image: &Image, text: (u32, u32), jump: u32) -> Option<(u32, u32)> {
+    // Find the load feeding the jump.
+    let Op::Jmpl { rs1: jreg, src2: Src2::Imm(0), .. } = decode(image.word_at(jump)?).op else {
+        return None;
+    };
+    let mut table: Option<u32> = None;
+    let mut bound: Option<u32> = None;
+    let mut a = jump;
+    for _ in 0..8 {
+        if a < text.0 + 4 {
+            break;
+        }
+        a -= 4;
+        let insn = decode(image.word_at(a)?);
+        match insn.op {
+            Op::Load { rd, rs1, .. } if rd == jreg => {
+                // base register must be set by a sethi/or just above.
+                let mut b = a;
+                for _ in 0..4 {
+                    if b < text.0 + 4 {
+                        break;
+                    }
+                    b -= 4;
+                    if let Some(v) = sethi_or_text_address(image, text, b) {
+                        if decode(image.word_at(b)?).writes().contains(rs1) {
+                            table = Some(v);
+                            break;
+                        }
+                    }
+                }
+            }
+            Op::Branch { cond: Cond::CarryClear | Cond::Gtu, .. }
+                if a >= text.0 + 4 => {
+                    if let Op::Alu {
+                        op: eel_isa::AluOp::Sub,
+                        cc: true,
+                        rd: Reg::G0,
+                        src2: Src2::Imm(k),
+                        ..
+                    } = decode(image.word_at(a - 4)?).op
+                    {
+                        if k > 0 {
+                            bound = Some(k as u32);
+                        }
+                    }
+                }
+            _ => {}
+        }
+    }
+    let table = table?;
+    let count = bound.or_else(|| {
+        // Scan fallback: consecutive words holding text addresses.
+        let mut n = 0;
+        while n < 1024 {
+            match image.word_at(table + 4 * n) {
+                Some(w) if w % 4 == 0 && w >= text.0 && w < text.1 => n += 1,
+                _ => break,
+            }
+        }
+        (n > 0).then_some(n)
+    })?;
+    Some((table, count))
+}
+
+/// If `addr` holds `sethi %hi(V), r` followed by `or r, %lo(V), r` and V
+/// is a text address, returns V.
+fn sethi_or_text_address(image: &Image, text: (u32, u32), addr: u32) -> Option<u32> {
+    let hi = decode(image.word_at(addr)?);
+    let Op::Sethi { rd, imm22 } = hi.op else {
+        return None;
+    };
+    let lo = decode(image.word_at(addr + 4)?);
+    let Op::Alu {
+        op: eel_isa::AluOp::Or,
+        cc: false,
+        rd: ord,
+        rs1,
+        src2: Src2::Imm(v),
+    } = lo.op
+    else {
+        return None;
+    };
+    if ord != rd || rs1 != rd || v < 0 {
+        return None;
+    }
+    let value = (imm22 << 10) | v as u32;
+    (value.is_multiple_of(4) && value >= text.0 && value < text.1).then_some(value)
+}
+
+/// Reads counters back from a finished machine.
+pub fn read_counters(
+    profiled: &Qpt1Profiled,
+    machine: &mut eel_emu::Machine,
+) -> BTreeMap<u32, u32> {
+    profiled
+        .counters
+        .iter()
+        .map(|(&site, &c)| (site, machine.read_word(c)))
+        .collect()
+}
+
+/// This module's own source, for the tool-size comparison (Table 1).
+pub const SOURCE: &str = include_str!("qpt1.rs");
+
+#[allow(unused)]
+fn _insn_is_cti(i: Insn) -> bool {
+    matches!(
+        i.category(),
+        Category::Branch
+            | Category::Call
+            | Category::IndirectCall
+            | Category::IndirectJump
+            | Category::Return
+    )
+}

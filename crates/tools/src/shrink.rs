@@ -1,0 +1,62 @@
+//! Whole-program dead-routine elimination — the *optimization* use of
+//! executable editing (paper §1: "editing can manipulate an entire
+//! program, which permits it to perform interprocedural analysis rather
+//! than stopping at procedure boundaries" [Srivastava & Wall]).
+//!
+//! Routines unreachable from the entry point in the [call graph] are
+//! removed from the edited executable. The transformation is *sound*:
+//! it refuses when the call graph has unknown indirect call sites (a
+//! function pointer could reach anything), exactly the conservatism a
+//! linker-level optimizer needs.
+//!
+//! [call graph]: eel_core::CallGraph
+
+use crate::ToolError;
+use eel_core::{CallGraph, Executable};
+use eel_exe::Image;
+
+/// The result of shrinking.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The smaller executable.
+    pub image: Image,
+    /// Names of the routines removed.
+    pub removed: Vec<String>,
+    /// Text bytes before / after.
+    pub text_before: usize,
+    /// Text bytes after removal.
+    pub text_after: usize,
+}
+
+/// Removes routines unreachable from the entry point.
+///
+/// # Errors
+///
+/// [`ToolError::Unsupported`] when unknown indirect call sites make the
+/// analysis unsound; EEL errors otherwise.
+pub fn strip_dead_routines(image: Image) -> Result<Shrunk, ToolError> {
+    let text_before = image.text.len();
+    let entry = image.entry;
+    let mut exec = Executable::from_image(image)?;
+    exec.read_contents()?;
+    let graph = CallGraph::build(&mut exec)?;
+    if !graph.unknown_sites().is_empty() {
+        return Err(ToolError::Unsupported(format!(
+            "{} unknown indirect call site(s): any routine could be live",
+            graph.unknown_sites().len()
+        )));
+    }
+    let root = exec
+        .routine_containing(entry)
+        .ok_or_else(|| ToolError::Internal("entry outside every routine".into()))?;
+    let mut removed = Vec::new();
+    for id in exec.all_routine_ids() {
+        if id != root && !graph.reachable(root, id) {
+            removed.push(exec.routine(id).name());
+            exec.remove_routine(id)?;
+        }
+    }
+    let image = exec.write_edited()?;
+    let text_after = image.text.len();
+    Ok(Shrunk { image, removed, text_before, text_after })
+}

@@ -1,0 +1,91 @@
+//! qpt's tracing analysis — backward address slices for abstract
+//! execution (paper §3.4, Figure 4; Larus 1990).
+//!
+//! qpt traced memory addresses cheaply by *not* recording most of them:
+//! a backward slice from each reference's address registers identifies
+//! the instructions that recompute the address, so the trace regenerator
+//! re-executes the slice instead of reading a logged value. This module
+//! runs that analysis and reports how tractable a program's references
+//! are — the paper's Figure 4 algorithm applied at scale.
+
+use crate::ToolError;
+use eel_core::{Executable, SliceMark, Slicer};
+use eel_exe::Image;
+
+/// Slice statistics for one routine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutineSlices {
+    /// Routine name.
+    pub routine: String,
+    /// Memory-reference sites examined.
+    pub references: usize,
+    /// References whose every address input had a reaching definition.
+    pub fully_sliced: usize,
+    /// Instructions marked easy (no register inputs).
+    pub easy: usize,
+    /// Instructions marked hard (inputs sliced further).
+    pub hard: usize,
+    /// Instructions marked impossible (floating-point inputs).
+    pub impossible: usize,
+}
+
+/// Whole-program slicing report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceAnalysis {
+    /// Per-routine results.
+    pub routines: Vec<RoutineSlices>,
+}
+
+impl TraceAnalysis {
+    /// Total references across routines.
+    pub fn references(&self) -> usize {
+        self.routines.iter().map(|r| r.references).sum()
+    }
+
+    /// Fraction of references with complete static slices (the paper's
+    /// case for abstract execution: most addresses are recomputable).
+    pub fn fully_sliced_fraction(&self) -> f64 {
+        let total = self.references();
+        if total == 0 {
+            return 0.0;
+        }
+        let full: usize = self.routines.iter().map(|r| r.fully_sliced).sum();
+        full as f64 / total as f64
+    }
+}
+
+/// Runs the backward-slice analysis over every routine.
+///
+/// # Errors
+///
+/// Propagates analysis failures.
+pub fn analyze(image: Image) -> Result<TraceAnalysis, ToolError> {
+    let mut exec = Executable::from_image(image)?;
+    exec.read_contents()?;
+    let mut out = TraceAnalysis::default();
+    for id in exec.all_routine_ids() {
+        let cfg = exec.build_cfg(id)?;
+        let mut slicer = Slicer::new(&cfg);
+        let mut references = 0;
+        let mut fully_sliced = 0;
+        for (bid, block) in cfg.blocks() {
+            for (i, ia) in block.insns.iter().enumerate() {
+                if ia.insn.is_memory() {
+                    references += 1;
+                    if slicer.slice_address(bid, i) {
+                        fully_sliced += 1;
+                    }
+                }
+            }
+        }
+        out.routines.push(RoutineSlices {
+            routine: exec.routine(id).name(),
+            references,
+            fully_sliced,
+            easy: slicer.count(SliceMark::Easy),
+            hard: slicer.count(SliceMark::Hard),
+            impossible: slicer.count(SliceMark::Impossible),
+        });
+    }
+    Ok(out)
+}

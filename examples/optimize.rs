@@ -1,0 +1,41 @@
+//! Executable editing as an *optimizer* (paper §1: link-time/executable
+//! optimization can see the whole program where per-file compilers
+//! cannot). This example strips routines that the whole-program call
+//! graph proves unreachable.
+//!
+//! ```text
+//! cargo run --example optimize
+//! ```
+
+use eel::tools::shrink::strip_dead_routines;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A program dragging in an unused "library".
+    let source = r#"
+        fn lib_sin(x) { return x - x * x * x / 6; }
+        fn lib_cos(x) { return 1 - x * x / 2; }
+        fn lib_abs(x) { if (x < 0) { return 0 - x; } return x; }
+        fn used_sq(x) { return x * x; }
+        fn main() {
+            var t = used_sq(6) + used_sq(3);
+            print(t);
+            return t;
+        }
+    "#;
+    let image = eel::cc::compile_str(source, &eel::cc::Options::default())?;
+    let before = eel::emu::run_image(&image)?;
+
+    let shrunk = strip_dead_routines(image)?;
+    println!("removed routines: {:?}", shrunk.removed);
+    println!(
+        "text size: {} -> {} bytes ({:.0}% smaller)",
+        shrunk.text_before,
+        shrunk.text_after,
+        100.0 * (1.0 - shrunk.text_after as f64 / shrunk.text_before as f64)
+    );
+    let after = eel::emu::run_image(&shrunk.image)?;
+    assert_eq!(before.exit_code, after.exit_code);
+    assert_eq!(before.output, after.output);
+    println!("behavior identical: exit={}, output={:?}", after.exit_code, after.output_str());
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: compile a program, open it with EEL, inspect its routines
+//! and CFGs, add one edit, write the edited executable, and run both.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use eel::core::{Executable, Snippet};
+use eel::emu::{run_image, Machine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A program to edit (any WEF image works; we compile one here).
+    let source = r#"
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { print(fib(15)); return fib(10); }
+    "#;
+    let image = eel::cc::compile_str(source, &eel::cc::Options::default())?;
+    let baseline = run_image(&image)?;
+    println!("original: exit={} cycles={}", baseline.exit_code, baseline.cycles);
+
+    // 2. Open and analyze (§3.1's symbol-table refinement).
+    let mut exec = Executable::from_image(image)?;
+    exec.read_contents()?;
+    println!("\nroutines:");
+    for id in exec.all_routine_ids() {
+        let r = exec.routine(id).clone();
+        let cfg = exec.build_cfg(id)?;
+        let stats = cfg.stats();
+        println!(
+            "  {:<14} {:#07x}..{:#07x}  blocks={:3} (delay={:2} surrogate={:2})  edges={:3}",
+            r.name(),
+            r.start(),
+            r.end(),
+            stats.total_blocks(),
+            stats.delay_slot_blocks,
+            stats.call_surrogate_blocks,
+            stats.edges,
+        );
+    }
+
+    // 3. Edit: count how many times fib is entered.
+    let counter = exec.reserve_data(4);
+    let fib = exec
+        .all_routine_ids()
+        .into_iter()
+        .find(|&id| exec.routine(id).name() == "fib")
+        .expect("fib exists");
+    let mut cfg = exec.build_cfg(fib)?;
+    let entry = cfg.entry_block();
+    cfg.add_code_at_block_start(entry, Snippet::counter_increment(counter))?;
+    exec.install_edits(cfg)?;
+
+    // 4. Write and run the edited executable.
+    let edited = exec.write_edited()?;
+    let mut machine = Machine::load(&edited)?;
+    let outcome = machine.run()?;
+    println!(
+        "\nedited:   exit={} cycles={} (+{:.1}%)",
+        outcome.exit_code,
+        outcome.cycles,
+        100.0 * (outcome.cycles as f64 / baseline.cycles as f64 - 1.0)
+    );
+    println!("fib was entered {} times", machine.read_word(counter));
+    assert_eq!(outcome.exit_code, baseline.exit_code);
+    // fib(15) makes 2·F(16)−1 = 1973 calls; fib(10) makes 2·F(11)−1 = 177.
+    assert_eq!(machine.read_word(counter), 1973 + 177);
+    Ok(())
+}

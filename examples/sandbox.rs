@@ -1,0 +1,34 @@
+//! Fine-grain access control (Blizzard-S, paper §1/§5): the editing-based
+//! protection mechanism behind software distributed shared memory. Every
+//! store is preceded by a state-table test; first touches "fault" into a
+//! validation handler.
+//!
+//! ```text
+//! cargo run --example sandbox
+//! ```
+
+use eel::tools::blizzard;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = eel::progen::sc_like(3);
+    let image = eel::progen::compile(&workload, eel::cc::Personality::Gcc)?;
+    let baseline = eel::emu::run_image(&image)?;
+
+    let controlled = blizzard::instrument(image)?;
+    println!("instrumented {} store sites", controlled.sites);
+    let stats = controlled.run()?;
+    assert_eq!(stats.exit_code, baseline.exit_code, "behavior preserved");
+    assert_eq!(stats.checks as u64, baseline.stores, "every store checked");
+
+    println!("stores checked:  {}", stats.checks);
+    println!(
+        "access faults:   {} ({:.2}% of stores — first touches per line)",
+        stats.faults,
+        100.0 * stats.faults as f64 / stats.checks as f64
+    );
+    println!(
+        "slowdown:        {:.2}x",
+        stats.cycles as f64 / baseline.cycles as f64
+    );
+    Ok(())
+}

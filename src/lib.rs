@@ -1,0 +1,41 @@
+//! # eel — Executable Editing Library (reproduction facade)
+//!
+//! Umbrella crate for the Rust reproduction of *EEL: Machine-Independent
+//! Executable Editing* (Larus & Schnarr, PLDI 1995). It re-exports every
+//! workspace crate under one roof so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`isa`] — the SPARC-V8-subset instruction set (decode/encode/semantics).
+//! * [`exe`] — the WEF executable file format.
+//! * [`asm`] — the assembler.
+//! * [`emu`] — the emulator (runs original and edited executables).
+//! * [`cc`] — the Wisc compiler (generates realistic workloads).
+//! * [`progen`] — the SPEC92-like benchmark suite generator.
+//! * [`core`] — **the EEL library itself**: executables, routines, CFGs,
+//!   instructions, snippets, analyses, and editing.
+//! * [`spawn`] — the machine-description system.
+//! * [`tools`] — qpt/qpt2, Active Memory, Blizzard, Elsie, the tracer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eel::cc;
+//! use eel::core::Executable;
+//!
+//! // Compile a program, open it with EEL, and walk its routines.
+//! let exe = cc::compile_str("fn main() { return 0; }", &cc::Options::default())?;
+//! let mut editable = Executable::from_image(exe)?;
+//! editable.read_contents()?;
+//! assert!(editable.routines().iter().any(|r| r.name() == "main"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use eel_asm as asm;
+pub use eel_cc as cc;
+pub use eel_core as core;
+pub use eel_emu as emu;
+pub use eel_exe as exe;
+pub use eel_isa as isa;
+pub use eel_progen as progen;
+pub use eel_spawn as spawn;
+pub use eel_tools as tools;

@@ -1,0 +1,198 @@
+//! Workspace-level end-to-end tests: the full pipeline — Wisc source →
+//! compiler → WEF image → EEL analysis/editing → edited image → emulator
+//! — exercised across crates through the `eel` facade.
+
+use eel::cc::{compile_str, Options, Personality};
+use eel::core::{Executable, Snippet};
+use eel::emu::{run_image, Machine};
+
+#[test]
+fn facade_reexports_compose() {
+    // Touch every crate through the facade in one pipeline.
+    let image = compile_str("fn main() { return 6 * 7; }", &Options::default()).unwrap();
+    assert_eq!(run_image(&image).unwrap().exit_code, 42);
+
+    let mut exec = Executable::from_image(image).unwrap();
+    exec.read_contents().unwrap();
+    let edited = exec.write_edited().unwrap();
+    assert_eq!(run_image(&edited).unwrap().exit_code, 42);
+
+    // spawn agrees with the handwritten decoder on this binary.
+    let machine = eel::spawn::sparc_machine().unwrap();
+    for (_, word) in edited.text_words() {
+        let hw = eel::isa::decode(word).category();
+        let sp = match machine.decode(word) {
+            None => eel::isa::Category::Invalid,
+            Some(d) => eel::spawn::sparc_shim::category(&machine, &d),
+        };
+        assert_eq!(hw, sp);
+    }
+}
+
+#[test]
+fn double_editing_round_trip() {
+    // Edit the program, then open the EDITED program and edit it again —
+    // EEL output is EEL input (the paper's tools chained in practice).
+    let src = r#"
+        fn work(x) { return x * 3 + 1; }
+        fn main() {
+            var i; var t = 0;
+            for (i = 0; i < 12; i = i + 1) { t = t + work(i); }
+            return t & 255;
+        }"#;
+    let image = compile_str(src, &Options::default()).unwrap();
+    let baseline = run_image(&image).unwrap();
+
+    // First edit: entry counters.
+    let mut exec = Executable::from_image(image).unwrap();
+    exec.read_contents().unwrap();
+    let c1 = exec.reserve_data(4);
+    let work_id = exec
+        .all_routine_ids()
+        .into_iter()
+        .find(|&id| exec.routine(id).name() == "work")
+        .unwrap();
+    let mut cfg = exec.build_cfg(work_id).unwrap();
+    let entry = cfg.entry_block();
+    cfg.add_code_at_block_start(entry, Snippet::counter_increment(c1)).unwrap();
+    exec.install_edits(cfg).unwrap();
+    let once = exec.write_edited().unwrap();
+
+    // Second edit: pass the edited image through EEL again.
+    let mut exec2 = Executable::from_image(once).unwrap();
+    exec2.read_contents().unwrap();
+    let c2 = exec2.reserve_data(4);
+    let main_id = exec2
+        .all_routine_ids()
+        .into_iter()
+        .find(|&id| exec2.routine(id).name() == "main")
+        .unwrap();
+    let mut cfg2 = exec2.build_cfg(main_id).unwrap();
+    let entry2 = cfg2.entry_block();
+    cfg2.add_code_at_block_start(entry2, Snippet::counter_increment(c2)).unwrap();
+    exec2.install_edits(cfg2).unwrap();
+    let twice = exec2.write_edited().unwrap();
+
+    let mut machine = Machine::load(&twice).unwrap();
+    let outcome = machine.run().unwrap();
+    assert_eq!(outcome.exit_code, baseline.exit_code);
+    assert_eq!(machine.read_word(c2), 1, "main entered once");
+    // The first-round counter is still live in the twice-edited binary
+    // (it sits in the data segment, which keeps its addresses).
+    assert_eq!(machine.read_word(c1), 12, "work entered 12 times");
+}
+
+#[test]
+fn assembler_authored_program_through_the_whole_stack() {
+    // Hand-written assembly with a dispatch table: assemble, analyze,
+    // instrument every table edge, and verify counts.
+    let image = eel::asm::assemble(
+        r#"
+        .global main
+    main:
+        sub %sp, 32, %sp
+        st %o7, [%sp + 4]
+        clr %l5              ! selector accumulates results
+        mov 0, %l6           ! loop counter
+    loop:
+        cmp %l6, 9
+        bgu done
+        nop
+        ! dispatch on %l6 % 3
+        wr %g0, %g0, %y
+        udiv %l6, 3, %l0
+        smul %l0, 3, %l0
+        sub %l6, %l0, %l0    ! %l0 = l6 % 3
+        cmp %l0, 3
+        bgeu default
+        nop
+        sll %l0, 2, %l0
+        set table, %l1
+        ld [%l1 + %l0], %l1
+        jmp %l1
+        nop
+    table:
+        .word case0, case1, case2
+    case0:
+        ba next
+        add %l5, 1, %l5
+    case1:
+        ba next
+        add %l5, 10, %l5
+    case2:
+        ba next
+        add %l5, 100, %l5
+    default:
+        add %l5, 1000, %l5
+    next:
+        ba loop
+        add %l6, 1, %l6
+    done:
+        mov %l5, %o0
+        ld [%sp + 4], %o7
+        mov 1, %g1
+        ta 0
+        add %sp, 32, %sp
+    "#,
+    )
+    .unwrap();
+    let baseline = run_image(&image).unwrap();
+    assert_eq!(baseline.exit_code, 4 + 30 + 300, "4 zeros, 3 ones, 3 twos");
+
+    let mut exec = Executable::from_image(image).unwrap();
+    exec.read_contents().unwrap();
+    let counters = exec.reserve_data(4 * 8);
+    let id = exec.all_routine_ids()[0];
+    let mut cfg = exec.build_cfg(id).unwrap();
+    let table_edges: Vec<_> = (0..cfg.edge_count())
+        .map(eel::core::EdgeId::from_index)
+        .filter(|&e| cfg.edge(e).kind == eel::core::EdgeKind::Table && cfg.edge(e).editable)
+        .collect();
+    assert_eq!(table_edges.len(), 3, "three distinct case targets");
+    for (i, e) in table_edges.iter().enumerate() {
+        cfg.add_code_along(*e, Snippet::counter_increment(counters + 4 * i as u32)).unwrap();
+    }
+    exec.install_edits(cfg).unwrap();
+    let edited = exec.write_edited().unwrap();
+
+    let mut machine = Machine::load(&edited).unwrap();
+    let outcome = machine.run().unwrap();
+    assert_eq!(outcome.exit_code, baseline.exit_code);
+    let mut counts: Vec<u32> = (0..3).map(|i| machine.read_word(counters + 4 * i)).collect();
+    counts.sort_unstable();
+    assert_eq!(counts, vec![3, 3, 4], "per-case dispatch counts");
+}
+
+#[test]
+fn suite_behaves_identically_after_editing_under_both_personalities() {
+    for w in eel::progen::suite().into_iter().take(3) {
+        for personality in [Personality::Gcc, Personality::SunPro] {
+            let image = eel::progen::compile(&w, personality).unwrap();
+            let before = run_image(&image).unwrap();
+            let mut exec = Executable::from_image(image).unwrap();
+            exec.read_contents().unwrap();
+            let edited = exec.write_edited().unwrap();
+            let after = run_image(&edited).unwrap();
+            assert_eq!(before.exit_code, after.exit_code, "{} {personality:?}", w.name);
+            assert_eq!(before.output, after.output, "{} {personality:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn edited_programs_keep_symbol_tables() {
+    // §3.1: EEL maintains symbol-table information for the edited program
+    // so standard tools keep working.
+    let src = "fn helper(x) { return x + 1; } fn main() { return helper(41); }";
+    let image = compile_str(src, &Options::default()).unwrap();
+    let mut exec = Executable::from_image(image).unwrap();
+    exec.read_contents().unwrap();
+    let edited = exec.write_edited().unwrap();
+    for name in ["main", "helper", "__start", "__print_int"] {
+        let sym = edited
+            .find_symbol(name)
+            .unwrap_or_else(|| panic!("{name} survives editing"));
+        assert!(edited.in_text(sym.value), "{name} points into text");
+        assert_eq!(Some(sym.value), exec.edited_addr(sym.value).or(Some(sym.value)));
+    }
+}
