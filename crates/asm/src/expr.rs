@@ -65,11 +65,17 @@ impl Expr {
     ///
     /// Returns a human-readable message for malformed input.
     pub fn parse(text: &str) -> Result<Expr, String> {
-        let mut p = Parser { text: text.trim(), at: 0 };
+        let mut p = Parser {
+            text: text.trim(),
+            at: 0,
+        };
         let e = p.additive()?;
         p.skip_ws();
         if p.at != p.text.len() {
-            return Err(format!("trailing input after expression: {:?}", &p.text[p.at..]));
+            return Err(format!(
+                "trailing input after expression: {:?}",
+                &p.text[p.at..]
+            ));
         }
         Ok(e)
     }
@@ -165,7 +171,9 @@ impl<'a> Parser<'a> {
             } else {
                 token.parse()
             };
-            return value.map(Expr::Num).map_err(|_| format!("bad number {token:?}"));
+            return value
+                .map(Expr::Num)
+                .map_err(|_| format!("bad number {token:?}"));
         }
         // Symbol: [A-Za-z_.$][A-Za-z0-9_.$]*
         if rest.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_' || c == '.' || c == '$') {
@@ -224,7 +232,10 @@ mod tests {
 
     #[test]
     fn undefined_symbol_reports_name() {
-        let err = Expr::parse("nope").unwrap().eval(&HashMap::new(), 0).unwrap_err();
+        let err = Expr::parse("nope")
+            .unwrap()
+            .eval(&HashMap::new(), 0)
+            .unwrap_err();
         assert_eq!(err, "nope");
     }
 

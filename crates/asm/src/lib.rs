@@ -69,7 +69,10 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Options {
-        Options { text_base: TEXT_BASE, data_base: DATA_BASE }
+        Options {
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+        }
     }
 }
 
@@ -92,6 +95,7 @@ pub fn assemble(source: &str) -> Result<Image, AsmError> {
 ///
 /// See [`assemble`].
 pub fn assemble_with(source: &str, options: &Options) -> Result<Image, AsmError> {
+    let _obs = eel_obs::span("asm.assemble");
     let lines = parse::parse_source(source)?;
     let mut asm = Assembler::new(*options);
     asm.run(&lines)
@@ -105,6 +109,7 @@ pub fn assemble_with(source: &str, options: &Options) -> Result<Image, AsmError>
 ///
 /// See [`assemble`]; additionally rejects any non-text statement.
 pub fn assemble_fragment(source: &str, base: u32) -> Result<Vec<Insn>, AsmError> {
+    let _obs = eel_obs::span("asm.fragment");
     let lines = parse::parse_source(source)?;
     for line in &lines {
         match line.stmt {
@@ -117,11 +122,17 @@ pub fn assemble_fragment(source: &str, base: u32) -> Result<Vec<Insn>, AsmError>
             }
         }
     }
-    let options = Options { text_base: base, data_base: base.wrapping_add(0x0100_0000) };
+    let options = Options {
+        text_base: base,
+        data_base: base.wrapping_add(0x0100_0000),
+    };
     let mut asm = Assembler::new(options);
     asm.fragment = true;
     let image = asm.run(&lines)?;
-    Ok(image.text_words().map(|(_, w)| eel_isa::decode(w)).collect())
+    Ok(image
+        .text_words()
+        .map(|(_, w)| eel_isa::decode(w))
+        .collect())
 }
 
 struct Assembler {
@@ -191,7 +202,9 @@ impl Assembler {
                 Stmt::Ascii(bytes) => *lc += bytes.len() as u32,
                 Stmt::Align(n) => *lc = lc.next_multiple_of(*n),
                 Stmt::Skip(n) => *lc += n,
-                Stmt::Insn { mnemonic, operands, .. } => {
+                Stmt::Insn {
+                    mnemonic, operands, ..
+                } => {
                     if section == Section::Data {
                         return Err(AsmError {
                             line: line.number,
@@ -231,17 +244,24 @@ impl Assembler {
                 Stmt::Align(n) => {
                     let lc = self.lc(section);
                     let pad = lc.next_multiple_of(*n) - lc;
-                    self.buf(section).extend(std::iter::repeat_n(0, pad as usize));
+                    self.buf(section)
+                        .extend(std::iter::repeat_n(0, pad as usize));
                 }
-                Stmt::Skip(n) => {
-                    self.buf(section).extend(std::iter::repeat_n(0, *n as usize))
-                }
-                Stmt::Insn { mnemonic, annul, operands } => {
+                Stmt::Skip(n) => self
+                    .buf(section)
+                    .extend(std::iter::repeat_n(0, *n as usize)),
+                Stmt::Insn {
+                    mnemonic,
+                    annul,
+                    operands,
+                } => {
                     let here = self.lc(Section::Text);
                     let words =
-                        self.encode_insn(mnemonic, *annul, operands, here).map_err(|message| {
-                            AsmError { line: line.number, message }
-                        })?;
+                        self.encode_insn(mnemonic, *annul, operands, here)
+                            .map_err(|message| AsmError {
+                                line: line.number,
+                                message,
+                            })?;
                     for w in words {
                         self.text.extend_from_slice(&w.to_be_bytes());
                     }
@@ -285,7 +305,8 @@ impl Assembler {
     }
 
     fn eval(&self, e: &Expr, here: u32) -> Result<i64, String> {
-        e.eval(&self.labels, here).map_err(|sym| format!("undefined symbol {sym:?}"))
+        e.eval(&self.labels, here)
+            .map_err(|sym| format!("undefined symbol {sym:?}"))
     }
 
     fn as_reg(op: &Operand) -> Result<Reg, String> {
@@ -317,38 +338,37 @@ impl Assembler {
             }
             Ok(Src2::Imm(v as i32))
         };
-        let decompose = |base: &Part, neg: bool, off: &Option<Part>| -> Result<(Reg, Src2), String> {
-            match (base, off) {
-                (Part::Reg(r), None) => Ok((*r, Src2::Imm(0))),
-                (Part::Reg(r), Some(Part::Reg(r2))) => {
-                    if neg {
-                        Err("cannot subtract a register in an address".into())
-                    } else {
-                        Ok((*r, Src2::Reg(*r2)))
+        let decompose =
+            |base: &Part, neg: bool, off: &Option<Part>| -> Result<(Reg, Src2), String> {
+                match (base, off) {
+                    (Part::Reg(r), None) => Ok((*r, Src2::Imm(0))),
+                    (Part::Reg(r), Some(Part::Reg(r2))) => {
+                        if neg {
+                            Err("cannot subtract a register in an address".into())
+                        } else {
+                            Ok((*r, Src2::Reg(*r2)))
+                        }
+                    }
+                    (Part::Reg(r), Some(Part::Expr(e))) => {
+                        let v = self.eval(e, here)?;
+                        Ok((*r, imm(if neg { -v } else { v })?))
+                    }
+                    (Part::Expr(e), Some(Part::Reg(r))) => {
+                        if neg {
+                            Err("cannot subtract a register in an address".into())
+                        } else {
+                            Ok((*r, imm(self.eval(e, here)?)?))
+                        }
+                    }
+                    (Part::Expr(e), None) => Ok((Reg::G0, imm(self.eval(e, here)?)?)),
+                    (Part::Expr(_), Some(Part::Expr(_))) => {
+                        Err("address needs at most one expression part".into())
                     }
                 }
-                (Part::Reg(r), Some(Part::Expr(e))) => {
-                    let v = self.eval(e, here)?;
-                    Ok((*r, imm(if neg { -v } else { v })?))
-                }
-                (Part::Expr(e), Some(Part::Reg(r))) => {
-                    if neg {
-                        Err("cannot subtract a register in an address".into())
-                    } else {
-                        Ok((*r, imm(self.eval(e, here)?)?))
-                    }
-                }
-                (Part::Expr(e), None) => Ok((Reg::G0, imm(self.eval(e, here)?)?)),
-                (Part::Expr(_), Some(Part::Expr(_))) => {
-                    Err("address needs at most one expression part".into())
-                }
-            }
-        };
+            };
         match op {
             Operand::Mem { base, neg, off } => decompose(base, *neg, off),
-            Operand::Pair(r, neg, part) => {
-                decompose(&Part::Reg(*r), *neg, &Some(part.clone()))
-            }
+            Operand::Pair(r, neg, part) => decompose(&Part::Reg(*r), *neg, &Some(part.clone())),
             Operand::Reg(r) => Ok((*r, Src2::Imm(0))),
             Operand::Expr(e) => Ok((Reg::G0, imm(self.eval(e, here)?)?)),
         }
@@ -377,7 +397,10 @@ impl Assembler {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(format!("{mnemonic} takes {n} operand(s), got {}", ops.len()))
+                Err(format!(
+                    "{mnemonic} takes {n} operand(s), got {}",
+                    ops.len()
+                ))
             }
         };
 
@@ -411,7 +434,9 @@ impl Assembler {
             return Ok(vec![Builder::branch(*cond, annul, disp22).word]);
         }
         if annul {
-            return Err(format!("`,a` suffix is only valid on branches, not {mnemonic}"));
+            return Err(format!(
+                "`,a` suffix is only valid on branches, not {mnemonic}"
+            ));
         }
 
         // ALU operations (with optional cc suffix).
@@ -440,7 +465,9 @@ impl Assembler {
         };
         if let Some((_, op)) = alu_table.iter().find(|(m, _)| *m == base_mnem) {
             if ops.is_empty() && matches!(op, AluOp::Save | AluOp::Restore) {
-                return Ok(vec![Builder::alu(*op, false, Reg::G0, Reg::G0, Src2::Imm(0)).word]);
+                return Ok(vec![
+                    Builder::alu(*op, false, Reg::G0, Reg::G0, Src2::Imm(0)).word,
+                ]);
             }
             need(3)?;
             let rs1 = Self::as_reg(&ops[0])?;
@@ -485,7 +512,11 @@ impl Assembler {
             if let Some(cond) = Cond::ALL.iter().find(|c| c.suffix() == suffix) {
                 need(1)?;
                 let (rs1, src2) = self.as_addr(&ops[0], here)?;
-                return Ok(vec![eel_isa::encode(&eel_isa::Op::Trap { cond: *cond, rs1, src2 })]);
+                return Ok(vec![eel_isa::encode(&eel_isa::Op::Trap {
+                    cond: *cond,
+                    rs1,
+                    src2,
+                })]);
             }
         }
 
@@ -527,7 +558,9 @@ impl Assembler {
             }
             "clr" => {
                 need(1)?;
-                Ok(vec![Builder::mov(Self::as_reg(&ops[0])?, Src2::Imm(0)).word])
+                Ok(vec![
+                    Builder::mov(Self::as_reg(&ops[0])?, Src2::Imm(0)).word,
+                ])
             }
             "inc" => {
                 need(1)?;
@@ -547,7 +580,9 @@ impl Assembler {
             }
             "tst" => {
                 need(1)?;
-                Ok(vec![Builder::cmp(Self::as_reg(&ops[0])?, Src2::Imm(0)).word])
+                Ok(vec![
+                    Builder::cmp(Self::as_reg(&ops[0])?, Src2::Imm(0)).word,
+                ])
             }
             "set" => {
                 need(2)?;
@@ -578,7 +613,10 @@ impl Assembler {
                     return Err(format!("sethi field {field:#x} exceeds 22 bits"));
                 }
                 let rd = Self::as_reg(&ops[1])?;
-                Ok(vec![eel_isa::encode(&eel_isa::Op::Sethi { rd, imm22: field })])
+                Ok(vec![eel_isa::encode(&eel_isa::Op::Sethi {
+                    rd,
+                    imm22: field,
+                })])
             }
             "call" => {
                 need(1)?;
@@ -610,7 +648,9 @@ impl Assembler {
                     Operand::Expr(e) => self.eval(e, here)? as u32,
                     other => return Err(format!("unimp takes an expression, got {other:?}")),
                 };
-                Ok(vec![eel_isa::encode(&eel_isa::Op::Unimp { const22: v & 0x3fffff })])
+                Ok(vec![eel_isa::encode(&eel_isa::Op::Unimp {
+                    const22: v & 0x3fffff,
+                })])
             }
             other => Err(format!("unknown mnemonic {other:?}")),
         }
@@ -633,7 +673,13 @@ impl Assembler {
                 Section::Text => SymbolKind::Label,
                 Section::Data => SymbolKind::Object,
             });
-            image.symbols.push(Symbol { name: name.clone(), value, size: 0, kind, global });
+            image.symbols.push(Symbol {
+                name: name.clone(),
+                value,
+                size: 0,
+                kind,
+                global,
+            });
         }
 
         // Entry point.
@@ -650,7 +696,10 @@ impl Assembler {
         image.entry = entry;
 
         if !self.fragment {
-            image.validate().map_err(|e| AsmError { line: 0, message: e.to_string() })?;
+            image.validate().map_err(|e| AsmError {
+                line: 0,
+                message: e.to_string(),
+            })?;
         }
         Ok(image)
     }
@@ -743,7 +792,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match insns[1].op {
-            Op::Load { src2: Src2::Imm(lo), .. } => assert_eq!(lo as u32, counter & 0x3ff),
+            Op::Load {
+                src2: Src2::Imm(lo),
+                ..
+            } => assert_eq!(lo as u32, counter & 0x3ff),
             other => panic!("{other:?}"),
         }
         assert_eq!(insns[4].category(), Category::Call);
@@ -905,7 +957,13 @@ mod tests {
     fn trap_conditions() {
         let image = assemble("main: ta 0\n te 3\n nop\n").unwrap();
         let insns: Vec<_> = image.text_words().map(|(_, w)| decode(w)).collect();
-        assert!(matches!(insns[0].op, Op::Trap { cond: Cond::Always, .. }));
+        assert!(matches!(
+            insns[0].op,
+            Op::Trap {
+                cond: Cond::Always,
+                ..
+            }
+        ));
         assert!(matches!(insns[1].op, Op::Trap { cond: Cond::Eq, .. }));
     }
 

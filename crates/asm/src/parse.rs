@@ -189,7 +189,11 @@ fn parse_operand(text: &str) -> Result<Operand, String> {
                 off: Some(parse_part(rhs.trim())?),
             });
         }
-        return Ok(Operand::Mem { base: parse_part(inner)?, neg: false, off: None });
+        return Ok(Operand::Mem {
+            base: parse_part(inner)?,
+            neg: false,
+            off: None,
+        });
     }
     if let Some(r) = Reg::parse(text) {
         return Ok(Operand::Reg(r));
@@ -235,7 +239,8 @@ fn unescape(s: &str) -> Result<Vec<u8>, String> {
 
 fn parse_directive(name: &str, rest: &str) -> Result<Stmt, String> {
     let operands = || split_operands(rest);
-    let exprs = || -> Result<Vec<Expr>, String> { operands().iter().map(|s| Expr::parse(s)).collect() };
+    let exprs =
+        || -> Result<Vec<Expr>, String> { operands().iter().map(|s| Expr::parse(s)).collect() };
     match name {
         ".text" => Ok(Stmt::Section(Section::Text)),
         ".data" => Ok(Stmt::Section(Section::Data)),
@@ -308,7 +313,10 @@ pub fn parse_source(source: &str) -> Result<Vec<Line>, AsmError> {
             if !valid {
                 break;
             }
-            out.push(Line { number, stmt: Stmt::Label(head.to_string()) });
+            out.push(Line {
+                number,
+                stmt: Stmt::Label(head.to_string()),
+            });
             line = tail[1..].trim();
         }
         if line.is_empty() {
@@ -316,8 +324,10 @@ pub fn parse_source(source: &str) -> Result<Vec<Line>, AsmError> {
         }
         let stmt = if line.starts_with('.') {
             let (name, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
-            parse_directive(name, rest.trim())
-                .map_err(|message| AsmError { line: number, message })?
+            parse_directive(name, rest.trim()).map_err(|message| AsmError {
+                line: number,
+                message,
+            })?
         } else {
             let (mnem, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
             let mnem = mnem.to_ascii_lowercase();
@@ -329,9 +339,19 @@ pub fn parse_source(source: &str) -> Result<Vec<Line>, AsmError> {
                 .iter()
                 .map(|s| parse_operand(s))
                 .collect::<Result<Vec<_>, _>>()
-                .map_err(|message| AsmError { line: number, message })?;
-            Ok(Stmt::Insn { mnemonic, annul, operands })
-                .map_err(|message: String| AsmError { line: number, message })?
+                .map_err(|message| AsmError {
+                    line: number,
+                    message,
+                })?;
+            Ok(Stmt::Insn {
+                mnemonic,
+                annul,
+                operands,
+            })
+            .map_err(|message: String| AsmError {
+                line: number,
+                message,
+            })?
         };
         out.push(Line { number, stmt });
     }
@@ -354,7 +374,9 @@ mod tests {
         assert_eq!(lines[0].stmt, Stmt::Label("foo".into()));
         assert_eq!(lines[1].stmt, Stmt::Label("bar".into()));
         match &lines[2].stmt {
-            Stmt::Insn { mnemonic, operands, .. } => {
+            Stmt::Insn {
+                mnemonic, operands, ..
+            } => {
                 assert_eq!(mnemonic, "add");
                 assert_eq!(operands.len(), 3);
             }
@@ -365,7 +387,9 @@ mod tests {
     #[test]
     fn annul_suffix() {
         match one("bne,a target") {
-            Stmt::Insn { mnemonic, annul, .. } => {
+            Stmt::Insn {
+                mnemonic, annul, ..
+            } => {
                 assert_eq!(mnemonic, "bne");
                 assert!(annul);
             }
@@ -395,7 +419,11 @@ mod tests {
     fn negative_and_lo_memory_operands() {
         match one("st %g7, [%lo(counter) + %g6]") {
             Stmt::Insn { operands, .. } => match &operands[1] {
-                Operand::Mem { base: Part::Expr(Expr::Lo(_)), neg: false, off: Some(Part::Reg(r)) } => {
+                Operand::Mem {
+                    base: Part::Expr(Expr::Lo(_)),
+                    neg: false,
+                    off: Some(Part::Reg(r)),
+                } => {
                     assert_eq!(*r, Reg(6));
                 }
                 other => panic!("{other:?}"),
@@ -415,7 +443,10 @@ mod tests {
     fn pair_operand_for_jmpl() {
         match one("jmpl %o1 + 8, %g0") {
             Stmt::Insn { operands, .. } => {
-                assert_eq!(operands[0], Operand::Pair(Reg(9), false, Part::Expr(Expr::Num(8))));
+                assert_eq!(
+                    operands[0],
+                    Operand::Pair(Reg(9), false, Part::Expr(Expr::Num(8)))
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -425,12 +456,18 @@ mod tests {
     fn directives() {
         assert_eq!(one(".text"), Stmt::Section(Section::Text));
         assert_eq!(one(".global main"), Stmt::Global("main".into()));
-        assert_eq!(one(".word 1, 2, 3"), Stmt::Word(vec![Expr::Num(1), Expr::Num(2), Expr::Num(3)]));
+        assert_eq!(
+            one(".word 1, 2, 3"),
+            Stmt::Word(vec![Expr::Num(1), Expr::Num(2), Expr::Num(3)])
+        );
         assert_eq!(one(".ascii \"hi\\n\""), Stmt::Ascii(b"hi\n".to_vec()));
         assert_eq!(one(".asciz \"x\""), Stmt::Ascii(b"x\0".to_vec()));
         assert_eq!(one(".align 8"), Stmt::Align(8));
         assert_eq!(one(".skip 12"), Stmt::Skip(12));
-        assert_eq!(one(".type t, temp"), Stmt::Type("t".into(), SymbolKind::Temp));
+        assert_eq!(
+            one(".type t, temp"),
+            Stmt::Type("t".into(), SymbolKind::Temp)
+        );
     }
 
     #[test]

@@ -49,7 +49,13 @@ fn arb_positionless_insn() -> impl Strategy<Value = Insn> {
         )
             .prop_map(|(op, cc, rd, rs1, src2)| {
                 let cc = cc && op.supports_cc();
-                Op::Alu { op, cc, rd, rs1, src2 }
+                Op::Alu {
+                    op,
+                    cc,
+                    rd,
+                    rs1,
+                    src2,
+                }
             }),
         (arb_reg(), arb_reg(), arb_src2()).prop_map(|(rd, rs1, src2)| Op::Jmpl { rd, rs1, src2 }),
         (
@@ -66,8 +72,19 @@ fn arb_positionless_insn() -> impl Strategy<Value = Insn> {
             arb_src2()
         )
             .prop_map(|((width, signed), rd, rs1, src2)| {
-                let rd = if width == MemWidth::Double { Reg(rd.0 & !1) } else { rd };
-                Op::Load { width, signed, rd, rs1, src2, fp: false }
+                let rd = if width == MemWidth::Double {
+                    Reg(rd.0 & !1)
+                } else {
+                    rd
+                };
+                Op::Load {
+                    width,
+                    signed,
+                    rd,
+                    rs1,
+                    src2,
+                    fp: false,
+                }
             }),
         (
             prop::sample::select(vec![
@@ -81,11 +98,24 @@ fn arb_positionless_insn() -> impl Strategy<Value = Insn> {
             arb_src2()
         )
             .prop_map(|(width, rd, rs1, src2)| {
-                let rd = if width == MemWidth::Double { Reg(rd.0 & !1) } else { rd };
-                Op::Store { width, rd, rs1, src2, fp: false }
+                let rd = if width == MemWidth::Double {
+                    Reg(rd.0 & !1)
+                } else {
+                    rd
+                };
+                Op::Store {
+                    width,
+                    rd,
+                    rs1,
+                    src2,
+                    fp: false,
+                }
             }),
-        (0u32..16, arb_reg(), arb_src2())
-            .prop_map(|(c, rs1, src2)| Op::Trap { cond: Cond::from_bits(c), rs1, src2 }),
+        (0u32..16, arb_reg(), arb_src2()).prop_map(|(c, rs1, src2)| Op::Trap {
+            cond: Cond::from_bits(c),
+            rs1,
+            src2
+        }),
     ]
     .prop_map(|op| Insn::from_word(eel_isa::encode(&op)))
 }

@@ -45,8 +45,12 @@ fn bench_analysis(c: &mut Criterion) {
         .unwrap();
     let cfg = exec.build_cfg(main_id).unwrap();
 
-    group.bench_function("liveness", |b| b.iter(|| black_box(Liveness::compute(&cfg))));
-    group.bench_function("dominators", |b| b.iter(|| black_box(Dominators::compute(&cfg))));
+    group.bench_function("liveness", |b| {
+        b.iter(|| black_box(Liveness::compute(&cfg)))
+    });
+    group.bench_function("dominators", |b| {
+        b.iter(|| black_box(Dominators::compute(&cfg)))
+    });
     group.bench_function("slice_all_memory_refs", |b| {
         b.iter(|| {
             let mut slicer = Slicer::new(&cfg);

@@ -13,6 +13,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
 
+    // Record every pipeline span/counter the experiments produce; the
+    // closing section prints the aggregated phase timings.
+    eel_obs::set_mode(eel_obs::Mode::Summary);
+
     println!("# EEL reproduction — experiment report (scale {scale})\n");
 
     // ---- T1 ----------------------------------------------------------
@@ -33,7 +37,9 @@ fn main() {
     println!("Paper: SunOS/gcc: 0 unanalyzable of 1,325 indirect jumps (1,027,148 insts,");
     println!("11,975 routines). Solaris/SunPro: 138 of 1,244, all from frame-popping tail");
     println!("calls.\n");
-    println!("| config | instructions | routines | indirect jumps | tables | literals | unanalyzable |");
+    println!(
+        "| config | instructions | routines | indirect jumps | tables | literals | unanalyzable |"
+    );
     println!("|---|---|---|---|---|---|---|");
     for s in exp_indirect_jumps()
         .into_iter()
@@ -62,7 +68,10 @@ fn main() {
     println!("| old-style blocks | {} |", c.old_style_blocks);
     println!("| delay-slot blocks | {} |", c.stats.delay_slot_blocks);
     println!("| entry/exit blocks | {} |", c.stats.entry_exit_blocks);
-    println!("| call-surrogate blocks | {} |", c.stats.call_surrogate_blocks);
+    println!(
+        "| call-surrogate blocks | {} |",
+        c.stats.call_surrogate_blocks
+    );
     println!("| edges | {} |", c.stats.edges);
     println!(
         "| uneditable edge fraction | {:.1}% |",
@@ -93,7 +102,10 @@ fn main() {
     println!("| sparc.spawn | {} |", l.sparc_desc);
     println!("| mips.spawn | {} |", l.mips_desc);
     println!("| alpha.spawn | {} |", l.alpha_desc);
-    println!("| handwritten machine layer (eel-isa) | {} |", l.handwritten);
+    println!(
+        "| handwritten machine layer (eel-isa) | {} |",
+        l.handwritten
+    );
     println!("| spawn-generated Rust | {} |", l.generated);
 
     // ---- E-OVH ----------------------------------------------------------
@@ -115,4 +127,10 @@ fn main() {
             r.name, r.with_feature, r.without_feature, r.metric
         );
     }
+
+    // ---- pipeline phases -------------------------------------------------
+    println!("\n## Pipeline phase timings (eel-obs, cumulative over this report)\n");
+    println!("```text");
+    print!("{}", eel_obs::render_summary());
+    println!("```");
 }

@@ -12,7 +12,29 @@ use eel_emu::run_image;
 use eel_exe::Image;
 use eel_progen::{suite_sized, Workload};
 use eel_tools::{active_memory, blizzard, elsie, qpt1, qpt2};
-use std::time::Instant;
+
+/// Runs `f` under an eel-obs span and returns its wall time in
+/// milliseconds, read back from the recorded span. Recording is forced on
+/// for the duration, so measurements work however `EEL_OBS` is set; the
+/// nested pipeline spans (CFG build, liveness, layout) land in the global
+/// collector for the report's phase-timing section.
+fn obs_timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let was = eel_obs::mode();
+    if was == eel_obs::Mode::Off {
+        eel_obs::set_mode(eel_obs::Mode::Summary);
+    }
+    let out = {
+        let _span = eel_obs::span(name);
+        f()
+    };
+    let ms = eel_obs::snapshot_spans()
+        .iter()
+        .rev()
+        .find(|s| s.name == name)
+        .map_or(0.0, |s| s.dur_ns as f64 / 1e6);
+    eel_obs::set_mode(was);
+    (out, ms)
+}
 
 /// Compiles the whole suite under one personality.
 fn compiled_suite(personality: Personality, scale: u32) -> Vec<(Workload, Image)> {
@@ -54,9 +76,10 @@ pub struct IndirectJumpStats {
 /// 1,244).
 pub fn exp_indirect_jumps() -> Vec<IndirectJumpStats> {
     let mut out = Vec::new();
-    for (personality, name) in
-        [(Personality::Gcc, "gcc-like"), (Personality::SunPro, "sunpro-like")]
-    {
+    for (personality, name) in [
+        (Personality::Gcc, "gcc-like"),
+        (Personality::SunPro, "sunpro-like"),
+    ] {
         let mut stats = IndirectJumpStats {
             personality: name,
             instructions: 0,
@@ -93,9 +116,10 @@ pub fn exp_indirect_jumps() -> Vec<IndirectJumpStats> {
 /// SPEC92 sweep.
 pub fn exp_indirect_jumps_corpus(n: u64) -> Vec<IndirectJumpStats> {
     let mut out = Vec::new();
-    for (personality, name) in
-        [(Personality::Gcc, "gcc-like corpus"), (Personality::SunPro, "sunpro-like corpus")]
-    {
+    for (personality, name) in [
+        (Personality::Gcc, "gcc-like corpus"),
+        (Personality::SunPro, "sunpro-like corpus"),
+    ] {
         let mut stats = IndirectJumpStats {
             personality: name,
             instructions: 0,
@@ -106,9 +130,11 @@ pub fn exp_indirect_jumps_corpus(n: u64) -> Vec<IndirectJumpStats> {
             unanalyzable: 0,
         };
         for seed in 0..n {
-            let program =
-                eel_progen::random_program(seed, &eel_progen::GenConfig::default());
-            let options = eel_cc::Options { personality, ..Default::default() };
+            let program = eel_progen::random_program(seed, &eel_progen::GenConfig::default());
+            let options = eel_cc::Options {
+                personality,
+                ..Default::default()
+            };
             let Ok(image) = eel_cc::compile_ast(&program, &options) else {
                 continue;
             };
@@ -161,8 +187,7 @@ pub fn exp_cfg_census() -> CfgCensus {
             // not split at calls or materialize delay slots). EEL blocks
             // end at calls, so merge call-separated runs back together:
             // old blocks ≈ normal blocks − call surrogates.
-            census.old_style_blocks +=
-                s.normal_blocks.saturating_sub(s.call_surrogate_blocks);
+            census.old_style_blocks += s.normal_blocks.saturating_sub(s.call_surrogate_blocks);
         }
     }
     census
@@ -263,14 +288,14 @@ pub fn exp_table1() -> Vec<Table1Row> {
     let input_bytes = image.text.len() + image.data.len();
     let plain = run_image(&image).expect("baseline runs");
 
-    let t0 = Instant::now();
-    let p1 = qpt1::instrument(image.clone()).expect("qpt1 instruments");
-    let qpt1_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (p1, qpt1_ms) = obs_timed("bench.qpt1.instrument", || qpt1::instrument(image.clone()));
+    let p1 = p1.expect("qpt1 instruments");
     let o1 = run_image(&p1.image).expect("qpt1 output runs");
 
-    let t0 = Instant::now();
-    let p2 = qpt2::instrument(image, qpt2::Granularity::Blocks).expect("qpt2 instruments");
-    let qpt2_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (p2, qpt2_ms) = obs_timed("bench.qpt2.instrument", || {
+        qpt2::instrument(image, qpt2::Granularity::Blocks)
+    });
+    let p2 = p2.expect("qpt2 instruments");
     let o2 = run_image(&p2.image).expect("qpt2 output runs");
 
     vec![
@@ -318,20 +343,36 @@ pub fn exp_overheads(scale: u32) -> Vec<OverheadRow> {
 
         let p2 = qpt2::instrument(image.clone(), qpt2::Granularity::Edges).expect("qpt2");
         let c = run_image(&p2.image).expect("runs").cycles as f64;
-        rows.push(OverheadRow { workload: w.name, tool: "qpt2-edges", slowdown: c / base });
+        rows.push(OverheadRow {
+            workload: w.name,
+            tool: "qpt2-edges",
+            slowdown: c / base,
+        });
 
         let am = active_memory::instrument(image.clone()).expect("active memory");
         let c = am.run().expect("runs").cycles as f64;
-        rows.push(OverheadRow { workload: w.name, tool: "active-memory", slowdown: c / base });
+        rows.push(OverheadRow {
+            workload: w.name,
+            tool: "active-memory",
+            slowdown: c / base,
+        });
 
         let bz = blizzard::instrument(image.clone()).expect("blizzard");
         let c = bz.run().expect("runs").cycles as f64;
-        rows.push(OverheadRow { workload: w.name, tool: "blizzard", slowdown: c / base });
+        rows.push(OverheadRow {
+            workload: w.name,
+            tool: "blizzard",
+            slowdown: c / base,
+        });
 
         let el = elsie::instrument(image).expect("elsie");
         let mut m = eel_emu::Machine::load(&el.image).expect("loads");
         let c = m.run().expect("runs").cycles as f64;
-        rows.push(OverheadRow { workload: w.name, tool: "elsie", slowdown: c / base });
+        rows.push(OverheadRow {
+            workload: w.name,
+            tool: "elsie",
+            slowdown: c / base,
+        });
     }
     rows
 }
@@ -363,7 +404,10 @@ pub fn exp_ablations() -> Vec<AblationRow> {
     let filled = eel_cc::compile_str(&w.source, &eel_cc::Options::default()).unwrap();
     let unfilled = eel_cc::compile_str(
         &w.source,
-        &eel_cc::Options { fill_delay_slots: false, ..Default::default() },
+        &eel_cc::Options {
+            fill_delay_slots: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let pass = |image: Image| -> usize {
@@ -399,8 +443,7 @@ pub fn exp_ablations() -> Vec<AblationRow> {
                 .map(|(bid, _)| bid)
                 .collect();
             for bid in blocks {
-                let s = eel_core::Snippet::counter_increment(base + 4 * n)
-                    .with_forced_spill();
+                let s = eel_core::Snippet::counter_increment(base + 4 * n).with_forced_spill();
                 n += 1;
                 cfg.add_code_at_block_start(bid, s).unwrap();
             }
@@ -505,7 +548,10 @@ mod tests {
         // EEL tool is slower to instrument (4.3× unoptimized, 2.4× at
         // -O2) and produces similar instrumented programs.
         assert!(q1.tool_lines > q2.tool_lines, "{q1:?} vs {q2:?}");
-        assert!(q2.instrument_ms > q1.instrument_ms, "EEL does more analysis");
+        assert!(
+            q2.instrument_ms > q1.instrument_ms,
+            "EEL does more analysis"
+        );
         assert!(q1.run_slowdown > 1.0 && q2.run_slowdown > 1.0);
         assert!(q1.output_bytes > q1.input_bytes);
         assert!(q2.output_bytes > q2.input_bytes);
@@ -516,7 +562,10 @@ mod tests {
         let rows = exp_ablations();
         let folding = &rows[0];
         // Folding keeps edited code no larger than nop-slot code.
-        assert!(folding.with_feature <= folding.without_feature * 1.05, "{folding:?}");
+        assert!(
+            folding.with_feature <= folding.without_feature * 1.05,
+            "{folding:?}"
+        );
         let scavenging = &rows[1];
         assert!(
             scavenging.with_feature < scavenging.without_feature,

@@ -181,7 +181,11 @@ impl<'a> Codegen<'a> {
         let mut names: Vec<String> = f.params.clone();
         collect_vars(&f.body, &mut names);
         for (i, name) in names.iter().enumerate() {
-            if self.locals.insert(name.clone(), SLOT_LOCALS + 4 * i as u32).is_some() {
+            if self
+                .locals
+                .insert(name.clone(), SLOT_LOCALS + 4 * i as u32)
+                .is_some()
+            {
                 return Err(self.err(format!("duplicate variable {name:?}")));
             }
         }
@@ -527,7 +531,6 @@ impl<'a> Codegen<'a> {
         self.depth -= 1;
     }
 
-
     /// Spills all live eval registers to the frame (before a call, whose
     /// callee clobbers `%l0–%l7`).
     fn spill_eval_stack(&mut self) {
@@ -783,10 +786,9 @@ fn mangle_global(name: &str) -> String {
 fn collect_vars(body: &[Stmt], out: &mut Vec<String>) {
     for s in body {
         match s {
-            Stmt::Var(name, _)
-                if !out.contains(name) => {
-                    out.push(name.clone());
-                }
+            Stmt::Var(name, _) if !out.contains(name) => {
+                out.push(name.clone());
+            }
             Stmt::If(_, a, b) => {
                 collect_vars(a, out);
                 collect_vars(b, out);
@@ -820,7 +822,10 @@ pub fn fill_delay_slots(asm: &str) -> String {
         let m = mnemonic(line);
         (m.starts_with('b') && !m.starts_with("byte"))
             || m.starts_with("fb")
-            || m.starts_with('t') && eel_isa::Cond::ALL.iter().any(|c| format!("t{}", c.suffix()) == m)
+            || m.starts_with('t')
+                && eel_isa::Cond::ALL
+                    .iter()
+                    .any(|c| format!("t{}", c.suffix()) == m)
             || matches!(m, "call" | "jmp" | "jmpl" | "ret" | "retl")
     }
     /// A "plain" line is an instruction that is neither a label, a
@@ -838,10 +843,7 @@ pub fn fill_delay_slots(asm: &str) -> String {
         // instruction: not a label (the candidate would be a branch
         // target), not a CTI (the candidate would be a delay slot), and
         // not a directive (alignment unknown).
-        let before_ok = out
-            .last()
-            .map(|l| is_plain_insn(l.trim()))
-            .unwrap_or(false);
+        let before_ok = out.last().map(|l| is_plain_insn(l.trim())).unwrap_or(false);
         if before_ok && is_plain_insn(cand) && cand != "nop" && i + 2 < lines.len() {
             let cti = lines[i + 1].trim();
             let slot = lines[i + 2].trim();

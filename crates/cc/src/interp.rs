@@ -107,7 +107,10 @@ pub fn interpret(program: &Program, budget: u64) -> Result<InterpOutcome, Interp
         return Err(InterpError::Arity("main".into()));
     }
     let exit_code = interp.call(main, &[])?;
-    Ok(InterpOutcome { exit_code, output: interp.output })
+    Ok(InterpOutcome {
+        exit_code,
+        output: interp.output,
+    })
 }
 
 impl<'a> Interp<'a> {
@@ -145,11 +148,7 @@ impl<'a> Interp<'a> {
         Ok(Flow::Normal)
     }
 
-    fn stmt(
-        &mut self,
-        s: &Stmt,
-        locals: &mut HashMap<String, i32>,
-    ) -> Result<Flow, InterpError> {
+    fn stmt(&mut self, s: &Stmt, locals: &mut HashMap<String, i32>) -> Result<Flow, InterpError> {
         self.tick()?;
         match s {
             Stmt::Var(name, init) => {
@@ -183,9 +182,13 @@ impl<'a> Interp<'a> {
                             .globals
                             .get_mut(name)
                             .ok_or_else(|| InterpError::Undefined(name.clone()))?;
-                        let slot = cells.get_mut(i.max(0) as usize).ok_or(
-                            InterpError::OutOfBounds { name: name.clone(), index: i },
-                        )?;
+                        let slot =
+                            cells
+                                .get_mut(i.max(0) as usize)
+                                .ok_or(InterpError::OutOfBounds {
+                                    name: name.clone(),
+                                    index: i,
+                                })?;
                         if i < 0 {
                             return Err(InterpError::OutOfBounds {
                                 name: name.clone(),
@@ -252,11 +255,7 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn expr(
-        &mut self,
-        e: &Expr,
-        locals: &mut HashMap<String, i32>,
-    ) -> Result<i32, InterpError> {
+    fn expr(&mut self, e: &Expr, locals: &mut HashMap<String, i32>) -> Result<i32, InterpError> {
         self.tick()?;
         match e {
             Expr::Num(n) => Ok(*n),
@@ -281,7 +280,10 @@ impl<'a> Interp<'a> {
                     .get(name)
                     .ok_or_else(|| InterpError::Undefined(name.clone()))?;
                 if i < 0 || i as usize >= cells.len() {
-                    return Err(InterpError::OutOfBounds { name: name.clone(), index: i });
+                    return Err(InterpError::OutOfBounds {
+                        name: name.clone(),
+                        index: i,
+                    });
                 }
                 Ok(cells[i as usize])
             }
@@ -372,7 +374,11 @@ impl<'a> Interp<'a> {
     }
 
     fn global_index(&self, name: &str) -> i32 {
-        self.program.globals.iter().position(|g| g.name == name).unwrap_or(0) as i32
+        self.program
+            .globals
+            .iter()
+            .position(|g| g.name == name)
+            .unwrap_or(0) as i32
     }
 }
 
@@ -397,8 +403,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_control() {
-        let out = run(
-            r#"
+        let out = run(r#"
             fn main() {
                 var total = 0;
                 var i;
@@ -406,16 +411,14 @@ mod tests {
                 print(total);
                 return total;
             }
-        "#,
-        );
+        "#);
         assert_eq!(out.exit_code, 55);
         assert_eq!(out.output, "55\n");
     }
 
     #[test]
     fn switch_and_globals() {
-        let out = run(
-            r#"
+        let out = run(r#"
             global hits[4];
             fn main() {
                 var i;
@@ -429,21 +432,18 @@ mod tests {
                 }
                 return hits[0] * 1000 + hits[3];
             }
-        "#,
-        );
+        "#);
         assert_eq!(out.exit_code, 2002);
     }
 
     #[test]
     fn function_pointers() {
-        let out = run(
-            r#"
+        let out = run(r#"
             fn double(x) { return x * 2; }
             fn triple(x) { return x * 3; }
             fn apply(f, x) { return (*f)(x); }
             fn main() { return apply(&double, 10) + apply(&triple, 10); }
-        "#,
-        );
+        "#);
         assert_eq!(out.exit_code, 50);
     }
 

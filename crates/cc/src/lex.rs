@@ -65,9 +65,15 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CcError> {
                 }
                 .map_err(|_| CcError::syntax(line, format!("bad number {token:?}")))?;
                 if value > u32::MAX as i64 {
-                    return Err(CcError::syntax(line, format!("number {token} out of range")));
+                    return Err(CcError::syntax(
+                        line,
+                        format!("number {token} out of range"),
+                    ));
                 }
-                out.push(SpannedTok { tok: Tok::Num(value as u32 as i32), line });
+                out.push(SpannedTok {
+                    tok: Tok::Num(value as u32 as i32),
+                    line,
+                });
                 rest = &rest[end..];
                 continue;
             }
@@ -75,13 +81,19 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CcError> {
                 let end = rest
                     .find(|ch: char| !ch.is_ascii_alphanumeric() && ch != '_')
                     .unwrap_or(rest.len());
-                out.push(SpannedTok { tok: Tok::Ident(rest[..end].to_string()), line });
+                out.push(SpannedTok {
+                    tok: Tok::Ident(rest[..end].to_string()),
+                    line,
+                });
                 rest = &rest[end..];
                 continue;
             }
             for p in PUNCTS {
                 if let Some(tail) = rest.strip_prefix(p) {
-                    out.push(SpannedTok { tok: Tok::Punct(p), line });
+                    out.push(SpannedTok {
+                        tok: Tok::Punct(p),
+                        line,
+                    });
                     rest = tail;
                     continue 'outer;
                 }
@@ -134,7 +146,10 @@ mod tests {
     #[test]
     fn line_numbers() {
         let spanned = lex("a\nb\n\nc").unwrap();
-        assert_eq!(spanned.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 4]);
+        assert_eq!(
+            spanned.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
     }
 
     #[test]

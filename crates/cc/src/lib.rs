@@ -107,7 +107,11 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Options {
-        Options { personality: Personality::Gcc, fill_delay_slots: true, strip: false }
+        Options {
+            personality: Personality::Gcc,
+            fill_delay_slots: true,
+            strip: false,
+        }
     }
 }
 
@@ -144,7 +148,11 @@ pub fn compile_to_asm(source: &str, options: &Options) -> Result<String, CcError
 /// See [`compile_str`].
 pub fn compile_ast_to_asm(program: &ast::Program, options: &Options) -> Result<String, CcError> {
     let asm = codegen::generate(program, options)?;
-    Ok(if options.fill_delay_slots { codegen::fill_delay_slots(&asm) } else { asm })
+    Ok(if options.fill_delay_slots {
+        codegen::fill_delay_slots(&asm)
+    } else {
+        asm
+    })
 }
 
 /// Compiles an already-parsed program to an image.
@@ -177,7 +185,11 @@ mod tests {
         let oracle = interpret(&program, 50_000_000).expect("interp failed");
         for personality in [Personality::Gcc, Personality::SunPro] {
             for fill in [true, false] {
-                let options = Options { personality, fill_delay_slots: fill, strip: false };
+                let options = Options {
+                    personality,
+                    fill_delay_slots: fill,
+                    strip: false,
+                };
                 let out = run(src, &options);
                 assert_eq!(
                     out.exit_code, oracle.exit_code as u32,
@@ -296,7 +308,10 @@ mod tests {
             }"#;
         check(src);
         let asm = compile_to_asm(src, &Options::default()).unwrap();
-        assert!(!asm.contains("swtbl"), "sparse switch must not use a table:\n{asm}");
+        assert!(
+            !asm.contains("swtbl"),
+            "sparse switch must not use a table:\n{asm}"
+        );
     }
 
     #[test]
@@ -350,10 +365,16 @@ mod tests {
         check(src);
         let asm = compile_to_asm(
             src,
-            &Options { personality: Personality::SunPro, ..Options::default() },
+            &Options {
+                personality: Personality::SunPro,
+                ..Options::default()
+            },
         )
         .unwrap();
-        assert!(asm.contains("jmp %g4"), "expected a frame-popping tail jump:\n{asm}");
+        assert!(
+            asm.contains("jmp %g4"),
+            "expected a frame-popping tail jump:\n{asm}"
+        );
     }
 
     #[test]
@@ -433,7 +454,10 @@ mod tests {
     fn stripped_output_has_no_symbols() {
         let image = compile_str(
             "fn main() { return 0; }",
-            &Options { strip: true, ..Options::default() },
+            &Options {
+                strip: true,
+                ..Options::default()
+            },
         )
         .unwrap();
         assert!(image.is_stripped());
@@ -452,7 +476,10 @@ mod tests {
         let filled = compile_to_asm(src, &Options::default()).unwrap();
         let unfilled = compile_to_asm(
             src,
-            &Options { fill_delay_slots: false, ..Options::default() },
+            &Options {
+                fill_delay_slots: false,
+                ..Options::default()
+            },
         )
         .unwrap();
         let count_nops = |s: &str| s.lines().filter(|l| l.trim() == "nop").count();

@@ -17,7 +17,10 @@ pub fn parse(source: &str) -> Result<Program, CcError> {
     // Duplicate checks.
     for (i, f) in program.functions.iter().enumerate() {
         if program.functions[..i].iter().any(|g| g.name == f.name) {
-            return Err(CcError::syntax(0, format!("duplicate function {:?}", f.name)));
+            return Err(CcError::syntax(
+                0,
+                format!("duplicate function {:?}", f.name),
+            ));
         }
     }
     for (i, g) in program.globals.iter().enumerate() {
@@ -115,7 +118,11 @@ impl Parser {
         while self.peek().is_some() {
             if self.eat_kw("global") {
                 let name = self.ident()?;
-                let mut decl = GlobalDecl { name, count: 1, init: 0 };
+                let mut decl = GlobalDecl {
+                    name,
+                    count: 1,
+                    init: 0,
+                };
                 if self.eat_punct("[") {
                     let n = self.num()?;
                     if n <= 0 {
@@ -131,7 +138,10 @@ impl Parser {
             } else if self.eat_kw("fn") {
                 program.functions.push(self.function()?);
             } else {
-                return self.err(format!("expected `global` or `fn`, found {}", self.describe()));
+                return self.err(format!(
+                    "expected `global` or `fn`, found {}",
+                    self.describe()
+                ));
             }
         }
         Ok(program)
@@ -172,7 +182,11 @@ impl Parser {
     fn stmt(&mut self) -> Result<Stmt, CcError> {
         if self.eat_kw("var") {
             let name = self.ident()?;
-            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Var(name, init));
         }
@@ -235,7 +249,11 @@ impl Parser {
             return Ok(Stmt::Switch(scrutinee, cases, default));
         }
         if self.eat_kw("return") {
-            let value = if self.is_punct(";") { Expr::Num(0) } else { self.expr()? };
+            let value = if self.is_punct(";") {
+                Expr::Num(0)
+            } else {
+                self.expr()?
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return(value));
         }
@@ -292,7 +310,12 @@ impl Parser {
             &[("^", BinOp::Xor)],
             &[("&", BinOp::And)],
             &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
-            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
             &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
             &[("+", BinOp::Add), ("-", BinOp::Sub)],
             &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)],
@@ -442,8 +465,10 @@ mod tests {
 
     #[test]
     fn else_if_chains() {
-        let p = parse("fn f(x) { if (x) { return 1; } else if (x - 1) { return 2; } else { return 3; } }")
-            .unwrap();
+        let p = parse(
+            "fn f(x) { if (x) { return 1; } else if (x - 1) { return 2; } else { return 3; } }",
+        )
+        .unwrap();
         match &p.functions[0].body[0] {
             Stmt::If(_, _, els) => assert!(matches!(els[0], Stmt::If(..))),
             other => panic!("{other:?}"),

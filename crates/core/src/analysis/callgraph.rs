@@ -39,14 +39,13 @@ impl CallGraph {
         let mut graph = CallGraph::default();
         for caller in exec.all_routine_ids() {
             let cfg = exec.build_cfg(caller)?;
-            let mut sites: Vec<(u32, Option<u32>)> =
-                cfg.call_sites().iter().map(|&(a, t)| (a, Some(t))).collect();
-            // Unresolved indirect calls.
-            for (addr, res) in cfg
-                .indirect_calls
+            let mut sites: Vec<(u32, Option<u32>)> = cfg
+                .call_sites()
                 .iter()
-                .map(|i| (i.addr, &i.resolution))
-            {
+                .map(|&(a, t)| (a, Some(t)))
+                .collect();
+            // Unresolved indirect calls.
+            for (addr, res) in cfg.indirect_calls.iter().map(|i| (i.addr, &i.resolution)) {
                 match res {
                     crate::JumpResolution::Literal { target, .. } => {
                         sites.push((addr, Some(*target)))
@@ -64,7 +63,11 @@ impl CallGraph {
             }
             for (site, target) in sites {
                 let callee = target.and_then(|t| exec.routine_containing(t));
-                graph.sites.push(CallSite { caller, site, callee });
+                graph.sites.push(CallSite {
+                    caller,
+                    site,
+                    callee,
+                });
                 if let Some(callee) = callee {
                     graph.callees.entry(caller).or_default().insert(callee);
                     graph.callers.entry(callee).or_default().insert(caller);
@@ -83,17 +86,27 @@ impl CallGraph {
 
     /// Routines this routine calls (statically known).
     pub fn callees(&self, r: RoutineId) -> Vec<RoutineId> {
-        self.callees.get(&r).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.callees
+            .get(&r)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Routines that call this routine.
     pub fn callers(&self, r: RoutineId) -> Vec<RoutineId> {
-        self.callers.get(&r).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.callers
+            .get(&r)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Call sites whose callee is unknown (interprocedural blind spots).
     pub fn unknown_sites(&self) -> Vec<CallSite> {
-        self.sites.iter().copied().filter(|s| s.callee.is_none()).collect()
+        self.sites
+            .iter()
+            .copied()
+            .filter(|s| s.callee.is_none())
+            .collect()
     }
 
     /// Is `r` (transitively) reachable from `from` in the call graph?

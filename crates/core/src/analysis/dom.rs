@@ -103,15 +103,9 @@ impl Dominators {
     pub fn is_reachable(&self, b: BlockId) -> bool {
         self.idom[b.index()].is_some()
     }
-
 }
 
-fn intersect(
-    idom: &[Option<BlockId>],
-    rpo: &[usize],
-    mut a: BlockId,
-    mut b: BlockId,
-) -> BlockId {
+fn intersect(idom: &[Option<BlockId>], rpo: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
     while a != b {
         while rpo[a.index()] > rpo[b.index()] {
             a = idom[a.index()].expect("processed pred has idom");

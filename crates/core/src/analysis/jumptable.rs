@@ -64,10 +64,7 @@ enum Sym {
     /// built it (empty ⇒ built before the window; unpatchable).
     Const(u32, Vec<u32>),
     /// A value loaded from `table + index` where `table` is constant.
-    TableLoad {
-        table: u32,
-        base_insns: Vec<u32>,
-    },
+    TableLoad { table: u32, base_insns: Vec<u32> },
 }
 
 /// How far back the linear walk looks.
@@ -86,6 +83,7 @@ pub fn resolve_indirect(
     jump_addr: u32,
     jump: Insn,
 ) -> JumpResolution {
+    let _obs = eel_obs::span("core.cfg.jumptable");
     let Op::Jmpl { rs1, src2, .. } = jump.op else {
         return JumpResolution::Unknown;
     };
@@ -98,7 +96,9 @@ pub fn resolve_indirect(
     let mut crossed_branch = false;
     while window.len() < WINDOW && addr > extent.0 {
         addr -= 4;
-        let Some(word) = image.word_at(addr) else { break };
+        let Some(word) = image.word_at(addr) else {
+            break;
+        };
         let insn = eel_isa::decode(word);
         match insn.category() {
             Category::Computation | Category::Load | Category::Store => {
@@ -110,7 +110,11 @@ pub fn resolve_indirect(
                 // so drop it from the window (it belongs to the branch).
                 crossed_branch = true;
                 window.pop();
-                if let Op::Branch { cond: Cond::CarryClear | Cond::Gtu, .. } = insn.op {
+                if let Op::Branch {
+                    cond: Cond::CarryClear | Cond::Gtu,
+                    ..
+                } = insn.op
+                {
                     if addr >= extent.0 + 4 {
                         if let Some(w) = image.word_at(addr - 4) {
                             if let Op::Alu {
@@ -150,7 +154,13 @@ pub fn resolve_indirect(
             Op::Sethi { rd, imm22 } if rd != Reg::G0 => {
                 vals.insert(rd, Sym::Const(imm22 << 10, vec![*iaddr]));
             }
-            Op::Alu { op, cc: false, rd, rs1, src2 } if rd != Reg::G0 => {
+            Op::Alu {
+                op,
+                cc: false,
+                rd,
+                rs1,
+                src2,
+            } if rd != Reg::G0 => {
                 let a = get(&vals, rs1);
                 let b = match src2 {
                     Src2::Reg(r) => get(&vals, r),
@@ -193,16 +203,22 @@ pub fn resolve_indirect(
                 };
                 vals.insert(rd, result);
             }
-            Op::Load { width: eel_isa::MemWidth::Word, rd, rs1, src2, fp: false, .. }
-                if rd != Reg::G0 =>
-            {
+            Op::Load {
+                width: eel_isa::MemWidth::Word,
+                rd,
+                rs1,
+                src2,
+                fp: false,
+                ..
+            } if rd != Reg::G0 => {
                 // `ld [const + idx]` or `ld [idx + const]` is the table
                 // access; `ld [const + imm]` from text is a literal load.
                 let base = get(&vals, rs1);
                 let value = match (base, src2) {
-                    (Sym::Const(c, bi), Src2::Reg(r)) if r != Reg::G0 => {
-                        Sym::TableLoad { table: c, base_insns: bi }
-                    }
+                    (Sym::Const(c, bi), Src2::Reg(r)) if r != Reg::G0 => Sym::TableLoad {
+                        table: c,
+                        base_insns: bi,
+                    },
                     (Sym::Const(c, bi), Src2::Reg(Reg::G0)) | (Sym::Const(c, bi), Src2::Imm(0)) => {
                         // Word-sized constant load; treat as a literal if
                         // the word lies in (immutable) text.
@@ -214,7 +230,10 @@ pub fn resolve_indirect(
                     (s, Src2::Reg(r)) => {
                         // Maybe the index is in rs1 and the table in rs2.
                         match (s, get(&vals, r)) {
-                            (_, Sym::Const(c, bi)) => Sym::TableLoad { table: c, base_insns: bi },
+                            (_, Sym::Const(c, bi)) => Sym::TableLoad {
+                                table: c,
+                                base_insns: bi,
+                            },
                             _ => Sym::Top,
                         }
                     }
@@ -280,7 +299,11 @@ pub fn resolve_indirect(
                     _ => return JumpResolution::Unknown,
                 }
             }
-            JumpResolution::Table { table_addr: table, targets, base_insns }
+            JumpResolution::Table {
+                table_addr: table,
+                targets,
+                base_insns,
+            }
         }
         Sym::Top => JumpResolution::Unknown,
     }
@@ -354,7 +377,11 @@ mod tests {
             "thejump",
         );
         match resolution {
-            JumpResolution::Table { targets, base_insns, .. } => {
+            JumpResolution::Table {
+                targets,
+                base_insns,
+                ..
+            } => {
                 assert_eq!(targets.len(), 3);
                 assert_eq!(base_insns.len(), 2, "sethi + or: {base_insns:?}");
             }

@@ -75,11 +75,11 @@ fn block_use_def(block: &Block) -> (RegSet, RegSet) {
 impl Liveness {
     /// Runs the backward fixpoint over the whole CFG.
     pub fn compute(cfg: &Cfg) -> Liveness {
+        let _obs = eel_obs::span("core.liveness");
         let n = cfg.block_count();
         let mut live_in = vec![RegSet::new(); n];
         let mut live_out = vec![RegSet::new(); n];
-        let use_def: Vec<(RegSet, RegSet)> =
-            cfg.blocks.iter().map(block_use_def).collect();
+        let use_def: Vec<(RegSet, RegSet)> = cfg.blocks.iter().map(block_use_def).collect();
         live_in[cfg.exit_block().index()] = exit_live();
 
         let mut changed = true;

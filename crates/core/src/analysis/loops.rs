@@ -59,7 +59,11 @@ pub fn natural_loops(cfg: &Cfg, dom: &Dominators) -> Vec<NaturalLoop> {
                 }
             }
         }
-        loops.push(NaturalLoop { header: h, back_edge: EdgeId(eid), blocks });
+        loops.push(NaturalLoop {
+            header: h,
+            back_edge: EdgeId(eid),
+            blocks,
+        });
     }
     loops
 }

@@ -38,7 +38,11 @@ pub struct Slicer<'a> {
 impl<'a> Slicer<'a> {
     /// Creates a slicer for a CFG.
     pub fn new(cfg: &'a Cfg) -> Slicer<'a> {
-        Slicer { cfg, marks: HashMap::new(), visited: HashSet::new() }
+        Slicer {
+            cfg,
+            marks: HashMap::new(),
+            visited: HashSet::new(),
+        }
     }
 
     /// Computes a backward slice with respect to register `reg`, starting
@@ -67,8 +71,7 @@ impl<'a> Slicer<'a> {
         if !self.visited.insert((block, reg)) {
             return true; // already walking this (loop); assume defined
         }
-        let preds: Vec<BlockId> =
-            b.pred().iter().map(|&e| self.cfg.edge(e).from).collect();
+        let preds: Vec<BlockId> = b.pred().iter().map(|&e| self.cfg.edge(e).from).collect();
         if preds.is_empty() {
             return false; // reached entry: an argument or global state
         }

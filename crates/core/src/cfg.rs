@@ -156,7 +156,10 @@ impl Block {
 
     /// The terminating control transfer, if the block ends in one.
     pub fn terminator(&self) -> Option<InsnAt> {
-        self.insns.last().copied().filter(|i| i.insn.is_control_transfer())
+        self.insns
+            .last()
+            .copied()
+            .filter(|i| i.insn.is_control_transfer())
     }
 }
 
@@ -397,7 +400,10 @@ impl Cfg {
                 "cannot delete the control transfer at {addr:#x}"
             )));
         }
-        self.edits.push(Edit { point: EditPoint::Before(addr), snippet: None });
+        self.edits.push(Edit {
+            point: EditPoint::Before(addr),
+            snippet: None,
+        });
         Ok(())
     }
 
@@ -410,7 +416,10 @@ impl Cfg {
     /// point cannot hold code.
     pub fn add_code_before(&mut self, addr: u32, snippet: Snippet) -> Result<(), EelError> {
         self.check_insn_point(addr)?;
-        self.edits.push(Edit { point: EditPoint::Before(addr), snippet: Some(snippet) });
+        self.edits.push(Edit {
+            point: EditPoint::Before(addr),
+            snippet: Some(snippet),
+        });
         Ok(())
     }
 
@@ -428,7 +437,10 @@ impl Cfg {
                 "cannot add after the control transfer at {addr:#x}; edit its edges"
             )));
         }
-        self.edits.push(Edit { point: EditPoint::After(addr), snippet: Some(snippet) });
+        self.edits.push(Edit {
+            point: EditPoint::After(addr),
+            snippet: Some(snippet),
+        });
         Ok(())
     }
 
@@ -444,9 +456,15 @@ impl Cfg {
             .get(edge.0)
             .ok_or_else(|| EelError::BadEditTarget(format!("no edge {edge:?}")))?;
         if !e.editable {
-            return Err(EelError::Uneditable { what: "edge", addr: self.blocks[e.from.0].addr });
+            return Err(EelError::Uneditable {
+                what: "edge",
+                addr: self.blocks[e.from.0].addr,
+            });
         }
-        self.edits.push(Edit { point: EditPoint::Edge(edge), snippet: Some(snippet) });
+        self.edits.push(Edit {
+            point: EditPoint::Edge(edge),
+            snippet: Some(snippet),
+        });
         Ok(())
     }
 
@@ -475,9 +493,15 @@ impl Cfg {
             }
         }
         if !b.editable {
-            return Err(EelError::Uneditable { what: "block", addr: b.addr });
+            return Err(EelError::Uneditable {
+                what: "block",
+                addr: b.addr,
+            });
         }
-        self.edits.push(Edit { point: EditPoint::BlockStart(block), snippet: Some(snippet) });
+        self.edits.push(Edit {
+            point: EditPoint::BlockStart(block),
+            snippet: Some(snippet),
+        });
         Ok(())
     }
 
@@ -492,7 +516,10 @@ impl Cfg {
         })?;
         let b = &self.blocks[bid.0];
         if !b.editable {
-            return Err(EelError::Uneditable { what: "block", addr });
+            return Err(EelError::Uneditable {
+                what: "block",
+                addr,
+            });
         }
         Ok((bid, pos))
     }

@@ -104,10 +104,17 @@ pub(crate) fn build_cfg(
     let mut incomplete = false;
 
     let in_extent = |a: u32| a >= start && a < end;
-    let classify = |a: u32| if in_extent(a) { Target::In(a) } else { Target::Out(a) };
+    let classify = |a: u32| {
+        if in_extent(a) {
+            Target::In(a)
+        } else {
+            Target::Out(a)
+        }
+    };
 
     // ---- phase 1: scan --------------------------------------------------
 
+    let scan_obs = eel_obs::span("core.cfg.scan");
     while let Some(leader) = worklist.pop() {
         if !scanned.insert(leader) {
             continue;
@@ -156,7 +163,11 @@ pub(crate) fn build_cfg(
             };
             let annulled_always = matches!(
                 insn.op,
-                Op::Branch { cond: Cond::Always, annul: true, .. }
+                Op::Branch {
+                    cond: Cond::Always,
+                    annul: true,
+                    ..
+                }
             );
             if let Some(d) = delay {
                 if d.is_delayed() && !annulled_always {
@@ -174,7 +185,12 @@ pub(crate) fn build_cfg(
             };
 
             let succ = match insn.op {
-                Op::Branch { cond, annul, disp22, fp } => {
+                Op::Branch {
+                    cond,
+                    annul,
+                    disp22,
+                    fp,
+                } => {
                     if fp {
                         // We never emit FP branches; treat conservatively
                         // as a two-way branch on an unknown condition.
@@ -196,7 +212,12 @@ pub(crate) fn build_cfg(
                         push_leader(pc + 8, &mut worklist, &mut leaders);
                         Some(pc + 8)
                     };
-                    CtiSucc::Branch { cond, annul, taken, fall }
+                    CtiSucc::Branch {
+                        cond,
+                        annul,
+                        taken,
+                        fall,
+                    }
                 }
                 Op::Call { disp30 } => {
                     let target = pc.wrapping_add((disp30 as u32) << 2);
@@ -225,8 +246,10 @@ pub(crate) fn build_cfg(
                             }
                             _ => None,
                         };
-                        indirect_calls
-                            .push(IndirectJumpInfo { addr: pc, resolution });
+                        indirect_calls.push(IndirectJumpInfo {
+                            addr: pc,
+                            resolution,
+                        });
                         push_leader(pc + 8, &mut worklist, &mut leaders);
                         CtiSucc::IndirectCall { literal }
                     }
@@ -237,7 +260,11 @@ pub(crate) fn build_cfg(
                             JumpResolution::Unknown
                         };
                         match &resolution {
-                            JumpResolution::Table { table_addr, targets, .. } => {
+                            JumpResolution::Table {
+                                table_addr,
+                                targets,
+                                ..
+                            } => {
                                 let table_end = table_addr + 4 * targets.len() as u32;
                                 data_ranges.push(DataRange {
                                     start: *table_addr,
@@ -258,7 +285,10 @@ pub(crate) fn build_cfg(
                             },
                             JumpResolution::Unknown => incomplete = true,
                         }
-                        indirect_jumps.push(IndirectJumpInfo { addr: pc, resolution: resolution.clone() });
+                        indirect_jumps.push(IndirectJumpInfo {
+                            addr: pc,
+                            resolution: resolution.clone(),
+                        });
                         CtiSucc::IndirectJump { resolution }
                     }
                 },
@@ -269,8 +299,10 @@ pub(crate) fn build_cfg(
         }
     }
 
-    // ---- phase 2: materialize blocks -----------------------------------
+    // ---- phase 2: materialize blocks (delay-slot normalization) --------
 
+    drop(scan_obs);
+    let _obs = eel_obs::span("core.cfg.normalize");
     let mut cfg = Cfg {
         routine,
         blocks: Vec::new(),
@@ -327,7 +359,10 @@ pub(crate) fn build_cfg(
             }
             let word = image.word_at(pc).unwrap_or(0);
             let insn = eel_isa::decode(word);
-            cfg.blocks[bid.0].insns.push(InsnAt { addr: Some(pc), insn });
+            cfg.blocks[bid.0].insns.push(InsnAt {
+                addr: Some(pc),
+                insn,
+            });
             if ctis.contains_key(&pc) {
                 break Ending::Cti(pc);
             }
@@ -384,7 +419,11 @@ pub(crate) fn build_cfg(
 
     escape_targets.sort_unstable();
     escape_targets.dedup();
-    Ok(BuildOutput { cfg, trailing_unreachable, escape_targets })
+    Ok(BuildOutput {
+        cfg,
+        trailing_unreachable,
+        escape_targets,
+    })
 }
 
 fn push_block(cfg: &mut Cfg, kind: BlockKind, addr: u32, editable: bool) -> BlockId {
@@ -401,7 +440,12 @@ fn push_block(cfg: &mut Cfg, kind: BlockKind, addr: u32, editable: bool) -> Bloc
 
 fn add_edge(cfg: &mut Cfg, from: BlockId, to: BlockId, kind: EdgeKind, editable: bool) -> EdgeId {
     let id = EdgeId(cfg.edges.len());
-    cfg.edges.push(Edge { from, to, kind, editable });
+    cfg.edges.push(Edge {
+        from,
+        to,
+        kind,
+        editable,
+    });
     cfg.blocks[from.0].succs.push(id);
     cfg.blocks[to.0].preds.push(id);
     id
@@ -420,7 +464,10 @@ fn delay_block(
     match delay {
         Some(d) => {
             let b = push_block(cfg, BlockKind::DelaySlot, site + 4, editable);
-            cfg.blocks[b.0].insns.push(InsnAt { addr: Some(site + 4), insn: d });
+            cfg.blocks[b.0].insns.push(InsnAt {
+                addr: Some(site + 4),
+                insn: d,
+            });
             add_edge(cfg, from, b, kind, editable);
             b
         }
@@ -443,7 +490,12 @@ fn connect_cti(
     let target_block = |a: u32| block_of.get(&a).copied();
 
     match &rec.succ {
-        CtiSucc::Branch { cond, annul, taken, fall } => {
+        CtiSucc::Branch {
+            cond,
+            annul,
+            taken,
+            fall,
+        } => {
             // Taken path.
             if let Some(t) = taken {
                 // Delay executes on the taken path unless `ba,a`.
@@ -453,8 +505,11 @@ fn connect_cti(
                 } else {
                     bid
                 };
-                let kind_from_src =
-                    if src == bid { EdgeKind::Taken } else { EdgeKind::Fall };
+                let kind_from_src = if src == bid {
+                    EdgeKind::Taken
+                } else {
+                    EdgeKind::Fall
+                };
                 match t {
                     Target::In(a) => {
                         if let Some(tb) = target_block(*a) {
@@ -518,7 +573,11 @@ fn connect_cti(
                     let dly = delay_block(cfg, bid, addr, delay, EdgeKind::Table, true);
                     match target_block(t) {
                         Some(tb) => {
-                            let kind = if dly == bid { EdgeKind::Table } else { EdgeKind::Fall };
+                            let kind = if dly == bid {
+                                EdgeKind::Table
+                            } else {
+                                EdgeKind::Fall
+                            };
                             add_edge(cfg, dly, tb, kind, true);
                         }
                         None => {
@@ -534,7 +593,11 @@ fn connect_cti(
                 let dly = delay_block(cfg, bid, addr, delay, EdgeKind::Taken, true);
                 match target_block(*target) {
                     Some(tb) => {
-                        let kind = if dly == bid { EdgeKind::Taken } else { EdgeKind::Fall };
+                        let kind = if dly == bid {
+                            EdgeKind::Taken
+                        } else {
+                            EdgeKind::Fall
+                        };
                         add_edge(cfg, dly, tb, kind, true);
                     }
                     None => {

@@ -100,10 +100,16 @@ mod tests {
         for e in [
             EelError::BadImage("x".into()),
             EelError::NotAnalyzed,
-            EelError::BadAddress { addr: 4, expected: "a routine entry" },
+            EelError::BadAddress {
+                addr: 4,
+                expected: "a routine entry",
+            },
             EelError::BadRoutine(7),
             EelError::DelaySlotTransfer { addr: 8 },
-            EelError::Uneditable { what: "edge", addr: 12 },
+            EelError::Uneditable {
+                what: "edge",
+                addr: 12,
+            },
             EelError::BadEditTarget("x".into()),
             EelError::RegisterPressure("x".into()),
             EelError::TranslationClash { addr: 16 },

@@ -130,6 +130,7 @@ impl Executable {
         if self.analyzed {
             return Ok(());
         }
+        let _obs = eel_obs::span("core.read_contents");
         let text = (self.image.text_addr, self.image.text_end());
 
         // Pre-scan: decode every text word once; collect direct-call
@@ -162,11 +163,7 @@ impl Executable {
                 .image
                 .symbols
                 .iter()
-                .filter(|s| {
-                    s.kind == SymbolKind::Routine
-                        && s.value >= text.0
-                        && s.value < text.1
-                })
+                .filter(|s| s.kind == SymbolKind::Routine && s.value >= text.0 && s.value < text.1)
                 .collect();
             raw.sort_by_key(|s| s.value);
             // Misaligned labels are dropped; duplicates keep the first name.
@@ -181,14 +178,14 @@ impl Executable {
             for s in raw {
                 let internal = branch_targets
                     .get(&s.value)
-                    .map(|srcs| {
-                        srcs.iter().any(|&src| src >= prev_start && src < s.value)
-                    })
+                    .map(|srcs| srcs.iter().any(|&src| src >= prev_start && src < s.value))
                     .unwrap_or(false);
                 if internal {
                     continue;
                 }
-                candidates.entry(s.value).or_insert_with(|| Some(s.name.clone()));
+                candidates
+                    .entry(s.value)
+                    .or_insert_with(|| Some(s.name.clone()));
                 prev_start = s.value;
             }
         }
@@ -231,7 +228,9 @@ impl Executable {
             }
         }
         if self.routines.is_empty() {
-            return Err(EelError::BadImage("no routines found in text segment".into()));
+            return Err(EelError::BadImage(
+                "no routines found in text segment".into(),
+            ));
         }
         self.analyzed = true;
         Ok(())
@@ -300,14 +299,20 @@ impl Executable {
     /// [`EelError::DelaySlotTransfer`] for the documented unsupported
     /// shape.
     pub fn build_cfg(&mut self, id: RoutineId) -> Result<Cfg, EelError> {
+        let _obs = eel_obs::span("core.build_cfg");
         if !self.analyzed {
             return Err(EelError::NotAnalyzed);
         }
         let _ = self.routines.get(id.0).ok_or(EelError::BadRoutine(id.0))?;
         loop {
             let r = &self.routines[id.0];
-            let out =
-                cfg_build(&self.image, id, (r.start, r.end), &r.entries, self.jump_analysis)?;
+            let out = cfg_build(
+                &self.image,
+                id,
+                (r.start, r.end),
+                &r.entries,
+                self.jump_analysis,
+            )?;
             // Register interprocedural entry points (stage 3).
             for t in &out.escape_targets {
                 if let Some(cid) = self.routine_containing(*t) {
@@ -345,6 +350,8 @@ impl Executable {
                     self.pool.intern(ia.insn.word);
                 }
             }
+            eel_obs::counter!("core.cfg.blocks").add(out.cfg.blocks.len() as u64);
+            eel_obs::counter!("core.cfg.edges").add(out.cfg.edges.len() as u64);
             return Ok(out.cfg);
         }
     }
@@ -385,7 +392,8 @@ impl Executable {
     /// Active Memory's handlers and Elsie's simulator calls use this to
     /// add "another program" to the executable (§5).
     pub fn add_runtime_routine(&mut self, name: &str, asm: &str) {
-        self.runtime_routines.push((name.to_string(), asm.to_string()));
+        self.runtime_routines
+            .push((name.to_string(), asm.to_string()));
     }
 
     /// Marks a routine for removal: [`Executable::write_edited`] omits
@@ -426,8 +434,11 @@ impl Executable {
     ///
     /// Any analysis or layout failure; also if called twice.
     pub fn write_edited(&mut self) -> Result<Image, EelError> {
+        let _obs = eel_obs::span("core.write_edited");
         if self.written {
-            return Err(EelError::Internal("write_edited may only be called once".into()));
+            return Err(EelError::Internal(
+                "write_edited may only be called once".into(),
+            ));
         }
         if !self.analyzed {
             return Err(EelError::NotAnalyzed);
@@ -436,9 +447,7 @@ impl Executable {
         loop {
             let pending: Vec<RoutineId> = (0..self.routines.len())
                 .map(RoutineId)
-                .filter(|id| {
-                    !self.layouts.contains_key(&id.0) && !self.removed.contains(&id.0)
-                })
+                .filter(|id| !self.layouts.contains_key(&id.0) && !self.removed.contains(&id.0))
                 .collect();
             if pending.is_empty() {
                 break;
@@ -459,8 +468,7 @@ impl Executable {
         let mut order: Vec<usize> = layouts.keys().copied().collect();
         order.sort_by_key(|i| self.routines[*i].start);
 
-        let needs_translator =
-            layouts.values().any(|l| l.needs_translator);
+        let needs_translator = layouts.values().any(|l| l.needs_translator);
 
         // Reserve the translation table before assembling the translator
         // (its address is baked into the code). The table holds the FULL
@@ -597,7 +605,12 @@ impl Executable {
                     Item::Orig { insn, .. } => push_word(&mut text, insn.word),
                     Item::New(insn) => push_word(&mut text, insn.word),
                     Item::RawWord { word, .. } => push_word(&mut text, *word),
-                    Item::BranchTo { cond, annul, target, .. } => {
+                    Item::BranchTo {
+                        cond,
+                        annul,
+                        target,
+                        ..
+                    } => {
                         let t = resolve(target, ri)?;
                         let disp = branch_disp(here, t)?;
                         push_word(
@@ -619,7 +632,9 @@ impl Executable {
                         let t = resolve(target, ri)?;
                         push_word(&mut text, Builder::sethi_hi(*rd, t).word);
                     }
-                    Item::OrLoOf { rd, rs1, target, .. } => {
+                    Item::OrLoOf {
+                        rd, rs1, target, ..
+                    } => {
                         let t = resolve(target, ri)?;
                         push_word(&mut text, Builder::or_lo(*rd, *rs1, t).word);
                     }
@@ -633,7 +648,12 @@ impl Executable {
                         // (which may modify but not resize).
                         let (mut insns, calls, source, assignment) = {
                             let p = &layout.snippets[si];
-                            (p.insns.clone(), p.calls.clone(), p.source, p.assignment.clone())
+                            (
+                                p.insns.clone(),
+                                p.calls.clone(),
+                                p.source,
+                                p.assignment.clone(),
+                            )
                         };
                         for (idx, name) in &calls {
                             let t = resolve(&Tgt::Runtime(name.clone()), ri)?;
@@ -642,11 +662,7 @@ impl Executable {
                             insns[*idx] =
                                 Insn::from_word(eel_isa::encode(&Op::Call { disp30: disp }));
                         }
-                        layout.snippet_store[source].run_callback(
-                            &mut insns,
-                            here,
-                            &assignment,
-                        );
+                        layout.snippet_store[source].run_callback(&mut insns, here, &assignment);
                         for i in &insns {
                             push_word(&mut text, i.word);
                         }

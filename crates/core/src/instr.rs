@@ -125,7 +125,10 @@ impl InstructionPool {
             return i.clone();
         }
         self.stats.instruction_objects += 1;
-        let i = Instruction { inner: Rc::new(eel_isa::decode(word)) };
+        eel_obs::counter!("core.insn.interned").incr();
+        let i = Instruction {
+            inner: Rc::new(eel_isa::decode(word)),
+        };
         self.map.insert(word, i.clone());
         i
     }
@@ -158,20 +161,63 @@ pub(crate) fn substitute_regs(insn: Insn, map: &HashMap<Reg, Reg>) -> Insn {
     };
     let op = match insn.op {
         Op::Sethi { rd, imm22 } => Op::Sethi { rd: m(rd), imm22 },
-        Op::Alu { op, cc, rd, rs1, src2 } => {
-            Op::Alu { op, cc, rd: m(rd), rs1: m(rs1), src2: ms(src2) }
-        }
-        Op::Jmpl { rd, rs1, src2 } => Op::Jmpl { rd: m(rd), rs1: m(rs1), src2: ms(src2) },
-        Op::Load { width, signed, rd, rs1, src2, fp } => {
-            Op::Load { width, signed, rd: m(rd), rs1: m(rs1), src2: ms(src2), fp }
-        }
-        Op::Store { width, rd, rs1, src2, fp } => {
-            Op::Store { width, rd: m(rd), rs1: m(rs1), src2: ms(src2), fp }
-        }
-        Op::Trap { cond, rs1, src2 } => Op::Trap { cond, rs1: m(rs1), src2: ms(src2) },
+        Op::Alu {
+            op,
+            cc,
+            rd,
+            rs1,
+            src2,
+        } => Op::Alu {
+            op,
+            cc,
+            rd: m(rd),
+            rs1: m(rs1),
+            src2: ms(src2),
+        },
+        Op::Jmpl { rd, rs1, src2 } => Op::Jmpl {
+            rd: m(rd),
+            rs1: m(rs1),
+            src2: ms(src2),
+        },
+        Op::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            src2,
+            fp,
+        } => Op::Load {
+            width,
+            signed,
+            rd: m(rd),
+            rs1: m(rs1),
+            src2: ms(src2),
+            fp,
+        },
+        Op::Store {
+            width,
+            rd,
+            rs1,
+            src2,
+            fp,
+        } => Op::Store {
+            width,
+            rd: m(rd),
+            rs1: m(rs1),
+            src2: ms(src2),
+            fp,
+        },
+        Op::Trap { cond, rs1, src2 } => Op::Trap {
+            cond,
+            rs1: m(rs1),
+            src2: ms(src2),
+        },
         other @ (Op::Branch { .. } | Op::Call { .. } | Op::Unimp { .. } | Op::Invalid) => other,
     };
-    Insn { word: eel_isa::encode(&op), op }
+    Insn {
+        word: eel_isa::encode(&op),
+        op,
+    }
 }
 
 #[cfg(test)]

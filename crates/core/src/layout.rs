@@ -26,9 +26,7 @@
 
 use crate::analysis::jumptable::JumpResolution;
 use crate::analysis::live::Liveness;
-use crate::cfg::{
-    BlockId, BlockKind, Cfg, Edge, EdgeId, EdgeKind, EditPoint,
-};
+use crate::cfg::{BlockId, BlockKind, Cfg, Edge, EdgeId, EdgeKind, EditPoint};
 use crate::error::EelError;
 use crate::snippet::{RegAssignment, Snippet};
 use eel_exe::Image;
@@ -75,10 +73,7 @@ pub(crate) enum Item {
         orig: Option<u32>,
     },
     /// A `call` to a symbolic target.
-    CallTo {
-        target: Tgt,
-        orig: Option<u32>,
-    },
+    CallTo { target: Tgt, orig: Option<u32> },
     /// `sethi %hi(target), rd` with a symbolic target.
     SethiHiOf {
         rd: Reg,
@@ -93,15 +88,9 @@ pub(crate) enum Item {
         orig: Option<u32>,
     },
     /// A 32-bit dispatch-table slot holding a symbolic address.
-    TableWord {
-        target: Tgt,
-        orig: Option<u32>,
-    },
+    TableWord { target: Tgt, orig: Option<u32> },
     /// A verbatim data word from the original text segment.
-    RawWord {
-        word: u32,
-        addr: u32,
-    },
+    RawWord { word: u32, addr: u32 },
     /// A materialized snippet (indexes [`RoutineLayout::snippets`]).
     SnippetRef(usize),
 }
@@ -148,15 +137,13 @@ pub(crate) struct RoutineLayout {
 /// Per-address-ordered emission unit.
 enum Unit {
     Block(BlockId),
-    Table {
-        table_addr: u32,
-        slots: Vec<u32>,
-    },
+    Table { table_addr: u32, slots: Vec<u32> },
     Raw(u32),
 }
 
 /// Lays out one routine from its (possibly edited) CFG.
 pub(crate) fn lay_out_routine(image: &Image, mut cfg: Cfg) -> Result<RoutineLayout, EelError> {
+    let _obs = eel_obs::span("core.layout");
     let liveness = Liveness::compute(&cfg);
     let mut lay = Layouter {
         image,
@@ -218,20 +205,23 @@ pub(crate) fn lay_out_routine(image: &Image, mut cfg: Cfg) -> Result<RoutineLayo
                     lay.block_sn.entry(b).or_default().push(p);
                 }
             }
-            (_, None) => {
-                return Err(EelError::BadEditTarget("delete without address".into()))
-            }
+            (_, None) => return Err(EelError::BadEditTarget("delete without address".into())),
         }
     }
 
     // ---- base-materialization groups (tables & literals) -----------------
-    let all_resolutions: Vec<&crate::cfg::IndirectJumpInfo> =
-        cfg.indirect_jumps.iter().chain(cfg.indirect_calls.iter()).collect();
+    let all_resolutions: Vec<&crate::cfg::IndirectJumpInfo> = cfg
+        .indirect_jumps
+        .iter()
+        .chain(cfg.indirect_calls.iter())
+        .collect();
     for info in &all_resolutions {
         let (base_insns, target) = match &info.resolution {
-            JumpResolution::Table { table_addr, base_insns, .. } => {
-                (base_insns.clone(), TgtSpec::Table(*table_addr))
-            }
+            JumpResolution::Table {
+                table_addr,
+                base_insns,
+                ..
+            } => (base_insns.clone(), TgtSpec::Table(*table_addr)),
             JumpResolution::Literal { target, base_insns } => {
                 (base_insns.clone(), TgtSpec::Addr(*target))
             }
@@ -265,11 +255,19 @@ pub(crate) fn lay_out_routine(image: &Image, mut cfg: Cfg) -> Result<RoutineLayo
     // Dispatch tables (dedup by address).
     let mut tables_seen: HashSet<u32> = HashSet::new();
     for info in &all_resolutions {
-        if let JumpResolution::Table { table_addr, targets, .. } = &info.resolution {
+        if let JumpResolution::Table {
+            table_addr,
+            targets,
+            ..
+        } = &info.resolution
+        {
             if tables_seen.insert(*table_addr) {
                 units.insert(
                     *table_addr,
-                    Unit::Table { table_addr: *table_addr, slots: targets.clone() },
+                    Unit::Table {
+                        table_addr: *table_addr,
+                        slots: targets.clone(),
+                    },
                 );
                 for i in 0..targets.len() as u32 {
                     used.insert(table_addr + 4 * i);
@@ -325,11 +323,10 @@ pub(crate) fn lay_out_routine(image: &Image, mut cfg: Cfg) -> Result<RoutineLayo
                 let label = lay.table_label[table_addr];
                 lay.items.push(Item::Label(label));
                 for (slot, t) in slots.iter().enumerate() {
-                    let target =
-                        match lay.table_stubs.get(&(*table_addr, *t)) {
-                            Some(stub) => Tgt::Local(*stub),
-                            None => lay.code_tgt(&cfg, *t),
-                        };
+                    let target = match lay.table_stubs.get(&(*table_addr, *t)) {
+                        Some(stub) => Tgt::Local(*stub),
+                        None => lay.code_tgt(&cfg, *t),
+                    };
                     lay.items.push(Item::TableWord {
                         target,
                         orig: Some(table_addr + 4 * slot as u32),
@@ -404,7 +401,12 @@ impl<'a> Layouter<'a> {
 
     fn place_stored(&mut self, store: usize, live: RegSet) -> Result<usize, EelError> {
         let (insns, assignment, calls) = self.snippet_store[store].materialize(live)?;
-        self.placed.push(PlacedSnippet { insns, assignment, calls, source: store });
+        self.placed.push(PlacedSnippet {
+            insns,
+            assignment,
+            calls,
+            source: store,
+        });
         Ok(self.placed.len() - 1)
     }
 
@@ -529,11 +531,19 @@ impl<'a> Layouter<'a> {
                             target: target.clone(),
                             orig: Some(iaddr),
                         });
-                        self.items.push(Item::OrLoOf { rd, rs1: rd, target, orig: None });
+                        self.items.push(Item::OrLoOf {
+                            rd,
+                            rs1: rd,
+                            target,
+                            orig: None,
+                        });
                     }
                     // Non-leader group members vanish (folded into the pair).
                 } else {
-                    self.items.push(Item::Orig { insn: ia.insn, addr: iaddr });
+                    self.items.push(Item::Orig {
+                        insn: ia.insn,
+                        addr: iaddr,
+                    });
                 }
             } else {
                 self.items.push(Item::MapOrig(iaddr));
@@ -578,11 +588,7 @@ impl<'a> Layouter<'a> {
     // ---- terminator emission ------------------------------------------------
 
     /// Walks one outgoing path: `bid --e1--> [delay] --e2--> dest`.
-    fn walk_path(
-        &self,
-        cfg: &Cfg,
-        e1: EdgeId,
-    ) -> (Vec<EdgeId>, Option<Insn>, PathDest) {
+    fn walk_path(&self, cfg: &Cfg, e1: EdgeId) -> (Vec<EdgeId>, Option<Insn>, PathDest) {
         let mut edges = vec![e1];
         let edge = cfg.edge(e1);
         let to = cfg.block(edge.to);
@@ -671,8 +677,16 @@ impl<'a> Layouter<'a> {
         next_unit_addr: Option<u32>,
     ) -> Result<(), EelError> {
         let block = cfg.block(bid);
-        let taken = block.succs.iter().find(|&&e| cfg.edge(e).kind == EdgeKind::Taken).copied();
-        let fall = block.succs.iter().find(|&&e| cfg.edge(e).kind == EdgeKind::Fall).copied();
+        let taken = block
+            .succs
+            .iter()
+            .find(|&&e| cfg.edge(e).kind == EdgeKind::Taken)
+            .copied();
+        let fall = block
+            .succs
+            .iter()
+            .find(|&&e| cfg.edge(e).kind == EdgeKind::Fall)
+            .copied();
 
         let taken_path = taken.map(|e| self.walk_path(cfg, e));
         let fall_path = fall.map(|e| self.walk_path(cfg, e));
@@ -696,9 +710,17 @@ impl<'a> Layouter<'a> {
                 Some((_, _, dest)) => self.dest_tgt(cfg, dest),
                 None => Tgt::Local(self.block_label[&bid]), // `bn`: target unused
             };
-            self.items.push(Item::BranchTo { cond, annul, target, orig: Some(addr) });
+            self.items.push(Item::BranchTo {
+                cond,
+                annul,
+                target,
+                orig: Some(addr),
+            });
             match delay_insn {
-                Some(d) => self.items.push(Item::Orig { insn: d, addr: addr + 4 }),
+                Some(d) => self.items.push(Item::Orig {
+                    insn: d,
+                    addr: addr + 4,
+                }),
                 None => self.items.push(Item::New(Builder::nop())),
             }
             // Fall continuation.
@@ -711,14 +733,16 @@ impl<'a> Layouter<'a> {
         // Edited: split the paths.
         match cond {
             Cond::Always => {
-                let (edges, delay, dest) =
-                    taken_path.expect("ba has a taken path");
+                let (edges, delay, dest) = taken_path.expect("ba has a taken path");
                 let sn = self.path_snippets(&edges);
                 self.emit_placements(&sn);
                 // `ba,a` never executes its delay slot.
                 if !annul {
                     if let Some(d) = delay {
-                        self.items.push(Item::Orig { insn: d, addr: addr + 4 });
+                        self.items.push(Item::Orig {
+                            insn: d,
+                            addr: addr + 4,
+                        });
                     }
                 }
                 let target = self.dest_tgt(cfg, &dest);
@@ -736,7 +760,10 @@ impl<'a> Layouter<'a> {
                 self.emit_placements(&sn);
                 if !annul {
                     if let Some(d) = delay {
-                        self.items.push(Item::Orig { insn: d, addr: addr + 4 });
+                        self.items.push(Item::Orig {
+                            insn: d,
+                            addr: addr + 4,
+                        });
                     }
                 }
                 self.items.push(Item::MapOrig(addr));
@@ -757,7 +784,10 @@ impl<'a> Layouter<'a> {
                     self.emit_placements(&sn);
                     if !annul {
                         if let Some(d) = delay {
-                            self.items.push(Item::Orig { insn: *d, addr: addr + 4 });
+                            self.items.push(Item::Orig {
+                                insn: *d,
+                                addr: addr + 4,
+                            });
                         }
                     }
                     self.emit_fall_continuation(cfg, dest, next_unit_addr);
@@ -770,7 +800,10 @@ impl<'a> Layouter<'a> {
                         stub_items.push(Item::SnippetRef(p));
                     }
                     if let Some(d) = delay {
-                        stub_items.push(Item::Orig { insn: *d, addr: addr + 4 });
+                        stub_items.push(Item::Orig {
+                            insn: *d,
+                            addr: addr + 4,
+                        });
                     }
                     let target = self.dest_tgt(cfg, dest);
                     stub_items.push(Item::BranchTo {
@@ -787,12 +820,7 @@ impl<'a> Layouter<'a> {
         Ok(())
     }
 
-    fn emit_fall_continuation(
-        &mut self,
-        cfg: &Cfg,
-        dest: &PathDest,
-        next_unit_addr: Option<u32>,
-    ) {
+    fn emit_fall_continuation(&mut self, cfg: &Cfg, dest: &PathDest, next_unit_addr: Option<u32>) {
         match dest {
             PathDest::Block(b) => {
                 let to_addr = cfg.block(*b).addr;
@@ -858,9 +886,15 @@ impl<'a> Layouter<'a> {
                     .find(|(a, _)| *a == addr)
                     .map(|(_, t)| *t)
                     .ok_or_else(|| EelError::Internal(format!("unrecorded call {addr:#x}")))?;
-                self.items.push(Item::CallTo { target: Tgt::Orig(target), orig: Some(addr) });
+                self.items.push(Item::CallTo {
+                    target: Tgt::Orig(target),
+                    orig: Some(addr),
+                });
                 match delay {
-                    Some(d) => self.items.push(Item::Orig { insn: d, addr: addr + 4 }),
+                    Some(d) => self.items.push(Item::Orig {
+                        insn: d,
+                        addr: addr + 4,
+                    }),
                     None => self.items.push(Item::New(Builder::nop())),
                 }
             }
@@ -882,16 +916,17 @@ impl<'a> Layouter<'a> {
                             self.items.push(Item::Orig { insn, addr });
                         }
                         match delay {
-                            Some(d) => self.items.push(Item::Orig { insn: d, addr: addr + 4 }),
+                            Some(d) => self.items.push(Item::Orig {
+                                insn: d,
+                                addr: addr + 4,
+                            }),
                             None => self.items.push(Item::New(Builder::nop())),
                         }
                     }
                     _ => {
                         // Run-time translation: the register holds an
                         // ORIGINAL address.
-                        self.emit_translated_transfer(
-                            addr, rs1, src2, delay, /*link=*/ true,
-                        )?;
+                        self.emit_translated_transfer(addr, rs1, src2, delay, /*link=*/ true)?;
                     }
                 }
             }
@@ -941,7 +976,10 @@ impl<'a> Layouter<'a> {
             .and_then(|b| cfg.block(b).insns.first().map(|ia| ia.insn));
         self.items.push(Item::Orig { insn, addr });
         match delay {
-            Some(d) => self.items.push(Item::Orig { insn: d, addr: addr + 4 }),
+            Some(d) => self.items.push(Item::Orig {
+                insn: d,
+                addr: addr + 4,
+            }),
             None => self.items.push(Item::New(Builder::nop())),
         }
         Ok(())
@@ -963,7 +1001,11 @@ impl<'a> Layouter<'a> {
         let block = cfg.block(bid).clone();
 
         match resolution {
-            JumpResolution::Table { table_addr, targets, .. } => {
+            JumpResolution::Table {
+                table_addr,
+                targets,
+                ..
+            } => {
                 // Gather per-target paths.
                 let mut per_target: Vec<(u32, Vec<EdgeId>, Option<Insn>)> = Vec::new();
                 for &e in &block.succs {
@@ -983,7 +1025,10 @@ impl<'a> Layouter<'a> {
                 if !any_edits {
                     self.items.push(Item::Orig { insn, addr });
                     match delay_insn {
-                        Some(d) => self.items.push(Item::Orig { insn: d, addr: addr + 4 }),
+                        Some(d) => self.items.push(Item::Orig {
+                            insn: d,
+                            addr: addr + 4,
+                        }),
                         None => self.items.push(Item::New(Builder::nop())),
                     }
                 } else {
@@ -999,7 +1044,10 @@ impl<'a> Layouter<'a> {
                             si.push(Item::SnippetRef(p));
                         }
                         if let Some(d) = delay_insn {
-                            si.push(Item::Orig { insn: d, addr: addr + 4 });
+                            si.push(Item::Orig {
+                                insn: d,
+                                addr: addr + 4,
+                            });
                         }
                         si.push(Item::BranchTo {
                             cond: Cond::Always,
@@ -1039,7 +1087,10 @@ impl<'a> Layouter<'a> {
                     self.items.push(Item::Orig { insn, addr });
                 }
                 match delay {
-                    Some(d) => self.items.push(Item::Orig { insn: d, addr: addr + 4 }),
+                    Some(d) => self.items.push(Item::Orig {
+                        insn: d,
+                        addr: addr + 4,
+                    }),
                     None => self.items.push(Item::New(Builder::nop())),
                 }
             }
@@ -1098,7 +1149,10 @@ impl<'a> Layouter<'a> {
         self.items.push(Item::MapOrig(addr));
         self.items.push(Item::New(Builder::add(Reg(6), rs1, src2)));
         if let Some(d) = delay {
-            self.items.push(Item::Orig { insn: d, addr: addr + 4 });
+            self.items.push(Item::Orig {
+                insn: d,
+                addr: addr + 4,
+            });
         }
         self.items.push(Item::SethiHiOf {
             rd: Reg(7),
@@ -1111,10 +1165,12 @@ impl<'a> Layouter<'a> {
             target: Tgt::Runtime(TRANSLATOR.into()),
             orig: None,
         });
-        self.items.push(Item::New(Builder::jmpl(Reg(7), Reg(7), Src2::Imm(0))));
+        self.items
+            .push(Item::New(Builder::jmpl(Reg(7), Reg(7), Src2::Imm(0))));
         self.items.push(Item::New(Builder::nop()));
         let link_reg = if link { Reg::O7 } else { Reg::G0 };
-        self.items.push(Item::New(Builder::jmpl(link_reg, Reg(6), Src2::Imm(0))));
+        self.items
+            .push(Item::New(Builder::jmpl(link_reg, Reg(6), Src2::Imm(0))));
         self.items.push(Item::New(Builder::nop()));
         Ok(())
     }

@@ -64,8 +64,8 @@ pub use analysis::live::Liveness;
 pub use analysis::loops::{natural_loops, NaturalLoop};
 pub use analysis::slice::{SliceMark, Slicer};
 pub use cfg::{
-    Block, BlockId, BlockKind, Cfg, CfgStats, DataRange, Edge, EdgeId, EdgeKind, Edit,
-    EditPoint, InsnAt,
+    Block, BlockId, BlockKind, Cfg, CfgStats, DataRange, Edge, EdgeId, EdgeKind, Edit, EditPoint,
+    InsnAt,
 };
 pub use error::EelError;
 pub use executable::{Executable, RoutineId};

@@ -174,18 +174,53 @@ impl Snippet {
     pub fn set_sethi_low(&mut self, idx: usize, value: u32) {
         let lo = Src2::Imm(eel_isa::lo10(value) as i32);
         let op = match self.body[idx].op {
-            Op::Alu { op, cc, rd, rs1, src2: Src2::Imm(_) } => {
-                Op::Alu { op, cc, rd, rs1, src2: lo }
-            }
-            Op::Load { width, signed, rd, rs1, src2: Src2::Imm(_), fp } => {
-                Op::Load { width, signed, rd, rs1, src2: lo, fp }
-            }
-            Op::Store { width, rd, rs1, src2: Src2::Imm(_), fp } => {
-                Op::Store { width, rd, rs1, src2: lo, fp }
-            }
+            Op::Alu {
+                op,
+                cc,
+                rd,
+                rs1,
+                src2: Src2::Imm(_),
+            } => Op::Alu {
+                op,
+                cc,
+                rd,
+                rs1,
+                src2: lo,
+            },
+            Op::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                src2: Src2::Imm(_),
+                fp,
+            } => Op::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                src2: lo,
+                fp,
+            },
+            Op::Store {
+                width,
+                rd,
+                rs1,
+                src2: Src2::Imm(_),
+                fp,
+            } => Op::Store {
+                width,
+                rd,
+                rs1,
+                src2: lo,
+                fp,
+            },
             other => panic!("set_sethi_low on immediate-less {other:?}"),
         };
-        self.body[idx] = Insn { word: eel_isa::encode(&op), op };
+        self.body[idx] = Insn {
+            word: eel_isa::encode(&op),
+            op,
+        };
     }
 
     /// The canonical profile-counter snippet (Figure 5): increments the
@@ -223,10 +258,7 @@ impl Snippet {
             fixed.remove(*r);
         }
 
-        let body_writes_cc = self
-            .body
-            .iter()
-            .any(|i| i.writes().contains(Reg::ICC));
+        let body_writes_cc = self.body.iter().any(|i| i.writes().contains(Reg::ICC));
         let need_cc_save = body_writes_cc && live.contains(Reg::ICC);
 
         let unavailable = live
@@ -395,8 +427,7 @@ mod tests {
         let mut forbidden: Vec<Reg> = RegSet::all_gprs().iter().collect();
         // Forbid everything except %l0/%l1.
         forbidden.retain(|r| *r != Reg(16) && *r != Reg(17));
-        let mut s =
-            Snippet::counter_increment(0x0040_0000).with_forbidden(&forbidden);
+        let mut s = Snippet::counter_increment(0x0040_0000).with_forbidden(&forbidden);
         let (_, asg, _) = s.materialize(RegSet::new()).unwrap();
         let allocated: Vec<Reg> = asg.map.values().copied().collect();
         assert!(allocated.contains(&Reg(16)) || allocated.contains(&Reg(17)));
@@ -432,7 +463,9 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match s.body()[1].op {
-            Op::Load { src2: Src2::Imm(v), .. } => assert_eq!(v, 8),
+            Op::Load {
+                src2: Src2::Imm(v), ..
+            } => assert_eq!(v, 8),
             other => panic!("{other:?}"),
         }
     }
@@ -449,12 +482,10 @@ mod tests {
 
     #[test]
     fn callback_receives_final_state() {
-        let mut s = Snippet::new(vec![Builder::nop()]).with_callback(Box::new(
-            |insns, addr, _| {
-                assert_eq!(addr, 0x2000);
-                insns[0] = Builder::mov(Reg(9), Src2::Imm(7));
-            },
-        ));
+        let mut s = Snippet::new(vec![Builder::nop()]).with_callback(Box::new(|insns, addr, _| {
+            assert_eq!(addr, 0x2000);
+            insns[0] = Builder::mov(Reg(9), Src2::Imm(7));
+        }));
         let (mut insns, asg, _) = s.materialize(RegSet::new()).unwrap();
         s.run_callback(&mut insns, 0x2000, &asg);
         assert_eq!(insns[0].to_string(), "mov 7, %o1");

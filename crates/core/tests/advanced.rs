@@ -29,8 +29,12 @@ fn call_graph_reflects_program_structure() {
             .find(|&id| exec.routine(id).name() == name)
             .unwrap()
     };
-    let (main, middle, leaf, recur) =
-        (id_of("main"), id_of("middle"), id_of("leaf"), id_of("recur"));
+    let (main, middle, leaf, recur) = (
+        id_of("main"),
+        id_of("middle"),
+        id_of("leaf"),
+        id_of("recur"),
+    );
 
     assert!(graph.callees(main).contains(&middle));
     assert!(graph.callees(main).contains(&recur));
@@ -64,10 +68,7 @@ fn call_graph_flags_unknown_indirect_sites() {
 #[test]
 fn free_registers_finds_untouched_registers() {
     // A tiny leaf routine touches almost nothing: plenty of free regs.
-    let image = eel_asm::assemble(
-        "main:\n mov 1, %o0\n mov 1, %g1\n ta 0\n nop\n",
-    )
-    .unwrap();
+    let image = eel_asm::assemble("main:\n mov 1, %o0\n mov 1, %g1\n ta 0\n nop\n").unwrap();
     let mut exec = Executable::from_image(image).unwrap();
     exec.read_contents().unwrap();
     let id = exec.all_routine_ids()[0];
@@ -128,7 +129,8 @@ fn snippet_callback_backpatches_final_addresses() {
     let sink = Rc::clone(&landed);
     let snippet = Snippet::counter_increment(counter).with_callback(Box::new(
         move |insns, addr, assignment| {
-            sink.borrow_mut().push((addr, insns.len(), assignment.map.len()));
+            sink.borrow_mut()
+                .push((addr, insns.len(), assignment.map.len()));
         },
     ));
     cfg.add_code_at_block_start(entry, snippet).unwrap();
@@ -184,11 +186,9 @@ fn snippet_calls_into_added_runtime_routine() {
         .unwrap();
     let mut cfg = exec.build_cfg(main_id).unwrap();
     let entry = cfg.entry_block();
-    let snippet = Snippet::from_asm(
-        "st %o7, [%sp - 112]\n call .\n nop\n ld [%sp - 112], %o7\n",
-    )
-    .unwrap()
-    .with_call(1, "__bump7");
+    let snippet = Snippet::from_asm("st %o7, [%sp - 112]\n call .\n nop\n ld [%sp - 112], %o7\n")
+        .unwrap()
+        .with_call(1, "__bump7");
     cfg.add_code_at_block_start(entry, snippet).unwrap();
     exec.install_edits(cfg).unwrap();
     let edited = exec.write_edited().unwrap();
@@ -401,7 +401,8 @@ fn annulled_branch_edges_count_exactly() {
             eel_core::EdgeKind::Fall => fall_c,
             _ => continue,
         };
-        cfg.add_code_along(e, Snippet::counter_increment(counter)).unwrap();
+        cfg.add_code_along(e, Snippet::counter_increment(counter))
+            .unwrap();
         edited += 1;
     }
     assert_eq!(edited, 2, "both directions instrumented");

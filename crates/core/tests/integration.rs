@@ -98,7 +98,11 @@ fn all_option_combos() -> Vec<Options> {
     let mut v = Vec::new();
     for personality in [Personality::Gcc, Personality::SunPro] {
         for fill in [true, false] {
-            v.push(Options { personality, fill_delay_slots: fill, strip: false });
+            v.push(Options {
+                personality,
+                fill_delay_slots: fill,
+                strip: false,
+            });
         }
     }
     v
@@ -117,8 +121,8 @@ fn passthrough_preserves_behavior_for_all_programs() {
             let image = compile_str(src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
             let before = run_image(&image).unwrap_or_else(|e| panic!("{name} original: {e}"));
             let edited = passthrough(image);
-            let after = run_image(&edited)
-                .unwrap_or_else(|e| panic!("{name} edited ({opts:?}): {e}"));
+            let after =
+                run_image(&edited).unwrap_or_else(|e| panic!("{name} edited ({opts:?}): {e}"));
             assert_eq!(before.exit_code, after.exit_code, "{name} {opts:?}");
             assert_eq!(before.output, after.output, "{name} {opts:?}");
         }
@@ -128,7 +132,10 @@ fn passthrough_preserves_behavior_for_all_programs() {
 #[test]
 fn passthrough_preserves_behavior_for_stripped_binaries() {
     for (name, src) in PROGRAMS {
-        let opts = Options { strip: true, ..Options::default() };
+        let opts = Options {
+            strip: true,
+            ..Options::default()
+        };
         let image = compile_str(src, &opts).unwrap();
         assert!(image.is_stripped());
         let before = run_image(&image).unwrap();
@@ -154,7 +161,10 @@ fn read_contents_finds_compiler_routines() {
 #[test]
 fn stripped_discovery_finds_called_routines() {
     let src = PROGRAMS[1].1;
-    let opts = Options { strip: true, ..Options::default() };
+    let opts = Options {
+        strip: true,
+        ..Options::default()
+    };
     let image = compile_str(src, &opts).unwrap();
     let mut exec = Executable::from_image(image).unwrap();
     exec.read_contents().unwrap();
@@ -162,7 +172,10 @@ fn stripped_discovery_finds_called_routines() {
     assert!(
         exec.routines().len() >= 4,
         "stripped discovery found only {:?}",
-        exec.routines().iter().map(|r| r.start()).collect::<Vec<_>>()
+        exec.routines()
+            .iter()
+            .map(|r| r.start())
+            .collect::<Vec<_>>()
     );
     // Names cannot be recreated (§3.1).
     assert!(exec.routines().iter().all(|r| !r.has_symbol_name()));
@@ -190,7 +203,8 @@ fn entry_counting_matches_call_counts() {
             fib_slot = Some(slot);
         }
         let entry = cfg.entry_block();
-        cfg.add_code_at_block_start(entry, Snippet::counter_increment(slot)).unwrap();
+        cfg.add_code_at_block_start(entry, Snippet::counter_increment(slot))
+            .unwrap();
         exec.install_edits(cfg).unwrap();
     }
     let edited = exec.write_edited().unwrap();
@@ -233,7 +247,8 @@ fn edge_counting_on_branches() {
             let _ = bid;
         }
         for e in edits {
-            cfg.add_code_along(e, Snippet::counter_increment(counters + 4 * num)).unwrap();
+            cfg.add_code_along(e, Snippet::counter_increment(counters + 4 * num))
+                .unwrap();
             num += 1;
         }
         exec.install_edits(cfg).unwrap();
@@ -270,12 +285,16 @@ fn jump_table_edges_can_be_instrumented() {
             found_table = true;
         }
         for e in table_edges {
-            cfg.add_code_along(e, Snippet::counter_increment(counters + 4 * num)).unwrap();
+            cfg.add_code_along(e, Snippet::counter_increment(counters + 4 * num))
+                .unwrap();
             num += 1;
         }
         exec.install_edits(cfg).unwrap();
     }
-    assert!(found_table, "the switch program must contain a dispatch table");
+    assert!(
+        found_table,
+        "the switch program must contain a dispatch table"
+    );
     let edited = exec.write_edited().unwrap();
     let mut machine = Machine::load(&edited).unwrap();
     let outcome = machine.run().unwrap();
@@ -290,7 +309,10 @@ fn jump_table_edges_can_be_instrumented() {
 #[test]
 fn sunpro_tail_calls_run_through_translation() {
     let src = PROGRAMS[4].1; // tail-call chain
-    let opts = Options { personality: Personality::SunPro, ..Options::default() };
+    let opts = Options {
+        personality: Personality::SunPro,
+        ..Options::default()
+    };
     let image = compile_str(src, &opts).unwrap();
     let plain = run_image(&image).unwrap();
 
@@ -304,7 +326,10 @@ fn sunpro_tail_calls_run_through_translation() {
         any_incomplete |= cfg.is_incomplete();
         cfgs.push(cfg);
     }
-    assert!(any_incomplete, "SunPro tail calls must defeat static analysis");
+    assert!(
+        any_incomplete,
+        "SunPro tail calls must defeat static analysis"
+    );
     for cfg in cfgs {
         exec.install_edits(cfg).unwrap();
     }
@@ -314,7 +339,12 @@ fn sunpro_tail_calls_run_through_translation() {
     assert_eq!(plain.exit_code, after.exit_code);
     assert_eq!(plain.output, after.output);
     // Translation costs cycles.
-    assert!(after.cycles > plain.cycles, "{} vs {}", after.cycles, plain.cycles);
+    assert!(
+        after.cycles > plain.cycles,
+        "{} vs {}",
+        after.cycles,
+        plain.cycles
+    );
 }
 
 #[test]
@@ -323,7 +353,10 @@ fn gcc_mode_has_no_unanalyzable_jumps_sunpro_does() {
         let mut total = 0;
         let mut unknown = 0;
         for (_, src) in PROGRAMS {
-            let opts = Options { personality, ..Options::default() };
+            let opts = Options {
+                personality,
+                ..Options::default()
+            };
             let image = compile_str(src, &opts).unwrap();
             let mut exec = Executable::from_image(image).unwrap();
             exec.read_contents().unwrap();
@@ -341,7 +374,10 @@ fn gcc_mode_has_no_unanalyzable_jumps_sunpro_does() {
     };
     let (gcc_total, gcc_unknown) = count(Personality::Gcc);
     let (sp_total, sp_unknown) = count(Personality::SunPro);
-    assert!(gcc_total > 0, "gcc programs contain indirect jumps (tables)");
+    assert!(
+        gcc_total > 0,
+        "gcc programs contain indirect jumps (tables)"
+    );
     assert_eq!(gcc_unknown, 0, "paper: 0 of 1,325 unanalyzable on gcc");
     assert!(sp_unknown > 0, "paper: 138 of 1,244 unanalyzable on SunPro");
     let _ = sp_total;
@@ -362,7 +398,8 @@ fn add_code_before_every_memory_reference() {
         // Normal-block references: straight insertion before the access.
         for site in cfg.memory_sites() {
             if let Some(addr) = site.addr {
-                cfg.add_code_before(addr, Snippet::counter_increment(counter)).unwrap();
+                cfg.add_code_before(addr, Snippet::counter_increment(counter))
+                    .unwrap();
                 sites += 1;
             }
         }
@@ -376,7 +413,11 @@ fn add_code_before_every_memory_reference() {
             if block.kind != BlockKind::DelaySlot {
                 continue;
             }
-            let is_mem = block.insns.first().map(|ia| ia.insn.is_memory()).unwrap_or(false);
+            let is_mem = block
+                .insns
+                .first()
+                .map(|ia| ia.insn.is_memory())
+                .unwrap_or(false);
             if !is_mem {
                 continue;
             }
@@ -397,11 +438,13 @@ fn add_code_before_every_memory_reference() {
             let _ = bid;
         }
         for e in edge_edits {
-            cfg.add_code_along(e, Snippet::counter_increment(counter)).unwrap();
+            cfg.add_code_along(e, Snippet::counter_increment(counter))
+                .unwrap();
             sites += 1;
         }
         for a in before_calls {
-            cfg.add_code_before(a, Snippet::counter_increment(counter)).unwrap();
+            cfg.add_code_before(a, Snippet::counter_increment(counter))
+                .unwrap();
             sites += 1;
         }
         exec.install_edits(cfg).unwrap();
@@ -471,7 +514,10 @@ fn hidden_routine_discovered_from_call() {
     let mut exec = Executable::from_image(image).unwrap();
     exec.read_contents().unwrap();
     let id = exec.routine_containing(helper_addr).unwrap();
-    assert!(exec.routine(id).is_hidden(), "helper must be a hidden routine");
+    assert!(
+        exec.routine(id).is_hidden(),
+        "helper must be a hidden routine"
+    );
     assert_eq!(exec.routine(id).start(), helper_addr);
     // The hidden queue surfaces it (Figure 1's drain loop).
     let mut from_queue = Vec::new();
@@ -529,8 +575,14 @@ fn cfg_stats_show_normalization_blocks() {
         let cfg = exec.build_cfg(id).unwrap();
         total.accumulate(&cfg.stats());
     }
-    assert!(total.delay_slot_blocks > 0, "delay-slot blocks exist: {total:?}");
-    assert!(total.call_surrogate_blocks > 0, "surrogates exist: {total:?}");
+    assert!(
+        total.delay_slot_blocks > 0,
+        "delay-slot blocks exist: {total:?}"
+    );
+    assert!(
+        total.call_surrogate_blocks > 0,
+        "surrogates exist: {total:?}"
+    );
     assert!(total.entry_exit_blocks >= 2, "{total:?}");
     let f = total.uneditable_edge_fraction();
     assert!(f > 0.02 && f < 0.6, "uneditable fraction plausible: {f}");
@@ -551,7 +603,10 @@ fn dominators_and_loops_on_a_real_cfg() {
     let dom = eel_core::Dominators::compute(&cfg);
     assert!(dom.is_reachable(cfg.exit_block()));
     let loops = eel_core::natural_loops(&cfg, &dom);
-    assert!(!loops.is_empty(), "the for loop must appear as a natural loop");
+    assert!(
+        !loops.is_empty(),
+        "the for loop must appear as a natural loop"
+    );
     for l in &loops {
         assert!(l.contains(l.header));
         assert!(dom.dominates(l.header, cfg.edge(l.back_edge).from));
@@ -586,7 +641,10 @@ fn liveness_and_slicing_on_a_real_cfg() {
     }
     assert!(sliced_any);
     assert!(!slicer.is_empty(), "address slices are nonempty");
-    assert!(slicer.count(eel_core::SliceMark::Easy) > 0, "sethi-style roots are easy");
+    assert!(
+        slicer.count(eel_core::SliceMark::Easy) > 0,
+        "sethi-style roots are easy"
+    );
 }
 
 #[test]
@@ -617,8 +675,10 @@ fn multiple_snippets_at_one_point_compose() {
         .unwrap();
     let mut cfg = exec.build_cfg(main_id).unwrap();
     let entry = cfg.entry_block();
-    cfg.add_code_at_block_start(entry, Snippet::counter_increment(c1)).unwrap();
-    cfg.add_code_at_block_start(entry, Snippet::counter_increment(c2)).unwrap();
+    cfg.add_code_at_block_start(entry, Snippet::counter_increment(c1))
+        .unwrap();
+    cfg.add_code_at_block_start(entry, Snippet::counter_increment(c2))
+        .unwrap();
     exec.install_edits(cfg).unwrap();
     let edited = exec.write_edited().unwrap();
     let mut m = Machine::load(&edited).unwrap();
@@ -684,6 +744,13 @@ fn disabling_jump_analysis_degrades_to_incomplete_cfgs() {
             .filter(|&id| exec.build_cfg(id).unwrap().is_incomplete())
             .count()
     };
-    assert_eq!(incomplete(&mut with), 0, "slicing resolves everything (gcc mode)");
-    assert!(incomplete(&mut without) > 0, "without slicing the jump is unknown");
+    assert_eq!(
+        incomplete(&mut with),
+        0,
+        "slicing resolves everything (gcc mode)"
+    );
+    assert!(
+        incomplete(&mut without) > 0,
+        "without slicing the jump is unknown"
+    );
 }

@@ -171,7 +171,10 @@ fn random_edit_battery_preserves_behavior() {
     for seed in 0..8u64 {
         let program = random_program(seed, &GenConfig::default());
         for personality in [Personality::Gcc, Personality::SunPro] {
-            let options = Options { personality, ..Options::default() };
+            let options = Options {
+                personality,
+                ..Options::default()
+            };
             let Ok(image) = compile_ast(&program, &options) else {
                 continue;
             };
@@ -251,9 +254,15 @@ fn random_edit_battery_preserves_behavior() {
                 .unwrap_or_else(|e| {
                     panic!("seed {seed} ({personality:?}): edited program failed: {e}")
                 });
-            assert_eq!(before.exit_code, after.exit_code, "seed {seed} {personality:?}");
+            assert_eq!(
+                before.exit_code, after.exit_code,
+                "seed {seed} {personality:?}"
+            );
             assert_eq!(before.output, after.output, "seed {seed} {personality:?}");
-            assert!(n == 0 || after.cycles >= before.cycles, "instrumentation costs cycles");
+            assert!(
+                n == 0 || after.cycles >= before.cycles,
+                "instrumentation costs cycles"
+            );
         }
     }
 }

@@ -162,6 +162,21 @@ impl Outcome {
     }
 }
 
+/// Publishes a completed run's dynamic counts to the observability
+/// registry. Flushing once per run (rather than per instruction) keeps
+/// the interpreter loop free of instrumentation overhead.
+fn flush_obs_counters(o: &Outcome) {
+    if !eel_obs::enabled() {
+        return;
+    }
+    eel_obs::counter!("emu.instructions").add(o.executed);
+    eel_obs::counter!("emu.cycles").add(o.cycles);
+    eel_obs::counter!("emu.annulled").add(o.cycles - o.executed);
+    eel_obs::counter!("emu.branches").add(o.transfers);
+    eel_obs::counter!("emu.loads").add(o.loads);
+    eel_obs::counter!("emu.stores").add(o.stores);
+}
+
 /// A record of one dynamic memory reference, for validating tools that
 /// instrument loads and stores (Active Memory, the tracer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,7 +199,9 @@ struct PagedMem {
 
 impl PagedMem {
     fn page(&mut self, addr: u32) -> &mut [u8; 4096] {
-        self.pages.entry(addr >> 12).or_insert_with(|| Box::new([0; 4096]))
+        self.pages
+            .entry(addr >> 12)
+            .or_insert_with(|| Box::new([0; 4096]))
     }
 
     fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
@@ -245,7 +262,9 @@ impl Machine {
     ///
     /// Returns [`RunError::BadImage`] when [`Image::validate`] fails.
     pub fn load(image: &Image) -> Result<Machine, RunError> {
-        image.validate().map_err(|e| RunError::BadImage(e.to_string()))?;
+        image
+            .validate()
+            .map_err(|e| RunError::BadImage(e.to_string()))?;
         let mut mem = PagedMem::default();
         mem.write_bytes(image.text_addr, &image.text);
         mem.write_bytes(image.data_addr, &image.data);
@@ -350,11 +369,16 @@ impl Machine {
                         return Err(RunError::BadTrap { pc, number: n });
                     }
                     if self.syscall(pc)? {
-                        return Ok(std::mem::take(&mut self.outcome));
+                        let outcome = std::mem::take(&mut self.outcome);
+                        flush_obs_counters(&outcome);
+                        return Ok(outcome);
                     }
                 }
                 StepEvent::Illegal => {
-                    return Err(RunError::Illegal { pc, word: insn.word })
+                    return Err(RunError::Illegal {
+                        pc,
+                        word: insn.word,
+                    })
                 }
                 StepEvent::MemFault(addr) => return Err(RunError::MemFault { pc, addr }),
                 StepEvent::DivZero => return Err(RunError::DivZero { pc }),
@@ -368,8 +392,12 @@ impl Machine {
             return;
         };
         let (rs1, src2, bytes) = match insn.op {
-            eel_isa::Op::Load { rs1, src2, width, .. }
-            | eel_isa::Op::Store { rs1, src2, width, .. } => (rs1, src2, width.bytes()),
+            eel_isa::Op::Load {
+                rs1, src2, width, ..
+            }
+            | eel_isa::Op::Store {
+                rs1, src2, width, ..
+            } => (rs1, src2, width.bytes()),
             _ => return,
         };
         let off = match src2 {
@@ -472,7 +500,11 @@ mod tests {
         "#,
         );
         assert_eq!(out.exit_code, 55);
-        assert!(out.transfers >= 21, "2 transfers per iteration: {}", out.transfers);
+        assert!(
+            out.transfers >= 21,
+            "2 transfers per iteration: {}",
+            out.transfers
+        );
     }
 
     #[test]
@@ -621,7 +653,11 @@ mod tests {
     #[test]
     fn infinite_loop_hits_step_limit() {
         let image = eel_asm::assemble("main: ba main\n nop\n").unwrap();
-        let err = Machine::load(&image).unwrap().with_step_limit(1000).run().unwrap_err();
+        let err = Machine::load(&image)
+            .unwrap()
+            .with_step_limit(1000)
+            .run()
+            .unwrap_err();
         assert_eq!(err, RunError::StepLimit);
     }
 
@@ -638,13 +674,15 @@ mod tests {
     #[test]
     fn bad_syscall_reported() {
         let image = eel_asm::assemble("main: mov 99, %g1\n ta 0\n nop\n").unwrap();
-        assert!(matches!(run_image(&image), Err(RunError::BadSyscall { number: 99, .. })));
+        assert!(matches!(
+            run_image(&image),
+            Err(RunError::BadSyscall { number: 99, .. })
+        ));
     }
 
     #[test]
     fn div_zero_faults() {
-        let image =
-            eel_asm::assemble("main: mov 1, %o0\n sdiv %o0, %g0, %o0\n nop\n").unwrap();
+        let image = eel_asm::assemble("main: mov 1, %o0\n sdiv %o0, %g0, %o0\n nop\n").unwrap();
         assert!(matches!(run_image(&image), Err(RunError::DivZero { .. })));
     }
 

@@ -106,7 +106,10 @@ fn program_can_read_its_own_text() {
     )
     .unwrap();
     // `set main` begins with sethi %hi(main), %o1: op=00 rd=9 op2=100.
-    assert_eq!(out.exit_code, 76, "op=00 rd=01001 op2=100 -> 0b00_01001_100");
+    assert_eq!(
+        out.exit_code, 76,
+        "op=00 rd=01001 op2=100 -> 0b00_01001_100"
+    );
 }
 
 #[test]
@@ -207,7 +210,11 @@ fn executing_data_reports_illegal_not_panic() {
 #[test]
 fn step_limit_builder_is_respected() {
     let image = assemble("main: ba main\n nop\n").unwrap();
-    let err = Machine::load(&image).unwrap().with_step_limit(7).run().unwrap_err();
+    let err = Machine::load(&image)
+        .unwrap()
+        .with_step_limit(7)
+        .run()
+        .unwrap_err();
     assert_eq!(err, RunError::StepLimit);
 }
 

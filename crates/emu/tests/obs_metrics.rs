@@ -1,0 +1,83 @@
+//! The emulator's eel-obs counters must agree exactly with the
+//! [`eel_emu::Outcome`] it returns — no double counting across runs, no
+//! missed flushes — on realistic progen workloads.
+
+use eel_cc::Personality;
+use eel_emu::run_image;
+use eel_obs::MetricsSnapshot;
+
+fn run_counted(workload: &eel_progen::Workload) -> (eel_emu::Outcome, MetricsSnapshot) {
+    let image = eel_progen::compile(workload, Personality::Gcc).expect("compiles");
+    let before = MetricsSnapshot::capture();
+    let outcome = run_image(&image).expect("runs");
+    let after = MetricsSnapshot::capture();
+    let delta = MetricsSnapshot {
+        counters: after
+            .counters
+            .iter()
+            .map(|c| eel_obs::CounterSnapshot {
+                name: c.name.clone(),
+                value: c.value - before.counter_value(&c.name),
+            })
+            .collect(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+    };
+    (outcome, delta)
+}
+
+#[test]
+fn emu_counters_agree_with_outcome_on_progen_workloads() {
+    // The emulator flushes its counters into the process-global registry,
+    // so the whole check runs in one test (tests in one binary may run
+    // concurrently); per-workload agreement is checked on deltas.
+    eel_obs::set_mode(eel_obs::Mode::Summary);
+
+    let workloads = [
+        eel_progen::compress_like(512),
+        eel_progen::eqntott_like(24),
+        eel_progen::li_like(6),
+    ];
+    for w in &workloads {
+        let (outcome, m) = run_counted(w);
+        assert!(outcome.executed > 0, "{}: workload did nothing", w.name);
+        assert_eq!(
+            m.counter_value("emu.instructions"),
+            outcome.executed,
+            "{}: instructions retired",
+            w.name
+        );
+        assert_eq!(
+            m.counter_value("emu.cycles"),
+            outcome.cycles,
+            "{}: cycles",
+            w.name
+        );
+        assert_eq!(
+            m.counter_value("emu.annulled"),
+            outcome.cycles - outcome.executed,
+            "{}: annulled slots",
+            w.name
+        );
+        assert_eq!(
+            m.counter_value("emu.branches"),
+            outcome.transfers,
+            "{}: control transfers",
+            w.name
+        );
+        assert_eq!(
+            m.counter_value("emu.loads"),
+            outcome.loads,
+            "{}: loads",
+            w.name
+        );
+        assert_eq!(
+            m.counter_value("emu.stores"),
+            outcome.stores,
+            "{}: stores",
+            w.name
+        );
+    }
+
+    eel_obs::set_mode(eel_obs::Mode::Off);
+}

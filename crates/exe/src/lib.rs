@@ -141,17 +141,35 @@ pub struct Symbol {
 impl Symbol {
     /// A global routine symbol with unknown size.
     pub fn routine(name: &str, value: u32) -> Symbol {
-        Symbol { name: name.to_string(), value, size: 0, kind: SymbolKind::Routine, global: true }
+        Symbol {
+            name: name.to_string(),
+            value,
+            size: 0,
+            kind: SymbolKind::Routine,
+            global: true,
+        }
     }
 
     /// A global data-object symbol.
     pub fn object(name: &str, value: u32, size: u32) -> Symbol {
-        Symbol { name: name.to_string(), value, size, kind: SymbolKind::Object, global: true }
+        Symbol {
+            name: name.to_string(),
+            value,
+            size,
+            kind: SymbolKind::Object,
+            global: true,
+        }
     }
 
     /// A local label.
     pub fn label(name: &str, value: u32) -> Symbol {
-        Symbol { name: name.to_string(), value, size: 0, kind: SymbolKind::Label, global: false }
+        Symbol {
+            name: name.to_string(),
+            value,
+            size: 0,
+            kind: SymbolKind::Label,
+            global: false,
+        }
     }
 }
 
@@ -311,6 +329,7 @@ impl Image {
 
     /// Serializes to the on-disk WEF encoding.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let _obs = eel_obs::span("exe.emit");
         let mut strtab = Vec::<u8>::new();
         let mut symbytes = Vec::<u8>::new();
         for sym in &self.symbols {
@@ -354,6 +373,7 @@ impl Image {
     /// successfully parsed image is *not* [`Image::validate`]d (callers
     /// that need semantic well-formedness validate explicitly).
     pub fn from_bytes(bytes: &[u8]) -> Result<Image, WefError> {
+        let _obs = eel_obs::span("exe.parse");
         fn take_u32(bytes: &[u8], at: &mut usize, what: &'static str) -> Result<u32, WefError> {
             let slice = bytes
                 .get(*at..*at + 4)
@@ -377,26 +397,50 @@ impl Image {
         let str_size = take_u32(bytes, &mut at, "strtab_size")? as usize;
 
         let text = bytes
-            .get(at..at.checked_add(text_size).ok_or(WefError::Truncated { what: "text segment" })?)
-            .ok_or(WefError::Truncated { what: "text segment" })?
+            .get(
+                at..at.checked_add(text_size).ok_or(WefError::Truncated {
+                    what: "text segment",
+                })?,
+            )
+            .ok_or(WefError::Truncated {
+                what: "text segment",
+            })?
             .to_vec();
         at += text_size;
         let data = bytes
-            .get(at..at.checked_add(data_size).ok_or(WefError::Truncated { what: "data segment" })?)
-            .ok_or(WefError::Truncated { what: "data segment" })?
+            .get(
+                at..at.checked_add(data_size).ok_or(WefError::Truncated {
+                    what: "data segment",
+                })?,
+            )
+            .ok_or(WefError::Truncated {
+                what: "data segment",
+            })?
             .to_vec();
         at += data_size;
 
-        let symtab_bytes = sym_count
-            .checked_mul(16)
-            .ok_or(WefError::Truncated { what: "symbol table" })?;
+        let symtab_bytes = sym_count.checked_mul(16).ok_or(WefError::Truncated {
+            what: "symbol table",
+        })?;
         let symtab = bytes
-            .get(at..at.checked_add(symtab_bytes).ok_or(WefError::Truncated { what: "symbol table" })?)
-            .ok_or(WefError::Truncated { what: "symbol table" })?;
+            .get(
+                at..at.checked_add(symtab_bytes).ok_or(WefError::Truncated {
+                    what: "symbol table",
+                })?,
+            )
+            .ok_or(WefError::Truncated {
+                what: "symbol table",
+            })?;
         at += symtab_bytes;
         let strtab = bytes
-            .get(at..at.checked_add(str_size).ok_or(WefError::Truncated { what: "string table" })?)
-            .ok_or(WefError::Truncated { what: "string table" })?;
+            .get(
+                at..at.checked_add(str_size).ok_or(WefError::Truncated {
+                    what: "string table",
+                })?,
+            )
+            .ok_or(WefError::Truncated {
+                what: "string table",
+            })?;
 
         let mut symbols = Vec::with_capacity(sym_count.min(1 << 16));
         for entry_bytes in symtab.chunks_exact(16) {
@@ -415,10 +459,24 @@ impl Image {
                 .position(|&b| b == 0)
                 .ok_or(WefError::BadStringOffset(name_off))?;
             let name = String::from_utf8_lossy(&name_bytes[..end]).into_owned();
-            symbols.push(Symbol { name, value, size, kind, global });
+            symbols.push(Symbol {
+                name,
+                value,
+                size,
+                kind,
+                global,
+            });
         }
 
-        Ok(Image { entry, text_addr, text, data_addr, data, bss_size, symbols })
+        Ok(Image {
+            entry,
+            text_addr,
+            text,
+            data_addr,
+            data,
+            bss_size,
+            symbols,
+        })
     }
 
     /// Writes the image to a file.
@@ -437,6 +495,7 @@ impl Image {
     ///
     /// Propagates filesystem errors and parse failures.
     pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Image, WefError> {
+        let _obs = eel_obs::span("exe.load");
         Image::from_bytes(&std::fs::read(path)?)
     }
 }
@@ -542,7 +601,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = sample().to_bytes();
         bytes[0] = b'X';
-        assert!(matches!(Image::from_bytes(&bytes), Err(WefError::BadMagic(_))));
+        assert!(matches!(
+            Image::from_bytes(&bytes),
+            Err(WefError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -551,7 +613,10 @@ mod tests {
         for cut in [2, 8, 39, 41, 50, bytes.len() - 1] {
             let err = Image::from_bytes(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(err, WefError::Truncated { .. } | WefError::BadStringOffset(_)),
+                matches!(
+                    err,
+                    WefError::Truncated { .. } | WefError::BadStringOffset(_)
+                ),
                 "cut at {cut}: {err:?}"
             );
         }

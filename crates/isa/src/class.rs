@@ -87,10 +87,7 @@ impl Insn {
         };
         if rd == Reg::O7 {
             Some(JumpKind::IndirectCall)
-        } else if rd == Reg::G0
-            && (rs1 == Reg::O7 || rs1 == Reg::I7)
-            && src2 == Src2::Imm(8)
-        {
+        } else if rd == Reg::G0 && (rs1 == Reg::O7 || rs1 == Reg::I7) && src2 == Src2::Imm(8) {
             Some(JumpKind::Return)
         } else {
             Some(JumpKind::IndirectJump)
@@ -148,7 +145,13 @@ impl Insn {
                     s.insert(Reg::ICC);
                 }
             }
-            Op::Alu { op, rd: _, rs1, src2, .. } => match op {
+            Op::Alu {
+                op,
+                rd: _,
+                rs1,
+                src2,
+                ..
+            } => match op {
                 AluOp::Rdy => s.insert(Reg::Y),
                 AluOp::Rdpsr => s.insert(Reg::ICC),
                 _ => {
@@ -167,7 +170,13 @@ impl Insn {
                 rr(&mut s, rs1);
                 read_src2(&mut s, src2);
             }
-            Op::Store { width, rd, rs1, src2, fp } => {
+            Op::Store {
+                width,
+                rd,
+                rs1,
+                src2,
+                fp,
+            } => {
                 rr(&mut s, rs1);
                 read_src2(&mut s, src2);
                 if !fp {
@@ -287,7 +296,9 @@ impl Insn {
     /// `eel-core`'s CFG builder for how delay slots are handled.)
     pub fn falls_through(&self) -> bool {
         match self.op {
-            Op::Branch { cond: Cond::Always, .. } => false,
+            Op::Branch {
+                cond: Cond::Always, ..
+            } => false,
             Op::Jmpl { .. } => false,
             // A call returns (we treat it as falling through past the call,
             // as EEL's intraprocedural CFGs do via call surrogate blocks).
@@ -424,7 +435,12 @@ mod tests {
 
     #[test]
     fn fp_branch_reads_no_icc_but_reads_fp() {
-        let w = crate::encode(&Op::Branch { cond: Cond::Eq, annul: false, disp22: 4, fp: true });
+        let w = crate::encode(&Op::Branch {
+            cond: Cond::Eq,
+            annul: false,
+            disp22: 4,
+            fp: true,
+        });
         let i = crate::decode(w);
         assert!(!i.reads().contains(Reg::ICC));
         assert!(i.reads_fp());

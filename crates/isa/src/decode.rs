@@ -92,7 +92,10 @@ fn decode_format3_arith(word: u32) -> Op {
     // from addcc (0b010000).
     let base = op3 & !0b010000;
     let cc = op3 & 0b010000 != 0;
-    let cc_family = matches!(base, 0b000000..=0b000111 | 0b001010 | 0b001011 | 0b001110 | 0b001111);
+    let cc_family = matches!(
+        base,
+        0b000000..=0b000111 | 0b001010 | 0b001011 | 0b001110 | 0b001111
+    );
     if cc_family {
         let op = match base {
             0b000000 => AluOp::Add,
@@ -109,29 +112,85 @@ fn decode_format3_arith(word: u32) -> Op {
             0b001111 => AluOp::Sdiv,
             _ => unreachable!("filtered by cc_family"),
         };
-        return Op::Alu { op, cc, rd, rs1, src2 };
+        return Op::Alu {
+            op,
+            cc,
+            rd,
+            rs1,
+            src2,
+        };
     }
 
     match op3 {
-        0b100101 => Op::Alu { op: AluOp::Sll, cc: false, rd, rs1, src2 },
-        0b100110 => Op::Alu { op: AluOp::Srl, cc: false, rd, rs1, src2 },
-        0b100111 => Op::Alu { op: AluOp::Sra, cc: false, rd, rs1, src2 },
+        0b100101 => Op::Alu {
+            op: AluOp::Sll,
+            cc: false,
+            rd,
+            rs1,
+            src2,
+        },
+        0b100110 => Op::Alu {
+            op: AluOp::Srl,
+            cc: false,
+            rd,
+            rs1,
+            src2,
+        },
+        0b100111 => Op::Alu {
+            op: AluOp::Sra,
+            cc: false,
+            rd,
+            rs1,
+            src2,
+        },
         0b111000 => Op::Jmpl { rd, rs1, src2 },
-        0b101000 if rs1 == Reg::G0 && src2 == Src2::Reg(Reg::G0) => {
-            Op::Alu { op: AluOp::Rdy, cc: false, rd, rs1, src2 }
-        }
-        0b101001 if rs1 == Reg::G0 && src2 == Src2::Reg(Reg::G0) => {
-            Op::Alu { op: AluOp::Rdpsr, cc: false, rd, rs1, src2 }
-        }
-        0b110000 if rd == Reg::G0 => Op::Alu { op: AluOp::Wry, cc: false, rd, rs1, src2 },
-        0b110001 if rd == Reg::G0 => Op::Alu { op: AluOp::Wrpsr, cc: false, rd, rs1, src2 },
+        0b101000 if rs1 == Reg::G0 && src2 == Src2::Reg(Reg::G0) => Op::Alu {
+            op: AluOp::Rdy,
+            cc: false,
+            rd,
+            rs1,
+            src2,
+        },
+        0b101001 if rs1 == Reg::G0 && src2 == Src2::Reg(Reg::G0) => Op::Alu {
+            op: AluOp::Rdpsr,
+            cc: false,
+            rd,
+            rs1,
+            src2,
+        },
+        0b110000 if rd == Reg::G0 => Op::Alu {
+            op: AluOp::Wry,
+            cc: false,
+            rd,
+            rs1,
+            src2,
+        },
+        0b110001 if rd == Reg::G0 => Op::Alu {
+            op: AluOp::Wrpsr,
+            cc: false,
+            rd,
+            rs1,
+            src2,
+        },
         0b111010 if field(word, 29, 29) == 0 => Op::Trap {
             cond: Cond::from_bits(field(word, 25, 28)),
             rs1,
             src2,
         },
-        0b111100 => Op::Alu { op: AluOp::Save, cc: false, rd, rs1, src2 },
-        0b111101 => Op::Alu { op: AluOp::Restore, cc: false, rd, rs1, src2 },
+        0b111100 => Op::Alu {
+            op: AluOp::Save,
+            cc: false,
+            rd,
+            rs1,
+            src2,
+        },
+        0b111101 => Op::Alu {
+            op: AluOp::Restore,
+            cc: false,
+            rd,
+            rs1,
+            src2,
+        },
         _ => Op::Invalid,
     }
 }
@@ -144,8 +203,21 @@ fn decode_format3_mem(word: u32) -> Op {
         return Op::Invalid;
     };
 
-    let load = |width, signed, fp| Op::Load { width, signed, rd, rs1, src2, fp };
-    let store = |width, fp| Op::Store { width, rd, rs1, src2, fp };
+    let load = |width, signed, fp| Op::Load {
+        width,
+        signed,
+        rd,
+        rs1,
+        src2,
+        fp,
+    };
+    let store = |width, fp| Op::Store {
+        width,
+        rd,
+        rs1,
+        src2,
+        fp,
+    };
 
     match op3 {
         0b000000 => load(MemWidth::Word, false, false),
@@ -173,7 +245,13 @@ mod tests {
     #[test]
     fn nop_is_sethi_zero() {
         let i = decode(0x01000000);
-        assert_eq!(i.op, Op::Sethi { rd: Reg::G0, imm22: 0 });
+        assert_eq!(
+            i.op,
+            Op::Sethi {
+                rd: Reg::G0,
+                imm22: 0
+            }
+        );
     }
 
     #[test]
@@ -182,13 +260,23 @@ mod tests {
         let i = decode(0x32800004);
         assert_eq!(
             i.op,
-            Op::Branch { cond: Cond::Ne, annul: true, disp22: 4, fp: false }
+            Op::Branch {
+                cond: Cond::Ne,
+                annul: true,
+                disp22: 4,
+                fp: false
+            }
         );
     }
 
     #[test]
     fn backward_branch_sign_extends() {
-        let w = encode(&Op::Branch { cond: Cond::Always, annul: false, disp22: -1, fp: false });
+        let w = encode(&Op::Branch {
+            cond: Cond::Always,
+            annul: false,
+            disp22: -1,
+            fp: false,
+        });
         match decode(w).op {
             Op::Branch { disp22, .. } => assert_eq!(disp22, -1),
             other => panic!("{other:?}"),
@@ -226,7 +314,13 @@ mod tests {
             src2: Src2::Imm(0),
             fp: false,
         });
-        assert!(matches!(decode(even).op, Op::Load { width: MemWidth::Double, .. }));
+        assert!(matches!(
+            decode(even).op,
+            Op::Load {
+                width: MemWidth::Double,
+                ..
+            }
+        ));
         // Force rd odd.
         let odd = (even & !(0x1f << 25)) | (17 << 25);
         assert_eq!(decode(odd).op, Op::Invalid);
@@ -235,10 +329,18 @@ mod tests {
     #[test]
     fn trap_always() {
         // ta 0 (software trap, syscall gateway).
-        let w = encode(&Op::Trap { cond: Cond::Always, rs1: Reg::G0, src2: Src2::Imm(0) });
+        let w = encode(&Op::Trap {
+            cond: Cond::Always,
+            rs1: Reg::G0,
+            src2: Src2::Imm(0),
+        });
         assert_eq!(
             decode(w).op,
-            Op::Trap { cond: Cond::Always, rs1: Reg::G0, src2: Src2::Imm(0) }
+            Op::Trap {
+                cond: Cond::Always,
+                rs1: Reg::G0,
+                src2: Src2::Imm(0)
+            }
         );
     }
 
@@ -259,7 +361,12 @@ mod tests {
 
     #[test]
     fn fp_branch_decodes_as_branch() {
-        let w = encode(&Op::Branch { cond: Cond::Eq, annul: false, disp22: 8, fp: true });
+        let w = encode(&Op::Branch {
+            cond: Cond::Eq,
+            annul: false,
+            disp22: 8,
+            fp: true,
+        });
         match decode(w).op {
             Op::Branch { fp, .. } => assert!(fp),
             other => panic!("{other:?}"),
@@ -270,7 +377,11 @@ mod tests {
     fn every_alu_op_round_trips_both_operand_forms() {
         for op in AluOp::ALL {
             for src2 in [Src2::Reg(Reg(5)), Src2::Imm(-7)] {
-                let rd = if matches!(op, AluOp::Wry | AluOp::Wrpsr) { Reg::G0 } else { Reg(9) };
+                let rd = if matches!(op, AluOp::Wry | AluOp::Wrpsr) {
+                    Reg::G0
+                } else {
+                    Reg(9)
+                };
                 let (rs1, s2) = if matches!(op, AluOp::Rdy | AluOp::Rdpsr) {
                     (Reg::G0, Src2::Reg(Reg::G0))
                 } else {
@@ -280,7 +391,13 @@ mod tests {
                     if cc && !op.supports_cc() {
                         continue;
                     }
-                    let orig = Op::Alu { op, cc, rd, rs1, src2: s2 };
+                    let orig = Op::Alu {
+                        op,
+                        cc,
+                        rd,
+                        rs1,
+                        src2: s2,
+                    };
                     assert_eq!(decode(encode(&orig)).op, orig, "{op:?} cc={cc}");
                 }
             }

@@ -31,18 +31,37 @@ fn fmt_disp(f: &mut fmt::Formatter<'_>, disp: i32) -> fmt::Result {
 impl fmt::Display for Insn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op {
-            Op::Sethi { rd: Reg::G0, imm22: 0 } => write!(f, "nop"),
+            Op::Sethi {
+                rd: Reg::G0,
+                imm22: 0,
+            } => write!(f, "nop"),
             Op::Sethi { rd, imm22 } => write!(f, "sethi {:#x}, {rd}", imm22),
-            Op::Branch { cond, annul, disp22, fp } => {
+            Op::Branch {
+                cond,
+                annul,
+                disp22,
+                fp,
+            } => {
                 let prefix = if fp { "fb" } else { "b" };
-                write!(f, "{prefix}{}{} ", cond.suffix(), if annul { ",a" } else { "" })?;
+                write!(
+                    f,
+                    "{prefix}{}{} ",
+                    cond.suffix(),
+                    if annul { ",a" } else { "" }
+                )?;
                 fmt_disp(f, disp22)
             }
             Op::Call { disp30 } => {
                 write!(f, "call ")?;
                 fmt_disp(f, disp30)
             }
-            Op::Alu { op, cc, rd, rs1, src2 } => match op {
+            Op::Alu {
+                op,
+                cc,
+                rd,
+                rs1,
+                src2,
+            } => match op {
                 AluOp::Rdy => write!(f, "rd %y, {rd}"),
                 AluOp::Rdpsr => write!(f, "rd %psr, {rd}"),
                 AluOp::Wry => write!(f, "wr {rs1}, {src2}, %y"),
@@ -69,7 +88,14 @@ impl fmt::Display for Insn {
                     }
                 }
             }
-            Op::Load { width, signed, rd, rs1, src2, fp } => {
+            Op::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                src2,
+                fp,
+            } => {
                 let mnem = match (width, signed, fp) {
                     (MemWidth::Word, _, true) => "ldf",
                     (MemWidth::Word, _, false) => "ld",
@@ -83,7 +109,13 @@ impl fmt::Display for Insn {
                 fmt_addr(f, rs1, src2)?;
                 write!(f, ", {rd}")
             }
-            Op::Store { width, rd, rs1, src2, fp } => {
+            Op::Store {
+                width,
+                rd,
+                rs1,
+                src2,
+                fp,
+            } => {
                 let mnem = match (width, fp) {
                     (MemWidth::Word, true) => "stf",
                     (MemWidth::Word, false) => "st",
@@ -120,7 +152,10 @@ mod tests {
     fn representative_disassembly() {
         assert_eq!(Builder::nop().to_string(), "nop");
         assert_eq!(Builder::mov(Reg(9), Src2::Imm(7)).to_string(), "mov 7, %o1");
-        assert_eq!(Builder::cmp(Reg(16), Src2::Imm(0)).to_string(), "cmp %l0, 0");
+        assert_eq!(
+            Builder::cmp(Reg(16), Src2::Imm(0)).to_string(),
+            "cmp %l0, 0"
+        );
         assert_eq!(
             Builder::add(Reg(17), Reg(16), Src2::Reg(Reg(18))).to_string(),
             "add %l0, %l2, %l1"
@@ -148,7 +183,10 @@ mod tests {
     #[test]
     fn sethi_prints_immediate() {
         let i = Builder::sethi_hi(Reg(6), 0x12345678);
-        assert_eq!(i.to_string(), format!("sethi {:#x}, %g6", 0x12345678u32 >> 10));
+        assert_eq!(
+            i.to_string(),
+            format!("sethi {:#x}, %g6", 0x12345678u32 >> 10)
+        );
     }
 
     #[test]

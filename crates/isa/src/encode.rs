@@ -42,8 +42,16 @@ pub fn encode(op: &Op) -> u32 {
             assert!(imm22 < (1 << 22), "sethi immediate exceeds 22 bits");
             ((rd.0 as u32) << 25) | (0b100 << 22) | imm22
         }
-        Op::Branch { cond, annul, disp22, fp } => {
-            assert!((-(1 << 21)..(1 << 21)).contains(&disp22), "disp22 out of range: {disp22}");
+        Op::Branch {
+            cond,
+            annul,
+            disp22,
+            fp,
+        } => {
+            assert!(
+                (-(1 << 21)..(1 << 21)).contains(&disp22),
+                "disp22 out of range: {disp22}"
+            );
             let op2 = if fp { 0b110 } else { 0b010 };
             ((annul as u32) << 29)
                 | (cond.bits() << 25)
@@ -51,14 +59,27 @@ pub fn encode(op: &Op) -> u32 {
                 | ((disp22 as u32) & 0x3fffff)
         }
         Op::Call { disp30 } => (0b01 << 30) | ((disp30 as u32) & 0x3fffffff),
-        Op::Alu { op, cc, rd, rs1, src2 } => {
+        Op::Alu {
+            op,
+            cc,
+            rd,
+            rs1,
+            src2,
+        } => {
             assert!(!cc || op.supports_cc(), "{op:?} has no cc variant");
             let op3 = (op as u32) | if cc { 0b010000 } else { 0 };
             format3(0b10, rd.0 as u32, op3, rs1.0 as u32, src2)
         }
         Op::Jmpl { rd, rs1, src2 } => format3(0b10, rd.0 as u32, 0b111000, rs1.0 as u32, src2),
         Op::Trap { cond, rs1, src2 } => format3(0b10, cond.bits(), 0b111010, rs1.0 as u32, src2),
-        Op::Load { width, signed, rd, rs1, src2, fp } => {
+        Op::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            src2,
+            fp,
+        } => {
             let op3 = match (width, signed, fp) {
                 (MemWidth::Word, false, false) => 0b000000,
                 (MemWidth::Byte, false, false) => 0b000001,
@@ -74,7 +95,13 @@ pub fn encode(op: &Op) -> u32 {
             };
             format3(0b11, rd.0 as u32, op3, rs1.0 as u32, src2)
         }
-        Op::Store { width, rd, rs1, src2, fp } => {
+        Op::Store {
+            width,
+            rd,
+            rs1,
+            src2,
+            fp,
+        } => {
             let op3 = match (width, fp) {
                 (MemWidth::Word, false) => 0b000100,
                 (MemWidth::Byte, false) => 0b000101,
@@ -107,17 +134,29 @@ pub struct Builder;
 impl Builder {
     /// `nop` (encoded as `sethi 0, %g0`).
     pub fn nop() -> Insn {
-        Self::build(Op::Sethi { rd: Reg::G0, imm22: 0 })
+        Self::build(Op::Sethi {
+            rd: Reg::G0,
+            imm22: 0,
+        })
     }
 
     /// `sethi %hi(value), rd` — sets the upper 22 bits of `rd`.
     pub fn sethi_hi(rd: Reg, value: u32) -> Insn {
-        Self::build(Op::Sethi { rd, imm22: crate::hi22(value) })
+        Self::build(Op::Sethi {
+            rd,
+            imm22: crate::hi22(value),
+        })
     }
 
     /// A generic ALU instruction.
     pub fn alu(op: AluOp, cc: bool, rd: Reg, rs1: Reg, src2: Src2) -> Insn {
-        Self::build(Op::Alu { op, cc, rd, rs1, src2 })
+        Self::build(Op::Alu {
+            op,
+            cc,
+            rd,
+            rs1,
+            src2,
+        })
     }
 
     /// `add rd, rs1, src2`.
@@ -142,7 +181,13 @@ impl Builder {
 
     /// `or rd, rs1, %lo(value)` — the second half of a `set`.
     pub fn or_lo(rd: Reg, rs1: Reg, value: u32) -> Insn {
-        Self::alu(AluOp::Or, false, rd, rs1, Src2::Imm(crate::lo10(value) as i32))
+        Self::alu(
+            AluOp::Or,
+            false,
+            rd,
+            rs1,
+            Src2::Imm(crate::lo10(value) as i32),
+        )
     }
 
     /// The `set value, rd` synthetic: one or two instructions materializing
@@ -160,7 +205,12 @@ impl Builder {
     /// Conditional branch on `icc` with explicit annul bit and word
     /// displacement.
     pub fn branch(cond: Cond, annul: bool, disp22: i32) -> Insn {
-        Self::build(Op::Branch { cond, annul, disp22, fp: false })
+        Self::build(Op::Branch {
+            cond,
+            annul,
+            disp22,
+            fp: false,
+        })
     }
 
     /// `ba disp` — branch always.
@@ -185,7 +235,14 @@ impl Builder {
 
     /// Integer load of the given width.
     pub fn load(width: MemWidth, signed: bool, rd: Reg, rs1: Reg, src2: Src2) -> Insn {
-        Self::build(Op::Load { width, signed, rd, rs1, src2, fp: false })
+        Self::build(Op::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            src2,
+            fp: false,
+        })
     }
 
     /// `ld [rs1 + src2], rd`.
@@ -195,7 +252,13 @@ impl Builder {
 
     /// Integer store of the given width.
     pub fn store(width: MemWidth, rd: Reg, rs1: Reg, src2: Src2) -> Insn {
-        Self::build(Op::Store { width, rd, rs1, src2, fp: false })
+        Self::build(Op::Store {
+            width,
+            rd,
+            rs1,
+            src2,
+            fp: false,
+        })
     }
 
     /// `st rd, [rs1 + src2]`.
@@ -205,11 +268,18 @@ impl Builder {
 
     /// `ta src2` — trap always; the system-call gateway.
     pub fn ta(src2: Src2) -> Insn {
-        Self::build(Op::Trap { cond: Cond::Always, rs1: Reg::G0, src2 })
+        Self::build(Op::Trap {
+            cond: Cond::Always,
+            rs1: Reg::G0,
+            src2,
+        })
     }
 
     fn build(op: Op) -> Insn {
-        Insn { word: encode(&op), op }
+        Insn {
+            word: encode(&op),
+            op,
+        }
     }
 }
 
@@ -255,7 +325,13 @@ mod tests {
         assert_eq!(insns.len(), 2);
         // Verify the pair reconstructs the constant.
         match (insns[0].op, insns[1].op) {
-            (Op::Sethi { imm22, .. }, Op::Alu { src2: Src2::Imm(lo), .. }) => {
+            (
+                Op::Sethi { imm22, .. },
+                Op::Alu {
+                    src2: Src2::Imm(lo),
+                    ..
+                },
+            ) => {
                 assert_eq!((imm22 << 10) | (lo as u32), value);
             }
             other => panic!("{other:?}"),
@@ -271,6 +347,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "disp22")]
     fn oversized_branch_panics() {
-        encode(&Op::Branch { cond: Cond::Eq, annul: false, disp22: 1 << 21, fp: false });
+        encode(&Op::Branch {
+            cond: Cond::Eq,
+            annul: false,
+            disp22: 1 << 21,
+            fp: false,
+        });
     }
 }

@@ -427,7 +427,10 @@ impl Insn {
 
     /// Does this instruction have a delay slot (delayed control transfer)?
     pub fn is_delayed(&self) -> bool {
-        matches!(self.op, Op::Branch { .. } | Op::Call { .. } | Op::Jmpl { .. })
+        matches!(
+            self.op,
+            Op::Branch { .. } | Op::Call { .. } | Op::Jmpl { .. }
+        )
     }
 
     /// The PC-relative control-transfer target, if statically known.

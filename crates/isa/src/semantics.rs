@@ -270,8 +270,18 @@ pub fn step<M: Memory>(state: &mut MachineState, mem: &mut M, insn: Insn) -> Ste
     let mut event = StepEvent::Ok;
     match insn.op {
         Op::Sethi { rd, imm22 } => state.set_reg(rd, imm22 << 10),
-        Op::Alu { op, cc, rd, rs1, src2 } => {
-            let a = if matches!(op, AluOp::Rdy | AluOp::Rdpsr) { 0 } else { state.reg(rs1) };
+        Op::Alu {
+            op,
+            cc,
+            rd,
+            rs1,
+            src2,
+        } => {
+            let a = if matches!(op, AluOp::Rdy | AluOp::Rdpsr) {
+                0
+            } else {
+                state.reg(rs1)
+            };
             let b = state.operand(src2);
             match eval_alu(op, cc, a, b, state.y) {
                 Ok((result, new_icc, new_y)) => {
@@ -297,7 +307,12 @@ pub fn step<M: Memory>(state: &mut MachineState, mem: &mut M, insn: Insn) -> Ste
                 Err(e) => event = e,
             }
         }
-        Op::Branch { cond, annul, disp22, fp } => {
+        Op::Branch {
+            cond,
+            annul,
+            disp22,
+            fp,
+        } => {
             // We never emit FP branches; executing one is illegal here.
             if fp {
                 event = StepEvent::Illegal;
@@ -327,7 +342,14 @@ pub fn step<M: Memory>(state: &mut MachineState, mem: &mut M, insn: Insn) -> Ste
                 next_npc = target;
             }
         }
-        Op::Load { width, signed, rd, rs1, src2, fp } => {
+        Op::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            src2,
+            fp,
+        } => {
             if fp {
                 event = StepEvent::Illegal;
             } else {
@@ -335,7 +357,13 @@ pub fn step<M: Memory>(state: &mut MachineState, mem: &mut M, insn: Insn) -> Ste
                 event = exec_load(state, mem, width, signed, rd, addr);
             }
         }
-        Op::Store { width, rd, rs1, src2, fp } => {
+        Op::Store {
+            width,
+            rd,
+            rs1,
+            src2,
+            fp,
+        } => {
             if fp {
                 event = StepEvent::Illegal;
             } else {
@@ -446,7 +474,8 @@ mod tests {
         }
         fn store(&mut self, addr: u32, bytes: u32, value: u32) -> Option<()> {
             for i in 0..bytes {
-                self.0.insert(addr + i, (value >> (8 * (bytes - 1 - i))) as u8);
+                self.0
+                    .insert(addr + i, (value >> (8 * (bytes - 1 - i))) as u8);
             }
             Some(())
         }
@@ -470,7 +499,11 @@ mod tests {
         let mut st = MachineState::new(0);
         let mut mem = TestMem::default();
         step(&mut st, &mut mem, Builder::mov(Reg(9), Src2::Imm(-1)));
-        step(&mut st, &mut mem, Builder::alu(AluOp::Add, true, Reg(10), Reg(9), Src2::Imm(1)));
+        step(
+            &mut st,
+            &mut mem,
+            Builder::alu(AluOp::Add, true, Reg(10), Reg(9), Src2::Imm(1)),
+        );
         assert_eq!(st.reg(Reg(10)), 0);
         assert_eq!(st.icc & icc::Z, icc::Z);
         assert_eq!(st.icc & icc::C, icc::C);
@@ -482,7 +515,11 @@ mod tests {
         let mut st = MachineState::new(0);
         let mut mem = TestMem::default();
         st.set_reg(Reg(9), 0x7fff_ffff);
-        step(&mut st, &mut mem, Builder::alu(AluOp::Add, true, Reg(10), Reg(9), Src2::Imm(1)));
+        step(
+            &mut st,
+            &mut mem,
+            Builder::alu(AluOp::Add, true, Reg(10), Reg(9), Src2::Imm(1)),
+        );
         assert_eq!(st.icc & icc::V, icc::V);
         assert_eq!(st.icc & icc::N, icc::N);
     }
@@ -557,7 +594,7 @@ mod tests {
         let prog = [
             Builder::call(3),
             Builder::nop(),
-            Builder::mov(Reg(9), Src2::Imm(9)), // skipped
+            Builder::mov(Reg(9), Src2::Imm(9)),  // skipped
             Builder::mov(Reg(10), Src2::Imm(1)), // callee
         ];
         let st = run(&prog);
@@ -571,7 +608,11 @@ mod tests {
         let mut st = MachineState::new(0x1000);
         let mut mem = TestMem::default();
         st.set_reg(Reg(9), 0x2002);
-        let ev = step(&mut st, &mut mem, Builder::jmpl(Reg(10), Reg(9), Src2::Imm(0)));
+        let ev = step(
+            &mut st,
+            &mut mem,
+            Builder::jmpl(Reg(10), Reg(9), Src2::Imm(0)),
+        );
         assert_eq!(ev, StepEvent::BadJump(0x2002));
         assert_eq!(st.pc, 0x1000, "faulting pc preserved");
     }
@@ -582,10 +623,22 @@ mod tests {
         let mut mem = TestMem::default();
         st.set_reg(Reg(9), 0x8000);
         st.set_reg(Reg(8), 0xffff_ff85);
-        step(&mut st, &mut mem, Builder::store(MemWidth::Byte, Reg(8), Reg(9), Src2::Imm(0)));
-        step(&mut st, &mut mem, Builder::load(MemWidth::Byte, true, Reg(10), Reg(9), Src2::Imm(0)));
+        step(
+            &mut st,
+            &mut mem,
+            Builder::store(MemWidth::Byte, Reg(8), Reg(9), Src2::Imm(0)),
+        );
+        step(
+            &mut st,
+            &mut mem,
+            Builder::load(MemWidth::Byte, true, Reg(10), Reg(9), Src2::Imm(0)),
+        );
         assert_eq!(st.reg(Reg(10)), 0xffff_ff85);
-        step(&mut st, &mut mem, Builder::load(MemWidth::Byte, false, Reg(11), Reg(9), Src2::Imm(0)));
+        step(
+            &mut st,
+            &mut mem,
+            Builder::load(MemWidth::Byte, false, Reg(11), Reg(9), Src2::Imm(0)),
+        );
         assert_eq!(st.reg(Reg(11)), 0x85);
     }
 
@@ -602,7 +655,10 @@ mod tests {
     fn trap_fires_only_when_condition_holds() {
         let mut st = MachineState::new(0);
         let mut mem = TestMem::default();
-        assert_eq!(step(&mut st, &mut mem, Builder::ta(Src2::Imm(5))), StepEvent::Trap(5));
+        assert_eq!(
+            step(&mut st, &mut mem, Builder::ta(Src2::Imm(5))),
+            StepEvent::Trap(5)
+        );
         // tn never traps.
         let tn = Insn::from_word(crate::encode(&Op::Trap {
             cond: Cond::Never,
@@ -646,7 +702,11 @@ mod tests {
         let mut mem = TestMem::default();
         st.y = 0;
         st.set_reg(Reg(9), 100);
-        step(&mut st, &mut mem, Builder::alu(AluOp::Sdiv, false, Reg(10), Reg(9), Src2::Imm(7)));
+        step(
+            &mut st,
+            &mut mem,
+            Builder::alu(AluOp::Sdiv, false, Reg(10), Reg(9), Src2::Imm(7)),
+        );
         assert_eq!(st.reg(Reg(10)), 14);
     }
 
@@ -655,7 +715,11 @@ mod tests {
         let mut st = MachineState::new(0);
         let mut mem = TestMem::default();
         st.set_reg(Reg(9), 1);
-        step(&mut st, &mut mem, Builder::alu(AluOp::Sll, false, Reg(10), Reg(9), Src2::Imm(33)));
+        step(
+            &mut st,
+            &mut mem,
+            Builder::alu(AluOp::Sll, false, Reg(10), Reg(9), Src2::Imm(33)),
+        );
         assert_eq!(st.reg(Reg(10)), 2, "shift count is mod 32");
     }
 

@@ -26,11 +26,27 @@ fn arb_alu_op() -> impl Strategy<Value = AluOp> {
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (arb_reg(), 0u32..(1 << 22)).prop_map(|(rd, imm22)| Op::Sethi { rd, imm22 }),
-        (arb_cond(), any::<bool>(), -(1i32 << 21)..(1 << 21), any::<bool>())
-            .prop_map(|(cond, annul, disp22, fp)| Op::Branch { cond, annul, disp22, fp }),
+        (
+            arb_cond(),
+            any::<bool>(),
+            -(1i32 << 21)..(1 << 21),
+            any::<bool>()
+        )
+            .prop_map(|(cond, annul, disp22, fp)| Op::Branch {
+                cond,
+                annul,
+                disp22,
+                fp
+            }),
         (-(1i32 << 29)..(1 << 29)).prop_map(|disp30| Op::Call { disp30 }),
-        (arb_alu_op(), any::<bool>(), arb_reg(), arb_reg(), arb_src2()).prop_map(
-            |(op, cc, rd, rs1, src2)| {
+        (
+            arb_alu_op(),
+            any::<bool>(),
+            arb_reg(),
+            arb_reg(),
+            arb_src2()
+        )
+            .prop_map(|(op, cc, rd, rs1, src2)| {
                 // Normalize to an encodable form: rdy/wry fix operands,
                 // cc only where supported.
                 let cc = cc && op.supports_cc();
@@ -42,11 +58,22 @@ fn arb_op() -> impl Strategy<Value = Op> {
                         rs1: Reg::G0,
                         src2: Src2::Reg(Reg::G0),
                     },
-                    AluOp::Wry | AluOp::Wrpsr => Op::Alu { op, cc: false, rd: Reg::G0, rs1, src2 },
-                    _ => Op::Alu { op, cc, rd, rs1, src2 },
+                    AluOp::Wry | AluOp::Wrpsr => Op::Alu {
+                        op,
+                        cc: false,
+                        rd: Reg::G0,
+                        rs1,
+                        src2,
+                    },
+                    _ => Op::Alu {
+                        op,
+                        cc,
+                        rd,
+                        rs1,
+                        src2,
+                    },
                 }
-            }
-        ),
+            }),
         (arb_reg(), arb_reg(), arb_src2()).prop_map(|(rd, rs1, src2)| Op::Jmpl { rd, rs1, src2 }),
         (
             prop::sample::select(vec![
@@ -62,21 +89,50 @@ fn arb_op() -> impl Strategy<Value = Op> {
             arb_src2()
         )
             .prop_map(|((width, signed), rd, rs1, src2)| {
-                let rd = if width == MemWidth::Double { Reg(rd.0 & !1) } else { rd };
-                Op::Load { width, signed, rd, rs1, src2, fp: false }
+                let rd = if width == MemWidth::Double {
+                    Reg(rd.0 & !1)
+                } else {
+                    rd
+                };
+                Op::Load {
+                    width,
+                    signed,
+                    rd,
+                    rs1,
+                    src2,
+                    fp: false,
+                }
             }),
         (
-            prop::sample::select(vec![MemWidth::Byte, MemWidth::Half, MemWidth::Word, MemWidth::Double]),
+            prop::sample::select(vec![
+                MemWidth::Byte,
+                MemWidth::Half,
+                MemWidth::Word,
+                MemWidth::Double
+            ]),
             arb_reg(),
             arb_reg(),
             arb_src2()
         )
             .prop_map(|(width, rd, rs1, src2)| {
-                let rd = if width == MemWidth::Double { Reg(rd.0 & !1) } else { rd };
-                Op::Store { width, rd, rs1, src2, fp: false }
+                let rd = if width == MemWidth::Double {
+                    Reg(rd.0 & !1)
+                } else {
+                    rd
+                };
+                Op::Store {
+                    width,
+                    rd,
+                    rs1,
+                    src2,
+                    fp: false,
+                }
             }),
-        (arb_cond(), arb_reg(), arb_src2())
-            .prop_map(|(cond, rs1, src2)| Op::Trap { cond, rs1, src2 }),
+        (arb_cond(), arb_reg(), arb_src2()).prop_map(|(cond, rs1, src2)| Op::Trap {
+            cond,
+            rs1,
+            src2
+        }),
         (0u32..(1 << 22)).prop_map(|const22| Op::Unimp { const22 }),
     ]
 }

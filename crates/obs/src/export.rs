@@ -1,0 +1,236 @@
+//! Exporters: human summary table, JSON lines, Chrome `trace_event`.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{snapshot_spans, SpanRecord};
+use std::fmt::Write as _;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_dur(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// One node of the aggregated span tree: siblings with the same name under
+/// the same parent merge into a single line with a count.
+struct Agg {
+    name: String,
+    count: u64,
+    total_ns: u64,
+    children: Vec<Agg>,
+}
+
+fn aggregate(spans: &[SpanRecord]) -> Vec<Agg> {
+    fn collect(spans: &[SpanRecord], parent: u64) -> Vec<Agg> {
+        spans
+            .iter()
+            .filter(|s| s.parent == parent)
+            .map(|s| Agg {
+                name: s.name.clone(),
+                count: 1,
+                total_ns: s.dur_ns,
+                children: collect(spans, s.id),
+            })
+            .collect()
+    }
+    fn merge_tree(nodes: Vec<Agg>) -> Vec<Agg> {
+        let mut merged: Vec<Agg> = Vec::new();
+        for a in nodes {
+            match merged.iter_mut().find(|m| m.name == a.name) {
+                Some(m) => {
+                    m.count += a.count;
+                    m.total_ns += a.total_ns;
+                    m.children.extend(a.children);
+                }
+                None => merged.push(a),
+            }
+        }
+        for m in &mut merged {
+            m.children = merge_tree(std::mem::take(&mut m.children));
+        }
+        merged.sort_by_key(|m| std::cmp::Reverse(m.total_ns));
+        merged
+    }
+    merge_tree(collect(spans, 0))
+}
+
+/// Renders the human-readable report: aggregated span tree (per-phase
+/// wall times and counts) followed by the metrics tables.
+pub fn render_summary() -> String {
+    let spans = snapshot_spans();
+    let metrics = MetricsSnapshot::capture();
+    let mut out = String::new();
+    out.push_str("== eel-obs summary ==\n");
+    if spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
+        out.push_str("span tree (wall clock):\n");
+        fn walk(out: &mut String, nodes: &[Agg], depth: usize) {
+            for n in nodes {
+                let indent = "  ".repeat(depth + 1);
+                let label = format!("{indent}{}", n.name);
+                let _ = writeln!(
+                    out,
+                    "{label:<44} {:>7}x {:>12}",
+                    n.count,
+                    fmt_dur(n.total_ns)
+                );
+                walk(out, &n.children, depth + 1);
+            }
+        }
+        walk(&mut out, &aggregate(&spans), 0);
+    }
+    let live_counters: Vec<_> = metrics.counters.iter().filter(|c| c.value != 0).collect();
+    if !live_counters.is_empty() {
+        out.push_str("counters:\n");
+        for c in live_counters {
+            let _ = writeln!(out, "  {:<42} {:>14}", c.name, c.value);
+        }
+    }
+    let live_gauges: Vec<_> = metrics.gauges.iter().filter(|g| g.value != 0).collect();
+    if !live_gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for g in live_gauges {
+            let _ = writeln!(out, "  {:<42} {:>14}", g.name, g.value);
+        }
+    }
+    let live_hists: Vec<_> = metrics
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count != 0)
+        .collect();
+    if !live_hists.is_empty() {
+        out.push_str("histograms (p50/p90/p99/max of power-of-two buckets):\n");
+        for (name, h) in live_hists {
+            let _ = writeln!(
+                out,
+                "  {:<42} n={} p50<={} p90<={} p99<={} max={}",
+                name, h.count, h.p50, h.p90, h.p99, h.max
+            );
+        }
+    }
+    out
+}
+
+/// Renders JSON lines: one `{"type":"span",...}` object per span, then
+/// one `{"type":"counter"|"gauge"|"histogram",...}` per metric.
+pub fn render_json_lines() -> String {
+    let mut out = String::new();
+    for s in snapshot_spans() {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"span","name":"{}","id":{},"parent":{},"thread":{},"start_ns":{},"dur_ns":{}}}"#,
+            json_escape(&s.name),
+            s.id,
+            s.parent,
+            s.thread,
+            s.start_ns,
+            s.dur_ns
+        );
+    }
+    let m = MetricsSnapshot::capture();
+    for c in &m.counters {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"counter","name":"{}","value":{}}}"#,
+            json_escape(&c.name),
+            c.value
+        );
+    }
+    for g in &m.gauges {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"gauge","name":"{}","value":{}}}"#,
+            json_escape(&g.name),
+            g.value
+        );
+    }
+    for (name, h) in &m.histograms {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"histogram","name":"{}","count":{},"sum":{},"max":{},"p50":{},"p90":{},"p99":{}}}"#,
+            json_escape(name),
+            h.count,
+            h.sum,
+            h.max,
+            h.p50,
+            h.p90,
+            h.p99
+        );
+    }
+    out
+}
+
+/// Renders Chrome `trace_event` JSON (the "JSON array format"): complete
+/// (`ph:"X"`) events with microsecond timestamps, plus counter events.
+/// Load the file in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn render_chrome_trace() -> String {
+    let spans = snapshot_spans();
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() + 8);
+    events.push(
+        r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"eel"}}"#.to_string(),
+    );
+    for s in &spans {
+        events.push(format!(
+            r#"{{"name":"{}","cat":"eel","ph":"X","ts":{:.3},"dur":{:.3},"pid":1,"tid":{}}}"#,
+            json_escape(&s.name),
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+            s.thread
+        ));
+    }
+    let end_ts = spans
+        .iter()
+        .map(|s| s.start_ns + s.dur_ns)
+        .max()
+        .unwrap_or(0) as f64
+        / 1e3;
+    for c in &MetricsSnapshot::capture().counters {
+        if c.value != 0 {
+            events.push(format!(
+                r#"{{"name":"{}","cat":"eel","ph":"C","ts":{end_ts:.3},"pid":1,"args":{{"value":{}}}}}"#,
+                json_escape(&c.name),
+                c.value
+            ));
+        }
+    }
+    format!("[\n{}\n]\n", events.join(",\n"))
+}
+
+/// Writes the trace for the current mode to `path`: JSON lines when the
+/// mode is [`crate::Mode::Json`], Chrome trace JSON otherwise.
+///
+/// # Errors
+///
+/// Propagates the underlying file I/O error.
+pub fn write_trace_file(path: &std::path::Path) -> std::io::Result<()> {
+    let body = match crate::mode() {
+        crate::Mode::Json => render_json_lines(),
+        _ => render_chrome_trace(),
+    };
+    std::fs::write(path, body)
+}

@@ -27,7 +27,13 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { functions: 4, stmts_per_fn: 8, max_depth: 3, globals: 3, arrays: 2 }
+        GenConfig {
+            functions: 4,
+            stmts_per_fn: 8,
+            max_depth: 3,
+            globals: 3,
+            arrays: 2,
+        }
     }
 }
 
@@ -37,7 +43,11 @@ const ARRAY_LEN: u32 = 64;
 
 /// Generates a random, terminating, well-defined program.
 pub fn random_program(seed: u64, config: &GenConfig) -> Program {
-    let mut g = Gen { rng: StdRng::seed_from_u64(seed), config: *config, counter: 0 };
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        config: *config,
+        counter: 0,
+    };
     g.program()
 }
 
@@ -77,7 +87,11 @@ impl Gen {
             });
         }
         for i in 0..self.config.arrays {
-            p.globals.push(GlobalDecl { name: format!("arr{i}"), count: ARRAY_LEN, init: 0 });
+            p.globals.push(GlobalDecl {
+                name: format!("arr{i}"),
+                count: ARRAY_LEN,
+                init: 0,
+            });
         }
         let globals: Vec<String> = (0..self.config.globals).map(|i| format!("g{i}")).collect();
         let arrays: Vec<String> = (0..self.config.arrays).map(|i| format!("arr{i}")).collect();
@@ -97,7 +111,11 @@ impl Gen {
             };
             let mut body = self.block(&mut scope);
             body.push(Stmt::Return(self.expr(&scope, 0)));
-            p.functions.push(Function { name: name.clone(), params, body });
+            p.functions.push(Function {
+                name: name.clone(),
+                params,
+                body,
+            });
             callables.push((name, arity));
         }
         // main: calls into the generated functions and aggregates.
@@ -111,7 +129,11 @@ impl Gen {
         };
         let mut body = self.block(&mut scope);
         body.push(Stmt::Return(self.expr(&scope, 0)));
-        p.functions.push(Function { name: "main".into(), params: Vec::new(), body });
+        p.functions.push(Function {
+            name: "main".into(),
+            params: Vec::new(),
+            body,
+        });
         p
     }
 
@@ -128,9 +150,17 @@ impl Gen {
         let deep = scope.depth >= self.config.max_depth;
         // break/continue only inside loops, and rarely.
         if scope.loops > 0 && self.rng.gen_bool(0.04) {
-            return if self.rng.gen_bool(0.5) { Stmt::Break } else { Stmt::Continue };
+            return if self.rng.gen_bool(0.5) {
+                Stmt::Break
+            } else {
+                Stmt::Continue
+            };
         }
-        let choice = if deep { self.rng.gen_range(0..5) } else { self.rng.gen_range(0..9) };
+        let choice = if deep {
+            self.rng.gen_range(0..5)
+        } else {
+            self.rng.gen_range(0..9)
+        };
         match choice {
             0 => {
                 let name = self.fresh("v");
@@ -160,7 +190,10 @@ impl Gen {
                 if inner.locals.is_empty() {
                     inner.locals.push(i.clone()); // reads are fine
                 }
-                let body_scope = &mut Scope { locals: saved, ..inner.clone() };
+                let body_scope = &mut Scope {
+                    locals: saved,
+                    ..inner.clone()
+                };
                 body_scope.loops = inner.loops;
                 body_scope.locals.retain(|n| n != &i);
                 let body = self.block_no_assign_to(body_scope, &i);
@@ -303,7 +336,11 @@ impl Gen {
                     )),
                     Box::new(Expr::Num(1)),
                 );
-                let op = if self.rng.gen_bool(0.5) { BinOp::Div } else { BinOp::Rem };
+                let op = if self.rng.gen_bool(0.5) {
+                    BinOp::Div
+                } else {
+                    BinOp::Rem
+                };
                 Expr::Bin(op, Box::new(self.expr(scope, depth + 1)), Box::new(divisor))
             }
             _ => {
@@ -325,7 +362,7 @@ impl Gen {
                     BinOp::Shl,
                     BinOp::Shr,
                 ]
-                .get(self.rng.gen_range(0..16))
+                .get(self.rng.gen_range(0..16usize))
                 .unwrap();
                 let lhs = self.expr(scope, depth + 1);
                 let rhs = if matches!(op, BinOp::Shl | BinOp::Shr) {
@@ -349,9 +386,9 @@ impl Gen {
             1 if !scope.locals.is_empty() => {
                 Expr::Var(scope.locals[self.rng.gen_range(0..scope.locals.len())].clone())
             }
-            2 if !scope.globals.is_empty() => Expr::Global(
-                scope.globals[self.rng.gen_range(0..scope.globals.len())].clone(),
-            ),
+            2 if !scope.globals.is_empty() => {
+                Expr::Global(scope.globals[self.rng.gen_range(0..scope.globals.len())].clone())
+            }
             3 if !scope.arrays.is_empty() => {
                 let a = scope.arrays[self.rng.gen_range(0..scope.arrays.len())].clone();
                 let idx = self.masked_index(scope);

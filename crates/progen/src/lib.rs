@@ -45,7 +45,13 @@ use rand::{Rng, SeedableRng};
 ///
 /// Propagates compiler errors (a workload bug).
 pub fn compile(w: &Workload, personality: Personality) -> Result<Image, CcError> {
-    eel_cc::compile_str(&w.source, &Options { personality, ..Options::default() })
+    eel_cc::compile_str(
+        &w.source,
+        &Options {
+            personality,
+            ..Options::default()
+        },
+    )
 }
 
 /// Makes an image's symbol table realistically unreliable (§3.1):
@@ -61,9 +67,7 @@ pub fn degrade_symbols(image: &mut Image, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let keep = ["__start"];
     image.symbols.retain(|s| {
-        s.kind != SymbolKind::Routine
-            || keep.contains(&s.name.as_str())
-            || rng.gen_bool(0.7)
+        s.kind != SymbolKind::Routine || keep.contains(&s.name.as_str()) || rng.gen_bool(0.7)
     });
     // Junk labels.
     let text_len = image.text.len() as u32;
@@ -73,7 +77,11 @@ pub fn degrade_symbols(image: &mut Image, seed: u64) {
             name: format!("Ltmp.{i}"),
             value: addr,
             size: 0,
-            kind: if i % 2 == 0 { SymbolKind::Temp } else { SymbolKind::Debug },
+            kind: if i % 2 == 0 {
+                SymbolKind::Temp
+            } else {
+                SymbolKind::Debug
+            },
             global: false,
         });
     }
@@ -90,8 +98,8 @@ mod tests {
     fn suite_agrees_with_oracle() {
         for w in suite() {
             let program = parse(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let oracle = interpret(&program, 200_000_000)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let oracle =
+                interpret(&program, 200_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             for personality in [Personality::Gcc, Personality::SunPro] {
                 let image = compile(&w, personality).unwrap();
                 let out = eel_emu::run_image(&image)
@@ -138,7 +146,10 @@ mod tests {
                 Err(e) => panic!("seed {seed}: oracle failed: {e}"),
             };
             for personality in [Personality::Gcc, Personality::SunPro] {
-                let options = Options { personality, ..Options::default() };
+                let options = Options {
+                    personality,
+                    ..Options::default()
+                };
                 let image = match eel_cc::compile_ast(&program, &options) {
                     Ok(i) => i,
                     Err(eel_cc::CcError::Semantic(m)) if m.contains("too deep") => continue,

@@ -70,7 +70,10 @@ pub fn spim_like(steps: u32) -> Workload {
         }}
     "#
     );
-    Workload { name: "spim", source }
+    Workload {
+        name: "spim",
+        source,
+    }
 }
 
 /// Compression-shaped workload (`compress`): byte-stream transform with
@@ -110,7 +113,10 @@ pub fn compress_like(bytes: u32) -> Workload {
         }}
     "#
     );
-    Workload { name: "compress", source }
+    Workload {
+        name: "compress",
+        source,
+    }
 }
 
 /// Sorting/comparison-shaped workload (`eqntott`): repeated quicksort-like
@@ -165,7 +171,10 @@ pub fn eqntott_like(n: u32) -> Workload {
         }}
     "#
     );
-    Workload { name: "eqntott", source }
+    Workload {
+        name: "eqntott",
+        source,
+    }
 }
 
 /// Bitset-manipulation workload (`espresso`): logic-minimization-shaped
@@ -206,7 +215,10 @@ pub fn espresso_like(rounds: u32) -> Workload {
         }}
     "#
     );
-    Workload { name: "espresso", source }
+    Workload {
+        name: "espresso",
+        source,
+    }
 }
 
 /// Interpreter-with-pointers workload (`li`): recursive expression
@@ -340,7 +352,10 @@ pub fn gcc_like(units: u32) -> Workload {
         }}
     "#
     );
-    Workload { name: "gcc", source }
+    Workload {
+        name: "gcc",
+        source,
+    }
 }
 
 /// The default suite at modest sizes (fast enough for tests; benches use

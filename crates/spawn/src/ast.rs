@@ -250,7 +250,10 @@ impl Description {
 
     /// Looks up a named constraint.
     pub fn cons(&self, name: &str) -> Option<&[Cons]> {
-        self.conses.iter().find(|(n, _)| n == name).map(|(_, c)| c.as_slice())
+        self.conses
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.as_slice())
     }
 
     /// Looks up a semantic function.
@@ -260,6 +263,9 @@ impl Description {
 
     /// All instruction names declared by patterns.
     pub fn instruction_names(&self) -> Vec<&str> {
-        self.patterns.iter().flat_map(|p| p.names.iter().map(|s| s.as_str())).collect()
+        self.patterns
+            .iter()
+            .flat_map(|p| p.names.iter().map(|s| s.as_str()))
+            .collect()
     }
 }

@@ -28,7 +28,14 @@ pub struct SpawnState {
 impl SpawnState {
     /// Fresh state at an entry point.
     pub fn new(entry: u32) -> SpawnState {
-        SpawnState { r: [0; 32], icc: 0, y: 0, pc: entry, npc: entry + 4, annul: false }
+        SpawnState {
+            r: [0; 32],
+            icc: 0,
+            y: 0,
+            pc: entry,
+            npc: entry + 4,
+            annul: false,
+        }
     }
 }
 
@@ -220,9 +227,11 @@ impl<'a, M: Memory> Evaluator<'a, M> {
             Expr::Pc => self.state.pc,
             Expr::Field(f) => self.machine.field(f, self.word),
             Expr::SxField(f) => {
-                let fd = self.machine.description().field(f).ok_or_else(|| {
-                    SpawnError::Semantic(format!("unknown field {f:?}"))
-                })?;
+                let fd = self
+                    .machine
+                    .description()
+                    .field(f)
+                    .ok_or_else(|| SpawnError::Semantic(format!("unknown field {f:?}")))?;
                 let v = fd.extract(self.word);
                 let sh = 32 - fd.width();
                 (((v << sh) as i32) >> sh) as u32
@@ -286,7 +295,11 @@ impl<'a, M: Memory> Evaluator<'a, M> {
 
     fn read_reg(&self, set: &str, i: u32) -> Result<u32, EvalStop> {
         match set {
-            "R" => Ok(if i == 0 { 0 } else { self.state.r[(i & 31) as usize] }),
+            "R" => Ok(if i == 0 {
+                0
+            } else {
+                self.state.r[(i & 31) as usize]
+            }),
             "ICC" => Ok(self.state.icc as u32),
             "Y" => Ok(self.state.y),
             other => Err(EvalStop::Bug(SpawnError::Semantic(format!(
@@ -341,7 +354,11 @@ impl<'a, M: Memory> Evaluator<'a, M> {
                 if b == 0 {
                     return Err(EvalStop::Event(SpawnEvent::DivZero));
                 }
-                let op = if name == "divuflags" { eel_isa::AluOp::Udiv } else { eel_isa::AluOp::Sdiv };
+                let op = if name == "divuflags" {
+                    eel_isa::AluOp::Udiv
+                } else {
+                    eel_isa::AluOp::Sdiv
+                };
                 match eel_isa::eval_alu(op, true, a, b, y) {
                     Ok((_, Some(f), _)) => Ok(f as u32),
                     _ => Err(EvalStop::Event(SpawnEvent::DivZero)),
@@ -371,7 +388,6 @@ impl<'a, M: Memory> Evaluator<'a, M> {
             )))),
         }
     }
-
 }
 
 /// Computes SPARC condition codes for add/sub (shared with eel-isa via its

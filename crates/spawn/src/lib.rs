@@ -224,7 +224,10 @@ mod tests {
     #[test]
     fn errors_display() {
         for e in [
-            SpawnError::Parse { line: 3, message: "x".into() },
+            SpawnError::Parse {
+                line: 3,
+                message: "x".into(),
+            },
             SpawnError::Semantic("y".into()),
         ] {
             assert!(!e.to_string().is_empty());

@@ -60,23 +60,31 @@ pub struct InsnSpec {
 
 #[derive(Debug, Clone)]
 pub(crate) enum MTerm {
-    Cmp { lo: u32, width: u32, mask: Option<u32>, value: u32 },
+    Cmp {
+        lo: u32,
+        width: u32,
+        mask: Option<u32>,
+        value: u32,
+    },
     Any(Vec<Vec<MTerm>>),
 }
 
 impl MTerm {
     fn matches(&self, word: u32) -> bool {
         match self {
-            MTerm::Cmp { lo, width, mask, value } => {
+            MTerm::Cmp {
+                lo,
+                width,
+                mask,
+                value,
+            } => {
                 let mut f = (word >> lo) & ((1u64 << width) - 1) as u32;
                 if let Some(m) = mask {
                     f &= m;
                 }
                 f == *value
             }
-            MTerm::Any(alts) => alts
-                .iter()
-                .any(|conj| conj.iter().all(|t| t.matches(word))),
+            MTerm::Any(alts) => alts.iter().any(|conj| conj.iter().all(|t| t.matches(word))),
         }
     }
 }
@@ -116,8 +124,7 @@ impl Machine {
                             .map(|p| p.as_str())
                             .zip(arg_vectors.iter().map(|v| v[k].as_str()))
                             .collect();
-                        let body =
-                            def.body.iter().map(|s| subst_stmt(s, &bindings)).collect();
+                        let body = def.body.iter().map(|s| subst_stmt(s, &bindings)).collect();
                         sem_of.insert(n.clone(), body);
                     }
                 }
@@ -153,7 +160,13 @@ impl Machine {
                         }
                     };
                 }
-                insns.push(InsnSpec { name: name.clone(), class, matcher, sem, links });
+                insns.push(InsnSpec {
+                    name: name.clone(),
+                    class,
+                    matcher,
+                    sem,
+                    links,
+                });
             }
         }
         Ok(Machine { desc, insns })
@@ -268,14 +281,17 @@ impl Machine {
                 Expr::Mem(_, w) => Some(*w),
                 Expr::Sxm(e, _) => find_expr(e),
                 Expr::Bin(_, a, b) => find_expr(a).or_else(|| find_expr(b)),
-                Expr::Cond(c, a, b) => {
-                    find_expr(c).or_else(|| find_expr(a)).or_else(|| find_expr(b))
-                }
+                Expr::Cond(c, a, b) => find_expr(c)
+                    .or_else(|| find_expr(a))
+                    .or_else(|| find_expr(b)),
                 Expr::Apply(_, args) => args.iter().find_map(find_expr),
                 _ => None,
             }
         }
-        d.spec.sem.as_ref().and_then(|sem| sem.iter().find_map(find_stmt))
+        d.spec
+            .sem
+            .as_ref()
+            .and_then(|sem| sem.iter().find_map(find_stmt))
     }
 }
 
@@ -313,13 +329,17 @@ fn subst_expr(e: &Expr, bind: &HashMap<&str, &str>) -> Expr {
             None => e.clone(),
         },
         Expr::Apply(f, args) => {
-            let f2 = bind.get(f.as_str()).map(|b| (*b).to_string()).unwrap_or_else(|| f.clone());
+            let f2 = bind
+                .get(f.as_str())
+                .map(|b| (*b).to_string())
+                .unwrap_or_else(|| f.clone());
             Expr::Apply(f2, args.iter().map(|a| subst_expr(a, bind)).collect())
         }
         Expr::Sxm(e, b) => Expr::Sxm(Box::new(subst_expr(e, bind)), *b),
-        Expr::Reg(n, idx) => {
-            Expr::Reg(n.clone(), idx.as_ref().map(|e| Box::new(subst_expr(e, bind))))
-        }
+        Expr::Reg(n, idx) => Expr::Reg(
+            n.clone(),
+            idx.as_ref().map(|e| Box::new(subst_expr(e, bind))),
+        ),
         Expr::Mem(e, w) => Expr::Mem(Box::new(subst_expr(e, bind)), *w),
         Expr::Bin(op, a, b) => Expr::Bin(
             *op,
@@ -347,7 +367,12 @@ fn lower_cons(desc: &Description, c: &Cons, k: usize) -> Result<MTerm, SpawnErro
                     SpawnError::Semantic(format!("matrix too short for {field:?}"))
                 })?,
             };
-            Ok(MTerm::Cmp { lo: f.lo, width: f.width(), mask: *mask, value: v })
+            Ok(MTerm::Cmp {
+                lo: f.lo,
+                width: f.width(),
+                mask: *mask,
+                value: v,
+            })
         }
         Cons::Named(name) => {
             let terms = desc
@@ -454,7 +479,9 @@ fn derive_class(desc: &Description, stmts: &[Stmt]) -> (Class, bool) {
             }
             Stmt::If(_, a, b) => {
                 for s in a.iter().chain(b) {
-                    walk(desc, s, true, traps, npc_uncond, npc_cond, loads, stores, links);
+                    walk(
+                        desc, s, true, traps, npc_uncond, npc_cond, loads, stores, links,
+                    );
                 }
             }
             Stmt::Trap(_) => *traps = true,
@@ -462,7 +489,14 @@ fn derive_class(desc: &Description, stmts: &[Stmt]) -> (Class, bool) {
             Stmt::Par(g) => {
                 for s in g {
                     walk(
-                        desc, s, conditional, traps, npc_uncond, npc_cond, loads, stores,
+                        desc,
+                        s,
+                        conditional,
+                        traps,
+                        npc_uncond,
+                        npc_cond,
+                        loads,
+                        stores,
                         links,
                     );
                 }

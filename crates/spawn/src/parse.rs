@@ -11,8 +11,8 @@ enum Tok {
 }
 
 const PUNCTS: &[&str] = &[
-    ":=", "&&", "||", ">>u", ">>s", "!=", "..", "<<", "(", ")", "[", "]", "{", "}", ",", ";",
-    ":", "?", "@", "=", "&", "|", "^", "+", "-", "*", "/",
+    ":=", "&&", "||", ">>u", ">>s", "!=", "..", "<<", "(", ")", "[", "]", "{", "}", ",", ";", ":",
+    "?", "@", "=", "&", "|", "^", "+", "-", "*", "/",
 ];
 
 fn lex(src: &str) -> Result<Vec<(usize, Tok)>, SpawnError> {
@@ -45,7 +45,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, SpawnError> {
                 } else {
                     token.parse()
                 }
-                .map_err(|_| SpawnError::Parse { line, message: format!("bad number {token:?}") })?;
+                .map_err(|_| SpawnError::Parse {
+                    line,
+                    message: format!("bad number {token:?}"),
+                })?;
                 out.push((line, Tok::Num(v)));
                 rest = &rest[end..];
                 continue;
@@ -67,7 +70,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, SpawnError> {
                     continue 'outer;
                 }
             }
-            return Err(SpawnError::Parse { line, message: format!("unexpected character {c:?}") });
+            return Err(SpawnError::Parse {
+                line,
+                message: format!("unexpected character {c:?}"),
+            });
         }
     }
     Ok(out)
@@ -81,7 +87,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, SpawnError> {
 pub fn parse(src: &str) -> Result<Description, SpawnError> {
     let toks = lex(src)?;
     let mut p = P { toks, at: 0 };
-    let mut d = Description { word_bits: 32, ..Description::default() };
+    let mut d = Description {
+        word_bits: 32,
+        ..Description::default()
+    };
     while let Some(kw) = p.peek_ident() {
         match kw.as_str() {
             "machine" => {
@@ -108,7 +117,11 @@ pub fn parse(src: &str) -> Result<Description, SpawnError> {
             "registers" => {
                 p.bump();
                 while matches!(p.peek_ident().as_deref(), Some("int") | Some("cc")) {
-                    let kind = if p.ident()? == "int" { RegKind::Int } else { RegKind::Cc };
+                    let kind = if p.ident()? == "int" {
+                        RegKind::Int
+                    } else {
+                        RegKind::Cc
+                    };
                     let name = p.ident()?;
                     let count = if p.eat("[") {
                         let n = p.num()?;
@@ -122,7 +135,12 @@ pub fn parse(src: &str) -> Result<Description, SpawnError> {
                         return p.err("expected `width`");
                     }
                     let width = p.num()?;
-                    d.registers.push(RegDecl { kind, name, count, width });
+                    d.registers.push(RegDecl {
+                        kind,
+                        name,
+                        count,
+                        width,
+                    });
                 }
             }
             "val" => {
@@ -150,7 +168,11 @@ pub fn parse(src: &str) -> Result<Description, SpawnError> {
                 } else {
                     None
                 };
-                d.patterns.push(Pattern { names, cons, class_override });
+                d.patterns.push(Pattern {
+                    names,
+                    cons,
+                    class_override,
+                });
             }
             "def" => {
                 p.bump();
@@ -211,7 +233,9 @@ fn validate(d: &Description) -> Result<(), SpawnError> {
     for s in &d.sems {
         for n in &s.names {
             if !seen.contains(n) {
-                return Err(SpawnError::Semantic(format!("sem for unknown instruction {n:?}")));
+                return Err(SpawnError::Semantic(format!(
+                    "sem for unknown instruction {n:?}"
+                )));
             }
         }
         if let SemBody::Apply { func, arg_vectors } = &s.body {
@@ -284,7 +308,10 @@ impl P {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, SpawnError> {
-        Err(SpawnError::Parse { line: self.line(), message: message.into() })
+        Err(SpawnError::Parse {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -390,7 +417,11 @@ impl P {
         }
         let name = self.ident()?;
         // Either `field (& mask)? = value(s)` or a named constraint.
-        let mask = if self.eat("&") { Some(self.num()?) } else { None };
+        let mask = if self.eat("&") {
+            Some(self.num()?)
+        } else {
+            None
+        };
         if mask.is_none() && !matches!(self.peek(), Some(Tok::Punct("="))) {
             return Ok(Cons::Named(name));
         }
@@ -416,7 +447,11 @@ impl P {
         } else {
             ConsValue::One(self.num()?)
         };
-        Ok(Cons::Field { field: name, mask, value })
+        Ok(Cons::Field {
+            field: name,
+            mask,
+            value,
+        })
     }
 
     // ---- statements ------------------------------------------------------
@@ -517,7 +552,12 @@ impl P {
         Ok(c)
     }
 
-    fn bin(&mut self, d: &Description, params: &[String], level: usize) -> Result<Expr, SpawnError> {
+    fn bin(
+        &mut self,
+        d: &Description,
+        params: &[String],
+        level: usize,
+    ) -> Result<Expr, SpawnError> {
         const LEVELS: &[&[(&str, BinOp)]] = &[
             &[("||", BinOp::LogOr)],
             &[("&&", BinOp::LogAnd)],
@@ -525,7 +565,11 @@ impl P {
             &[("|", BinOp::Or)],
             &[("^", BinOp::Xor)],
             &[("&", BinOp::And)],
-            &[("<<", BinOp::Shl), (">>u", BinOp::Shru), (">>s", BinOp::Shrs)],
+            &[
+                ("<<", BinOp::Shl),
+                (">>u", BinOp::Shru),
+                (">>s", BinOp::Shrs),
+            ],
             &[("+", BinOp::Add), ("-", BinOp::Sub)],
             &[("*", BinOp::Mul)],
         ];
@@ -664,7 +708,11 @@ mod tests {
 
     #[test]
     fn field_extraction() {
-        let f = FieldDecl { name: "op".into(), lo: 30, hi: 31 };
+        let f = FieldDecl {
+            name: "op".into(),
+            lo: 30,
+            hi: 31,
+        };
         assert_eq!(f.width(), 2);
         assert_eq!(f.extract(0xc000_0000), 3);
         assert_eq!(f.extract(0x4000_0000), 1);

@@ -94,10 +94,25 @@ fn cosimulate(image: &eel_exe::Image, limit: u64) -> u64 {
                 decode(word)
             ),
         }
-        assert_eq!(hw.regs, sp.r, "registers diverged after step {step} ({})", decode(word));
-        assert_eq!(hw.icc, sp.icc, "icc diverged after step {step} ({})", decode(word));
+        assert_eq!(
+            hw.regs,
+            sp.r,
+            "registers diverged after step {step} ({})",
+            decode(word)
+        );
+        assert_eq!(
+            hw.icc,
+            sp.icc,
+            "icc diverged after step {step} ({})",
+            decode(word)
+        );
         assert_eq!(hw.y, sp.y, "y diverged after step {step}");
-        assert_eq!(hw.npc, sp.npc, "npc diverged after step {step} ({})", decode(word));
+        assert_eq!(
+            hw.npc,
+            sp.npc,
+            "npc diverged after step {step} ({})",
+            decode(word)
+        );
         assert_eq!(hw.annul, sp.annul, "annul diverged after step {step}");
     }
     assert_eq!(hw_mem.0, sp_mem.0, "memory diverged by the step limit");

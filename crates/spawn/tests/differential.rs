@@ -35,7 +35,9 @@ fn to_reg(set: &str, i: u32) -> Option<Reg> {
 }
 
 fn regset(list: Vec<(String, u32)>) -> BTreeSet<Reg> {
-    list.into_iter().filter_map(|(s, i)| to_reg(&s, i)).collect()
+    list.into_iter()
+        .filter_map(|(s, i)| to_reg(&s, i))
+        .collect()
 }
 
 #[derive(Default, Clone, PartialEq, Debug)]

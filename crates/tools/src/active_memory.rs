@@ -69,16 +69,13 @@ fn pick_placeholders(site: Insn) -> [Reg; 3] {
 }
 
 /// The inline tag-check snippet for one memory reference.
-fn check_snippet(
-    site: Insn,
-    tags: u32,
-    hits: u32,
-    misses: u32,
-) -> Result<Snippet, ToolError> {
+fn check_snippet(site: Insn, tags: u32, hits: u32, misses: u32) -> Result<Snippet, ToolError> {
     let (rs1, src2) = match site.op {
         Op::Load { rs1, src2, .. } | Op::Store { rs1, src2, .. } => (rs1, src2),
         other => {
-            return Err(ToolError::Internal(format!("not a memory reference: {other:?}")))
+            return Err(ToolError::Internal(format!(
+                "not a memory reference: {other:?}"
+            )))
         }
     };
     let [a, b, c] = pick_placeholders(site);
@@ -166,7 +163,13 @@ pub fn instrument(image: Image) -> Result<CacheSim, ToolError> {
         exec.install_edits(cfg)?;
     }
     let image = exec.write_edited()?;
-    Ok(CacheSim { image, hits_addr, misses_addr, sites, cc_saved_sites })
+    Ok(CacheSim {
+        image,
+        hits_addr,
+        misses_addr,
+        sites,
+        cc_saved_sites,
+    })
 }
 
 impl CacheSim {
@@ -200,7 +203,11 @@ pub struct ReferenceCache {
 
 impl Default for ReferenceCache {
     fn default() -> Self {
-        ReferenceCache { tags: vec![None; LINES as usize], hits: 0, misses: 0 }
+        ReferenceCache {
+            tags: vec![None; LINES as usize],
+            hits: 0,
+            misses: 0,
+        }
     }
 }
 

@@ -1,28 +1,42 @@
 //! `eelobjdump` — disassemble and analyze a WEF executable.
 //!
 //! ```text
-//! eelobjdump PROGRAM.wef [--cfg] [--symbols]
+//! eelobjdump PROGRAM.wef [--cfg] [--symbols] [--trace FILE]
 //! ```
 //!
 //! Default: a disassembly listing with routine headers and data-range
 //! annotations (dispatch tables). `--cfg` prints per-routine CFG
-//! summaries; `--symbols` dumps the symbol table.
+//! summaries; `--symbols` dumps the symbol table; `--trace FILE` writes
+//! an eel-obs trace of the analysis.
 
 use eel_core::Executable;
 use eel_exe::Image;
+use eel_tools::obs_cli::ObsSession;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut obs = ObsSession::begin();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input = None;
     let mut show_cfg = false;
     let mut show_symbols = false;
-    for a in &args {
-        match a.as_str() {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--cfg" => show_cfg = true,
             "--symbols" => show_symbols = true,
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => obs.set_trace_path(path),
+                    None => {
+                        eprintln!("eelobjdump: --trace needs a file argument");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-h" | "--help" => {
-                eprintln!("usage: eelobjdump PROGRAM.wef [--cfg] [--symbols]");
+                eprintln!("usage: eelobjdump PROGRAM.wef [--cfg] [--symbols] [--trace FILE]");
                 return ExitCode::SUCCESS;
             }
             other if input.is_none() => input = Some(other.to_string()),
@@ -31,6 +45,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        i += 1;
     }
     let Some(input) = input else {
         eprintln!("eelobjdump: no input file (see --help)");
@@ -94,7 +109,11 @@ fn main() -> ExitCode {
                 s.call_surrogate_blocks,
                 s.edges,
                 100.0 * s.uneditable_edge_fraction(),
-                if cfg.is_incomplete() { " INCOMPLETE" } else { "" },
+                if cfg.is_incomplete() {
+                    " INCOMPLETE"
+                } else {
+                    ""
+                },
             );
         }
         let image = exec.image();
@@ -114,5 +133,6 @@ fn main() -> ExitCode {
         }
         println!();
     }
+    obs.finish("eelobjdump");
     ExitCode::SUCCESS
 }

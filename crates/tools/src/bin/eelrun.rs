@@ -1,14 +1,16 @@
 //! `eelrun` — run a WEF executable in the emulator.
 //!
 //! ```text
-//! eelrun PROGRAM.wef [--stats] [--limit N]
+//! eelrun PROGRAM.wef [--stats] [--limit N] [--trace FILE]
 //! ```
 
 use eel_emu::Machine;
 use eel_exe::Image;
+use eel_tools::obs_cli::ObsSession;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut obs = ObsSession::begin();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input = None;
     let mut stats = false;
@@ -21,8 +23,18 @@ fn main() -> ExitCode {
                 i += 1;
                 limit = args.get(i).and_then(|s| s.parse().ok());
             }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => obs.set_trace_path(path),
+                    None => {
+                        eprintln!("eelrun: --trace needs a file argument");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-h" | "--help" => {
-                eprintln!("usage: eelrun PROGRAM.wef [--stats] [--limit N]");
+                eprintln!("usage: eelrun PROGRAM.wef [--stats] [--limit N] [--trace FILE]");
                 return ExitCode::SUCCESS;
             }
             other if input.is_none() => input = Some(other.to_string()),
@@ -67,6 +79,7 @@ fn main() -> ExitCode {
                     outcome.transfers
                 );
             }
+            obs.finish("eelrun");
             ExitCode::from((outcome.exit_code & 0xff) as u8)
         }
         Err(e) => {

@@ -1,0 +1,105 @@
+//! `eelstat` — run the full EEL analysis pipeline over an executable and
+//! report where the time goes.
+//!
+//! ```text
+//! eelstat PROGRAM.wef [--run] [--trace FILE]
+//! ```
+//!
+//! Loads the WEF image, analyzes it (`read_contents`), builds and lays
+//! out every routine (`write_edited`), then prints the eel-obs report:
+//! the span tree (load → CFG build → normalize → liveness → layout) with
+//! per-phase wall times, plus the block / edge / interned-instruction
+//! counters. `--run` additionally executes the program in the emulator so
+//! the dynamic `emu.*` counters appear.
+//!
+//! Unlike the other tools, recording defaults to *on* (summary mode) when
+//! `EEL_OBS` is unset — reporting is this tool's whole job. `EEL_OBS`
+//! still selects the format, and `--trace FILE` redirects the report to a
+//! Chrome `trace_event` file (or JSON lines under `EEL_OBS=json`).
+
+use eel_core::Executable;
+use eel_emu::Machine;
+use eel_exe::Image;
+use eel_tools::obs_cli::ObsSession;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut obs = ObsSession::begin();
+    if std::env::var_os("EEL_OBS").is_none() {
+        eel_obs::set_mode(eel_obs::Mode::Summary);
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut run = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--run" => run = true,
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => obs.set_trace_path(path),
+                    None => {
+                        eprintln!("eelstat: --trace needs a file argument");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                eprintln!("usage: eelstat PROGRAM.wef [--run] [--trace FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("eelstat: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        eprintln!("eelstat: no input file (see --help)");
+        return ExitCode::FAILURE;
+    };
+
+    let image = match Image::read_file(&input) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("eelstat: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut exec = match Executable::from_image(image.clone()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("eelstat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = exec.read_contents() {
+        eprintln!("eelstat: {e}");
+        return ExitCode::FAILURE;
+    }
+    let routines = exec.all_routine_ids().len();
+    // Drive the whole pipeline: CFG build + delay-slot normalization,
+    // liveness, and layout for every routine (discovery included).
+    if let Err(e) = exec.write_edited() {
+        eprintln!("eelstat: {e}");
+        return ExitCode::FAILURE;
+    }
+    if run {
+        let outcome = Machine::load(&image).and_then(|mut m| m.run());
+        match outcome {
+            Ok(o) => eprintln!("eelstat: ran {input}: exit code {}", o.exit_code),
+            Err(e) => {
+                eprintln!("eelstat: run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("eelstat: analyzed {input}: {routines} routines");
+    if let Some(report) = obs.finish_report("eelstat") {
+        print!("{report}");
+    }
+    ExitCode::SUCCESS
+}

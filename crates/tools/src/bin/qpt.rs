@@ -1,17 +1,19 @@
 //! `qpt` — the profiling CLI (the paper's tool, end to end).
 //!
 //! ```text
-//! qpt IN.wef [-o OUT.wef] [--blocks|--edges|--entries] [--run]
+//! qpt IN.wef [-o OUT.wef] [--blocks|--edges|--entries] [--run] [--trace FILE]
 //! ```
 //!
 //! With `--run`, executes the instrumented program in the emulator and
 //! prints the non-zero counters as a profile.
 
 use eel_exe::Image;
+use eel_tools::obs_cli::ObsSession;
 use eel_tools::qpt2::{instrument, Granularity};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut obs = ObsSession::begin();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input = None;
     let mut output = None;
@@ -28,8 +30,20 @@ fn main() -> ExitCode {
             "--edges" => granularity = Granularity::Edges,
             "--entries" => granularity = Granularity::Entries,
             "--run" => run = true,
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => obs.set_trace_path(path),
+                    None => {
+                        eprintln!("qpt: --trace needs a file argument");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-h" | "--help" => {
-                eprintln!("usage: qpt IN.wef [-o OUT.wef] [--blocks|--edges|--entries] [--run]");
+                eprintln!(
+                    "usage: qpt IN.wef [-o OUT.wef] [--blocks|--edges|--entries] [--run] [--trace FILE]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if input.is_none() => input = Some(other.to_string()),
@@ -88,5 +102,6 @@ fn main() -> ExitCode {
             }
         }
     }
+    obs.finish("qpt");
     ExitCode::SUCCESS
 }

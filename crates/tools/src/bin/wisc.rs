@@ -1,13 +1,15 @@
 //! `wisc` — the Wisc compiler CLI.
 //!
 //! ```text
-//! wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm]
+//! wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm] [--trace FILE]
 //! ```
 
 use eel_cc::{compile_str, compile_to_asm, Options, Personality};
+use eel_tools::obs_cli::ObsSession;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut obs = ObsSession::begin();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input = None;
     let mut output = None;
@@ -24,9 +26,20 @@ fn main() -> ExitCode {
             "--no-fill" => options.fill_delay_slots = false,
             "--strip" => options.strip = true,
             "--emit-asm" => emit_asm = true,
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => obs.set_trace_path(path),
+                    None => {
+                        eprintln!("wisc: --trace needs a file argument");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm]"
+                    "usage: wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] \
+                     [--emit-asm] [--trace FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -53,6 +66,7 @@ fn main() -> ExitCode {
         match compile_to_asm(&source, &options) {
             Ok(asm) => {
                 print!("{asm}");
+                obs.finish("wisc");
                 return ExitCode::SUCCESS;
             }
             Err(e) => {
@@ -84,5 +98,6 @@ fn main() -> ExitCode {
             .filter(|s| s.kind == eel_exe::SymbolKind::Routine)
             .count()
     );
+    obs.finish("wisc");
     ExitCode::SUCCESS
 }

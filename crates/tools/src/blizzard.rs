@@ -45,12 +45,7 @@ fn pick3(site: Insn) -> [Reg; 3] {
     [picks[0], picks[1], picks[2]]
 }
 
-fn check_snippet(
-    site: Insn,
-    state: u32,
-    faults: u32,
-    checks: u32,
-) -> Result<Snippet, ToolError> {
+fn check_snippet(site: Insn, state: u32, faults: u32, checks: u32) -> Result<Snippet, ToolError> {
     let (rs1, src2) = match site.op {
         Op::Store { rs1, src2, .. } => (rs1, src2),
         other => return Err(ToolError::Internal(format!("not a store: {other:?}"))),
@@ -112,7 +107,10 @@ pub fn instrument(image: Image) -> Result<AccessControlled, ToolError> {
             .collect();
         for m in stores {
             if let Some(addr) = m.addr {
-                cfg.add_code_before(addr, check_snippet(m.insn, state, faults_addr, checks_addr)?)?;
+                cfg.add_code_before(
+                    addr,
+                    check_snippet(m.insn, state, faults_addr, checks_addr)?,
+                )?;
                 sites += 1;
             }
         }
@@ -130,7 +128,12 @@ pub fn instrument(image: Image) -> Result<AccessControlled, ToolError> {
         exec.install_edits(cfg)?;
     }
     let image = exec.write_edited()?;
-    Ok(AccessControlled { image, faults_addr, checks_addr, sites })
+    Ok(AccessControlled {
+        image,
+        faults_addr,
+        checks_addr,
+        sites,
+    })
 }
 
 /// Fault/check counts after a run.

@@ -90,11 +90,19 @@ pub fn instrument(image: Image) -> Result<Simulated, ToolError> {
         // Memory references hiding in delay slots.
         let (edge_jobs, call_jobs) = crate::delay_slot_memory_jobs(&cfg, |_| true);
         for (e, insn) in edge_jobs {
-            let counter = if matches!(insn.op, Op::Load { .. }) { loads_c } else { stores_c };
+            let counter = if matches!(insn.op, Op::Load { .. }) {
+                loads_c
+            } else {
+                stores_c
+            };
             cfg.add_code_along(e, Snippet::counter_increment(counter))?;
         }
         for (a, insn) in call_jobs {
-            let counter = if matches!(insn.op, Op::Load { .. }) { loads_c } else { stores_c };
+            let counter = if matches!(insn.op, Op::Load { .. }) {
+                loads_c
+            } else {
+                stores_c
+            };
             cfg.add_code_before(a, Snippet::counter_increment(counter))?;
         }
         // System calls: replace `ta 0` with a call to the simulator
@@ -123,7 +131,10 @@ pub fn instrument(image: Image) -> Result<Simulated, ToolError> {
         exec.install_edits(cfg)?;
     }
     let image = exec.write_edited()?;
-    Ok(Simulated { image, counters_addr })
+    Ok(Simulated {
+        image,
+        counters_addr,
+    })
 }
 
 impl Simulated {

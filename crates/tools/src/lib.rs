@@ -81,8 +81,10 @@ impl From<eel_emu::RunError> for ToolError {
 
 /// Instrumentation jobs for delay-slot memory references: per-edge and
 /// before-transfer placements.
-pub(crate) type DelaySlotJobs =
-    (Vec<(eel_core::EdgeId, eel_isa::Insn)>, Vec<(u32, eel_isa::Insn)>);
+pub(crate) type DelaySlotJobs = (
+    Vec<(eel_core::EdgeId, eel_isa::Insn)>,
+    Vec<(u32, eel_isa::Insn)>,
+);
 
 /// Finds memory references hiding in delay-slot blocks and returns where
 /// to instrument them instead: `(editable edges, before-transfer sites)`.
@@ -97,7 +99,9 @@ pub(crate) fn delay_slot_memory_jobs(
         if block.kind != eel_core::BlockKind::DelaySlot {
             continue;
         }
-        let Some(first) = block.insns.first().copied() else { continue };
+        let Some(first) = block.insns.first().copied() else {
+            continue;
+        };
         if !first.insn.is_memory() || !want(&first.insn) {
             continue;
         }
@@ -112,6 +116,63 @@ pub(crate) fn delay_slot_memory_jobs(
         }
     }
     (edges, before)
+}
+
+/// Shared observability glue for the CLI binaries: `EEL_OBS` start-up and
+/// the common `--trace FILE` flag.
+pub mod obs_cli {
+    use std::path::PathBuf;
+
+    /// Per-invocation observability state. Construct with [`ObsSession::begin`]
+    /// before argument parsing, route `--trace FILE` to
+    /// [`ObsSession::set_trace_path`], and call [`ObsSession::finish`] on the
+    /// success path.
+    pub struct ObsSession {
+        trace: Option<PathBuf>,
+    }
+
+    impl ObsSession {
+        /// Reads `EEL_OBS` and starts a session.
+        pub fn begin() -> ObsSession {
+            eel_obs::init_from_env();
+            ObsSession { trace: None }
+        }
+
+        /// Notes a `--trace FILE` request; turns recording on (Chrome
+        /// trace format) when `EEL_OBS` did not already pick a mode.
+        pub fn set_trace_path(&mut self, path: &str) {
+            if eel_obs::mode() == eel_obs::Mode::Off {
+                eel_obs::set_mode(eel_obs::Mode::Chrome);
+            }
+            self.trace = Some(PathBuf::from(path));
+        }
+
+        /// Emits whatever the mode calls for: the trace file when one was
+        /// requested, otherwise the mode's report on stderr.
+        pub fn finish(&self, tool: &str) {
+            if let Some(report) = self.finish_report(tool) {
+                eprint!("{report}");
+            }
+        }
+
+        /// Like [`ObsSession::finish`], but hands back the rendered report
+        /// (when no trace file was requested) instead of printing it, for
+        /// tools whose report *is* their primary output.
+        pub fn finish_report(&self, tool: &str) -> Option<String> {
+            match (self.trace.as_deref(), eel_obs::mode()) {
+                (_, eel_obs::Mode::Off) => None,
+                (Some(path), _) => {
+                    if let Err(e) = eel_obs::write_trace_file(path) {
+                        eprintln!("{tool}: cannot write trace {}: {e}", path.display());
+                    }
+                    None
+                }
+                (None, eel_obs::Mode::Summary) => Some(eel_obs::render_summary()),
+                (None, eel_obs::Mode::Json) => Some(eel_obs::render_json_lines()),
+                (None, eel_obs::Mode::Chrome) => Some(eel_obs::render_chrome_trace()),
+            }
+        }
+    }
 }
 
 /// Counts non-comment, non-blank lines — the Table 1 "tool size" metric.

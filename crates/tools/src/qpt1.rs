@@ -176,7 +176,12 @@ pub fn instrument(image: Image) -> Result<Qpt1Profiled, ToolError> {
         }
         let insn = decode(word_of(addr));
         let word = match insn.op {
-            Op::Branch { cond, annul, disp22, fp } => {
+            Op::Branch {
+                cond,
+                annul,
+                disp22,
+                fp,
+            } => {
                 let t = addr.wrapping_add((disp22 as u32) << 2);
                 let new_t = *map_target.get(&t).unwrap_or(&t);
                 eel_isa::encode(&Op::Branch {
@@ -204,15 +209,20 @@ pub fn instrument(image: Image) -> Result<Qpt1Profiled, ToolError> {
                     None => insn.word,
                 }
             }
-            Op::Alu { op: eel_isa::AluOp::Or, cc: false, rd, rs1, src2: Src2::Imm(_) }
-                if rd == rs1 && addr >= text.0 + 4 =>
-            {
+            Op::Alu {
+                op: eel_isa::AluOp::Or,
+                cc: false,
+                rd,
+                rs1,
+                src2: Src2::Imm(_),
+            } if rd == rs1 && addr >= text.0 + 4 => {
                 // The `or` half of a set pair.
                 match sethi_or_text_address(&image, text, addr - 4) {
-                    Some(value) if {
-                        let prev = decode(word_of(addr - 4));
-                        matches!(prev.op, Op::Sethi { rd: prd, .. } if prd == rd)
-                    } =>
+                    Some(value)
+                        if {
+                            let prev = decode(word_of(addr - 4));
+                            matches!(prev.op, Op::Sethi { rd: prd, .. } if prd == rd)
+                        } =>
                     {
                         let new_v = *map_target.get(&value).unwrap_or(&value);
                         Builder::or_lo(rd, rd, new_v).word
@@ -251,8 +261,13 @@ pub fn instrument(image: Image) -> Result<Qpt1Profiled, ToolError> {
         bss_size: 0,
         symbols,
     };
-    edited.validate().map_err(|e| ToolError::Unsupported(e.to_string()))?;
-    Ok(Qpt1Profiled { image: edited, counters })
+    edited
+        .validate()
+        .map_err(|e| ToolError::Unsupported(e.to_string()))?;
+    Ok(Qpt1Profiled {
+        image: edited,
+        counters,
+    })
 }
 
 /// The single dispatch pattern qpt1 recognizes: within the 8 preceding
@@ -261,7 +276,12 @@ pub fn instrument(image: Image) -> Result<Qpt1Profiled, ToolError> {
 /// `(table, entries)`.
 fn match_dispatch_pattern(image: &Image, text: (u32, u32), jump: u32) -> Option<(u32, u32)> {
     // Find the load feeding the jump.
-    let Op::Jmpl { rs1: jreg, src2: Src2::Imm(0), .. } = decode(image.word_at(jump)?).op else {
+    let Op::Jmpl {
+        rs1: jreg,
+        src2: Src2::Imm(0),
+        ..
+    } = decode(image.word_at(jump)?).op
+    else {
         return None;
     };
     let mut table: Option<u32> = None;
@@ -290,21 +310,23 @@ fn match_dispatch_pattern(image: &Image, text: (u32, u32), jump: u32) -> Option<
                     }
                 }
             }
-            Op::Branch { cond: Cond::CarryClear | Cond::Gtu, .. }
-                if a >= text.0 + 4 => {
-                    if let Op::Alu {
-                        op: eel_isa::AluOp::Sub,
-                        cc: true,
-                        rd: Reg::G0,
-                        src2: Src2::Imm(k),
-                        ..
-                    } = decode(image.word_at(a - 4)?).op
-                    {
-                        if k > 0 {
-                            bound = Some(k as u32);
-                        }
+            Op::Branch {
+                cond: Cond::CarryClear | Cond::Gtu,
+                ..
+            } if a >= text.0 + 4 => {
+                if let Op::Alu {
+                    op: eel_isa::AluOp::Sub,
+                    cc: true,
+                    rd: Reg::G0,
+                    src2: Src2::Imm(k),
+                    ..
+                } = decode(image.word_at(a - 4)?).op
+                {
+                    if k > 0 {
+                        bound = Some(k as u32);
                     }
                 }
+            }
             _ => {}
         }
     }

@@ -95,7 +95,12 @@ pub fn instrument(image: Image, granularity: Granularity) -> Result<Profiled, To
         let base = exec.reserve_data(4 * jobs.len().max(1) as u32);
         for (k, (job, site, index)) in jobs.into_iter().enumerate() {
             let counter = base + 4 * k as u32;
-            sites.push(CounterSite { routine: routine.clone(), site, counter, index });
+            sites.push(CounterSite {
+                routine: routine.clone(),
+                site,
+                counter,
+                index,
+            });
             match job {
                 Job::Block(bid) => {
                     cfg.add_code_at_block_start(bid, Snippet::counter_increment(counter))?
@@ -107,7 +112,10 @@ pub fn instrument(image: Image, granularity: Granularity) -> Result<Profiled, To
     }
 
     let image = exec.write_edited()?;
-    Ok(Profiled { image, counters: sites })
+    Ok(Profiled {
+        image,
+        counters: sites,
+    })
 }
 
 impl Profiled {

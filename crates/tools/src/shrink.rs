@@ -58,5 +58,10 @@ pub fn strip_dead_routines(image: Image) -> Result<Shrunk, ToolError> {
     }
     let image = exec.write_edited()?;
     let text_after = image.text.len();
-    Ok(Shrunk { image, removed, text_before, text_after })
+    Ok(Shrunk {
+        image,
+        removed,
+        text_before,
+        text_after,
+    })
 }

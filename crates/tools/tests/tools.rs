@@ -47,7 +47,11 @@ fn qpt2_edge_counts_sum_to_branch_executions() {
     let profiled = qpt2::instrument(image, qpt2::Granularity::Edges).unwrap();
     let run = profiled.run().unwrap();
     // Every counted edge execution corresponds to a multi-way transfer.
-    assert!(run.total() >= 30, "loop branches run 30+ times: {}", run.total());
+    assert!(
+        run.total() >= 30,
+        "loop branches run 30+ times: {}",
+        run.total()
+    );
 }
 
 #[test]
@@ -67,7 +71,10 @@ fn qpt2_handles_what_qpt1_cannot() {
         fn helper(x) { return x * 2 + 1; }
         fn caller(x) { return helper(x + 3); }
         fn main() { return caller(10); }"#;
-    let opts = Options { personality: Personality::SunPro, ..Options::default() };
+    let opts = Options {
+        personality: Personality::SunPro,
+        ..Options::default()
+    };
     let image = compile_str(tail_src, &opts).unwrap();
     let plain = run_image(&image).unwrap();
 
@@ -87,7 +94,10 @@ fn qpt2_handles_what_qpt1_cannot() {
     let mut degraded = compile_str(small_program(), &opts).unwrap();
     degrade_symbols(&mut degraded, 7);
     let profiled = qpt2::instrument(degraded, qpt2::Granularity::Blocks).unwrap();
-    assert_eq!(profiled.run().unwrap().outcome.exit_code, plain_small.exit_code);
+    assert_eq!(
+        profiled.run().unwrap().outcome.exit_code,
+        plain_small.exit_code
+    );
 }
 
 // ---------------------------------------------------------------- qpt1
@@ -169,8 +179,14 @@ fn active_memory_matches_reference_cache_exactly() {
         (plain.loads + plain.stores) as u32,
         "every reference checked exactly once"
     );
-    assert_eq!(stats.hits, reference.hits, "hit counts agree with ground truth");
-    assert_eq!(stats.misses, reference.misses, "miss counts agree with ground truth");
+    assert_eq!(
+        stats.hits, reference.hits,
+        "hit counts agree with ground truth"
+    );
+    assert_eq!(
+        stats.misses, reference.misses,
+        "miss counts agree with ground truth"
+    );
 }
 
 #[test]
@@ -214,7 +230,10 @@ fn elsie_accounts_memory_and_syscalls() {
     let counts = sim.run().unwrap();
     assert_eq!(counts.exit_code, plain.exit_code);
     assert_eq!(counts.loads as u64, plain.loads, "simulator saw every load");
-    assert_eq!(counts.stores as u64, plain.stores, "simulator saw every store");
+    assert_eq!(
+        counts.stores as u64, plain.stores,
+        "simulator saw every store"
+    );
     // print() issues one write; exit is one more trap.
     assert_eq!(counts.syscalls, 2, "write + exit");
 }
@@ -233,7 +252,10 @@ fn tracer_slices_most_references() {
     );
     let easy: usize = analysis.routines.iter().map(|r| r.easy).sum();
     let impossible: usize = analysis.routines.iter().map(|r| r.impossible).sum();
-    assert!(easy > 0, "sethi-style roots are easy somewhere in the program");
+    assert!(
+        easy > 0,
+        "sethi-style roots are easy somewhere in the program"
+    );
     assert_eq!(impossible, 0, "no floating point here");
 }
 
@@ -323,8 +345,14 @@ fn active_memory_cc_save_path_works_when_icc_is_live() {
         "the load between cmp and bne needs the slow (psr-saving) sequence"
     );
     let stats = sim.run().unwrap();
-    assert_eq!(stats.exit_code, 47, "condition codes preserved through the check");
-    assert_eq!((stats.hits + stats.misses) as u64, plain.loads + plain.stores);
+    assert_eq!(
+        stats.exit_code, 47,
+        "condition codes preserved through the check"
+    );
+    assert_eq!(
+        (stats.hits + stats.misses) as u64,
+        plain.loads + plain.stores
+    );
 }
 
 // -------------------------------------------------------------- shrink
@@ -340,7 +368,11 @@ fn shrink_removes_dead_routines_soundly() {
     let image = compile_str(src, &Options::default()).unwrap();
     let plain = run_image(&image).unwrap();
     let shrunk = eel_tools::shrink::strip_dead_routines(image).unwrap();
-    assert!(shrunk.removed.contains(&"dead1".to_string()), "{:?}", shrunk.removed);
+    assert!(
+        shrunk.removed.contains(&"dead1".to_string()),
+        "{:?}",
+        shrunk.removed
+    );
     assert!(shrunk.removed.contains(&"dead2".to_string()));
     assert!(!shrunk.removed.contains(&"used".to_string()));
     assert!(!shrunk.removed.contains(&"__print_int".to_string()));

@@ -79,7 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = machine.run()?;
     assert_eq!(outcome.exit_code, baseline.exit_code, "behavior preserved");
 
-    let counts: Vec<u32> = (0..num).map(|i| machine.read_word(counters_base + 4 * i)).collect();
+    let counts: Vec<u32> = (0..num)
+        .map(|i| machine.read_word(counters_base + 4 * i))
+        .collect();
     let taken: u64 = counts.iter().map(|&c| c as u64).sum();
     let hot = counts.iter().max().copied().unwrap_or(0);
     println!("instrumented {num} branch edges");

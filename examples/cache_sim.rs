@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let stats = sim.run()?;
     assert_eq!(stats.exit_code, baseline.exit_code, "behavior preserved");
-    assert_eq!(stats.hits, reference.hits, "hits match the reference simulation");
+    assert_eq!(
+        stats.hits, reference.hits,
+        "hits match the reference simulation"
+    );
     assert_eq!(stats.misses, reference.misses, "misses match");
 
     let total = stats.hits + stats.misses;

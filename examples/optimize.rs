@@ -36,6 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let after = eel::emu::run_image(&shrunk.image)?;
     assert_eq!(before.exit_code, after.exit_code);
     assert_eq!(before.output, after.output);
-    println!("behavior identical: exit={}, output={:?}", after.exit_code, after.output_str());
+    println!(
+        "behavior identical: exit={}, output={:?}",
+        after.exit_code,
+        after.output_str()
+    );
     Ok(())
 }

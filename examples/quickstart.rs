@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     "#;
     let image = eel::cc::compile_str(source, &eel::cc::Options::default())?;
     let baseline = run_image(&image)?;
-    println!("original: exit={} cycles={}", baseline.exit_code, baseline.cycles);
+    println!(
+        "original: exit={} cycles={}",
+        baseline.exit_code, baseline.cycles
+    );
 
     // 2. Open and analyze (§3.1's symbol-table refinement).
     let mut exec = Executable::from_image(image)?;

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = eel::cc::compile_str(source, &eel::cc::Options::default())?;
     let machine = sparc_machine()?;
 
-    println!("{:>10}  {:>10}  {:<8} {:<14} fields", "addr", "word", "name", "class");
+    println!(
+        "{:>10}  {:>10}  {:<8} {:<14} fields",
+        "addr", "word", "name", "class"
+    );
     for (addr, word) in image.text_words().take(40) {
         match machine.decode(word) {
             Some(d) => {
@@ -41,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     format!("{cat:?}"),
                 );
             }
-            None => println!("{addr:#10x}  {word:#010x}  {:<8} {:<14}", ".word", "Invalid"),
+            None => println!(
+                "{addr:#10x}  {word:#010x}  {:<8} {:<14}",
+                ".word", "Invalid"
+            ),
         }
     }
 

@@ -54,7 +54,8 @@ fn double_editing_round_trip() {
         .unwrap();
     let mut cfg = exec.build_cfg(work_id).unwrap();
     let entry = cfg.entry_block();
-    cfg.add_code_at_block_start(entry, Snippet::counter_increment(c1)).unwrap();
+    cfg.add_code_at_block_start(entry, Snippet::counter_increment(c1))
+        .unwrap();
     exec.install_edits(cfg).unwrap();
     let once = exec.write_edited().unwrap();
 
@@ -69,7 +70,8 @@ fn double_editing_round_trip() {
         .unwrap();
     let mut cfg2 = exec2.build_cfg(main_id).unwrap();
     let entry2 = cfg2.entry_block();
-    cfg2.add_code_at_block_start(entry2, Snippet::counter_increment(c2)).unwrap();
+    cfg2.add_code_at_block_start(entry2, Snippet::counter_increment(c2))
+        .unwrap();
     exec2.install_edits(cfg2).unwrap();
     let twice = exec2.write_edited().unwrap();
 
@@ -150,7 +152,8 @@ fn assembler_authored_program_through_the_whole_stack() {
         .collect();
     assert_eq!(table_edges.len(), 3, "three distinct case targets");
     for (i, e) in table_edges.iter().enumerate() {
-        cfg.add_code_along(*e, Snippet::counter_increment(counters + 4 * i as u32)).unwrap();
+        cfg.add_code_along(*e, Snippet::counter_increment(counters + 4 * i as u32))
+            .unwrap();
     }
     exec.install_edits(cfg).unwrap();
     let edited = exec.write_edited().unwrap();
@@ -158,7 +161,9 @@ fn assembler_authored_program_through_the_whole_stack() {
     let mut machine = Machine::load(&edited).unwrap();
     let outcome = machine.run().unwrap();
     assert_eq!(outcome.exit_code, baseline.exit_code);
-    let mut counts: Vec<u32> = (0..3).map(|i| machine.read_word(counters + 4 * i)).collect();
+    let mut counts: Vec<u32> = (0..3)
+        .map(|i| machine.read_word(counters + 4 * i))
+        .collect();
     counts.sort_unstable();
     assert_eq!(counts, vec![3, 3, 4], "per-case dispatch counts");
 }
@@ -173,7 +178,11 @@ fn suite_behaves_identically_after_editing_under_both_personalities() {
             exec.read_contents().unwrap();
             let edited = exec.write_edited().unwrap();
             let after = run_image(&edited).unwrap();
-            assert_eq!(before.exit_code, after.exit_code, "{} {personality:?}", w.name);
+            assert_eq!(
+                before.exit_code, after.exit_code,
+                "{} {personality:?}",
+                w.name
+            );
             assert_eq!(before.output, after.output, "{} {personality:?}", w.name);
         }
     }
@@ -193,6 +202,9 @@ fn edited_programs_keep_symbol_tables() {
             .find_symbol(name)
             .unwrap_or_else(|| panic!("{name} survives editing"));
         assert!(edited.in_text(sym.value), "{name} points into text");
-        assert_eq!(Some(sym.value), exec.edited_addr(sym.value).or(Some(sym.value)));
+        assert_eq!(
+            Some(sym.value),
+            exec.edited_addr(sym.value).or(Some(sym.value))
+        );
     }
 }

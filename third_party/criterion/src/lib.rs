@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Throughput`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!` — backed by a simple harness: auto-calibrated batch
+//! size, a warmup pass, then a configurable number of timed samples with
+//! the median reported. No plots, no statistics beyond median/min/max.
+//!
+//! Honors a few env vars: `CRITERION_SAMPLES` (default 20) and
+//! `CRITERION_TARGET_MS` (per-sample target, default 50).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    samples: u32,
+    target: Duration,
+}
+
+impl Settings {
+    fn from_env() -> Self {
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        let target_ms = std::env::var("CRITERION_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50);
+        Settings {
+            samples,
+            target: Duration::from_millis(target_ms),
+        }
+    }
+}
+
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    fn new() -> Self {
+        Criterion {
+            settings: Settings::from_env(),
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            settings: self.settings,
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings;
+        run_benchmark("", name, None, settings, f);
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    settings: Settings,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, name, self.throughput, self.settings, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F>(
+    group: &str,
+    name: &str,
+    throughput: Option<Throughput>,
+    settings: Settings,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the batch until one batch takes ~target time.
+    let mut iters = 1u64;
+    loop {
+        let t = run_once(&mut f, iters);
+        if t >= settings.target || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if t.is_zero() {
+            8
+        } else {
+            (settings.target.as_nanos() / t.as_nanos().max(1)).clamp(2, 8) as u64
+        };
+        iters = iters.saturating_mul(grow);
+    }
+
+    let mut samples: Vec<f64> = (0..settings.samples)
+        .map(|_| run_once(&mut f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    let mut line = format!(
+        "bench: {label:<40} median {} (min {}, max {})",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let rate = n as f64 / (median / 1e9);
+            line.push_str(&format!("  {:.2} Melem/s", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            let rate = n as f64 / (median / 1e9);
+            line.push_str(&format!("  {:.2} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::__new_criterion();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro. Benches are
+/// built with `harness = false`, so this is the real entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes --bench (and possibly filters); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[doc(hidden)]
+pub fn __new_criterion() -> Criterion {
+    Criterion::new()
+}

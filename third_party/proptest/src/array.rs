@@ -1,0 +1,18 @@
+//! `prop::array` subset: `uniform32`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct UniformArray<S, const N: usize>(S);
+
+/// 32 independent draws from the same element strategy.
+pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+    UniformArray(element)
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        core::array::from_fn(|_| self.0.generate(rng))
+    }
+}

@@ -1,0 +1,315 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a cargo registry, so this
+//! crate vendors the strategy/runner API subset the workspace's property
+//! tests use: the `proptest!` macro, `Strategy` with `prop_map`, strategies
+//! for integer ranges / tuples / regex-lite string patterns, `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::{select, Index}`, `prop_oneof!`,
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (override with `PROPTEST_SEED`), and failing cases are
+//! reported with their values via `Debug`-free messages but **not shrunk**.
+//! `proptest-regressions` files are ignored.
+
+pub mod array;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+mod string;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy, Union};
+pub use test_runner::{TestCaseError, TestCaseResult, TestRng};
+
+/// Runner configuration; mirrors the `proptest::test_runner::Config`
+/// fields this workspace sets.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Abort the test once this many `prop_assume!` rejections accumulate.
+    pub max_global_rejects: u32,
+    /// Shrink-iteration cap; accepted for compatibility (this stand-in
+    /// does not shrink).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` / `prop::sample::select`
+/// resolve after `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{any, ProptestConfig};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Types with a canonical strategy, mirroring `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy produced by `any::<T>()` for primitives.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T> Any<T> {
+    fn new() -> Self {
+        Any(core::marker::PhantomData)
+    }
+}
+
+macro_rules! arb_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Bias ~1/8 of draws toward boundary values; the rest uniform.
+                if rng.below(8) == 0 {
+                    match rng.below(5) {
+                        0 => 0,
+                        1 => 1,
+                        2 => <$t>::MAX,
+                        3 => <$t>::MAX - 1,
+                        _ => <$t>::MAX / 2,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> { Any::new() }
+        }
+    )*};
+}
+
+arb_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                if rng.below(8) == 0 {
+                    match rng.below(5) {
+                        0 => 0,
+                        1 => 1,
+                        2 => -1,
+                        3 => <$t>::MIN,
+                        _ => <$t>::MAX,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> { Any::new() }
+        }
+    )*};
+}
+
+arb_int!(i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+    fn arbitrary() -> Any<bool> {
+        Any::new()
+    }
+}
+
+impl Arbitrary for sample::Index {
+    type Strategy = Any<sample::Index>;
+    fn arbitrary() -> Any<sample::Index> {
+        Any::new()
+    }
+}
+
+impl Strategy for Any<sample::Index> {
+    type Value = sample::Index;
+    fn generate(&self, rng: &mut TestRng) -> sample::Index {
+        sample::Index::from_raw(rng.next_u64() as usize)
+    }
+}
+
+/// Drives one property test: repeatedly generates cases until `cases`
+/// successes, panicking on the first failure. Called by `proptest!`.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut attempts = 0u64;
+    while passed < config.cases {
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many global rejects \
+                         ({rejects} > {})",
+                        config.max_global_rejects
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at attempt {attempts}: {msg}");
+            }
+        }
+    }
+}
+
+/// The `proptest!` block macro. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of `#[test] fn` items whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one!(($cfg), $(#[$meta])* fn $name($($pat in $strat),+) $body);)*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one!(
+            ($crate::ProptestConfig::default()),
+            $(#[$meta])* fn $name($($pat in $strat),+) $body);)*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    (($cfg:expr), $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            #[allow(unused_parens)]
+            let strat = ($($strat),*,);
+            $crate::run_proptest(&config, stringify!($name), move |rng| {
+                let ($($pat),*,) = $crate::Strategy::generate(&strat, rng);
+                let run = || -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                run()
+            });
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($a), stringify!($b), a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+            stringify!($a), stringify!($b), a, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform (or weighted, with `w => strategy` entries) choice between
+/// strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::strategy::box_strategy($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::strategy::box_strategy($strat))),+
+        ])
+    };
+}

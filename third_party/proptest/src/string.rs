@@ -1,0 +1,123 @@
+//! Generation of strings matching a small regex subset: sequences of
+//! literal characters or `[...]` classes (with `a-z` ranges), each
+//! optionally followed by `?`, `*`, `+`, `{n}`, or `{m,n}`. Unbounded
+//! quantifiers are capped at 8 repetitions. Unsupported constructs panic
+//! so misuse is loud rather than silently wrong.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Class(Vec<char>),
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i
+                    + 1;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            c if "(){}|^$*+?.\\".contains(c) => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '{' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                        + i
+                        + 1;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {m,n} bound"),
+                            hi.trim().parse().expect("bad {m,n} bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad {n} bound");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+pub(crate) fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let span = (piece.max - piece.min) as u64;
+        let reps = piece.min
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span + 1) as usize
+            };
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}

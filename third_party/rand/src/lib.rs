@@ -1,0 +1,152 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace vendors the small API subset it actually uses: `StdRng`
+//! seeded from a `u64`, and `Rng::{gen_range, gen_bool, gen}` over integer
+//! ranges. The generator is xoshiro256** seeded via SplitMix64 — fast,
+//! deterministic, and plenty for program generation and property tests.
+//! It makes no attempt at stream compatibility with upstream `rand`.
+
+pub mod rngs {
+    /// Deterministic PRNG standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Seeding trait mirroring `rand::SeedableRng` for the methods we use.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** by Blackman & Vigna (public domain).
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type that can be sampled uniformly from a range, mirroring the part
+/// of `rand::distributions::uniform::SampleRange` that `gen_range` needs.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let v = rng.next_u64() % (span as u64);
+                (self.start as $u).wrapping_add(v as $u) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                let v = if span == u64::MAX { rng.next_u64() } else { rng.next_u64() % (span + 1) };
+                (start as $u).wrapping_add(v as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+/// Sampling trait mirroring `rand::Rng` for the methods we use.
+pub trait Rng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    fn gen_bool(&mut self, p: f64) -> bool;
+    fn gen_u64(&mut self) -> u64;
+}
+
+impl Rng for StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 bits of the draw give a uniform f64 in [0, 1).
+        let v = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        v < p
+    }
+
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: i32 = a.gen_range(-50..50);
+            assert_eq!(x, b.gen_range(-50..50));
+            assert!((-50..50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..200 {
+            match rng.gen_range(0u8..=3) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
