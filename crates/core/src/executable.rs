@@ -20,9 +20,11 @@ use crate::error::EelError;
 use crate::instr::{AllocStats, InstructionPool};
 use crate::layout::{lay_out_routine, Item, RoutineLayout, Tgt, TRANSLATOR};
 use crate::routine::Routine;
+use crate::shared::Analysis;
 use eel_exe::{Image, Symbol, SymbolKind};
 use eel_isa::{Builder, Cond, Insn, Op};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Stable identifier of a routine within an [`Executable`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -36,8 +38,13 @@ impl RoutineId {
 }
 
 /// An executable opened for analysis and editing.
+///
+/// The image is held behind an [`Arc`] so several `Executable`s (e.g. one
+/// per concurrent eel-serve request) can share one loaded image without
+/// copying; see [`Executable::from_analysis`] for sharing the routine
+/// discovery as well.
 pub struct Executable {
-    image: Image,
+    image: Arc<Image>,
     routines: Vec<Routine>,
     analyzed: bool,
     hidden_queue: Vec<RoutineId>,
@@ -68,6 +75,16 @@ impl Executable {
     ///
     /// [`EelError::BadImage`] when the image fails validation.
     pub fn from_image(image: Image) -> Result<Executable, EelError> {
+        Executable::from_shared_image(Arc::new(image))
+    }
+
+    /// Opens an image already shared behind an [`Arc`] (the eel-serve hot
+    /// path: many requests, one loaded image).
+    ///
+    /// # Errors
+    ///
+    /// [`EelError::BadImage`] when the image fails validation.
+    pub fn from_shared_image(image: Arc<Image>) -> Result<Executable, EelError> {
         image.validate()?;
         Ok(Executable {
             image,
@@ -100,6 +117,12 @@ impl Executable {
         &self.image
     }
 
+    /// The underlying image, shared: cloning the returned [`Arc`] lets
+    /// another `Executable` (or a cache) reuse the loaded image.
+    pub fn shared_image(&self) -> Arc<Image> {
+        Arc::clone(&self.image)
+    }
+
     /// The original program entry point.
     pub fn start_address(&self) -> u32 {
         self.image.entry
@@ -120,8 +143,28 @@ impl Executable {
         self.jump_analysis = enabled;
     }
 
+    /// Opens an executable whose contents were already read: the routine
+    /// set comes from a shared, immutable [`Analysis`] and the image is
+    /// reference-counted, so nothing is re-parsed or re-discovered. This
+    /// is how concurrent eel-serve requests get their own editable
+    /// `Executable` from one cached analysis.
+    pub fn from_analysis(analysis: &Analysis) -> Executable {
+        let mut exec = Executable::from_shared_image(Arc::clone(analysis.image()))
+            .expect("Analysis holds a validated image");
+        exec.routines = analysis.routines().to_vec();
+        exec.hidden_queue = analysis.hidden_queue().to_vec();
+        exec.analyzed = true;
+        exec
+    }
+
     /// Reads and refines the program's contents (§3.1's staged analysis),
     /// establishing the routine set.
+    ///
+    /// Idempotent: repeated calls (the server's hot path re-entering the
+    /// driver loop) return immediately without re-scanning the text
+    /// segment or re-running the refinement stages. To share the result
+    /// across `Executable`s, compute an [`Analysis`] once and construct
+    /// with [`Executable::from_analysis`].
     ///
     /// # Errors
     ///
@@ -131,107 +174,9 @@ impl Executable {
             return Ok(());
         }
         let _obs = eel_obs::span("core.read_contents");
-        let text = (self.image.text_addr, self.image.text_end());
-
-        // Pre-scan: decode every text word once; collect direct-call
-        // targets and branch targets (with their sources).
-        let mut call_targets: Vec<u32> = Vec::new();
-        let mut branch_edges: Vec<(u32, u32)> = Vec::new(); // (src, target)
-        for (addr, word) in self.image.text_words() {
-            self.pool.intern(word);
-            match eel_isa::decode(word).op {
-                Op::Call { disp30 } => {
-                    let t = addr.wrapping_add((disp30 as u32) << 2);
-                    if t >= text.0 && t < text.1 && t % 4 == 0 {
-                        call_targets.push(t);
-                    }
-                }
-                Op::Branch { disp22, cond, .. } if cond != Cond::Never => {
-                    let t = addr.wrapping_add((disp22 as u32) << 2);
-                    if t >= text.0 && t < text.1 {
-                        branch_edges.push((addr, t));
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        // Stage 1: clean the symbol table's candidate labels.
-        let mut candidates: BTreeMap<u32, Option<String>> = BTreeMap::new();
-        if !self.image.is_stripped() {
-            let mut raw: Vec<&Symbol> = self
-                .image
-                .symbols
-                .iter()
-                .filter(|s| s.kind == SymbolKind::Routine && s.value >= text.0 && s.value < text.1)
-                .collect();
-            raw.sort_by_key(|s| s.value);
-            // Misaligned labels are dropped; duplicates keep the first name.
-            raw.retain(|s| s.value % 4 == 0);
-            // Drop labels that are branch targets from the region since the
-            // previous surviving candidate (probably internal labels, §3.1).
-            let mut branch_targets: HashMap<u32, Vec<u32>> = HashMap::new();
-            for (src, t) in &branch_edges {
-                branch_targets.entry(*t).or_default().push(*src);
-            }
-            let mut prev_start = text.0;
-            for s in raw {
-                let internal = branch_targets
-                    .get(&s.value)
-                    .map(|srcs| srcs.iter().any(|&src| src >= prev_start && src < s.value))
-                    .unwrap_or(false);
-                if internal {
-                    continue;
-                }
-                candidates
-                    .entry(s.value)
-                    .or_insert_with(|| Some(s.name.clone()));
-                prev_start = s.value;
-            }
-        }
-
-        // Stage 2: a stripped executable starts from the entry point, the
-        // first text address, and every direct-call target.
-        if candidates.is_empty() {
-            candidates.insert(self.image.entry, None);
-            candidates.entry(text.0).or_insert(None);
-            for &t in &call_targets {
-                candidates.entry(t).or_insert(None);
-            }
-        }
-        // The program's entry point is always a routine.
-        candidates.entry(self.image.entry).or_insert(None);
-
-        // Stage 3: call targets not in the set become (hidden) routines.
-        for &t in &call_targets {
-            candidates.entry(t).or_insert(None);
-        }
-
-        // Materialize routines in address order; extent = next start.
-        let starts: Vec<(u32, Option<String>)> = candidates.into_iter().collect();
-        for (i, (start, name)) in starts.iter().enumerate() {
-            let end = starts.get(i + 1).map(|(s, _)| *s).unwrap_or(text.1);
-            if end <= *start {
-                continue;
-            }
-            let hidden = name.is_none() && !self.image.is_stripped();
-            let id = RoutineId(self.routines.len());
-            self.routines.push(Routine {
-                name: name.clone(),
-                start: *start,
-                end,
-                entries: vec![*start],
-                hidden,
-            });
-            if hidden {
-                self.hidden_queue.push(id);
-            }
-        }
-        if self.routines.is_empty() {
-            return Err(EelError::BadImage(
-                "no routines found in text segment".into(),
-            ));
-        }
+        let discovery = discover_routines(&self.image, &mut self.pool)?;
+        self.routines = discovery.routines;
+        self.hidden_queue = discovery.hidden;
         self.analyzed = true;
         Ok(())
     }
@@ -247,7 +192,132 @@ impl Executable {
             .map(|(i, _)| RoutineId(i))
             .collect()
     }
+}
 
+/// The outcome of §3.1's routine discovery: the refined routine set plus
+/// the queue of hidden routines awaiting the Figure 1 drain loop.
+pub(crate) struct Discovery {
+    pub(crate) routines: Vec<Routine>,
+    pub(crate) hidden: Vec<RoutineId>,
+}
+
+/// §3.1's staged symbol-table refinement as a pure function of the image:
+/// the shared implementation behind [`Executable::read_contents`] and
+/// [`Analysis::compute`]. Decoded text words are interned into `pool` for
+/// the §3.4 one-object-per-word accounting.
+pub(crate) fn discover_routines(
+    image: &Image,
+    pool: &mut InstructionPool,
+) -> Result<Discovery, EelError> {
+    let text = (image.text_addr, image.text_end());
+
+    // Pre-scan: decode every text word once; collect direct-call
+    // targets and branch targets (with their sources).
+    let mut call_targets: Vec<u32> = Vec::new();
+    let mut branch_edges: Vec<(u32, u32)> = Vec::new(); // (src, target)
+    for (addr, word) in image.text_words() {
+        pool.intern(word);
+        match eel_isa::decode(word).op {
+            Op::Call { disp30 } => {
+                let t = addr.wrapping_add((disp30 as u32) << 2);
+                if t >= text.0 && t < text.1 && t % 4 == 0 {
+                    call_targets.push(t);
+                }
+            }
+            Op::Branch { disp22, cond, .. } if cond != Cond::Never => {
+                let t = addr.wrapping_add((disp22 as u32) << 2);
+                if t >= text.0 && t < text.1 {
+                    branch_edges.push((addr, t));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Stage 1: clean the symbol table's candidate labels.
+    let mut candidates: BTreeMap<u32, Option<String>> = BTreeMap::new();
+    if !image.is_stripped() {
+        let mut raw: Vec<&Symbol> = image
+            .symbols
+            .iter()
+            .filter(|s| s.kind == SymbolKind::Routine && s.value >= text.0 && s.value < text.1)
+            .collect();
+        raw.sort_by_key(|s| s.value);
+        // Misaligned labels are dropped; duplicates keep the first name.
+        raw.retain(|s| s.value % 4 == 0);
+        // Drop labels that are branch targets from the region since the
+        // previous surviving candidate (probably internal labels, §3.1).
+        let mut branch_targets: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (src, t) in &branch_edges {
+            branch_targets.entry(*t).or_default().push(*src);
+        }
+        let mut prev_start = text.0;
+        for s in raw {
+            let internal = branch_targets
+                .get(&s.value)
+                .map(|srcs| srcs.iter().any(|&src| src >= prev_start && src < s.value))
+                .unwrap_or(false);
+            if internal {
+                continue;
+            }
+            candidates
+                .entry(s.value)
+                .or_insert_with(|| Some(s.name.clone()));
+            prev_start = s.value;
+        }
+    }
+
+    // Stage 2: a stripped executable starts from the entry point, the
+    // first text address, and every direct-call target.
+    if candidates.is_empty() {
+        candidates.insert(image.entry, None);
+        candidates.entry(text.0).or_insert(None);
+        for &t in &call_targets {
+            candidates.entry(t).or_insert(None);
+        }
+    }
+    // The program's entry point is always a routine.
+    candidates.entry(image.entry).or_insert(None);
+
+    // Stage 3: call targets not in the set become (hidden) routines.
+    for &t in &call_targets {
+        candidates.entry(t).or_insert(None);
+    }
+
+    // Materialize routines in address order; extent = next start.
+    let mut routines: Vec<Routine> = Vec::new();
+    let mut hidden_queue: Vec<RoutineId> = Vec::new();
+    let starts: Vec<(u32, Option<String>)> = candidates.into_iter().collect();
+    for (i, (start, name)) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).map(|(s, _)| *s).unwrap_or(text.1);
+        if end <= *start {
+            continue;
+        }
+        let hidden = name.is_none() && !image.is_stripped();
+        let id = RoutineId(routines.len());
+        routines.push(Routine {
+            name: name.clone(),
+            start: *start,
+            end,
+            entries: vec![*start],
+            hidden,
+        });
+        if hidden {
+            hidden_queue.push(id);
+        }
+    }
+    if routines.is_empty() {
+        return Err(EelError::BadImage(
+            "no routines found in text segment".into(),
+        ));
+    }
+    Ok(Discovery {
+        routines,
+        hidden: hidden_queue,
+    })
+}
+
+impl Executable {
     /// Ids of every routine currently known (named and hidden).
     pub fn all_routine_ids(&self) -> Vec<RoutineId> {
         (0..self.routines.len()).map(RoutineId).collect()

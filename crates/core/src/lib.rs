@@ -55,6 +55,7 @@ mod executable;
 mod instr;
 mod layout;
 mod routine;
+mod shared;
 mod snippet;
 
 pub use analysis::callgraph::{CallGraph, CallSite};
@@ -71,4 +72,5 @@ pub use error::EelError;
 pub use executable::{Executable, RoutineId};
 pub use instr::{AllocStats, Instruction, InstructionPool};
 pub use routine::Routine;
+pub use shared::Analysis;
 pub use snippet::{Callback, RegAssignment, Snippet};

@@ -1,0 +1,107 @@
+//! Shareable analysis artifacts.
+//!
+//! EEL as the paper describes it is a per-process library: one
+//! [`crate::Executable`] owns its image, and every analysis mutates that owner.
+//! A long-running service (eel-serve) instead wants the expensive,
+//! deterministic artifacts — the loaded image and §3.1's routine
+//! discovery — computed once, then shared read-only across many
+//! concurrent requests. [`Analysis`] is that artifact: immutable, `Send +
+//! Sync`, cheap to fan out behind an [`Arc`], and convertible back into a
+//! private editable executable with [`crate::Executable::from_analysis`].
+
+use crate::error::EelError;
+use crate::executable::{discover_routines, RoutineId};
+use crate::instr::InstructionPool;
+use crate::routine::Routine;
+use eel_exe::Image;
+use std::sync::Arc;
+
+/// The immutable result of loading an image and running §3.1's routine
+/// discovery, packaged for sharing across threads and cache entries.
+///
+/// ```
+/// use eel_core::{Analysis, Executable};
+/// use std::sync::Arc;
+///
+/// let image = eel_cc::compile_str(
+///     "fn main() { return 7; }",
+///     &eel_cc::Options::default(),
+/// )?;
+/// let analysis = Arc::new(Analysis::compute(Arc::new(image))?);
+/// // Two independent, concurrently usable executables; neither re-parses
+/// // the image or re-runs discovery.
+/// let a = Executable::from_analysis(&analysis);
+/// let b = Executable::from_analysis(&analysis);
+/// assert_eq!(a.routines().len(), b.routines().len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Analysis {
+    image: Arc<Image>,
+    routines: Vec<Routine>,
+    hidden: Vec<RoutineId>,
+}
+
+impl Analysis {
+    /// Validates the image and runs the §3.1 refinement once.
+    ///
+    /// # Errors
+    ///
+    /// [`EelError::BadImage`] when validation or discovery fails.
+    pub fn compute(image: Arc<Image>) -> Result<Analysis, EelError> {
+        let _obs = eel_obs::span("core.analysis.compute");
+        image.validate()?;
+        let mut pool = InstructionPool::new();
+        let discovery = discover_routines(&image, &mut pool)?;
+        Ok(Analysis {
+            image,
+            routines: discovery.routines,
+            hidden: discovery.hidden,
+        })
+    }
+
+    /// The shared image.
+    pub fn image(&self) -> &Arc<Image> {
+        &self.image
+    }
+
+    /// The discovered routines, in discovery order (same indices as the
+    /// [`RoutineId`]s a [`crate::Executable::from_analysis`] hands out).
+    pub fn routines(&self) -> &[Routine] {
+        &self.routines
+    }
+
+    /// The hidden routines awaiting the Figure 1 drain loop.
+    pub(crate) fn hidden_queue(&self) -> &[RoutineId] {
+        &self.hidden
+    }
+
+    /// Approximate resident size in bytes — the currency of eel-serve's
+    /// LRU byte budget. Counts the image segments and the routine table;
+    /// deliberately an estimate (names and allocator overhead are
+    /// approximated, not measured).
+    pub fn approx_bytes(&self) -> usize {
+        let image = self.image.text.len()
+            + self.image.data.len()
+            + self
+                .image
+                .symbols
+                .iter()
+                .map(|s| std::mem::size_of_val(s) + s.name.len())
+                .sum::<usize>();
+        let routines = self
+            .routines
+            .iter()
+            .map(|r| {
+                std::mem::size_of_val(r)
+                    + r.entries().len() * 4
+                    + if r.has_symbol_name() {
+                        r.name().len()
+                    } else {
+                        0
+                    }
+            })
+            .sum::<usize>();
+        std::mem::size_of::<Analysis>() + image + routines
+    }
+}

@@ -1,0 +1,113 @@
+//! Regression tests for the shareable-analysis surgery: idempotent
+//! `read_contents`, `Analysis`/`from_analysis` equivalence, and
+//! cross-thread sharing.
+
+use eel_cc::{compile_str, Options, Personality};
+use eel_core::{Analysis, Executable};
+use std::sync::Arc;
+
+fn program() -> &'static str {
+    r#"
+    global data[32];
+    fn helper(x) { data[x & 31] = x; return data[x & 31] * 2; }
+    fn main() {
+        var i; var t = 0;
+        for (i = 0; i < 12; i = i + 1) { t = t + helper(i); }
+        return t & 255;
+    }"#
+}
+
+#[test]
+fn read_contents_is_idempotent() {
+    // The server calls analysis paths repeatedly on shared state; a
+    // second read_contents must be a no-op, not a duplicate discovery
+    // (or worse, duplicated routines).
+    let image = compile_str(program(), &Options::default()).unwrap();
+    let mut exec = Executable::from_image(image).unwrap();
+    exec.read_contents().unwrap();
+    let routines: Vec<String> = exec.routines().iter().map(|r| r.name()).collect();
+    let entries: Vec<Vec<u32>> = exec
+        .routines()
+        .iter()
+        .map(|r| r.entries().to_vec())
+        .collect();
+
+    exec.read_contents().unwrap();
+    exec.read_contents().unwrap();
+    let again: Vec<String> = exec.routines().iter().map(|r| r.name()).collect();
+    let entries_again: Vec<Vec<u32>> = exec
+        .routines()
+        .iter()
+        .map(|r| r.entries().to_vec())
+        .collect();
+    assert_eq!(routines, again, "repeat read_contents left routines alone");
+    assert_eq!(entries, entries_again);
+}
+
+#[test]
+fn from_analysis_matches_fresh_read_contents() {
+    let image = compile_str(program(), &Options::default()).unwrap();
+
+    let mut fresh = Executable::from_image(image.clone()).unwrap();
+    fresh.read_contents().unwrap();
+
+    let analysis = Analysis::compute(Arc::new(image)).unwrap();
+    let shared = Executable::from_analysis(&analysis);
+
+    let names = |e: &Executable| -> Vec<(String, Vec<u32>, bool)> {
+        e.routines()
+            .iter()
+            .map(|r| (r.name(), r.entries().to_vec(), r.is_hidden()))
+            .collect()
+    };
+    assert_eq!(names(&fresh), names(&shared));
+    assert_eq!(analysis.routines().len(), fresh.routines().len());
+}
+
+#[test]
+fn one_analysis_serves_concurrent_editors() {
+    // The service's whole premise: one Analysis fans out to many threads,
+    // each building its own Executable and editing independently, and
+    // every edited executable still behaves like the original.
+    for personality in [Personality::Gcc, Personality::SunPro] {
+        let opts = Options {
+            personality,
+            ..Options::default()
+        };
+        let image = compile_str(program(), &opts).unwrap();
+        let plain = eel_emu::run_image(&image).unwrap();
+        let analysis = Arc::new(Analysis::compute(Arc::new(image)).unwrap());
+
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let analysis = Arc::clone(&analysis);
+            handles.push(std::thread::spawn(move || {
+                let mut exec = Executable::from_analysis(&analysis);
+                for id in exec.all_routine_ids() {
+                    let cfg = exec.build_cfg(id).unwrap();
+                    exec.install_edits(cfg).unwrap();
+                }
+                exec.write_edited().unwrap()
+            }));
+        }
+        for h in handles {
+            let edited = h.join().expect("editor thread panicked");
+            let outcome = eel_emu::run_image(&edited).unwrap();
+            assert_eq!(outcome.exit_code, plain.exit_code);
+            assert_eq!(outcome.output, plain.output);
+        }
+    }
+}
+
+#[test]
+fn approx_bytes_tracks_image_size() {
+    let small = compile_str("fn main() { return 1; }", &Options::default()).unwrap();
+    let big = compile_str(program(), &Options::default()).unwrap();
+    let a_small = Analysis::compute(Arc::new(small)).unwrap();
+    let a_big = Analysis::compute(Arc::new(big)).unwrap();
+    assert!(a_small.approx_bytes() > 0);
+    assert!(
+        a_big.approx_bytes() > a_small.approx_bytes(),
+        "bigger program, bigger estimate"
+    );
+}

@@ -1,0 +1,51 @@
+//! WEF round-trip identity over real compiler output: every progen suite
+//! program, under both compiler personalities, must survive
+//! load → write → load unchanged. The arbitrary-image property tests in
+//! `props.rs` cover the format's corners; this covers the images the
+//! rest of the system (and eel-serve's content-addressed cache) actually
+//! traffics in — the cache keys on the serialized bytes, so
+//! re-serialization must be byte-identical, not just structurally equal.
+
+use eel_cc::Personality;
+use eel_exe::Image;
+
+#[test]
+fn progen_suite_round_trips_to_identical_bytes() {
+    for w in eel_progen::suite() {
+        for personality in [Personality::Gcc, Personality::SunPro] {
+            let image = eel_progen::compile(&w, personality).expect("compile workload");
+            let bytes = image.to_bytes();
+            let reloaded = Image::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("{} ({personality:?}): reload failed: {e}", w.name));
+
+            assert_eq!(
+                reloaded, image,
+                "{} ({personality:?}): structural identity",
+                w.name
+            );
+            assert_eq!(
+                reloaded.to_bytes(),
+                bytes,
+                "{} ({personality:?}): byte-identical re-serialization",
+                w.name
+            );
+            reloaded
+                .validate()
+                .unwrap_or_else(|e| panic!("{} ({personality:?}): re-validate: {e}", w.name));
+        }
+    }
+}
+
+#[test]
+fn degraded_symbol_tables_round_trip_too() {
+    // The robustness workloads (degraded/stripped symbols) flow through
+    // the same serialization path; they must round-trip as exactly.
+    for (i, w) in eel_progen::suite().into_iter().enumerate() {
+        let mut image = eel_progen::compile(&w, Personality::Gcc).expect("compile workload");
+        eel_progen::degrade_symbols(&mut image, i as u64);
+        let bytes = image.to_bytes();
+        let reloaded = Image::from_bytes(&bytes).expect("reload degraded image");
+        assert_eq!(reloaded, image, "{}: degraded identity", w.name);
+        assert_eq!(reloaded.to_bytes(), bytes, "{}: degraded bytes", w.name);
+    }
+}

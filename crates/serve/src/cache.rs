@@ -1,0 +1,248 @@
+//! A content-addressed, single-flight LRU cache.
+//!
+//! The server's artifacts (parsed [`eel_core::Analysis`] objects, rendered
+//! operation results) are deterministic functions of the input bytes, so
+//! they are keyed by content hash and shared freely. Two properties
+//! matter under concurrency:
+//!
+//! * **Single-flight**: when an identical request arrives while the first
+//!   one is still computing, the newcomer blocks on the in-flight slot and
+//!   receives the shared result instead of starting a duplicate
+//!   computation.
+//! * **Byte budget**: entries carry a cost; when the total exceeds the
+//!   budget the least-recently-used entries are evicted (the most recent
+//!   insertion always survives, even if it alone exceeds the budget, so
+//!   a hot oversized artifact still dedupes).
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::{Condvar, Mutex};
+
+/// 64-bit FNV-1a over a byte slice: the cache's content address. Not
+/// cryptographic — this dedupes cooperative clients, it does not defend
+/// against adversarial collisions.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+enum Slot<V> {
+    /// Someone is computing this entry; waiters sleep on the condvar.
+    InFlight,
+    /// Computed, resident, costing `cost` bytes of the budget.
+    Ready { value: V, cost: usize },
+}
+
+struct Inner<K, V> {
+    slots: HashMap<K, Slot<V>>,
+    /// Ready keys, least recently used at the front.
+    order: VecDeque<K>,
+    bytes: usize,
+}
+
+/// The cache. `V` is cloned out on every hit, so in practice it is an
+/// `Arc` (or a small `Result` wrapping one).
+pub struct SingleFlightLru<K: Eq + Hash + Clone, V: Clone> {
+    budget: usize,
+    inner: Mutex<Inner<K, V>>,
+    ready: Condvar,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlightLru<K, V> {
+    /// An empty cache with a byte budget.
+    pub fn new(budget: usize) -> SingleFlightLru<K, V> {
+        SingleFlightLru {
+            budget,
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                order: VecDeque::new(),
+                bytes: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Returns the cached value for `key`, or runs `compute` to fill it.
+    /// `compute` returns the value plus its budget cost in bytes. The
+    /// boolean is `true` when the value was served without running
+    /// `compute` here — an LRU hit or a join onto an in-flight
+    /// computation.
+    ///
+    /// If `compute` panics, the in-flight slot is cleared and waiters
+    /// retry, so one poisoned request cannot wedge the cache.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> (V, usize)) -> (V, bool) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        loop {
+            match inner.slots.get(&key) {
+                Some(Slot::Ready { value, .. }) => {
+                    let value = value.clone();
+                    let pos = inner.order.iter().position(|k| *k == key);
+                    if let Some(pos) = pos {
+                        let k = inner.order.remove(pos).expect("position in range");
+                        inner.order.push_back(k);
+                    }
+                    return (value, true);
+                }
+                Some(Slot::InFlight) => {
+                    inner = self.ready.wait(inner).expect("cache lock poisoned");
+                }
+                None => break,
+            }
+        }
+        inner.slots.insert(key.clone(), Slot::InFlight);
+        drop(inner);
+
+        struct ClearOnPanic<'a, K: Eq + Hash + Clone, V: Clone> {
+            cache: &'a SingleFlightLru<K, V>,
+            key: K,
+            armed: bool,
+        }
+        impl<K: Eq + Hash + Clone, V: Clone> Drop for ClearOnPanic<'_, K, V> {
+            fn drop(&mut self) {
+                if self.armed {
+                    let mut inner = self.cache.inner.lock().expect("cache lock poisoned");
+                    inner.slots.remove(&self.key);
+                    self.cache.ready.notify_all();
+                }
+            }
+        }
+        let mut guard = ClearOnPanic {
+            cache: self,
+            key: key.clone(),
+            armed: true,
+        };
+        let (value, cost) = compute();
+        guard.armed = false;
+
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.slots.insert(
+            key.clone(),
+            Slot::Ready {
+                value: value.clone(),
+                cost,
+            },
+        );
+        inner.order.push_back(key);
+        inner.bytes += cost;
+        while inner.bytes > self.budget && inner.order.len() > 1 {
+            let oldest = inner.order.pop_front().expect("order non-empty");
+            if let Some(Slot::Ready { cost, .. }) = inner.slots.remove(&oldest) {
+                inner.bytes -= cost;
+            }
+        }
+        self.ready.notify_all();
+        (value, false)
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").bytes
+    }
+
+    /// Number of resident (ready) entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").order.len()
+    }
+
+    /// Is the cache empty of resident entries?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn hit_after_miss() {
+        let cache: SingleFlightLru<u64, Arc<String>> = SingleFlightLru::new(1 << 20);
+        let (v, hit) = cache.get_or_compute(1, || (Arc::new("a".into()), 8));
+        assert!(!hit);
+        assert_eq!(*v, "a");
+        let (v, hit) = cache.get_or_compute(1, || unreachable!("must not recompute"));
+        assert!(hit);
+        assert_eq!(*v, "a");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), 8);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let cache: SingleFlightLru<u64, u64> = SingleFlightLru::new(100);
+        cache.get_or_compute(1, || (1, 40));
+        cache.get_or_compute(2, || (2, 40));
+        // Touch 1 so 2 becomes the LRU victim.
+        cache.get_or_compute(1, || unreachable!());
+        cache.get_or_compute(3, || (3, 40));
+        assert!(cache.bytes() <= 100);
+        let (_, hit1) = cache.get_or_compute(1, || (1, 40));
+        let (_, hit2) = cache.get_or_compute(2, || (2, 40));
+        assert!(hit1, "recently touched entry survived");
+        assert!(!hit2, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn oversized_entry_still_resident() {
+        let cache: SingleFlightLru<u64, u64> = SingleFlightLru::new(10);
+        cache.get_or_compute(1, || (1, 1000));
+        let (_, hit) = cache.get_or_compute(1, || unreachable!());
+        assert!(hit, "newest entry survives even over budget");
+    }
+
+    #[test]
+    fn single_flight_dedupes_concurrent_computes() {
+        let cache: Arc<SingleFlightLru<u64, u64>> = Arc::new(SingleFlightLru::new(1 << 20));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let mut joined = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            joined.push(std::thread::spawn(move || {
+                cache.get_or_compute(7, || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    (99, 8)
+                })
+            }));
+        }
+        let results: Vec<(u64, bool)> = joined.into_iter().map(|j| j.join().unwrap()).collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert!(results.iter().all(|(v, _)| *v == 99));
+        assert_eq!(
+            results.iter().filter(|(_, hit)| !hit).count(),
+            1,
+            "exactly one miss; the rest joined or hit"
+        );
+    }
+
+    #[test]
+    fn panic_in_compute_releases_waiters() {
+        let cache: Arc<SingleFlightLru<u64, u64>> = Arc::new(SingleFlightLru::new(1 << 20));
+        let c2 = Arc::clone(&cache);
+        let panicker = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_compute(5, || panic!("boom"))
+            }));
+            assert!(result.is_err());
+        });
+        panicker.join().unwrap();
+        // The slot must be clear: a later request computes fresh.
+        let (v, hit) = cache.get_or_compute(5, || (42, 8));
+        assert!(!hit);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_and_is_stable() {
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(content_hash(b"a"), content_hash(b"b"));
+        assert_eq!(content_hash(b"abc"), content_hash(b"abc"));
+    }
+}

@@ -1,0 +1,73 @@
+//! A blocking client for the eel-serve protocol: one connection per
+//! request, which keeps the server's bounded queue an honest measure of
+//! outstanding work.
+
+use crate::proto::{read_frame, write_frame, Payload, Request, Response};
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client handle — just an address plus an I/O timeout; each request
+/// opens its own connection, so one handle is freely shared across
+/// threads.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Option<Duration>,
+}
+
+impl Client {
+    /// A client for a server address (e.g. `127.0.0.1:7099`), with a
+    /// 30-second I/O timeout.
+    pub fn connect(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Some(Duration::from_secs(30)),
+        }
+    }
+
+    /// Replaces the per-request socket timeout (`None` blocks forever).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Connection, I/O, timeout, or protocol-decoding failures. A
+    /// [`Response::Busy`] or [`Response::Err`] is a *successful* exchange
+    /// and comes back as `Ok`.
+    pub fn request(&self, req: &Request) -> io::Result<Response> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        write_frame(&mut stream, &req.encode())?;
+        let body = read_frame(&mut stream)?;
+        Response::decode(&body)
+    }
+
+    /// Convenience: sends `op` with `payload`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn op(&self, op: &str, payload: Payload) -> io::Result<Response> {
+        self.request(&Request {
+            op: op.into(),
+            payload,
+        })
+    }
+
+    /// Convenience: a payload-less control request (`ping`, `metrics`,
+    /// `shutdown`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn control(&self, op: &str) -> io::Result<Response> {
+        self.op(op, Payload::none())
+    }
+}

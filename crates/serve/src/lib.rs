@@ -1,0 +1,49 @@
+//! # eel-serve: a concurrent binary-analysis service
+//!
+//! EEL (Larus & Schnarr, PLDI 1995) is a *library*: every tool links it
+//! and re-runs the expensive parts — image loading, §3.1 routine
+//! discovery, CFG construction — from scratch. This crate wraps the
+//! library in a long-running daemon so those artifacts are computed once
+//! and shared: a std-only TCP server ([`Server`]) with a worker pool, a
+//! bounded request queue with explicit [`Response::Busy`] backpressure,
+//! and a content-addressed, single-flight LRU cache keyed by (hash of the
+//! WEF bytes, operation).
+//!
+//! Operations: `disasm`, `cfg-summary`, `liveness`, `stat`,
+//! `instrument` (qpt-style edge-count instrumentation returning the
+//! edited executable), plus the control ops `ping`, `metrics` (renders
+//! the eel-obs registry), and `shutdown`. The `eelserved` binary runs the
+//! daemon; `eelctl` (in eel-tools) is the command-line client.
+//!
+//! ```
+//! use eel_serve::{Client, Payload, Response, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default())?;
+//! let client = Client::connect(server.local_addr().to_string());
+//!
+//! let image = eel_cc::compile_str("fn main() { return 3; }", &eel_cc::Options::default())?;
+//! let wef = image.to_bytes();
+//!
+//! let first = client.op("stat", Payload::Inline(wef.clone()))?;
+//! let second = client.op("stat", Payload::Inline(wef))?;
+//! match (first, second) {
+//!     (Response::Ok { cached: false, .. }, Response::Ok { cached: true, .. }) => {}
+//!     other => panic!("expected miss then hit, got {other:?}"),
+//! }
+//!
+//! server.shutdown();
+//! server.wait();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod cache;
+mod client;
+mod ops;
+mod proto;
+mod server;
+
+pub use cache::{content_hash, SingleFlightLru};
+pub use client::Client;
+pub use ops::{run_op, CACHED_OPS};
+pub use proto::{read_frame, write_frame, Payload, Request, Response, MAX_FRAME, VERSION};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,230 @@
+//! The server's analysis operations.
+//!
+//! Every operation is a pure function of a shared [`Analysis`] (the
+//! validated image plus §3.1 routine discovery), which is what makes the
+//! content-addressed cache sound: same WEF bytes + same op name ⇒ same
+//! result. Text-producing ops render stable, line-oriented listings;
+//! `instrument` returns the edited executable's WEF bytes.
+
+use eel_core::{Analysis, BlockKind, Executable, Liveness, Snippet};
+use std::fmt::Write as _;
+
+/// The operations whose results flow through the content-addressed cache.
+/// (`ping`, `metrics`, and `shutdown` are control-plane requests handled
+/// by the server itself.)
+pub const CACHED_OPS: &[&str] = &["disasm", "cfg-summary", "liveness", "stat", "instrument"];
+
+/// Runs one cacheable operation against a shared analysis.
+///
+/// # Errors
+///
+/// A rendered message when the op is unknown or the underlying
+/// analysis/editing step fails.
+pub fn run_op(op: &str, analysis: &Analysis) -> Result<Vec<u8>, String> {
+    match op {
+        "disasm" => disasm(analysis),
+        "cfg-summary" => cfg_summary(analysis),
+        "liveness" => liveness(analysis),
+        "stat" => stat(analysis),
+        "instrument" => instrument(analysis),
+        other => Err(format!(
+            "unknown op {other:?} (expected one of {CACHED_OPS:?}, ping, metrics, shutdown)"
+        )),
+    }
+}
+
+fn err(op: &str, e: impl std::fmt::Display) -> String {
+    format!("{op}: {e}")
+}
+
+/// A disassembly listing with routine headers and dispatch-table
+/// annotations — the service twin of `eelobjdump`.
+fn disasm(analysis: &Analysis) -> Result<Vec<u8>, String> {
+    let mut exec = Executable::from_analysis(analysis);
+    let image = analysis.image();
+    let mut out = String::new();
+    for id in exec.all_routine_ids() {
+        let routine = exec.routine(id).clone();
+        let cfg = exec.build_cfg(id).map_err(|e| err("disasm", e))?;
+        let _ = writeln!(
+            out,
+            "{:#010x} <{}>{}:",
+            routine.start(),
+            routine.name(),
+            if routine.is_hidden() { " (hidden)" } else { "" }
+        );
+        let mut addr = routine.start();
+        while addr < routine.end() {
+            let word = image.word_at(addr).unwrap_or(0);
+            let in_table = cfg
+                .data_ranges()
+                .iter()
+                .any(|r| addr >= r.start && addr < r.end);
+            if in_table {
+                let _ = writeln!(out, "  {addr:#010x}:  .word {word:#010x}  ; dispatch table");
+            } else {
+                let _ = writeln!(out, "  {addr:#010x}:  {}", eel_isa::decode(word));
+            }
+            addr += 4;
+        }
+        out.push('\n');
+    }
+    Ok(out.into_bytes())
+}
+
+/// Per-routine CFG statistics plus whole-program totals.
+fn cfg_summary(analysis: &Analysis) -> Result<Vec<u8>, String> {
+    let mut exec = Executable::from_analysis(analysis);
+    let mut out = String::new();
+    let (mut blocks, mut edges, mut insns) = (0usize, 0usize, 0usize);
+    for id in exec.all_routine_ids() {
+        let name = exec.routine(id).name();
+        let cfg = exec.build_cfg(id).map_err(|e| err("cfg-summary", e))?;
+        let s = cfg.stats();
+        let _ =
+            writeln!(
+            out,
+            "{name}: blocks={} (delay={} surrogate={}) edges={} insns={} uneditable-edges={:.0}%{}",
+            s.total_blocks(),
+            s.delay_slot_blocks,
+            s.call_surrogate_blocks,
+            s.edges,
+            s.instructions,
+            100.0 * s.uneditable_edge_fraction(),
+            if cfg.is_incomplete() { " INCOMPLETE" } else { "" },
+        );
+        blocks += s.total_blocks();
+        edges += s.edges;
+        insns += s.instructions;
+    }
+    let _ = writeln!(
+        out,
+        "TOTAL: routines={} blocks={blocks} edges={edges} insns={insns}",
+        analysis.routines().len()
+    );
+    Ok(out.into_bytes())
+}
+
+/// Entry live-in registers for every routine, from the CFG dataflow.
+fn liveness(analysis: &Analysis) -> Result<Vec<u8>, String> {
+    let mut exec = Executable::from_analysis(analysis);
+    let mut out = String::new();
+    for id in exec.all_routine_ids() {
+        let name = exec.routine(id).name();
+        let cfg = exec.build_cfg(id).map_err(|e| err("liveness", e))?;
+        let live = Liveness::compute(&cfg);
+        let entry = live.live_in(cfg.entry_block());
+        let _ = writeln!(out, "{name}: entry-live-in={entry} ({} regs)", entry.len());
+    }
+    Ok(out.into_bytes())
+}
+
+/// Image and discovery statistics: segment sizes, symbol and routine
+/// counts.
+fn stat(analysis: &Analysis) -> Result<Vec<u8>, String> {
+    let image = analysis.image();
+    let hidden = analysis.routines().iter().filter(|r| r.is_hidden()).count();
+    let entries: usize = analysis.routines().iter().map(|r| r.entries().len()).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "text: {} bytes @ {:#010x}",
+        image.text.len(),
+        image.text_addr
+    );
+    let _ = writeln!(
+        out,
+        "data: {} bytes @ {:#010x}",
+        image.data.len(),
+        image.data_addr
+    );
+    let _ = writeln!(out, "symbols: {}", image.symbols.len());
+    let _ = writeln!(
+        out,
+        "routines: {} ({hidden} hidden, {entries} entry points)",
+        analysis.routines().len()
+    );
+    let _ = writeln!(out, "analysis-bytes: ~{}", analysis.approx_bytes());
+    Ok(out.into_bytes())
+}
+
+/// Edge-count instrumentation: a counter along every editable out-edge of
+/// multi-successor blocks — the same optimal placement qpt2 uses for
+/// `Granularity::Edges` (paper Figure 1), reimplemented here on eel-core
+/// so the service does not depend on the tools crate. Returns the edited
+/// executable's WEF bytes.
+fn instrument(analysis: &Analysis) -> Result<Vec<u8>, String> {
+    let mut exec = Executable::from_analysis(analysis);
+    for id in exec.all_routine_ids() {
+        let mut cfg = exec.build_cfg(id).map_err(|e| err("instrument", e))?;
+        let mut edges = Vec::new();
+        for (_, b) in cfg.blocks() {
+            if b.kind != BlockKind::Normal || b.succ().len() < 2 {
+                continue;
+            }
+            for &e in b.succ() {
+                if cfg.edge(e).editable {
+                    edges.push(e);
+                }
+            }
+        }
+        let base = exec.reserve_data(4 * edges.len().max(1) as u32);
+        for (k, e) in edges.into_iter().enumerate() {
+            let counter = base + 4 * k as u32;
+            cfg.add_code_along(e, Snippet::counter_increment(counter))
+                .map_err(|e| err("instrument", e))?;
+        }
+        exec.install_edits(cfg).map_err(|e| err("instrument", e))?;
+    }
+    let edited = exec.write_edited().map_err(|e| err("instrument", e))?;
+    Ok(edited.to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eel_exe::Image;
+    use std::sync::Arc;
+
+    fn analysis() -> Arc<Analysis> {
+        let image = eel_cc::compile_str(
+            "fn main() { var i; var t = 0;
+               for (i = 0; i < 5; i = i + 1) { t = t + i; } return t; }",
+            &eel_cc::Options::default(),
+        )
+        .expect("compile");
+        Arc::new(Analysis::compute(Arc::new(image)).expect("analyze"))
+    }
+
+    #[test]
+    fn text_ops_render_and_are_deterministic() {
+        let a = analysis();
+        for op in ["disasm", "cfg-summary", "liveness", "stat"] {
+            let one = run_op(op, &a).expect(op);
+            let two = run_op(op, &a).expect(op);
+            assert!(!one.is_empty(), "{op} produced output");
+            assert_eq!(one, two, "{op} is deterministic");
+        }
+        let summary = String::from_utf8(run_op("cfg-summary", &a).unwrap()).unwrap();
+        assert!(summary.contains("TOTAL:"));
+        let stat = String::from_utf8(run_op("stat", &a).unwrap()).unwrap();
+        assert!(stat.contains("routines:"));
+    }
+
+    #[test]
+    fn instrument_preserves_behavior_and_counts_edges() {
+        let a = analysis();
+        let original = eel_emu::run_image(a.image()).expect("run original");
+        let wef = run_op("instrument", &a).expect("instrument");
+        let edited = Image::from_bytes(&wef).expect("edited image parses");
+        let outcome = eel_emu::run_image(&edited).expect("run edited");
+        assert_eq!(outcome.exit_code, original.exit_code);
+    }
+
+    #[test]
+    fn unknown_op_is_an_error() {
+        let a = analysis();
+        let e = run_op("frobnicate", &a).unwrap_err();
+        assert!(e.contains("unknown op"));
+    }
+}

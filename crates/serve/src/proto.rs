@@ -1,0 +1,307 @@
+//! The eel-serve wire protocol: length-prefixed frames over TCP.
+//!
+//! Every message is a 4-byte big-endian length followed by that many
+//! body bytes; a connection carries exactly one request and one response
+//! (batch clients open one connection per item). Bodies are versioned by
+//! a leading byte so the format can grow without breaking old clients.
+//!
+//! Request body:
+//!
+//! ```text
+//! u8 version (=1) | u16 op length | op (utf-8) | u8 payload kind
+//!   kind 0: u32 length | inline WEF bytes
+//!   kind 1: u32 length | utf-8 path on the SERVER's filesystem
+//! ```
+//!
+//! Response body:
+//!
+//! ```text
+//! u8 version (=1) | u8 status (0 ok / 1 error / 2 busy) |
+//!   u8 cached (0/1) | u32 length | body bytes
+//! ```
+//!
+//! `cached` reports whether the result came from the content-addressed
+//! cache (an LRU hit, or a join onto an identical in-flight request)
+//! rather than a fresh computation.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version byte.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame body; larger frames are a protocol error (a
+/// defense against garbage length prefixes, not a tuning knob).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// How a request names its WEF executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// The WEF image bytes travel inline with the request.
+    Inline(Vec<u8>),
+    /// A path the *server* reads (client and server share a filesystem).
+    Path(String),
+}
+
+impl Payload {
+    /// An empty inline payload, for operations that take none
+    /// (`ping`, `metrics`, `shutdown`).
+    pub fn none() -> Payload {
+        Payload::Inline(Vec::new())
+    }
+}
+
+/// One request: an operation name plus the executable it applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Operation name (`disasm`, `cfg-summary`, `liveness`, `instrument`,
+    /// `stat`, `metrics`, `ping`, `shutdown`).
+    pub op: String,
+    /// The executable being analyzed.
+    pub payload: Payload,
+}
+
+/// One response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The operation succeeded; `body` is its rendered result (text for
+    /// the analysis ops, WEF bytes for `instrument`).
+    Ok {
+        /// Served from the content-addressed cache (or deduped onto an
+        /// in-flight identical request) instead of recomputed.
+        cached: bool,
+        /// The result.
+        body: Vec<u8>,
+    },
+    /// The operation failed; the message says why.
+    Err(String),
+    /// The server's bounded request queue is full — back off and retry.
+    Busy,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one length-prefixed frame body.
+///
+/// # Errors
+///
+/// I/O failures, or a length prefix beyond [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O failures, or a body beyond [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME as usize {
+        return Err(bad(format!(
+            "frame of {} bytes exceeds MAX_FRAME",
+            body.len()
+        )));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+impl Request {
+    /// Serializes to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let op = self.op.as_bytes();
+        let (kind, bytes): (u8, &[u8]) = match &self.payload {
+            Payload::Inline(b) => (0, b),
+            Payload::Path(p) => (1, p.as_bytes()),
+        };
+        let mut out = Vec::with_capacity(8 + op.len() + bytes.len());
+        out.push(VERSION);
+        out.extend_from_slice(&(op.len() as u16).to_be_bytes());
+        out.extend_from_slice(op);
+        out.push(kind);
+        out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(bytes);
+        out
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for truncated bodies, bad versions, or non-UTF-8
+    /// names.
+    pub fn decode(body: &[u8]) -> io::Result<Request> {
+        let mut c = Cursor { body, at: 0 };
+        let version = c.u8("version")?;
+        if version != VERSION {
+            return Err(bad(format!("unsupported protocol version {version}")));
+        }
+        let op_len = c.u16("op length")? as usize;
+        let op = String::from_utf8(c.take(op_len, "op")?.to_vec())
+            .map_err(|_| bad("op is not utf-8"))?;
+        let kind = c.u8("payload kind")?;
+        let len = c.u32("payload length")? as usize;
+        let bytes = c.take(len, "payload")?.to_vec();
+        let payload = match kind {
+            0 => Payload::Inline(bytes),
+            1 => Payload::Path(
+                String::from_utf8(bytes).map_err(|_| bad("payload path is not utf-8"))?,
+            ),
+            k => return Err(bad(format!("unknown payload kind {k}"))),
+        };
+        Ok(Request { op, payload })
+    }
+}
+
+impl Response {
+    /// Serializes to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let (status, cached, body): (u8, u8, &[u8]) = match self {
+            Response::Ok { cached, body } => (0, u8::from(*cached), body),
+            Response::Err(msg) => (1, 0, msg.as_bytes()),
+            Response::Busy => (2, 0, &[]),
+        };
+        let mut out = Vec::with_capacity(7 + body.len());
+        out.push(VERSION);
+        out.push(status);
+        out.push(cached);
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(body);
+        out
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for truncated bodies or unknown status codes.
+    pub fn decode(body: &[u8]) -> io::Result<Response> {
+        let mut c = Cursor { body, at: 0 };
+        let version = c.u8("version")?;
+        if version != VERSION {
+            return Err(bad(format!("unsupported protocol version {version}")));
+        }
+        let status = c.u8("status")?;
+        let cached = c.u8("cached flag")? != 0;
+        let len = c.u32("body length")? as usize;
+        let bytes = c.take(len, "body")?.to_vec();
+        Ok(match status {
+            0 => Response::Ok {
+                cached,
+                body: bytes,
+            },
+            1 => Response::Err(String::from_utf8_lossy(&bytes).into_owned()),
+            2 => Response::Busy,
+            s => return Err(bad(format!("unknown response status {s}"))),
+        })
+    }
+}
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> io::Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.body.len())
+            .ok_or_else(|| bad(format!("truncated frame while reading {what}")))?;
+        let s = &self.body[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> io::Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> io::Result<u16> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> io::Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        for payload in [
+            Payload::Inline(vec![1, 2, 3]),
+            Payload::Path("/tmp/a.wef".into()),
+            Payload::none(),
+        ] {
+            let req = Request {
+                op: "cfg-summary".into(),
+                payload,
+            };
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        for resp in [
+            Response::Ok {
+                cached: true,
+                body: b"hello".to_vec(),
+            },
+            Response::Ok {
+                cached: false,
+                body: Vec::new(),
+            },
+            Response::Err("nope".into()),
+            Response::Busy,
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_rejected() {
+        let req = Request {
+            op: "stat".into(),
+            payload: Payload::Inline(vec![0; 16]),
+        };
+        let enc = req.encode();
+        for cut in 0..enc.len() {
+            assert!(Request::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(Request::decode(&[9, 0, 0]).is_err(), "bad version");
+        assert!(
+            Response::decode(&[1, 7, 0, 0, 0, 0, 0]).is_err(),
+            "bad status"
+        );
+    }
+
+    #[test]
+    fn frame_round_trip_and_limit() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"abc");
+
+        let mut oversized = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        oversized.extend_from_slice(&[0; 8]);
+        assert!(read_frame(&mut &oversized[..]).is_err());
+    }
+}

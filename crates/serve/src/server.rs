@@ -1,0 +1,392 @@
+//! The eel-serve daemon: acceptor, bounded queue, worker pool, caches.
+//!
+//! One acceptor thread pulls connections off the listener and pushes them
+//! onto a bounded queue; when the queue is full it answers [`Response::Busy`]
+//! itself and drops the connection — explicit backpressure instead of an
+//! unbounded backlog. A pool of worker threads (default: one per core)
+//! drains the queue; a request that waited in the queue longer than the
+//! configured timeout is answered with a timeout error rather than served
+//! stale. Results flow through two content-addressed, single-flight LRU
+//! caches: one for [`Analysis`] artifacts keyed by image hash, one for
+//! rendered operation results keyed by (image hash, op).
+//!
+//! Everything is instrumented through eel-obs: `serve.requests`,
+//! `serve.cache.hit` / `serve.cache.miss`, `serve.busy`, `serve.errors`,
+//! `serve.timeouts`, the `serve.queue.depth` gauge, per-op
+//! `serve.latency.<op>` histograms (microseconds), and per-op
+//! `serve.ops.<op>.computed` counters that count *actual* computations —
+//! the single-flight evidence.
+
+use crate::cache::{content_hash, SingleFlightLru};
+use crate::ops::{run_op, CACHED_OPS};
+use crate::proto::{read_frame, write_frame, Payload, Request, Response};
+use eel_core::Analysis;
+use eel_exe::Image;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Bounded queue depth; connections beyond this get [`Response::Busy`].
+    pub queue_depth: usize,
+    /// LRU byte budget, split evenly between the analysis and result
+    /// caches.
+    pub cache_bytes: usize,
+    /// Per-request budget: both the socket read/write timeout and the
+    /// maximum time a request may wait in the queue.
+    pub timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_depth: 64,
+            cache_bytes: 64 << 20,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        }
+    }
+}
+
+type CachedAnalysis = Result<Arc<Analysis>, String>;
+type CachedResult = Result<Arc<Vec<u8>>, String>;
+
+struct Shared {
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    queue_ready: Condvar,
+    stop: AtomicBool,
+    analyses: SingleFlightLru<u64, CachedAnalysis>,
+    results: SingleFlightLru<(u64, String), CachedResult>,
+}
+
+/// A running eel-serve daemon. Dropping it shuts it down and joins every
+/// thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the acceptor and worker threads.
+    ///
+    /// If eel-obs is off, summary mode is switched on: a service without
+    /// its metrics is flying blind, and the `metrics` op must have
+    /// something to render.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        if !eel_obs::enabled() {
+            eel_obs::set_mode(eel_obs::Mode::Summary);
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let worker_count = config.effective_workers();
+        let half = (config.cache_bytes / 2).max(1);
+        let shared = Arc::new(Shared {
+            local_addr,
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            analyses: SingleFlightLru::new(half),
+            results: SingleFlightLru::new(half),
+            config,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("eelserved-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let mut workers = Vec::with_capacity(worker_count);
+        for k in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("eelserved-worker-{k}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Signals shutdown: stops accepting, lets workers drain the queue,
+    /// wakes everything up. Does not block; pair with [`Server::wait`] or
+    /// drop.
+    pub fn shutdown(&self) {
+        self.shared.request_stop();
+    }
+
+    /// Blocks until every thread has exited (after [`Server::shutdown`],
+    /// a client `shutdown` request, or a fatal accept error).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker or acceptor panic, so tests fail loudly if a
+    /// thread died.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            a.join().expect("acceptor thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.request_stop();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn request_stop(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Unblock the acceptor's blocking accept() with a throwaway
+            // connection; it re-checks the flag on wake.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        self.queue_ready.notify_all();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let conn = listener.accept();
+        if shared.stopping() {
+            return;
+        }
+        let Ok((stream, _)) = conn else {
+            // Fatal listener error: stop the whole server rather than
+            // spinning on a dead socket.
+            shared.request_stop();
+            return;
+        };
+        let _ = stream.set_read_timeout(Some(shared.config.timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.timeout));
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            eel_obs::counter!("serve.busy").add(1);
+            // Backpressure costs no worker time: a throwaway thread
+            // writes BUSY, then drains the unread request before closing
+            // — closing with bytes still in the receive buffer would RST
+            // the connection and race the client out of the BUSY frame.
+            std::thread::spawn(move || write_then_drain(stream, &Response::Busy));
+            continue;
+        }
+        queue.push_back((stream, Instant::now()));
+        eel_obs::gauge("serve.queue.depth").set(queue.len() as i64);
+        drop(queue);
+        shared.queue_ready.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        let (stream, enqueued) = loop {
+            if let Some(item) = queue.pop_front() {
+                eel_obs::gauge("serve.queue.depth").set(queue.len() as i64);
+                break item;
+            }
+            if shared.stopping() {
+                return;
+            }
+            queue = shared.queue_ready.wait(queue).expect("queue lock poisoned");
+        };
+        drop(queue);
+        serve_connection(shared, stream, enqueued);
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream, enqueued: Instant) {
+    let waited = enqueued.elapsed();
+    if waited >= shared.config.timeout {
+        eel_obs::counter!("serve.timeouts").add(1);
+        let resp = Response::Err(format!(
+            "request timed out after {}ms in queue",
+            waited.as_millis()
+        ));
+        // The request was never read; drain it before closing so the
+        // reply is not lost to a connection reset.
+        write_then_drain(stream, &resp);
+        return;
+    }
+    let resp = match read_frame(&mut stream).and_then(|b| Request::decode(&b)) {
+        Ok(req) => handle_request(shared, &req),
+        Err(e) => Response::Err(format!("bad request: {e}")),
+    };
+    if matches!(resp, Response::Err(_)) {
+        eel_obs::counter!("serve.errors").add(1);
+    }
+    let _ = write_frame(&mut stream, &resp.encode());
+}
+
+fn handle_request(shared: &Shared, req: &Request) -> Response {
+    eel_obs::counter!("serve.requests").add(1);
+    let started = Instant::now();
+    let resp = match req.op.as_str() {
+        "ping" => Response::Ok {
+            cached: false,
+            body: b"pong".to_vec(),
+        },
+        "metrics" => Response::Ok {
+            cached: false,
+            body: render_metrics().into_bytes(),
+        },
+        "shutdown" => {
+            shared.request_stop();
+            Response::Ok {
+                cached: false,
+                body: b"shutting down".to_vec(),
+            }
+        }
+        op if CACHED_OPS.contains(&op) => cached_op(shared, op, &req.payload),
+        other => Response::Err(format!("unknown op {other:?}")),
+    };
+    eel_obs::histogram(&format!("serve.latency.{}", req.op))
+        .record(started.elapsed().as_micros() as u64);
+    resp
+}
+
+fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
+    let bytes = match payload {
+        Payload::Inline(b) => b.clone(),
+        Payload::Path(p) => match std::fs::read(p) {
+            Ok(b) => b,
+            Err(e) => return Response::Err(format!("cannot read {p}: {e}")),
+        },
+    };
+    let hash = content_hash(&bytes);
+    let key = (hash, op.to_string());
+    let (result, hit) = shared.results.get_or_compute(key, || {
+        eel_obs::counter(&format!("serve.ops.{op}.computed")).add(1);
+        let computed = analyze(shared, hash, &bytes).and_then(|a| run_op(op, &a).map(Arc::new));
+        let cost = match &computed {
+            Ok(body) => body.len(),
+            Err(msg) => msg.len(),
+        };
+        (computed, cost)
+    });
+    if hit {
+        eel_obs::counter!("serve.cache.hit").add(1);
+    } else {
+        eel_obs::counter!("serve.cache.miss").add(1);
+    }
+    match result {
+        Ok(body) => Response::Ok {
+            cached: hit,
+            body: body.to_vec(),
+        },
+        Err(msg) => Response::Err(msg),
+    }
+}
+
+/// Loads + analyzes an image through the analysis cache, so the five ops
+/// over one executable share a single discovery pass.
+fn analyze(shared: &Shared, hash: u64, bytes: &[u8]) -> Result<Arc<Analysis>, String> {
+    let (analysis, _hit) = shared.analyses.get_or_compute(hash, || {
+        let computed = Image::from_bytes(bytes)
+            .map_err(|e| format!("bad WEF image: {e}"))
+            .and_then(|image| {
+                Analysis::compute(Arc::new(image)).map_err(|e| format!("analysis failed: {e}"))
+            })
+            .map(Arc::new);
+        let cost = match &computed {
+            Ok(a) => a.approx_bytes(),
+            Err(msg) => msg.len(),
+        };
+        (computed, cost)
+    });
+    analysis
+}
+
+/// Replies on a connection whose request was never read, then drains the
+/// unread bytes before closing. Closing with data still in the receive
+/// buffer makes the kernel send RST, which can discard the reply before
+/// the client reads it — this is how BUSY and queue-timeout replies stay
+/// deliverable.
+fn write_then_drain(mut stream: TcpStream, resp: &Response) {
+    use std::io::Read as _;
+    let _ = write_frame(&mut stream, &resp.encode());
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 4096];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// Renders the metrics registry as stable `kind name value` lines — what
+/// the `metrics` op returns and eelctl prints.
+fn render_metrics() -> String {
+    let mut snap = eel_obs::MetricsSnapshot::capture();
+    snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for c in &snap.counters {
+        out.push_str(&format!("counter {} {}\n", c.name, c.value));
+    }
+    for g in &snap.gauges {
+        out.push_str(&format!("gauge {} {}\n", g.name, g.value));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "histogram {name} count={} sum={} max={}\n",
+            h.count, h.sum, h.max
+        ));
+    }
+    out
+}

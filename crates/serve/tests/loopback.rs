@@ -1,0 +1,251 @@
+//! Loopback integration tests: a real server on 127.0.0.1 exercised by
+//! concurrent clients over progen workloads.
+
+use eel_cc::Personality;
+use eel_exe::Image;
+use eel_serve::{Client, Payload, Response, Server, ServerConfig};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The two backpressure tests rely on sleep-based timing; they take this
+/// lock so they never run while the compute-heavy tests are hogging the
+/// cores on the parallel test harness.
+static TIMING: Mutex<()> = Mutex::new(());
+
+fn suite_wefs() -> Vec<(String, Vec<u8>)> {
+    eel_progen::suite()
+        .iter()
+        .map(|w| {
+            let image = eel_progen::compile(w, Personality::Gcc).expect("compile workload");
+            (w.name.to_string(), image.to_bytes())
+        })
+        .collect()
+}
+
+fn expect_ok(resp: Response) -> (bool, Vec<u8>) {
+    match resp {
+        Response::Ok { cached, body } => (cached, body),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+fn metric(metrics: &str, kind: &str, name: &str) -> Option<u64> {
+    metrics.lines().find_map(|l| {
+        let rest = l.strip_prefix(&format!("{kind} {name} "))?;
+        rest.parse().ok()
+    })
+}
+
+/// The tentpole acceptance test: N concurrent clients firing identical
+/// requests dedupe onto one computation; a follow-up request is an LRU
+/// hit; the metrics op shows the hit counters; shutdown is clean (wait()
+/// propagates any worker panic).
+#[test]
+fn concurrent_clients_dedupe_onto_one_computation() {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = server.local_addr().to_string();
+    let client = Client::connect(addr.clone());
+
+    let (cached, body) = expect_ok(client.control("ping").expect("ping"));
+    assert!(!cached);
+    assert_eq!(body, b"pong");
+
+    let (name, wef) = suite_wefs().into_iter().next().expect("suite non-empty");
+
+    // 8 concurrent identical requests: single-flight means exactly one
+    // computes; the others join it (reported as cached) or hit the LRU.
+    const CLIENTS: usize = 8;
+    let mut handles = Vec::new();
+    for _ in 0..CLIENTS {
+        let client = Client::connect(addr.clone());
+        let wef = wef.clone();
+        handles.push(std::thread::spawn(move || {
+            expect_ok(
+                client
+                    .op("cfg-summary", Payload::Inline(wef))
+                    .expect("cfg-summary"),
+            )
+        }));
+    }
+    let results: Vec<(bool, Vec<u8>)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let bodies: Vec<&Vec<u8>> = results.iter().map(|(_, b)| b).collect();
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "all {CLIENTS} clients saw the identical result for {name}"
+    );
+    assert!(!bodies[0].is_empty());
+
+    // A later identical request is a straight LRU hit.
+    let (cached, _) = expect_ok(
+        client
+            .op("cfg-summary", Payload::Inline(wef.clone()))
+            .expect("repeat"),
+    );
+    assert!(cached, "second identical request is a cache hit");
+
+    // A different op over the same image misses the result cache but
+    // reuses the shared analysis.
+    let (cached, stat_body) = expect_ok(client.op("stat", Payload::Inline(wef)).expect("stat"));
+    assert!(!cached, "different op is a different cache key");
+    assert!(String::from_utf8(stat_body).unwrap().contains("routines:"));
+
+    let (_, metrics) = expect_ok(client.control("metrics").expect("metrics"));
+    let metrics = String::from_utf8(metrics).expect("metrics are text");
+    let computed = metric(&metrics, "counter", "serve.ops.cfg-summary.computed")
+        .expect("computed counter present");
+    assert_eq!(
+        computed, 1,
+        "single-flight: one computation for {CLIENTS} clients\n{metrics}"
+    );
+    let hits = metric(&metrics, "counter", "serve.cache.hit").expect("hit counter present");
+    assert!(
+        hits >= CLIENTS as u64,
+        "joiners + repeat all counted as hits\n{metrics}"
+    );
+    assert!(metric(&metrics, "counter", "serve.cache.miss").unwrap_or(0) >= 2);
+
+    let (_, body) = expect_ok(client.control("shutdown").expect("shutdown"));
+    assert_eq!(body, b"shutting down");
+    server.wait(); // panics if any worker/acceptor thread panicked
+}
+
+/// `instrument` returns a valid edited WEF whose behavior matches the
+/// original, end to end over the wire.
+#[test]
+fn instrument_round_trips_over_the_wire() {
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let client = Client::connect(server.local_addr().to_string());
+
+    let w = eel_progen::spim_like(50);
+    let image = eel_progen::compile(&w, Personality::Gcc).expect("compile");
+    let original = eel_emu::run_image(&image).expect("run original");
+
+    let (_, wef) = expect_ok(
+        client
+            .op("instrument", Payload::Inline(image.to_bytes()))
+            .expect("instrument"),
+    );
+    let edited = Image::from_bytes(&wef).expect("edited WEF parses");
+    let outcome = eel_emu::run_image(&edited).expect("run edited");
+    assert_eq!(outcome.exit_code, original.exit_code);
+
+    server.shutdown();
+    server.wait();
+}
+
+/// With one worker wedged and the 2-deep queue full, the acceptor answers
+/// BUSY without worker involvement.
+#[test]
+fn bounded_queue_overflows_to_busy() {
+    let _serial = TIMING.lock().unwrap_or_else(|e| e.into_inner());
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 2,
+        timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // The staller connects but never sends a frame, wedging the single
+    // worker in read_frame until its socket timeout.
+    let staller = std::net::TcpStream::connect(addr).expect("staller connects");
+    std::thread::sleep(Duration::from_millis(200)); // let the worker pick it up
+    let fillers: Vec<std::net::TcpStream> = (0..2)
+        .map(|_| std::net::TcpStream::connect(addr).expect("filler connects"))
+        .collect();
+    std::thread::sleep(Duration::from_millis(200)); // let the acceptor queue them
+
+    let client = Client::connect(addr.to_string());
+    let resp = client.control("ping").expect("exchange completes");
+    assert_eq!(resp, Response::Busy, "full queue answers BUSY");
+
+    drop(staller);
+    drop(fillers);
+    server.shutdown();
+    server.wait();
+}
+
+/// A request that waited in the queue longer than the timeout budget is
+/// answered with a timeout error, not served stale.
+#[test]
+fn queued_request_past_deadline_times_out() {
+    let _serial = TIMING.lock().unwrap_or_else(|e| e.into_inner());
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // Two staggered stallers wedge the single worker for two full socket
+    // read timeouts (~1s). The stagger matters: the second staller must
+    // still be *fresh* (queue age < 500ms) when the worker pops it at
+    // t≈500ms, or the queue-age check would answer it instantly instead
+    // of the worker blocking on its silent socket for another 500ms.
+    let staller1 = std::net::TcpStream::connect(addr).expect("staller connects");
+    std::thread::sleep(Duration::from_millis(350));
+    let staller2 = std::net::TcpStream::connect(addr).expect("staller connects");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // This request is queued at t≈400ms and popped at t≈1000ms — a queue
+    // age of ~600ms, past its own 500ms deadline.
+    let client = Client::connect(addr.to_string()).with_timeout(Some(Duration::from_secs(5)));
+    let resp = client.control("ping").expect("exchange completes");
+    match resp {
+        Response::Err(msg) => assert!(msg.contains("timed out"), "unexpected error: {msg}"),
+        other => panic!("expected queue-timeout error, got {other:?}"),
+    }
+
+    drop(staller1);
+    drop(staller2);
+    server.shutdown();
+    server.wait();
+}
+
+/// Path payloads are read server-side; a missing path is a clean error.
+#[test]
+fn path_payloads_and_errors() {
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let client = Client::connect(server.local_addr().to_string());
+
+    let dir = std::env::temp_dir().join(format!("eel-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("spim.wef");
+    let w = eel_progen::spim_like(40);
+    let image = eel_progen::compile(&w, Personality::Gcc).expect("compile");
+    image.write_file(&path).expect("write WEF");
+
+    let (_, body) = expect_ok(
+        client
+            .op("stat", Payload::Path(path.display().to_string()))
+            .expect("stat via path"),
+    );
+    assert!(String::from_utf8(body).unwrap().contains("routines:"));
+
+    match client
+        .op(
+            "stat",
+            Payload::Path(dir.join("absent.wef").display().to_string()),
+        )
+        .expect("exchange completes")
+    {
+        Response::Err(msg) => assert!(msg.contains("cannot read")),
+        other => panic!("expected error for missing path, got {other:?}"),
+    }
+
+    match client.control("frobnicate").expect("exchange completes") {
+        Response::Err(msg) => assert!(msg.contains("unknown op")),
+        other => panic!("expected unknown-op error, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown();
+    server.wait();
+}

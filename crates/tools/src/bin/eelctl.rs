@@ -1,0 +1,140 @@
+//! `eelctl` — command-line client for the eel-serve daemon.
+//!
+//! ```text
+//! eelctl OP [FILE.wef ...] [--addr HOST:PORT] [--path] [-o OUT.wef]
+//! ```
+//!
+//! `OP` is one of the analysis operations (`disasm`, `cfg-summary`,
+//! `liveness`, `stat`, `instrument`) or a control operation (`ping`,
+//! `metrics`, `shutdown`). Analysis ops take one or more WEF files —
+//! more than one is batch mode, each sent as its own request. By default
+//! the image bytes travel inline; `--path` sends the (absolute) path for
+//! the server to read instead. `instrument` writes the edited executable
+//! to `-o OUT.wef` (single file only); the other ops print text to
+//! stdout.
+//!
+//! The server address comes from `--addr`, else the `EEL_SERVE_ADDR`
+//! environment variable, else `127.0.0.1:7099`. Cache status for each
+//! request (`cache hit` / `miss` / `busy`) goes to stderr, so scripts can
+//! check dedupe without disturbing the payload on stdout.
+
+use eel_serve::{Client, Payload, Response};
+use eel_tools::cli::Cli;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const CONTROL_OPS: &[&str] = &["ping", "metrics", "shutdown"];
+
+fn main() -> ExitCode {
+    let mut cli = match Cli::new(
+        "eelctl",
+        "OP [FILE.wef ...] [--addr HOST:PORT] [--path] [-o OUT.wef]",
+    ) {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
+    let mut op: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut addr: Option<String> = None;
+    let mut by_path = false;
+    let mut output: Option<String> = None;
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = match cli.value("--addr") {
+                    Ok(a) => Some(a),
+                    Err(code) => return code,
+                }
+            }
+            "--path" => by_path = true,
+            "-o" => {
+                output = match cli.value("-o") {
+                    Ok(o) => Some(o),
+                    Err(code) => return code,
+                }
+            }
+            other if op.is_none() => op = Some(other.to_string()),
+            other => files.push(other.to_string()),
+        }
+    }
+    let Some(op) = op else {
+        return cli.fail("no operation (see --help)");
+    };
+    let addr = addr
+        .or_else(|| std::env::var("EEL_SERVE_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:7099".into());
+    let client = Client::connect(addr);
+
+    if CONTROL_OPS.contains(&op.as_str()) {
+        if !files.is_empty() {
+            return cli.fail(format_args!("{op} takes no files"));
+        }
+        return match client.control(&op) {
+            Ok(Response::Ok { body, .. }) => {
+                let _ = std::io::stdout().write_all(&body);
+                ExitCode::SUCCESS
+            }
+            Ok(Response::Err(msg)) => cli.fail(msg),
+            Ok(Response::Busy) => cli.fail("server busy"),
+            Err(e) => cli.fail(format_args!("request failed: {e}")),
+        };
+    }
+
+    if files.is_empty() {
+        return cli.fail(format_args!("{op} needs at least one WEF file"));
+    }
+    if output.is_some() && (op != "instrument" || files.len() != 1) {
+        return cli.fail("-o applies to instrument with a single file");
+    }
+    let mut failed = false;
+    for file in &files {
+        let payload = if by_path {
+            Payload::Path(file.clone())
+        } else {
+            match std::fs::read(file) {
+                Ok(bytes) => Payload::Inline(bytes),
+                Err(e) => {
+                    eprintln!("eelctl: cannot read {file}: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        };
+        match client.op(&op, payload) {
+            Ok(Response::Ok { cached, body }) => {
+                eprintln!(
+                    "eelctl: {op} {file}: cache {}",
+                    if cached { "hit" } else { "miss" }
+                );
+                if let Some(out) = &output {
+                    if let Err(e) = std::fs::write(out, &body) {
+                        eprintln!("eelctl: cannot write {out}: {e}");
+                        failed = true;
+                    }
+                } else if files.len() > 1 {
+                    println!("==> {file} <==");
+                    let _ = std::io::stdout().write_all(&body);
+                } else {
+                    let _ = std::io::stdout().write_all(&body);
+                }
+            }
+            Ok(Response::Err(msg)) => {
+                eprintln!("eelctl: {op} {file}: {msg}");
+                failed = true;
+            }
+            Ok(Response::Busy) => {
+                eprintln!("eelctl: {op} {file}: server busy, try again");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("eelctl: {op} {file}: request failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

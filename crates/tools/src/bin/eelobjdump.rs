@@ -11,52 +11,41 @@
 
 use eel_core::Executable;
 use eel_exe::Image;
+use eel_tools::cli::Cli;
 use eel_tools::obs_cli::ObsSession;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut obs = ObsSession::begin();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = match Cli::new(
+        "eelobjdump",
+        "PROGRAM.wef [--cfg] [--symbols] [--trace FILE]",
+    ) {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
     let mut input = None;
     let mut show_cfg = false;
     let mut show_symbols = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
             "--cfg" => show_cfg = true,
             "--symbols" => show_symbols = true,
-            "--trace" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => obs.set_trace_path(path),
-                    None => {
-                        eprintln!("eelobjdump: --trace needs a file argument");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "-h" | "--help" => {
-                eprintln!("usage: eelobjdump PROGRAM.wef [--cfg] [--symbols] [--trace FILE]");
-                return ExitCode::SUCCESS;
-            }
+            "--trace" => match cli.value("--trace") {
+                Ok(path) => obs.set_trace_path(&path),
+                Err(code) => return code,
+            },
             other if input.is_none() => input = Some(other.to_string()),
-            other => {
-                eprintln!("eelobjdump: unexpected argument {other:?}");
-                return ExitCode::FAILURE;
-            }
+            other => return cli.unexpected(other),
         }
-        i += 1;
     }
-    let Some(input) = input else {
-        eprintln!("eelobjdump: no input file (see --help)");
-        return ExitCode::FAILURE;
+    let input = match cli.required_input(input) {
+        Ok(i) => i,
+        Err(code) => return code,
     };
     let image = match Image::read_file(&input) {
         Ok(i) => i,
-        Err(e) => {
-            eprintln!("eelobjdump: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(format_args!("cannot read {input}: {e}")),
     };
 
     if show_symbols {
@@ -75,14 +64,10 @@ fn main() -> ExitCode {
 
     let mut exec = match Executable::from_image(image) {
         Ok(e) => e,
-        Err(e) => {
-            eprintln!("eelobjdump: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(e),
     };
     if let Err(e) = exec.read_contents() {
-        eprintln!("eelobjdump: {e}");
-        return ExitCode::FAILURE;
+        return cli.fail(e);
     }
 
     for id in exec.all_routine_ids() {

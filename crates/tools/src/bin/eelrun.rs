@@ -6,62 +6,47 @@
 
 use eel_emu::Machine;
 use eel_exe::Image;
+use eel_tools::cli::Cli;
 use eel_tools::obs_cli::ObsSession;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut obs = ObsSession::begin();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = match Cli::new("eelrun", "PROGRAM.wef [--stats] [--limit N] [--trace FILE]") {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
     let mut input = None;
     let mut stats = false;
     let mut limit = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
             "--stats" => stats = true,
             "--limit" => {
-                i += 1;
-                limit = args.get(i).and_then(|s| s.parse().ok());
-            }
-            "--trace" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => obs.set_trace_path(path),
-                    None => {
-                        eprintln!("eelrun: --trace needs a file argument");
-                        return ExitCode::FAILURE;
-                    }
+                limit = match cli.parsed_value::<u64>("--limit") {
+                    Ok(n) => Some(n),
+                    Err(code) => return code,
                 }
             }
-            "-h" | "--help" => {
-                eprintln!("usage: eelrun PROGRAM.wef [--stats] [--limit N] [--trace FILE]");
-                return ExitCode::SUCCESS;
-            }
+            "--trace" => match cli.value("--trace") {
+                Ok(path) => obs.set_trace_path(&path),
+                Err(code) => return code,
+            },
             other if input.is_none() => input = Some(other.to_string()),
-            other => {
-                eprintln!("eelrun: unexpected argument {other:?}");
-                return ExitCode::FAILURE;
-            }
+            other => return cli.unexpected(other),
         }
-        i += 1;
     }
-    let Some(input) = input else {
-        eprintln!("eelrun: no input file (see --help)");
-        return ExitCode::FAILURE;
+    let input = match cli.required_input(input) {
+        Ok(i) => i,
+        Err(code) => return code,
     };
     let image = match Image::read_file(&input) {
         Ok(i) => i,
-        Err(e) => {
-            eprintln!("eelrun: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(format_args!("cannot read {input}: {e}")),
     };
     let mut machine = match Machine::load(&image) {
         Ok(m) => m,
-        Err(e) => {
-            eprintln!("eelrun: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(e),
     };
     if let Some(n) = limit {
         machine = machine.with_step_limit(n);
@@ -82,9 +67,6 @@ fn main() -> ExitCode {
             obs.finish("eelrun");
             ExitCode::from((outcome.exit_code & 0xff) as u8)
         }
-        Err(e) => {
-            eprintln!("eelrun: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => cli.fail(e),
     }
 }

@@ -20,6 +20,7 @@
 use eel_core::Executable;
 use eel_emu::Machine;
 use eel_exe::Image;
+use eel_tools::cli::Cli;
 use eel_tools::obs_cli::ObsSession;
 use std::process::ExitCode;
 
@@ -28,73 +29,50 @@ fn main() -> ExitCode {
     if std::env::var_os("EEL_OBS").is_none() {
         eel_obs::set_mode(eel_obs::Mode::Summary);
     }
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = match Cli::new("eelstat", "PROGRAM.wef [--run] [--trace FILE]") {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
     let mut input = None;
     let mut run = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
             "--run" => run = true,
-            "--trace" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => obs.set_trace_path(path),
-                    None => {
-                        eprintln!("eelstat: --trace needs a file argument");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "-h" | "--help" => {
-                eprintln!("usage: eelstat PROGRAM.wef [--run] [--trace FILE]");
-                return ExitCode::SUCCESS;
-            }
+            "--trace" => match cli.value("--trace") {
+                Ok(path) => obs.set_trace_path(&path),
+                Err(code) => return code,
+            },
             other if input.is_none() => input = Some(other.to_string()),
-            other => {
-                eprintln!("eelstat: unexpected argument {other:?}");
-                return ExitCode::FAILURE;
-            }
+            other => return cli.unexpected(other),
         }
-        i += 1;
     }
-    let Some(input) = input else {
-        eprintln!("eelstat: no input file (see --help)");
-        return ExitCode::FAILURE;
+    let input = match cli.required_input(input) {
+        Ok(i) => i,
+        Err(code) => return code,
     };
 
     let image = match Image::read_file(&input) {
         Ok(i) => i,
-        Err(e) => {
-            eprintln!("eelstat: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(format_args!("cannot read {input}: {e}")),
     };
     let mut exec = match Executable::from_image(image.clone()) {
         Ok(e) => e,
-        Err(e) => {
-            eprintln!("eelstat: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(e),
     };
     if let Err(e) = exec.read_contents() {
-        eprintln!("eelstat: {e}");
-        return ExitCode::FAILURE;
+        return cli.fail(e);
     }
     let routines = exec.all_routine_ids().len();
     // Drive the whole pipeline: CFG build + delay-slot normalization,
     // liveness, and layout for every routine (discovery included).
     if let Err(e) = exec.write_edited() {
-        eprintln!("eelstat: {e}");
-        return ExitCode::FAILURE;
+        return cli.fail(e);
     }
     if run {
         let outcome = Machine::load(&image).and_then(|mut m| m.run());
         match outcome {
             Ok(o) => eprintln!("eelstat: ran {input}: exit code {}", o.exit_code),
-            Err(e) => {
-                eprintln!("eelstat: run failed: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return cli.fail(format_args!("run failed: {e}")),
         }
     }
     eprintln!("eelstat: analyzed {input}: {routines} routines");

@@ -8,75 +8,60 @@
 //! prints the non-zero counters as a profile.
 
 use eel_exe::Image;
+use eel_tools::cli::Cli;
 use eel_tools::obs_cli::ObsSession;
 use eel_tools::qpt2::{instrument, Granularity};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut obs = ObsSession::begin();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = match Cli::new(
+        "qpt",
+        "IN.wef [-o OUT.wef] [--blocks|--edges|--entries] [--run] [--trace FILE]",
+    ) {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
     let mut input = None;
     let mut output = None;
     let mut granularity = Granularity::Edges;
     let mut run = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
             "-o" => {
-                i += 1;
-                output = args.get(i).cloned();
+                output = match cli.value("-o") {
+                    Ok(o) => Some(o),
+                    Err(code) => return code,
+                }
             }
             "--blocks" => granularity = Granularity::Blocks,
             "--edges" => granularity = Granularity::Edges,
             "--entries" => granularity = Granularity::Entries,
             "--run" => run = true,
-            "--trace" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => obs.set_trace_path(path),
-                    None => {
-                        eprintln!("qpt: --trace needs a file argument");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "-h" | "--help" => {
-                eprintln!(
-                    "usage: qpt IN.wef [-o OUT.wef] [--blocks|--edges|--entries] [--run] [--trace FILE]"
-                );
-                return ExitCode::SUCCESS;
-            }
+            "--trace" => match cli.value("--trace") {
+                Ok(path) => obs.set_trace_path(&path),
+                Err(code) => return code,
+            },
             other if input.is_none() => input = Some(other.to_string()),
-            other => {
-                eprintln!("qpt: unexpected argument {other:?}");
-                return ExitCode::FAILURE;
-            }
+            other => return cli.unexpected(other),
         }
-        i += 1;
     }
-    let Some(input) = input else {
-        eprintln!("qpt: no input file (see --help)");
-        return ExitCode::FAILURE;
+    let input = match cli.required_input(input) {
+        Ok(i) => i,
+        Err(code) => return code,
     };
     let image = match Image::read_file(&input) {
         Ok(i) => i,
-        Err(e) => {
-            eprintln!("qpt: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(format_args!("cannot read {input}: {e}")),
     };
     let profiled = match instrument(image, granularity) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("qpt: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(e),
     };
     eprintln!("qpt: instrumented {} sites", profiled.counters.len());
     if let Some(out) = &output {
         if let Err(e) = profiled.image.write_file(out) {
-            eprintln!("qpt: cannot write {out}: {e}");
-            return ExitCode::FAILURE;
+            return cli.fail(format_args!("cannot write {out}: {e}"));
         }
     }
     if run {
@@ -96,10 +81,7 @@ fn main() -> ExitCode {
                     println!("{c:>12}  {r:<20} {site:>#10x}  {idx}");
                 }
             }
-            Err(e) => {
-                eprintln!("qpt: run failed: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return cli.fail(format_args!("run failed: {e}")),
         }
     }
     obs.finish("qpt");

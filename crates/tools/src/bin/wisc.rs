@@ -5,62 +5,50 @@
 //! ```
 
 use eel_cc::{compile_str, compile_to_asm, Options, Personality};
+use eel_tools::cli::Cli;
 use eel_tools::obs_cli::ObsSession;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut obs = ObsSession::begin();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = match Cli::new(
+        "wisc",
+        "INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm] [--trace FILE]",
+    ) {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
     let mut input = None;
     let mut output = None;
     let mut options = Options::default();
     let mut emit_asm = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
             "-o" => {
-                i += 1;
-                output = args.get(i).cloned();
+                output = match cli.value("-o") {
+                    Ok(o) => Some(o),
+                    Err(code) => return code,
+                }
             }
             "--sunpro" => options.personality = Personality::SunPro,
             "--no-fill" => options.fill_delay_slots = false,
             "--strip" => options.strip = true,
             "--emit-asm" => emit_asm = true,
-            "--trace" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => obs.set_trace_path(path),
-                    None => {
-                        eprintln!("wisc: --trace needs a file argument");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "-h" | "--help" => {
-                eprintln!(
-                    "usage: wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] \
-                     [--emit-asm] [--trace FILE]"
-                );
-                return ExitCode::SUCCESS;
-            }
+            "--trace" => match cli.value("--trace") {
+                Ok(path) => obs.set_trace_path(&path),
+                Err(code) => return code,
+            },
             other if input.is_none() => input = Some(other.to_string()),
-            other => {
-                eprintln!("wisc: unexpected argument {other:?}");
-                return ExitCode::FAILURE;
-            }
+            other => return cli.unexpected(other),
         }
-        i += 1;
     }
-    let Some(input) = input else {
-        eprintln!("wisc: no input file (see --help)");
-        return ExitCode::FAILURE;
+    let input = match cli.required_input(input) {
+        Ok(i) => i,
+        Err(code) => return code,
     };
     let source = match std::fs::read_to_string(&input) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("wisc: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(format_args!("cannot read {input}: {e}")),
     };
     if emit_asm {
         match compile_to_asm(&source, &options) {
@@ -69,23 +57,16 @@ fn main() -> ExitCode {
                 obs.finish("wisc");
                 return ExitCode::SUCCESS;
             }
-            Err(e) => {
-                eprintln!("wisc: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return cli.fail(e),
         }
     }
     let image = match compile_str(&source, &options) {
         Ok(i) => i,
-        Err(e) => {
-            eprintln!("wisc: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return cli.fail(e),
     };
     let output = output.unwrap_or_else(|| format!("{input}.wef"));
     if let Err(e) = image.write_file(&output) {
-        eprintln!("wisc: cannot write {output}: {e}");
-        return ExitCode::FAILURE;
+        return cli.fail(format_args!("cannot write {output}: {e}"));
     }
     eprintln!(
         "wisc: {} -> {} ({} text bytes, {} routines)",

@@ -1,0 +1,128 @@
+//! Shared command-line plumbing for the tool binaries.
+//!
+//! Every binary (`eelobjdump`, `eelrun`, `eelstat`, `qpt`, `wisc`,
+//! `eelctl`) parses the same way: positional input plus `--flag [VALUE]`
+//! pairs, uniform `-h`/`--help` and `--version`, and the same error
+//! wording for missing values and unexpected arguments. [`Cli`] is that
+//! loop's chassis; the per-tool flags stay in the binary.
+
+use std::process::ExitCode;
+
+/// One tool invocation's arguments, with the uniform flags already
+/// handled.
+pub struct Cli {
+    tool: &'static str,
+    usage: &'static str,
+    args: Vec<String>,
+    at: usize,
+}
+
+impl Cli {
+    /// Collects the process arguments. `-h`/`--help` and `--version`
+    /// anywhere on the line are handled here: the text goes to stdout and
+    /// the caller receives `Err(ExitCode::SUCCESS)` to return from
+    /// `main`.
+    ///
+    /// # Errors
+    ///
+    /// `Err(exit_code)` when the invocation was fully handled (help or
+    /// version).
+    pub fn new(tool: &'static str, usage: &'static str) -> Result<Cli, ExitCode> {
+        Cli::from_args(tool, usage, std::env::args().skip(1).collect())
+    }
+
+    /// [`Cli::new`] with explicit arguments, for tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cli::new`].
+    pub fn from_args(
+        tool: &'static str,
+        usage: &'static str,
+        args: Vec<String>,
+    ) -> Result<Cli, ExitCode> {
+        for arg in &args {
+            match arg.as_str() {
+                "-h" | "--help" => {
+                    println!("usage: {tool} {usage}");
+                    return Err(ExitCode::SUCCESS);
+                }
+                "--version" => {
+                    println!("{tool} {}", env!("CARGO_PKG_VERSION"));
+                    return Err(ExitCode::SUCCESS);
+                }
+                _ => {}
+            }
+        }
+        Ok(Cli {
+            tool,
+            usage,
+            args,
+            at: 0,
+        })
+    }
+
+    /// The next argument, or `None` when the line is exhausted.
+    pub fn next_arg(&mut self) -> Option<String> {
+        let arg = self.args.get(self.at).cloned();
+        self.at += arg.is_some() as usize;
+        arg
+    }
+
+    /// The value following a `--flag VALUE` pair, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Prints `TOOL: FLAG needs a value` and yields the failure exit code
+    /// when the line ends instead.
+    pub fn value(&mut self, flag: &str) -> Result<String, ExitCode> {
+        self.next_arg().ok_or_else(|| {
+            eprintln!("{}: {flag} needs a value", self.tool);
+            ExitCode::FAILURE
+        })
+    }
+
+    /// Like [`Cli::value`], but parsed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cli::value`], plus `TOOL: FLAG needs a NUMBER-like value` on
+    /// parse failure.
+    pub fn parsed_value<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, ExitCode> {
+        let raw = self.value(flag)?;
+        raw.parse().map_err(|_| {
+            eprintln!("{}: cannot parse {raw:?} for {flag}", self.tool);
+            ExitCode::FAILURE
+        })
+    }
+
+    /// Reports an argument no pattern claimed.
+    #[must_use]
+    pub fn unexpected(&self, arg: &str) -> ExitCode {
+        eprintln!("{}: unexpected argument {arg:?} (see --help)", self.tool);
+        ExitCode::FAILURE
+    }
+
+    /// Unwraps the positional input argument every tool requires.
+    ///
+    /// # Errors
+    ///
+    /// Prints `TOOL: no input file` plus the usage line when absent.
+    pub fn required_input(&self, input: Option<String>) -> Result<String, ExitCode> {
+        input.ok_or_else(|| {
+            eprintln!(
+                "{}: no input file (usage: {} {})",
+                self.tool, self.tool, self.usage
+            );
+            ExitCode::FAILURE
+        })
+    }
+
+    /// Prints a `TOOL: MESSAGE` error and yields the failure exit code —
+    /// the uniform error epilogue.
+    #[must_use]
+    pub fn fail(&self, message: impl std::fmt::Display) -> ExitCode {
+        eprintln!("{}: {message}", self.tool);
+        ExitCode::FAILURE
+    }
+}

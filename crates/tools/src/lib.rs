@@ -32,6 +32,7 @@
 
 pub mod active_memory;
 pub mod blizzard;
+pub mod cli;
 pub mod elsie;
 pub mod qpt1;
 pub mod qpt2;

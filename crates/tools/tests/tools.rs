@@ -157,6 +157,77 @@ fn qpt1_works_on_jump_tables() {
     assert_eq!(out.exit_code, plain.exit_code);
 }
 
+#[test]
+fn qpt1_refuses_stripped_binaries_qpt2_does_not() {
+    // Refusal path 1: no symbol table. qpt1's whole discovery is "trust
+    // the symbols", so it must refuse outright — with the documented
+    // message, pinned here — while qpt2 profiles the same image via
+    // EEL's hidden-routine discovery and preserves behavior.
+    let opts = Options {
+        strip: true,
+        ..Options::default()
+    };
+    let image = compile_str(small_program(), &opts).unwrap();
+    assert!(image.is_stripped());
+    let plain = run_image(&image).unwrap();
+
+    match qpt1::instrument(image.clone()) {
+        Err(eel_tools::ToolError::Unsupported(msg)) => {
+            assert!(
+                msg.contains("stripped executables are not supported"),
+                "refusal must name the assumption: {msg}"
+            );
+            assert!(msg.contains("trusts the symbol table"), "{msg}");
+        }
+        other => panic!("qpt1 must refuse stripped input: {other:?}"),
+    }
+
+    let profiled = qpt2::instrument(image, qpt2::Granularity::Blocks).unwrap();
+    let run = profiled.run().unwrap();
+    assert_eq!(run.outcome.exit_code, plain.exit_code);
+    assert_eq!(run.outcome.output, plain.output);
+    assert!(
+        run.total() >= 30,
+        "qpt2 still counts the loop: {}",
+        run.total()
+    );
+}
+
+#[test]
+fn qpt1_refusal_message_pins_the_tail_call_divergence() {
+    // Refusal path 2: SunPro tail calls produce an indirect jump outside
+    // qpt1's single dispatch pattern. Pin the exact divergence: qpt1's
+    // error names the jump and its lack of a run-time fallback; qpt2
+    // handles the same image (run-time address translation, §3.2).
+    let tail_src = r#"
+        fn helper(x) { return x * 2 + 1; }
+        fn caller(x) { return helper(x + 3); }
+        fn main() { return caller(10); }"#;
+    let opts = Options {
+        personality: Personality::SunPro,
+        ..Options::default()
+    };
+    let image = compile_str(tail_src, &opts).unwrap();
+
+    match qpt1::instrument(image.clone()) {
+        Err(eel_tools::ToolError::Unsupported(msg)) => {
+            assert!(
+                msg.contains("unanalyzable indirect jump"),
+                "refusal must name the jump: {msg}"
+            );
+            assert!(
+                msg.contains("no run-time fallback"),
+                "refusal must name the missing capability qpt2 has: {msg}"
+            );
+        }
+        other => panic!("qpt1 must refuse the tail call: {other:?}"),
+    }
+    assert!(
+        qpt2::instrument(image, qpt2::Granularity::Blocks).is_ok(),
+        "qpt2 instruments the same image"
+    );
+}
+
 // ------------------------------------------------------- active memory
 
 #[test]
