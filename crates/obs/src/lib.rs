@@ -12,6 +12,16 @@
 //! `chrome`) or programmatically via [`set_mode`]. When disabled, a span
 //! or metric update costs a single relaxed atomic load.
 //!
+//! Consumers register dot-hierarchical names so exported tables group
+//! naturally: `core.cfg.*` (CFG construction), `emu.*` (dynamic
+//! counts), `serve.*` (the analysis service: request/queue counters,
+//! per-op latency histograms, and the cache tiers —
+//! `serve.cache.{hit,miss}` for the memory LRU,
+//! `serve.cache.disk.{hit,miss,write,evict,corrupt}` plus the
+//! `serve.cache.disk.bytes` gauge and `serve.latency.disk.{load,spill}`
+//! histograms for the on-disk spill tier). The operator-facing
+//! reference for the `serve.*` family lives in `docs/OPERATIONS.md`.
+//!
 //! ```
 //! eel_obs::set_mode(eel_obs::Mode::Summary);
 //! {

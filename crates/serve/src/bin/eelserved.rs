@@ -3,12 +3,16 @@
 //! ```text
 //! eelserved [--addr HOST:PORT] [--workers N] [--queue N]
 //!           [--cache-bytes N] [--timeout-ms N]
+//!           [--cache-dir PATH] [--disk-bytes N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7099`), prints a `listening on` line once
 //! ready, then serves until a client sends `shutdown` (or the process is
-//! killed). `EEL_OBS` selects the observability mode; when unset the
-//! server forces summary mode so the `metrics` op has data.
+//! killed). `--cache-dir` enables the on-disk spill tier: results survive
+//! restarts and LRU evictions, pruned oldest-first past `--disk-bytes`.
+//! `EEL_OBS` selects the observability mode; when unset the server forces
+//! summary mode so the `metrics` op has data. Flags, sizing guidance, and
+//! the metrics reference live in `docs/OPERATIONS.md`.
 
 use eel_serve::{Server, ServerConfig};
 use std::io::Write as _;
@@ -16,7 +20,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: eelserved [--addr HOST:PORT] [--workers N] [--queue N] \
-[--cache-bytes N] [--timeout-ms N]";
+[--cache-bytes N] [--timeout-ms N] [--cache-dir PATH] [--disk-bytes N]";
 
 fn main() -> ExitCode {
     eel_obs::init_from_env();
@@ -37,7 +41,8 @@ fn main() -> ExitCode {
                 println!("eelserved {}", env!("CARGO_PKG_VERSION"));
                 return ExitCode::SUCCESS;
             }
-            "--addr" | "--workers" | "--queue" | "--cache-bytes" | "--timeout-ms" => {
+            "--addr" | "--workers" | "--queue" | "--cache-bytes" | "--timeout-ms"
+            | "--cache-dir" | "--disk-bytes" => {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("eelserved: {flag} needs a value");
@@ -46,10 +51,12 @@ fn main() -> ExitCode {
                 let numeric = value.parse::<u64>();
                 match (flag, numeric) {
                     ("--addr", _) => config.addr = value.clone(),
+                    ("--cache-dir", _) => config.cache_dir = Some(value.into()),
                     ("--workers", Ok(n)) => config.workers = n as usize,
                     ("--queue", Ok(n)) => config.queue_depth = n.max(1) as usize,
                     ("--cache-bytes", Ok(n)) => config.cache_bytes = n as usize,
                     ("--timeout-ms", Ok(n)) => config.timeout = Duration::from_millis(n),
+                    ("--disk-bytes", Ok(n)) => config.disk_bytes = n,
                     (_, Err(_)) => {
                         eprintln!("eelserved: {flag} needs a number, got {value:?}");
                         return ExitCode::FAILURE;

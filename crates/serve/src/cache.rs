@@ -75,6 +75,22 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlightLru<K, V> {
     /// If `compute` panics, the in-flight slot is cleared and waiters
     /// retry, so one poisoned request cannot wedge the cache.
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> (V, usize)) -> (V, bool) {
+        let (value, hit, _evicted) = self.get_or_compute_with_evicted(key, compute);
+        (value, hit)
+    }
+
+    /// As [`SingleFlightLru::get_or_compute`], but also hands back the
+    /// entries this insertion evicted, so the caller can demote them to a
+    /// slower tier (eel-serve spills them to the disk cache) instead of
+    /// discarding the work. The evicted list is empty on a hit or an
+    /// in-flight join; it is collected under the lock but returned for
+    /// processing outside it, so demotion I/O never blocks other
+    /// requests.
+    pub fn get_or_compute_with_evicted(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> (V, usize),
+    ) -> (V, bool, Vec<(K, V)>) {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         loop {
             match inner.slots.get(&key) {
@@ -85,7 +101,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlightLru<K, V> {
                         let k = inner.order.remove(pos).expect("position in range");
                         inner.order.push_back(k);
                     }
-                    return (value, true);
+                    return (value, true, Vec::new());
                 }
                 Some(Slot::InFlight) => {
                     inner = self.ready.wait(inner).expect("cache lock poisoned");
@@ -128,14 +144,16 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlightLru<K, V> {
         );
         inner.order.push_back(key);
         inner.bytes += cost;
+        let mut evicted = Vec::new();
         while inner.bytes > self.budget && inner.order.len() > 1 {
             let oldest = inner.order.pop_front().expect("order non-empty");
-            if let Some(Slot::Ready { cost, .. }) = inner.slots.remove(&oldest) {
+            if let Some(Slot::Ready { value, cost }) = inner.slots.remove(&oldest) {
                 inner.bytes -= cost;
+                evicted.push((oldest, value));
             }
         }
         self.ready.notify_all();
-        (value, false)
+        (value, false, evicted)
     }
 
     /// Bytes currently charged against the budget.
@@ -237,6 +255,18 @@ mod tests {
         let (v, hit) = cache.get_or_compute(5, || (42, 8));
         assert!(!hit);
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn eviction_hands_back_demotable_entries() {
+        let cache: SingleFlightLru<u64, u64> = SingleFlightLru::new(100);
+        cache.get_or_compute(1, || (11, 60));
+        let (_, hit, evicted) = cache.get_or_compute_with_evicted(1, || unreachable!());
+        assert!(hit);
+        assert!(evicted.is_empty(), "hits evict nothing");
+        let (_, _, evicted) = cache.get_or_compute_with_evicted(2, || (22, 60));
+        assert_eq!(evicted, vec![(1, 11)], "victim returned for demotion");
+        assert!(cache.bytes() <= 100);
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! A blocking client for the eel-serve protocol: one connection per
 //! request, which keeps the server's bounded queue an honest measure of
 //! outstanding work.
+//!
+//! A successful [`Response::Ok`] carries the [`crate::CacheTier`] that
+//! served it (`Computed`, `Memory`, or `Disk`), so batch drivers and
+//! scripts can tell a warm restart (disk hits) from a cold one
+//! (recomputation) without scraping server metrics. The wire format is
+//! documented in `docs/PROTOCOL.md`.
 
 use crate::proto::{read_frame, write_frame, Payload, Request, Response};
 use std::io;

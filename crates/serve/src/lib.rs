@@ -7,7 +7,10 @@
 //! and shared: a std-only TCP server ([`Server`]) with a worker pool, a
 //! bounded request queue with explicit [`Response::Busy`] backpressure,
 //! and a content-addressed, single-flight LRU cache keyed by (hash of the
-//! WEF bytes, operation).
+//! WEF bytes, operation), with an optional on-disk spill tier
+//! ([`DiskCache`], `ServerConfig::cache_dir`) so restarts and evictions
+//! re-read results instead of re-analyzing. Responses carry a
+//! [`CacheTier`] telling the client which tier served them.
 //!
 //! Operations: `disasm`, `cfg-summary`, `liveness`, `stat`,
 //! `instrument` (qpt-style edge-count instrumentation returning the
@@ -16,7 +19,7 @@
 //! daemon; `eelctl` (in eel-tools) is the command-line client.
 //!
 //! ```
-//! use eel_serve::{Client, Payload, Response, Server, ServerConfig};
+//! use eel_serve::{CacheTier, Client, Payload, Response, Server, ServerConfig};
 //!
 //! let server = Server::start(ServerConfig::default())?;
 //! let client = Client::connect(server.local_addr().to_string());
@@ -27,23 +30,34 @@
 //! let first = client.op("stat", Payload::Inline(wef.clone()))?;
 //! let second = client.op("stat", Payload::Inline(wef))?;
 //! match (first, second) {
-//!     (Response::Ok { cached: false, .. }, Response::Ok { cached: true, .. }) => {}
-//!     other => panic!("expected miss then hit, got {other:?}"),
+//!     (
+//!         Response::Ok { tier: CacheTier::Computed, .. },
+//!         Response::Ok { tier: CacheTier::Memory, .. },
+//!     ) => {}
+//!     other => panic!("expected computed then memory hit, got {other:?}"),
 //! }
 //!
 //! server.shutdown();
 //! server.wait();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The wire format is specified in `docs/PROTOCOL.md`, the crate's place
+//! in the pipeline in `docs/ARCHITECTURE.md`, and running the daemon in
+//! production in `docs/OPERATIONS.md`.
 
 mod cache;
 mod client;
+mod disk;
 mod ops;
 mod proto;
 mod server;
 
 pub use cache::{content_hash, SingleFlightLru};
 pub use client::Client;
+pub use disk::{DiskCache, DISK_FORMAT_VERSION};
 pub use ops::{run_op, CACHED_OPS};
-pub use proto::{read_frame, write_frame, Payload, Request, Response, MAX_FRAME, VERSION};
+pub use proto::{
+    read_frame, write_frame, CacheTier, Payload, Request, Response, MAX_FRAME, VERSION,
+};
 pub use server::{Server, ServerConfig};

@@ -11,7 +11,10 @@ use std::fmt::Write as _;
 
 /// The operations whose results flow through the content-addressed cache.
 /// (`ping`, `metrics`, and `shutdown` are control-plane requests handled
-/// by the server itself.)
+/// by the server itself.) Because every result here is a plain byte
+/// string that is a pure function of the input image, all of them are
+/// also eligible for the on-disk spill tier — success results persist
+/// across restarts; error results stay memory-only.
 pub const CACHED_OPS: &[&str] = &["disasm", "cfg-summary", "liveness", "stat", "instrument"];
 
 /// Runs one cacheable operation against a shared analysis.

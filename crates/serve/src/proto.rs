@@ -17,12 +17,17 @@
 //!
 //! ```text
 //! u8 version (=1) | u8 status (0 ok / 1 error / 2 busy) |
-//!   u8 cached (0/1) | u32 length | body bytes
+//!   u8 tier (0 computed / 1 memory / 2 disk) | u32 length | body bytes
 //! ```
 //!
-//! `cached` reports whether the result came from the content-addressed
-//! cache (an LRU hit, or a join onto an identical in-flight request)
-//! rather than a fresh computation.
+//! `tier` reports where the result came from: `0` is a fresh
+//! computation, `1` the in-memory content-addressed cache (an LRU hit,
+//! or a join onto an identical in-flight request), `2` the on-disk
+//! spill tier. Value `2` was added with the disk tier; the byte was
+//! previously a 0/1 "cached" flag, so the meaning of `0` and `1` is
+//! unchanged and the protocol version stays 1. The full byte-level
+//! specification, including a worked hex example, lives in
+//! `docs/PROTOCOL.md`.
 
 use std::io::{self, Read, Write};
 
@@ -60,15 +65,52 @@ pub struct Request {
     pub payload: Payload,
 }
 
+/// Which tier of the server's cache served a successful response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Computed fresh for this request (a miss of every tier).
+    Computed,
+    /// Served from the in-memory LRU, or joined onto an identical
+    /// in-flight computation.
+    Memory,
+    /// Loaded from the on-disk spill tier (and promoted back into the
+    /// LRU, so the next identical request reports [`CacheTier::Memory`]).
+    Disk,
+}
+
+impl CacheTier {
+    /// True when the result was served without recomputation — any tier
+    /// but [`CacheTier::Computed`].
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheTier::Computed)
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            CacheTier::Computed => 0,
+            CacheTier::Memory => 1,
+            CacheTier::Disk => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<CacheTier> {
+        match b {
+            0 => Some(CacheTier::Computed),
+            1 => Some(CacheTier::Memory),
+            2 => Some(CacheTier::Disk),
+            _ => None,
+        }
+    }
+}
+
 /// One response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// The operation succeeded; `body` is its rendered result (text for
     /// the analysis ops, WEF bytes for `instrument`).
     Ok {
-        /// Served from the content-addressed cache (or deduped onto an
-        /// in-flight identical request) instead of recomputed.
-        cached: bool,
+        /// Which cache tier served the result.
+        tier: CacheTier,
         /// The result.
         body: Vec<u8>,
     },
@@ -166,15 +208,15 @@ impl Request {
 impl Response {
     /// Serializes to a frame body.
     pub fn encode(&self) -> Vec<u8> {
-        let (status, cached, body): (u8, u8, &[u8]) = match self {
-            Response::Ok { cached, body } => (0, u8::from(*cached), body),
+        let (status, tier, body): (u8, u8, &[u8]) = match self {
+            Response::Ok { tier, body } => (0, tier.to_byte(), body),
             Response::Err(msg) => (1, 0, msg.as_bytes()),
             Response::Busy => (2, 0, &[]),
         };
         let mut out = Vec::with_capacity(7 + body.len());
         out.push(VERSION);
         out.push(status);
-        out.push(cached);
+        out.push(tier);
         out.extend_from_slice(&(body.len() as u32).to_be_bytes());
         out.extend_from_slice(body);
         out
@@ -192,12 +234,13 @@ impl Response {
             return Err(bad(format!("unsupported protocol version {version}")));
         }
         let status = c.u8("status")?;
-        let cached = c.u8("cached flag")? != 0;
+        let tier_byte = c.u8("cache tier")?;
         let len = c.u32("body length")? as usize;
         let bytes = c.take(len, "body")?.to_vec();
         Ok(match status {
             0 => Response::Ok {
-                cached,
+                tier: CacheTier::from_byte(tier_byte)
+                    .ok_or_else(|| bad(format!("unknown cache tier {tier_byte}")))?,
                 body: bytes,
             },
             1 => Response::Err(String::from_utf8_lossy(&bytes).into_owned()),
@@ -262,18 +305,26 @@ mod tests {
     fn response_round_trip() {
         for resp in [
             Response::Ok {
-                cached: true,
+                tier: CacheTier::Memory,
                 body: b"hello".to_vec(),
             },
             Response::Ok {
-                cached: false,
+                tier: CacheTier::Computed,
                 body: Vec::new(),
+            },
+            Response::Ok {
+                tier: CacheTier::Disk,
+                body: b"warm".to_vec(),
             },
             Response::Err("nope".into()),
             Response::Busy,
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+        assert!(
+            Response::decode(&[1, 0, 9, 0, 0, 0, 0]).is_err(),
+            "unknown cache tier rejected"
+        );
     }
 
     #[test]

@@ -10,21 +10,32 @@
 //! caches: one for [`Analysis`] artifacts keyed by image hash, one for
 //! rendered operation results keyed by (image hash, op).
 //!
+//! With `cache_dir` set the result cache grows a disk tier
+//! ([`crate::disk::DiskCache`]): memory misses consult the directory
+//! before computing (a hit is promoted back into the LRU), computed
+//! results spill through, and LRU evictions demote instead of discard —
+//! so a daemon restart serves warm from disk with zero re-analysis.
+//!
 //! Everything is instrumented through eel-obs: `serve.requests`,
-//! `serve.cache.hit` / `serve.cache.miss`, `serve.busy`, `serve.errors`,
-//! `serve.timeouts`, the `serve.queue.depth` gauge, per-op
-//! `serve.latency.<op>` histograms (microseconds), and per-op
+//! `serve.cache.hit` / `serve.cache.miss` (the *memory* tier),
+//! `serve.cache.disk.{hit,miss,write,evict,corrupt}` and the
+//! `serve.cache.disk.bytes` gauge (the disk tier), `serve.busy`,
+//! `serve.errors`, `serve.timeouts`, the `serve.queue.depth` gauge,
+//! per-op `serve.latency.<op>` histograms (microseconds) plus
+//! `serve.latency.disk.{load,spill}`, and per-op
 //! `serve.ops.<op>.computed` counters that count *actual* computations —
-//! the single-flight evidence.
+//! the single-flight and warm-restart evidence.
 
 use crate::cache::{content_hash, SingleFlightLru};
+use crate::disk::DiskCache;
 use crate::ops::{run_op, CACHED_OPS};
-use crate::proto::{read_frame, write_frame, Payload, Request, Response};
+use crate::proto::{read_frame, write_frame, CacheTier, Payload, Request, Response};
 use eel_core::Analysis;
 use eel_exe::Image;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -45,6 +56,12 @@ pub struct ServerConfig {
     /// Per-request budget: both the socket read/write timeout and the
     /// maximum time a request may wait in the queue.
     pub timeout: Duration,
+    /// Directory for the on-disk result-cache spill tier; `None` (the
+    /// default) keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the disk tier (only meaningful with `cache_dir`);
+    /// a janitor prunes the directory oldest-first past this.
+    pub disk_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +72,8 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_bytes: 64 << 20,
             timeout: Duration::from_secs(10),
+            cache_dir: None,
+            disk_bytes: 256 << 20,
         }
     }
 }
@@ -82,6 +101,8 @@ struct Shared {
     stop: AtomicBool,
     analyses: SingleFlightLru<u64, CachedAnalysis>,
     results: SingleFlightLru<(u64, String), CachedResult>,
+    /// The optional spill tier under the results cache.
+    disk: Option<DiskCache>,
 }
 
 /// A running eel-serve daemon. Dropping it shuts it down and joins every
@@ -110,6 +131,10 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let worker_count = config.effective_workers();
         let half = (config.cache_bytes / 2).max(1);
+        let disk = config
+            .cache_dir
+            .as_ref()
+            .map(|dir| DiskCache::open(dir, config.disk_bytes));
         let shared = Arc::new(Shared {
             local_addr,
             queue: Mutex::new(VecDeque::new()),
@@ -117,6 +142,7 @@ impl Server {
             stop: AtomicBool::new(false),
             analyses: SingleFlightLru::new(half),
             results: SingleFlightLru::new(half),
+            disk,
             config,
         });
 
@@ -280,17 +306,17 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
     let started = Instant::now();
     let resp = match req.op.as_str() {
         "ping" => Response::Ok {
-            cached: false,
+            tier: CacheTier::Computed,
             body: b"pong".to_vec(),
         },
         "metrics" => Response::Ok {
-            cached: false,
+            tier: CacheTier::Computed,
             body: render_metrics().into_bytes(),
         },
         "shutdown" => {
             shared.request_stop();
             Response::Ok {
-                cached: false,
+                tier: CacheTier::Computed,
                 body: b"shutting down".to_vec(),
             }
         }
@@ -312,23 +338,57 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
     };
     let hash = content_hash(&bytes);
     let key = (hash, op.to_string());
-    let (result, hit) = shared.results.get_or_compute(key, || {
+    let mut from_disk = false;
+    let (result, hit, evicted) = shared.results.get_or_compute_with_evicted(key, || {
+        // Memory missed; the disk tier gets a chance before we pay for a
+        // computation. A disk hit is promoted into the LRU by virtue of
+        // being this closure's return value.
+        if let Some(disk) = &shared.disk {
+            if let Some(body) = disk.load(hash, op) {
+                from_disk = true;
+                let cost = body.len();
+                return (Ok(Arc::new(body)), cost);
+            }
+        }
         eel_obs::counter(&format!("serve.ops.{op}.computed")).add(1);
         let computed = analyze(shared, hash, &bytes).and_then(|a| run_op(op, &a).map(Arc::new));
+        if let (Some(disk), Ok(body)) = (&shared.disk, &computed) {
+            // Write-through: the entry survives a restart even if it is
+            // never evicted. Errors stay memory-only — they may be
+            // transient (an unreadable path) and are cheap to rebuild.
+            disk.store(hash, op, body);
+        }
         let cost = match &computed {
             Ok(body) => body.len(),
             Err(msg) => msg.len(),
         };
         (computed, cost)
     });
+    // Demote this insertion's LRU victims to disk (outside the cache
+    // lock) instead of discarding the work. Content addressing makes
+    // this a cheap existence check for anything already spilled.
+    if let Some(disk) = &shared.disk {
+        for ((h, evicted_op), value) in evicted {
+            if let Ok(body) = value {
+                disk.store(h, &evicted_op, &body);
+            }
+        }
+    }
     if hit {
         eel_obs::counter!("serve.cache.hit").add(1);
     } else {
         eel_obs::counter!("serve.cache.miss").add(1);
     }
+    let tier = if hit {
+        CacheTier::Memory
+    } else if from_disk {
+        CacheTier::Disk
+    } else {
+        CacheTier::Computed
+    };
     match result {
         Ok(body) => Response::Ok {
-            cached: hit,
+            tier,
             body: body.to_vec(),
         },
         Err(msg) => Response::Err(msg),

@@ -1,0 +1,319 @@
+//! Disk-spill integration tests: servers with `cache_dir` set, killed
+//! and restarted over the same directory, with deliberate corruption in
+//! between.
+//!
+//! The eel-obs metrics registry is process-global and these assertions
+//! read it, so every test takes the serializing lock and resets the
+//! registry first — the tests in this binary never run interleaved.
+
+use eel_cc::Personality;
+use eel_serve::{CacheTier, Client, Payload, Response, Server, ServerConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eel-spill-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wef(routines: u32) -> Vec<u8> {
+    let w = eel_progen::spim_like(routines);
+    eel_progen::compile(&w, Personality::Gcc)
+        .expect("compile workload")
+        .to_bytes()
+}
+
+fn start(config: ServerConfig) -> (Server, Client) {
+    let server = Server::start(config).expect("start server");
+    let client = Client::connect(server.local_addr().to_string());
+    (server, client)
+}
+
+fn expect_ok(resp: Response) -> (CacheTier, Vec<u8>) {
+    match resp {
+        Response::Ok { tier, body } => (tier, body),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+fn counter(client: &Client, name: &str) -> u64 {
+    let (_, metrics) = expect_ok(client.control("metrics").expect("metrics"));
+    let metrics = String::from_utf8(metrics).expect("metrics are text");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("counter {name} "))?.parse().ok())
+        .unwrap_or(0)
+}
+
+fn shutdown(server: Server, client: &Client) {
+    let _ = client.control("shutdown");
+    server.wait();
+}
+
+/// Entry files committed in a cache directory.
+fn entries(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.to_string_lossy().ends_with(".eelc"))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+/// The tentpole acceptance path: a daemon restart over the same cache
+/// directory serves the repeated request from disk — zero re-analysis
+/// (`serve.ops.<op>.computed` stays 0, `serve.cache.disk.hit` is 1) —
+/// and the disk hit is promoted so the next repeat is a memory hit.
+#[test]
+fn restart_serves_from_disk_with_zero_recomputation() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("restart");
+    let wef = wef(40);
+
+    eel_obs::reset();
+    let (server, client) = start(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let (tier, cold_body) = expect_ok(
+        client
+            .op("cfg-summary", Payload::Inline(wef.clone()))
+            .expect("cold request"),
+    );
+    assert_eq!(tier, CacheTier::Computed, "cold cache computes");
+    assert_eq!(
+        counter(&client, "serve.cache.disk.write"),
+        1,
+        "write-through spilled"
+    );
+    shutdown(server, &client);
+    assert_eq!(entries(&dir).len(), 1, "entry survived shutdown");
+
+    // "Restart": a fresh server over the same directory, fresh metrics.
+    eel_obs::reset();
+    let (server, client) = start(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let (tier, warm_body) = expect_ok(
+        client
+            .op("cfg-summary", Payload::Inline(wef.clone()))
+            .expect("warm request"),
+    );
+    assert_eq!(tier, CacheTier::Disk, "restart serves from disk");
+    assert_eq!(warm_body, cold_body, "disk round trip is byte-identical");
+    assert_eq!(
+        counter(&client, "serve.ops.cfg-summary.computed"),
+        0,
+        "zero re-analysis after restart"
+    );
+    assert_eq!(counter(&client, "serve.cache.disk.hit"), 1);
+
+    // The disk hit was promoted into the LRU.
+    let (tier, _) = expect_ok(
+        client
+            .op("cfg-summary", Payload::Inline(wef))
+            .expect("repeat"),
+    );
+    assert_eq!(tier, CacheTier::Memory, "promoted entry is a memory hit");
+    shutdown(server, &client);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A deliberately corrupted cache file is skipped without a panic: the
+/// result is recomputed, the corrupt counter increments, and the entry
+/// is rewritten cleanly.
+#[test]
+fn corrupted_entry_is_skipped_and_rewritten() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("corrupt");
+    let wef = wef(30);
+
+    eel_obs::reset();
+    let (server, client) = start(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    expect_ok(
+        client
+            .op("stat", Payload::Inline(wef.clone()))
+            .expect("seed entry"),
+    );
+    shutdown(server, &client);
+
+    // Flip a payload byte in the single committed entry.
+    let files = entries(&dir);
+    assert_eq!(files.len(), 1);
+    let mut bytes = fs::read(&files[0]).expect("read entry");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    fs::write(&files[0], &bytes).expect("corrupt entry");
+
+    eel_obs::reset();
+    let (server, client) = start(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let (tier, _) = expect_ok(
+        client
+            .op("stat", Payload::Inline(wef.clone()))
+            .expect("request"),
+    );
+    assert_eq!(tier, CacheTier::Computed, "corrupt entry forces recompute");
+    assert_eq!(counter(&client, "serve.cache.disk.corrupt"), 1);
+    assert_eq!(counter(&client, "serve.ops.stat.computed"), 1);
+
+    // The recompute rewrote the entry; a restart now serves it warm.
+    shutdown(server, &client);
+    eel_obs::reset();
+    let (server, client) = start(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let (tier, _) = expect_ok(client.op("stat", Payload::Inline(wef)).expect("rewritten"));
+    assert_eq!(tier, CacheTier::Disk, "rewritten entry serves from disk");
+    shutdown(server, &client);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// An entry carrying a bumped format version is stale: ignored (no
+/// panic, no garbage served) and rewritten in the current format.
+#[test]
+fn bumped_format_version_is_ignored_and_rewritten() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("version");
+    let wef = wef(25);
+
+    eel_obs::reset();
+    let (server, client) = start(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    expect_ok(
+        client
+            .op("liveness", Payload::Inline(wef.clone()))
+            .expect("seed entry"),
+    );
+    shutdown(server, &client);
+
+    // Rewrite the header's format version (bytes 4..6) to a future one.
+    let files = entries(&dir);
+    assert_eq!(files.len(), 1);
+    let mut bytes = fs::read(&files[0]).expect("read entry");
+    bytes[4..6].copy_from_slice(&(eel_serve::DISK_FORMAT_VERSION + 7).to_be_bytes());
+    fs::write(&files[0], &bytes).expect("bump version");
+
+    eel_obs::reset();
+    let (server, client) = start(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let (tier, _) = expect_ok(
+        client
+            .op("liveness", Payload::Inline(wef))
+            .expect("request"),
+    );
+    assert_eq!(tier, CacheTier::Computed, "future version forces recompute");
+    assert_eq!(counter(&client, "serve.ops.liveness.computed"), 1);
+    shutdown(server, &client);
+
+    // The rewritten entry carries the current version again.
+    let bytes = fs::read(&entries(&dir)[0]).expect("read rewritten entry");
+    assert_eq!(
+        u16::from_be_bytes([bytes[4], bytes[5]]),
+        eel_serve::DISK_FORMAT_VERSION
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// LRU evictions demote to disk instead of discarding: with an
+/// oversized-entry budget (every insert evicts its predecessor), an
+/// evicted result whose spill file was removed reappears on disk, and a
+/// later request for it is a disk hit, not a recompute.
+#[test]
+fn eviction_demotes_to_disk() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("demote");
+    let wef_a = wef(20);
+    let wef_b = wef(35);
+
+    eel_obs::reset();
+    let (server, client) = start(ServerConfig {
+        // Tiny budget: every result is oversized, so each new insert
+        // evicts the previous resident (the newest always survives).
+        cache_bytes: 64,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    expect_ok(
+        client
+            .op("stat", Payload::Inline(wef_a.clone()))
+            .expect("A"),
+    );
+    let a_files = entries(&dir);
+    assert_eq!(a_files.len(), 1);
+    // Remove A's write-through spill so only eviction-demotion can put
+    // it back.
+    fs::remove_file(&a_files[0]).expect("drop A's spill file");
+
+    expect_ok(
+        client
+            .op("stat", Payload::Inline(wef_b))
+            .expect("B evicts A"),
+    );
+    assert!(
+        a_files[0].exists(),
+        "evicted entry was demoted back to disk"
+    );
+
+    // A is out of memory but on disk: a repeat is a disk hit, computed
+    // stays at 1.
+    let (tier, _) = expect_ok(client.op("stat", Payload::Inline(wef_a)).expect("A again"));
+    assert_eq!(tier, CacheTier::Disk);
+    assert_eq!(
+        counter(&client, "serve.ops.stat.computed"),
+        2,
+        "A and B, no third"
+    );
+    shutdown(server, &client);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// An unwritable cache directory degrades gracefully to memory-only
+/// service: the server starts, serves, and caches in memory; nothing
+/// panics and nothing errors client-side.
+#[test]
+fn unwritable_cache_dir_degrades_to_memory_only() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let parent = tmp_dir("degrade");
+    fs::create_dir_all(&parent).expect("mkdir");
+    let blocker = parent.join("blocker");
+    fs::write(&blocker, b"a file, not a directory").expect("write blocker");
+    let wef = wef(15);
+
+    eel_obs::reset();
+    let (server, client) = start(ServerConfig {
+        cache_dir: Some(blocker.join("cache")),
+        ..ServerConfig::default()
+    });
+    let (tier, _) = expect_ok(
+        client
+            .op("stat", Payload::Inline(wef.clone()))
+            .expect("first"),
+    );
+    assert_eq!(tier, CacheTier::Computed);
+    let (tier, _) = expect_ok(client.op("stat", Payload::Inline(wef)).expect("second"));
+    assert_eq!(tier, CacheTier::Memory, "memory tier still works");
+    assert_eq!(counter(&client, "serve.cache.disk.hit"), 0);
+    assert_eq!(counter(&client, "serve.cache.disk.write"), 0);
+    shutdown(server, &client);
+    fs::remove_dir_all(&parent).ok();
+}

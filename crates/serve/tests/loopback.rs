@@ -3,7 +3,7 @@
 
 use eel_cc::Personality;
 use eel_exe::Image;
-use eel_serve::{Client, Payload, Response, Server, ServerConfig};
+use eel_serve::{CacheTier, Client, Payload, Response, Server, ServerConfig};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -22,9 +22,9 @@ fn suite_wefs() -> Vec<(String, Vec<u8>)> {
         .collect()
 }
 
-fn expect_ok(resp: Response) -> (bool, Vec<u8>) {
+fn expect_ok(resp: Response) -> (CacheTier, Vec<u8>) {
     match resp {
-        Response::Ok { cached, body } => (cached, body),
+        Response::Ok { tier, body } => (tier, body),
         other => panic!("expected Ok, got {other:?}"),
     }
 }
@@ -50,8 +50,8 @@ fn concurrent_clients_dedupe_onto_one_computation() {
     let addr = server.local_addr().to_string();
     let client = Client::connect(addr.clone());
 
-    let (cached, body) = expect_ok(client.control("ping").expect("ping"));
-    assert!(!cached);
+    let (tier, body) = expect_ok(client.control("ping").expect("ping"));
+    assert!(!tier.is_hit());
     assert_eq!(body, b"pong");
 
     let (name, wef) = suite_wefs().into_iter().next().expect("suite non-empty");
@@ -71,7 +71,8 @@ fn concurrent_clients_dedupe_onto_one_computation() {
             )
         }));
     }
-    let results: Vec<(bool, Vec<u8>)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let results: Vec<(CacheTier, Vec<u8>)> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
     let bodies: Vec<&Vec<u8>> = results.iter().map(|(_, b)| b).collect();
     assert!(
         bodies.windows(2).all(|w| w[0] == w[1]),
@@ -80,17 +81,17 @@ fn concurrent_clients_dedupe_onto_one_computation() {
     assert!(!bodies[0].is_empty());
 
     // A later identical request is a straight LRU hit.
-    let (cached, _) = expect_ok(
+    let (tier, _) = expect_ok(
         client
             .op("cfg-summary", Payload::Inline(wef.clone()))
             .expect("repeat"),
     );
-    assert!(cached, "second identical request is a cache hit");
+    assert_eq!(tier, CacheTier::Memory, "second identical request hits");
 
     // A different op over the same image misses the result cache but
     // reuses the shared analysis.
-    let (cached, stat_body) = expect_ok(client.op("stat", Payload::Inline(wef)).expect("stat"));
-    assert!(!cached, "different op is a different cache key");
+    let (tier, stat_body) = expect_ok(client.op("stat", Payload::Inline(wef)).expect("stat"));
+    assert_eq!(tier, CacheTier::Computed, "different op, different key");
     assert!(String::from_utf8(stat_body).unwrap().contains("routines:"));
 
     let (_, metrics) = expect_ok(client.control("metrics").expect("metrics"));

@@ -15,10 +15,13 @@
 //!
 //! The server address comes from `--addr`, else the `EEL_SERVE_ADDR`
 //! environment variable, else `127.0.0.1:7099`. Cache status for each
-//! request (`cache hit` / `miss` / `busy`) goes to stderr, so scripts can
-//! check dedupe without disturbing the payload on stdout.
+//! request goes to stderr — `cache miss` (computed fresh), `cache hit`
+//! (served from the server's memory LRU or deduped onto an in-flight
+//! twin), or `cache hit (disk)` (loaded from the daemon's `--cache-dir`
+//! spill tier, e.g. after a restart) — so scripts can check dedupe and
+//! warm-restart behavior without disturbing the payload on stdout.
 
-use eel_serve::{Client, Payload, Response};
+use eel_serve::{CacheTier, Client, Payload, Response};
 use eel_tools::cli::Cli;
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -101,10 +104,14 @@ fn main() -> ExitCode {
             }
         };
         match client.op(&op, payload) {
-            Ok(Response::Ok { cached, body }) => {
+            Ok(Response::Ok { tier, body }) => {
                 eprintln!(
-                    "eelctl: {op} {file}: cache {}",
-                    if cached { "hit" } else { "miss" }
+                    "eelctl: {op} {file}: {}",
+                    match tier {
+                        CacheTier::Computed => "cache miss",
+                        CacheTier::Memory => "cache hit",
+                        CacheTier::Disk => "cache hit (disk)",
+                    }
                 );
                 if let Some(out) = &output {
                     if let Err(e) = std::fs::write(out, &body) {
