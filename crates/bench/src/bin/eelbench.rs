@@ -1,0 +1,250 @@
+//! `eelbench` — end-to-end service benchmarks.
+//!
+//! ```text
+//! eelbench serve [--images N] [--window N] [--out PATH]
+//! ```
+//!
+//! The `serve` subcommand measures the two session-era optimizations
+//! against their baselines, on a live in-process eel-serve daemon:
+//!
+//! 1. **Transport**: a warm-cache batch of N distinct progen images,
+//!    sent one-connection-per-request (v1) versus pipelined through a
+//!    single session connection (v2). Warm cache isolates the transport
+//!    cost the session amortizes: connect, frame, queue hop.
+//! 2. **Analysis kernel**: the largest suite image's `disasm` and
+//!    `instrument`, sequential versus the per-routine parallel fan-out
+//!    (`run_op_with`, 0 = one thread per core).
+//!
+//! Every pipelined result is asserted byte-identical to its
+//! per-connection twin, and every parallel result to its sequential
+//! twin — a correctness smoke test first, a benchmark second; any
+//! mismatch exits nonzero. Measurements land in `BENCH_serve.json`
+//! (see `--out`) and a human summary goes to stdout.
+
+use eel_cc::Personality;
+use eel_serve::{run_op_with, Client, Payload, Request, Response, Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_bench(&args[1..]),
+        Some("-h") | Some("--help") => {
+            println!("usage: eelbench serve [--images N] [--window N] [--out PATH]");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("eelbench: unknown subcommand {other:?} (try: eelbench serve)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_bench(args: &[String]) -> ExitCode {
+    let mut images = 64usize;
+    let mut window = 16u32;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("eelbench: {flag} needs a value");
+            return ExitCode::FAILURE;
+        };
+        match flag {
+            "--images" => images = value.parse().unwrap_or(64),
+            "--window" => window = value.parse().unwrap_or(16),
+            "--out" => out = value.clone(),
+            other => {
+                eprintln!("eelbench: unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // -- Workloads: N distinct *small* seeded programs (distinct
+    // hashes, so the batch exercises N separate cache entries). Small
+    // on purpose: the transport benchmark measures the per-request
+    // overhead sessions amortize (connect, teardown, frame round trip),
+    // so the payload must not drown it in memcpy — with warm-cache
+    // ~800KB default-config images, byte shoveling dominates both modes
+    // and pipelining 16 of them in flight just thrashes the socket
+    // buffers. Some seeds generate programs the compiler rejects
+    // (expression depth); skip those and keep drawing until full.
+    eprintln!("eelbench: compiling {images} seeded images...");
+    let small = eel_progen::GenConfig {
+        functions: 0,
+        stmts_per_fn: 1,
+        max_depth: 1,
+        globals: 1,
+        arrays: 0,
+    };
+    let mut wefs: Vec<Vec<u8>> = Vec::with_capacity(images);
+    let mut seed = 0u64;
+    while wefs.len() < images {
+        let program = eel_progen::random_program(seed, &small);
+        if let Ok(image) = eel_cc::compile_ast(&program, &eel_cc::Options::default()) {
+            wefs.push(image.to_bytes());
+        }
+        seed += 1;
+    }
+    // The kernel benchmark wants the most routines it can get: the
+    // per-routine fan-out scales with routine count, and the suite
+    // workloads are tiny. A functions=16 generated program compiles to
+    // ~1MB of text across ~19 routines. (functions >= 32 reliably
+    // trips the compiler's expression-depth limit, hence the bounded
+    // seed search with a suite fallback.)
+    let many = eel_progen::GenConfig {
+        functions: 16,
+        ..eel_progen::GenConfig::default()
+    };
+    let largest = (0..8)
+        .filter_map(|seed| {
+            let program = eel_progen::random_program(seed, &many);
+            eel_cc::compile_ast(&program, &eel_cc::Options::default()).ok()
+        })
+        .chain(
+            eel_progen::suite()
+                .iter()
+                .map(|w| eel_progen::compile(w, Personality::Gcc).expect("compile workload")),
+        )
+        .max_by_key(|image| image.text.len())
+        .expect("suite non-empty");
+
+    // -- Transport: per-connection vs pipelined session, warm cache.
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let client = Client::connect(server.local_addr().to_string())
+        .with_timeout(Some(Duration::from_secs(120)));
+    let requests: Vec<Request> = wefs
+        .iter()
+        .map(|wef| Request {
+            op: "stat".into(),
+            payload: Payload::Inline(wef.clone()),
+        })
+        .collect();
+
+    eprintln!("eelbench: warming the result cache...");
+    let warm: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|r| expect_body(client.request(r).expect("warm request")))
+        .collect();
+
+    // Best-of-3 per mode sheds scheduler noise; every repetition still
+    // verifies its responses against the warm baseline.
+    const REPS: usize = 3;
+    eprintln!("eelbench: timing one-connection-per-request x{images}...");
+    let mut single_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        let singles: Vec<Vec<u8>> = requests
+            .iter()
+            .map(|r| expect_body(client.request(r).expect("single request")))
+            .collect();
+        single_ms = single_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        if singles != warm {
+            eprintln!("eelbench: FAIL: per-connection responses differ from warm baseline");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("eelbench: timing pipelined session (window {window}) x{images}...");
+    let mut session_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        let batched = client.batch(&requests, window).expect("batch");
+        session_ms = session_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        let batched: Vec<Vec<u8>> = batched.into_iter().map(expect_body).collect();
+        if batched != warm {
+            eprintln!("eelbench: FAIL: pipelined responses differ from per-connection responses");
+            return ExitCode::FAILURE;
+        }
+    }
+    let (_, _) = (server.shutdown(), server.wait());
+    let session_speedup = single_ms / session_ms;
+    eprintln!(
+        "eelbench: transport: per-connection {single_ms:.1}ms, session {session_ms:.1}ms \
+         ({session_speedup:.2}x)"
+    );
+
+    // -- Analysis kernel: sequential vs parallel on the largest image.
+    let text_bytes = largest.text.len();
+    let analysis =
+        eel_core::Analysis::compute(std::sync::Arc::new(largest)).expect("analyze largest");
+    // `0` (auto) would resolve to one thread on a one-core box and
+    // never enter the fan-out; force at least two threads so the
+    // parallel machinery (spawn, speculative builds, memo stitch) is
+    // what actually gets measured.
+    let par_threads = cores.max(2);
+    let mut kernel = Vec::new();
+    for op in ["disasm", "instrument"] {
+        // Untimed warmup, then best-of-N to shed scheduler noise.
+        const RUNS: usize = 5;
+        let expected = run_op_with(op, &analysis, 1).expect(op);
+        let mut seq_ms = f64::INFINITY;
+        let mut par_ms = f64::INFINITY;
+        for _ in 0..RUNS {
+            let started = Instant::now();
+            let sequential = run_op_with(op, &analysis, 1).expect(op);
+            seq_ms = seq_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            let started = Instant::now();
+            let parallel = run_op_with(op, &analysis, par_threads).expect(op);
+            par_ms = par_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            if parallel != expected || sequential != expected {
+                eprintln!("eelbench: FAIL: {op} parallel output differs from sequential");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "eelbench: kernel: {op} sequential {seq_ms:.2}ms, parallel({par_threads} threads) \
+             {par_ms:.2}ms ({:.2}x on {cores} cores)",
+            seq_ms / par_ms
+        );
+        kernel.push((op, seq_ms, par_ms));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"images\": {images},\n"));
+    json.push_str(&format!("  \"window\": {window},\n"));
+    json.push_str("  \"transport\": {\n");
+    json.push_str(&format!(
+        "    \"per_connection_ms\": {single_ms:.2},\n    \"session_ms\": {session_ms:.2},\n    \
+         \"speedup\": {session_speedup:.2}\n  }},\n"
+    ));
+    json.push_str("  \"kernel\": {\n");
+    json.push_str(&format!("    \"text_bytes\": {text_bytes},\n"));
+    json.push_str(&format!("    \"parallel_threads\": {par_threads},\n"));
+    let parts: Vec<String> = kernel
+        .iter()
+        .map(|(op, seq, par)| {
+            format!(
+                "    \"{op}\": {{ \"sequential_ms\": {seq:.2}, \"parallel_ms\": {par:.2}, \
+                 \"speedup\": {:.2} }}",
+                seq / par
+            )
+        })
+        .collect();
+    json.push_str(&parts.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("eelbench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    eprintln!("eelbench: results written to {out}");
+    ExitCode::SUCCESS
+}
+
+fn expect_body(resp: Response) -> Vec<u8> {
+    match resp {
+        Response::Ok { body, .. } => body,
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}

@@ -15,7 +15,7 @@
 //!    displacement and dispatch table, append run-time support (the
 //!    address translator and tool-added routines), and emit a new image.
 
-use crate::cfg::{build_cfg as cfg_build, Cfg};
+use crate::cfg::{build_cfg as cfg_build, BuildOutput, Cfg};
 use crate::error::EelError;
 use crate::instr::{AllocStats, InstructionPool};
 use crate::layout::{lay_out_routine, Item, RoutineLayout, Tgt, TRANSLATOR};
@@ -57,6 +57,25 @@ pub struct Executable {
     written: bool,
     jump_analysis: bool,
     removed: std::collections::HashSet<usize>,
+    /// Speculative CFG builds from [`Executable::build_all_cfgs`]'s
+    /// parallel phase, keyed by routine index and stamped with the
+    /// inputs they were built from. [`Executable::build_cfg`] consumes a
+    /// memo entry instead of re-running the builder when — and only
+    /// when — the routine's extent and entry set still match, which is
+    /// what keeps the parallel path byte-identical to the sequential
+    /// one.
+    cfg_memo: HashMap<usize, (CfgInputs, Result<BuildOutput, EelError>)>,
+}
+
+/// The inputs a speculative CFG build consumed: the routine's extent and
+/// entry points at fan-out time. A later cross-routine side effect
+/// (§3.1 stage 3 entry-point registration, stage 4 splitting) changes
+/// these, invalidating the speculation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct CfgInputs {
+    start: u32,
+    end: u32,
+    entries: Vec<u32>,
 }
 
 impl std::fmt::Debug for Executable {
@@ -100,6 +119,7 @@ impl Executable {
             written: false,
             jump_analysis: true,
             removed: std::collections::HashSet::new(),
+            cfg_memo: HashMap::new(),
         })
     }
 
@@ -376,13 +396,36 @@ impl Executable {
         let _ = self.routines.get(id.0).ok_or(EelError::BadRoutine(id.0))?;
         loop {
             let r = &self.routines[id.0];
-            let out = cfg_build(
-                &self.image,
-                id,
-                (r.start, r.end),
-                &r.entries,
-                self.jump_analysis,
-            )?;
+            let inputs = CfgInputs {
+                start: r.start,
+                end: r.end,
+                entries: r.entries.clone(),
+            };
+            // A speculative parallel build is only honored when the
+            // routine's inputs are still exactly what it consumed;
+            // otherwise fall through to a fresh (sequential) build, the
+            // same computation the speculation raced against.
+            let speculated = match self.cfg_memo.remove(&id.0) {
+                Some((key, result)) if key == inputs => {
+                    eel_obs::counter!("core.parallel.speculation.hit").add(1);
+                    Some(result)
+                }
+                Some(_) => {
+                    eel_obs::counter!("core.parallel.speculation.stale").add(1);
+                    None
+                }
+                None => None,
+            };
+            let out = match speculated {
+                Some(result) => result?,
+                None => cfg_build(
+                    &self.image,
+                    id,
+                    (inputs.start, inputs.end),
+                    &inputs.entries,
+                    self.jump_analysis,
+                )?,
+            };
             // Register interprocedural entry points (stage 3).
             for t in &out.escape_targets {
                 if let Some(cid) = self.routine_containing(*t) {
@@ -423,6 +466,102 @@ impl Executable {
             eel_obs::counter!("core.cfg.blocks").add(out.cfg.blocks.len() as u64);
             eel_obs::counter!("core.cfg.edges").add(out.cfg.edges.len() as u64);
             return Ok(out.cfg);
+        }
+    }
+
+    /// Builds the CFG of **every** currently known routine, fanning the
+    /// per-routine builds out over `threads` scoped worker threads
+    /// (0 = one per core, 1 = fully sequential), and returns
+    /// `(routine snapshot, CFG)` pairs **in routine order**.
+    ///
+    /// The returned [`Routine`] is the snapshot a sequential
+    /// `for id { routine(id).clone(); build_cfg(id) }` loop would have
+    /// observed — taken after all *earlier* routines' side effects but
+    /// before this routine's own build — so render passes that consult
+    /// the routine's extent behave identically in both modes.
+    ///
+    /// # Determinism
+    ///
+    /// The output is **byte-for-byte identical** to calling
+    /// [`Executable::build_cfg`] on each routine in order. The parallel
+    /// phase only *speculates*: it runs the pure CFG builder against a
+    /// snapshot of every routine's extent and entries, and the
+    /// sequential stitch phase accepts a speculative result only when
+    /// those inputs are still exact — any routine invalidated by a
+    /// cross-routine discovery (§3.1 stage 3 entry points, stage 4
+    /// splits) is rebuilt sequentially, exactly as the plain loop would
+    /// have built it. Side effects (entry-point registration,
+    /// hidden-routine splitting, instruction interning) all happen in
+    /// the stitch phase, in routine order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executable::build_cfg`]; the first failing routine in
+    /// routine order wins, like the sequential loop.
+    pub fn build_all_cfgs(&mut self, threads: usize) -> Result<Vec<(Routine, Cfg)>, EelError> {
+        if !self.analyzed {
+            return Err(EelError::NotAnalyzed);
+        }
+        let ids = self.all_routine_ids();
+        let threads = crate::par::effective_threads(threads).min(ids.len().max(1));
+        if threads > 1 && ids.len() > 1 {
+            let _obs = eel_obs::span("core.parallel.build_all");
+            eel_obs::counter!("core.parallel.batches").add(1);
+            let snapshots: Vec<(RoutineId, CfgInputs)> = ids
+                .iter()
+                .map(|&id| {
+                    let r = &self.routines[id.0];
+                    (
+                        id,
+                        CfgInputs {
+                            start: r.start,
+                            end: r.end,
+                            entries: r.entries.clone(),
+                        },
+                    )
+                })
+                .collect();
+            let image = &self.image;
+            let jump_analysis = self.jump_analysis;
+            let built = crate::par::fan_out_indexed(snapshots.len(), threads, |i| {
+                let (id, inputs) = &snapshots[i];
+                let started = std::time::Instant::now();
+                let out = cfg_build(
+                    image,
+                    *id,
+                    (inputs.start, inputs.end),
+                    &inputs.entries,
+                    jump_analysis,
+                );
+                eel_obs::histogram!("core.parallel.routine_us")
+                    .record(started.elapsed().as_micros() as u64);
+                out
+            });
+            self.cfg_memo = snapshots
+                .into_iter()
+                .zip(built)
+                .map(|((id, inputs), result)| (id.0, (inputs, result)))
+                .collect();
+        }
+        // Stitch phase: sequential, in routine order, consuming the
+        // speculative builds where still valid. This is the only place
+        // routine state mutates, so ordering matches the plain loop.
+        let mut out = Vec::with_capacity(ids.len());
+        let mut first_err = None;
+        for id in ids {
+            let snapshot = self.routines[id.0].clone();
+            match self.build_cfg(id) {
+                Ok(cfg) => out.push((snapshot, cfg)),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.cfg_memo.clear();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
         }
     }
 

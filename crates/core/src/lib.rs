@@ -54,6 +54,7 @@ mod error;
 mod executable;
 mod instr;
 mod layout;
+pub mod par;
 mod routine;
 mod shared;
 mod snippet;

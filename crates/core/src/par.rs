@@ -1,0 +1,119 @@
+//! Std-only scoped-thread fan-out for per-routine analysis.
+//!
+//! EEL's whole-image passes are embarrassingly parallel at the routine
+//! level: [`crate::cfg::build_cfg`] is a pure function of the image and
+//! one routine's extent/entry set, so a multi-routine image can build
+//! every CFG concurrently. This module is the kernel those passes share:
+//! a work queue of item indices drained by scoped worker threads (idle
+//! workers steal the next index with one atomic `fetch_add`), with the
+//! results stitched back **in item order** so callers see exactly the
+//! sequence a sequential loop would have produced.
+//!
+//! Everything is `std` — no rayon, no channels: `std::thread::scope`
+//! plus one `AtomicUsize`. Worker panics propagate to the caller, the
+//! same as a panic in the equivalent sequential loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a thread-count knob: `0` means one per available core,
+/// anything else is taken literally. The result is never zero.
+pub fn effective_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` on up to `threads` scoped worker
+/// threads (0 = one per core) and returns the results **in index
+/// order** — byte-for-byte the vector the sequential loop
+/// `(0..n).map(f).collect()` yields, because `f` must be a pure
+/// function of its index.
+///
+/// Scheduling is a shared index queue: each worker claims the next
+/// unclaimed index with an atomic increment, so a worker stuck on one
+/// expensive item (a big routine) never blocks the others from draining
+/// the tail. With `threads <= 1` or `n <= 1` no threads are spawned and
+/// `f` runs inline.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`, like the sequential loop would.
+pub fn fan_out_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads).min(n);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fan-out worker panicked"))
+            .collect()
+    });
+    // Stitch in item order: the queue hands out indices in order but
+    // workers finish out of order.
+    results.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(results.len(), n);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_order() {
+        for threads in [0, 1, 2, 7] {
+            let got = fan_out_indexed(23, threads, |i| i * i);
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(fan_out_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn uneven_items_still_stitch_in_order() {
+        // Make early indices the slow ones so late indices finish first.
+        let got = fan_out_indexed(8, 4, |i| {
+            if i < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effective_threads_resolves() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+}

@@ -40,6 +40,10 @@ pub struct Analysis {
     image: Arc<Image>,
     routines: Vec<Routine>,
     hidden: Vec<RoutineId>,
+    /// Distinct machine words seen by discovery's interning pool,
+    /// recorded so [`Analysis::approx_bytes`] can charge for the
+    /// instruction objects every consumer re-interns.
+    distinct_words: usize,
 }
 
 impl Analysis {
@@ -57,7 +61,15 @@ impl Analysis {
             image,
             routines: discovery.routines,
             hidden: discovery.hidden,
+            distinct_words: pool.len(),
         })
+    }
+
+    /// Distinct machine words in the text segment, as counted by
+    /// discovery's interning pool (the paper's one-object-per-word
+    /// sharing, §3.4).
+    pub fn distinct_words(&self) -> usize {
+        self.distinct_words
     }
 
     /// The shared image.
@@ -77,31 +89,50 @@ impl Analysis {
     }
 
     /// Approximate resident size in bytes — the currency of eel-serve's
-    /// LRU byte budget. Counts the image segments and the routine table;
-    /// deliberately an estimate (names and allocator overhead are
-    /// approximated, not measured).
+    /// LRU byte budget. Counts the image segments, the symbol and routine
+    /// tables (every routine name, synthetic ones included, since every
+    /// consumer materializes them), per-heap-block allocator overhead,
+    /// and one interned instruction object per distinct machine word
+    /// (each [`crate::Executable::from_analysis`] re-interns the text
+    /// while serving this analysis). Calibrated against the measured
+    /// ~1.7–1.9× text-size retention from the cache-budget experiments;
+    /// deliberately still an estimate.
     pub fn approx_bytes(&self) -> usize {
+        // Per-heap-block bookkeeping: malloc header plus size-class
+        // rounding. Undercounting this was the bulk of the old
+        // estimate's gap to measured retention.
+        const ALLOC_OVERHEAD: usize = 16;
+        // An interned instruction: the `Rc` header (strong + weak
+        // counts), the decoded `Insn`, and the pool's map entry
+        // (key + handle) with its share of bucket slack.
+        const INTERNED_WORD: usize = 16
+            + std::mem::size_of::<eel_isa::Insn>()
+            + std::mem::size_of::<(u32, usize)>()
+            + ALLOC_OVERHEAD;
         let image = self.image.text.len()
             + self.image.data.len()
             + self
                 .image
                 .symbols
                 .iter()
-                .map(|s| std::mem::size_of_val(s) + s.name.len())
+                .map(|s| std::mem::size_of_val(s) + s.name.len() + ALLOC_OVERHEAD)
                 .sum::<usize>();
         let routines = self
             .routines
             .iter()
             .map(|r| {
                 std::mem::size_of_val(r)
-                    + r.entries().len() * 4
-                    + if r.has_symbol_name() {
-                        r.name().len()
-                    } else {
-                        0
-                    }
+                    + std::mem::size_of_val(r.entries())
+                    + ALLOC_OVERHEAD
+                    + r.name().len()
+                    + ALLOC_OVERHEAD
             })
             .sum::<usize>();
-        std::mem::size_of::<Analysis>() + image + routines
+        let interned = self.distinct_words * INTERNED_WORD;
+        std::mem::size_of::<Analysis>()
+            + image
+            + routines
+            + self.hidden.len() * std::mem::size_of::<RoutineId>()
+            + interned
     }
 }

@@ -36,7 +36,10 @@ pub struct RegAssignment {
 }
 
 /// Call-back type: `(instructions, placement_address, assignment)`.
-pub type Callback = Box<dyn FnMut(&mut [Insn], u32, &RegAssignment)>;
+/// `Send` because CFGs (which carry pending snippet edits) cross thread
+/// boundaries in the per-routine parallel analysis kernel
+/// ([`crate::Executable::build_all_cfgs`]).
+pub type Callback = Box<dyn FnMut(&mut [Insn], u32, &RegAssignment) + Send>;
 
 /// Result of materializing a snippet: the placement-ready instructions,
 /// the register assignment, and re-indexed run-time calls.

@@ -111,14 +111,15 @@ fn free_registers_excludes_used_ones() {
 fn snippet_callback_backpatches_final_addresses() {
     // The paper's call-back use case: record where instrumentation landed
     // for later backpatching. The callback receives the FINAL address.
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    // (Arc/Mutex rather than Rc/RefCell: callbacks are Send so CFGs can
+    // cross threads in the parallel analysis kernel.)
+    use std::sync::{Arc, Mutex};
 
     let image = compile_str("fn main() { return 9; }", &Options::default()).unwrap();
     let mut exec = Executable::from_image(image).unwrap();
     exec.read_contents().unwrap();
     let counter = exec.reserve_data(4);
-    let landed = Rc::new(RefCell::new(Vec::new()));
+    let landed = Arc::new(Mutex::new(Vec::new()));
     let main_id = exec
         .all_routine_ids()
         .into_iter()
@@ -126,10 +127,11 @@ fn snippet_callback_backpatches_final_addresses() {
         .unwrap();
     let mut cfg = exec.build_cfg(main_id).unwrap();
     let entry = cfg.entry_block();
-    let sink = Rc::clone(&landed);
+    let sink = Arc::clone(&landed);
     let snippet = Snippet::counter_increment(counter).with_callback(Box::new(
         move |insns, addr, assignment| {
-            sink.borrow_mut()
+            sink.lock()
+                .unwrap()
                 .push((addr, insns.len(), assignment.map.len()));
         },
     ));
@@ -137,7 +139,7 @@ fn snippet_callback_backpatches_final_addresses() {
     exec.install_edits(cfg).unwrap();
     let edited = exec.write_edited().unwrap();
 
-    let calls = landed.borrow().clone();
+    let calls = landed.lock().unwrap().clone();
     assert_eq!(calls.len(), 1, "one placement, one call-back");
     let (addr, len, mapped) = calls[0];
     assert!(edited.in_text(addr), "final address is a text address");

@@ -111,3 +111,65 @@ fn approx_bytes_tracks_image_size() {
         "bigger program, bigger estimate"
     );
 }
+
+#[test]
+fn approx_bytes_covers_names_pool_and_measured_retention() {
+    let image = compile_str(program(), &Options::default()).unwrap();
+    let analysis = Analysis::compute(Arc::new(image)).unwrap();
+    let image = analysis.image();
+
+    // The estimate must at least cover what we can count exactly: both
+    // segments, every routine name (synthetic ones included — consumers
+    // materialize those too), and one interned object per distinct word.
+    let names: usize = analysis.routines().iter().map(|r| r.name().len()).sum();
+    assert!(analysis.distinct_words() > 0);
+    assert!(analysis.distinct_words() <= image.text.len() / 4);
+    let floor = image.text.len() + image.data.len() + names + analysis.distinct_words() * 4;
+    assert!(
+        analysis.approx_bytes() > floor,
+        "estimate {} must exceed the countable floor {floor}",
+        analysis.approx_bytes()
+    );
+
+    // ROADMAP's cache-budget measurements put real retention at
+    // ~1.7–1.9× text size; the old estimate sat well under that band
+    // and starved the LRU. Keep the estimate at or above it (small
+    // images carry proportionally more fixed overhead, so only the
+    // lower bound is load-bearing).
+    assert!(
+        analysis.approx_bytes() as f64 >= 1.7 * image.text.len() as f64,
+        "estimate {} must not undershoot 1.7x text ({} bytes)",
+        analysis.approx_bytes(),
+        image.text.len()
+    );
+}
+
+#[test]
+fn build_all_cfgs_matches_sequential_at_any_thread_count() {
+    let image = compile_str(program(), &Options::default()).unwrap();
+    let analysis = Analysis::compute(Arc::new(image)).unwrap();
+
+    // The sequential truth: routine snapshot taken before each build,
+    // exactly the pairs build_all_cfgs promises to reproduce.
+    let mut seq = Executable::from_analysis(&analysis);
+    let mut expected = Vec::new();
+    for id in seq.all_routine_ids() {
+        let routine = seq.routine(id).clone();
+        let cfg = seq.build_cfg(id).unwrap();
+        expected.push((routine, cfg.stats(), cfg.blocks().count(), cfg.edge_count()));
+    }
+
+    for threads in [0, 1, 2, 5] {
+        let mut exec = Executable::from_analysis(&analysis);
+        let built = exec.build_all_cfgs(threads).unwrap();
+        assert_eq!(built.len(), expected.len(), "threads={threads}");
+        for ((routine, cfg), (exp_routine, exp_stats, exp_blocks, exp_edges)) in
+            built.iter().zip(&expected)
+        {
+            assert_eq!(routine, exp_routine, "threads={threads}");
+            assert_eq!(&cfg.stats(), exp_stats, "threads={threads}");
+            assert_eq!(cfg.blocks().count(), *exp_blocks, "threads={threads}");
+            assert_eq!(cfg.edge_count(), *exp_edges, "threads={threads}");
+        }
+    }
+}

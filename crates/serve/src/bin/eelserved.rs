@@ -4,6 +4,8 @@
 //! eelserved [--addr HOST:PORT] [--workers N] [--queue N]
 //!           [--cache-bytes N] [--timeout-ms N]
 //!           [--cache-dir PATH] [--disk-bytes N]
+//!           [--session-window N] [--session-workers N]
+//!           [--analysis-threads N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7099`), prints a `listening on` line once
@@ -20,7 +22,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: eelserved [--addr HOST:PORT] [--workers N] [--queue N] \
-[--cache-bytes N] [--timeout-ms N] [--cache-dir PATH] [--disk-bytes N]";
+[--cache-bytes N] [--timeout-ms N] [--cache-dir PATH] [--disk-bytes N] \
+[--session-window N] [--session-workers N] [--analysis-threads N]";
 
 fn main() -> ExitCode {
     eel_obs::init_from_env();
@@ -42,7 +45,8 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--addr" | "--workers" | "--queue" | "--cache-bytes" | "--timeout-ms"
-            | "--cache-dir" | "--disk-bytes" => {
+            | "--cache-dir" | "--disk-bytes" | "--session-window" | "--session-workers"
+            | "--analysis-threads" => {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("eelserved: {flag} needs a value");
@@ -57,6 +61,9 @@ fn main() -> ExitCode {
                     ("--cache-bytes", Ok(n)) => config.cache_bytes = n as usize,
                     ("--timeout-ms", Ok(n)) => config.timeout = Duration::from_millis(n),
                     ("--disk-bytes", Ok(n)) => config.disk_bytes = n,
+                    ("--session-window", Ok(n)) => config.session_window = n.max(1) as u32,
+                    ("--session-workers", Ok(n)) => config.session_workers = n as usize,
+                    ("--analysis-threads", Ok(n)) => config.analysis_threads = n as usize,
                     (_, Err(_)) => {
                         eprintln!("eelserved: {flag} needs a number, got {value:?}");
                         return ExitCode::FAILURE;

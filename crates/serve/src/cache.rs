@@ -13,6 +13,13 @@
 //!   budget the least-recently-used entries are evicted (the most recent
 //!   insertion always survives, even if it alone exceeds the budget, so
 //!   a hot oversized artifact still dedupes).
+//! * **Cost-weighted eviction**: entries also carry a [`CostClass`].
+//!   Recomputing a `stat` or `cfg-summary` costs about as much as
+//!   reloading it from disk, while `disasm`/`instrument` redo the whole
+//!   per-routine CFG pipeline — so when the budget forces a choice, the
+//!   [`CostClass::Cheap`] entries go first (in LRU order among
+//!   themselves) and [`CostClass::Expensive`] ones only after every
+//!   cheap entry is gone.
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
@@ -30,11 +37,29 @@ pub fn content_hash(bytes: &[u8]) -> u64 {
     h
 }
 
+/// How expensive an entry is to recompute, relative to reloading it
+/// from the disk tier. Decides eviction order under budget pressure:
+/// cheap entries are sacrificed before expensive ones regardless of
+/// recency (the newest insertion is always spared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Recompute ≈ disk reload (`stat`, `cfg-summary`, `liveness`):
+    /// caching saves little, so these yield budget first.
+    Cheap,
+    /// Recompute ≫ disk reload (`disasm`, `instrument`, parsed
+    /// analyses): the entries the budget exists to protect.
+    Expensive,
+}
+
 enum Slot<V> {
     /// Someone is computing this entry; waiters sleep on the condvar.
     InFlight,
     /// Computed, resident, costing `cost` bytes of the budget.
-    Ready { value: V, cost: usize },
+    Ready {
+        value: V,
+        cost: usize,
+        class: CostClass,
+    },
 }
 
 struct Inner<K, V> {
@@ -86,10 +111,27 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlightLru<K, V> {
     /// in-flight join; it is collected under the lock but returned for
     /// processing outside it, so demotion I/O never blocks other
     /// requests.
+    ///
+    /// New entries default to [`CostClass::Expensive`]; use
+    /// [`SingleFlightLru::get_or_compute_classed`] to say otherwise.
     pub fn get_or_compute_with_evicted(
         &self,
         key: K,
         compute: impl FnOnce() -> (V, usize),
+    ) -> (V, bool, Vec<(K, V)>) {
+        self.get_or_compute_classed(key, || {
+            let (value, cost) = compute();
+            (value, cost, CostClass::Expensive)
+        })
+    }
+
+    /// As [`SingleFlightLru::get_or_compute_with_evicted`], with the
+    /// compute closure also declaring the entry's recompute
+    /// [`CostClass`], which steers eviction order under budget pressure.
+    pub fn get_or_compute_classed(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> (V, usize, CostClass),
     ) -> (V, bool, Vec<(K, V)>) {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         loop {
@@ -131,7 +173,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlightLru<K, V> {
             key: key.clone(),
             armed: true,
         };
-        let (value, cost) = compute();
+        let (value, cost, class) = compute();
         guard.armed = false;
 
         let mut inner = self.inner.lock().expect("cache lock poisoned");
@@ -140,16 +182,38 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlightLru<K, V> {
             Slot::Ready {
                 value: value.clone(),
                 cost,
+                class,
             },
         );
         inner.order.push_back(key);
         inner.bytes += cost;
         let mut evicted = Vec::new();
         while inner.bytes > self.budget && inner.order.len() > 1 {
-            let oldest = inner.order.pop_front().expect("order non-empty");
-            if let Some(Slot::Ready { value, cost }) = inner.slots.remove(&oldest) {
+            // Cheap entries yield first (LRU order among themselves);
+            // only when none remain do expensive entries go, oldest
+            // first. The just-inserted entry at the back is spared.
+            let candidates = inner.order.len() - 1;
+            let victim_pos = inner
+                .order
+                .iter()
+                .take(candidates)
+                .position(|k| {
+                    matches!(
+                        inner.slots.get(k),
+                        Some(Slot::Ready {
+                            class: CostClass::Cheap,
+                            ..
+                        })
+                    )
+                })
+                .unwrap_or(0);
+            let victim = inner
+                .order
+                .remove(victim_pos)
+                .expect("victim position in range");
+            if let Some(Slot::Ready { value, cost, .. }) = inner.slots.remove(&victim) {
                 inner.bytes -= cost;
-                evicted.push((oldest, value));
+                evicted.push((victim, value));
             }
         }
         self.ready.notify_all();
@@ -267,6 +331,43 @@ mod tests {
         let (_, _, evicted) = cache.get_or_compute_with_evicted(2, || (22, 60));
         assert_eq!(evicted, vec![(1, 11)], "victim returned for demotion");
         assert!(cache.bytes() <= 100);
+    }
+
+    #[test]
+    fn cheap_entries_evicted_before_older_expensive_ones() {
+        let cache: SingleFlightLru<u64, u64> = SingleFlightLru::new(100);
+        // Oldest entry is expensive; two cheap entries follow.
+        cache.get_or_compute_classed(1, || (11, 30, CostClass::Expensive));
+        cache.get_or_compute_classed(2, || (22, 30, CostClass::Cheap));
+        cache.get_or_compute_classed(3, || (33, 30, CostClass::Cheap));
+        // +30 overflows by 20: a strict LRU would evict key 1, but
+        // cost-weighting sacrifices the LRU *cheap* entry (key 2).
+        let (_, _, evicted) = cache.get_or_compute_classed(4, || (44, 30, CostClass::Expensive));
+        assert_eq!(evicted, vec![(2, 22)], "cheapest-class LRU victim first");
+        let (_, hit1) = cache.get_or_compute(1, || unreachable!());
+        assert!(hit1, "older expensive entry outlived the cheap one");
+    }
+
+    #[test]
+    fn expensive_entries_evict_in_lru_order_once_cheap_exhausted() {
+        let cache: SingleFlightLru<u64, u64> = SingleFlightLru::new(100);
+        cache.get_or_compute_classed(1, || (11, 40, CostClass::Expensive));
+        cache.get_or_compute_classed(2, || (22, 40, CostClass::Cheap));
+        // Overflow by 60: the cheap entry goes first, then the oldest
+        // expensive one; the new insertion survives.
+        let (_, _, evicted) = cache.get_or_compute_classed(3, || (33, 80, CostClass::Expensive));
+        assert_eq!(evicted, vec![(2, 22), (1, 11)]);
+        let (_, hit3) = cache.get_or_compute(3, || unreachable!());
+        assert!(hit3, "newest entry always spared");
+    }
+
+    #[test]
+    fn newest_cheap_entry_is_spared_even_over_budget() {
+        let cache: SingleFlightLru<u64, u64> = SingleFlightLru::new(10);
+        let (_, _, evicted) = cache.get_or_compute_classed(1, || (11, 1000, CostClass::Cheap));
+        assert!(evicted.is_empty());
+        let (_, hit) = cache.get_or_compute(1, || unreachable!());
+        assert!(hit, "sole entry survives regardless of class");
     }
 
     #[test]

@@ -1,6 +1,14 @@
-//! A blocking client for the eel-serve protocol: one connection per
-//! request, which keeps the server's bounded queue an honest measure of
-//! outstanding work.
+//! A blocking client for the eel-serve protocol.
+//!
+//! Two modes:
+//!
+//! * **One-shot** ([`Client::request`]): one connection per request,
+//!   which keeps the server's bounded queue an honest measure of
+//!   outstanding work.
+//! * **Session** ([`Client::open_session`]): one connection carries many
+//!   tagged requests, answered out of order as the server's workers
+//!   finish; [`Client::batch`] wraps a whole request list in a
+//!   sliding-window pipeline.
 //!
 //! A successful [`Response::Ok`] carries the [`crate::CacheTier`] that
 //! served it (`Computed`, `Memory`, or `Disk`), so batch drivers and
@@ -8,7 +16,9 @@
 //! (recomputation) without scraping server metrics. The wire format is
 //! documented in `docs/PROTOCOL.md`.
 
-use crate::proto::{read_frame, write_frame, Payload, Request, Response};
+use crate::proto::{
+    read_frame, write_frame, Payload, Request, Response, SessionFrame, SessionReply,
+};
 use std::io;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -48,6 +58,7 @@ impl Client {
     /// and comes back as `Ok`.
     pub fn request(&self, req: &Request) -> io::Result<Response> {
         let mut stream = TcpStream::connect(&self.addr)?;
+        let _ = stream.set_nodelay(true);
         stream.set_read_timeout(self.timeout)?;
         stream.set_write_timeout(self.timeout)?;
         write_frame(&mut stream, &req.encode())?;
@@ -75,5 +86,159 @@ impl Client {
     /// As [`Client::request`].
     pub fn control(&self, op: &str) -> io::Result<Response> {
         self.op(op, Payload::none())
+    }
+
+    /// Opens a pipelined session: connects, sends `Hello` (a `window`
+    /// of 0 requests the server's default), and waits for the
+    /// `HelloAck`.
+    ///
+    /// # Errors
+    ///
+    /// Connection/I-O failures; `ConnectionRefused` when the server's
+    /// accept queue answered with a v1 BUSY instead of admitting the
+    /// session (back off and retry, as for a one-shot BUSY); or
+    /// `InvalidData` when the peer does not speak the session protocol
+    /// (a pre-session server rejects the version byte).
+    pub fn open_session(&self, window: u32) -> io::Result<Session> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        // Pipelined small frames + Nagle + delayed ACK = 40ms stalls;
+        // sessions are latency-bound, so flush segments eagerly.
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        write_frame(&mut stream, &SessionFrame::Hello { window }.encode())?;
+        let body = read_frame(&mut stream)?;
+        match SessionReply::decode(&body) {
+            Ok(SessionReply::HelloAck { window }) => Ok(Session {
+                stream,
+                window,
+                next_id: 0,
+            }),
+            Ok(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected HelloAck, got {other:?}"),
+            )),
+            // Not a session reply: a full accept queue answers with a
+            // plain v1 BUSY before the handshake is even read.
+            Err(e) => match Response::decode(&body) {
+                Ok(Response::Busy) => Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "server busy: accept queue full",
+                )),
+                _ => Err(e),
+            },
+        }
+    }
+
+    /// Runs `requests` through one session with a sliding in-flight
+    /// window, returning the responses **in request order**. A tagged
+    /// BUSY (in-flight window overflow — only possible when the client
+    /// races the window) is retried transparently.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::open_session`], plus any mid-session I/O failure.
+    pub fn batch(&self, requests: &[Request], window: u32) -> io::Result<Vec<Response>> {
+        let mut session = self.open_session(window)?;
+        let window = session.window() as usize;
+        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        let mut id_to_index = std::collections::HashMap::new();
+        let mut next = 0usize;
+        let mut done = 0usize;
+        while done < requests.len() {
+            while next < requests.len() && id_to_index.len() < window {
+                let id = session.submit(&requests[next])?;
+                id_to_index.insert(id, next);
+                next += 1;
+            }
+            let (id, response) = session.recv()?;
+            let Some(index) = id_to_index.remove(&id) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unknown request id {id}"),
+                ));
+            };
+            if matches!(response, Response::Busy) {
+                // Window overflow: resubmit the same request.
+                let id = session.submit(&requests[index])?;
+                id_to_index.insert(id, index);
+                continue;
+            }
+            responses[index] = Some(response);
+            done += 1;
+        }
+        session.goodbye()?;
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("all responses filled"))
+            .collect())
+    }
+}
+
+/// One pipelined session connection (protocol version 2): submit many
+/// tagged requests, receive tagged responses in **completion** order.
+///
+/// The session itself is deliberately low-level — [`Session::submit`]
+/// and [`Session::recv`] map one-to-one onto wire frames, and keeping
+/// more than [`Session::window`] requests in flight earns per-request
+/// BUSY replies. [`Client::batch`] layers the bookkeeping (window
+/// tracking, reordering, BUSY retry) on top.
+#[derive(Debug)]
+pub struct Session {
+    stream: TcpStream,
+    window: u32,
+    next_id: u64,
+}
+
+impl Session {
+    /// The in-flight window the server granted at the handshake.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Sends one tagged request without waiting for its response;
+    /// returns the id that the matching [`Session::recv`] will carry.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn submit(&mut self, request: &Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.stream,
+            &SessionFrame::Request {
+                id,
+                request: request.clone(),
+            }
+            .encode(),
+        )?;
+        Ok(id)
+    }
+
+    /// Receives the next tagged response, whichever request it answers.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a malformed reply frame.
+    pub fn recv(&mut self) -> io::Result<(u64, Response)> {
+        let body = read_frame(&mut self.stream)?;
+        match SessionReply::decode(&body)? {
+            SessionReply::Tagged { id, response } => Ok((id, response)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected tagged response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Ends the session politely. The server finishes anything still in
+    /// flight before closing; call after the last [`Session::recv`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn goodbye(&mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, &SessionFrame::Goodbye.encode())
     }
 }

@@ -12,6 +12,15 @@
 //! re-read results instead of re-analyzing. Responses carry a
 //! [`CacheTier`] telling the client which tier served them.
 //!
+//! Batch clients can open a **pipelined session** (protocol version 2,
+//! [`Client::open_session`] / [`Client::batch`]): one connection
+//! carries many tagged requests, answered out of completion order
+//! under a server-granted in-flight window, with per-frame
+//! [`Response::Busy`] on overflow. Within one request, per-routine CFG
+//! builds fan out across threads ([`run_op_with`],
+//! `ServerConfig::analysis_threads`), byte-for-byte identical to the
+//! sequential result.
+//!
 //! Operations: `disasm`, `cfg-summary`, `liveness`, `stat`,
 //! `instrument` (qpt-style edge-count instrumentation returning the
 //! edited executable), plus the control ops `ping`, `metrics` (renders
@@ -53,11 +62,12 @@ mod ops;
 mod proto;
 mod server;
 
-pub use cache::{content_hash, SingleFlightLru};
-pub use client::Client;
+pub use cache::{content_hash, CostClass, SingleFlightLru};
+pub use client::{Client, Session};
 pub use disk::{DiskCache, DISK_FORMAT_VERSION};
-pub use ops::{run_op, CACHED_OPS};
+pub use ops::{recompute_cost, run_op, run_op_with, CACHED_OPS};
 pub use proto::{
-    read_frame, write_frame, CacheTier, Payload, Request, Response, MAX_FRAME, VERSION,
+    read_frame, write_frame, CacheTier, Payload, Request, Response, SessionFrame, SessionReply,
+    MAX_FRAME, SESSION_VERSION, VERSION,
 };
 pub use server::{Server, ServerConfig};

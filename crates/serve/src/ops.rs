@@ -6,6 +6,7 @@
 //! result. Text-producing ops render stable, line-oriented listings;
 //! `instrument` returns the edited executable's WEF bytes.
 
+use crate::cache::CostClass;
 use eel_core::{Analysis, BlockKind, Executable, Liveness, Snippet};
 use std::fmt::Write as _;
 
@@ -17,22 +18,49 @@ use std::fmt::Write as _;
 /// across restarts; error results stay memory-only.
 pub const CACHED_OPS: &[&str] = &["disasm", "cfg-summary", "liveness", "stat", "instrument"];
 
-/// Runs one cacheable operation against a shared analysis.
+/// Runs one cacheable operation against a shared analysis, sequentially
+/// (one analysis thread). Equivalent to `run_op_with(op, analysis, 1)`.
 ///
 /// # Errors
 ///
 /// A rendered message when the op is unknown or the underlying
 /// analysis/editing step fails.
 pub fn run_op(op: &str, analysis: &Analysis) -> Result<Vec<u8>, String> {
+    run_op_with(op, analysis, 1)
+}
+
+/// Runs one cacheable operation, fanning the per-routine CFG builds out
+/// over `threads` worker threads (0 = one per core, 1 = sequential) via
+/// [`Executable::build_all_cfgs`]. The result is **byte-for-byte
+/// identical** at every thread count — parallelism here is purely a
+/// latency knob, never a cache-correctness concern.
+///
+/// # Errors
+///
+/// As [`run_op`].
+pub fn run_op_with(op: &str, analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
     match op {
-        "disasm" => disasm(analysis),
-        "cfg-summary" => cfg_summary(analysis),
-        "liveness" => liveness(analysis),
+        "disasm" => disasm(analysis, threads),
+        "cfg-summary" => cfg_summary(analysis, threads),
+        "liveness" => liveness(analysis, threads),
         "stat" => stat(analysis),
-        "instrument" => instrument(analysis),
+        "instrument" => instrument(analysis, threads),
         other => Err(format!(
             "unknown op {other:?} (expected one of {CACHED_OPS:?}, ping, metrics, shutdown)"
         )),
+    }
+}
+
+/// The recompute [`CostClass`] of an op's cached result, steering the
+/// LRU's cost-weighted eviction. `disasm` and `instrument` redo the
+/// whole per-routine CFG pipeline (milliseconds); `stat`,
+/// `cfg-summary`, and `liveness` render small summaries whose recompute
+/// is comparable to a disk reload (tens of microseconds), so their
+/// cache entries yield budget first.
+pub fn recompute_cost(op: &str) -> CostClass {
+    match op {
+        "disasm" | "instrument" => CostClass::Expensive,
+        _ => CostClass::Cheap,
     }
 }
 
@@ -42,13 +70,11 @@ fn err(op: &str, e: impl std::fmt::Display) -> String {
 
 /// A disassembly listing with routine headers and dispatch-table
 /// annotations — the service twin of `eelobjdump`.
-fn disasm(analysis: &Analysis) -> Result<Vec<u8>, String> {
+fn disasm(analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
     let mut exec = Executable::from_analysis(analysis);
     let image = analysis.image();
     let mut out = String::new();
-    for id in exec.all_routine_ids() {
-        let routine = exec.routine(id).clone();
-        let cfg = exec.build_cfg(id).map_err(|e| err("disasm", e))?;
+    for (routine, cfg) in exec.build_all_cfgs(threads).map_err(|e| err("disasm", e))? {
         let _ = writeln!(
             out,
             "{:#010x} <{}>{}:",
@@ -76,13 +102,15 @@ fn disasm(analysis: &Analysis) -> Result<Vec<u8>, String> {
 }
 
 /// Per-routine CFG statistics plus whole-program totals.
-fn cfg_summary(analysis: &Analysis) -> Result<Vec<u8>, String> {
+fn cfg_summary(analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
     let mut exec = Executable::from_analysis(analysis);
     let mut out = String::new();
     let (mut blocks, mut edges, mut insns) = (0usize, 0usize, 0usize);
-    for id in exec.all_routine_ids() {
-        let name = exec.routine(id).name();
-        let cfg = exec.build_cfg(id).map_err(|e| err("cfg-summary", e))?;
+    for (routine, cfg) in exec
+        .build_all_cfgs(threads)
+        .map_err(|e| err("cfg-summary", e))?
+    {
+        let name = routine.name();
         let s = cfg.stats();
         let _ =
             writeln!(
@@ -109,12 +137,14 @@ fn cfg_summary(analysis: &Analysis) -> Result<Vec<u8>, String> {
 }
 
 /// Entry live-in registers for every routine, from the CFG dataflow.
-fn liveness(analysis: &Analysis) -> Result<Vec<u8>, String> {
+fn liveness(analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
     let mut exec = Executable::from_analysis(analysis);
     let mut out = String::new();
-    for id in exec.all_routine_ids() {
-        let name = exec.routine(id).name();
-        let cfg = exec.build_cfg(id).map_err(|e| err("liveness", e))?;
+    for (routine, cfg) in exec
+        .build_all_cfgs(threads)
+        .map_err(|e| err("liveness", e))?
+    {
+        let name = routine.name();
         let live = Liveness::compute(&cfg);
         let entry = live.live_in(cfg.entry_block());
         let _ = writeln!(out, "{name}: entry-live-in={entry} ({} regs)", entry.len());
@@ -156,10 +186,16 @@ fn stat(analysis: &Analysis) -> Result<Vec<u8>, String> {
 /// `Granularity::Edges` (paper Figure 1), reimplemented here on eel-core
 /// so the service does not depend on the tools crate. Returns the edited
 /// executable's WEF bytes.
-fn instrument(analysis: &Analysis) -> Result<Vec<u8>, String> {
+fn instrument(analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
     let mut exec = Executable::from_analysis(analysis);
-    for id in exec.all_routine_ids() {
-        let mut cfg = exec.build_cfg(id).map_err(|e| err("instrument", e))?;
+    // CFG builds fan out first; editing (data reservation, snippet
+    // placement, install) stays sequential in routine order. Builds
+    // read only the original text, so batching them ahead of the edits
+    // changes nothing about the output.
+    let built = exec
+        .build_all_cfgs(threads)
+        .map_err(|e| err("instrument", e))?;
+    for (_, mut cfg) in built {
         let mut edges = Vec::new();
         for (_, b) in cfg.blocks() {
             if b.kind != BlockKind::Normal || b.succ().len() < 2 {
@@ -229,5 +265,29 @@ mod tests {
         let a = analysis();
         let e = run_op("frobnicate", &a).unwrap_err();
         assert!(e.contains("unknown op"));
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        let a = analysis();
+        for op in CACHED_OPS {
+            let sequential = run_op_with(op, &a, 1).expect(op);
+            for threads in [0, 2, 3, 8] {
+                let parallel = run_op_with(op, &a, threads).expect(op);
+                assert_eq!(
+                    sequential, parallel,
+                    "{op} with {threads} threads must match sequential byte-for-byte"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_cost_classes_match_pipeline_weight() {
+        assert_eq!(recompute_cost("disasm"), CostClass::Expensive);
+        assert_eq!(recompute_cost("instrument"), CostClass::Expensive);
+        assert_eq!(recompute_cost("stat"), CostClass::Cheap);
+        assert_eq!(recompute_cost("cfg-summary"), CostClass::Cheap);
+        assert_eq!(recompute_cost("liveness"), CostClass::Cheap);
     }
 }

@@ -1,9 +1,15 @@
 //! The eel-serve wire protocol: length-prefixed frames over TCP.
 //!
 //! Every message is a 4-byte big-endian length followed by that many
-//! body bytes; a connection carries exactly one request and one response
-//! (batch clients open one connection per item). Bodies are versioned by
-//! a leading byte so the format can grow without breaking old clients.
+//! body bytes. Bodies are versioned by a leading byte so the format can
+//! grow without breaking old clients; two versions exist:
+//!
+//! * **Version 1** (single-shot): a connection carries exactly one
+//!   request and one response.
+//! * **Version 2** (session): the first frame is a `Hello` handshake;
+//!   the connection then carries many *tagged* requests which the
+//!   server answers out of order as workers finish, until `Goodbye`.
+//!   See [`SessionFrame`] / [`SessionReply`].
 //!
 //! Request body:
 //!
@@ -31,8 +37,15 @@
 
 use std::io::{self, Read, Write};
 
-/// Protocol version byte.
+/// Protocol version byte for single-shot (one request per connection)
+/// exchanges.
 pub const VERSION: u8 = 1;
+
+/// Protocol version byte for pipelined session connections. Added by
+/// the additive-extension path: version-1 bodies are untouched, and a
+/// server that predates sessions rejects the unknown version byte
+/// cleanly instead of misparsing.
+pub const SESSION_VERSION: u8 = 2;
 
 /// Upper bound on a frame body; larger frames are a protocol error (a
 /// defense against garbage length prefixes, not a tuning knob).
@@ -159,35 +172,22 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
 }
 
 impl Request {
-    /// Serializes to a frame body.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Appends the versionless field encoding (`op length | op | kind |
+    /// payload`) — shared by the v1 body and v2 tagged frames.
+    fn encode_fields(&self, out: &mut Vec<u8>) {
         let op = self.op.as_bytes();
         let (kind, bytes): (u8, &[u8]) = match &self.payload {
             Payload::Inline(b) => (0, b),
             Payload::Path(p) => (1, p.as_bytes()),
         };
-        let mut out = Vec::with_capacity(8 + op.len() + bytes.len());
-        out.push(VERSION);
         out.extend_from_slice(&(op.len() as u16).to_be_bytes());
         out.extend_from_slice(op);
         out.push(kind);
         out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
         out.extend_from_slice(bytes);
-        out
     }
 
-    /// Parses a frame body.
-    ///
-    /// # Errors
-    ///
-    /// `InvalidData` for truncated bodies, bad versions, or non-UTF-8
-    /// names.
-    pub fn decode(body: &[u8]) -> io::Result<Request> {
-        let mut c = Cursor { body, at: 0 };
-        let version = c.u8("version")?;
-        if version != VERSION {
-            return Err(bad(format!("unsupported protocol version {version}")));
-        }
+    fn decode_fields(c: &mut Cursor<'_>) -> io::Result<Request> {
         let op_len = c.u16("op length")? as usize;
         let op = String::from_utf8(c.take(op_len, "op")?.to_vec())
             .map_err(|_| bad("op is not utf-8"))?;
@@ -203,22 +203,12 @@ impl Request {
         };
         Ok(Request { op, payload })
     }
-}
 
-impl Response {
-    /// Serializes to a frame body.
+    /// Serializes to a (version 1) frame body.
     pub fn encode(&self) -> Vec<u8> {
-        let (status, tier, body): (u8, u8, &[u8]) = match self {
-            Response::Ok { tier, body } => (0, tier.to_byte(), body),
-            Response::Err(msg) => (1, 0, msg.as_bytes()),
-            Response::Busy => (2, 0, &[]),
-        };
-        let mut out = Vec::with_capacity(7 + body.len());
+        let mut out = Vec::with_capacity(8 + self.op.len());
         out.push(VERSION);
-        out.push(status);
-        out.push(tier);
-        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        out.extend_from_slice(body);
+        self.encode_fields(&mut out);
         out
     }
 
@@ -226,13 +216,34 @@ impl Response {
     ///
     /// # Errors
     ///
-    /// `InvalidData` for truncated bodies or unknown status codes.
-    pub fn decode(body: &[u8]) -> io::Result<Response> {
+    /// `InvalidData` for truncated bodies, bad versions, or non-UTF-8
+    /// names.
+    pub fn decode(body: &[u8]) -> io::Result<Request> {
         let mut c = Cursor { body, at: 0 };
         let version = c.u8("version")?;
         if version != VERSION {
             return Err(bad(format!("unsupported protocol version {version}")));
         }
+        Request::decode_fields(&mut c)
+    }
+}
+
+impl Response {
+    /// Appends the versionless field encoding (`status | tier | length |
+    /// body`) — shared by the v1 body and v2 tagged frames.
+    fn encode_fields(&self, out: &mut Vec<u8>) {
+        let (status, tier, body): (u8, u8, &[u8]) = match self {
+            Response::Ok { tier, body } => (0, tier.to_byte(), body),
+            Response::Err(msg) => (1, 0, msg.as_bytes()),
+            Response::Busy => (2, 0, &[]),
+        };
+        out.push(status);
+        out.push(tier);
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(body);
+    }
+
+    fn decode_fields(c: &mut Cursor<'_>) -> io::Result<Response> {
         let status = c.u8("status")?;
         let tier_byte = c.u8("cache tier")?;
         let len = c.u32("body length")? as usize;
@@ -247,6 +258,180 @@ impl Response {
             2 => Response::Busy,
             s => return Err(bad(format!("unknown response status {s}"))),
         })
+    }
+
+    /// Serializes to a (version 1) frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.push(VERSION);
+        self.encode_fields(&mut out);
+        out
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for truncated bodies or unknown status codes.
+    pub fn decode(body: &[u8]) -> io::Result<Response> {
+        let mut c = Cursor { body, at: 0 };
+        let version = c.u8("version")?;
+        if version != VERSION {
+            return Err(bad(format!("unsupported protocol version {version}")));
+        }
+        Response::decode_fields(&mut c)
+    }
+}
+
+/// A client→server frame on a version-2 session connection.
+///
+/// The first frame on the connection must be [`SessionFrame::Hello`];
+/// after the server's [`SessionReply::HelloAck`] the client may keep up
+/// to the granted window of tagged requests in flight. Frames the
+/// server cannot admit (window overflow) are answered per-frame with a
+/// tagged [`Response::Busy`]; the connection survives.
+///
+/// ```text
+/// Hello:    u8 version (=2) | u8 0x00 | u32 requested window
+/// Request:  u8 version (=2) | u8 0x01 | u64 id | <request fields>
+/// Goodbye:  u8 version (=2) | u8 0x02
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionFrame {
+    /// Opens the session, requesting an in-flight window (0 = server
+    /// default). The server replies with the window it actually grants.
+    Hello {
+        /// Requested maximum number of unanswered requests.
+        window: u32,
+    },
+    /// One tagged request. `id` is chosen by the client and echoed on
+    /// the matching [`SessionReply::Tagged`]; reusing an id while it is
+    /// in flight is a client error (the responses are indistinguishable).
+    Request {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// The request itself, identical to a v1 body's fields.
+        request: Request,
+    },
+    /// Ends the session. The server finishes in-flight requests, writes
+    /// their replies, and closes the connection.
+    Goodbye,
+}
+
+impl SessionFrame {
+    /// Serializes to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.push(SESSION_VERSION);
+        match self {
+            SessionFrame::Hello { window } => {
+                out.push(0x00);
+                out.extend_from_slice(&window.to_be_bytes());
+            }
+            SessionFrame::Request { id, request } => {
+                out.push(0x01);
+                out.extend_from_slice(&id.to_be_bytes());
+                request.encode_fields(&mut out);
+            }
+            SessionFrame::Goodbye => out.push(0x02),
+        }
+        out
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for truncated bodies, a non-session version byte,
+    /// or an unknown frame kind.
+    pub fn decode(body: &[u8]) -> io::Result<SessionFrame> {
+        let mut c = Cursor { body, at: 0 };
+        let version = c.u8("version")?;
+        if version != SESSION_VERSION {
+            return Err(bad(format!("not a session frame (version {version})")));
+        }
+        match c.u8("session frame kind")? {
+            0x00 => Ok(SessionFrame::Hello {
+                window: c.u32("window")?,
+            }),
+            0x01 => Ok(SessionFrame::Request {
+                id: c.u64("request id")?,
+                request: Request::decode_fields(&mut c)?,
+            }),
+            0x02 => Ok(SessionFrame::Goodbye),
+            k => Err(bad(format!("unknown session frame kind {k:#04x}"))),
+        }
+    }
+}
+
+/// A server→client frame on a version-2 session connection.
+///
+/// ```text
+/// HelloAck: u8 version (=2) | u8 0x80 | u32 granted window
+/// Tagged:   u8 version (=2) | u8 0x81 | u64 id | <response fields>
+/// ```
+///
+/// Replies carry the high bit in the kind byte so a frame's direction
+/// is unambiguous in captures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionReply {
+    /// Accepts the session and grants an in-flight window (the
+    /// requested window clamped to the server's configured maximum).
+    HelloAck {
+        /// Granted maximum number of unanswered requests.
+        window: u32,
+    },
+    /// One tagged response; `id` echoes the request it answers. Tagged
+    /// replies arrive in **completion** order, not submission order.
+    Tagged {
+        /// The correlation id from the matching request.
+        id: u64,
+        /// The response itself, identical to a v1 body's fields.
+        response: Response,
+    },
+}
+
+impl SessionReply {
+    /// Serializes to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.push(SESSION_VERSION);
+        match self {
+            SessionReply::HelloAck { window } => {
+                out.push(0x80);
+                out.extend_from_slice(&window.to_be_bytes());
+            }
+            SessionReply::Tagged { id, response } => {
+                out.push(0x81);
+                out.extend_from_slice(&id.to_be_bytes());
+                response.encode_fields(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for truncated bodies, a non-session version byte,
+    /// or an unknown frame kind.
+    pub fn decode(body: &[u8]) -> io::Result<SessionReply> {
+        let mut c = Cursor { body, at: 0 };
+        let version = c.u8("version")?;
+        if version != SESSION_VERSION {
+            return Err(bad(format!("not a session reply (version {version})")));
+        }
+        match c.u8("session reply kind")? {
+            0x80 => Ok(SessionReply::HelloAck {
+                window: c.u32("window")?,
+            }),
+            0x81 => Ok(SessionReply::Tagged {
+                id: c.u64("request id")?,
+                response: Response::decode_fields(&mut c)?,
+            }),
+            k => Err(bad(format!("unknown session reply kind {k:#04x}"))),
+        }
     }
 }
 
@@ -279,6 +464,13 @@ impl<'a> Cursor<'a> {
     fn u32(&mut self, what: &str) -> io::Result<u32> {
         let b = self.take(4, what)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> io::Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 }
 
@@ -341,6 +533,87 @@ mod tests {
         assert!(
             Response::decode(&[1, 7, 0, 0, 0, 0, 0]).is_err(),
             "bad status"
+        );
+    }
+
+    #[test]
+    fn session_frame_round_trip() {
+        for frame in [
+            SessionFrame::Hello { window: 32 },
+            SessionFrame::Request {
+                id: 0xDEAD_BEEF_0000_0001,
+                request: Request {
+                    op: "disasm".into(),
+                    payload: Payload::Inline(vec![9, 8, 7]),
+                },
+            },
+            SessionFrame::Request {
+                id: 0,
+                request: Request {
+                    op: "stat".into(),
+                    payload: Payload::Path("/tmp/x.wef".into()),
+                },
+            },
+            SessionFrame::Goodbye,
+        ] {
+            assert_eq!(SessionFrame::decode(&frame.encode()).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn session_reply_round_trip() {
+        for reply in [
+            SessionReply::HelloAck { window: 8 },
+            SessionReply::Tagged {
+                id: 42,
+                response: Response::Ok {
+                    tier: CacheTier::Disk,
+                    body: b"out".to_vec(),
+                },
+            },
+            SessionReply::Tagged {
+                id: u64::MAX,
+                response: Response::Busy,
+            },
+            SessionReply::Tagged {
+                id: 7,
+                response: Response::Err("boom".into()),
+            },
+        ] {
+            assert_eq!(SessionReply::decode(&reply.encode()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn session_frames_reject_v1_and_truncation() {
+        // A v1 body is not a session frame, and vice versa.
+        let v1 = Request {
+            op: "ping".into(),
+            payload: Payload::none(),
+        }
+        .encode();
+        assert!(SessionFrame::decode(&v1).is_err(), "v1 body as session");
+        let hello = SessionFrame::Hello { window: 4 }.encode();
+        assert!(Request::decode(&hello).is_err(), "session frame as v1");
+
+        let enc = SessionFrame::Request {
+            id: 3,
+            request: Request {
+                op: "stat".into(),
+                payload: Payload::Inline(vec![0; 8]),
+            },
+        }
+        .encode();
+        for cut in 0..enc.len() {
+            assert!(SessionFrame::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(
+            SessionFrame::decode(&[SESSION_VERSION, 0x7f]).is_err(),
+            "unknown frame kind"
+        );
+        assert!(
+            SessionReply::decode(&[SESSION_VERSION, 0x01, 0, 0, 0, 0]).is_err(),
+            "request kind is not a reply kind"
         );
     }
 

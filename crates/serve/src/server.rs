@@ -16,28 +16,41 @@
 //! results spill through, and LRU evictions demote instead of discard —
 //! so a daemon restart serves warm from disk with zero re-analysis.
 //!
+//! A connection whose first frame carries the session version byte is
+//! handed to the session mux instead of the single-shot path: the
+//! worker becomes the frame reader, executor threads drain admitted
+//! requests, and a dedicated writer thread owns the write half so
+//! replies leave in completion order without interleaving. The
+//! in-flight window doubles as backpressure against slow consumers —
+//! the writer's bounded channel can only ever hold `window` replies.
+//!
 //! Everything is instrumented through eel-obs: `serve.requests`,
 //! `serve.cache.hit` / `serve.cache.miss` (the *memory* tier),
 //! `serve.cache.disk.{hit,miss,write,evict,corrupt}` and the
 //! `serve.cache.disk.bytes` gauge (the disk tier), `serve.busy`,
 //! `serve.errors`, `serve.timeouts`, the `serve.queue.depth` gauge,
 //! per-op `serve.latency.<op>` histograms (microseconds) plus
-//! `serve.latency.disk.{load,spill}`, and per-op
+//! `serve.latency.disk.{load,spill}`, per-op
 //! `serve.ops.<op>.computed` counters that count *actual* computations —
-//! the single-flight and warm-restart evidence.
+//! the single-flight and warm-restart evidence — and the session-mode
+//! series `serve.session.{opened,closed,requests,busy}` with the
+//! `serve.session.inflight` gauge.
 
 use crate::cache::{content_hash, SingleFlightLru};
 use crate::disk::DiskCache;
-use crate::ops::{run_op, CACHED_OPS};
-use crate::proto::{read_frame, write_frame, CacheTier, Payload, Request, Response};
+use crate::ops::{recompute_cost, run_op_with, CACHED_OPS};
+use crate::proto::{
+    read_frame, write_frame, CacheTier, Payload, Request, Response, SessionFrame, SessionReply,
+    MAX_FRAME, SESSION_VERSION,
+};
 use eel_core::Analysis;
 use eel_exe::Image;
 use std::collections::VecDeque;
-use std::io;
+use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -62,6 +75,21 @@ pub struct ServerConfig {
     /// Byte budget for the disk tier (only meaningful with `cache_dir`);
     /// a janitor prunes the directory oldest-first past this.
     pub disk_bytes: u64,
+    /// Maximum in-flight window granted to a session connection; a
+    /// client's requested window is clamped to this. Requests beyond
+    /// the granted window are answered per-frame with
+    /// [`Response::Busy`] (the connection survives).
+    pub session_window: u32,
+    /// Executor threads per session connection (capped at the granted
+    /// window); 0 means one per available core.
+    pub session_workers: usize,
+    /// Threads for the per-routine parallel CFG fan-out inside one
+    /// request. 1 pins analysis sequential; 0 adapts — each request
+    /// gets roughly `cores / active requests` threads, so a lone
+    /// request uses the whole machine and a full pipeline degrades to
+    /// one thread each (inter-request parallelism already saturates the
+    /// cores). Any other value is used as-is.
+    pub analysis_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +102,9 @@ impl Default for ServerConfig {
             timeout: Duration::from_secs(10),
             cache_dir: None,
             disk_bytes: 256 << 20,
+            session_window: 32,
+            session_workers: 0,
+            analysis_threads: 0,
         }
     }
 }
@@ -99,6 +130,9 @@ struct Shared {
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_ready: Condvar,
     stop: AtomicBool,
+    /// Requests currently executing (v1 and session alike); the
+    /// denominator of the adaptive intra-request thread split.
+    active_requests: AtomicUsize,
     analyses: SingleFlightLru<u64, CachedAnalysis>,
     results: SingleFlightLru<(u64, String), CachedResult>,
     /// The optional spill tier under the results cache.
@@ -140,6 +174,7 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
             stop: AtomicBool::new(false),
+            active_requests: AtomicUsize::new(0),
             analyses: SingleFlightLru::new(half),
             results: SingleFlightLru::new(half),
             disk,
@@ -240,6 +275,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             shared.request_stop();
             return;
         };
+        let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(shared.config.timeout));
         let _ = stream.set_write_timeout(Some(shared.config.timeout));
         let mut queue = shared.queue.lock().expect("queue lock poisoned");
@@ -291,7 +327,26 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, enqueued: Instant) {
         write_then_drain(stream, &resp);
         return;
     }
-    let resp = match read_frame(&mut stream).and_then(|b| Request::decode(&b)) {
+    let first = match read_frame(&mut stream) {
+        Ok(b) => b,
+        Err(e) => {
+            eel_obs::counter!("serve.errors").add(1);
+            let _ = write_frame(
+                &mut stream,
+                &Response::Err(format!("bad request: {e}")).encode(),
+            );
+            return;
+        }
+    };
+    // The version byte picks the connection's mode: version 2 opens a
+    // pipelined session, anything else is a one-shot v1 exchange
+    // (including unknown versions, which Request::decode rejects with a
+    // clean error a v1 client can render).
+    if first.first() == Some(&SESSION_VERSION) {
+        serve_session(shared, stream, &first);
+        return;
+    }
+    let resp = match Request::decode(&first) {
         Ok(req) => handle_request(shared, &req),
         Err(e) => Response::Err(format!("bad request: {e}")),
     };
@@ -301,8 +356,259 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, enqueued: Instant) {
     let _ = write_frame(&mut stream, &resp.encode());
 }
 
+/// Runs one pipelined session connection: this worker thread becomes the
+/// session's frame reader, a pool of executor threads runs the tagged
+/// requests, and a single writer thread serializes the out-of-order
+/// replies onto the socket.
+///
+/// Backpressure is layered: the reader answers frames beyond the granted
+/// in-flight window with a per-frame tagged [`Response::Busy`] (the
+/// connection survives), and the writer's bounded channel blocks
+/// executors when the client reads replies slower than it submits work —
+/// a slow consumer stalls its own session, never the server.
+///
+/// On server shutdown the reader stops consuming frames; every request
+/// already admitted is finished and its reply written before the
+/// connection closes.
+fn serve_session(shared: &Shared, stream: TcpStream, first: &[u8]) {
+    let granted = match SessionFrame::decode(first) {
+        Ok(SessionFrame::Hello { window }) => {
+            let requested = if window == 0 {
+                shared.config.session_window
+            } else {
+                window
+            };
+            requested.clamp(1, shared.config.session_window.max(1))
+        }
+        _ => {
+            eel_obs::counter!("serve.errors").add(1);
+            let mut stream = stream;
+            let _ = write_frame(
+                &mut stream,
+                &SessionReply::Tagged {
+                    id: 0,
+                    response: Response::Err("session must open with Hello".into()),
+                }
+                .encode(),
+            );
+            return;
+        }
+    };
+    eel_obs::counter!("serve.session.opened").add(1);
+
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut read_half = stream;
+    // Short poll interval so the reader notices server shutdown while
+    // parked in read(); the real inactivity budget is enforced per
+    // partial frame in read_session_frame.
+    let _ = read_half.set_read_timeout(Some(Duration::from_millis(250)));
+
+    // Writer: the single owner of the socket's write half. The bound is
+    // the window — once the client lets `granted` finished replies pile
+    // up unread, executors block on send() instead of buffering
+    // unboundedly.
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<SessionReply>(granted as usize);
+    let writer = std::thread::Builder::new()
+        .name("eelserved-session-writer".into())
+        .spawn(move || {
+            let mut stream = write_half;
+            while let Ok(reply) = reply_rx.recv() {
+                if write_frame(&mut stream, &reply.encode()).is_err() {
+                    // Client gone: drain remaining replies so executors
+                    // never block on a dead socket.
+                    while reply_rx.recv().is_ok() {}
+                    return;
+                }
+            }
+        });
+    let Ok(writer) = writer else { return };
+    if reply_tx
+        .send(SessionReply::HelloAck { window: granted })
+        .is_err()
+    {
+        let _ = writer.join();
+        return;
+    }
+
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let (job_tx, job_rx) = mpsc::channel::<(u64, Request)>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let executor_count = (if shared.config.session_workers > 0 {
+        shared.config.session_workers
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    })
+    .min(granted as usize)
+    .max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..executor_count {
+            let job_rx = Arc::clone(&job_rx);
+            let reply_tx = reply_tx.clone();
+            let in_flight = Arc::clone(&in_flight);
+            scope.spawn(move || loop {
+                let job = job_rx.lock().expect("job lock poisoned").recv();
+                let Ok((id, req)) = job else { return };
+                let response = handle_request(shared, &req);
+                if matches!(response, Response::Err(_)) {
+                    eel_obs::counter!("serve.errors").add(1);
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                eel_obs::gauge("serve.session.inflight")
+                    .set(in_flight.load(Ordering::SeqCst) as i64);
+                if reply_tx
+                    .send(SessionReply::Tagged { id, response })
+                    .is_err()
+                {
+                    return;
+                }
+            });
+        }
+
+        loop {
+            let frame = match read_session_frame(&mut read_half, shared) {
+                Ok(Some(body)) => body,
+                // Clean EOF, Goodbye-less disconnect, or server shutdown.
+                Ok(None) => break,
+                Err(_) => break,
+            };
+            match SessionFrame::decode(&frame) {
+                Ok(SessionFrame::Request { id, request }) => {
+                    if in_flight.load(Ordering::SeqCst) >= granted as usize {
+                        // Window overflow: per-frame BUSY, connection
+                        // survives. Mirrors the v1 accept-queue BUSY.
+                        eel_obs::counter!("serve.session.busy").add(1);
+                        if reply_tx
+                            .send(SessionReply::Tagged {
+                                id,
+                                response: Response::Busy,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                        continue;
+                    }
+                    eel_obs::counter!("serve.session.requests").add(1);
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    eel_obs::gauge("serve.session.inflight")
+                        .set(in_flight.load(Ordering::SeqCst) as i64);
+                    if job_tx.send((id, request)).is_err() {
+                        break;
+                    }
+                }
+                Ok(SessionFrame::Goodbye) => break,
+                Ok(SessionFrame::Hello { .. }) => {
+                    let _ = reply_tx.send(SessionReply::Tagged {
+                        id: 0,
+                        response: Response::Err("duplicate Hello".into()),
+                    });
+                }
+                Err(e) => {
+                    // A malformed frame poisons the stream (framing may
+                    // be lost); answer and close.
+                    eel_obs::counter!("serve.errors").add(1);
+                    let _ = reply_tx.send(SessionReply::Tagged {
+                        id: 0,
+                        response: Response::Err(format!("bad session frame: {e}")),
+                    });
+                    break;
+                }
+            }
+        }
+        // Closing the job channel lets executors drain admitted work and
+        // exit; their replies still flow through the writer.
+        drop(job_tx);
+    });
+    drop(reply_tx);
+    let _ = writer.join();
+    eel_obs::counter!("serve.session.closed").add(1);
+}
+
+/// Reads one length-prefixed frame on a session connection, polling so
+/// shutdown is noticed promptly. Returns `Ok(None)` on a clean EOF
+/// between frames or when the server is stopping; a *partial* frame that
+/// stalls past the configured request timeout is an error (the stream's
+/// framing is unrecoverable at that point).
+fn read_session_frame(stream: &mut TcpStream, shared: &Shared) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    if !read_exact_or_stop(stream, &mut len, shared, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    if !read_exact_or_stop(stream, &mut body, shared, false)? {
+        return Ok(None);
+    }
+    Ok(Some(body))
+}
+
+/// Fills `buf` from the socket, tolerating read-timeout wakeups. Returns
+/// `Ok(false)` when the server is stopping, or on clean EOF with nothing
+/// read (only when `idle_ok` — i.e. at a frame boundary, where a client
+/// hanging up without Goodbye is unremarkable). While idle between
+/// frames the wait is unbounded (sessions are persistent); once any byte
+/// of a frame has arrived, `config.timeout` of inactivity is an error.
+fn read_exact_or_stop(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    idle_ok: bool,
+) -> io::Result<bool> {
+    let mut at = 0;
+    let mut last_progress = Instant::now();
+    while at < buf.len() {
+        if shared.stopping() {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => {
+                if at == 0 && idle_ok {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => {
+                at += n;
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                let mid_frame = !idle_ok || at > 0;
+                if mid_frame && last_progress.elapsed() >= shared.config.timeout {
+                    return Err(e);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
 fn handle_request(shared: &Shared, req: &Request) -> Response {
     eel_obs::counter!("serve.requests").add(1);
+    struct ActiveGuard<'a>(&'a Shared);
+    impl Drop for ActiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.active_requests.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    shared.active_requests.fetch_add(1, Ordering::SeqCst);
+    let _active = ActiveGuard(shared);
     let started = Instant::now();
     let resp = match req.op.as_str() {
         "ping" => Response::Ok {
@@ -338,8 +644,9 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
     };
     let hash = content_hash(&bytes);
     let key = (hash, op.to_string());
+    let class = recompute_cost(op);
     let mut from_disk = false;
-    let (result, hit, evicted) = shared.results.get_or_compute_with_evicted(key, || {
+    let (result, hit, evicted) = shared.results.get_or_compute_classed(key, || {
         // Memory missed; the disk tier gets a chance before we pay for a
         // computation. A disk hit is promoted into the LRU by virtue of
         // being this closure's return value.
@@ -347,11 +654,13 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
             if let Some(body) = disk.load(hash, op) {
                 from_disk = true;
                 let cost = body.len();
-                return (Ok(Arc::new(body)), cost);
+                return (Ok(Arc::new(body)), cost, class);
             }
         }
         eel_obs::counter(&format!("serve.ops.{op}.computed")).add(1);
-        let computed = analyze(shared, hash, &bytes).and_then(|a| run_op(op, &a).map(Arc::new));
+        let threads = analysis_threads(shared);
+        let computed =
+            analyze(shared, hash, &bytes).and_then(|a| run_op_with(op, &a, threads).map(Arc::new));
         if let (Some(disk), Ok(body)) = (&shared.disk, &computed) {
             // Write-through: the entry survives a restart even if it is
             // never evicted. Errors stay memory-only — they may be
@@ -362,7 +671,7 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
             Ok(body) => body.len(),
             Err(msg) => msg.len(),
         };
-        (computed, cost)
+        (computed, cost, class)
     });
     // Demote this insertion's LRU victims to disk (outside the cache
     // lock) instead of discarding the work. Content addressing makes
@@ -392,6 +701,23 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
             body: body.to_vec(),
         },
         Err(msg) => Response::Err(msg),
+    }
+}
+
+/// Resolves the per-request analysis thread count: the configured value,
+/// or — when 0 (auto) — the cores split evenly over the requests
+/// currently executing, so intra-request parallelism fills idle cores
+/// without oversubscribing a busy pipeline.
+fn analysis_threads(shared: &Shared) -> usize {
+    match shared.config.analysis_threads {
+        0 => {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            let active = shared.active_requests.load(Ordering::SeqCst).max(1);
+            (cores / active).max(1)
+        }
+        n => n,
     }
 }
 

@@ -1,17 +1,20 @@
 //! `eelctl` — command-line client for the eel-serve daemon.
 //!
 //! ```text
-//! eelctl OP [FILE.wef ...] [--addr HOST:PORT] [--path] [-o OUT.wef]
+//! eelctl OP [FILE.wef ...] [--addr HOST:PORT] [--path] [--batch] [-o OUT.wef]
 //! ```
 //!
 //! `OP` is one of the analysis operations (`disasm`, `cfg-summary`,
 //! `liveness`, `stat`, `instrument`) or a control operation (`ping`,
 //! `metrics`, `shutdown`). Analysis ops take one or more WEF files —
 //! more than one is batch mode, each sent as its own request. By default
-//! the image bytes travel inline; `--path` sends the (absolute) path for
-//! the server to read instead. `instrument` writes the edited executable
-//! to `-o OUT.wef` (single file only); the other ops print text to
-//! stdout.
+//! each request opens its own connection; `--batch` pipelines them all
+//! through one persistent session connection (protocol v2), letting the
+//! server work on every file concurrently — output order still follows
+//! the command line. By default the image bytes travel inline; `--path`
+//! sends the (absolute) path for the server to read instead.
+//! `instrument` writes the edited executable to `-o OUT.wef` (single
+//! file only); the other ops print text to stdout.
 //!
 //! The server address comes from `--addr`, else the `EEL_SERVE_ADDR`
 //! environment variable, else `127.0.0.1:7099`. Cache status for each
@@ -21,7 +24,7 @@
 //! spill tier, e.g. after a restart) — so scripts can check dedupe and
 //! warm-restart behavior without disturbing the payload on stdout.
 
-use eel_serve::{CacheTier, Client, Payload, Response};
+use eel_serve::{CacheTier, Client, Payload, Request, Response};
 use eel_tools::cli::Cli;
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -31,7 +34,7 @@ const CONTROL_OPS: &[&str] = &["ping", "metrics", "shutdown"];
 fn main() -> ExitCode {
     let mut cli = match Cli::new(
         "eelctl",
-        "OP [FILE.wef ...] [--addr HOST:PORT] [--path] [-o OUT.wef]",
+        "OP [FILE.wef ...] [--addr HOST:PORT] [--path] [--batch] [-o OUT.wef]",
     ) {
         Ok(cli) => cli,
         Err(code) => return code,
@@ -40,6 +43,7 @@ fn main() -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut addr: Option<String> = None;
     let mut by_path = false;
+    let mut batch = false;
     let mut output: Option<String> = None;
     while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
                 }
             }
             "--path" => by_path = true,
+            "--batch" => batch = true,
             "-o" => {
                 output = match cli.value("-o") {
                     Ok(o) => Some(o),
@@ -90,6 +95,7 @@ fn main() -> ExitCode {
         return cli.fail("-o applies to instrument with a single file");
     }
     let mut failed = false;
+    let mut payloads: Vec<(&String, Payload)> = Vec::new();
     for file in &files {
         let payload = if by_path {
             Payload::Path(file.clone())
@@ -103,7 +109,40 @@ fn main() -> ExitCode {
                 }
             }
         };
-        match client.op(&op, payload) {
+        payloads.push((file, payload));
+    }
+
+    // One connection per request, or — with --batch — everything
+    // pipelined through a single session (window 0 = server default),
+    // responses reordered back to command-line order by the client.
+    let responses: Vec<(&String, std::io::Result<Response>)> = if batch {
+        let requests: Vec<Request> = payloads
+            .iter()
+            .map(|(_, payload)| Request {
+                op: op.clone(),
+                payload: payload.clone(),
+            })
+            .collect();
+        match client.batch(&requests, 0) {
+            Ok(resps) => payloads
+                .iter()
+                .map(|(file, _)| *file)
+                .zip(resps.into_iter().map(Ok))
+                .collect(),
+            Err(e) => {
+                eprintln!("eelctl: batch session failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        payloads
+            .into_iter()
+            .map(|(file, payload)| (file, client.op(&op, payload)))
+            .collect()
+    };
+
+    for (file, resp) in responses {
+        match resp {
             Ok(Response::Ok { tier, body }) => {
                 eprintln!(
                     "eelctl: {op} {file}: {}",
