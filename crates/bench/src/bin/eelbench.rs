@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! eelbench serve [--images N] [--window N] [--out PATH]
+//! eelbench edit  [--images N] [--out PATH]
 //! ```
 //!
 //! The `serve` subcommand measures the two session-era optimizations
@@ -20,6 +21,14 @@
 //! twin — a correctness smoke test first, a benchmark second; any
 //! mismatch exits nonzero. Measurements land in `BENCH_serve.json`
 //! (see `--out`) and a human summary goes to stdout.
+//!
+//! The `edit` subcommand measures the write path: N distinct progen
+//! images each get the same counter-insertion script, cold (computed
+//! on the server) and then warm (the `(image, script)` key hits the
+//! memory cache). Warm bytes are asserted identical to cold bytes and
+//! every edited image must still parse as a WEF. The `"edit"` section
+//! is merged into the same `BENCH_serve.json`, replacing any previous
+//! edit section while leaving `serve` results in place.
 
 use eel_cc::Personality;
 use eel_serve::{run_op_with, Client, Payload, Request, Response, Server, ServerConfig};
@@ -30,12 +39,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve_bench(&args[1..]),
+        Some("edit") => edit_bench(&args[1..]),
         Some("-h") | Some("--help") => {
             println!("usage: eelbench serve [--images N] [--window N] [--out PATH]");
+            println!("       eelbench edit  [--images N] [--out PATH]");
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("eelbench: unknown subcommand {other:?} (try: eelbench serve)");
+            eprintln!("eelbench: unknown subcommand {other:?} (try: eelbench serve | edit)");
             ExitCode::FAILURE
         }
     }
@@ -233,6 +244,125 @@ fn serve_bench(args: &[String]) -> ExitCode {
         .collect();
     json.push_str(&parts.join(",\n"));
     json.push_str("\n  }\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("eelbench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    eprintln!("eelbench: results written to {out}");
+    ExitCode::SUCCESS
+}
+
+/// Cold/warm write-path latency: the same counter-insertion script over
+/// N distinct images, computed once and then served from the
+/// `(image_hash, script_hash)` cache key.
+fn edit_bench(args: &[String]) -> ExitCode {
+    let mut images = 16usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("eelbench: {flag} needs a value");
+            return ExitCode::FAILURE;
+        };
+        match flag {
+            "--images" => images = value.parse().unwrap_or(16),
+            "--out" => out = value.clone(),
+            other => {
+                eprintln!("eelbench: unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    // Distinct seeded programs → distinct image hashes → every cold
+    // request is a genuine computation, not a dedupe join.
+    eprintln!("eelbench: compiling {images} seeded images...");
+    let config = eel_progen::GenConfig {
+        functions: 2,
+        stmts_per_fn: 4,
+        max_depth: 2,
+        globals: 1,
+        arrays: 0,
+    };
+    let mut wefs: Vec<Vec<u8>> = Vec::with_capacity(images);
+    let mut seed = 0u64;
+    while wefs.len() < images {
+        let program = eel_progen::random_program(seed, &config);
+        if let Ok(image) = eel_cc::compile_ast(&program, &eel_cc::Options::default()) {
+            wefs.push(image.to_bytes());
+        }
+        seed += 1;
+    }
+    let script = "counter main\napply\n";
+
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let client = Client::connect(server.local_addr().to_string())
+        .with_timeout(Some(Duration::from_secs(120)));
+
+    eprintln!("eelbench: timing cold edit requests x{images}...");
+    let started = Instant::now();
+    let cold: Vec<Vec<u8>> = wefs
+        .iter()
+        .map(|wef| expect_body(client.edit(wef.clone(), script).expect("cold edit")))
+        .collect();
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+    for (wef, edited) in wefs.iter().zip(&cold) {
+        if eel_exe::Image::from_bytes(edited).is_err() {
+            eprintln!("eelbench: FAIL: edited image does not parse as a WEF");
+            return ExitCode::FAILURE;
+        }
+        if wef == edited {
+            eprintln!("eelbench: FAIL: edit returned the unedited image");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("eelbench: timing warm edit requests x{images}...");
+    let started = Instant::now();
+    let warm: Vec<Vec<u8>> = wefs
+        .iter()
+        .map(|wef| expect_body(client.edit(wef.clone(), script).expect("warm edit")))
+        .collect();
+    let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+    if warm != cold {
+        eprintln!("eelbench: FAIL: warm edit responses differ from cold responses");
+        return ExitCode::FAILURE;
+    }
+    let (_, _) = (server.shutdown(), server.wait());
+
+    let speedup = cold_ms / warm_ms;
+    eprintln!(
+        "eelbench: edit: cold {cold_ms:.1}ms, warm {warm_ms:.1}ms ({speedup:.2}x) over {images} \
+         images"
+    );
+
+    let section = format!(
+        "  \"edit\": {{\n    \"images\": {images},\n    \"cold_ms\": {cold_ms:.2},\n    \
+         \"warm_ms\": {warm_ms:.2},\n    \"speedup\": {speedup:.2}\n  }}\n"
+    );
+    // Merge into the serve results file: drop any previous edit section,
+    // then splice this one in before the closing brace.
+    let json = match std::fs::read_to_string(&out) {
+        Ok(mut base) if base.trim_end().ends_with('}') => {
+            if let Some(pos) = base.find(",\n  \"edit\"") {
+                base.truncate(pos);
+                format!("{base},\n{section}}}\n")
+            } else if base.trim_start().starts_with("{\n  \"edit\"") {
+                // The file holds nothing but a previous edit run.
+                format!("{{\n{section}}}\n")
+            } else {
+                let end = base.trim_end().len() - 1;
+                base.truncate(end);
+                base.truncate(base.trim_end().len());
+                format!("{base},\n{section}}}\n")
+            }
+        }
+        _ => format!("{{\n{section}}}\n"),
+    };
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("eelbench: cannot write {out}: {e}");
         return ExitCode::FAILURE;

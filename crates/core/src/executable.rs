@@ -55,6 +55,11 @@ pub struct Executable {
     pool: InstructionPool,
     addr_map: Option<HashMap<u32, u32>>,
     written: bool,
+    /// Whether any observable edit was requested: an installed CFG with
+    /// recorded edits, reserved data, a runtime routine, or a removal.
+    /// While false, [`Executable::write_edited`] reproduces the input
+    /// image byte for byte instead of re-laying the program out.
+    dirty: bool,
     jump_analysis: bool,
     removed: std::collections::HashSet<usize>,
     /// Speculative CFG builds from [`Executable::build_all_cfgs`]'s
@@ -117,6 +122,7 @@ impl Executable {
             pool: InstructionPool::new(),
             addr_map: None,
             written: false,
+            dirty: false,
             jump_analysis: true,
             removed: std::collections::HashSet::new(),
             cfg_memo: HashMap::new(),
@@ -574,7 +580,16 @@ impl Executable {
     /// targets.
     pub fn install_edits(&mut self, cfg: Cfg) -> Result<(), EelError> {
         let id = cfg.routine_id();
+        if cfg.edit_count() > 0 {
+            self.dirty = true;
+        }
         let layout = lay_out_routine(&self.image, cfg)?;
+        // A layout that needs run-time translation is observable even
+        // with zero edits: installing it commits the rewrite to carry
+        // the translator, so the clean fast path must not skip it.
+        if layout.needs_translator {
+            self.dirty = true;
+        }
         self.layouts.insert(id.0, layout);
         Ok(())
     }
@@ -582,6 +597,9 @@ impl Executable {
     /// Reserves zero-initialized space in the edited executable's data
     /// segment (counter arrays, tool state) and returns its address.
     pub fn reserve_data(&mut self, bytes: u32) -> u32 {
+        if bytes > 0 {
+            self.dirty = true;
+        }
         let base = self.image.data_end() + self.reserved_len;
         self.reserved_len += bytes.next_multiple_of(8);
         base
@@ -601,6 +619,7 @@ impl Executable {
     /// Active Memory's handlers and Elsie's simulator calls use this to
     /// add "another program" to the executable (§5).
     pub fn add_runtime_routine(&mut self, name: &str, asm: &str) {
+        self.dirty = true;
         self.runtime_routines
             .push((name.to_string(), asm.to_string()));
     }
@@ -624,6 +643,7 @@ impl Executable {
                 "cannot remove the routine containing the entry point".into(),
             ));
         }
+        self.dirty = true;
         self.removed.insert(id.0);
         self.layouts.remove(&id.0);
         Ok(())
@@ -651,6 +671,15 @@ impl Executable {
         }
         if !self.analyzed {
             return Err(EelError::NotAnalyzed);
+        }
+        if !self.dirty {
+            // Nothing observable was edited: reproduce the input image byte
+            // for byte rather than re-laying the program out (which would
+            // materialise bss into data and rebuild the symbol table).
+            let map: HashMap<u32, u32> = self.image.text_words().map(|(a, _)| (a, a)).collect();
+            self.addr_map = Some(map);
+            self.written = true;
+            return Ok((*self.image).clone());
         }
         // Lay out every remaining routine (discovery may add more).
         loop {

@@ -484,6 +484,73 @@ mod tests {
     }
 
     #[test]
+    fn psr_save_spills_when_pool_is_empty() {
+        // Body clobbers the condition codes while icc is live AND every
+        // register is live: the PSR temporary itself must be spilled.
+        let body = vec![Builder::cmp(Reg(6), Src2::Imm(0))];
+        let mut s = Snippet::new(body).with_scavenged(&[Reg(6)]);
+        let live = RegSet::all_gprs().union(RegSet::of(&[Reg::ICC]));
+        let (insns, asg, _) = s.materialize(live).unwrap();
+        assert!(asg.cc_saved, "icc live must force a PSR save");
+        assert_eq!(
+            asg.spilled.len(),
+            2,
+            "the scavenge target and the PSR temp both spill: {asg:?}"
+        );
+        assert!(asg.spilled.contains(&Reg(6)));
+        // st, st, rd %psr, body, wr %psr, ld, ld.
+        assert_eq!(insns.len(), 7);
+        assert!(insns[0].to_string().starts_with("st "));
+        assert!(insns[1].to_string().starts_with("st "));
+        assert_eq!(insns[2].to_string(), format!("rd %psr, {}", asg.spilled[1]));
+        assert!(insns[4].to_string().contains("%psr"));
+        assert!(insns[5].to_string().starts_with("ld "));
+        assert!(insns[6].to_string().starts_with("ld "));
+    }
+
+    #[test]
+    fn unspillable_scavenge_target_is_register_pressure() {
+        // %sp may never be renamed or spilled; with the pool forced
+        // empty the allocator has no way out.
+        let mut s = Snippet::new(vec![Builder::nop()])
+            .with_scavenged(&[Reg::SP])
+            .with_forced_spill();
+        match s.materialize(RegSet::new()) {
+            Err(EelError::RegisterPressure(msg)) => assert!(msg.contains("may not be spilled")),
+            other => panic!("expected RegisterPressure, got {other:?}"),
+        }
+        // Same for a register the tool itself forbade.
+        let mut s = Snippet::new(vec![Builder::nop()])
+            .with_scavenged(&[Reg(6)])
+            .with_forbidden(&[Reg(6)])
+            .with_forced_spill();
+        assert!(matches!(
+            s.materialize(RegSet::new()),
+            Err(EelError::RegisterPressure(_))
+        ));
+    }
+
+    #[test]
+    fn callback_sees_spilled_assignment() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran_in_cb = Arc::clone(&ran);
+        let mut s = Snippet::counter_increment(0x0040_0000).with_callback(Box::new(
+            move |insns, addr, asg| {
+                assert_eq!(addr, 0x3000);
+                assert_eq!(asg.spilled.len(), 2, "full pressure spills both");
+                assert_eq!(asg.map[&Reg(6)], Reg(6), "spilled regs keep their name");
+                assert!(insns.len() >= 8);
+                ran_in_cb.store(1, Ordering::SeqCst);
+            },
+        ));
+        let (mut insns, asg, _) = s.materialize(RegSet::all_gprs()).unwrap();
+        s.run_callback(&mut insns, 0x3000, &asg);
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "callback must run");
+    }
+
+    #[test]
     fn callback_receives_final_state() {
         let mut s = Snippet::new(vec![Builder::nop()]).with_callback(Box::new(|insns, addr, _| {
             assert_eq!(addr, 0x2000);

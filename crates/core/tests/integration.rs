@@ -130,6 +130,70 @@ fn passthrough_preserves_behavior_for_all_programs() {
 }
 
 #[test]
+fn write_edited_with_zero_edits_is_byte_identical() {
+    // No observable edit ⇒ the rewrite is the identity on WEF bytes, not
+    // merely behavior-preserving (no bss materialization, no symbol
+    // rebuild). Both the bare pass-through and the install-everything
+    // pass-through (edit-free CFGs) must take the clean fast path.
+    for (name, src) in PROGRAMS {
+        let image = compile_str(src, &Options::default()).unwrap();
+        let bytes = image.to_bytes();
+        let edited = passthrough(image.clone());
+        assert_eq!(edited.to_bytes(), bytes, "{name}: clean pass-through");
+
+        let mut exec = Executable::from_image(image.clone()).unwrap();
+        exec.read_contents().unwrap();
+        for id in exec.all_routine_ids() {
+            let cfg = exec.build_cfg(id).unwrap();
+            exec.install_edits(cfg).unwrap();
+        }
+        let edited = exec.write_edited().unwrap();
+        if *name == "funptr" {
+            // Installing a layout that needs run-time translation (the
+            // function-pointer dispatch) commits the rewrite to carry
+            // the translator, so the identity fast path must NOT fire.
+            assert_ne!(edited.to_bytes(), bytes, "{name}: translator expected");
+            let before = run_image(&image).unwrap();
+            let after = run_image(&edited).unwrap();
+            assert_eq!(before.exit_code, after.exit_code, "{name}");
+            assert_eq!(before.output, after.output, "{name}");
+        } else {
+            assert_eq!(edited.to_bytes(), bytes, "{name}: edit-free install");
+            // The identity map is still available for address queries.
+            assert_eq!(exec.edited_addr(edited.entry), Some(edited.entry));
+        }
+    }
+}
+
+#[test]
+fn zero_byte_reservation_keeps_the_clean_fast_path() {
+    let image = compile_str(PROGRAMS[0].1, &Options::default()).unwrap();
+    let bytes = image.to_bytes();
+    let mut exec = Executable::from_image(image).unwrap();
+    exec.read_contents().unwrap();
+    assert_eq!(exec.reserve_data(0) % 8, 0);
+    let edited = exec.write_edited().unwrap();
+    assert_eq!(edited.to_bytes(), bytes);
+}
+
+#[test]
+fn any_real_edit_disables_the_fast_path() {
+    let image = compile_str(PROGRAMS[0].1, &Options::default()).unwrap();
+    let bytes = image.to_bytes();
+    let mut exec = Executable::from_image(image).unwrap();
+    exec.read_contents().unwrap();
+    let counter = exec.reserve_data(4);
+    let id = exec.routine_containing(exec.image().entry).unwrap();
+    let mut cfg = exec.build_cfg(id).unwrap();
+    let addr = exec.routine(id).start();
+    cfg.add_code_before(addr, Snippet::counter_increment(counter))
+        .unwrap();
+    exec.install_edits(cfg).unwrap();
+    let edited = exec.write_edited().unwrap();
+    assert_ne!(edited.to_bytes(), bytes, "an edit must change the image");
+}
+
+#[test]
 fn passthrough_preserves_behavior_for_stripped_binaries() {
     for (name, src) in PROGRAMS {
         let opts = Options {

@@ -1,0 +1,132 @@
+//! # eel-edit — command-driven patch sessions over EEL executables
+//!
+//! The paper's thesis is that executable *editing* is a library concern
+//! (§3.5, §6); this crate is the user-facing driver for that machinery.
+//! It layers a small command language — `insert-before`, `insert-after`,
+//! `delete`, `replace`, `counter`, plus session control (`list`, `show`,
+//! `undo`, `revert`, `dry-run`, `apply`) — over
+//! [`eel_core::Executable`] / [`eel_core::Cfg`], with snippet bodies
+//! assembled by `eel_asm` and spliced through the register-scavenging
+//! [`eel_core::Snippet`] pipeline.
+//!
+//! The engine is **pure and zero-I/O** (the XEDIT lineage: a command
+//! interpreter over an in-memory document). Files, sockets, and prompts
+//! live in the callers: the `eeledit` binary (REPL + `--script` batch)
+//! and eel-serve's `edit` op, which runs a script against a cached
+//! [`eel_core::Analysis`] and content-addresses the result by
+//! `(image_hash, script_hash)`.
+//!
+//! ## Session model
+//!
+//! A [`EditSession`] keeps a *log of validated commands*, not a mutated
+//! image. Each edit command is resolved (target → address) and checked
+//! against a scratch CFG immediately, so errors surface at the command
+//! prompt; `dry-run` and `apply` then *replay* the log against a fresh
+//! [`eel_core::Executable`] built from the shared analysis. Replay is
+//! deterministic, which yields the session's two guarantees for free:
+//! `dry-run` predicts exactly the layout `apply` produces, and `undo` /
+//! `revert` (popping / clearing the log) restore prior state exactly.
+//! A session with an empty log reproduces the input image byte for byte
+//! (see `Executable::write_edited`'s clean fast path).
+//!
+//! ```
+//! use eel_edit::EditSession;
+//! use std::sync::Arc;
+//!
+//! let image = eel_cc::compile_str(
+//!     "fn main() { return 41; }",
+//!     &eel_cc::Options::default(),
+//! )?;
+//! let mut session = EditSession::new(Arc::new(image))?;
+//! session.exec_line("counter main")?;
+//! let report = session.dry_run()?;
+//! let applied = session.apply()?;
+//! assert_eq!(report, applied.report);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod command;
+pub mod session;
+
+pub use command::{
+    parse_script, parse_statement, parse_target, statement_complete, Command, Target,
+};
+pub use session::{ApplyResult, DryRunReport, EditSession, Reply, RoutineDelta};
+
+use std::fmt;
+
+/// Errors from parsing or executing session commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// A statement failed to parse; `line` is 1-based within the script.
+    Parse {
+        /// 1-based line of the offending statement.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A target named a routine the executable does not have.
+    UnknownRoutine(String),
+    /// A target resolved to nothing editable (bad block/insn index,
+    /// address outside any routine, synthesized instruction, ...).
+    BadTarget(String),
+    /// `undo` with an empty log.
+    NothingToUndo,
+    /// The core library rejected the edit (uneditable block, control
+    /// transfer, register pressure, layout overflow, ...).
+    Core(String),
+}
+
+impl EditError {
+    pub(crate) fn at_line(self, line: usize) -> EditError {
+        match self {
+            EditError::Parse { message, .. } => EditError::Parse { line, message },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            EditError::UnknownRoutine(name) => write!(f, "no routine named {name:?}"),
+            EditError::BadTarget(what) => write!(f, "bad target: {what}"),
+            EditError::NothingToUndo => write!(f, "nothing to undo"),
+            EditError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl From<eel_core::EelError> for EditError {
+    fn from(e: eel_core::EelError) -> EditError {
+        EditError::Core(e.to_string())
+    }
+}
+
+/// FNV-1a over `bytes` — the session's cheap, dependency-free image
+/// fingerprint. [`DryRunReport::image_hash`] uses it so a dry-run and the
+/// subsequent apply can be compared without holding both images.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

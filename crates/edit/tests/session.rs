@@ -1,0 +1,296 @@
+//! End-to-end session tests: scripted insert/delete/replace edits across
+//! multiple routines, emulator equivalence between the original and the
+//! edited image, dry-run/apply agreement, and exact undo/revert.
+
+use eel_core::{Analysis, BlockKind};
+use eel_edit::{fnv1a64, EditError, EditSession, Reply};
+use eel_exe::Image;
+use eel_isa::{AluOp, Op, Src2};
+use std::sync::Arc;
+
+/// A two-routine program with stable behavior: output + exit code cover
+/// both functions.
+fn two_routine_image() -> Image {
+    eel_cc::compile_str(
+        "fn helper(x) { return x * 3 + 1; }
+         fn main() {
+           var i; var t = 0;
+           for (i = 0; i < 5; i = i + 1) { t = t + helper(i); }
+           print(t);
+           return t;
+         }",
+        &eel_cc::Options::default(),
+    )
+    .expect("compile")
+}
+
+fn session_over(image: Image) -> EditSession {
+    EditSession::new(Arc::new(image)).expect("open session")
+}
+
+/// Finds, inside `routine`, an editable `mov imm, rd` (an or-immediate
+/// off `%g0`, imm >= 1, not a terminator) to target with
+/// `replace`/`delete`, and returns `(addr, rd, imm)`.
+fn find_mov_imm(routine: &str) -> (u32, String, i32) {
+    let image = two_routine_image();
+    let analysis = Analysis::compute(Arc::new(image)).unwrap();
+    let mut exec = eel_core::Executable::from_analysis(&analysis);
+    let id = exec
+        .all_routine_ids()
+        .into_iter()
+        .find(|&id| exec.routine(id).name() == routine)
+        .expect("routine exists");
+    let cfg = exec.build_cfg(id).unwrap();
+    for (_, b) in cfg.blocks() {
+        if b.kind != BlockKind::Normal || !b.editable {
+            continue;
+        }
+        for (i, at) in b.insns.iter().enumerate() {
+            // Skip the terminator (and its delay-slot position).
+            if i + 1 == b.insns.len() && b.terminator().is_some() {
+                continue;
+            }
+            let Some(addr) = at.addr else { continue };
+            if let Op::Alu {
+                op: AluOp::Or,
+                cc: false,
+                rd,
+                rs1,
+                src2: Src2::Imm(v),
+            } = at.insn.op
+            {
+                if rs1 == eel_isa::Reg(0) && v >= 1 {
+                    return (addr, rd.to_string(), v);
+                }
+            }
+        }
+    }
+    panic!("no mov-immediate found in {routine}");
+}
+
+#[test]
+fn scripted_edits_across_two_routines_preserve_behavior() {
+    let image = two_routine_image();
+    let original = eel_emu::run_image(&image).expect("run original");
+
+    let mut session = session_over(image);
+
+    // Routine 1 (main): counter insert; routine 2 (helper): a
+    // behavior-preserving replace (split the mov) and, back in main, a
+    // delete that reinserts the identical instruction.
+    let (addr, rd, v) = find_mov_imm("helper");
+    session.exec_line("counter main").expect("counter insert");
+    session
+        .exec_line(&format!(
+            "replace @{addr:#x} {{ mov {}, {rd} ; add {rd}, 1, {rd} }}",
+            v - 1
+        ))
+        .expect("identity-split replace");
+    let (daddr, drd, dv) = find_mov_imm("main");
+    session
+        .exec_line(&format!("delete @{daddr:#x}"))
+        .expect("delete");
+    session
+        .exec_line(&format!("insert-before @{daddr:#x} {{ mov {dv}, {drd} }}"))
+        .expect("reinsert identical instruction");
+    assert_eq!(session.pending(), 4);
+
+    let applied = session.apply().expect("apply");
+    assert!(
+        applied.report.text_after > applied.report.text_before,
+        "edits must grow the text segment"
+    );
+    let edited = eel_emu::run_image(&applied.image).expect("run edited");
+    assert_eq!(edited.exit_code, original.exit_code);
+    assert_eq!(edited.output, original.output);
+}
+
+#[test]
+fn dry_run_predicts_apply_exactly() {
+    let mut session = session_over(two_routine_image());
+    session.exec_line("counter main:b1").expect("counter");
+    session
+        .exec_line("insert-after helper { add %g6, 0, %g6 } scavenge %g6")
+        .expect("insert-after");
+    let predicted = session.dry_run().expect("dry-run");
+    let applied = session.apply().expect("apply");
+    assert_eq!(predicted, applied.report);
+    assert_eq!(predicted.image_hash, fnv1a64(&applied.image.to_bytes()));
+}
+
+#[test]
+fn undo_restores_prior_state_exactly() {
+    let mut session = session_over(two_routine_image());
+    session.exec_line("counter main").expect("counter");
+    let before = session.dry_run().expect("baseline dry-run");
+    session
+        .exec_line("insert-before helper { add %g6, 1, %g6 } scavenge %g6")
+        .expect("insert");
+    let with_edit = session.dry_run().expect("dry-run with edit");
+    assert_ne!(before, with_edit);
+    match session.exec_line("undo").expect("undo") {
+        Reply::Text(msg) => assert!(msg.contains("insert-before"), "{msg}"),
+        other => panic!("undo returned {other:?}"),
+    }
+    assert_eq!(session.pending(), 1);
+    let after_undo = session.dry_run().expect("dry-run after undo");
+    assert_eq!(before, after_undo);
+}
+
+#[test]
+fn undo_on_empty_log_errors() {
+    let mut session = session_over(two_routine_image());
+    assert_eq!(
+        session.exec_line("undo").unwrap_err(),
+        EditError::NothingToUndo
+    );
+}
+
+#[test]
+fn revert_then_apply_reproduces_input_bytes() {
+    let image = two_routine_image();
+    let input_bytes = image.to_bytes();
+    let mut session = session_over(image);
+    session.exec_line("counter main").expect("counter");
+    session.exec_line("counter helper").expect("counter");
+    session.exec_line("revert").expect("revert");
+    assert_eq!(session.pending(), 0);
+    let applied = session.apply().expect("apply with empty log");
+    assert_eq!(applied.image.to_bytes(), input_bytes);
+}
+
+#[test]
+fn sessions_survive_failed_commands_unchanged() {
+    let mut session = session_over(two_routine_image());
+    session.exec_line("counter main").expect("counter");
+    let baseline = session.dry_run().expect("dry-run");
+    // Unknown routine, bad block index, control-transfer delete: each
+    // must fail and leave the session state intact.
+    assert!(matches!(
+        session.exec_line("counter nosuch").unwrap_err(),
+        EditError::UnknownRoutine(_)
+    ));
+    assert!(matches!(
+        session.exec_line("counter main:b999").unwrap_err(),
+        EditError::BadTarget(_)
+    ));
+    // Replace against a control transfer fails inside the core after the
+    // delete half; the session must roll the half-applied edit back.
+    let call_addr = {
+        let image = two_routine_image();
+        let analysis = Analysis::compute(Arc::new(image)).unwrap();
+        let mut exec = eel_core::Executable::from_analysis(&analysis);
+        let id = exec
+            .all_routine_ids()
+            .into_iter()
+            .find(|&id| exec.routine(id).name() == "main")
+            .unwrap();
+        let cfg = exec.build_cfg(id).unwrap();
+        let found = cfg
+            .blocks()
+            .filter(|(_, b)| b.kind == BlockKind::Normal)
+            .find_map(|(_, b)| b.terminator().and_then(|t| t.addr));
+        found
+    };
+    if let Some(addr) = call_addr {
+        assert!(matches!(
+            session.exec_line(&format!("replace @{addr:#x} {{ nop }}")),
+            Err(EditError::Core(_))
+        ));
+    }
+    assert_eq!(session.pending(), 1);
+    assert_eq!(session.dry_run().expect("dry-run"), baseline);
+}
+
+#[test]
+fn scripts_run_end_to_end_with_implicit_apply() {
+    let image = two_routine_image();
+    let original = eel_emu::run_image(&image).expect("run original");
+    let mut session = session_over(image);
+    let script = "# instrument both routines\ncounter main\ncounter helper\n";
+    let result = session.run_script_to_image(script).expect("script");
+    assert_eq!(result.report.commands, 2);
+    let edited = eel_emu::run_image(&result.image).expect("run edited");
+    assert_eq!(edited.exit_code, original.exit_code);
+    assert_eq!(edited.output, original.output);
+    // The two counters live in reserved data past the original segment.
+    assert!(result.report.data_after >= result.report.data_before + 16);
+}
+
+#[test]
+fn same_script_twice_is_byte_identical() {
+    let image = two_routine_image();
+    let script = "counter main\ncounter helper\napply\n";
+    let one = EditSession::new(Arc::new(image.clone()))
+        .unwrap()
+        .run_script_to_image(script)
+        .expect("first run");
+    let two = EditSession::new(Arc::new(image))
+        .unwrap()
+        .run_script_to_image(script)
+        .expect("second run");
+    assert_eq!(one.image.to_bytes(), two.image.to_bytes());
+    assert_eq!(one.report, two.report);
+}
+
+#[test]
+fn block_and_insn_coordinates_resolve_like_show_listings() {
+    let mut session = session_over(two_routine_image());
+    let listing = match session.exec_line("show main").expect("show") {
+        Reply::Text(t) => t,
+        other => panic!("show returned {other:?}"),
+    };
+    assert!(listing.contains("b0 @"), "{listing}");
+    assert!(listing.contains("i0"), "{listing}");
+    // b0:i0 is the routine's first instruction: both spellings must
+    // resolve to the same edit.
+    session.exec_line("counter main:b0:i0").expect("b0:i0");
+    let by_index = session.dry_run().expect("dry-run");
+    session.exec_line("revert").expect("revert");
+    session.exec_line("counter main").expect("by name");
+    let by_name = session.dry_run().expect("dry-run");
+    assert_eq!(by_index, by_name);
+}
+
+#[test]
+fn progen_binary_survives_a_multi_routine_script() {
+    let program = eel_progen::random_program(
+        7,
+        &eel_progen::GenConfig {
+            functions: 3,
+            stmts_per_fn: 6,
+            max_depth: 2,
+            globals: 2,
+            arrays: 1,
+        },
+    );
+    let image = eel_cc::compile_ast(&program, &eel_cc::Options::default()).expect("compile");
+    let original = eel_emu::run_image(&image).expect("run original");
+
+    let analysis = Arc::new(Analysis::compute(Arc::new(image)).expect("analyze"));
+    let mut session = EditSession::from_analysis(Arc::clone(&analysis));
+    // Counter every routine with a symbol name — a whole-program edit
+    // across all routines.
+    let names: Vec<String> = analysis
+        .routines()
+        .iter()
+        .filter(|r| r.has_symbol_name())
+        .map(|r| r.name())
+        .collect();
+    assert!(
+        names.len() >= 2,
+        "progen image has {} routines",
+        names.len()
+    );
+    for name in &names {
+        session
+            .exec_line(&format!("counter {name}"))
+            .unwrap_or_else(|e| panic!("counter {name}: {e}"));
+    }
+    let predicted = session.dry_run().expect("dry-run");
+    let applied = session.apply().expect("apply");
+    assert_eq!(predicted, applied.report);
+    let edited = eel_emu::run_image(&applied.image).expect("run edited");
+    assert_eq!(edited.exit_code, original.exit_code);
+    assert_eq!(edited.output, original.output);
+}

@@ -88,6 +88,23 @@ impl Client {
         self.op(op, Payload::none())
     }
 
+    /// Convenience: the write path. Ships `wef` plus an edit `script`
+    /// and returns the server's response, whose `Ok` body is the edited
+    /// WEF image.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn edit(&self, wef: Vec<u8>, script: impl Into<String>) -> io::Result<Response> {
+        self.op(
+            "edit",
+            Payload::Edit {
+                wef,
+                script: script.into(),
+            },
+        )
+    }
+
     /// Opens a pipelined session: connects, sends `Hello` (a `window`
     /// of 0 requests the server's default), and waits for the
     /// `HelloAck`.

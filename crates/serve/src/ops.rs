@@ -9,6 +9,7 @@
 use crate::cache::CostClass;
 use eel_core::{Analysis, BlockKind, Executable, Liveness, Snippet};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// The operations whose results flow through the content-addressed cache.
 /// (`ping`, `metrics`, and `shutdown` are control-plane requests handled
@@ -46,7 +47,7 @@ pub fn run_op_with(op: &str, analysis: &Analysis, threads: usize) -> Result<Vec<
         "stat" => stat(analysis),
         "instrument" => instrument(analysis, threads),
         other => Err(format!(
-            "unknown op {other:?} (expected one of {CACHED_OPS:?}, ping, metrics, shutdown)"
+            "unknown op {other:?} (expected one of {CACHED_OPS:?}, edit, ping, metrics, shutdown)"
         )),
     }
 }
@@ -58,6 +59,11 @@ pub fn run_op_with(op: &str, analysis: &Analysis, threads: usize) -> Result<Vec<
 /// is comparable to a disk reload (tens of microseconds), so their
 /// cache entries yield budget first.
 pub fn recompute_cost(op: &str) -> CostClass {
+    // `edit` results are keyed as `edit-{script_hash}` (one cache entry
+    // per distinct script), so match on the prefix.
+    if op == "edit" || op.starts_with("edit-") {
+        return CostClass::Expensive;
+    }
     match op {
         "disasm" | "instrument" => CostClass::Expensive,
         _ => CostClass::Cheap,
@@ -181,6 +187,25 @@ fn stat(analysis: &Analysis) -> Result<Vec<u8>, String> {
     Ok(out.into_bytes())
 }
 
+/// The serve write path: runs an `eeledit` command script against the
+/// shared analysis and returns the edited executable's WEF bytes (the
+/// script's last `apply`, or an implicit final apply). Pure function of
+/// `(analysis, script)`, which is exactly what the `(image_hash,
+/// script_hash)` cache key captures.
+///
+/// # Errors
+///
+/// A rendered message when the script fails to parse or any command is
+/// rejected.
+pub fn run_edit(analysis: &Arc<Analysis>, script: &str) -> Result<Vec<u8>, String> {
+    let _obs = eel_obs::span("edit.serve_op");
+    let mut session = eel_edit::EditSession::from_analysis(Arc::clone(analysis));
+    let applied = session
+        .run_script_to_image(script)
+        .map_err(|e| err("edit", e))?;
+    Ok(applied.image.to_bytes())
+}
+
 /// Edge-count instrumentation: a counter along every editable out-edge of
 /// multi-successor blocks — the same optimal placement qpt2 uses for
 /// `Granularity::Edges` (paper Figure 1), reimplemented here on eel-core
@@ -289,5 +314,43 @@ mod tests {
         assert_eq!(recompute_cost("stat"), CostClass::Cheap);
         assert_eq!(recompute_cost("cfg-summary"), CostClass::Cheap);
         assert_eq!(recompute_cost("liveness"), CostClass::Cheap);
+        // Script-keyed edit entries are a full edit-session replay.
+        assert_eq!(recompute_cost("edit"), CostClass::Expensive);
+        assert_eq!(
+            recompute_cost("edit-00c0ffee00c0ffee"),
+            CostClass::Expensive
+        );
+        assert_eq!(recompute_cost("editorial"), CostClass::Cheap);
+    }
+
+    #[test]
+    fn edit_op_is_deterministic_and_preserves_behavior() {
+        let a = analysis();
+        let original = eel_emu::run_image(a.image()).expect("run original");
+        let script = "counter main\napply\n";
+        let one = run_edit(&a, script).expect("edit");
+        let two = run_edit(&a, script).expect("edit again");
+        assert_eq!(one, two, "same script, same bytes");
+        let edited = Image::from_bytes(&one).expect("edited image parses");
+        let outcome = eel_emu::run_image(&edited).expect("run edited");
+        assert_eq!(outcome.exit_code, original.exit_code);
+        assert_eq!(outcome.output, original.output);
+    }
+
+    #[test]
+    fn edit_op_with_empty_script_is_byte_identical() {
+        let a = analysis();
+        let out = run_edit(&a, "# nothing to do\n").expect("empty edit");
+        assert_eq!(out, a.image().to_bytes());
+    }
+
+    #[test]
+    fn edit_op_reports_script_errors() {
+        let a = analysis();
+        let e = run_edit(&a, "frobnicate everything\n").unwrap_err();
+        assert!(e.starts_with("edit:"), "{e}");
+        assert!(e.contains("unknown command"), "{e}");
+        let e = run_edit(&a, "counter nosuchroutine\n").unwrap_err();
+        assert!(e.contains("no routine named"), "{e}");
     }
 }

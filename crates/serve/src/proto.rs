@@ -17,7 +17,14 @@
 //! u8 version (=1) | u16 op length | op (utf-8) | u8 payload kind
 //!   kind 0: u32 length | inline WEF bytes
 //!   kind 1: u32 length | utf-8 path on the SERVER's filesystem
+//!   kind 2: u32 wef length | inline WEF bytes |
+//!           u32 script length | utf-8 edit script
 //! ```
+//!
+//! Kind 2 carries the `edit` op's two inputs — the image and the
+//! command script — so the result can be content-addressed by
+//! `(image hash, script hash)`. It is an additive extension like the
+//! disk tier: old servers reject the unknown kind byte cleanly.
 //!
 //! Response body:
 //!
@@ -58,6 +65,14 @@ pub enum Payload {
     Inline(Vec<u8>),
     /// A path the *server* reads (client and server share a filesystem).
     Path(String),
+    /// The `edit` op's inputs: inline WEF bytes plus the command script
+    /// to run against them (see `eel_edit`).
+    Edit {
+        /// The executable to edit.
+        wef: Vec<u8>,
+        /// The `eeledit` command script.
+        script: String,
+    },
 }
 
 impl Payload {
@@ -176,15 +191,27 @@ impl Request {
     /// payload`) — shared by the v1 body and v2 tagged frames.
     fn encode_fields(&self, out: &mut Vec<u8>) {
         let op = self.op.as_bytes();
-        let (kind, bytes): (u8, &[u8]) = match &self.payload {
-            Payload::Inline(b) => (0, b),
-            Payload::Path(p) => (1, p.as_bytes()),
-        };
         out.extend_from_slice(&(op.len() as u16).to_be_bytes());
         out.extend_from_slice(op);
-        out.push(kind);
-        out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
-        out.extend_from_slice(bytes);
+        match &self.payload {
+            Payload::Inline(b) => {
+                out.push(0);
+                out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+                out.extend_from_slice(b);
+            }
+            Payload::Path(p) => {
+                out.push(1);
+                out.extend_from_slice(&(p.len() as u32).to_be_bytes());
+                out.extend_from_slice(p.as_bytes());
+            }
+            Payload::Edit { wef, script } => {
+                out.push(2);
+                out.extend_from_slice(&(wef.len() as u32).to_be_bytes());
+                out.extend_from_slice(wef);
+                out.extend_from_slice(&(script.len() as u32).to_be_bytes());
+                out.extend_from_slice(script.as_bytes());
+            }
+        }
     }
 
     fn decode_fields(c: &mut Cursor<'_>) -> io::Result<Request> {
@@ -192,13 +219,26 @@ impl Request {
         let op = String::from_utf8(c.take(op_len, "op")?.to_vec())
             .map_err(|_| bad("op is not utf-8"))?;
         let kind = c.u8("payload kind")?;
-        let len = c.u32("payload length")? as usize;
-        let bytes = c.take(len, "payload")?.to_vec();
         let payload = match kind {
-            0 => Payload::Inline(bytes),
-            1 => Payload::Path(
-                String::from_utf8(bytes).map_err(|_| bad("payload path is not utf-8"))?,
-            ),
+            0 => {
+                let len = c.u32("payload length")? as usize;
+                Payload::Inline(c.take(len, "payload")?.to_vec())
+            }
+            1 => {
+                let len = c.u32("payload length")? as usize;
+                Payload::Path(
+                    String::from_utf8(c.take(len, "payload")?.to_vec())
+                        .map_err(|_| bad("payload path is not utf-8"))?,
+                )
+            }
+            2 => {
+                let wef_len = c.u32("wef length")? as usize;
+                let wef = c.take(wef_len, "wef")?.to_vec();
+                let script_len = c.u32("script length")? as usize;
+                let script = String::from_utf8(c.take(script_len, "script")?.to_vec())
+                    .map_err(|_| bad("edit script is not utf-8"))?;
+                Payload::Edit { wef, script }
+            }
             k => return Err(bad(format!("unknown payload kind {k}"))),
         };
         Ok(Request { op, payload })
@@ -484,6 +524,14 @@ mod tests {
             Payload::Inline(vec![1, 2, 3]),
             Payload::Path("/tmp/a.wef".into()),
             Payload::none(),
+            Payload::Edit {
+                wef: vec![4, 5, 6, 7],
+                script: "counter main\napply\n".into(),
+            },
+            Payload::Edit {
+                wef: Vec::new(),
+                script: String::new(),
+            },
         ] {
             let req = Request {
                 op: "cfg-summary".into(),
@@ -534,6 +582,20 @@ mod tests {
             Response::decode(&[1, 7, 0, 0, 0, 0, 0]).is_err(),
             "bad status"
         );
+        // Kind-2 (edit) payloads: every truncation point must be rejected,
+        // including cuts inside the second (script) length field.
+        let req = Request {
+            op: "edit".into(),
+            payload: Payload::Edit {
+                wef: vec![0; 8],
+                script: "apply".into(),
+            },
+        };
+        let enc = req.encode();
+        for cut in 0..enc.len() {
+            assert!(Request::decode(&enc[..cut]).is_err(), "edit cut at {cut}");
+        }
+        assert_eq!(Request::decode(&enc).unwrap(), req);
     }
 
     #[test]

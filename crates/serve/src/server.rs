@@ -38,7 +38,7 @@
 
 use crate::cache::{content_hash, SingleFlightLru};
 use crate::disk::DiskCache;
-use crate::ops::{recompute_cost, run_op_with, CACHED_OPS};
+use crate::ops::{recompute_cost, run_edit, run_op_with, CACHED_OPS};
 use crate::proto::{
     read_frame, write_frame, CacheTier, Payload, Request, Response, SessionFrame, SessionReply,
     MAX_FRAME, SESSION_VERSION,
@@ -626,6 +626,7 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
                 body: b"shutting down".to_vec(),
             }
         }
+        "edit" => cached_edit(shared, &req.payload),
         op if CACHED_OPS.contains(&op) => cached_op(shared, op, &req.payload),
         other => Response::Err(format!("unknown op {other:?}")),
     };
@@ -641,31 +642,65 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
             Ok(b) => b,
             Err(e) => return Response::Err(format!("cannot read {p}: {e}")),
         },
+        Payload::Edit { .. } => {
+            return Response::Err(format!("op {op:?} does not take an edit payload"))
+        }
     };
     let hash = content_hash(&bytes);
-    let key = (hash, op.to_string());
-    let class = recompute_cost(op);
+    cached_result(shared, hash, op, op, || {
+        let threads = analysis_threads(shared);
+        analyze(shared, hash, &bytes).and_then(|a| run_op_with(op, &a, threads))
+    })
+}
+
+/// The write path: a kind-2 payload carries `(wef, script)`; the result
+/// is content-addressed by `(image_hash, "edit-{script_hash}")`, so
+/// repeating the same patch fleet-wide is a cache hit on every tier.
+fn cached_edit(shared: &Shared, payload: &Payload) -> Response {
+    let Payload::Edit { wef, script } = payload else {
+        return Response::Err("edit requires a kind-2 payload (wef bytes + script)".into());
+    };
+    let hash = content_hash(wef);
+    let script_hash = content_hash(script.as_bytes());
+    let op_key = format!("edit-{script_hash:016x}");
+    cached_result(shared, hash, &op_key, "edit", || {
+        analyze(shared, hash, wef).and_then(|a| run_edit(&a, script))
+    })
+}
+
+/// The shared cache plumbing for every op that flows through the
+/// content-addressed LRU: memory first, then the disk spill tier, then
+/// `compute` — with write-through, victim demotion, and hit/miss
+/// accounting. `op_key` addresses the cache entry; `metric_op` names the
+/// op in `serve.ops.{metric_op}.computed`.
+fn cached_result(
+    shared: &Shared,
+    hash: u64,
+    op_key: &str,
+    metric_op: &str,
+    compute: impl FnOnce() -> Result<Vec<u8>, String>,
+) -> Response {
+    let key = (hash, op_key.to_string());
+    let class = recompute_cost(op_key);
     let mut from_disk = false;
     let (result, hit, evicted) = shared.results.get_or_compute_classed(key, || {
         // Memory missed; the disk tier gets a chance before we pay for a
         // computation. A disk hit is promoted into the LRU by virtue of
         // being this closure's return value.
         if let Some(disk) = &shared.disk {
-            if let Some(body) = disk.load(hash, op) {
+            if let Some(body) = disk.load(hash, op_key) {
                 from_disk = true;
                 let cost = body.len();
                 return (Ok(Arc::new(body)), cost, class);
             }
         }
-        eel_obs::counter(&format!("serve.ops.{op}.computed")).add(1);
-        let threads = analysis_threads(shared);
-        let computed =
-            analyze(shared, hash, &bytes).and_then(|a| run_op_with(op, &a, threads).map(Arc::new));
+        eel_obs::counter(&format!("serve.ops.{metric_op}.computed")).add(1);
+        let computed = compute().map(Arc::new);
         if let (Some(disk), Ok(body)) = (&shared.disk, &computed) {
             // Write-through: the entry survives a restart even if it is
             // never evicted. Errors stay memory-only — they may be
             // transient (an unreadable path) and are cheap to rebuild.
-            disk.store(hash, op, body);
+            disk.store(hash, op_key, body);
         }
         let cost = match &computed {
             Ok(body) => body.len(),

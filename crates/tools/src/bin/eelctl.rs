@@ -1,20 +1,24 @@
 //! `eelctl` — command-line client for the eel-serve daemon.
 //!
 //! ```text
-//! eelctl OP [FILE.wef ...] [--addr HOST:PORT] [--path] [--batch] [-o OUT.wef]
+//! eelctl OP [FILE.wef ...] [--addr HOST:PORT] [--path] [--batch]
+//!        [--script FILE.eel] [-o OUT.wef]
 //! ```
 //!
 //! `OP` is one of the analysis operations (`disasm`, `cfg-summary`,
-//! `liveness`, `stat`, `instrument`) or a control operation (`ping`,
-//! `metrics`, `shutdown`). Analysis ops take one or more WEF files —
+//! `liveness`, `stat`, `instrument`), the write operation (`edit`,
+//! which additionally needs `--script FILE.eel` and ships the script
+//! with the image so the server runs the edit session), or a control
+//! operation (`ping`, `metrics`, `shutdown`). Analysis ops take one or
+//! more WEF files —
 //! more than one is batch mode, each sent as its own request. By default
 //! each request opens its own connection; `--batch` pipelines them all
 //! through one persistent session connection (protocol v2), letting the
 //! server work on every file concurrently — output order still follows
 //! the command line. By default the image bytes travel inline; `--path`
 //! sends the (absolute) path for the server to read instead.
-//! `instrument` writes the edited executable to `-o OUT.wef` (single
-//! file only); the other ops print text to stdout.
+//! `instrument` and `edit` write the edited executable to `-o OUT.wef`
+//! (single file only); the other ops print text to stdout.
 //!
 //! The server address comes from `--addr`, else the `EEL_SERVE_ADDR`
 //! environment variable, else `127.0.0.1:7099`. Cache status for each
@@ -34,7 +38,7 @@ const CONTROL_OPS: &[&str] = &["ping", "metrics", "shutdown"];
 fn main() -> ExitCode {
     let mut cli = match Cli::new(
         "eelctl",
-        "OP [FILE.wef ...] [--addr HOST:PORT] [--path] [--batch] [-o OUT.wef]",
+        "OP [FILE.wef ...] [--addr HOST:PORT] [--path] [--batch] [--script FILE.eel] [-o OUT.wef]",
     ) {
         Ok(cli) => cli,
         Err(code) => return code,
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
     let mut addr: Option<String> = None;
     let mut by_path = false;
     let mut batch = false;
+    let mut script: Option<String> = None;
     let mut output: Option<String> = None;
     while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
@@ -55,6 +60,12 @@ fn main() -> ExitCode {
             }
             "--path" => by_path = true,
             "--batch" => batch = true,
+            "--script" => {
+                script = match cli.value("--script") {
+                    Ok(s) => Some(s),
+                    Err(code) => return code,
+                }
+            }
             "-o" => {
                 output = match cli.value("-o") {
                     Ok(o) => Some(o),
@@ -91,13 +102,39 @@ fn main() -> ExitCode {
     if files.is_empty() {
         return cli.fail(format_args!("{op} needs at least one WEF file"));
     }
-    if output.is_some() && (op != "instrument" || files.len() != 1) {
-        return cli.fail("-o applies to instrument with a single file");
+    if output.is_some() && (!matches!(op.as_str(), "instrument" | "edit") || files.len() != 1) {
+        return cli.fail("-o applies to instrument/edit with a single file");
     }
+    let script = match (op.as_str(), script) {
+        ("edit", None) => return cli.fail("edit needs --script FILE.eel"),
+        ("edit", Some(path)) => {
+            if by_path {
+                return cli.fail("edit sends the image inline (drop --path)");
+            }
+            match std::fs::read_to_string(&path) {
+                Ok(src) => Some(src),
+                Err(e) => return cli.fail(format_args!("cannot read {path}: {e}")),
+            }
+        }
+        (_, Some(_)) => return cli.fail("--script applies to the edit op"),
+        (_, None) => None,
+    };
     let mut failed = false;
     let mut payloads: Vec<(&String, Payload)> = Vec::new();
     for file in &files {
-        let payload = if by_path {
+        let payload = if let Some(script) = &script {
+            match std::fs::read(file) {
+                Ok(wef) => Payload::Edit {
+                    wef,
+                    script: script.clone(),
+                },
+                Err(e) => {
+                    eprintln!("eelctl: cannot read {file}: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        } else if by_path {
             Payload::Path(file.clone())
         } else {
             match std::fs::read(file) {

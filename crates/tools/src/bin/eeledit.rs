@@ -1,0 +1,176 @@
+//! `eeledit` — interactive and scripted executable patching.
+//!
+//! ```text
+//! eeledit FILE.wef [--script FILE.eel] [-o OUT.wef]
+//! ```
+//!
+//! Opens an edit session over `FILE.wef`. With `--script`, the command
+//! script runs as a batch: every reply is printed to stdout and the
+//! session exits non-zero on the first error. Without it, `eeledit`
+//! reads commands from stdin as a REPL — multi-line `{ ... }` bodies
+//! are buffered until the braces balance, `quit`/`exit` (or EOF) leave
+//! the loop, and a failed command reports its error and leaves the
+//! session's pending edits untouched.
+//!
+//! `apply` (explicit, or implicit at the end of a `--script` run that
+//! logged edits but never applied) writes the edited image to the path
+//! given with `-o`; without `-o` the apply report is printed but the
+//! image is discarded. `dry-run` never writes — it prints the same
+//! report `apply` would, computed on a scratch copy.
+//!
+//! See `docs/EDITING.md` for the command grammar and worked examples.
+
+use eel_edit::{statement_complete, EditSession, Reply};
+use eel_exe::Image;
+use eel_tools::cli::Cli;
+use std::io::{BufRead as _, IsTerminal as _, Write as _};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut cli = match Cli::new("eeledit", "FILE.wef [--script FILE.eel] [-o OUT.wef]") {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
+    let mut input: Option<String> = None;
+    let mut script: Option<String> = None;
+    let mut output: Option<String> = None;
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--script" => {
+                script = match cli.value("--script") {
+                    Ok(s) => Some(s),
+                    Err(code) => return code,
+                }
+            }
+            "-o" => {
+                output = match cli.value("-o") {
+                    Ok(o) => Some(o),
+                    Err(code) => return code,
+                }
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
+            other => return cli.unexpected(other),
+        }
+    }
+    let input = match cli.required_input(input) {
+        Ok(input) => input,
+        Err(code) => return code,
+    };
+    let image = match Image::read_file(&input) {
+        Ok(image) => image,
+        Err(e) => return cli.fail(format_args!("cannot load {input}: {e}")),
+    };
+    let mut session = match EditSession::new(Arc::new(image)) {
+        Ok(session) => session,
+        Err(e) => return cli.fail(format_args!("cannot analyze {input}: {e}")),
+    };
+
+    match script {
+        Some(path) => run_batch(&cli, &mut session, &path, output.as_deref()),
+        None => run_repl(&cli, &mut session, output.as_deref()),
+    }
+}
+
+/// Batch mode: the whole script parses up front, then replays through
+/// the session; edits left pending at the end are applied implicitly so
+/// a script of bare edit commands still produces an image.
+fn run_batch(cli: &Cli, session: &mut EditSession, path: &str, output: Option<&str>) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => return cli.fail(format_args!("cannot read {path}: {e}")),
+    };
+    let replies = match session.run_script(&src) {
+        Ok(replies) => replies,
+        Err(e) => return cli.fail(e),
+    };
+    let mut applied: Option<Image> = None;
+    for reply in &replies {
+        println!("{}", reply.render());
+        if let Reply::Applied(result) = reply {
+            applied = Some(result.image.clone());
+        }
+    }
+    if applied.is_none() && session.pending() > 0 {
+        match session.apply() {
+            Ok(result) => {
+                println!("{}", Reply::Applied(result.clone()).render());
+                applied = Some(result.image);
+            }
+            Err(e) => return cli.fail(e),
+        }
+    }
+    write_applied(cli, applied.as_ref(), output)
+}
+
+/// Interactive mode: statements are buffered until their braces
+/// balance, so multi-line `insert-before f { ... }` bodies work the way
+/// they do in script files.
+fn run_repl(cli: &Cli, session: &mut EditSession, output: Option<&str>) -> ExitCode {
+    let interactive = std::io::stdin().is_terminal();
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let mut applied: Option<Image> = None;
+    if interactive {
+        println!("eeledit: {} routines; try `list` (quit with `quit`)", {
+            match session.exec_line("list") {
+                Ok(Reply::Text(text)) => text.lines().count().saturating_sub(1),
+                _ => 0,
+            }
+        });
+    }
+    loop {
+        if interactive {
+            print!("{}", if buffer.is_empty() { "eel> " } else { "...> " });
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => return cli.fail(format_args!("stdin: {e}")),
+        }
+        if buffer.is_empty() && matches!(line.trim(), "quit" | "exit") {
+            break;
+        }
+        buffer.push_str(&line);
+        if !statement_complete(&buffer) {
+            continue;
+        }
+        let stmt = std::mem::take(&mut buffer);
+        if stmt.trim().is_empty() {
+            continue;
+        }
+        match session.exec_line(&stmt) {
+            Ok(reply) => {
+                println!("{}", reply.render());
+                if let Reply::Applied(result) = reply {
+                    applied = Some(result.image);
+                }
+            }
+            Err(e) => eprintln!("eeledit: {e}"),
+        }
+    }
+    write_applied(cli, applied.as_ref(), output)
+}
+
+fn write_applied(cli: &Cli, applied: Option<&Image>, output: Option<&str>) -> ExitCode {
+    match (applied, output) {
+        (Some(image), Some(out)) => match image.write_file(out) {
+            Ok(()) => {
+                eprintln!("eeledit: wrote {out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => cli.fail(format_args!("cannot write {out}: {e}")),
+        },
+        (Some(_), None) => {
+            eprintln!("eeledit: applied image discarded (no -o OUT.wef given)");
+            ExitCode::SUCCESS
+        }
+        (None, Some(out)) => {
+            eprintln!("eeledit: nothing applied; {out} not written");
+            ExitCode::SUCCESS
+        }
+        (None, None) => ExitCode::SUCCESS,
+    }
+}

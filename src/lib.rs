@@ -13,6 +13,8 @@
 //! * [`progen`] — the SPEC92-like benchmark suite generator.
 //! * [`core`] — **the EEL library itself**: executables, routines, CFGs,
 //!   instructions, snippets, analyses, and editing.
+//! * [`edit`] — the command-driven patch-session engine behind `eeledit`
+//!   and the serve `edit` op.
 //! * [`spawn`] — the machine-description system.
 //! * [`tools`] — qpt/qpt2, Active Memory, Blizzard, Elsie, the tracer.
 //!
@@ -33,6 +35,7 @@
 pub use eel_asm as asm;
 pub use eel_cc as cc;
 pub use eel_core as core;
+pub use eel_edit as edit;
 pub use eel_emu as emu;
 pub use eel_exe as exe;
 pub use eel_isa as isa;
