@@ -1,8 +1,9 @@
 //! `eelbench` — end-to-end service benchmarks.
 //!
 //! ```text
-//! eelbench serve [--images N] [--window N] [--out PATH]
-//! eelbench edit  [--images N] [--out PATH]
+//! eelbench serve       [--images N] [--window N] [--out PATH]
+//! eelbench edit        [--images N] [--out PATH]
+//! eelbench incremental [--twins N] [--out PATH]
 //! ```
 //!
 //! The `serve` subcommand measures the two session-era optimizations
@@ -29,9 +30,22 @@
 //! every edited image must still parse as a WEF. The `"edit"` section
 //! is merged into the same `BENCH_serve.json`, replacing any previous
 //! edit section while leaving `serve` results in place.
+//!
+//! The `incremental` subcommand measures the per-routine fragment
+//! cache: the largest kernel image plus N near-duplicate twins (each
+//! differing from the base in one ALU immediate inside one routine,
+//! via `eel_progen::mutate_routine`). Every twin's `disasm` and
+//! `instrument` run cold (no fragment tier) and incrementally (a tier
+//! pre-warmed by the base image), asserted byte-identical, with the
+//! fragment hit rate recorded. The `"incremental"` section is merged
+//! into `BENCH_serve.json` like `"edit"`; run the subcommands in
+//! serve → edit → incremental order when regenerating the whole file.
 
 use eel_cc::Personality;
-use eel_serve::{run_op_with, Client, Payload, Request, Response, Server, ServerConfig};
+use eel_serve::{
+    run_op_fragments, run_op_with, Client, FragmentTier, NoFragments, Payload, Request, Response,
+    Server, ServerConfig,
+};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -40,13 +54,17 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => serve_bench(&args[1..]),
         Some("edit") => edit_bench(&args[1..]),
+        Some("incremental") => incremental_bench(&args[1..]),
         Some("-h") | Some("--help") => {
-            println!("usage: eelbench serve [--images N] [--window N] [--out PATH]");
-            println!("       eelbench edit  [--images N] [--out PATH]");
+            println!("usage: eelbench serve       [--images N] [--window N] [--out PATH]");
+            println!("       eelbench edit        [--images N] [--out PATH]");
+            println!("       eelbench incremental [--twins N] [--out PATH]");
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("eelbench: unknown subcommand {other:?} (try: eelbench serve | edit)");
+            eprintln!(
+                "eelbench: unknown subcommand {other:?} (try: eelbench serve | edit | incremental)"
+            );
             ExitCode::FAILURE
         }
     }
@@ -353,6 +371,163 @@ fn edit_bench(args: &[String]) -> ExitCode {
                 format!("{base},\n{section}}}\n")
             } else if base.trim_start().starts_with("{\n  \"edit\"") {
                 // The file holds nothing but a previous edit run.
+                format!("{{\n{section}}}\n")
+            } else {
+                let end = base.trim_end().len() - 1;
+                base.truncate(end);
+                base.truncate(base.trim_end().len());
+                format!("{base},\n{section}}}\n")
+            }
+        }
+        _ => format!("{{\n{section}}}\n"),
+    };
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("eelbench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    eprintln!("eelbench: results written to {out}");
+    ExitCode::SUCCESS
+}
+
+/// The fragment cache's headline number: analyzing a near-duplicate
+/// image with a warm fragment tier versus from scratch. Kernel-level
+/// (no daemon), so the timer isolates the op pipeline the fragments
+/// short-circuit; `Analysis::compute` (image load + §3.1 discovery)
+/// runs outside the timed region for both modes, exactly like the
+/// `serve` kernel benchmark.
+fn incremental_bench(args: &[String]) -> ExitCode {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex};
+
+    let mut twins = 8usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("eelbench: {flag} needs a value");
+            return ExitCode::FAILURE;
+        };
+        match flag {
+            "--twins" => twins = value.parse().unwrap_or(8).max(1),
+            "--out" => out = value.clone(),
+            other => {
+                eprintln!("eelbench: unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    /// A plain in-memory tier: the benchmark measures the analysis
+    /// saved by fragment reuse, not any particular storage backend.
+    struct MemTier(Mutex<HashMap<(u64, String), Vec<u8>>>);
+    impl FragmentTier for MemTier {
+        fn load(&self, key: u64, op: &str) -> Option<Vec<u8>> {
+            self.0.lock().unwrap().get(&(key, op.to_string())).cloned()
+        }
+        fn store(&self, key: u64, op: &str, bytes: &[u8]) {
+            self.0
+                .lock()
+                .unwrap()
+                .insert((key, op.to_string()), bytes.to_vec());
+        }
+    }
+
+    // The base: many medium routines, the shape the fragment cache
+    // targets — a near-duplicate rebuild invalidates one routine out of
+    // dozens, like a one-function change in a real program. (A handful
+    // of giant routines would instead measure mostly the unavoidable
+    // rebuild of whichever routine the twin mutates.)
+    eprintln!("eelbench: compiling the base image...");
+    let many = eel_progen::GenConfig {
+        functions: 64,
+        stmts_per_fn: 4,
+        ..eel_progen::GenConfig::default()
+    };
+    let base = (0..8)
+        .filter_map(|seed| {
+            let program = eel_progen::random_program(seed, &many);
+            eel_cc::compile_ast(&program, &eel_cc::Options::default()).ok()
+        })
+        .chain(
+            eel_progen::suite()
+                .iter()
+                .map(|w| eel_progen::compile(w, Personality::Gcc).expect("compile workload")),
+        )
+        .max_by_key(|image| image.text.len())
+        .expect("suite non-empty");
+    let text_bytes = base.text.len();
+
+    eprintln!("eelbench: mutating {twins} near-duplicate twins...");
+    let twin_analyses: Vec<eel_core::Analysis> = (0..twins)
+        .map(|k| {
+            let mut image = base.clone();
+            eel_progen::mutate_routine(&mut image, k).expect("base has ALU immediates");
+            eel_core::Analysis::compute(Arc::new(image)).expect("analyze twin")
+        })
+        .collect();
+    let routines = twin_analyses[0].routine_keys().len();
+    let base_analysis = eel_core::Analysis::compute(Arc::new(base)).expect("analyze base");
+
+    let mut sections = Vec::new();
+    for op in ["disasm", "instrument"] {
+        // Warm the tier from the base image — the fleet's "previous
+        // build" whose fragments the twins reuse.
+        let tier = MemTier(Mutex::new(HashMap::new()));
+        let (_, base_stats) = run_op_fragments(op, &base_analysis, 1, &tier).expect(op);
+
+        eprintln!("eelbench: {op}: cold analysis of {twins} twins...");
+        let mut cold_bodies = Vec::with_capacity(twins);
+        let started = Instant::now();
+        for a in &twin_analyses {
+            let (body, _) = run_op_fragments(op, a, 1, &NoFragments).expect(op);
+            cold_bodies.push(body);
+        }
+        let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        eprintln!("eelbench: {op}: incremental analysis of {twins} twins...");
+        let (mut hits, mut total) = (0u64, 0u64);
+        let started = Instant::now();
+        for (a, cold) in twin_analyses.iter().zip(&cold_bodies) {
+            let (body, stats) = run_op_fragments(op, a, 1, &tier).expect(op);
+            hits += u64::from(stats.hits);
+            total += u64::from(stats.total);
+            if body != *cold {
+                eprintln!("eelbench: FAIL: {op} incremental output differs from cold");
+                return ExitCode::FAILURE;
+            }
+        }
+        let incr_ms = started.elapsed().as_secs_f64() * 1e3;
+        let speedup = cold_ms / incr_ms;
+        let hit_rate = hits as f64 / total.max(1) as f64;
+        eprintln!(
+            "eelbench: incremental: {op} cold {cold_ms:.2}ms, incremental {incr_ms:.2}ms \
+             ({speedup:.2}x, {hits}/{total} fragment hits, base stored {}/{})",
+            base_stats.total - base_stats.hits,
+            base_stats.total
+        );
+        sections.push(format!(
+            "    \"{op}\": {{ \"cold_ms\": {cold_ms:.2}, \"incremental_ms\": {incr_ms:.2}, \
+             \"speedup\": {speedup:.2}, \"fragment_hit_rate\": {hit_rate:.3} }}"
+        ));
+    }
+
+    let section = format!(
+        "  \"incremental\": {{\n    \"twins\": {twins},\n    \"routines\": {routines},\n    \
+         \"text_bytes\": {text_bytes},\n{}\n  }}\n",
+        sections.join(",\n")
+    );
+    // Merge like the edit section: drop any previous incremental
+    // section, then splice before the closing brace.
+    let json = match std::fs::read_to_string(&out) {
+        Ok(mut base) if base.trim_end().ends_with('}') => {
+            if let Some(pos) = base.find(",\n  \"incremental\"") {
+                base.truncate(pos);
+                format!("{base},\n{section}}}\n")
+            } else if base.trim_start().starts_with("{\n  \"incremental\"") {
                 format!("{{\n{section}}}\n")
             } else {
                 let end = base.trim_end().len() - 1;

@@ -77,11 +77,19 @@ const MAX_SCAN_ENTRIES: u32 = 1024;
 ///
 /// `extent` is the containing routine's `[start, end)`; table targets are
 /// validated against the whole text segment but bounds-scanned within it.
+///
+/// `external_reads` is set (never cleared) when the analysis consulted a
+/// word **outside** the extent — a literal load from another routine's
+/// text or a dispatch table spilling past the routine boundary. Such a
+/// resolution is not a pure function of the routine's own bytes, which
+/// disqualifies the routine from per-routine fragment caching
+/// ([`crate::routine_key`] only hashes the extent).
 pub fn resolve_indirect(
     image: &Image,
     extent: (u32, u32),
     jump_addr: u32,
     jump: Insn,
+    external_reads: &mut bool,
 ) -> JumpResolution {
     let _obs = eel_obs::span("core.cfg.jumptable");
     let Op::Jmpl { rs1, src2, .. } = jump.op else {
@@ -222,7 +230,11 @@ pub fn resolve_indirect(
                     (Sym::Const(c, bi), Src2::Reg(Reg::G0)) | (Sym::Const(c, bi), Src2::Imm(0)) => {
                         // Word-sized constant load; treat as a literal if
                         // the word lies in (immutable) text.
-                        match image.in_text(c).then(|| image.word_at(c)).flatten() {
+                        match image
+                            .in_text(c)
+                            .then(|| read_extent_word(image, extent, c, external_reads))
+                            .flatten()
+                        {
                             Some(w) => Sym::Const(w, bi),
                             None => Sym::Top,
                         }
@@ -287,14 +299,14 @@ pub fn resolve_indirect(
             }
             let count = match bound {
                 Some((_, k)) => k,
-                None => scan_entry_count(image, extent, table),
+                None => scan_entry_count(image, extent, table, external_reads),
             };
             if count == 0 {
                 return JumpResolution::Unknown;
             }
             let mut targets = Vec::with_capacity(count as usize);
             for slot in 0..count {
-                match image.word_at(table + 4 * slot) {
+                match read_extent_word(image, extent, table + 4 * slot, external_reads) {
                     Some(t) if t % 4 == 0 && image.in_text(t) => targets.push(t),
                     _ => return JumpResolution::Unknown,
                 }
@@ -310,16 +322,37 @@ pub fn resolve_indirect(
 }
 
 /// With no bounds check found, count plausible entries: consecutive words
-/// that are aligned addresses inside the routine.
-fn scan_entry_count(image: &Image, extent: (u32, u32), table: u32) -> u32 {
+/// that are aligned addresses inside the routine. The terminating read
+/// (the first implausible word) counts as a read too — its value decided
+/// where the table ends.
+fn scan_entry_count(
+    image: &Image,
+    extent: (u32, u32),
+    table: u32,
+    external_reads: &mut bool,
+) -> u32 {
     let mut count = 0;
     while count < MAX_SCAN_ENTRIES {
-        match image.word_at(table + 4 * count) {
+        match read_extent_word(image, extent, table + 4 * count, external_reads) {
             Some(w) if w % 4 == 0 && w >= extent.0 && w < extent.1 => count += 1,
             _ => break,
         }
     }
     count
+}
+
+/// [`Image::word_at`], additionally flagging reads outside the routine
+/// extent (see [`resolve_indirect`]'s `external_reads`).
+fn read_extent_word(
+    image: &Image,
+    extent: (u32, u32),
+    addr: u32,
+    external_reads: &mut bool,
+) -> Option<u32> {
+    if addr < extent.0 || addr >= extent.1 {
+        *external_reads = true;
+    }
+    image.word_at(addr)
 }
 
 /// Helper: `or` merges bit-patterns from `sethi`, `add` adds.
@@ -345,7 +378,13 @@ mod tests {
         let image = eel_asm::assemble(asm).unwrap();
         let jump_addr = image.find_symbol(jump_label).unwrap().value;
         let insn = eel_isa::decode(image.word_at(jump_addr).unwrap());
-        resolve_indirect(&image, (image.text_addr, image.text_end()), jump_addr, insn)
+        resolve_indirect(
+            &image,
+            (image.text_addr, image.text_end()),
+            jump_addr,
+            insn,
+            &mut false,
+        )
     }
 
     #[test]

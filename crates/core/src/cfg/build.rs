@@ -33,6 +33,11 @@ pub(crate) struct BuildOutput {
     /// Known control-transfer targets *outside* this routine (new entry
     /// points for the routines containing them, §3.1 stage 3).
     pub escape_targets: Vec<u32>,
+    /// Jump analysis read a word outside the extent (a cross-routine
+    /// literal load or a dispatch table spilling past the boundary), so
+    /// this CFG is not a pure function of the routine's own bytes and
+    /// must not be cached under its content key.
+    pub external_reads: bool,
 }
 
 /// How a scanned control-transfer site behaves.
@@ -102,6 +107,7 @@ pub(crate) fn build_cfg(
     let mut indirect_calls: Vec<IndirectJumpInfo> = Vec::new();
     let mut call_sites: Vec<(u32, u32)> = Vec::new();
     let mut incomplete = false;
+    let mut external_reads = false;
 
     let in_extent = |a: u32| a >= start && a < end;
     let classify = |a: u32| {
@@ -235,7 +241,7 @@ pub(crate) fn build_cfg(
                     Some(JumpKind::Return) => CtiSucc::Return,
                     Some(JumpKind::IndirectCall) => {
                         let resolution = if jump_analysis {
-                            resolve_indirect(image, extent, pc, insn)
+                            resolve_indirect(image, extent, pc, insn, &mut external_reads)
                         } else {
                             JumpResolution::Unknown
                         };
@@ -255,7 +261,7 @@ pub(crate) fn build_cfg(
                     }
                     _ => {
                         let resolution = if jump_analysis {
-                            resolve_indirect(image, extent, pc, insn)
+                            resolve_indirect(image, extent, pc, insn, &mut external_reads)
                         } else {
                             JumpResolution::Unknown
                         };
@@ -423,6 +429,7 @@ pub(crate) fn build_cfg(
         cfg,
         trailing_unreachable,
         escape_targets,
+        external_reads,
     })
 }
 

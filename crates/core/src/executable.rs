@@ -17,6 +17,7 @@
 
 use crate::cfg::{build_cfg as cfg_build, BuildOutput, Cfg};
 use crate::error::EelError;
+use crate::fragment::{self, FragmentMeta};
 use crate::instr::{AllocStats, InstructionPool};
 use crate::layout::{lay_out_routine, Item, RoutineLayout, Tgt, TRANSLATOR};
 use crate::routine::Routine;
@@ -81,6 +82,59 @@ struct CfgInputs {
     start: u32,
     end: u32,
     entries: Vec<u32>,
+}
+
+/// Everything [`Executable::build_cfg_full`] learned: the CFG plus the
+/// discovery side effects the build performed (which a fragment hit
+/// must replay) and whether it consulted words outside the extent
+/// (which disqualifies its artifacts from fragment storage — the
+/// content key does not hash them).
+struct BuiltCfg {
+    cfg: Cfg,
+    /// §3.1 stage-3 escape targets, union across trailing-split rebuild
+    /// iterations; sorted and deduplicated.
+    escapes: Vec<u32>,
+    /// §3.1 stage-4 trailing-split addresses, in the order performed.
+    splits: Vec<u32>,
+    /// Jump analysis read a word outside the routine's extent.
+    external: bool,
+}
+
+/// The fragment-cache lookup passed to
+/// [`Executable::build_all_cfgs_probed`]: given a routine and its
+/// content key, return the stored fragment's metadata to take the hit
+/// path, or `None` to build live.
+pub type FragmentProbe<'a> = &'a mut dyn FnMut(&Routine, u64) -> Option<FragmentMeta>;
+
+/// One routine's result from [`Executable::build_all_cfgs_probed`]: the
+/// stitch-time routine snapshot, its content key, and either a freshly
+/// built CFG (`cfg: Some`) or a validated fragment hit (`cfg: None` —
+/// the caller renders from its cached fragment instead).
+#[derive(Debug)]
+pub struct CfgBatchItem {
+    /// The routine's id in this executable.
+    pub id: RoutineId,
+    /// Snapshot of the routine as the sequential build loop observed it
+    /// (after all earlier routines' discovery side effects).
+    pub routine: Routine,
+    /// The routine's content key ([`crate::routine_key`]); `0` in the
+    /// unprobed [`Executable::build_all_cfgs`] path, which never reads it.
+    pub key: u64,
+    /// The built CFG, or `None` for a validated fragment hit.
+    pub cfg: Option<Cfg>,
+    /// Whether the live build was a pure, replayable function of the
+    /// routine's content key (it read no words outside its extent).
+    /// Only clean routines' artifacts may be stored as fragments;
+    /// always `false` on a hit (the fragment already exists).
+    pub clean: bool,
+    /// The build's §3.1 escape targets (from the fragment's metadata on
+    /// a hit) — recorded into newly stored fragments so a hit can
+    /// replay the registrations.
+    pub escapes: Vec<u32>,
+    /// The build's §3.1 trailing-split addresses (from the fragment's
+    /// metadata on a hit), in order — recorded into newly stored
+    /// fragments so a hit can replay the splits.
+    pub splits: Vec<u32>,
 }
 
 impl std::fmt::Debug for Executable {
@@ -395,11 +449,24 @@ impl Executable {
     /// [`EelError::DelaySlotTransfer`] for the documented unsupported
     /// shape.
     pub fn build_cfg(&mut self, id: RoutineId) -> Result<Cfg, EelError> {
+        self.build_cfg_full(id).map(|full| full.cfg)
+    }
+
+    /// [`Executable::build_cfg`] plus everything a per-routine fragment
+    /// records to stand in for the build: the discovery side effects it
+    /// performed (stage-3 escape registrations, stage-4 trailing
+    /// splits), which a fragment hit replays, and the external-read
+    /// flag (the build consulted words outside the extent, content the
+    /// routine's key does not hash — such builds must not be cached).
+    fn build_cfg_full(&mut self, id: RoutineId) -> Result<BuiltCfg, EelError> {
         let _obs = eel_obs::span("core.build_cfg");
         if !self.analyzed {
             return Err(EelError::NotAnalyzed);
         }
         let _ = self.routines.get(id.0).ok_or(EelError::BadRoutine(id.0))?;
+        let mut escapes: Vec<u32> = Vec::new();
+        let mut splits: Vec<u32> = Vec::new();
+        let mut external = false;
         loop {
             let r = &self.routines[id.0];
             let inputs = CfgInputs {
@@ -432,6 +499,8 @@ impl Executable {
                     self.jump_analysis,
                 )?,
             };
+            external |= out.external_reads;
+            escapes.extend_from_slice(&out.escape_targets);
             // Register interprocedural entry points (stage 3).
             for t in &out.escape_targets {
                 if let Some(cid) = self.routine_containing(*t) {
@@ -458,6 +527,7 @@ impl Executable {
                         hidden: true,
                     });
                     self.hidden_queue.push(new_id);
+                    splits.push(t);
                     // Rebuild with the shrunk extent so the CFG and the
                     // later layout agree.
                     continue;
@@ -471,7 +541,14 @@ impl Executable {
             }
             eel_obs::counter!("core.cfg.blocks").add(out.cfg.blocks.len() as u64);
             eel_obs::counter!("core.cfg.edges").add(out.cfg.edges.len() as u64);
-            return Ok(out.cfg);
+            escapes.sort_unstable();
+            escapes.dedup();
+            return Ok(BuiltCfg {
+                cfg: out.cfg,
+                escapes,
+                splits,
+                external,
+            });
         }
     }
 
@@ -505,6 +582,51 @@ impl Executable {
     /// As [`Executable::build_cfg`]; the first failing routine in
     /// routine order wins, like the sequential loop.
     pub fn build_all_cfgs(&mut self, threads: usize) -> Result<Vec<(Routine, Cfg)>, EelError> {
+        let items = self.build_all_cfgs_inner(threads, None)?;
+        Ok(items
+            .into_iter()
+            .map(|it| {
+                (
+                    it.routine,
+                    it.cfg.expect("no probe: every routine is built"),
+                )
+            })
+            .collect())
+    }
+
+    /// [`Executable::build_all_cfgs`] with a per-routine fragment probe:
+    /// before building a routine, `probe` is asked whether a cached
+    /// fragment exists for its content key ([`crate::routine_key`]). A
+    /// returned [`FragmentMeta`] is honored — the CFG build is skipped
+    /// and the item carries `cfg: None` — only when the recorded start
+    /// still matches (the fragment's rendered output embeds absolute
+    /// addresses); the build's §3.1 side effects are then *replayed*
+    /// from the recorded metadata (stage-4 trailing splits, stage-3
+    /// entry-point registrations), so later routines and the eventual
+    /// layout pass see exactly the routine table the live build would
+    /// have produced. Anything else falls back to a live build, which
+    /// keeps the composed result byte-identical to an unprobed run.
+    ///
+    /// Items report `clean: true` when the live build consulted no
+    /// words outside its own extent (content the key does not hash);
+    /// only those routines' artifacts are safe to store as fragments.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executable::build_all_cfgs`].
+    pub fn build_all_cfgs_probed(
+        &mut self,
+        threads: usize,
+        probe: FragmentProbe<'_>,
+    ) -> Result<Vec<CfgBatchItem>, EelError> {
+        self.build_all_cfgs_inner(threads, Some(probe))
+    }
+
+    fn build_all_cfgs_inner(
+        &mut self,
+        threads: usize,
+        mut probe: Option<FragmentProbe<'_>>,
+    ) -> Result<Vec<CfgBatchItem>, EelError> {
         if !self.analyzed {
             return Err(EelError::NotAnalyzed);
         }
@@ -527,9 +649,26 @@ impl Executable {
                     )
                 })
                 .collect();
+            // Routines whose fragment already validates against the
+            // pre-batch state skip the speculative build too — the
+            // stitch phase re-validates before trusting the fragment.
+            let skip: Vec<bool> = match probe.as_mut() {
+                Some(p) => ids
+                    .iter()
+                    .map(|&id| {
+                        let r = &self.routines[id.0];
+                        let key = fragment::routine_key(&self.image, r);
+                        p(r, key).is_some_and(|meta| Self::hit_valid(r, &meta))
+                    })
+                    .collect(),
+                None => vec![false; ids.len()],
+            };
             let image = &self.image;
             let jump_analysis = self.jump_analysis;
             let built = crate::par::fan_out_indexed(snapshots.len(), threads, |i| {
+                if skip[i] {
+                    return None;
+                }
                 let (id, inputs) = &snapshots[i];
                 let started = std::time::Instant::now();
                 let out = cfg_build(
@@ -541,12 +680,12 @@ impl Executable {
                 );
                 eel_obs::histogram!("core.parallel.routine_us")
                     .record(started.elapsed().as_micros() as u64);
-                out
+                Some(out)
             });
             self.cfg_memo = snapshots
                 .into_iter()
                 .zip(built)
-                .map(|((id, inputs), result)| (id.0, (inputs, result)))
+                .filter_map(|((id, inputs), result)| result.map(|r| (id.0, (inputs, r))))
                 .collect();
         }
         // Stitch phase: sequential, in routine order, consuming the
@@ -556,11 +695,85 @@ impl Executable {
         let mut first_err = None;
         for id in ids {
             let snapshot = self.routines[id.0].clone();
-            match self.build_cfg(id) {
-                Ok(cfg) => out.push((snapshot, cfg)),
-                Err(e) => {
-                    first_err = Some(e);
-                    break;
+            if let Some(p) = probe.as_mut() {
+                let key = fragment::routine_key(&self.image, &snapshot);
+                let hit = p(&snapshot, key).filter(|meta| Self::hit_valid(&snapshot, meta));
+                if let Some(meta) = hit {
+                    // Validated: same bytes, same relative entries, same
+                    // absolute start ⇒ the skipped build would have
+                    // performed exactly the recorded side effects.
+                    // Replay them — splits first (registrations may
+                    // target a split-off region), then stage-3 entry
+                    // registrations — so routine state matches what the
+                    // unprobed run would have at this point.
+                    for &t in &meta.splits {
+                        let r = &self.routines[id.0];
+                        if t > r.start && t < r.end && self.routine_containing(t) == Some(id) {
+                            let end = r.end;
+                            self.routines[id.0].end = t;
+                            self.routines[id.0].entries.retain(|&e| e < t);
+                            let new_id = RoutineId(self.routines.len());
+                            self.routines.push(Routine {
+                                name: None,
+                                start: t,
+                                end,
+                                entries: vec![t],
+                                hidden: true,
+                            });
+                            self.hidden_queue.push(new_id);
+                        }
+                    }
+                    for &t in &meta.escapes {
+                        if let Some(cid) = self.routine_containing(t) {
+                            let cr = &mut self.routines[cid.0];
+                            if !cr.entries.contains(&t) {
+                                cr.entries.push(t);
+                                cr.entries.sort_unstable();
+                            }
+                        }
+                    }
+                    self.cfg_memo.remove(&id.0);
+                    out.push(CfgBatchItem {
+                        id,
+                        routine: snapshot,
+                        key,
+                        cfg: None,
+                        clean: false,
+                        escapes: meta.escapes,
+                        splits: meta.splits,
+                    });
+                    continue;
+                }
+                match self.build_cfg_full(id) {
+                    Ok(full) => out.push(CfgBatchItem {
+                        id,
+                        routine: snapshot,
+                        key,
+                        cfg: Some(full.cfg),
+                        clean: !full.external,
+                        escapes: full.escapes,
+                        splits: full.splits,
+                    }),
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            } else {
+                match self.build_cfg_full(id) {
+                    Ok(full) => out.push(CfgBatchItem {
+                        id,
+                        routine: snapshot,
+                        key: 0,
+                        cfg: Some(full.cfg),
+                        clean: !full.external,
+                        escapes: full.escapes,
+                        splits: full.splits,
+                    }),
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
                 }
             }
         }
@@ -569,6 +782,83 @@ impl Executable {
             Some(e) => Err(e),
             None => Ok(out),
         }
+    }
+
+    /// Is a fragment recorded under this routine's content key actually
+    /// reusable *here*? The content key is position-independent, but
+    /// rendered fragments embed absolute addresses and the recorded
+    /// escape targets are absolute, so the routine must sit at the same
+    /// start. Everything else the build depends on is covered by the key
+    /// itself (extent bytes, length, relative entries) or replayed from
+    /// the meta (stage-3 registrations). See
+    /// [`Executable::build_all_cfgs_probed`].
+    fn hit_valid(r: &Routine, meta: &FragmentMeta) -> bool {
+        meta.start == r.start
+    }
+
+    /// Rebuilds a routine's CFG purely from a snapshot, with **no**
+    /// discovery side effects. Valid only for snapshots whose build is
+    /// known clean (a validated fragment hit whose payload then proved
+    /// unusable — e.g. an instrumentation plan recorded against a
+    /// different counter base): cleanliness guarantees the pure build
+    /// equals what [`Executable::build_cfg`] would have produced.
+    ///
+    /// # Errors
+    ///
+    /// As the underlying CFG builder.
+    pub fn build_cfg_snapshot(&self, id: RoutineId, routine: &Routine) -> Result<Cfg, EelError> {
+        Ok(cfg_build(
+            &self.image,
+            id,
+            (routine.start, routine.end),
+            &routine.entries,
+            self.jump_analysis,
+        )?
+        .cfg)
+    }
+
+    /// Serializes the installed layout of a routine (its instrumentation
+    /// plan) for fragment storage. `None` when no layout is installed or
+    /// when it cannot round-trip (a snippet carries a placement
+    /// call-back).
+    pub fn serialize_layout(&self, id: RoutineId) -> Option<Vec<u8>> {
+        let routine = self.routines.get(id.0)?;
+        fragment::encode_layout(
+            self.layouts.get(&id.0)?,
+            &self.image,
+            (routine.start, routine.end),
+        )
+    }
+
+    /// Installs a layout serialized by [`Executable::serialize_layout`]
+    /// (necessarily from an identical routine in a near-duplicate image),
+    /// skipping CFG construction, liveness, and snippet materialization.
+    ///
+    /// # Errors
+    ///
+    /// [`EelError::Internal`] when the bytes do not decode; the caller
+    /// falls back to the live path.
+    pub fn install_serialized_layout(
+        &mut self,
+        id: RoutineId,
+        bytes: &[u8],
+    ) -> Result<(), EelError> {
+        let layout = fragment::decode_layout(bytes, id, &self.image)
+            .ok_or_else(|| EelError::Internal("corrupt serialized layout".into()))?;
+        if layout.needs_translator {
+            self.dirty = true;
+        }
+        self.layouts.insert(id.0, layout);
+        Ok(())
+    }
+
+    /// The content key ([`crate::routine_key`]) of every currently known
+    /// routine, in discovery order.
+    pub fn routine_keys(&self) -> Vec<u64> {
+        self.routines
+            .iter()
+            .map(|r| fragment::routine_key(&self.image, r))
+            .collect()
     }
 
     /// Installs a routine's (possibly edited) CFG, producing its edited
@@ -707,14 +997,19 @@ impl Executable {
         order.sort_by_key(|i| self.routines[*i].start);
 
         let needs_translator = layouts.values().any(|l| l.needs_translator);
+        let total_items: usize = layouts.values().map(|l| l.items.len()).sum();
 
         // Reserve the translation table before assembling the translator
         // (its address is baked into the code). The table holds the FULL
         // original→edited map: any original text address can live in a
         // register or data word and reach an unanalyzable transfer, so
         // entries-only tables miss function pointers in stripped binaries.
-        let mapped_key_count: usize = {
-            let mut keys: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        // Counting the distinct keys walks every item of every layout, so
+        // it only happens when some layout actually needs the translator;
+        // translator-free edits skip a whole-image pass.
+        let xlate_table: Option<(u32, usize)> = if needs_translator {
+            let mut keys: std::collections::HashSet<u32> =
+                std::collections::HashSet::with_capacity(total_items);
             for layout in layouts.values() {
                 for item in &layout.items {
                     match item {
@@ -734,15 +1029,13 @@ impl Executable {
                     }
                 }
             }
-            keys.len()
-        };
-        let xlate_table_addr = if needs_translator {
-            Some(self.reserve_data(4 + 8 * mapped_key_count as u32))
+            let count = keys.len();
+            Some((self.reserve_data(4 + 8 * count as u32), count))
         } else {
             None
         };
         let mut runtime: Vec<(String, String)> = Vec::new();
-        if let Some(t) = xlate_table_addr {
+        if let Some((t, _)) = xlate_table {
             runtime.push((TRANSLATOR.to_string(), translator_asm(t)));
         }
         runtime.extend(self.runtime_routines.iter().cloned());
@@ -750,16 +1043,37 @@ impl Executable {
         // ---- pass 1: sizes and addresses ----------------------------------
         let text_base = self.image.text_addr;
         let mut addr = text_base;
-        // (routine idx, item idx) → address; and label tables.
+        // (routine idx, item idx) → address; and label tables. The
+        // original → edited address map is filled in the same walk (its
+        // entries depend only on each item's own address, and first
+        // occurrence wins either way); a separate map pass over every
+        // item used to cost several ms per whole-image write. Pre-sized:
+        // nearly every item contributes one mapping, and the table is
+        // large enough (one entry per original text word) that
+        // incremental rehashing shows up in whole-image profiles.
         let mut label_addr: HashMap<(usize, usize), u32> = HashMap::new();
         let mut item_addrs: Vec<Vec<u32>> = Vec::new();
+        let mut map: HashMap<u32, u32> = HashMap::with_capacity(total_items);
         for &ri in &order {
             let layout = &layouts[&ri];
             let mut addrs = Vec::with_capacity(layout.items.len());
             for item in &layout.items {
                 addrs.push(addr);
-                if let Item::Label(l) = item {
-                    label_addr.insert((ri, *l), addr);
+                match item {
+                    Item::Label(l) => {
+                        label_addr.insert((ri, *l), addr);
+                    }
+                    Item::MapOrig(a)
+                    | Item::Orig { addr: a, .. }
+                    | Item::RawWord { addr: a, .. }
+                    | Item::BranchTo { orig: Some(a), .. }
+                    | Item::CallTo { orig: Some(a), .. }
+                    | Item::SethiHiOf { orig: Some(a), .. }
+                    | Item::OrLoOf { orig: Some(a), .. }
+                    | Item::TableWord { orig: Some(a), .. } => {
+                        map.entry(*a).or_insert(addr);
+                    }
+                    _ => {}
                 }
                 addr += item.size(&layout.snippets);
             }
@@ -790,32 +1104,7 @@ impl Executable {
             )));
         }
 
-        // ---- pass 2: original → edited address map ------------------------
-        let mut map: HashMap<u32, u32> = HashMap::new();
-        for (oi, &ri) in order.iter().enumerate() {
-            let layout = &layouts[&ri];
-            for (ii, item) in layout.items.iter().enumerate() {
-                let here = item_addrs[oi][ii];
-                match item {
-                    Item::MapOrig(a) => {
-                        map.entry(*a).or_insert(here);
-                    }
-                    Item::Orig { addr: a, .. } | Item::RawWord { addr: a, .. } => {
-                        map.entry(*a).or_insert(here);
-                    }
-                    Item::BranchTo { orig: Some(a), .. }
-                    | Item::CallTo { orig: Some(a), .. }
-                    | Item::SethiHiOf { orig: Some(a), .. }
-                    | Item::OrLoOf { orig: Some(a), .. }
-                    | Item::TableWord { orig: Some(a), .. } => {
-                        map.entry(*a).or_insert(here);
-                    }
-                    _ => {}
-                }
-            }
-        }
-
-        // ---- pass 3: resolve and encode ------------------------------------
+        // ---- pass 2: resolve and encode ------------------------------------
         let resolve = |tgt: &Tgt, ri: usize| -> Result<u32, EelError> {
             match tgt {
                 Tgt::Local(l) => label_addr
@@ -924,10 +1213,10 @@ impl Executable {
             let at = reserved_base + *off as usize;
             data[at..at + bytes.len()].copy_from_slice(bytes);
         }
-        if let Some(taddr) = xlate_table_addr {
+        if let Some((taddr, count)) = xlate_table {
             let mut pairs: Vec<(u32, u32)> = map.iter().map(|(&o, &n)| (o, n)).collect();
             pairs.sort_unstable();
-            debug_assert_eq!(pairs.len(), mapped_key_count);
+            debug_assert_eq!(pairs.len(), count);
             let off = (taddr - self.image.data_addr) as usize;
             data[off..off + 4].copy_from_slice(&(pairs.len() as u32).to_be_bytes());
             for (i, (old, new)) in pairs.iter().enumerate() {
@@ -954,7 +1243,7 @@ impl Executable {
                 symbols.push(s.clone());
             }
         }
-        if let Some(t) = xlate_table_addr {
+        if let Some((t, _)) = xlate_table {
             symbols.push(Symbol::object("__eel_xlate_table", t, 0));
         }
 

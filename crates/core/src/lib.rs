@@ -52,6 +52,7 @@ mod analysis;
 mod cfg;
 mod error;
 mod executable;
+mod fragment;
 mod instr;
 mod layout;
 pub mod par;
@@ -70,7 +71,8 @@ pub use cfg::{
     InsnAt,
 };
 pub use error::EelError;
-pub use executable::{Executable, RoutineId};
+pub use executable::{CfgBatchItem, Executable, RoutineId};
+pub use fragment::{decode_fragment, encode_fragment, routine_key, FragmentMeta};
 pub use instr::{AllocStats, Instruction, InstructionPool};
 pub use routine::Routine;
 pub use shared::Analysis;

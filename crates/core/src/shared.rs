@@ -11,6 +11,7 @@
 
 use crate::error::EelError;
 use crate::executable::{discover_routines, RoutineId};
+use crate::fragment::routine_key;
 use crate::instr::InstructionPool;
 use crate::routine::Routine;
 use eel_exe::Image;
@@ -44,6 +45,9 @@ pub struct Analysis {
     /// recorded so [`Analysis::approx_bytes`] can charge for the
     /// instruction objects every consumer re-interns.
     distinct_words: usize,
+    /// Per-routine content keys ([`crate::routine_key`]), in discovery
+    /// order — the identities the serve-side fragment tier caches under.
+    routine_keys: Vec<u64>,
 }
 
 impl Analysis {
@@ -57,11 +61,17 @@ impl Analysis {
         image.validate()?;
         let mut pool = InstructionPool::new();
         let discovery = discover_routines(&image, &mut pool)?;
+        let routine_keys = discovery
+            .routines
+            .iter()
+            .map(|r| routine_key(&image, r))
+            .collect();
         Ok(Analysis {
             image,
             routines: discovery.routines,
             hidden: discovery.hidden,
             distinct_words: pool.len(),
+            routine_keys,
         })
     }
 
@@ -86,6 +96,13 @@ impl Analysis {
     /// The hidden routines awaiting the Figure 1 drain loop.
     pub(crate) fn hidden_queue(&self) -> &[RoutineId] {
         &self.hidden
+    }
+
+    /// Per-routine content keys, in discovery order (same indices as
+    /// [`Analysis::routines`]). These are what the eel-serve fragment
+    /// tier caches per-routine artifacts under.
+    pub fn routine_keys(&self) -> &[u64] {
+        &self.routine_keys
     }
 
     /// Approximate resident size in bytes — the currency of eel-serve's
@@ -129,10 +146,15 @@ impl Analysis {
             })
             .sum::<usize>();
         let interned = self.distinct_words * INTERNED_WORD;
+        // The per-routine content keys the fragment tier shares with
+        // whole-image entries: one u64 per routine plus the Vec's own
+        // heap block.
+        let fragment_keys = self.routine_keys.len() * std::mem::size_of::<u64>() + ALLOC_OVERHEAD;
         std::mem::size_of::<Analysis>()
             + image
             + routines
             + self.hidden.len() * std::mem::size_of::<RoutineId>()
             + interned
+            + fragment_keys
     }
 }

@@ -129,6 +129,13 @@ impl Snippet {
         self
     }
 
+    /// Whether a placement call-back is attached. Call-backs are
+    /// arbitrary closures, so layouts holding one cannot be serialized
+    /// into analysis fragments (`crate::fragment`).
+    pub(crate) fn has_callback(&self) -> bool {
+        self.callback.is_some()
+    }
+
     /// Marks instruction `idx` as a call to the named run-time routine
     /// (added via [`crate::Executable::add_runtime_routine`]); the editor
     /// patches its displacement at final placement.

@@ -1,0 +1,141 @@
+//! Per-routine fragment probing: content keys, hit validation, and the
+//! replay of discovery side effects that keeps a probed batch
+//! byte-identical to an unprobed one.
+
+use eel_cc::{compile_str, Options};
+use eel_core::{Analysis, Executable, FragmentMeta, Routine};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn program() -> &'static str {
+    r#"
+    global data[32];
+    fn helper(x) { data[x & 31] = x; return data[x & 31] * 2; }
+    fn double(x) { return x + x; }
+    fn main() {
+        var i; var t = 0;
+        for (i = 0; i < 12; i = i + 1) { t = t + helper(i) + double(i); }
+        return t & 255;
+    }"#
+}
+
+fn analysis() -> Arc<Analysis> {
+    let image = compile_str(program(), &Options::default()).unwrap();
+    Arc::new(Analysis::compute(Arc::new(image)).unwrap())
+}
+
+/// One routine-table row: name, start, end, entries, hidden.
+type TableRow = (String, u32, u32, Vec<u32>, bool);
+
+/// Routine-table fingerprint: everything later passes consume.
+fn table(exec: &Executable) -> Vec<TableRow> {
+    exec.routines()
+        .iter()
+        .map(|r| {
+            (
+                r.name(),
+                r.start(),
+                r.end(),
+                r.entries().to_vec(),
+                r.is_hidden(),
+            )
+        })
+        .collect()
+}
+
+/// Runs an unprobed batch and records each clean routine's would-be
+/// fragment metadata under its content key.
+fn record(a: &Arc<Analysis>) -> (HashMap<u64, FragmentMeta>, Vec<TableRow>) {
+    let mut exec = Executable::from_analysis(a);
+    let mut none = |_r: &Routine, _k: u64| None;
+    let items = exec.build_all_cfgs_probed(1, &mut none).unwrap();
+    let mut metas = HashMap::new();
+    for it in &items {
+        assert!(it.cfg.is_some(), "no probe: everything is built live");
+        if it.clean {
+            metas.insert(
+                it.key,
+                FragmentMeta {
+                    start: it.routine.start(),
+                    escapes: it.escapes.clone(),
+                    splits: it.splits.clone(),
+                },
+            );
+        }
+    }
+    (metas, table(&exec))
+}
+
+#[test]
+fn validated_hits_replay_side_effects_exactly() {
+    let a = analysis();
+    let (metas, cold_table) = record(&a);
+    assert!(!metas.is_empty(), "some routine must be cacheable");
+
+    for threads in [1, 2, 4] {
+        let mut exec = Executable::from_analysis(&a);
+        let mut probe = |_r: &Routine, k: u64| metas.get(&k).cloned();
+        let items = exec.build_all_cfgs_probed(threads, &mut probe).unwrap();
+        let hits = items.iter().filter(|it| it.cfg.is_none()).count();
+        assert_eq!(
+            hits,
+            metas.len(),
+            "threads={threads}: every recorded routine is a hit"
+        );
+        // The replayed side effects must leave the routine table —
+        // extents, entry points, split-off hidden routines — exactly as
+        // the live builds did: later layout passes consume this state.
+        assert_eq!(table(&exec), cold_table, "threads={threads}");
+    }
+}
+
+#[test]
+fn wrong_start_meta_is_rejected_and_rebuilt_live() {
+    let a = analysis();
+    let (metas, cold_table) = record(&a);
+
+    // A lying probe: right key, wrong position. Rendered fragments embed
+    // absolute addresses, so honoring this would corrupt the output.
+    let mut exec = Executable::from_analysis(&a);
+    let mut probe = |_r: &Routine, k: u64| {
+        metas.get(&k).map(|m| FragmentMeta {
+            start: m.start.wrapping_add(4),
+            escapes: m.escapes.clone(),
+            splits: m.splits.clone(),
+        })
+    };
+    let items = exec.build_all_cfgs_probed(1, &mut probe).unwrap();
+    assert!(
+        items.iter().all(|it| it.cfg.is_some()),
+        "every mispositioned fragment falls back to a live build"
+    );
+    assert_eq!(table(&exec), cold_table);
+}
+
+#[test]
+fn fanout_skip_with_stitch_miss_still_builds_live() {
+    // In the parallel path a fragment hit at fan-out time skips the
+    // speculative build, leaving no memo entry. If the authoritative
+    // stitch-time probe then *misses* (tier evicted between the two
+    // probes, say), the routine must fall back to a live sequential
+    // build — never a stale fragment, never a missing CFG.
+    let a = analysis();
+    let (metas, cold_table) = record(&a);
+    assert!(!metas.is_empty());
+
+    let mut exec = Executable::from_analysis(&a);
+    let mut calls: HashMap<u64, u32> = HashMap::new();
+    let mut probe = |_r: &Routine, k: u64| {
+        let n = calls.entry(k).or_insert(0);
+        *n += 1;
+        // Hit only on the first probe of each key (the fan-out prelude);
+        // miss at stitch.
+        (*n == 1).then(|| metas.get(&k).cloned()).flatten()
+    };
+    let items = exec.build_all_cfgs_probed(4, &mut probe).unwrap();
+    assert!(
+        items.iter().all(|it| it.cfg.is_some()),
+        "a stitch-time miss must produce a live build"
+    );
+    assert_eq!(table(&exec), cold_table);
+}

@@ -87,6 +87,92 @@ pub fn degrade_symbols(image: &mut Image, seed: u64) {
     }
 }
 
+/// Produces a *near-duplicate twin* of an image by bumping one ALU
+/// immediate inside a single routine — the workload for the per-routine
+/// fragment cache: every other routine's bytes (and therefore its
+/// content key) are untouched, so an incremental analysis recomputes
+/// exactly one routine.
+///
+/// Eligible routines are those whose extent (taken from the symbol
+/// table, sorted by address so the choice is deterministic) contains at
+/// least one format-3 ALU instruction with an immediate operand; `k`
+/// indexes into that list modulo its length, so any `k` names *some*
+/// routine whenever one is eligible. The immediate is bumped by one
+/// (decremented at the simm13 ceiling), which keeps the word a valid
+/// instruction of the same shape — the twin is meant to be *analyzed*,
+/// not executed.
+///
+/// Returns the mutated routine's name and the patched address, or
+/// `None` when no routine contains an ALU immediate.
+pub fn mutate_routine(image: &mut Image, k: usize) -> Option<(String, u32)> {
+    use eel_isa::{Op, Src2};
+
+    // Symbol sizes are 0 in WEF images; a routine's extent runs to the
+    // next routine symbol (or the end of text), like §3.1 discovery.
+    let mut starts: Vec<(String, u32)> = image
+        .symbols
+        .iter()
+        .filter(|s| s.kind == SymbolKind::Routine)
+        .map(|s| (s.name.clone(), s.value))
+        .collect();
+    starts.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    let text_end = image.text_addr + image.text.len() as u32;
+    let mut routines: Vec<(String, u32, u32)> = Vec::with_capacity(starts.len());
+    for i in 0..starts.len() {
+        let end = starts.get(i + 1).map_or(text_end, |n| n.1);
+        let (name, start) = starts[i].clone();
+        routines.push((name, start, end));
+    }
+
+    // A routine is eligible with its first ALU-immediate word. Text
+    // addresses in dispatch tables decode as format-0 words, never as
+    // format-3 ALU, so data-in-text is never patched by accident.
+    let mut eligible: Vec<(String, u32, eel_isa::Insn)> = Vec::new();
+    for (name, start, end) in routines {
+        let hit = (start..end).step_by(4).find_map(|addr| {
+            let insn = eel_isa::decode(image.word_at(addr)?);
+            match insn.op {
+                Op::Alu {
+                    src2: Src2::Imm(_), ..
+                } => Some((addr, insn)),
+                _ => None,
+            }
+        });
+        if let Some((addr, insn)) = hit {
+            eligible.push((name, addr, insn));
+        }
+    }
+    if eligible.is_empty() {
+        return None;
+    }
+    let (name, addr, insn) = eligible.swap_remove(k % eligible.len());
+    let Op::Alu {
+        op,
+        cc,
+        rd,
+        rs1,
+        src2: Src2::Imm(v),
+    } = insn.op
+    else {
+        unreachable!("eligibility filtered for ALU immediates");
+    };
+    let bumped = if Src2::fits_simm13(v + 1) {
+        v + 1
+    } else {
+        v - 1
+    };
+    let word = eel_isa::encode(&Op::Alu {
+        op,
+        cc,
+        rd,
+        rs1,
+        src2: Src2::Imm(bumped),
+    });
+    let at = (addr - image.text_addr) as usize;
+    image.text[at..at + 4].copy_from_slice(&word.to_be_bytes());
+    Some((name, addr))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +279,41 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", w.name));
             assert_eq!(before.exit_code, after.exit_code, "{} seed {seed}", w.name);
             assert_eq!(before.output, after.output, "{} seed {seed}", w.name);
+        }
+    }
+
+    /// A mutated twin differs from its base in exactly one word, inside
+    /// the named routine, deterministically for a given `k`.
+    #[test]
+    fn mutate_routine_changes_exactly_one_word() {
+        let base = compile(&suite()[0], Personality::Gcc).unwrap();
+        for k in [0usize, 1, 5] {
+            let mut twin = base.clone();
+            let (name, addr) = mutate_routine(&mut twin, k).expect("suite has ALU immediates");
+            let diffs: Vec<usize> = base
+                .text
+                .iter()
+                .zip(&twin.text)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(i, _)| i)
+                .collect();
+            assert!(!diffs.is_empty(), "k={k}: the twin differs");
+            let word = (addr - base.text_addr) as usize;
+            assert!(
+                diffs.iter().all(|&i| i / 4 * 4 == word),
+                "k={k}: every changed byte is in the patched word"
+            );
+            let sym = twin
+                .symbols
+                .iter()
+                .find(|s| s.name == name && s.kind == SymbolKind::Routine)
+                .expect("mutated routine is a symbol");
+            assert!(addr >= sym.value, "k={k}: patch lands at or after {name}");
+            // Determinism: the same k produces the same twin.
+            let mut again = base.clone();
+            assert_eq!(mutate_routine(&mut again, k), Some((name, addr)));
+            assert_eq!(again.text, twin.text);
         }
     }
 

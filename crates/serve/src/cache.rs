@@ -187,11 +187,17 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlightLru<K, V> {
         );
         inner.order.push_back(key);
         inner.bytes += cost;
+        let evicted = Self::evict_over_budget(&mut inner, self.budget);
+        self.ready.notify_all();
+        (value, false, evicted)
+    }
+
+    /// Evicts until the budget holds (the newest entry is always
+    /// spared): cheap entries first in LRU order among themselves, then
+    /// expensive ones oldest-first. Returns the victims for demotion.
+    fn evict_over_budget(inner: &mut Inner<K, V>, budget: usize) -> Vec<(K, V)> {
         let mut evicted = Vec::new();
-        while inner.bytes > self.budget && inner.order.len() > 1 {
-            // Cheap entries yield first (LRU order among themselves);
-            // only when none remain do expensive entries go, oldest
-            // first. The just-inserted entry at the back is spared.
+        while inner.bytes > budget && inner.order.len() > 1 {
             let candidates = inner.order.len() - 1;
             let victim_pos = inner
                 .order
@@ -216,8 +222,62 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlightLru<K, V> {
                 evicted.push((victim, value));
             }
         }
-        self.ready.notify_all();
-        (value, false, evicted)
+        evicted
+    }
+
+    /// A plain non-blocking lookup: clones the value out and refreshes
+    /// the key's LRU position if ready; returns `None` otherwise —
+    /// including for a key that is merely in flight (this never waits).
+    /// The fragment tier probes with this inside another entry's
+    /// single-flight compute, where blocking would risk deadlock.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.slots.get(key) {
+            Some(Slot::Ready { value, .. }) => {
+                let value = value.clone();
+                let pos = inner.order.iter().position(|k| k == key);
+                if let Some(pos) = pos {
+                    let k = inner.order.remove(pos).expect("position in range");
+                    inner.order.push_back(k);
+                }
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// A plain insertion (no single-flight protocol): stores the value,
+    /// replacing any previous *ready* entry under the key, and returns
+    /// what the insertion evicted for demotion. If the key is in flight
+    /// the insertion yields — the computing thread publishes its own
+    /// result momentarily, the same last-writer-wins outcome. Fragment
+    /// writes use this: they happen *inside* a whole-image entry's
+    /// compute, where joining the single-flight protocol would
+    /// self-deadlock (fragment keys never go through
+    /// [`SingleFlightLru::get_or_compute`], so in practice the in-flight
+    /// arm never triggers for them).
+    pub fn insert(&self, key: K, value: V, cost: usize, class: CostClass) -> Vec<(K, V)> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let old_cost = match inner.slots.get(&key) {
+            Some(Slot::InFlight) => return Vec::new(),
+            Some(Slot::Ready { cost, .. }) => Some(*cost),
+            None => None,
+        };
+        if let Some(old_cost) = old_cost {
+            // Replace in place: budget swaps the old cost for the new;
+            // LRU position refreshes.
+            inner.bytes -= old_cost;
+            let pos = inner.order.iter().position(|k| *k == key);
+            if let Some(pos) = pos {
+                let k = inner.order.remove(pos).expect("position in range");
+                inner.order.push_back(k);
+            }
+        } else {
+            inner.order.push_back(key.clone());
+        }
+        inner.slots.insert(key, Slot::Ready { value, cost, class });
+        inner.bytes += cost;
+        Self::evict_over_budget(&mut inner, self.budget)
     }
 
     /// Bytes currently charged against the budget.
@@ -368,6 +428,69 @@ mod tests {
         assert!(evicted.is_empty());
         let (_, hit) = cache.get_or_compute(1, || unreachable!());
         assert!(hit, "sole entry survives regardless of class");
+    }
+
+    #[test]
+    fn get_is_nonblocking_and_touches_lru() {
+        let cache: SingleFlightLru<u64, u64> = SingleFlightLru::new(100);
+        assert_eq!(cache.get(&1), None, "absent key misses");
+        cache.insert(1, 11, 40, CostClass::Cheap);
+        cache.insert(2, 22, 40, CostClass::Cheap);
+        assert_eq!(cache.get(&1), Some(11));
+        // The get refreshed 1's recency, so overflowing evicts 2 first.
+        let evicted = cache.insert(3, 33, 40, CostClass::Cheap);
+        assert_eq!(evicted, vec![(2, 22)]);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&2), None);
+    }
+
+    #[test]
+    fn get_misses_on_in_flight_key_instead_of_waiting() {
+        let cache: Arc<SingleFlightLru<u64, u64>> = Arc::new(SingleFlightLru::new(100));
+        let peer = Arc::clone(&cache);
+        let worker = std::thread::spawn(move || {
+            peer.get_or_compute(7, || {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                (99, 8)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        // The compute is still running: a plain get must return
+        // immediately rather than join the single-flight wait.
+        assert_eq!(cache.get(&7), None);
+        worker.join().unwrap();
+        assert_eq!(cache.get(&7), Some(99));
+    }
+
+    #[test]
+    fn insert_replaces_in_place_and_swaps_budget() {
+        let cache: SingleFlightLru<u64, u64> = SingleFlightLru::new(100);
+        cache.insert(1, 11, 60, CostClass::Cheap);
+        assert_eq!(cache.bytes(), 60);
+        let evicted = cache.insert(1, 12, 90, CostClass::Cheap);
+        assert!(evicted.is_empty(), "replacement swaps cost, no eviction");
+        assert_eq!(cache.bytes(), 90);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&1), Some(12));
+    }
+
+    #[test]
+    fn insert_yields_to_in_flight_compute() {
+        let cache: Arc<SingleFlightLru<u64, u64>> = Arc::new(SingleFlightLru::new(100));
+        let peer = Arc::clone(&cache);
+        let worker = std::thread::spawn(move || {
+            peer.get_or_compute(7, || {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                (99, 8)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let evicted = cache.insert(7, 1, 8, CostClass::Cheap);
+        assert!(evicted.is_empty());
+        worker.join().unwrap();
+        // The in-flight compute's publication wins.
+        assert_eq!(cache.get(&7), Some(99));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

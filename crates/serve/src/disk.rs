@@ -7,6 +7,13 @@
 //! second, compute last, and a disk hit is promoted back into the LRU by
 //! the caller.
 //!
+//! Two entry populations share the directory and the byte budget:
+//! whole-image results (`.eelc`, hash = image content hash) and
+//! per-routine analysis fragments (`.eelf`, ops prefixed `frag.`, hash =
+//! routine content key). The format below is identical for both; only
+//! the suffix differs, so operators can size each population at a
+//! glance.
+//!
 //! **Entry format** (all integers big-endian):
 //!
 //! ```text
@@ -62,9 +69,30 @@ const MAGIC: [u8; 4] = *b"EELC";
 /// Fixed header length in front of the op name and payload.
 const HEADER_LEN: usize = 28;
 
-/// Filename suffix for committed entries; anything else in the
-/// directory is ignored by the janitor and the scanner.
+/// Filename suffix for committed whole-image result entries; anything
+/// the janitor and the scanner don't recognize is ignored.
 const ENTRY_SUFFIX: &str = ".eelc";
+
+/// Filename suffix for per-routine fragment sidecars (ops carrying the
+/// `frag.` prefix, keyed by routine content key instead of image hash).
+/// A distinct suffix keeps the two populations visible to operators —
+/// `ls *.eelf` shows exactly the fragment tier — while the janitor and
+/// budget treat both uniformly.
+const FRAGMENT_SUFFIX: &str = ".eelf";
+
+/// The on-disk suffix an op's entries are committed under.
+fn suffix_for(op: &str) -> &'static str {
+    if op.starts_with("frag.") {
+        FRAGMENT_SUFFIX
+    } else {
+        ENTRY_SUFFIX
+    }
+}
+
+/// Is this filename a committed cache entry (either population)?
+fn is_entry_name(name: &str) -> bool {
+    name.ends_with(ENTRY_SUFFIX) || name.ends_with(FRAGMENT_SUFFIX)
+}
 
 /// The disk tier. One instance per server, shared across workers; all
 /// methods take `&self` and are safe to call concurrently (the worst
@@ -109,7 +137,7 @@ impl DiskCache {
             let name = name.to_string_lossy();
             if name.contains(".tmp") {
                 let _ = fs::remove_file(entry.path());
-            } else if name.ends_with(ENTRY_SUFFIX) {
+            } else if is_entry_name(&name) {
                 total += entry.metadata().map(|m| m.len()).unwrap_or(0);
             }
         }
@@ -135,7 +163,7 @@ impl DiskCache {
     }
 
     fn entry_path(&self, hash: u64, op: &str) -> PathBuf {
-        self.dir.join(format!("{hash:016x}.{op}{ENTRY_SUFFIX}"))
+        self.dir.join(format!("{hash:016x}.{op}{}", suffix_for(op)))
     }
 
     /// Looks up `(hash, op)`. `Some` is a validated payload
@@ -274,7 +302,7 @@ impl DiskCache {
         let mut out = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
-            if !entry.file_name().to_string_lossy().ends_with(ENTRY_SUFFIX) {
+            if !is_entry_name(&entry.file_name().to_string_lossy()) {
                 continue;
             }
             let meta = entry.metadata()?;
@@ -428,6 +456,31 @@ mod tests {
         assert_eq!(cache.load(1, "stat"), None, "oldest pruned");
         assert!(cache.load(2, "stat").is_some());
         assert!(cache.load(3, "stat").is_some(), "newest always survives");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fragment_ops_commit_under_the_eelf_suffix() {
+        let dir = tmp_dir("fragments");
+        let cache = DiskCache::open(&dir, 1 << 20);
+        cache.store(0x42, "frag.disasm", b"  0x00010000:  nop\n");
+        cache.store(0x42, "disasm", b"whole image body");
+        let frag = cache.entry_path(0x42, "frag.disasm");
+        assert!(
+            frag.to_string_lossy().ends_with(".eelf"),
+            "fragment sidecars are .eelf files"
+        );
+        assert!(cache
+            .entry_path(0x42, "disasm")
+            .to_string_lossy()
+            .ends_with(".eelc"));
+        // Both populations round-trip and count toward the budget scan.
+        assert_eq!(
+            cache.load(0x42, "frag.disasm").as_deref(),
+            Some(&b"  0x00010000:  nop\n"[..])
+        );
+        assert_eq!(cache.len(), 2);
+        assert!(cache.bytes() > 0);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -21,6 +21,15 @@
 //! `ServerConfig::analysis_threads`), byte-for-byte identical to the
 //! sequential result.
 //!
+//! Below the whole-image cache sits a **per-routine fragment tier**
+//! ([`FragmentTier`], [`run_op_fragments`]): each analysis op
+//! decomposes into per-routine fragments keyed by a position-independent
+//! content key over the routine's own bytes, so a near-duplicate image —
+//! one routine changed out of N — recomputes only the changed routine
+//! and stitches the rest from cache, byte-identical to a cold run.
+//! Computed responses report the reuse as `fragments: Some((hits,
+//! total))` ([`Response::Ok`]).
+//!
 //! Operations: `disasm`, `cfg-summary`, `liveness`, `stat`,
 //! `instrument` (qpt-style edge-count instrumentation returning the
 //! edited executable), plus the control ops `ping`, `metrics` (renders
@@ -65,7 +74,10 @@ mod server;
 pub use cache::{content_hash, CostClass, SingleFlightLru};
 pub use client::{Client, Session};
 pub use disk::{DiskCache, DISK_FORMAT_VERSION};
-pub use ops::{recompute_cost, run_op, run_op_with, CACHED_OPS};
+pub use ops::{
+    recompute_cost, run_op, run_op_fragments, run_op_with, FragmentStats, FragmentTier,
+    NoFragments, CACHED_OPS,
+};
 pub use proto::{
     read_frame, write_frame, CacheTier, Payload, Request, Response, SessionFrame, SessionReply,
     MAX_FRAME, SESSION_VERSION, VERSION,

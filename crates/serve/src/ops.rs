@@ -5,9 +5,30 @@
 //! content-addressed cache sound: same WEF bytes + same op name ⇒ same
 //! result. Text-producing ops render stable, line-oriented listings;
 //! `instrument` returns the edited executable's WEF bytes.
+//!
+//! ## Per-routine fragments
+//!
+//! Whole-image results additionally decompose per routine: each op's
+//! output is a deterministic composition of per-routine pieces
+//! ("fragments") keyed by the routine's content key
+//! ([`eel_core::routine_key`]). [`run_op_fragments`] consults a
+//! [`FragmentTier`] before building each routine — a validated hit
+//! skips that routine's CFG construction (and, for `instrument`, its
+//! liveness and snippet materialization too) and stitches the cached
+//! piece into the output. A near-duplicate image that shares N−1
+//! routines with a cached one therefore recomputes only the changed
+//! routine. Reuse is validated (start address + escape-target
+//! registration, see [`eel_core::FragmentMeta`]) so the composed result
+//! is **byte-identical** to a cold recompute; anything suspicious falls
+//! back to the live build.
 
 use crate::cache::CostClass;
-use eel_core::{Analysis, BlockKind, Executable, Liveness, Snippet};
+use eel_core::{
+    Analysis, BlockKind, Cfg, CfgBatchItem, EdgeId, Executable, FragmentMeta, Liveness, Routine,
+    Snippet,
+};
+use eel_exe::Image;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -18,6 +39,40 @@ use std::sync::Arc;
 /// also eligible for the on-disk spill tier — success results persist
 /// across restarts; error results stay memory-only.
 pub const CACHED_OPS: &[&str] = &["disasm", "cfg-summary", "liveness", "stat", "instrument"];
+
+/// A per-routine fragment store consulted by [`run_op_fragments`].
+/// Implementations are free to back this with anything — the server
+/// routes it through the shared LRU (under `(routine_key, "frag.<op>")`
+/// keys) and the disk spill tier (`.eelf` sidecars); benches use a plain
+/// in-memory map.
+pub trait FragmentTier {
+    /// The stored fragment for `(routine_key, op)`, if any.
+    fn load(&self, key: u64, op: &str) -> Option<Vec<u8>>;
+    /// Stores a freshly computed fragment for `(routine_key, op)`.
+    fn store(&self, key: u64, op: &str, bytes: &[u8]);
+}
+
+/// The always-miss tier: probes return nothing, stores vanish. With
+/// this tier [`run_op_fragments`] *is* the plain cold path, which is
+/// exactly how [`run_op_with`] is implemented — one code path, so the
+/// byte-identity of warm and cold composition is structural.
+pub struct NoFragments;
+
+impl FragmentTier for NoFragments {
+    fn load(&self, _key: u64, _op: &str) -> Option<Vec<u8>> {
+        None
+    }
+    fn store(&self, _key: u64, _op: &str, _bytes: &[u8]) {}
+}
+
+/// How much of an op's work the fragment tier absorbed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentStats {
+    /// Routines stitched from validated cached fragments.
+    pub hits: u32,
+    /// Routines the op processed in total.
+    pub total: u32,
+}
 
 /// Runs one cacheable operation against a shared analysis, sequentially
 /// (one analysis thread). Equivalent to `run_op_with(op, analysis, 1)`.
@@ -32,7 +87,7 @@ pub fn run_op(op: &str, analysis: &Analysis) -> Result<Vec<u8>, String> {
 
 /// Runs one cacheable operation, fanning the per-routine CFG builds out
 /// over `threads` worker threads (0 = one per core, 1 = sequential) via
-/// [`Executable::build_all_cfgs`]. The result is **byte-for-byte
+/// [`Executable::build_all_cfgs_probed`]. The result is **byte-for-byte
 /// identical** at every thread count — parallelism here is purely a
 /// latency knob, never a cache-correctness concern.
 ///
@@ -40,12 +95,28 @@ pub fn run_op(op: &str, analysis: &Analysis) -> Result<Vec<u8>, String> {
 ///
 /// As [`run_op`].
 pub fn run_op_with(op: &str, analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
+    run_op_fragments(op, analysis, threads, &NoFragments).map(|(body, _)| body)
+}
+
+/// [`run_op_with`] with a per-routine [`FragmentTier`]: unchanged
+/// routines stitch from cache, fresh *clean* routines write their
+/// fragments back. Returns the composed body plus hit statistics.
+///
+/// # Errors
+///
+/// As [`run_op`].
+pub fn run_op_fragments(
+    op: &str,
+    analysis: &Analysis,
+    threads: usize,
+    tier: &dyn FragmentTier,
+) -> Result<(Vec<u8>, FragmentStats), String> {
     match op {
-        "disasm" => disasm(analysis, threads),
-        "cfg-summary" => cfg_summary(analysis, threads),
-        "liveness" => liveness(analysis, threads),
-        "stat" => stat(analysis),
-        "instrument" => instrument(analysis, threads),
+        "disasm" => disasm(analysis, threads, tier),
+        "cfg-summary" => cfg_summary(analysis, threads, tier),
+        "liveness" => liveness(analysis, threads, tier),
+        "stat" => stat(analysis).map(|b| (b, FragmentStats::default())),
+        "instrument" => instrument(analysis, threads, tier),
         other => Err(format!(
             "unknown op {other:?} (expected one of {CACHED_OPS:?}, edit, ping, metrics, shutdown)"
         )),
@@ -57,8 +128,12 @@ pub fn run_op_with(op: &str, analysis: &Analysis, threads: usize) -> Result<Vec<
 /// whole per-routine CFG pipeline (milliseconds); `stat`,
 /// `cfg-summary`, and `liveness` render small summaries whose recompute
 /// is comparable to a disk reload (tens of microseconds), so their
-/// cache entries yield budget first.
+/// cache entries yield budget first. Fragment entries (`frag.<op>`
+/// keys) inherit the class of the op they shard.
 pub fn recompute_cost(op: &str) -> CostClass {
+    if let Some(inner) = op.strip_prefix("frag.") {
+        return recompute_cost(inner);
+    }
     // `edit` results are keyed as `edit-{script_hash}` (one cache entry
     // per distinct script), so match on the prefix.
     if op == "edit" || op.starts_with("edit-") {
@@ -74,13 +149,74 @@ fn err(op: &str, e: impl std::fmt::Display) -> String {
     format!("{op}: {e}")
 }
 
+/// Per-request memo of fragment loads: fan-out and stitch both probe,
+/// so each `(routine_key, op)` hits the tier at most once.
+type Loaded = HashMap<u64, Option<Vec<u8>>>;
+
+/// Runs the probed CFG batch for one op. `payload_ok` pre-validates the
+/// fragment's op payload so a stitch-phase hit is guaranteed renderable
+/// (the meta prefix is validated by core).
+fn batch_with_probe(
+    op: &str,
+    exec: &mut Executable,
+    threads: usize,
+    tier: &dyn FragmentTier,
+    loaded: &mut Loaded,
+    payload_ok: &dyn Fn(&[u8]) -> bool,
+) -> Result<Vec<CfgBatchItem>, String> {
+    let mut probe = |_r: &Routine, key: u64| -> Option<FragmentMeta> {
+        let bytes = loaded
+            .entry(key)
+            .or_insert_with(|| tier.load(key, op))
+            .as_deref()?;
+        let (meta, payload) = eel_core::decode_fragment(bytes)?;
+        payload_ok(payload).then_some(meta)
+    };
+    exec.build_all_cfgs_probed(threads, &mut probe)
+        .map_err(|e| err(op, e))
+}
+
+/// The memoized payload for a stitch-phase hit. Falls back to empty on
+/// the (probe-validated, hence unreachable) decode failure.
+fn hit_payload(loaded: &Loaded, key: u64) -> &[u8] {
+    loaded
+        .get(&key)
+        .and_then(|o| o.as_deref())
+        .and_then(eel_core::decode_fragment)
+        .map(|(_, payload)| payload)
+        .unwrap_or_default()
+}
+
+/// Wraps an op payload in the validated fragment container and stores it.
+fn store_fragment(tier: &dyn FragmentTier, op: &str, item: &CfgBatchItem, payload: &[u8]) {
+    let meta = FragmentMeta {
+        start: item.routine.start(),
+        escapes: item.escapes.clone(),
+        splits: item.splits.clone(),
+    };
+    tier.store(item.key, op, &eel_core::encode_fragment(&meta, payload));
+}
+
 /// A disassembly listing with routine headers and dispatch-table
-/// annotations — the service twin of `eelobjdump`.
-fn disasm(analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
+/// annotations — the service twin of `eelobjdump`. The header embeds
+/// the routine's (possibly image-specific) name and start, so only the
+/// body below it is the cached fragment.
+fn disasm(
+    analysis: &Analysis,
+    threads: usize,
+    tier: &dyn FragmentTier,
+) -> Result<(Vec<u8>, FragmentStats), String> {
     let mut exec = Executable::from_analysis(analysis);
     let image = analysis.image();
+    let mut loaded = Loaded::new();
+    let items = batch_with_probe("disasm", &mut exec, threads, tier, &mut loaded, &|p| {
+        std::str::from_utf8(p).is_ok()
+    })?;
+    let mut stats = FragmentStats::default();
     let mut out = String::new();
-    for (routine, cfg) in exec.build_all_cfgs(threads).map_err(|e| err("disasm", e))? {
+    for item in &items {
+        stats.total += 1;
+        let routine = &item.routine;
         let _ = writeln!(
             out,
             "{:#010x} <{}>{}:",
@@ -88,78 +224,164 @@ fn disasm(analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
             routine.name(),
             if routine.is_hidden() { " (hidden)" } else { "" }
         );
-        let mut addr = routine.start();
-        while addr < routine.end() {
-            let word = image.word_at(addr).unwrap_or(0);
-            let in_table = cfg
-                .data_ranges()
-                .iter()
-                .any(|r| addr >= r.start && addr < r.end);
-            if in_table {
-                let _ = writeln!(out, "  {addr:#010x}:  .word {word:#010x}  ; dispatch table");
-            } else {
-                let _ = writeln!(out, "  {addr:#010x}:  {}", eel_isa::decode(word));
+        match &item.cfg {
+            None => {
+                stats.hits += 1;
+                out.push_str(&String::from_utf8_lossy(hit_payload(&loaded, item.key)));
             }
-            addr += 4;
+            Some(cfg) => {
+                let body = disasm_body(image, routine, cfg);
+                out.push_str(&body);
+                if item.clean {
+                    store_fragment(tier, "disasm", item, body.as_bytes());
+                }
+            }
         }
-        out.push('\n');
     }
-    Ok(out.into_bytes())
+    Ok((out.into_bytes(), stats))
 }
 
-/// Per-routine CFG statistics plus whole-program totals.
-fn cfg_summary(analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
-    let mut exec = Executable::from_analysis(analysis);
+fn disasm_body(image: &Image, routine: &Routine, cfg: &Cfg) -> String {
     let mut out = String::new();
-    let (mut blocks, mut edges, mut insns) = (0usize, 0usize, 0usize);
-    for (routine, cfg) in exec
-        .build_all_cfgs(threads)
-        .map_err(|e| err("cfg-summary", e))?
-    {
-        let name = routine.name();
-        let s = cfg.stats();
-        let _ =
-            writeln!(
-            out,
-            "{name}: blocks={} (delay={} surrogate={}) edges={} insns={} uneditable-edges={:.0}%{}",
-            s.total_blocks(),
-            s.delay_slot_blocks,
-            s.call_surrogate_blocks,
-            s.edges,
-            s.instructions,
-            100.0 * s.uneditable_edge_fraction(),
-            if cfg.is_incomplete() { " INCOMPLETE" } else { "" },
-        );
-        blocks += s.total_blocks();
-        edges += s.edges;
-        insns += s.instructions;
+    let mut addr = routine.start();
+    while addr < routine.end() {
+        let word = image.word_at(addr).unwrap_or(0);
+        let in_table = cfg
+            .data_ranges()
+            .iter()
+            .any(|r| addr >= r.start && addr < r.end);
+        if in_table {
+            let _ = writeln!(out, "  {addr:#010x}:  .word {word:#010x}  ; dispatch table");
+        } else {
+            let _ = writeln!(out, "  {addr:#010x}:  {}", eel_isa::decode(word));
+        }
+        addr += 4;
+    }
+    out.push('\n');
+    out
+}
+
+/// Per-routine CFG statistics plus whole-program totals. A fragment is
+/// the per-routine line minus the name, preceded by the three totals it
+/// contributes.
+fn cfg_summary(
+    analysis: &Analysis,
+    threads: usize,
+    tier: &dyn FragmentTier,
+) -> Result<(Vec<u8>, FragmentStats), String> {
+    let mut exec = Executable::from_analysis(analysis);
+    let mut loaded = Loaded::new();
+    let items = batch_with_probe("cfg-summary", &mut exec, threads, tier, &mut loaded, &|p| {
+        decode_summary_payload(p).is_some()
+    })?;
+    let mut stats = FragmentStats::default();
+    let mut out = String::new();
+    let (mut blocks, mut edges, mut insns) = (0u64, 0u64, 0u64);
+    for item in &items {
+        stats.total += 1;
+        out.push_str(&item.routine.name());
+        match &item.cfg {
+            None => {
+                stats.hits += 1;
+                if let Some((b, e, i, suffix)) =
+                    decode_summary_payload(hit_payload(&loaded, item.key))
+                {
+                    blocks += b;
+                    edges += e;
+                    insns += i;
+                    out.push_str(suffix);
+                }
+            }
+            Some(cfg) => {
+                let s = cfg.stats();
+                let suffix = format!(
+                    ": blocks={} (delay={} surrogate={}) edges={} insns={} uneditable-edges={:.0}%{}\n",
+                    s.total_blocks(),
+                    s.delay_slot_blocks,
+                    s.call_surrogate_blocks,
+                    s.edges,
+                    s.instructions,
+                    100.0 * s.uneditable_edge_fraction(),
+                    if cfg.is_incomplete() { " INCOMPLETE" } else { "" },
+                );
+                out.push_str(&suffix);
+                let (b, e, i) = (
+                    s.total_blocks() as u64,
+                    s.edges as u64,
+                    s.instructions as u64,
+                );
+                blocks += b;
+                edges += e;
+                insns += i;
+                if item.clean {
+                    let mut payload = Vec::with_capacity(24 + suffix.len());
+                    payload.extend_from_slice(&b.to_be_bytes());
+                    payload.extend_from_slice(&e.to_be_bytes());
+                    payload.extend_from_slice(&i.to_be_bytes());
+                    payload.extend_from_slice(suffix.as_bytes());
+                    store_fragment(tier, "cfg-summary", item, &payload);
+                }
+            }
+        }
     }
     let _ = writeln!(
         out,
         "TOTAL: routines={} blocks={blocks} edges={edges} insns={insns}",
         analysis.routines().len()
     );
-    Ok(out.into_bytes())
+    Ok((out.into_bytes(), stats))
+}
+
+fn decode_summary_payload(p: &[u8]) -> Option<(u64, u64, u64, &str)> {
+    if p.len() < 24 {
+        return None;
+    }
+    let b = u64::from_be_bytes(p[0..8].try_into().ok()?);
+    let e = u64::from_be_bytes(p[8..16].try_into().ok()?);
+    let i = u64::from_be_bytes(p[16..24].try_into().ok()?);
+    let suffix = std::str::from_utf8(&p[24..]).ok()?;
+    Some((b, e, i, suffix))
 }
 
 /// Entry live-in registers for every routine, from the CFG dataflow.
-fn liveness(analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
+/// The fragment is the line minus the routine name.
+fn liveness(
+    analysis: &Analysis,
+    threads: usize,
+    tier: &dyn FragmentTier,
+) -> Result<(Vec<u8>, FragmentStats), String> {
     let mut exec = Executable::from_analysis(analysis);
+    let mut loaded = Loaded::new();
+    let items = batch_with_probe("liveness", &mut exec, threads, tier, &mut loaded, &|p| {
+        std::str::from_utf8(p).is_ok()
+    })?;
+    let mut stats = FragmentStats::default();
     let mut out = String::new();
-    for (routine, cfg) in exec
-        .build_all_cfgs(threads)
-        .map_err(|e| err("liveness", e))?
-    {
-        let name = routine.name();
-        let live = Liveness::compute(&cfg);
-        let entry = live.live_in(cfg.entry_block());
-        let _ = writeln!(out, "{name}: entry-live-in={entry} ({} regs)", entry.len());
+    for item in &items {
+        stats.total += 1;
+        out.push_str(&item.routine.name());
+        match &item.cfg {
+            None => {
+                stats.hits += 1;
+                out.push_str(&String::from_utf8_lossy(hit_payload(&loaded, item.key)));
+            }
+            Some(cfg) => {
+                let live = Liveness::compute(cfg);
+                let entry = live.live_in(cfg.entry_block());
+                let suffix = format!(": entry-live-in={entry} ({} regs)\n", entry.len());
+                out.push_str(&suffix);
+                if item.clean {
+                    store_fragment(tier, "liveness", item, suffix.as_bytes());
+                }
+            }
+        }
     }
-    Ok(out.into_bytes())
+    Ok((out.into_bytes(), stats))
 }
 
 /// Image and discovery statistics: segment sizes, symbol and routine
-/// counts.
+/// counts. Builds no CFGs, so it neither consults nor produces
+/// fragments.
 fn stat(analysis: &Analysis) -> Result<Vec<u8>, String> {
     let image = analysis.image();
     let hidden = analysis.routines().iter().filter(|r| r.is_hidden()).count();
@@ -211,37 +433,123 @@ pub fn run_edit(analysis: &Arc<Analysis>, script: &str) -> Result<Vec<u8>, Strin
 /// `Granularity::Edges` (paper Figure 1), reimplemented here on eel-core
 /// so the service does not depend on the tools crate. Returns the edited
 /// executable's WEF bytes.
-fn instrument(analysis: &Analysis, threads: usize) -> Result<Vec<u8>, String> {
+///
+/// The per-routine fragment is the serialized instrumentation *plan*
+/// (`reserve | counter_base | layout`): a validated hit replays the
+/// routine's laid-out form directly, skipping CFG construction,
+/// liveness, and snippet placement. Data reservations happen in routine
+/// order on both paths, so a hit whose recorded counter base matches
+/// the live reservation installs as-is; a mismatch (different earlier
+/// routines reserved different amounts) redoes the edits against a
+/// purely rebuilt CFG — still byte-identical to cold.
+fn instrument(
+    analysis: &Analysis,
+    threads: usize,
+    tier: &dyn FragmentTier,
+) -> Result<(Vec<u8>, FragmentStats), String> {
     let mut exec = Executable::from_analysis(analysis);
     // CFG builds fan out first; editing (data reservation, snippet
     // placement, install) stays sequential in routine order. Builds
     // read only the original text, so batching them ahead of the edits
     // changes nothing about the output.
-    let built = exec
-        .build_all_cfgs(threads)
-        .map_err(|e| err("instrument", e))?;
-    for (_, mut cfg) in built {
-        let mut edges = Vec::new();
-        for (_, b) in cfg.blocks() {
-            if b.kind != BlockKind::Normal || b.succ().len() < 2 {
-                continue;
+    let mut loaded = Loaded::new();
+    let items = batch_with_probe("instrument", &mut exec, threads, tier, &mut loaded, &|p| {
+        decode_instrument_payload(p).is_some()
+    })?;
+    let mut stats = FragmentStats::default();
+    for mut item in items {
+        stats.total += 1;
+        match item.cfg.take() {
+            None => {
+                let plan = decode_instrument_payload(hit_payload(&loaded, item.key))
+                    .map(|(reserve, base, layout)| (reserve, base, layout.to_vec()));
+                match plan {
+                    Some((reserve, counter_base, layout)) => {
+                        let base = exec.reserve_data(reserve);
+                        if base == counter_base
+                            && exec.install_serialized_layout(item.id, &layout).is_ok()
+                        {
+                            stats.hits += 1;
+                            continue;
+                        }
+                        // The plan was recorded against a different counter
+                        // base (or failed to decode): rebuild the CFG purely
+                        // — the validated hit guarantees a clean build — and
+                        // redo the edits with the live base. The reservation
+                        // above already matches cold (same CFG ⇒ same edge
+                        // count ⇒ same reserve).
+                        let cfg = exec
+                            .build_cfg_snapshot(item.id, &item.routine)
+                            .map_err(|e| err("instrument", e))?;
+                        instrument_routine(&mut exec, cfg, Some(base))?;
+                    }
+                    None => {
+                        // Unreachable (the probe pre-validated the payload),
+                        // but fall back to the full cold path regardless.
+                        let cfg = exec
+                            .build_cfg_snapshot(item.id, &item.routine)
+                            .map_err(|e| err("instrument", e))?;
+                        instrument_routine(&mut exec, cfg, None)?;
+                    }
+                }
             }
-            for &e in b.succ() {
-                if cfg.edge(e).editable {
-                    edges.push(e);
+            Some(cfg) => {
+                let (reserve, base) = instrument_routine(&mut exec, cfg, None)?;
+                if item.clean {
+                    if let Some(layout) = exec.serialize_layout(item.id) {
+                        let mut payload = Vec::with_capacity(8 + layout.len());
+                        payload.extend_from_slice(&reserve.to_be_bytes());
+                        payload.extend_from_slice(&base.to_be_bytes());
+                        payload.extend_from_slice(&layout);
+                        store_fragment(tier, "instrument", &item, &payload);
+                    }
                 }
             }
         }
-        let base = exec.reserve_data(4 * edges.len().max(1) as u32);
-        for (k, e) in edges.into_iter().enumerate() {
-            let counter = base + 4 * k as u32;
-            cfg.add_code_along(e, Snippet::counter_increment(counter))
-                .map_err(|e| err("instrument", e))?;
-        }
-        exec.install_edits(cfg).map_err(|e| err("instrument", e))?;
     }
     let edited = exec.write_edited().map_err(|e| err("instrument", e))?;
-    Ok(edited.to_bytes())
+    Ok((edited.to_bytes(), stats))
+}
+
+/// Places edge counters in one routine's CFG and installs the result.
+/// `base` reuses an already-made reservation (the fragment fallback
+/// path); `None` reserves here, in routine order, exactly like the cold
+/// loop always has. Returns `(reserve, counter_base)` for fragment
+/// recording.
+fn instrument_routine(
+    exec: &mut Executable,
+    mut cfg: Cfg,
+    base: Option<u32>,
+) -> Result<(u32, u32), String> {
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for (_, b) in cfg.blocks() {
+        if b.kind != BlockKind::Normal || b.succ().len() < 2 {
+            continue;
+        }
+        for &e in b.succ() {
+            if cfg.edge(e).editable {
+                edges.push(e);
+            }
+        }
+    }
+    let reserve = 4 * edges.len().max(1) as u32;
+    let base = base.unwrap_or_else(|| exec.reserve_data(reserve));
+    for (k, e) in edges.into_iter().enumerate() {
+        let counter = base + 4 * k as u32;
+        cfg.add_code_along(e, Snippet::counter_increment(counter))
+            .map_err(|e| err("instrument", e))?;
+    }
+    exec.install_edits(cfg).map_err(|e| err("instrument", e))?;
+    Ok((reserve, base))
+}
+
+fn decode_instrument_payload(p: &[u8]) -> Option<(u32, u32, &[u8])> {
+    if p.len() <= 8 {
+        return None;
+    }
+    let reserve = u32::from_be_bytes(p[0..4].try_into().ok()?);
+    let base = u32::from_be_bytes(p[4..8].try_into().ok()?);
+    Some((reserve, base, &p[8..]))
 }
 
 #[cfg(test)]
@@ -249,6 +557,7 @@ mod tests {
     use super::*;
     use eel_exe::Image;
     use std::sync::Arc;
+    use std::sync::Mutex;
 
     fn analysis() -> Arc<Analysis> {
         let image = eel_cc::compile_str(
@@ -258,6 +567,35 @@ mod tests {
         )
         .expect("compile");
         Arc::new(Analysis::compute(Arc::new(image)).expect("analyze"))
+    }
+
+    fn multi_routine_analysis() -> Arc<Analysis> {
+        let image = eel_cc::compile_str(
+            "fn helper(x) { return x * 3 + 1; }
+             fn double(x) { return x + x; }
+             fn main() { var i; var t = 0;
+               for (i = 0; i < 5; i = i + 1) { t = t + helper(i) + double(i); }
+               return t; }",
+            &eel_cc::Options::default(),
+        )
+        .expect("compile");
+        Arc::new(Analysis::compute(Arc::new(image)).expect("analyze"))
+    }
+
+    /// In-memory fragment tier for tests and benches.
+    #[derive(Default)]
+    pub(crate) struct MemTier(Mutex<HashMap<(u64, String), Vec<u8>>>);
+
+    impl FragmentTier for MemTier {
+        fn load(&self, key: u64, op: &str) -> Option<Vec<u8>> {
+            self.0.lock().unwrap().get(&(key, op.to_string())).cloned()
+        }
+        fn store(&self, key: u64, op: &str, bytes: &[u8]) {
+            self.0
+                .lock()
+                .unwrap()
+                .insert((key, op.to_string()), bytes.to_vec());
+        }
     }
 
     #[test]
@@ -308,12 +646,75 @@ mod tests {
     }
 
     #[test]
+    fn fragment_warm_rerun_is_byte_identical_and_all_hits() {
+        let a = multi_routine_analysis();
+        let routines = a.routines().len() as u32;
+        for op in CACHED_OPS {
+            let cold = run_op_with(op, &a, 1).expect(op);
+            let tier = MemTier::default();
+            let (first, s1) = run_op_fragments(op, &a, 1, &tier).expect(op);
+            assert_eq!(first, cold, "{op}: tier-backed cold run matches plain");
+            assert_eq!(s1.hits, 0, "{op}: nothing cached yet");
+            let (second, s2) = run_op_fragments(op, &a, 1, &tier).expect(op);
+            assert_eq!(second, cold, "{op}: warm stitch is byte-identical");
+            if *op == "stat" {
+                assert_eq!(s2.total, 0, "stat takes no fragments");
+            } else {
+                assert_eq!(
+                    (s2.hits, s2.total),
+                    (routines, routines),
+                    "{op}: every routine stitches from its fragment"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_warm_rerun_matches_at_any_thread_count() {
+        let a = multi_routine_analysis();
+        for op in ["disasm", "instrument"] {
+            let cold = run_op_with(op, &a, 1).expect(op);
+            let tier = MemTier::default();
+            let _ = run_op_fragments(op, &a, 1, &tier).expect(op);
+            for threads in [0, 2, 8] {
+                let (warm, s) = run_op_fragments(op, &a, threads, &tier).expect(op);
+                assert_eq!(warm, cold, "{op}: warm at {threads} threads");
+                assert_eq!(s.hits, s.total, "{op}: all hits at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_fragments_fall_back_to_live_builds() {
+        let a = multi_routine_analysis();
+        for op in ["disasm", "cfg-summary", "liveness", "instrument"] {
+            let cold = run_op_with(op, &a, 1).expect(op);
+            let tier = MemTier::default();
+            let _ = run_op_fragments(op, &a, 1, &tier).expect(op);
+            // Corrupt every stored fragment: truncate to the version byte.
+            {
+                let mut map = tier.0.lock().unwrap();
+                for v in map.values_mut() {
+                    v.truncate(1);
+                }
+            }
+            let (out, s) = run_op_fragments(op, &a, 1, &tier).expect(op);
+            assert_eq!(out, cold, "{op}: corrupt fragments must not change output");
+            assert_eq!(s.hits, 0, "{op}: corrupt fragments are not hits");
+        }
+    }
+
+    #[test]
     fn recompute_cost_classes_match_pipeline_weight() {
         assert_eq!(recompute_cost("disasm"), CostClass::Expensive);
         assert_eq!(recompute_cost("instrument"), CostClass::Expensive);
         assert_eq!(recompute_cost("stat"), CostClass::Cheap);
         assert_eq!(recompute_cost("cfg-summary"), CostClass::Cheap);
         assert_eq!(recompute_cost("liveness"), CostClass::Cheap);
+        // Fragment entries inherit the class of the op they shard.
+        assert_eq!(recompute_cost("frag.disasm"), CostClass::Expensive);
+        assert_eq!(recompute_cost("frag.instrument"), CostClass::Expensive);
+        assert_eq!(recompute_cost("frag.liveness"), CostClass::Cheap);
         // Script-keyed edit entries are a full edit-session replay.
         assert_eq!(recompute_cost("edit"), CostClass::Expensive);
         assert_eq!(

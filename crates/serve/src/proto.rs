@@ -30,7 +30,8 @@
 //!
 //! ```text
 //! u8 version (=1) | u8 status (0 ok / 1 error / 2 busy) |
-//!   u8 tier (0 computed / 1 memory / 2 disk) | u32 length | body bytes
+//!   u8 tier (0 computed / 1 memory / 2 disk) | u32 length | body bytes |
+//!   [u32 fragment hits | u32 fragment total]
 //! ```
 //!
 //! `tier` reports where the result came from: `0` is a fresh
@@ -38,7 +39,15 @@
 //! or a join onto an identical in-flight request), `2` the on-disk
 //! spill tier. Value `2` was added with the disk tier; the byte was
 //! previously a 0/1 "cached" flag, so the meaning of `0` and `1` is
-//! unchanged and the protocol version stays 1. The full byte-level
+//! unchanged and the protocol version stays 1.
+//!
+//! The trailing fragment-accounting pair is another additive extension:
+//! a *computed* response may append how many of the image's routines
+//! were served from the per-routine fragment cache (`hits`) out of how
+//! many the op decomposed into (`total`). Old decoders stop at the body
+//! and never see the extension; new decoders treat a body with nothing
+//! after it as "no fragment accounting" (`None`), so both directions
+//! interoperate and the protocol version stays 1. The full byte-level
 //! specification, including a worked hex example, lives in
 //! `docs/PROTOCOL.md`.
 
@@ -141,6 +150,13 @@ pub enum Response {
         tier: CacheTier,
         /// The result.
         body: Vec<u8>,
+        /// Per-routine fragment-cache accounting for a computed result:
+        /// `(hits, total)` — how many routines were stitched from cached
+        /// fragments out of how many the op decomposed into. `None` when
+        /// the result came from a whole-image cache tier (no
+        /// decomposition ran), the op does not decompose, or the peer
+        /// predates the extension.
+        fragments: Option<(u32, u32)>,
     },
     /// The operation failed; the message says why.
     Err(String),
@@ -272,15 +288,27 @@ impl Response {
     /// Appends the versionless field encoding (`status | tier | length |
     /// body`) — shared by the v1 body and v2 tagged frames.
     fn encode_fields(&self, out: &mut Vec<u8>) {
-        let (status, tier, body): (u8, u8, &[u8]) = match self {
-            Response::Ok { tier, body } => (0, tier.to_byte(), body),
-            Response::Err(msg) => (1, 0, msg.as_bytes()),
-            Response::Busy => (2, 0, &[]),
+        let (status, tier, body, fragments): (u8, u8, &[u8], Option<(u32, u32)>) = match self {
+            Response::Ok {
+                tier,
+                body,
+                fragments,
+            } => (0, tier.to_byte(), body, *fragments),
+            Response::Err(msg) => (1, 0, msg.as_bytes(), None),
+            Response::Busy => (2, 0, &[], None),
         };
         out.push(status);
         out.push(tier);
         out.extend_from_slice(&(body.len() as u32).to_be_bytes());
         out.extend_from_slice(body);
+        // Trailing extension, only ever after a successful body: old
+        // decoders stop at the body length and never read it.
+        if let Some((hits, total)) = fragments {
+            if status == 0 {
+                out.extend_from_slice(&hits.to_be_bytes());
+                out.extend_from_slice(&total.to_be_bytes());
+            }
+        }
     }
 
     fn decode_fields(c: &mut Cursor<'_>) -> io::Result<Response> {
@@ -288,11 +316,19 @@ impl Response {
         let tier_byte = c.u8("cache tier")?;
         let len = c.u32("body length")? as usize;
         let bytes = c.take(len, "body")?.to_vec();
+        // The fragment-accounting extension trails the body; a frame
+        // from a peer that predates it simply ends here.
+        let fragments = if status == 0 && c.remaining() >= 8 {
+            Some((c.u32("fragment hits")?, c.u32("fragment total")?))
+        } else {
+            None
+        };
         Ok(match status {
             0 => Response::Ok {
                 tier: CacheTier::from_byte(tier_byte)
                     .ok_or_else(|| bad(format!("unknown cache tier {tier_byte}")))?,
                 body: bytes,
+                fragments,
             },
             1 => Response::Err(String::from_utf8_lossy(&bytes).into_owned()),
             2 => Response::Busy,
@@ -512,6 +548,10 @@ impl<'a> Cursor<'a> {
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
+
+    fn remaining(&self) -> usize {
+        self.body.len() - self.at
+    }
 }
 
 #[cfg(test)]
@@ -547,14 +587,27 @@ mod tests {
             Response::Ok {
                 tier: CacheTier::Memory,
                 body: b"hello".to_vec(),
+                fragments: None,
             },
             Response::Ok {
                 tier: CacheTier::Computed,
                 body: Vec::new(),
+                fragments: None,
             },
             Response::Ok {
                 tier: CacheTier::Disk,
                 body: b"warm".to_vec(),
+                fragments: None,
+            },
+            Response::Ok {
+                tier: CacheTier::Computed,
+                body: b"stitched".to_vec(),
+                fragments: Some((7, 8)),
+            },
+            Response::Ok {
+                tier: CacheTier::Computed,
+                body: Vec::new(),
+                fragments: Some((0, 0)),
             },
             Response::Err("nope".into()),
             Response::Busy,
@@ -565,6 +618,32 @@ mod tests {
             Response::decode(&[1, 0, 9, 0, 0, 0, 0]).is_err(),
             "unknown cache tier rejected"
         );
+    }
+
+    #[test]
+    fn fragment_accounting_is_a_trailing_extension() {
+        // A frame from before the extension — body and nothing after —
+        // decodes with no fragment accounting.
+        let old = [1u8, 0, 0, 0, 0, 0, 2, b'o', b'k'];
+        assert_eq!(
+            Response::decode(&old).unwrap(),
+            Response::Ok {
+                tier: CacheTier::Computed,
+                body: b"ok".to_vec(),
+                fragments: None,
+            }
+        );
+        // The extension also rides tagged session replies, where the
+        // response fields likewise end the frame.
+        let reply = SessionReply::Tagged {
+            id: 9,
+            response: Response::Ok {
+                tier: CacheTier::Computed,
+                body: b"x".to_vec(),
+                fragments: Some((3, 5)),
+            },
+        };
+        assert_eq!(SessionReply::decode(&reply.encode()).unwrap(), reply);
     }
 
     #[test]
@@ -631,6 +710,7 @@ mod tests {
                 response: Response::Ok {
                     tier: CacheTier::Disk,
                     body: b"out".to_vec(),
+                    fragments: None,
                 },
             },
             SessionReply::Tagged {

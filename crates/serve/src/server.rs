@@ -38,7 +38,7 @@
 
 use crate::cache::{content_hash, SingleFlightLru};
 use crate::disk::DiskCache;
-use crate::ops::{recompute_cost, run_edit, run_op_with, CACHED_OPS};
+use crate::ops::{recompute_cost, run_edit, run_op_fragments, FragmentTier, CACHED_OPS};
 use crate::proto::{
     read_frame, write_frame, CacheTier, Payload, Request, Response, SessionFrame, SessionReply,
     MAX_FRAME, SESSION_VERSION,
@@ -614,16 +614,19 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
         "ping" => Response::Ok {
             tier: CacheTier::Computed,
             body: b"pong".to_vec(),
+            fragments: None,
         },
         "metrics" => Response::Ok {
             tier: CacheTier::Computed,
             body: render_metrics().into_bytes(),
+            fragments: None,
         },
         "shutdown" => {
             shared.request_stop();
             Response::Ok {
                 tier: CacheTier::Computed,
                 body: b"shutting down".to_vec(),
+                fragments: None,
             }
         }
         "edit" => cached_edit(shared, &req.payload),
@@ -647,10 +650,101 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
         }
     };
     let hash = content_hash(&bytes);
-    cached_result(shared, hash, op, op, || {
+    // Fragment accounting rides out of the compute closure through a
+    // cell: it stays `None` whenever a whole-image tier answered and the
+    // decomposition never ran.
+    let frag_stats = std::cell::Cell::new(None);
+    let resp = cached_result(shared, hash, op, op, || {
         let threads = analysis_threads(shared);
-        analyze(shared, hash, &bytes).and_then(|a| run_op_with(op, &a, threads))
-    })
+        let tier = SharedFragmentTier { shared };
+        analyze(shared, hash, &bytes).and_then(|a| {
+            run_op_fragments(op, &a, threads, &tier).map(|(body, stats)| {
+                if stats.total > 0 {
+                    eel_obs::counter!("serve.cache.fragment.hit").add(u64::from(stats.hits));
+                    eel_obs::counter!("serve.cache.fragment.miss")
+                        .add(u64::from(stats.total - stats.hits));
+                    frag_stats.set(Some((stats.hits, stats.total)));
+                }
+                body
+            })
+        })
+    });
+    match resp {
+        Response::Ok { tier, body, .. } => Response::Ok {
+            tier,
+            body,
+            fragments: frag_stats.get(),
+        },
+        other => other,
+    }
+}
+
+/// The per-routine fragment tier backing [`run_op_fragments`], layered
+/// over the same storage as whole-image results: fragments live in the
+/// shared result LRU under `(routine_key, "frag.<op>")` and spill to the
+/// disk tier as `.eelf` sidecars. Loads and stores happen *inside* a
+/// whole-image entry's single-flight compute, so they use the cache's
+/// non-blocking [`SingleFlightLru::get`] / [`SingleFlightLru::insert`]
+/// surface — joining the single-flight protocol here would self-deadlock.
+struct SharedFragmentTier<'a> {
+    shared: &'a Shared,
+}
+
+impl SharedFragmentTier<'_> {
+    fn cache_key(key: u64, op: &str) -> (u64, String) {
+        (key, format!("frag.{op}"))
+    }
+}
+
+impl FragmentTier for SharedFragmentTier<'_> {
+    fn load(&self, key: u64, op: &str) -> Option<Vec<u8>> {
+        let cache_key = Self::cache_key(key, op);
+        if let Some(Ok(body)) = self.shared.results.get(&cache_key) {
+            return Some(body.to_vec());
+        }
+        // Memory missed: the disk tier gets a chance, and a hit is
+        // promoted into the LRU like any whole-image disk hit.
+        let disk = self.shared.disk.as_ref()?;
+        let body = Arc::new(disk.load(key, &cache_key.1)?);
+        let class = recompute_cost(&cache_key.1);
+        let evicted =
+            self.shared
+                .results
+                .insert(cache_key, Ok(Arc::clone(&body)), body.len(), class);
+        demote_evicted(self.shared, evicted);
+        Some(body.to_vec())
+    }
+
+    fn store(&self, key: u64, op: &str, bytes: &[u8]) {
+        eel_obs::counter!("serve.cache.fragment.write").add(1);
+        let cache_key = Self::cache_key(key, op);
+        let class = recompute_cost(&cache_key.1);
+        if let Some(disk) = &self.shared.disk {
+            // Write-through, like whole-image results: a restart serves
+            // warm fragments without waiting for an eviction.
+            disk.store(key, &cache_key.1, bytes);
+        }
+        let evicted =
+            self.shared
+                .results
+                .insert(cache_key, Ok(Arc::new(bytes.to_vec())), bytes.len(), class);
+        demote_evicted(self.shared, evicted);
+    }
+}
+
+/// Demotes a batch of LRU victims to the disk tier (outside the cache
+/// lock) instead of discarding the work; evicted fragments additionally
+/// count under `serve.cache.fragment.evict`. Content addressing makes
+/// the store a cheap existence check for anything already spilled.
+fn demote_evicted(shared: &Shared, evicted: Vec<((u64, String), CachedResult)>) {
+    for ((h, op), value) in evicted {
+        if op.starts_with("frag.") {
+            eel_obs::counter!("serve.cache.fragment.evict").add(1);
+        }
+        if let (Some(disk), Ok(body)) = (&shared.disk, value) {
+            disk.store(h, &op, &body);
+        }
+    }
 }
 
 /// The write path: a kind-2 payload carries `(wef, script)`; the result
@@ -708,16 +802,7 @@ fn cached_result(
         };
         (computed, cost, class)
     });
-    // Demote this insertion's LRU victims to disk (outside the cache
-    // lock) instead of discarding the work. Content addressing makes
-    // this a cheap existence check for anything already spilled.
-    if let Some(disk) = &shared.disk {
-        for ((h, evicted_op), value) in evicted {
-            if let Ok(body) = value {
-                disk.store(h, &evicted_op, &body);
-            }
-        }
-    }
+    demote_evicted(shared, evicted);
     if hit {
         eel_obs::counter!("serve.cache.hit").add(1);
     } else {
@@ -734,6 +819,7 @@ fn cached_result(
         Ok(body) => Response::Ok {
             tier,
             body: body.to_vec(),
+            fragments: None,
         },
         Err(msg) => Response::Err(msg),
     }

@@ -35,7 +35,7 @@ fn start(config: ServerConfig) -> (Server, Client) {
 
 fn expect_ok(resp: Response) -> (CacheTier, Vec<u8>) {
     match resp {
-        Response::Ok { tier, body } => (tier, body),
+        Response::Ok { tier, body, .. } => (tier, body),
         other => panic!("expected Ok, got {other:?}"),
     }
 }
@@ -89,13 +89,16 @@ fn restart_serves_from_disk_with_zero_recomputation() {
             .expect("cold request"),
     );
     assert_eq!(tier, CacheTier::Computed, "cold cache computes");
-    assert_eq!(
-        counter(&client, "serve.cache.disk.write"),
-        1,
-        "write-through spilled"
+    assert!(
+        counter(&client, "serve.cache.disk.write") >= 1,
+        "write-through spilled (whole-image entry plus fragment sidecars)"
     );
     shutdown(server, &client);
-    assert_eq!(entries(&dir).len(), 1, "entry survived shutdown");
+    assert_eq!(
+        entries(&dir).len(),
+        1,
+        "whole-image entry survived shutdown"
+    );
 
     // "Restart": a fresh server over the same directory, fresh metrics.
     eel_obs::reset();

@@ -7,7 +7,7 @@ use eel_serve::{CacheTier, Client, Payload, Request, Response, Server, ServerCon
 
 fn expect_ok(resp: Response) -> (CacheTier, Vec<u8>) {
     match resp {
-        Response::Ok { tier, body } => (tier, body),
+        Response::Ok { tier, body, .. } => (tier, body),
         other => panic!("expected Ok, got {other:?}"),
     }
 }

@@ -24,7 +24,7 @@ fn suite_wefs() -> Vec<(String, Vec<u8>)> {
 
 fn expect_ok(resp: Response) -> (CacheTier, Vec<u8>) {
     match resp {
-        Response::Ok { tier, body } => (tier, body),
+        Response::Ok { tier, body, .. } => (tier, body),
         other => panic!("expected Ok, got {other:?}"),
     }
 }

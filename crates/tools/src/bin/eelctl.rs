@@ -26,7 +26,10 @@
 //! (served from the server's memory LRU or deduped onto an in-flight
 //! twin), or `cache hit (disk)` (loaded from the daemon's `--cache-dir`
 //! spill tier, e.g. after a restart) — so scripts can check dedupe and
-//! warm-restart behavior without disturbing the payload on stdout.
+//! warm-restart behavior without disturbing the payload on stdout. A
+//! computed analysis response additionally reports per-routine fragment
+//! reuse as `(fragments H/T)`: H of the image's T routines were
+//! stitched from the daemon's fragment cache instead of re-analyzed.
 
 use eel_serve::{CacheTier, Client, Payload, Request, Response};
 use eel_tools::cli::Cli;
@@ -180,13 +183,21 @@ fn main() -> ExitCode {
 
     for (file, resp) in responses {
         match resp {
-            Ok(Response::Ok { tier, body }) => {
+            Ok(Response::Ok {
+                tier,
+                body,
+                fragments,
+            }) => {
                 eprintln!(
-                    "eelctl: {op} {file}: {}",
+                    "eelctl: {op} {file}: {}{}",
                     match tier {
                         CacheTier::Computed => "cache miss",
                         CacheTier::Memory => "cache hit",
                         CacheTier::Disk => "cache hit (disk)",
+                    },
+                    match fragments {
+                        Some((hits, total)) if total > 0 => format!(" (fragments {hits}/{total})"),
+                        _ => String::new(),
                     }
                 );
                 if let Some(out) = &output {

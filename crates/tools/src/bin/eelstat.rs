@@ -63,6 +63,10 @@ fn main() -> ExitCode {
         return cli.fail(e);
     }
     let routines = exec.all_routine_ids().len();
+    // Per-routine content keys (the fragment-cache addresses), so the
+    // report includes the core.routine_key.* counters.
+    let keys = exec.routine_keys();
+    let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
     // Drive the whole pipeline: CFG build + delay-slot normalization,
     // liveness, and layout for every routine (discovery included).
     if let Err(e) = exec.write_edited() {
@@ -75,7 +79,10 @@ fn main() -> ExitCode {
             Err(e) => return cli.fail(format_args!("run failed: {e}")),
         }
     }
-    eprintln!("eelstat: analyzed {input}: {routines} routines");
+    eprintln!(
+        "eelstat: analyzed {input}: {routines} routines ({} distinct content keys)",
+        distinct.len()
+    );
     if let Some(report) = obs.finish_report("eelstat") {
         print!("{report}");
     }

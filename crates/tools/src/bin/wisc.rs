@@ -1,8 +1,15 @@
 //! `wisc` — the Wisc compiler CLI.
 //!
 //! ```text
-//! wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm] [--trace FILE]
+//! wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm]
+//!      [--mutate-routine N] [--trace FILE]
 //! ```
+//!
+//! `--mutate-routine N` emits a *near-duplicate twin*: after compiling,
+//! one ALU immediate in the N-th eligible routine (modulo the eligible
+//! count) is bumped, so the output differs from the unmutated build in
+//! exactly one word — the workload for exercising eel-serve's
+//! per-routine fragment cache.
 
 use eel_cc::{compile_str, compile_to_asm, Options, Personality};
 use eel_tools::cli::Cli;
@@ -13,7 +20,8 @@ fn main() -> ExitCode {
     let mut obs = ObsSession::begin();
     let mut cli = match Cli::new(
         "wisc",
-        "INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm] [--trace FILE]",
+        "INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm] \
+         [--mutate-routine N] [--trace FILE]",
     ) {
         Ok(cli) => cli,
         Err(code) => return code,
@@ -22,6 +30,7 @@ fn main() -> ExitCode {
     let mut output = None;
     let mut options = Options::default();
     let mut emit_asm = false;
+    let mut mutate: Option<usize> = None;
     while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
             "-o" => {
@@ -34,6 +43,13 @@ fn main() -> ExitCode {
             "--no-fill" => options.fill_delay_slots = false,
             "--strip" => options.strip = true,
             "--emit-asm" => emit_asm = true,
+            "--mutate-routine" => match cli.value("--mutate-routine") {
+                Ok(n) => match n.parse() {
+                    Ok(n) => mutate = Some(n),
+                    Err(_) => return cli.fail(format_args!("bad routine index {n:?}")),
+                },
+                Err(code) => return code,
+            },
             "--trace" => match cli.value("--trace") {
                 Ok(path) => obs.set_trace_path(&path),
                 Err(code) => return code,
@@ -60,10 +76,18 @@ fn main() -> ExitCode {
             Err(e) => return cli.fail(e),
         }
     }
-    let image = match compile_str(&source, &options) {
+    let mut image = match compile_str(&source, &options) {
         Ok(i) => i,
         Err(e) => return cli.fail(e),
     };
+    if let Some(k) = mutate {
+        match eel_progen::mutate_routine(&mut image, k) {
+            Some((name, addr)) => {
+                eprintln!("wisc: mutated one ALU immediate in {name} at {addr:#010x}");
+            }
+            None => return cli.fail("no routine with an ALU immediate to mutate"),
+        }
+    }
     let output = output.unwrap_or_else(|| format!("{input}.wef"));
     if let Err(e) = image.write_file(&output) {
         return cli.fail(format_args!("cannot write {output}: {e}"));
