@@ -358,9 +358,15 @@ fn edit_bench(args: &[String]) -> ExitCode {
          images"
     );
 
+    // Every mode records the machine size so a re-recorded section is
+    // comparable with the others in the same file.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let section = format!(
-        "  \"edit\": {{\n    \"images\": {images},\n    \"cold_ms\": {cold_ms:.2},\n    \
-         \"warm_ms\": {warm_ms:.2},\n    \"speedup\": {speedup:.2}\n  }}\n"
+        "  \"edit\": {{\n    \"cores\": {cores},\n    \"images\": {images},\n    \
+         \"cold_ms\": {cold_ms:.2},\n    \"warm_ms\": {warm_ms:.2},\n    \
+         \"speedup\": {speedup:.2}\n  }}\n"
     );
     // Merge into the serve results file: drop any previous edit section,
     // then splice this one in before the closing brace.
@@ -515,9 +521,12 @@ fn incremental_bench(args: &[String]) -> ExitCode {
         ));
     }
 
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let section = format!(
-        "  \"incremental\": {{\n    \"twins\": {twins},\n    \"routines\": {routines},\n    \
-         \"text_bytes\": {text_bytes},\n{}\n  }}\n",
+        "  \"incremental\": {{\n    \"cores\": {cores},\n    \"twins\": {twins},\n    \
+         \"routines\": {routines},\n    \"text_bytes\": {text_bytes},\n{}\n  }}\n",
         sections.join(",\n")
     );
     // Merge like the edit section: drop any previous incremental

@@ -473,6 +473,10 @@ pub fn exp_ablations() -> Vec<AblationRow> {
         let before = run_image(&image).unwrap().cycles as f64;
         let mut exec = Executable::from_image(image).unwrap();
         exec.read_contents().unwrap();
+        // An observable (but text-neutral) edit defeats the clean
+        // fast path, so write_edited actually relays out the text and
+        // the translation cost is measurable.
+        let _ = exec.reserve_data(4);
         let edited = exec.write_edited().unwrap();
         run_image(&edited).unwrap().cycles as f64 / before
     };

@@ -1,0 +1,89 @@
+//! Reproduces the EXPERIMENTS.md stripped-discovery table: routine-start
+//! precision/recall of inference-based discovery against the unstripped
+//! twin's symbol table, over the fixed progen suite (both compiler
+//! personalities) and the 40-function random images that compile.
+//!
+//! ```text
+//! cargo run --release -p eel-core --example strip_pr
+//! ```
+
+use eel_core::Executable;
+use std::collections::BTreeSet;
+
+fn starts(image: &eel_exe::Image) -> BTreeSet<u32> {
+    let mut exec = Executable::from_image(image.clone()).unwrap();
+    exec.read_contents().unwrap();
+    exec.all_routine_ids()
+        .into_iter()
+        .map(|id| exec.routine(id).start())
+        .collect()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for pers in [eel_cc::Personality::Gcc, eel_cc::Personality::SunPro] {
+        for w in eel_progen::suite() {
+            let image = eel_progen::compile(&w, pers).unwrap();
+            let truth = starts(&image);
+            let mut stripped = image.clone();
+            stripped.strip();
+            let inferred = starts(&stripped);
+            rows.push((format!("{}/{:?}", w.name, pers), truth, inferred));
+        }
+    }
+    let config = eel_progen::GenConfig {
+        functions: 40,
+        stmts_per_fn: 6,
+        max_depth: 2,
+        globals: 4,
+        arrays: 2,
+    };
+    let mut compiled = 0;
+    for seed in 0..64u64 {
+        let program = eel_progen::random_program(seed, &config);
+        let Ok(image) = eel_cc::compile_ast(&program, &eel_cc::Options::default()) else {
+            continue;
+        };
+        compiled += 1;
+        let truth = starts(&image);
+        let mut stripped = image.clone();
+        stripped.strip();
+        rows.push((format!("random(seed {seed})"), truth, starts(&stripped)));
+    }
+    eprintln!("compiled {compiled}/64 random seeds");
+
+    let (mut sum_truth, mut sum_inferred, mut sum_tp) = (0usize, 0usize, 0usize);
+    for (name, truth, inferred) in rows {
+        let tp = inferred.intersection(&truth).count();
+        sum_truth += truth.len();
+        sum_inferred += inferred.len();
+        sum_tp += tp;
+        let tp = tp as f64;
+        let p = if inferred.is_empty() {
+            1.0
+        } else {
+            tp / inferred.len() as f64
+        };
+        let r = if truth.is_empty() {
+            1.0
+        } else {
+            tp / truth.len() as f64
+        };
+        let f1 = if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
+        println!(
+            "{name}\ttruth={}\tinferred={}\ttp={tp}\tP={p:.3}\tR={r:.3}\tF1={f1:.3}",
+            truth.len(),
+            inferred.len()
+        );
+    }
+    let p = sum_tp as f64 / sum_inferred as f64;
+    let r = sum_tp as f64 / sum_truth as f64;
+    println!(
+        "TOTAL\ttruth={sum_truth}\tinferred={sum_inferred}\ttp={sum_tp}\tP={p:.3}\tR={r:.3}\tF1={:.3}",
+        2.0 * p * r / (p + r)
+    );
+}

@@ -48,6 +48,12 @@ pub struct Executable {
     image: Arc<Image>,
     routines: Vec<Routine>,
     analyzed: bool,
+    /// Where the routine set came from (symbol table vs. inference).
+    discovery: DiscoverySource,
+    /// Whether [`Executable::read_contents`] may fall back to
+    /// `eel-strip` inference when the symbol table is empty. On (the
+    /// default) everywhere except ablations.
+    strip_aware: bool,
     hidden_queue: Vec<RoutineId>,
     layouts: HashMap<usize, RoutineLayout>,
     runtime_routines: Vec<(String, String)>,
@@ -168,6 +174,8 @@ impl Executable {
             image,
             routines: Vec::new(),
             analyzed: false,
+            discovery: DiscoverySource::Symbols,
+            strip_aware: true,
             hidden_queue: Vec::new(),
             layouts: HashMap::new(),
             runtime_routines: Vec::new(),
@@ -233,6 +241,7 @@ impl Executable {
             .expect("Analysis holds a validated image");
         exec.routines = analysis.routines().to_vec();
         exec.hidden_queue = analysis.hidden_queue().to_vec();
+        exec.discovery = analysis.discovery();
         exec.analyzed = true;
         exec
     }
@@ -254,11 +263,27 @@ impl Executable {
             return Ok(());
         }
         let _obs = eel_obs::span("core.read_contents");
-        let discovery = discover_routines(&self.image, &mut self.pool)?;
+        let discovery = discover_routines(&self.image, &mut self.pool, self.strip_aware)?;
         self.routines = discovery.routines;
         self.hidden_queue = discovery.hidden;
+        self.discovery = discovery.source;
         self.analyzed = true;
         Ok(())
+    }
+
+    /// Enables or disables the strip-aware discovery fallback: with it
+    /// off, a symbol-less image gets only the naive entry/call-target
+    /// seeding instead of `eel-strip`'s full inference (an ablation
+    /// knob, like [`Executable::set_jump_analysis`]). Must be called
+    /// before [`Executable::read_contents`].
+    pub fn set_strip_aware(&mut self, enabled: bool) {
+        self.strip_aware = enabled;
+    }
+
+    /// Where the routine set came from — meaningful after
+    /// [`Executable::read_contents`].
+    pub fn discovery_source(&self) -> DiscoverySource {
+        self.discovery
     }
 
     /// Ids of the routines known from the symbol table (the paper's
@@ -274,20 +299,72 @@ impl Executable {
     }
 }
 
+/// Where an analysis' routine set came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscoverySource {
+    /// §3.1's symbol-table refinement (the image had routine symbols).
+    Symbols,
+    /// `eel-strip`'s inference rules (the symbol table was empty).
+    Inferred,
+}
+
+impl DiscoverySource {
+    /// The lowercase spelling used in reports and on the wire
+    /// (`discovery: inferred`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiscoverySource::Symbols => "symbols",
+            DiscoverySource::Inferred => "inferred",
+        }
+    }
+}
+
 /// The outcome of §3.1's routine discovery: the refined routine set plus
 /// the queue of hidden routines awaiting the Figure 1 drain loop.
 pub(crate) struct Discovery {
     pub(crate) routines: Vec<Routine>,
     pub(crate) hidden: Vec<RoutineId>,
+    pub(crate) source: DiscoverySource,
+}
+
+/// Bridges `eel-strip`'s inference to the §3.3 jump-table slicer: the
+/// sweep hands each reached indirect jump to [`resolve_indirect`], and
+/// resolved dispatch targets re-enter the sweep. eel-strip stays
+/// machine-independent of eel-core this way (a callback, not a
+/// dependency).
+fn infer_stripped(image: &Image) -> eel_strip::InferredDiscovery {
+    use crate::analysis::jumptable::{resolve_indirect, JumpResolution};
+    let mut resolver = |extent: (u32, u32), addr: u32, insn: Insn| {
+        let mut external_reads = false;
+        match resolve_indirect(image, extent, addr, insn, &mut external_reads) {
+            JumpResolution::Table {
+                table_addr,
+                targets,
+                ..
+            } => eel_strip::ResolvedDispatch {
+                table: Some((table_addr, table_addr + 4 * targets.len() as u32)),
+                targets,
+            },
+            JumpResolution::Literal { target, .. } => eel_strip::ResolvedDispatch {
+                table: None,
+                targets: vec![target],
+            },
+            JumpResolution::Unknown => eel_strip::ResolvedDispatch::default(),
+        }
+    };
+    eel_strip::infer(image, &mut resolver)
 }
 
 /// §3.1's staged symbol-table refinement as a pure function of the image:
 /// the shared implementation behind [`Executable::read_contents`] and
 /// [`Analysis::compute`]. Decoded text words are interned into `pool` for
-/// the §3.4 one-object-per-word accounting.
+/// the §3.4 one-object-per-word accounting. When the symbol table yields
+/// no routine labels and `strip_aware` is on, stage 2 runs `eel-strip`'s
+/// inference instead of the naive call-target seeding.
 pub(crate) fn discover_routines(
     image: &Image,
     pool: &mut InstructionPool,
+    strip_aware: bool,
 ) -> Result<Discovery, EelError> {
     let text = (image.text_addr, image.text_end());
 
@@ -347,15 +424,28 @@ pub(crate) fn discover_routines(
         }
     }
 
-    // Stage 2: a stripped executable starts from the entry point, the
-    // first text address, and every direct-call target.
-    if candidates.is_empty() {
+    // Stage 2: a stripped executable has no labels to refine, so the
+    // routine set comes from inference — eel-strip's speculative sweep
+    // and rule fixpoint (entry point, call targets, prologue matches,
+    // dispatch-table feedback, data-pointer promotion) — or, with the
+    // fallback disabled, from the naive entry/call-target seeding.
+    let source = if candidates.is_empty() {
+        if strip_aware {
+            let inferred = infer_stripped(image);
+            for s in &inferred.starts {
+                candidates.entry(s.addr).or_insert(None);
+            }
+        } else {
+            for &t in &call_targets {
+                candidates.entry(t).or_insert(None);
+            }
+        }
         candidates.insert(image.entry, None);
         candidates.entry(text.0).or_insert(None);
-        for &t in &call_targets {
-            candidates.entry(t).or_insert(None);
-        }
-    }
+        DiscoverySource::Inferred
+    } else {
+        DiscoverySource::Symbols
+    };
     // The program's entry point is always a routine.
     candidates.entry(image.entry).or_insert(None);
 
@@ -381,6 +471,7 @@ pub(crate) fn discover_routines(
             end,
             entries: vec![*start],
             hidden,
+            inferred: source == DiscoverySource::Inferred && name.is_none(),
         });
         if hidden {
             hidden_queue.push(id);
@@ -394,6 +485,7 @@ pub(crate) fn discover_routines(
     Ok(Discovery {
         routines,
         hidden: hidden_queue,
+        source,
     })
 }
 
@@ -516,6 +608,7 @@ impl Executable {
                 let r = &self.routines[id.0];
                 if t > r.start && t < r.end && self.routine_containing(t) == Some(id) {
                     let end = r.end;
+                    let inferred = r.inferred;
                     self.routines[id.0].end = t;
                     self.routines[id.0].entries.retain(|&e| e < t);
                     let new_id = RoutineId(self.routines.len());
@@ -525,6 +618,7 @@ impl Executable {
                         end,
                         entries: vec![t],
                         hidden: true,
+                        inferred,
                     });
                     self.hidden_queue.push(new_id);
                     splits.push(t);
@@ -710,6 +804,7 @@ impl Executable {
                         let r = &self.routines[id.0];
                         if t > r.start && t < r.end && self.routine_containing(t) == Some(id) {
                             let end = r.end;
+                            let inferred = r.inferred;
                             self.routines[id.0].end = t;
                             self.routines[id.0].entries.retain(|&e| e < t);
                             let new_id = RoutineId(self.routines.len());
@@ -719,6 +814,7 @@ impl Executable {
                                 end,
                                 entries: vec![t],
                                 hidden: true,
+                                inferred,
                             });
                             self.hidden_queue.push(new_id);
                         }

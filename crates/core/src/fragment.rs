@@ -592,6 +592,7 @@ mod tests {
             end,
             entries,
             hidden: false,
+            inferred: false,
         }
     }
 

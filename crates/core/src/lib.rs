@@ -71,7 +71,7 @@ pub use cfg::{
     InsnAt,
 };
 pub use error::EelError;
-pub use executable::{CfgBatchItem, Executable, RoutineId};
+pub use executable::{CfgBatchItem, DiscoverySource, Executable, RoutineId};
 pub use fragment::{decode_fragment, encode_fragment, routine_key, FragmentMeta};
 pub use instr::{AllocStats, Instruction, InstructionPool};
 pub use routine::Routine;

@@ -6,9 +6,12 @@
 /// Routines are discovered by [`crate::Executable::read_contents`]'s
 /// symbol-table refinement: symbol-table routines survive stage 1's label
 /// cleanup; *hidden* routines are found from call targets (stage 2/3) and
-/// trailing unreachable code (stage 4). In a stripped executable all
-/// routines are found but names cannot be recreated (§3.1), so
-/// [`Routine::name`] falls back to a synthetic `fn_<addr>` label.
+/// trailing unreachable code (stage 4). In a stripped executable the
+/// routine set instead comes from `eel-strip`'s inference rules
+/// ([`Routine::is_inferred`]); names cannot be recreated (§3.1), so
+/// [`Routine::name`] falls back to a synthetic label — `sub_<addr>` for
+/// inferred routines (the conventional stripped-binary spelling),
+/// `fn_<addr>` for symbol-era routines that merely lack a label.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Routine {
     pub(crate) name: Option<String>,
@@ -16,14 +19,17 @@ pub struct Routine {
     pub(crate) end: u32,
     pub(crate) entries: Vec<u32>,
     pub(crate) hidden: bool,
+    pub(crate) inferred: bool,
 }
 
 impl Routine {
     /// The routine's name: its symbol if one exists, else a synthetic
-    /// `fn_<hexaddr>` (names cannot be recreated for stripped binaries).
+    /// `sub_<hexaddr>` / `fn_<hexaddr>` (names cannot be recreated for
+    /// stripped binaries).
     pub fn name(&self) -> String {
         match &self.name {
             Some(n) => n.clone(),
+            None if self.inferred => format!("sub_{:x}", self.start),
             None => format!("fn_{:x}", self.start),
         }
     }
@@ -60,6 +66,12 @@ impl Routine {
     /// analysis)?
     pub fn is_hidden(&self) -> bool {
         self.hidden
+    }
+
+    /// Did this routine come from inference-based discovery (a stripped
+    /// image analyzed by `eel-strip`) rather than the symbol table?
+    pub fn is_inferred(&self) -> bool {
+        self.inferred
     }
 
     /// Does this address fall inside the routine?

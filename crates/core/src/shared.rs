@@ -10,7 +10,7 @@
 //! private editable executable with [`crate::Executable::from_analysis`].
 
 use crate::error::EelError;
-use crate::executable::{discover_routines, RoutineId};
+use crate::executable::{discover_routines, DiscoverySource, RoutineId};
 use crate::fragment::routine_key;
 use crate::instr::InstructionPool;
 use crate::routine::Routine;
@@ -48,6 +48,8 @@ pub struct Analysis {
     /// Per-routine content keys ([`crate::routine_key`]), in discovery
     /// order — the identities the serve-side fragment tier caches under.
     routine_keys: Vec<u64>,
+    /// Where the routine set came from (symbols vs. inference).
+    discovery: DiscoverySource,
 }
 
 impl Analysis {
@@ -60,7 +62,7 @@ impl Analysis {
         let _obs = eel_obs::span("core.analysis.compute");
         image.validate()?;
         let mut pool = InstructionPool::new();
-        let discovery = discover_routines(&image, &mut pool)?;
+        let discovery = discover_routines(&image, &mut pool, true)?;
         let routine_keys = discovery
             .routines
             .iter()
@@ -72,7 +74,16 @@ impl Analysis {
             hidden: discovery.hidden,
             distinct_words: pool.len(),
             routine_keys,
+            discovery: discovery.source,
         })
+    }
+
+    /// Where the routine set came from: the symbol table, or (for a
+    /// symbol-less image) `eel-strip`'s inference rules. Serve-side ops
+    /// report this as `discovery: inferred` so clients of a stripped
+    /// image know the routine names are synthetic.
+    pub fn discovery(&self) -> DiscoverySource {
+        self.discovery
     }
 
     /// Distinct machine words in the text segment, as counted by

@@ -79,7 +79,7 @@ pub use ops::{
     NoFragments, CACHED_OPS,
 };
 pub use proto::{
-    read_frame, write_frame, CacheTier, Payload, Request, Response, SessionFrame, SessionReply,
-    MAX_FRAME, SESSION_VERSION, VERSION,
+    read_frame, write_frame, CacheTier, Discovery, Payload, Request, Response, SessionFrame,
+    SessionReply, MAX_FRAME, SESSION_VERSION, VERSION,
 };
 pub use server::{Server, ServerConfig};

@@ -405,6 +405,10 @@ fn stat(analysis: &Analysis) -> Result<Vec<u8>, String> {
         "routines: {} ({hidden} hidden, {entries} entry points)",
         analysis.routines().len()
     );
+    // Baked into the cached body (unlike the wire-level trailing
+    // extension) so a warm `stat` still reports how the routine set was
+    // found.
+    let _ = writeln!(out, "discovery: {}", analysis.discovery().as_str());
     let _ = writeln!(out, "analysis-bytes: ~{}", analysis.approx_bytes());
     Ok(out.into_bytes())
 }
@@ -611,6 +615,7 @@ mod tests {
         assert!(summary.contains("TOTAL:"));
         let stat = String::from_utf8(run_op("stat", &a).unwrap()).unwrap();
         assert!(stat.contains("routines:"));
+        assert!(stat.contains("discovery: symbols"));
     }
 
     #[test]

@@ -140,6 +140,46 @@ impl CacheTier {
     }
 }
 
+/// How an analyzed image's routine set was discovered — the wire-level
+/// mirror of `eel_core::DiscoverySource`, carried as a trailing
+/// extension on successful responses so clients of a stripped image
+/// know its routine names are synthetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discovery {
+    /// Routines came from the image's symbol table (§3.1 refinement).
+    Symbols,
+    /// The image was symbol-less; routines came from `eel-strip`'s
+    /// inference rules.
+    Inferred,
+}
+
+impl Discovery {
+    /// The spelling ops print in `stat` bodies and tools print in logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Discovery::Symbols => "symbols",
+            Discovery::Inferred => "inferred",
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            Discovery::Symbols => 0,
+            Discovery::Inferred => 1,
+        }
+    }
+
+    /// `None` for bytes from a future peer — decoding stays tolerant so
+    /// the extension can grow without a version bump.
+    fn from_byte(b: u8) -> Option<Discovery> {
+        match b {
+            0 => Some(Discovery::Symbols),
+            1 => Some(Discovery::Inferred),
+            _ => None,
+        }
+    }
+}
+
 /// One response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -157,6 +197,11 @@ pub enum Response {
         /// decomposition ran), the op does not decompose, or the peer
         /// predates the extension.
         fragments: Option<(u32, u32)>,
+        /// How the analyzed image's routines were discovered: from its
+        /// symbol table, or (for a stripped image) by `eel-strip`'s
+        /// inference rules. `None` when the op never analyzed an image
+        /// or the peer predates the extension.
+        discovery: Option<Discovery>,
     },
     /// The operation failed; the message says why.
     Err(String),
@@ -288,25 +333,34 @@ impl Response {
     /// Appends the versionless field encoding (`status | tier | length |
     /// body`) — shared by the v1 body and v2 tagged frames.
     fn encode_fields(&self, out: &mut Vec<u8>) {
-        let (status, tier, body, fragments): (u8, u8, &[u8], Option<(u32, u32)>) = match self {
+        type Fields<'a> = (u8, u8, &'a [u8], Option<(u32, u32)>, Option<Discovery>);
+        let (status, tier, body, fragments, discovery): Fields<'_> = match self {
             Response::Ok {
                 tier,
                 body,
                 fragments,
-            } => (0, tier.to_byte(), body, *fragments),
-            Response::Err(msg) => (1, 0, msg.as_bytes(), None),
-            Response::Busy => (2, 0, &[], None),
+                discovery,
+            } => (0, tier.to_byte(), body, *fragments, *discovery),
+            Response::Err(msg) => (1, 0, msg.as_bytes(), None, None),
+            Response::Busy => (2, 0, &[], None, None),
         };
         out.push(status);
         out.push(tier);
         out.extend_from_slice(&(body.len() as u32).to_be_bytes());
         out.extend_from_slice(body);
-        // Trailing extension, only ever after a successful body: old
-        // decoders stop at the body length and never read it.
-        if let Some((hits, total)) = fragments {
-            if status == 0 {
+        // Trailing extensions, only ever after a successful body: old
+        // decoders stop at the body length and never read them. The
+        // fragment pair (8 bytes) and the discovery byte (1 byte) are
+        // each independently optional — the decoder tells them apart by
+        // how many bytes remain, so `fragments: None` with
+        // `discovery: Some` encodes as a lone trailing byte.
+        if status == 0 {
+            if let Some((hits, total)) = fragments {
                 out.extend_from_slice(&hits.to_be_bytes());
                 out.extend_from_slice(&total.to_be_bytes());
+            }
+            if let Some(d) = discovery {
+                out.push(d.to_byte());
             }
         }
     }
@@ -316,10 +370,19 @@ impl Response {
         let tier_byte = c.u8("cache tier")?;
         let len = c.u32("body length")? as usize;
         let bytes = c.take(len, "body")?.to_vec();
-        // The fragment-accounting extension trails the body; a frame
-        // from a peer that predates it simply ends here.
+        // The trailing extensions: a frame from a peer that predates
+        // them simply ends at the body. The fragment pair is 8 bytes,
+        // the discovery flag 1 byte; `remaining()` disambiguates a lone
+        // discovery byte from a fragment pair.
         let fragments = if status == 0 && c.remaining() >= 8 {
             Some((c.u32("fragment hits")?, c.u32("fragment total")?))
+        } else {
+            None
+        };
+        let discovery = if status == 0 && c.remaining() >= 1 {
+            // An unknown byte is a future peer's extension, not an
+            // error — decode stays tolerant.
+            Discovery::from_byte(c.u8("discovery")?)
         } else {
             None
         };
@@ -329,6 +392,7 @@ impl Response {
                     .ok_or_else(|| bad(format!("unknown cache tier {tier_byte}")))?,
                 body: bytes,
                 fragments,
+                discovery,
             },
             1 => Response::Err(String::from_utf8_lossy(&bytes).into_owned()),
             2 => Response::Busy,
@@ -588,26 +652,37 @@ mod tests {
                 tier: CacheTier::Memory,
                 body: b"hello".to_vec(),
                 fragments: None,
+                discovery: None,
             },
             Response::Ok {
                 tier: CacheTier::Computed,
                 body: Vec::new(),
                 fragments: None,
+                discovery: None,
             },
             Response::Ok {
                 tier: CacheTier::Disk,
                 body: b"warm".to_vec(),
                 fragments: None,
+                discovery: Some(Discovery::Symbols),
             },
             Response::Ok {
                 tier: CacheTier::Computed,
                 body: b"stitched".to_vec(),
                 fragments: Some((7, 8)),
+                discovery: Some(Discovery::Inferred),
             },
             Response::Ok {
                 tier: CacheTier::Computed,
                 body: Vec::new(),
                 fragments: Some((0, 0)),
+                discovery: None,
+            },
+            Response::Ok {
+                tier: CacheTier::Computed,
+                body: b"bare".to_vec(),
+                fragments: None,
+                discovery: Some(Discovery::Inferred),
             },
             Response::Err("nope".into()),
             Response::Busy,
@@ -631,6 +706,7 @@ mod tests {
                 tier: CacheTier::Computed,
                 body: b"ok".to_vec(),
                 fragments: None,
+                discovery: None,
             }
         );
         // The extension also rides tagged session replies, where the
@@ -641,9 +717,59 @@ mod tests {
                 tier: CacheTier::Computed,
                 body: b"x".to_vec(),
                 fragments: Some((3, 5)),
+                discovery: Some(Discovery::Inferred),
             },
         };
         assert_eq!(SessionReply::decode(&reply.encode()).unwrap(), reply);
+    }
+
+    #[test]
+    fn discovery_is_a_trailing_extension() {
+        // A fragments-only frame (pre-discovery peer): the 8 trailing
+        // bytes are the pair, and discovery stays None.
+        let enc = Response::Ok {
+            tier: CacheTier::Computed,
+            body: b"ok".to_vec(),
+            fragments: Some((1, 2)),
+            discovery: None,
+        }
+        .encode();
+        assert_eq!(enc.len(), 1 + 2 + 4 + 2 + 8);
+        // A discovery-only frame encodes a lone trailing byte, which the
+        // decoder tells apart from a fragment pair by length.
+        let enc = Response::Ok {
+            tier: CacheTier::Computed,
+            body: b"ok".to_vec(),
+            fragments: None,
+            discovery: Some(Discovery::Symbols),
+        }
+        .encode();
+        assert_eq!(enc.len(), 1 + 2 + 4 + 2 + 1);
+        assert_eq!(
+            Response::decode(&enc).unwrap(),
+            Response::Ok {
+                tier: CacheTier::Computed,
+                body: b"ok".to_vec(),
+                fragments: None,
+                discovery: Some(Discovery::Symbols),
+            }
+        );
+        // A discovery byte from a future peer decodes as None rather
+        // than an error — the extension stays additive.
+        let mut future = enc;
+        *future.last_mut().unwrap() = 9;
+        assert_eq!(
+            Response::decode(&future).unwrap(),
+            Response::Ok {
+                tier: CacheTier::Computed,
+                body: b"ok".to_vec(),
+                fragments: None,
+                discovery: None,
+            }
+        );
+        // Errors never carry either extension.
+        assert_eq!(Discovery::Inferred.as_str(), "inferred");
+        assert_eq!(Discovery::Symbols.as_str(), "symbols");
     }
 
     #[test]
@@ -711,6 +837,7 @@ mod tests {
                     tier: CacheTier::Disk,
                     body: b"out".to_vec(),
                     fragments: None,
+                    discovery: Some(Discovery::Inferred),
                 },
             },
             SessionReply::Tagged {

@@ -40,8 +40,8 @@ use crate::cache::{content_hash, SingleFlightLru};
 use crate::disk::DiskCache;
 use crate::ops::{recompute_cost, run_edit, run_op_fragments, FragmentTier, CACHED_OPS};
 use crate::proto::{
-    read_frame, write_frame, CacheTier, Payload, Request, Response, SessionFrame, SessionReply,
-    MAX_FRAME, SESSION_VERSION,
+    read_frame, write_frame, CacheTier, Discovery, Payload, Request, Response, SessionFrame,
+    SessionReply, MAX_FRAME, SESSION_VERSION,
 };
 use eel_core::Analysis;
 use eel_exe::Image;
@@ -615,11 +615,13 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
             tier: CacheTier::Computed,
             body: b"pong".to_vec(),
             fragments: None,
+            discovery: None,
         },
         "metrics" => Response::Ok {
             tier: CacheTier::Computed,
             body: render_metrics().into_bytes(),
             fragments: None,
+            discovery: None,
         },
         "shutdown" => {
             shared.request_stop();
@@ -627,6 +629,7 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
                 tier: CacheTier::Computed,
                 body: b"shutting down".to_vec(),
                 fragments: None,
+                discovery: None,
             }
         }
         "edit" => cached_edit(shared, &req.payload),
@@ -650,14 +653,22 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
         }
     };
     let hash = content_hash(&bytes);
-    // Fragment accounting rides out of the compute closure through a
-    // cell: it stays `None` whenever a whole-image tier answered and the
-    // decomposition never ran.
+    // Fragment accounting and the discovery source ride out of the
+    // compute closure through cells: both stay `None` whenever a
+    // whole-image tier answered and the analysis never ran. (A cached
+    // `stat` body still reports its discovery line — the source is part
+    // of the rendered result — so only the wire-level annotation goes
+    // quiet on cache hits.)
     let frag_stats = std::cell::Cell::new(None);
+    let disc = std::cell::Cell::new(None);
     let resp = cached_result(shared, hash, op, op, || {
         let threads = analysis_threads(shared);
         let tier = SharedFragmentTier { shared };
         analyze(shared, hash, &bytes).and_then(|a| {
+            disc.set(Some(match a.discovery() {
+                eel_core::DiscoverySource::Symbols => Discovery::Symbols,
+                eel_core::DiscoverySource::Inferred => Discovery::Inferred,
+            }));
             run_op_fragments(op, &a, threads, &tier).map(|(body, stats)| {
                 if stats.total > 0 {
                     eel_obs::counter!("serve.cache.fragment.hit").add(u64::from(stats.hits));
@@ -674,6 +685,7 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
             tier,
             body,
             fragments: frag_stats.get(),
+            discovery: disc.get(),
         },
         other => other,
     }
@@ -820,6 +832,7 @@ fn cached_result(
             tier,
             body: body.to_vec(),
             fragments: None,
+            discovery: None,
         },
         Err(msg) => Response::Err(msg),
     }

@@ -1,0 +1,210 @@
+//! The fragment disk tier's `.eelf` sidecars, end to end: janitor
+//! eviction ordering, recovery from corrupt and truncated sidecars, and
+//! promotion of on-disk fragments after a daemon restart.
+
+use eel_serve::{CacheTier, Client, DiskCache, Payload, Response, Server, ServerConfig};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eel-eelf-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn expect_ok(resp: Response) -> (CacheTier, Vec<u8>, Option<(u32, u32)>) {
+    match resp {
+        Response::Ok {
+            tier,
+            body,
+            fragments,
+            ..
+        } => (tier, body, fragments),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+fn start(dir: &Path) -> (Server, Client) {
+    let server = Server::start(ServerConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let client = Client::connect(server.local_addr().to_string());
+    (server, client)
+}
+
+fn shutdown(server: Server, client: &Client) {
+    let _ = client.control("shutdown");
+    server.wait();
+}
+
+/// Committed `.eelf` sidecars in a cache directory.
+fn sidecars(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.to_string_lossy().ends_with(".eelf"))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+/// A base image and a one-routine twin, as WEF bytes.
+fn near_duplicate_pair() -> (Vec<u8>, Vec<u8>) {
+    let config = eel_progen::GenConfig {
+        functions: 6,
+        ..eel_progen::GenConfig::default()
+    };
+    let base = (0..16)
+        .find_map(|seed| {
+            let program = eel_progen::random_program(seed, &config);
+            eel_cc::compile_ast(&program, &eel_cc::Options::default()).ok()
+        })
+        .expect("some seed compiles");
+    let mut twin = base.clone();
+    eel_progen::mutate_routine(&mut twin, 0).expect("base has an ALU immediate");
+    (base.to_bytes(), twin.to_bytes())
+}
+
+#[test]
+fn janitor_prunes_eelf_sidecars_oldest_first() {
+    // Directly on the tier: fragment entries obey the same oldest-first
+    // janitor as whole-image entries, and the newest write survives even
+    // when it alone overflows the budget.
+    let dir = tmp_dir("janitor");
+    let payload = vec![0xABu8; 256];
+    let cache = DiskCache::open(&dir, 700);
+    cache.store(1, "frag.disasm", &payload);
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    cache.store(2, "frag.disasm", &payload);
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    cache.store(3, "frag.disasm", &payload);
+    assert!(cache.bytes() <= 700, "janitor enforced the budget");
+    assert_eq!(cache.load(1, "frag.disasm"), None, "oldest sidecar pruned");
+    assert!(cache.load(2, "frag.disasm").is_some());
+    assert!(
+        cache.load(3, "frag.disasm").is_some(),
+        "newest sidecar always survives"
+    );
+    // Mixed populations prune by age, not by suffix: an old .eelc entry
+    // is evicted before younger .eelf sidecars.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    cache.store(4, "disasm", &payload);
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    cache.store(5, "frag.disasm", &payload);
+    assert_eq!(cache.load(2, "frag.disasm"), None);
+    assert!(cache.load(5, "frag.disasm").is_some());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_truncated_sidecars_recover_on_restart() {
+    let (base, twin) = near_duplicate_pair();
+    let dir = tmp_dir("corrupt");
+
+    // Cold reference for the twin, no cache directory involved.
+    let ref_server = Server::start(ServerConfig::default()).unwrap();
+    let ref_client = Client::connect(ref_server.local_addr().to_string());
+    let (_, cold_body, _) = expect_ok(
+        ref_client
+            .op("disasm", Payload::Inline(twin.clone()))
+            .unwrap(),
+    );
+    shutdown(ref_server, &ref_client);
+
+    // Warm a cache directory with the base image's fragments.
+    let (server, client) = start(&dir);
+    let (_, _, fragments) = expect_ok(client.op("disasm", Payload::Inline(base.clone())).unwrap());
+    let total = fragments.expect("computed response reports fragments").1;
+    shutdown(server, &client);
+    let files = sidecars(&dir);
+    assert!(
+        files.len() >= total as usize,
+        "expected ≥{total} sidecars, found {}",
+        files.len()
+    );
+
+    // Vandalize the tier: flip a payload byte in one sidecar, truncate
+    // another mid-header, and empty a third.
+    let mut bytes = fs::read(&files[0]).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    fs::write(&files[0], &bytes).unwrap();
+    let bytes = fs::read(&files[1]).unwrap();
+    fs::write(&files[1], &bytes[..bytes.len().min(13)]).unwrap();
+    fs::write(&files[2], b"").unwrap();
+
+    // A restarted daemon must stitch the twin to the cold answer anyway:
+    // damaged sidecars validate as stale, are deleted, and recompute.
+    let (server, client) = start(&dir);
+    let (tier, body, fragments) =
+        expect_ok(client.op("disasm", Payload::Inline(twin.clone())).unwrap());
+    assert!(!tier.is_hit(), "twin never analyzed before");
+    let (hits, twin_total) = fragments.expect("computed response reports fragments");
+    assert_eq!(twin_total, total);
+    assert!(
+        hits >= total.saturating_sub(4),
+        "undamaged sidecars still stitch: {hits}/{twin_total}"
+    );
+    assert!(
+        hits < total,
+        "the mutated routine can never be a fragment hit"
+    );
+    assert_eq!(body, cold_body, "recovered output == cold output");
+    shutdown(server, &client);
+
+    // The damaged files were either deleted or rewritten in place; every
+    // surviving sidecar validates.
+    let cache = DiskCache::open(&dir, u64::MAX);
+    for f in sidecars(&dir) {
+        // Sidecar names are `{hash:016x}.{op}.eelf` with op = `frag.*`.
+        let name = f.file_name().unwrap().to_string_lossy().into_owned();
+        let (hash, rest) = name.split_once('.').unwrap();
+        let hash = u64::from_str_radix(hash, 16).unwrap();
+        let op = rest.strip_suffix(".eelf").unwrap();
+        assert!(
+            cache.load(hash, op).is_some(),
+            "sidecar {name} fails validation after recovery"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_promotes_on_disk_fragments() {
+    let (base, twin) = near_duplicate_pair();
+    let dir = tmp_dir("promote");
+
+    // First daemon: record the base image's fragments, then die.
+    let (server, client) = start(&dir);
+    let (_, _, fragments) = expect_ok(client.op("disasm", Payload::Inline(base.clone())).unwrap());
+    let total = fragments.expect("computed response reports fragments").1;
+    assert!(total > 1);
+    shutdown(server, &client);
+
+    // Second daemon, cold memory, same directory: the twin has never
+    // been seen (whole-image miss) but every unchanged routine stitches
+    // from the promoted .eelf sidecars.
+    let (server, client) = start(&dir);
+    let (tier, _, fragments) =
+        expect_ok(client.op("disasm", Payload::Inline(twin.clone())).unwrap());
+    assert!(!tier.is_hit());
+    let (hits, twin_total) = fragments.expect("computed response reports fragments");
+    assert_eq!(twin_total, total);
+    assert_eq!(
+        hits,
+        total - 1,
+        "all unchanged routines promote from disk after restart"
+    );
+    // Same twin again: now a whole-image memory hit, no decomposition.
+    let (tier, _, fragments) =
+        expect_ok(client.op("disasm", Payload::Inline(twin.clone())).unwrap());
+    assert_eq!(tier, CacheTier::Memory);
+    assert_eq!(fragments, None);
+    shutdown(server, &client);
+    let _ = fs::remove_dir_all(&dir);
+}

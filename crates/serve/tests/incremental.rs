@@ -11,6 +11,7 @@ fn expect_ok(resp: Response) -> (CacheTier, Vec<u8>, Option<(u32, u32)>) {
             tier,
             body,
             fragments,
+            ..
         } => (tier, body, fragments),
         other => panic!("expected Ok, got {other:?}"),
     }

@@ -1,0 +1,154 @@
+//! The per-word fact base the inference rules read and write.
+//!
+//! One [`Facts`] entry per aligned text word, stored as a bitset so the
+//! fixpoint's reads are array indexing rather than hash lookups, and the
+//! total fact count (`strip.fixpoint.facts`) is a popcount.
+
+/// Facts about one aligned word of the text segment. A word accumulates
+/// facts monotonically — the sweep and the rules only ever *add* facts,
+/// which is what makes the worklist iteration a fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Facts(pub u16);
+
+impl Facts {
+    /// The word decodes as a defined instruction.
+    pub const VALID: Facts = Facts(1 << 0);
+    /// Execution can fall through from this word to the next (it is not
+    /// an unconditional transfer, return, or invalid word).
+    pub const FALLS: Facts = Facts(1 << 1);
+    /// Some direct branch targets this word.
+    pub const BRANCH_TGT: Facts = Facts(1 << 2);
+    /// Some direct call targets this word.
+    pub const CALL_TGT: Facts = Facts(1 << 3);
+    /// The word begins a plausible compiler prologue (frame push that
+    /// spills the return address).
+    pub const PROLOGUE: Facts = Facts(1 << 4);
+    /// Some aligned data-segment word holds this word's address — a
+    /// possible function pointer at rest.
+    pub const DATA_PTR: Facts = Facts(1 << 5);
+    /// The recursive sweep reached this word from some routine start.
+    pub const REACHED: Facts = Facts(1 << 6);
+    /// Classified as data (a dispatch table slot or an unreachable gap).
+    pub const DATA: Facts = Facts(1 << 7);
+    /// Chosen as a routine start.
+    pub const START: Facts = Facts(1 << 8);
+
+    /// Does this word carry every fact in `mask`?
+    pub fn has(self, mask: Facts) -> bool {
+        self.0 & mask.0 == mask.0
+    }
+
+    /// Adds `mask`'s facts; returns true when anything new was learned.
+    pub fn add(&mut self, mask: Facts) -> bool {
+        let before = self.0;
+        self.0 |= mask.0;
+        self.0 != before
+    }
+
+    /// The number of facts recorded on this word.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+/// The fact base: one [`Facts`] per aligned text word, addressed by
+/// text-relative word index.
+#[derive(Debug, Clone)]
+pub struct FactBase {
+    base: u32,
+    words: Vec<Facts>,
+}
+
+impl FactBase {
+    /// An empty fact base for a text segment of `len` bytes at `base`.
+    pub fn new(base: u32, len: usize) -> FactBase {
+        FactBase {
+            base,
+            words: vec![Facts::default(); len / 4],
+        }
+    }
+
+    /// The word index for `addr`, if it is an aligned text address.
+    pub fn index(&self, addr: u32) -> Option<usize> {
+        if addr < self.base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        let i = ((addr - self.base) / 4) as usize;
+        (i < self.words.len()).then_some(i)
+    }
+
+    /// The address of word index `i`.
+    pub fn addr(&self, i: usize) -> u32 {
+        self.base + 4 * i as u32
+    }
+
+    /// Number of words covered.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Is the text segment empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The facts at `addr` (no facts for out-of-range addresses).
+    pub fn get(&self, addr: u32) -> Facts {
+        self.index(addr).map_or(Facts::default(), |i| self.words[i])
+    }
+
+    /// Adds facts at `addr`; returns true when anything new was learned.
+    /// Out-of-range addresses learn nothing.
+    pub fn add(&mut self, addr: u32, mask: Facts) -> bool {
+        match self.index(addr) {
+            Some(i) => self.words[i].add(mask),
+            None => false,
+        }
+    }
+
+    /// Iterates `(addr, facts)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Facts)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (self.addr(i), *f))
+    }
+
+    /// Total number of facts across all words.
+    pub fn total_facts(&self) -> u64 {
+        self.words.iter().map(|f| u64::from(f.count())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_are_monotonic() {
+        let mut f = Facts::default();
+        assert!(f.add(Facts::VALID));
+        assert!(!f.add(Facts::VALID), "re-adding learns nothing");
+        assert!(f.add(Facts::REACHED));
+        assert!(f.has(Facts::VALID));
+        assert!(f.has(Facts::REACHED));
+        assert!(!f.has(Facts::DATA));
+        assert_eq!(f.count(), 2);
+    }
+
+    #[test]
+    fn fact_base_addressing() {
+        let mut fb = FactBase::new(0x10000, 16);
+        assert_eq!(fb.len(), 4);
+        assert_eq!(fb.index(0x10000), Some(0));
+        assert_eq!(fb.index(0x1000c), Some(3));
+        assert_eq!(fb.index(0x10010), None, "past the end");
+        assert_eq!(fb.index(0x10002), None, "misaligned");
+        assert_eq!(fb.index(0xfffc), None, "before the base");
+        assert!(fb.add(0x10004, Facts::CALL_TGT));
+        assert!(fb.get(0x10004).has(Facts::CALL_TGT));
+        assert!(!fb.add(0x10010, Facts::DATA), "out of range learns nothing");
+        assert_eq!(fb.total_facts(), 1);
+        assert_eq!(fb.addr(2), 0x10008);
+    }
+}

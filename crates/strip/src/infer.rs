@@ -1,0 +1,474 @@
+//! The speculative sweep and the worklist fixpoint over inference rules.
+//!
+//! Stage A (linear sweep) decodes every aligned text word once and every
+//! aligned data word once, recording *local* facts: valid instruction,
+//! direct call/branch targets, plausible prologues, data words holding
+//! text addresses. Stage B (recursive sweep + fixpoint) starts from the
+//! high-confidence seeds, follows control flow with delay-slot awareness
+//! (consulting the caller-supplied dispatch resolver at indirect jumps),
+//! and iterates rule application until no rule learns a new routine
+//! start. Unreached residue is classified as data at the end.
+//!
+//! Every rule is deterministic and the worklist is drained in insertion
+//! order from sorted seeds, so the inferred routine set is a pure
+//! function of the image bytes.
+
+use crate::facts::{FactBase, Facts};
+use eel_exe::Image;
+use eel_isa::{AluOp, Cond, Insn, MemWidth, Op, Reg, Src2};
+
+/// How strongly the evidence supports an inferred routine start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Confidence {
+    /// Circumstantial (a data word pointing at plausible code).
+    Low,
+    /// Structural pattern (a compiler prologue with no incoming flow).
+    Medium,
+    /// Ground truth the hardware enforces (the entry point, a direct
+    /// call's target).
+    High,
+}
+
+/// The strongest single piece of evidence behind an inferred start.
+///
+/// Ordering is by resulting [`Confidence`] (then declaration order), so
+/// merging keeps the strongest claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Evidence {
+    /// A data-segment word holds this address (a function pointer at
+    /// rest) and a prologue starts here.
+    DataPointer,
+    /// The word matches the compiler's prologue signature.
+    Prologue,
+    /// Some direct `call` targets this address.
+    CallTarget,
+    /// The first text address (routines are laid out from the start of
+    /// text; something must own those bytes).
+    TextStart,
+    /// The program's architectural entry point.
+    EntryPoint,
+}
+
+impl Evidence {
+    /// The confidence class this evidence supports.
+    pub fn confidence(self) -> Confidence {
+        match self {
+            Evidence::EntryPoint | Evidence::TextStart | Evidence::CallTarget => Confidence::High,
+            Evidence::Prologue => Confidence::Medium,
+            Evidence::DataPointer => Confidence::Low,
+        }
+    }
+}
+
+/// One inferred routine start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferredStart {
+    /// Text address of the start.
+    pub addr: u32,
+    /// The strongest evidence that produced it.
+    pub evidence: Evidence,
+    /// Derived from [`InferredStart::evidence`].
+    pub confidence: Confidence,
+}
+
+/// Aggregate counters from one inference run (also exported as
+/// `strip.*` eel-obs metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InferStats {
+    /// Aligned text words swept.
+    pub words: u32,
+    /// Words that decode as defined instructions.
+    pub valid: u32,
+    /// Words the recursive sweep reached from some start.
+    pub reached: u32,
+    /// Words classified as data (dispatch-table slots plus unreachable
+    /// gaps).
+    pub data_words: u32,
+    /// Fixpoint rounds until no rule learned a new start.
+    pub iterations: u32,
+    /// Total facts in the final fact base.
+    pub facts: u64,
+}
+
+/// The confidence-ranked result of inference-based discovery: what the
+/// symbol table would have said, reconstructed from the bytes.
+#[derive(Debug, Clone, Default)]
+pub struct InferredDiscovery {
+    /// Inferred routine starts, ascending by address.
+    pub starts: Vec<InferredStart>,
+    /// Classified data ranges `[start, end)` inside text (dispatch
+    /// tables and unreachable gaps), ascending, coalesced.
+    pub data: Vec<(u32, u32)>,
+    /// Run counters.
+    pub stats: InferStats,
+}
+
+impl InferredDiscovery {
+    /// The inferred start addresses, ascending.
+    pub fn start_addrs(&self) -> Vec<u32> {
+        self.starts.iter().map(|s| s.addr).collect()
+    }
+}
+
+/// What the caller's dispatch resolver learned about one indirect jump.
+///
+/// eel-strip deliberately does not depend on eel-core; the §3.3
+/// jump-table slicing machinery lives there, so [`infer`] takes it as a
+/// callback and feeds resolved targets back into the sweep.
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedDispatch {
+    /// The dispatch table's extent `[start, end)` in the text segment,
+    /// when the jump reads one — its slots are classified as data.
+    pub table: Option<(u32, u32)>,
+    /// Resolved jump targets (empty when the jump is unanalyzable).
+    pub targets: Vec<u32>,
+}
+
+/// A resolver for indirect jumps: `(text extent, jump address, decoded
+/// jump)` to what the jump can reach. [`NO_DISPATCH`] resolves nothing.
+pub type DispatchResolver<'a> = dyn FnMut((u32, u32), u32, Insn) -> ResolvedDispatch + 'a;
+
+/// A resolver that treats every indirect jump as unanalyzable.
+pub fn no_dispatch(_extent: (u32, u32), _addr: u32, _insn: Insn) -> ResolvedDispatch {
+    ResolvedDispatch::default()
+}
+
+/// Runs inference-based routine discovery over a (stripped) image.
+///
+/// The rules, in the order a fixpoint round applies them:
+///
+/// 1. **entry / text-start**: the architectural entry point and the
+///    first text address seed starts (High).
+/// 2. **call-target**: every direct `call`'s in-text target is a start
+///    (High) — found in the linear sweep and again for any call the
+///    recursive sweep reaches.
+/// 3. **prologue**: a word matching the compiler's frame-push signature
+///    (`sub %sp, imm, %sp` spilling `%o7`, or a classic `save %sp`)
+///    seeds a start (Medium).
+/// 4. **jump-table**: at each reached indirect jump the caller's
+///    resolver (eel-core's §3.3 slicer) is consulted; resolved targets
+///    re-enter the sweep and the table's slots are classified data.
+/// 5. **data-pointer**: after a sweep converges, a data-segment word
+///    holding the address of a still-unreached prologue promotes it to
+///    a start (Low) — a function referenced only through memory.
+/// 6. **gap-data**: when no rule learns a new start, still-unreached
+///    words are classified as data.
+pub fn infer(image: &Image, resolve: &mut DispatchResolver<'_>) -> InferredDiscovery {
+    let _obs = eel_obs::span("strip.infer");
+    let text = (image.text_addr, image.text_end());
+    let mut facts = FactBase::new(text.0, image.text.len());
+    let mut stats = InferStats {
+        words: facts.len() as u32,
+        ..InferStats::default()
+    };
+    eel_obs::counter!("strip.sweep.words").add(facts.len() as u64);
+
+    // ---- Stage A: linear speculative sweep (local facts only). ----
+    let mut calls = 0u64;
+    let mut branches = 0u64;
+    for (addr, word) in image.text_words() {
+        let insn = eel_isa::decode(word);
+        if matches!(insn.op, Op::Invalid) {
+            continue;
+        }
+        stats.valid += 1;
+        facts.add(addr, Facts::VALID);
+        match insn.op {
+            Op::Call { .. } => {
+                if let Some(t) = insn
+                    .direct_target(addr)
+                    .filter(|t| facts.index(*t).is_some())
+                {
+                    facts.add(t, Facts::CALL_TGT);
+                    calls += 1;
+                }
+            }
+            Op::Branch { cond, .. } if cond != Cond::Never => {
+                if let Some(t) = insn
+                    .direct_target(addr)
+                    .filter(|t| facts.index(*t).is_some())
+                {
+                    facts.add(t, Facts::BRANCH_TGT);
+                    branches += 1;
+                }
+            }
+            _ => {}
+        }
+        if is_prologue(image, addr) {
+            facts.add(addr, Facts::PROLOGUE);
+        }
+    }
+    eel_obs::counter!("strip.sweep.insns_valid").add(u64::from(stats.valid));
+    eel_obs::counter!("strip.sweep.calls").add(calls);
+    eel_obs::counter!("strip.sweep.branches").add(branches);
+
+    // Data words holding aligned text addresses: function pointers at
+    // rest, the weakest (and only memory-borne) start evidence.
+    let mut data_ptrs = 0u64;
+    for chunk in image.data.chunks_exact(4) {
+        let v = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        if facts.index(v).is_some() && facts.add(v, Facts::DATA_PTR) {
+            data_ptrs += 1;
+        }
+    }
+    eel_obs::counter!("strip.sweep.data_ptrs").add(data_ptrs);
+
+    // ---- Stage B: seeds, then the recursive sweep fixpoint. ----
+    let mut starts: std::collections::BTreeMap<u32, Evidence> = std::collections::BTreeMap::new();
+    let learn =
+        |starts: &mut std::collections::BTreeMap<u32, Evidence>, addr: u32, ev: Evidence| -> bool {
+            match starts.entry(addr) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(ev);
+                    // Dynamic name: the macro's static cache would pin the
+                    // first rule's counter, so go through the registry.
+                    eel_obs::counter(match ev {
+                        Evidence::EntryPoint => "strip.rule.entry",
+                        Evidence::TextStart => "strip.rule.text_start",
+                        Evidence::CallTarget => "strip.rule.call_target",
+                        Evidence::Prologue => "strip.rule.prologue",
+                        Evidence::DataPointer => "strip.rule.data_pointer",
+                    })
+                    .add(1);
+                    true
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if ev > *e.get() {
+                        e.insert(ev);
+                    }
+                    false
+                }
+            }
+        };
+
+    if facts.index(image.entry).is_some() {
+        learn(&mut starts, image.entry, Evidence::EntryPoint);
+    }
+    if !facts.is_empty() {
+        learn(&mut starts, text.0, Evidence::TextStart);
+    }
+    let snapshot: Vec<(u32, Facts)> = facts.iter().collect();
+    for &(addr, f) in &snapshot {
+        if f.has(Facts::CALL_TGT) {
+            learn(&mut starts, addr, Evidence::CallTarget);
+        }
+        if f.has(Facts::PROLOGUE) {
+            learn(&mut starts, addr, Evidence::Prologue);
+        }
+    }
+
+    let mut swept: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    loop {
+        stats.iterations += 1;
+        // Recursive sweep from every start not yet swept. The worklist
+        // dedups on REACHED, so each word is processed at most once
+        // across all rounds.
+        let mut worklist: Vec<u32> = starts
+            .keys()
+            .copied()
+            .filter(|a| !swept.contains(a))
+            .collect();
+        swept.extend(worklist.iter().copied());
+        for &a in &worklist {
+            facts.add(a, Facts::REACHED);
+        }
+        while let Some(addr) = worklist.pop() {
+            let Some(word) = image.word_at(addr) else {
+                continue;
+            };
+            let insn = eel_isa::decode(word);
+            if matches!(insn.op, Op::Invalid | Op::Unimp { .. }) {
+                continue; // reachable garbage: the path ends here
+            }
+            let enqueue = |facts: &mut FactBase, worklist: &mut Vec<u32>, t: u32| {
+                if facts.index(t).is_some()
+                    && !facts.get(t).has(Facts::DATA)
+                    && facts.add(t, Facts::REACHED)
+                {
+                    worklist.push(t);
+                }
+            };
+            if insn.is_delayed() {
+                // The delay slot executes with the transfer; compilers
+                // never put another transfer there, so mark it reached
+                // without treating it as an independent flow point.
+                if facts.index(addr + 4).is_some() {
+                    facts.add(addr + 4, Facts::REACHED);
+                    facts.add(addr, Facts::FALLS);
+                }
+            }
+            match insn.op {
+                Op::Branch { cond, .. } => {
+                    if cond != Cond::Never {
+                        if let Some(t) = insn.direct_target(addr) {
+                            enqueue(&mut facts, &mut worklist, t);
+                        }
+                    }
+                    if cond != Cond::Always {
+                        enqueue(&mut facts, &mut worklist, addr + 8);
+                    }
+                }
+                Op::Call { .. } => {
+                    if let Some(t) = insn
+                        .direct_target(addr)
+                        .filter(|t| facts.index(*t).is_some())
+                    {
+                        facts.add(t, Facts::CALL_TGT);
+                        learn(&mut starts, t, Evidence::CallTarget);
+                        enqueue(&mut facts, &mut worklist, t);
+                    }
+                    // Calls are assumed to return past their delay slot.
+                    enqueue(&mut facts, &mut worklist, addr + 8);
+                }
+                Op::Jmpl { rd, rs1, .. } => {
+                    if rd == Reg::O7 {
+                        // Indirect call: assume it returns.
+                        enqueue(&mut facts, &mut worklist, addr + 8);
+                    } else if rs1 == Reg::O7 || rs1 == Reg::I7 {
+                        // Return: the path ends.
+                    } else {
+                        // Indirect jump: ask the §3.3 slicer.
+                        let r = resolve(text, addr, insn);
+                        if !r.targets.is_empty() || r.table.is_some() {
+                            eel_obs::counter!("strip.rule.jumptable").add(1);
+                        }
+                        if let Some((lo, hi)) = r.table {
+                            let mut a = lo;
+                            while a < hi {
+                                facts.add(a, Facts::DATA);
+                                a += 4;
+                            }
+                        }
+                        for t in r.targets {
+                            enqueue(&mut facts, &mut worklist, t);
+                        }
+                    }
+                }
+                Op::Trap { .. } => {
+                    // Traps may not return (the exit gateway), but
+                    // over-marking reachability only shrinks the gap
+                    // classification, never the start set.
+                    enqueue(&mut facts, &mut worklist, addr + 4);
+                }
+                _ => {
+                    facts.add(addr, Facts::FALLS);
+                    enqueue(&mut facts, &mut worklist, addr + 4);
+                }
+            }
+        }
+
+        // Rule: a data-held pointer to a still-unreached prologue is a
+        // routine referenced only through memory. Requiring the prologue
+        // keeps coincidental integers out of the start set.
+        let mut learned = false;
+        let promote: Vec<u32> = facts
+            .iter()
+            .filter(|(_, f)| {
+                f.has(Facts::DATA_PTR)
+                    && f.has(Facts::PROLOGUE)
+                    && f.has(Facts::VALID)
+                    && !f.has(Facts::REACHED)
+                    && !f.has(Facts::DATA)
+            })
+            .map(|(a, _)| a)
+            .collect();
+        for a in promote {
+            learned |= learn(&mut starts, a, Evidence::DataPointer);
+        }
+        if !learned {
+            break;
+        }
+    }
+    eel_obs::counter!("strip.fixpoint.iters").add(u64::from(stats.iterations));
+
+    // Gap classification: whatever no start reaches is data.
+    let mut gap_words = 0u64;
+    let unreached: Vec<u32> = facts
+        .iter()
+        .filter(|(_, f)| !f.has(Facts::REACHED) && !f.has(Facts::DATA))
+        .map(|(a, _)| a)
+        .collect();
+    for a in unreached {
+        facts.add(a, Facts::DATA);
+        gap_words += 1;
+    }
+    eel_obs::counter!("strip.rule.gap_data").add(gap_words);
+
+    // Materialize: drop any start that ended up classified as data (a
+    // pointer into a dispatch table), mark the rest, coalesce the data
+    // ranges, and count the final facts.
+    let mut out = InferredDiscovery::default();
+    for (&addr, &ev) in &starts {
+        if facts.get(addr).has(Facts::DATA) {
+            continue;
+        }
+        facts.add(addr, Facts::START);
+        out.starts.push(InferredStart {
+            addr,
+            evidence: ev,
+            confidence: ev.confidence(),
+        });
+    }
+    for (addr, f) in facts.iter() {
+        if f.has(Facts::REACHED) {
+            stats.reached += 1;
+        }
+        if f.has(Facts::DATA) {
+            stats.data_words += 1;
+            match out.data.last_mut() {
+                Some((_, end)) if *end == addr => *end = addr + 4,
+                _ => out.data.push((addr, addr + 4)),
+            }
+        }
+    }
+    stats.facts = facts.total_facts();
+    eel_obs::counter!("strip.fixpoint.facts").add(stats.facts);
+    out.stats = stats;
+    out
+}
+
+/// Does `addr` begin a plausible compiler prologue?
+///
+/// Two signatures are recognized (the rule catalog in
+/// `docs/STRIPPED.md`):
+///
+/// * the flat-frame push our compiler emits for every non-leaf
+///   function: `sub %sp, FRAME, %sp` immediately followed by a word
+///   store of `%o7` at a small positive `%sp` offset;
+/// * the classic register-window `save %sp, -FRAME, %sp`.
+pub fn is_prologue(image: &Image, addr: u32) -> bool {
+    let Some(w0) = image.word_at(addr) else {
+        return false;
+    };
+    match eel_isa::decode(w0).op {
+        Op::Alu {
+            op: AluOp::Sub,
+            cc: false,
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            src2: Src2::Imm(frame),
+        } if frame > 0 => {
+            let Some(w1) = image.word_at(addr + 4) else {
+                return false;
+            };
+            matches!(
+                eel_isa::decode(w1).op,
+                Op::Store {
+                    width: MemWidth::Word,
+                    rd: Reg::O7,
+                    rs1: Reg::SP,
+                    src2: Src2::Imm(off),
+                    fp: false,
+                } if (0..64).contains(&off)
+            )
+        }
+        Op::Alu {
+            op: AluOp::Save,
+            cc: false,
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            src2: Src2::Imm(frame),
+        } => frame < 0,
+        _ => false,
+    }
+}

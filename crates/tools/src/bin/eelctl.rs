@@ -187,9 +187,10 @@ fn main() -> ExitCode {
                 tier,
                 body,
                 fragments,
+                discovery,
             }) => {
                 eprintln!(
-                    "eelctl: {op} {file}: {}{}",
+                    "eelctl: {op} {file}: {}{}{}",
                     match tier {
                         CacheTier::Computed => "cache miss",
                         CacheTier::Memory => "cache hit",
@@ -198,6 +199,10 @@ fn main() -> ExitCode {
                     match fragments {
                         Some((hits, total)) if total > 0 => format!(" (fragments {hits}/{total})"),
                         _ => String::new(),
+                    },
+                    match discovery {
+                        Some(d) => format!(" (discovery {})", d.as_str()),
+                        None => String::new(),
                     }
                 );
                 if let Some(out) = &output {

@@ -69,6 +69,10 @@ fn main() -> ExitCode {
     if let Err(e) = exec.read_contents() {
         return cli.fail(e);
     }
+    if exec.discovery_source() == eel_core::DiscoverySource::Inferred {
+        println!("; discovery: inferred (no symbol table; routine names are synthetic)");
+        println!();
+    }
 
     for id in exec.all_routine_ids() {
         let routine = exec.routine(id).clone();

@@ -80,8 +80,10 @@ fn main() -> ExitCode {
         }
     }
     eprintln!(
-        "eelstat: analyzed {input}: {routines} routines ({} distinct content keys)",
-        distinct.len()
+        "eelstat: analyzed {input}: {routines} routines ({} distinct content keys, \
+         discovery: {})",
+        distinct.len(),
+        exec.discovery_source().as_str()
     );
     if let Some(report) = obs.finish_report("eelstat") {
         print!("{report}");

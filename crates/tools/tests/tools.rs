@@ -472,3 +472,116 @@ fn shrink_refuses_programs_with_function_pointers() {
         other => panic!("must refuse: {other:?}"),
     }
 }
+
+// ------------------------------------------------------------ stripped
+
+/// Non-zero counts keyed by `(site, index)` — comparable across a
+/// stripped/unstripped twin pair, whose routine *names* necessarily
+/// differ (`fib` vs `sub_10234`).
+fn nonzero_by_site(run: &qpt2::ProfileRun) -> std::collections::BTreeMap<(u32, u32), u32> {
+    run.counts
+        .iter()
+        .filter(|(_, &c)| c != 0)
+        .map(|(&(_, site, index), &c)| ((site, index), c))
+        .collect()
+}
+
+#[test]
+fn qpt2_stripped_twin_block_counts_match_unstripped() {
+    // The eel-strip acceptance bar, at the tool level: profiling a
+    // stripped image is emu-equivalent to profiling its unstripped twin.
+    // suite()[0] (the spim-like interpreter) carries dispatch tables, so
+    // this also exercises jump-table resolution inside inference.
+    let w = &suite()[0];
+    let image = compile(w, Personality::Gcc).unwrap();
+    let mut stripped = image.clone();
+    stripped.strip();
+    assert!(stripped.is_stripped());
+
+    let base = qpt2::instrument(image, qpt2::Granularity::Blocks)
+        .unwrap()
+        .run()
+        .unwrap();
+    let twin = qpt2::instrument(stripped, qpt2::Granularity::Blocks)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(base.outcome.exit_code, twin.outcome.exit_code);
+    assert_eq!(base.outcome.output, twin.outcome.output);
+    let base_counts = nonzero_by_site(&base);
+    assert_eq!(base_counts, nonzero_by_site(&twin), "block counts diverge");
+    assert!(!base_counts.is_empty(), "profile counted nothing");
+}
+
+#[test]
+fn wisc_strip_mode_is_deterministic_and_twins_the_normal_build() {
+    // Satellite: `wisc --strip` must be a deterministic twin of the
+    // normal build — same text and data, empty symbol table.
+    let dir = std::env::temp_dir().join(format!("eel-wisc-strip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("p.wisc");
+    std::fs::write(&src, small_program()).unwrap();
+    let build = |args: &[&str], out: &std::path::Path| {
+        let status = std::process::Command::new(env!("CARGO_BIN_EXE_wisc"))
+            .arg(&src)
+            .arg("-o")
+            .arg(out)
+            .args(args)
+            .status()
+            .unwrap();
+        assert!(status.success(), "wisc {args:?} failed");
+        std::fs::read(out).unwrap()
+    };
+    let plain = build(&[], &dir.join("plain.wef"));
+    let s1 = build(&["--strip"], &dir.join("s1.wef"));
+    let s2 = build(&["--strip"], &dir.join("s2.wef"));
+    assert_eq!(s1, s2, "--strip builds are not byte-identical");
+
+    let plain = eel_exe::Image::from_bytes(&plain).unwrap();
+    let stripped = eel_exe::Image::from_bytes(&s1).unwrap();
+    assert!(!plain.is_stripped());
+    assert!(stripped.is_stripped());
+    assert_eq!(plain.text, stripped.text, "--strip changed the text");
+    assert_eq!(plain.data, stripped.data, "--strip changed the data");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eelstat_and_eelobjdump_work_on_stripped_images() {
+    // Satellite: the offline tools must fall back to inferred discovery
+    // and synthetic names on a symbol-less image rather than erroring or
+    // printing an empty report.
+    let dir = std::env::temp_dir().join(format!("eel-stripped-tools-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let opts = Options {
+        strip: true,
+        ..Options::default()
+    };
+    let image = compile_str(small_program(), &opts).unwrap();
+    let wef = dir.join("stripped.wef");
+    std::fs::write(&wef, image.to_bytes()).unwrap();
+
+    let stat = std::process::Command::new(env!("CARGO_BIN_EXE_eelstat"))
+        .arg(&wef)
+        .output()
+        .unwrap();
+    assert!(stat.status.success(), "eelstat failed on a stripped image");
+    let err = String::from_utf8_lossy(&stat.stderr);
+    assert!(err.contains("discovery: inferred"), "{err}");
+
+    let dump = std::process::Command::new(env!("CARGO_BIN_EXE_eelobjdump"))
+        .arg(&wef)
+        .output()
+        .unwrap();
+    assert!(
+        dump.status.success(),
+        "eelobjdump failed on a stripped image"
+    );
+    let out = String::from_utf8_lossy(&dump.stdout);
+    assert!(out.contains("discovery: inferred"), "missing header note");
+    assert!(out.contains("<sub_"), "no synthetic routine names:\n{out}");
+    // main, touch, and the print runtime all execute: the listing must
+    // cover at least those three routines.
+    assert!(out.matches("<sub_").count() >= 3, "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
