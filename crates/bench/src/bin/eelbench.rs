@@ -4,6 +4,7 @@
 //! eelbench serve       [--images N] [--window N] [--out PATH]
 //! eelbench edit        [--images N] [--out PATH]
 //! eelbench incremental [--twins N] [--out PATH]
+//! eelbench machines    [--out PATH]
 //! ```
 //!
 //! The `serve` subcommand measures the two session-era optimizations
@@ -40,6 +41,14 @@
 //! fragment hit rate recorded. The `"incremental"` section is merged
 //! into `BENCH_serve.json` like `"edit"`; run the subcommands in
 //! serve → edit → incremental order when regenerating the whole file.
+//!
+//! The `machines` subcommand measures the machine-dispatch seam: every
+//! suite workload compiled as a SPARC/MIPS twin pair, every cached op
+//! run through both pipelines (SPARC's editable-CFG path, MIPS's
+//! spawn-derived generic path), both twins run under the emulator with
+//! matching observable behavior, and the instrumented MIPS image
+//! re-run to confirm counters don't perturb it. Per-op latencies for
+//! both machines land in a `"machines"` section of the same file.
 
 use eel_cc::Personality;
 use eel_serve::{
@@ -55,15 +64,18 @@ fn main() -> ExitCode {
         Some("serve") => serve_bench(&args[1..]),
         Some("edit") => edit_bench(&args[1..]),
         Some("incremental") => incremental_bench(&args[1..]),
+        Some("machines") => machines_bench(&args[1..]),
         Some("-h") | Some("--help") => {
             println!("usage: eelbench serve       [--images N] [--window N] [--out PATH]");
             println!("       eelbench edit        [--images N] [--out PATH]");
             println!("       eelbench incremental [--twins N] [--out PATH]");
+            println!("       eelbench machines    [--out PATH]");
             ExitCode::SUCCESS
         }
         other => {
             eprintln!(
-                "eelbench: unknown subcommand {other:?} (try: eelbench serve | edit | incremental)"
+                "eelbench: unknown subcommand {other:?} (try: eelbench serve | edit | \
+                 incremental | machines)"
             );
             ExitCode::FAILURE
         }
@@ -537,6 +549,251 @@ fn incremental_bench(args: &[String]) -> ExitCode {
                 base.truncate(pos);
                 format!("{base},\n{section}}}\n")
             } else if base.trim_start().starts_with("{\n  \"incremental\"") {
+                format!("{{\n{section}}}\n")
+            } else {
+                let end = base.trim_end().len() - 1;
+                base.truncate(end);
+                base.truncate(base.trim_end().len());
+                format!("{base},\n{section}}}\n")
+            }
+        }
+        _ => format!("{{\n{section}}}\n"),
+    };
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("eelbench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    eprintln!("eelbench: results written to {out}");
+    ExitCode::SUCCESS
+}
+
+/// Cross-machine smoke + timing over the dispatch seam: each suite
+/// workload compiled for both machines from the same source, both
+/// pipelines run over every cached op, and the two backends' emulator
+/// behavior compared. Correctness smoke first, benchmark second — any
+/// divergence exits nonzero. Kernel-level (no daemon): the serve tests
+/// already cover wire dispatch and cache-key separation; this measures
+/// the op pipelines themselves.
+fn machines_bench(args: &[String]) -> ExitCode {
+    use eel_serve::{FragmentStats, CACHED_OPS};
+    use std::sync::Arc;
+
+    let mut out = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("eelbench: {flag} needs a value");
+            return ExitCode::FAILURE;
+        };
+        match flag {
+            "--out" => out = value.clone(),
+            other => {
+                eprintln!("eelbench: unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let machines = [eel_exe::Machine::Sparc, eel_exe::Machine::Mips];
+    let suite = eel_progen::suite();
+    eprintln!(
+        "eelbench: compiling {} workloads as sparc/mips twin pairs...",
+        suite.len()
+    );
+    let run_op = |op: &str, a: &eel_core::Analysis| -> Result<Vec<u8>, String> {
+        run_op_fragments(op, a, 1, &NoFragments).map(|(body, _): (_, FragmentStats)| body)
+    };
+    let mut pairs = Vec::new();
+    for w in &suite {
+        // Some suite workloads use constructs one code generator
+        // rejects (e.g. indirect calls on mips); a pair needs both.
+        let images: Vec<eel_exe::Image> = match machines
+            .iter()
+            .map(|&m| eel_progen::compile_machine(w, Personality::Gcc, m))
+            .collect::<Result<_, _>>()
+        {
+            Ok(images) => images,
+            Err(e) => {
+                eprintln!("eelbench: skipping {} (not portable: {e:?})", w.name);
+                continue;
+            }
+        };
+        for (image, &machine) in images.iter().zip(&machines) {
+            if image.machine != machine {
+                eprintln!(
+                    "eelbench: FAIL: {} twin tagged {}",
+                    w.name,
+                    image.machine.name()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+
+        // Same source, two backends: observable behavior must agree
+        // (cycle counts legitimately differ — SPARC pays annulled delay
+        // slots, MIPS pays its own schedule — so only I/O is compared).
+        let outcomes: Vec<eel_emu::Outcome> = match images
+            .iter()
+            .map(eel_emu::run_image)
+            .collect::<Result<_, _>>()
+        {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("eelbench: FAIL: {} twin does not run: {e:?}", w.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        if outcomes[0].exit_code != outcomes[1].exit_code
+            || outcomes[0].output != outcomes[1].output
+        {
+            eprintln!(
+                "eelbench: FAIL: {} twins diverge under emulation (sparc exit {}, mips exit {})",
+                w.name, outcomes[0].exit_code, outcomes[1].exit_code
+            );
+            return ExitCode::FAILURE;
+        }
+
+        let analyses: Vec<eel_core::Analysis> = images
+            .iter()
+            .map(|image| {
+                eel_core::Analysis::compute(Arc::new(image.clone())).expect("analyze twin")
+            })
+            .collect();
+        for op in CACHED_OPS {
+            let mut bodies = Vec::new();
+            for (a, &machine) in analyses.iter().zip(&machines) {
+                let body = match run_op(op, a) {
+                    Ok(body) => body,
+                    Err(e) => {
+                        eprintln!(
+                            "eelbench: FAIL: {op} on the {} {} twin: {e}",
+                            machine.name(),
+                            w.name
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if run_op(op, a).as_ref() != Ok(&body) {
+                    eprintln!(
+                        "eelbench: FAIL: {op} is not deterministic on {}",
+                        machine.name()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                if *op == "stat" {
+                    let text = String::from_utf8_lossy(&body);
+                    let line = format!("machine: {}", machine.name());
+                    if !text.contains(&line) {
+                        eprintln!("eelbench: FAIL: stat does not report {line:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                bodies.push(body);
+            }
+            // Machine-appropriate output: twin bodies must never be
+            // interchangeable across tags.
+            if bodies[0] == bodies[1] {
+                eprintln!(
+                    "eelbench: FAIL: {op} output identical across machines on {}",
+                    w.name
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+
+        // Instrumenting the MIPS twin must not change its behavior.
+        let edited = match run_op("instrument", &analyses[1]) {
+            Ok(body) => body,
+            Err(e) => {
+                eprintln!("eelbench: FAIL: instrument the mips {} twin: {e}", w.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let instrumented = match eel_exe::Image::from_bytes(&edited)
+            .map_err(|e| format!("{e:?}"))
+            .and_then(|image| eel_emu::run_image(&image).map_err(|e| format!("{e:?}")))
+        {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!(
+                    "eelbench: FAIL: instrumented mips {} does not run: {e}",
+                    w.name
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        if instrumented.exit_code != outcomes[1].exit_code
+            || instrumented.output != outcomes[1].output
+        {
+            eprintln!(
+                "eelbench: FAIL: instrumenting the mips {} twin changed its behavior",
+                w.name
+            );
+            return ExitCode::FAILURE;
+        }
+
+        eprintln!(
+            "eelbench: {}: twins agree (exit {}), all {} ops dispatch on both machines",
+            w.name,
+            outcomes[0].exit_code,
+            CACHED_OPS.len()
+        );
+        pairs.push((w.name, images, analyses, outcomes));
+    }
+
+    // -- Timing: both pipelines over the largest pair's ops.
+    let (name, images, analyses, outcomes) = pairs
+        .iter()
+        .max_by_key(|(_, images, _, _)| images[1].text.len())
+        .expect("suite non-empty");
+    eprintln!("eelbench: timing both pipelines on {name}...");
+    let mut rows = Vec::new();
+    for op in CACHED_OPS {
+        const RUNS: usize = 5;
+        let mut ms = [f64::INFINITY; 2];
+        for _ in 0..RUNS {
+            for (slot, a) in analyses.iter().enumerate() {
+                let started = Instant::now();
+                run_op(op, a).expect(op);
+                ms[slot] = ms[slot].min(started.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        eprintln!(
+            "eelbench: machines: {op} sparc {:.2}ms, mips {:.2}ms",
+            ms[0], ms[1]
+        );
+        rows.push(format!(
+            "    \"{op}\": {{ \"sparc_ms\": {:.2}, \"mips_ms\": {:.2} }}",
+            ms[0], ms[1]
+        ));
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let section = format!(
+        "  \"machines\": {{\n    \"cores\": {cores},\n    \"workloads\": {},\n    \
+         \"timed_workload\": \"{name}\",\n    \"sparc_text_bytes\": {},\n    \
+         \"mips_text_bytes\": {},\n    \"sparc_cycles\": {},\n    \"mips_cycles\": {},\n{}\n  }}\n",
+        pairs.len(),
+        images[0].text.len(),
+        images[1].text.len(),
+        outcomes[0].cycles,
+        outcomes[1].cycles,
+        rows.join(",\n")
+    );
+    // Merge like the edit/incremental sections: drop any previous
+    // machines section, then splice before the closing brace.
+    let json = match std::fs::read_to_string(&out) {
+        Ok(mut base) if base.trim_end().ends_with('}') => {
+            if let Some(pos) = base.find(",\n  \"machines\"") {
+                base.truncate(pos);
+                format!("{base},\n{section}}}\n")
+            } else if base.trim_start().starts_with("{\n  \"machines\"") {
                 format!("{{\n{section}}}\n")
             } else {
                 let end = base.trim_end().len() - 1;

@@ -106,7 +106,8 @@ fn main() {
         "| handwritten machine layer (eel-isa) | {} |",
         l.handwritten
     );
-    println!("| spawn-generated Rust | {} |", l.generated);
+    println!("| spawn-generated Rust (sparc) | {} |", l.generated);
+    println!("| spawn-generated Rust (mips) | {} |", l.mips_generated);
 
     // ---- E-OVH ----------------------------------------------------------
     println!("\n## §1/§5 — instrumentation overheads (dynamic-cycle ratios)\n");

@@ -231,6 +231,10 @@ pub struct SpawnLoc {
     pub handwritten: usize,
     /// spawn-generated output lines (paper: 6,178).
     pub generated: usize,
+    /// spawn-generated Rust for the MIPS description — the second-ISA
+    /// data point: there is no handwritten MIPS layer to compare
+    /// against, so the ratio is generated-vs-description alone.
+    pub mips_generated: usize,
 }
 
 /// Measures description vs handwritten vs generated code sizes.
@@ -250,12 +254,15 @@ pub fn exp_spawn_loc() -> SpawnLoc {
     .iter()
     .map(|s| eel_tools::source_lines(s))
     .sum();
+    let mips = eel_spawn::mips_machine().expect("bundled description");
+    let mips_generated = eel_spawn::generate_rust(&mips).lines().count();
     SpawnLoc {
         sparc_desc: eel_spawn::description_lines(eel_spawn::SPARC),
         mips_desc: eel_spawn::description_lines(eel_spawn::MIPS),
         alpha_desc: eel_spawn::description_lines(eel_spawn::ALPHA),
         handwritten,
         generated,
+        mips_generated,
     }
 }
 

@@ -23,7 +23,7 @@ use crate::layout::{lay_out_routine, Item, RoutineLayout, Tgt, TRANSLATOR};
 use crate::routine::Routine;
 use crate::shared::Analysis;
 use eel_exe::{Image, Symbol, SymbolKind};
-use eel_isa::{Builder, Cond, Insn, Op};
+use eel_isa::{Builder, Insn, Op};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -367,25 +367,29 @@ pub(crate) fn discover_routines(
     strip_aware: bool,
 ) -> Result<Discovery, EelError> {
     let text = (image.text_addr, image.text_end());
+    let ops = crate::machine::machine_ops(image.machine);
 
-    // Pre-scan: decode every text word once; collect direct-call
-    // targets and branch targets (with their sources).
+    // Pre-scan: classify every text word once through the machine seam;
+    // collect direct-call targets (linking jumps) and branch targets
+    // (with their sources; non-linking direct jumps included, so SPARC
+    // `ba` and MIPS `j` both count as intra-routine flow).
     let mut call_targets: Vec<u32> = Vec::new();
     let mut branch_edges: Vec<(u32, u32)> = Vec::new(); // (src, target)
     for (addr, word) in image.text_words() {
         pool.intern(word);
-        match eel_isa::decode(word).op {
-            Op::Call { disp30 } => {
-                let t = addr.wrapping_add((disp30 as u32) << 2);
-                if t >= text.0 && t < text.1 && t % 4 == 0 {
-                    call_targets.push(t);
-                }
+        match ops.kind(word, addr) {
+            crate::machine::InsnKind::Jump {
+                target: t,
+                links: true,
+            } if t >= text.0 && t < text.1 && t % 4 == 0 => {
+                call_targets.push(t);
             }
-            Op::Branch { disp22, cond, .. } if cond != Cond::Never => {
-                let t = addr.wrapping_add((disp22 as u32) << 2);
-                if t >= text.0 && t < text.1 {
-                    branch_edges.push((addr, t));
-                }
+            crate::machine::InsnKind::Branch { target: t }
+            | crate::machine::InsnKind::Jump {
+                target: t,
+                links: false,
+            } if t >= text.0 && t < text.1 => {
+                branch_edges.push((addr, t));
             }
             _ => {}
         }
@@ -430,10 +434,24 @@ pub(crate) fn discover_routines(
     // dispatch-table feedback, data-pointer promotion) — or, with the
     // fallback disabled, from the naive entry/call-target seeding.
     let source = if candidates.is_empty() {
-        if strip_aware {
+        if strip_aware && image.machine == eel_exe::Machine::Sparc {
             let inferred = infer_stripped(image);
             for s in &inferred.starts {
                 candidates.entry(s.addr).or_insert(None);
+            }
+        } else if strip_aware {
+            // Non-SPARC stripped images: seed from call targets plus the
+            // machine's prologue signature (eel-strip's rule 3 through
+            // the seam; the full sweep-and-fixpoint is SPARC-only today).
+            for &t in &call_targets {
+                candidates.entry(t).or_insert(None);
+            }
+            let mut addr = text.0;
+            while addr < text.1 {
+                if ops.is_prologue(image, addr) {
+                    candidates.entry(addr).or_insert(None);
+                }
+                addr += 4;
             }
         } else {
             for &t in &call_targets {
@@ -490,6 +508,22 @@ pub(crate) fn discover_routines(
 }
 
 impl Executable {
+    /// Guard for the paths still implemented directly on `eel-isa`: the
+    /// editable CFG and relayout pipeline. Analyses for other machines
+    /// go through the [`crate::machine_ops`] seam and the
+    /// [`crate::generic_cfg`] family instead.
+    fn require_sparc(&self, what: &str) -> Result<(), EelError> {
+        if self.image.machine == eel_exe::Machine::Sparc {
+            Ok(())
+        } else {
+            Err(EelError::BadImage(format!(
+                "{what} is sparc-only; use the generic machine ops (eel_core::generic_cfg, \
+                 generic_disasm, instrument_block_counters) for a {} image",
+                self.image.machine
+            )))
+        }
+    }
+
     /// Ids of every routine currently known (named and hidden).
     pub fn all_routine_ids(&self) -> Vec<RoutineId> {
         (0..self.routines.len()).map(RoutineId).collect()
@@ -555,6 +589,7 @@ impl Executable {
         if !self.analyzed {
             return Err(EelError::NotAnalyzed);
         }
+        self.require_sparc("the editable CFG pipeline")?;
         let _ = self.routines.get(id.0).ok_or(EelError::BadRoutine(id.0))?;
         let mut escapes: Vec<u32> = Vec::new();
         let mut splits: Vec<u32> = Vec::new();
@@ -1058,6 +1093,7 @@ impl Executable {
         if !self.analyzed {
             return Err(EelError::NotAnalyzed);
         }
+        self.require_sparc("write_edited")?;
         if !self.dirty {
             // Nothing observable was edited: reproduce the input image byte
             // for byte rather than re-laying the program out (which would
@@ -1356,6 +1392,7 @@ impl Executable {
             data,
             bss_size: 0,
             symbols,
+            machine: self.image.machine,
         };
         edited.validate()?;
         self.addr_map = Some(map);

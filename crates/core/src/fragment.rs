@@ -54,16 +54,20 @@ fn fnv_u32(h: u64, v: u32) -> u64 {
     fnv_bytes(h, &v.to_le_bytes())
 }
 
-/// The stable content key of a routine: FNV-1a over its byte extent,
-/// the extent length, and its entry points relative to the routine
-/// start. Everything a CFG build consumes — and nothing tied to the
-/// routine's absolute position or name — goes in, so near-duplicate
-/// images agree on the keys of their unchanged routines.
+/// The stable content key of a routine: FNV-1a over the image's machine
+/// tag, the routine's byte extent, the extent length, and its entry
+/// points relative to the routine start. Everything a CFG build
+/// consumes — and nothing tied to the routine's absolute position or
+/// name — goes in, so near-duplicate images agree on the keys of their
+/// unchanged routines. The machine tag is load-bearing: byte-identical
+/// text decodes to entirely different programs under different ISAs, so
+/// a SPARC image and a MIPS image must never share fragment entries.
 pub fn routine_key(image: &Image, routine: &Routine) -> u64 {
     let lo = routine.start.saturating_sub(image.text_addr) as usize;
     let hi = (routine.end.saturating_sub(image.text_addr) as usize).min(image.text.len());
     let bytes = image.text.get(lo..hi.max(lo)).unwrap_or(&[]);
-    let mut h = fnv_bytes(FNV_OFFSET, bytes);
+    let mut h = fnv_bytes(FNV_OFFSET, &[image.machine.to_byte()]);
+    h = fnv_bytes(h, bytes);
     h = fnv_u32(h, routine.end.wrapping_sub(routine.start));
     h = fnv_u32(h, routine.entries.len() as u32);
     for &e in &routine.entries {
@@ -582,6 +586,7 @@ mod tests {
             data: Vec::new(),
             bss_size: 0,
             symbols: Vec::new(),
+            machine: eel_exe::Machine::Sparc,
         }
     }
 

@@ -53,8 +53,10 @@ mod cfg;
 mod error;
 mod executable;
 mod fragment;
+mod generic;
 mod instr;
 mod layout;
+mod machine;
 pub mod par;
 mod routine;
 mod shared;
@@ -73,7 +75,12 @@ pub use cfg::{
 pub use error::EelError;
 pub use executable::{CfgBatchItem, DiscoverySource, Executable, RoutineId};
 pub use fragment::{decode_fragment, encode_fragment, routine_key, FragmentMeta};
+pub use generic::{
+    generic_cfg, generic_disasm, generic_liveness, instrument_block_counters, ops_for,
+    uses_generic_pipeline, BlockCounter, GenericBlock, GenericCfg, GenericLiveness,
+};
 pub use instr::{AllocStats, Instruction, InstructionPool};
+pub use machine::{machine_ops, InsnKind, MachineOps};
 pub use routine::Routine;
 pub use shared::Analysis;
 pub use snippet::{Callback, RegAssignment, Snippet};

@@ -1,0 +1,418 @@
+//! The machine-dispatch seam.
+//!
+//! The paper's claim (§2) is that EEL's analyses are machine-independent:
+//! everything ISA-specific sits behind a small description-derived layer.
+//! [`MachineOps`] is that layer's interface in this reproduction — the
+//! complete set of questions routine discovery, CFG construction,
+//! liveness, disassembly, and eel-strip's prologue rule ask of a machine.
+//! [`machine_ops`] dispatches on the WEF header's machine tag.
+//!
+//! Two implementations exist today:
+//!
+//! * [`Machine::Sparc`]: the hand-built `eel-isa` decoder (the seed
+//!   backend, kept byte-for-byte compatible with the original pipeline).
+//! * [`Machine::Mips`]: derived entirely from
+//!   `crates/spawn/descriptions/mips.spawn` by `eel-spawn` — zero
+//!   handwritten MIPS decode logic lives in this crate or `eel-isa`.
+//!
+//! Porting to a third machine (alpha) means writing a description and
+//! adding a `machine_ops` arm; `docs/MACHINES.md` walks through it.
+
+use eel_exe::{Image, Machine};
+use eel_isa::{Cond, Op, Reg};
+use std::sync::OnceLock;
+
+/// What a machine word does to control flow — the classification every
+/// machine-independent analysis in this crate consumes. The grouping
+/// deliberately mirrors §4's spawn classes, flattened to what CFG
+/// construction actually branches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsnKind {
+    /// Falls through to the next instruction (computation, load, store,
+    /// system — anything that is not a transfer).
+    Fall,
+    /// Conditional PC-relative transfer: taken edge to `target`, plus a
+    /// fall-through edge.
+    Branch {
+        /// Taken-edge target.
+        target: u32,
+    },
+    /// Unconditional direct transfer. `links` distinguishes calls
+    /// (SPARC `call`, MIPS `jal`) from plain jumps (`ba`, `j`).
+    Jump {
+        /// Transfer target.
+        target: u32,
+        /// Does the instruction save a return address?
+        links: bool,
+    },
+    /// Register-indirect transfer (SPARC `jmpl`, MIPS `jr`/`jalr`).
+    IndirectJump {
+        /// Does the instruction save a return address?
+        links: bool,
+    },
+    /// No valid decoding: data masquerading as code (§3.1's signal).
+    Invalid,
+}
+
+/// The per-machine operations the machine-independent layers dispatch
+/// through. Everything takes raw words (plus a pc where encodings are
+/// PC-relative) so implementations stay stateless and `'static`.
+pub trait MachineOps: Send + Sync {
+    /// Which machine this implements.
+    fn machine(&self) -> Machine;
+
+    /// Control-flow classification of one word.
+    fn kind(&self, word: u32, pc: u32) -> InsnKind;
+
+    /// Does this instruction have an architectural delay slot? (On both
+    /// SPARC V8 and MIPS-I every delayed transfer exposes one; a machine
+    /// without delay slots — alpha — returns `false` throughout.)
+    fn has_delay_slot(&self, word: u32, pc: u32) -> bool;
+
+    /// Registers the instruction reads, as machine-conventional names
+    /// (`%o0` on SPARC, `$4`/`$hi` on MIPS). Names only need to be
+    /// consistent within a machine — liveness treats them as opaque keys.
+    fn reads(&self, word: u32) -> Vec<String>;
+
+    /// Registers the instruction writes (same naming contract as
+    /// [`MachineOps::reads`]).
+    fn writes(&self, word: u32) -> Vec<String>;
+
+    /// One-line disassembly in the machine's conventional syntax.
+    fn disasm(&self, word: u32, pc: u32) -> String;
+
+    /// Does a compiler-shaped routine prologue start at `addr`? This is
+    /// the signature eel-strip's inference rule 3 keys on; per-machine
+    /// shapes are tabulated in `docs/STRIPPED.md`.
+    fn is_prologue(&self, image: &Image, addr: u32) -> bool;
+}
+
+/// The ops table for a machine tag.
+pub fn machine_ops(machine: Machine) -> &'static dyn MachineOps {
+    eel_obs::counter!("core.machine.dispatch").add(1);
+    match machine {
+        Machine::Sparc => &SparcOps,
+        Machine::Mips => &MipsOps,
+        // Registering alpha here (backed by an `alpha.spawn` description)
+        // is the final step of the MACHINES.md porting recipe.
+        Machine::Alpha => unimplemented!("no alpha backend registered yet (see docs/MACHINES.md)"),
+    }
+}
+
+/// SPARC V8 via the hand-built `eel-isa` layer.
+struct SparcOps;
+
+impl MachineOps for SparcOps {
+    fn machine(&self) -> Machine {
+        Machine::Sparc
+    }
+
+    fn kind(&self, word: u32, pc: u32) -> InsnKind {
+        let insn = eel_isa::decode(word);
+        match insn.op {
+            Op::Call { disp30 } => InsnKind::Jump {
+                target: pc.wrapping_add((disp30 as u32) << 2),
+                links: true,
+            },
+            // `bn` (branch never) is an elaborate nop; `ba` is an
+            // unconditional jump. Both orderings here keep discovery's
+            // branch-edge set identical to the pre-seam pipeline.
+            Op::Branch {
+                cond: Cond::Never, ..
+            } => InsnKind::Fall,
+            Op::Branch {
+                cond: Cond::Always,
+                disp22,
+                ..
+            } => InsnKind::Jump {
+                target: pc.wrapping_add((disp22 as u32) << 2),
+                links: false,
+            },
+            Op::Branch { disp22, .. } => InsnKind::Branch {
+                target: pc.wrapping_add((disp22 as u32) << 2),
+            },
+            Op::Jmpl { rd, .. } => InsnKind::IndirectJump {
+                links: rd != Reg::G0,
+            },
+            Op::Invalid => InsnKind::Invalid,
+            _ => InsnKind::Fall,
+        }
+    }
+
+    fn has_delay_slot(&self, word: u32, _pc: u32) -> bool {
+        eel_isa::decode(word).is_delayed()
+    }
+
+    fn reads(&self, word: u32) -> Vec<String> {
+        eel_isa::decode(word)
+            .reads()
+            .iter()
+            .map(|r| r.name())
+            .collect()
+    }
+
+    fn writes(&self, word: u32) -> Vec<String> {
+        eel_isa::decode(word)
+            .writes()
+            .iter()
+            .map(|r| r.name())
+            .collect()
+    }
+
+    fn disasm(&self, word: u32, _pc: u32) -> String {
+        eel_isa::decode(word).to_string()
+    }
+
+    fn is_prologue(&self, image: &Image, addr: u32) -> bool {
+        eel_strip::is_prologue(image, addr)
+    }
+}
+
+/// MIPS-I, derived from `mips.spawn` — no handwritten decode tables.
+struct MipsOps;
+
+/// The spawn-derived MIPS machine, built once per process.
+pub(crate) fn mips_machine() -> &'static eel_spawn::Machine {
+    static MACHINE: OnceLock<eel_spawn::Machine> = OnceLock::new();
+    MACHINE.get_or_init(|| {
+        eel_obs::counter!("spawn.machine.built").add(1);
+        eel_spawn::mips_machine().expect("mips.spawn is part of the build")
+    })
+}
+
+/// Spells a spawn register read/write as a conventional MIPS name.
+fn mips_reg_name(set: &str, index: u32) -> String {
+    match set {
+        "R" => format!("${index}"),
+        other => format!("${}", other.to_ascii_lowercase()),
+    }
+}
+
+impl MachineOps for MipsOps {
+    fn machine(&self) -> Machine {
+        Machine::Mips
+    }
+
+    fn kind(&self, word: u32, pc: u32) -> InsnKind {
+        let m = mips_machine();
+        let Some(d) = m.decode(word) else {
+            return InsnKind::Invalid;
+        };
+        match d.spec.class {
+            eel_spawn::Class::DirectJump => match m.static_target(&d, pc) {
+                Some(target) => InsnKind::Jump {
+                    target,
+                    links: d.spec.links,
+                },
+                None => InsnKind::IndirectJump {
+                    links: d.spec.links,
+                },
+            },
+            eel_spawn::Class::Branch => match m.static_target(&d, pc) {
+                Some(target) => InsnKind::Branch { target },
+                // A branch whose target the evaluator cannot fold is a
+                // description bug, not a program property; be conservative.
+                None => InsnKind::IndirectJump { links: false },
+            },
+            eel_spawn::Class::IndirectJump => InsnKind::IndirectJump {
+                links: d.spec.links,
+            },
+            eel_spawn::Class::Invalid => InsnKind::Invalid,
+            _ => InsnKind::Fall,
+        }
+    }
+
+    fn has_delay_slot(&self, word: u32, pc: u32) -> bool {
+        // MIPS-I: every taken transfer is delayed, with no annul bit.
+        !matches!(self.kind(word, pc), InsnKind::Fall | InsnKind::Invalid)
+    }
+
+    fn reads(&self, word: u32) -> Vec<String> {
+        let m = mips_machine();
+        match m.decode(word) {
+            Some(d) => m
+                .reads(&d)
+                .into_iter()
+                .map(|(set, i)| mips_reg_name(&set, i))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn writes(&self, word: u32) -> Vec<String> {
+        let m = mips_machine();
+        match m.decode(word) {
+            Some(d) => m
+                .writes(&d)
+                .into_iter()
+                .map(|(set, i)| mips_reg_name(&set, i))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn disasm(&self, word: u32, pc: u32) -> String {
+        let m = mips_machine();
+        let Some(d) = m.decode(word) else {
+            return format!(".word {word:#010x}");
+        };
+        if word == 0 {
+            return "nop".into();
+        }
+        let mut out = d.spec.name.clone();
+        // Operand spelling straight from the description's field values:
+        // terse, but mechanical for any described machine.
+        let mut ops: Vec<String> = Vec::new();
+        for field in ["rs", "rt", "rdf", "shamt", "imm16", "target"] {
+            let uses = m
+                .symbolic_reads(&d.spec.name)
+                .iter()
+                .chain(m.symbolic_writes(&d.spec.name).iter())
+                .any(|(_, e)| e.contains(field));
+            let v = m.field(field, word);
+            match field {
+                "rs" | "rt" | "rdf" if uses => ops.push(format!("${v}")),
+                // The immediate is structural, not a register-set read,
+                // so the symbolic-uses filter never sees it: any I-type
+                // word (opcode outside R-type 0 and J-type 2/3) carries
+                // one. Branches skip it — the folded `-> target` below
+                // says more than the raw displacement.
+                "imm16"
+                    if !matches!(word >> 26, 0 | 2 | 3)
+                        && !matches!(d.spec.class, eel_spawn::Class::Branch) =>
+                {
+                    ops.push(format!("{}", v as u16 as i16));
+                }
+                "target" if uses => {
+                    let t = ((pc.wrapping_add(4)) & 0xf000_0000) | (v << 2);
+                    ops.push(format!("{t:#x}"));
+                }
+                "shamt" if uses && d.spec.name.starts_with('s') => ops.push(format!("{v}")),
+                _ => {}
+            }
+        }
+        if let Some(target) = m.static_target(&m.decode(word).unwrap(), pc) {
+            ops.push(format!("-> {target:#x}"));
+        }
+        if !ops.is_empty() {
+            out.push(' ');
+            out.push_str(&ops.join(", "));
+        }
+        out
+    }
+
+    fn is_prologue(&self, image: &Image, addr: u32) -> bool {
+        // The MIPS compiler prologue signature (docs/STRIPPED.md):
+        //   addiu $sp, $sp, -frame      (op 9, rs = rt = 29, imm < 0)
+        // followed within two words by
+        //   sw $ra, off($sp)            (op 43, base 29, rt 31, small off)
+        let Some(w0) = image.word_at(addr) else {
+            return false;
+        };
+        let is_sp_drop = w0 >> 26 == 9
+            && (w0 >> 21) & 31 == 29
+            && (w0 >> 16) & 31 == 29
+            && (w0 as u16 as i16) < 0;
+        if !is_sp_drop {
+            return false;
+        }
+        (1..=2).any(|k| {
+            image.word_at(addr + 4 * k).is_some_and(|w| {
+                w >> 26 == 43
+                    && (w >> 21) & 31 == 29
+                    && (w >> 16) & 31 == 31
+                    && (0..256).contains(&(w as u16 as i16))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparc_kinds_match_isa() {
+        let ops = machine_ops(Machine::Sparc);
+        assert_eq!(ops.machine(), Machine::Sparc);
+        // call .+8
+        let call = eel_isa::encode(&Op::Call { disp30: 2 });
+        assert_eq!(
+            ops.kind(call, 0x1000),
+            InsnKind::Jump {
+                target: 0x1008,
+                links: true
+            }
+        );
+        assert!(ops.has_delay_slot(call, 0x1000));
+        // A nop falls through and reads/writes nothing interesting.
+        assert_eq!(ops.kind(0x0100_0000, 0x1000), InsnKind::Fall);
+        assert!(ops.disasm(0x0100_0000, 0).contains("nop"));
+    }
+
+    #[test]
+    fn mips_kinds_from_description() {
+        let ops = machine_ops(Machine::Mips);
+        assert_eq!(ops.machine(), Machine::Mips);
+        // beq $0, $0, .+4 → branch, target pc+8.
+        assert_eq!(
+            ops.kind(0x1000_0001, 0x1000),
+            InsnKind::Branch { target: 0x1008 }
+        );
+        // j 0x10000 (target26 = 0x4000)
+        assert_eq!(
+            ops.kind((2 << 26) | 0x4000, 0x1000),
+            InsnKind::Jump {
+                target: 0x10000,
+                links: false
+            }
+        );
+        // jal links, jr is an indirect jump, addu falls through.
+        assert!(matches!(
+            ops.kind((3 << 26) | 0x4000, 0x1000),
+            InsnKind::Jump { links: true, .. }
+        ));
+        assert_eq!(
+            ops.kind(0x03e0_0008, 0),
+            InsnKind::IndirectJump { links: false }
+        );
+        assert_eq!(ops.kind(0x0085_1021, 0), InsnKind::Fall);
+        assert!(ops.has_delay_slot(0x1000_0001, 0x1000));
+        assert!(!ops.has_delay_slot(0x0085_1021, 0));
+    }
+
+    #[test]
+    fn mips_reads_writes_have_machine_names() {
+        let ops = machine_ops(Machine::Mips);
+        // addu $v0, $a0, $a1
+        let reads = ops.reads(0x0085_1021);
+        assert!(reads.contains(&"$4".to_string()), "{reads:?}");
+        assert!(reads.contains(&"$5".to_string()), "{reads:?}");
+        assert_eq!(ops.writes(0x0085_1021), vec!["$2".to_string()]);
+        // mflo $a0 reads $lo.
+        assert!(ops.reads(0x0000_2012).contains(&"$lo".to_string()));
+    }
+
+    #[test]
+    fn mips_disasm_names_instructions() {
+        let ops = machine_ops(Machine::Mips);
+        assert!(ops.disasm(0x0085_1021, 0).starts_with("addu"));
+        assert_eq!(ops.disasm(0, 0), "nop");
+        assert!(ops.disasm(0x03e0_0008, 0).starts_with("jr"));
+        // An undecodable word prints as data.
+        assert!(ops.disasm(0xffff_ffff, 0).starts_with(".word"));
+    }
+
+    #[test]
+    fn mips_prologue_signature() {
+        use eel_exe::{DATA_BASE, TEXT_BASE};
+        let mut image = Image::new(TEXT_BASE, DATA_BASE).with_machine(Machine::Mips);
+        // addiu $sp,$sp,-24; sw $ra,20($sp); jr $ra; nop
+        for w in [0x27bd_ffe8u32, 0xafbf_0014, 0x03e0_0008, 0] {
+            image.text.extend_from_slice(&w.to_be_bytes());
+        }
+        let ops = machine_ops(Machine::Mips);
+        assert!(ops.is_prologue(&image, TEXT_BASE));
+        assert!(!ops.is_prologue(&image, TEXT_BASE + 8));
+    }
+}

@@ -93,6 +93,13 @@ impl Analysis {
         self.distinct_words
     }
 
+    /// The machine the image targets (the WEF header tag). Serve-side
+    /// dispatch — which op implementations run, which cache keys are
+    /// valid — keys on this.
+    pub fn machine(&self) -> eel_exe::Machine {
+        self.image.machine
+    }
+
     /// The shared image.
     pub fn image(&self) -> &Arc<Image> {
         &self.image

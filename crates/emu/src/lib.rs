@@ -32,6 +32,9 @@ use eel_isa::{decode, Category, Insn, MachineState, Memory, Reg, StepEvent};
 use std::collections::HashMap;
 use std::fmt;
 
+pub mod mips;
+pub use mips::MipsMachine;
+
 /// System-call numbers (passed in `%g1` with `ta 0`).
 pub mod sys {
     /// `exit(code)` — terminate with `%o0` as the exit code.
@@ -262,6 +265,12 @@ impl Machine {
     ///
     /// Returns [`RunError::BadImage`] when [`Image::validate`] fails.
     pub fn load(image: &Image) -> Result<Machine, RunError> {
+        if image.machine != eel_exe::Machine::Sparc {
+            return Err(RunError::BadImage(format!(
+                "{} image on the sparc emulator (use run_image or AnyMachine)",
+                image.machine
+            )));
+        }
         image
             .validate()
             .map_err(|e| RunError::BadImage(e.to_string()))?;
@@ -443,13 +452,71 @@ impl Machine {
     }
 }
 
-/// Convenience: load and run an image in one call.
+/// An emulator for any supported machine, dispatching on the image's WEF
+/// machine tag. Tools that only need load/run/read_word use this instead
+/// of naming a per-ISA machine type.
+#[derive(Debug)]
+pub enum AnyMachine {
+    /// The handwritten SPARC interpreter.
+    Sparc(Machine),
+    /// The spawn-derived MIPS interpreter.
+    Mips(MipsMachine),
+}
+
+impl AnyMachine {
+    /// Loads an image on the emulator its machine tag names.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::BadImage`] for validation failures or machines with no
+    /// emulator (alpha).
+    pub fn load(image: &Image) -> Result<AnyMachine, RunError> {
+        match image.machine {
+            eel_exe::Machine::Sparc => Ok(AnyMachine::Sparc(Machine::load(image)?)),
+            eel_exe::Machine::Mips => Ok(AnyMachine::Mips(MipsMachine::load(image)?)),
+            eel_exe::Machine::Alpha => Err(RunError::BadImage(
+                "no emulator for alpha images yet".into(),
+            )),
+        }
+    }
+
+    /// Replaces the default step budget.
+    pub fn with_step_limit(self, limit: u64) -> AnyMachine {
+        match self {
+            AnyMachine::Sparc(m) => AnyMachine::Sparc(m.with_step_limit(limit)),
+            AnyMachine::Mips(m) => AnyMachine::Mips(m.with_step_limit(limit)),
+        }
+    }
+
+    /// Runs until `exit`, returning the dynamic counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`].
+    pub fn run(&mut self) -> Result<Outcome, RunError> {
+        match self {
+            AnyMachine::Sparc(m) => m.run(),
+            AnyMachine::Mips(m) => m.run(),
+        }
+    }
+
+    /// Reads a word of emulated memory (counter inspection).
+    pub fn read_word(&mut self, addr: u32) -> u32 {
+        match self {
+            AnyMachine::Sparc(m) => m.read_word(addr),
+            AnyMachine::Mips(m) => m.read_word(addr),
+        }
+    }
+}
+
+/// Convenience: load and run an image in one call, dispatching on the
+/// WEF machine tag.
 ///
 /// # Errors
 ///
 /// See [`Machine::run`].
 pub fn run_image(image: &Image) -> Result<Outcome, RunError> {
-    Machine::load(image)?.run()
+    AnyMachine::load(image)?.run()
 }
 
 #[cfg(test)]

@@ -44,6 +44,70 @@ pub const DATA_BASE: u32 = 0x0040_0000;
 /// Magic number identifying a WEF file (`"WEF1"` big-endian).
 pub const MAGIC: u32 = 0x5745_4631;
 
+/// The target machine of a WEF image.
+///
+/// Encoded in the low byte of the header's flags word (offset 4). The
+/// word was written as zero by every earlier WEF emitter and ignored by
+/// every earlier reader, so tag value 0 = SPARC keeps old images valid
+/// and old readers keep accepting new SPARC images — the tag is a
+/// backward-compatible extension, not a version bump.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Machine {
+    /// The SPARC-like ISA of `eel-isa` (tag byte 0).
+    #[default]
+    Sparc,
+    /// MIPS-I, derived from `crates/spawn/descriptions/mips.spawn` (tag 1).
+    Mips,
+    /// Alpha, reserved for the `alpha.spawn` description (tag 2).
+    Alpha,
+}
+
+impl Machine {
+    /// The tag byte stored in the header flags word.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Machine::Sparc => 0,
+            Machine::Mips => 1,
+            Machine::Alpha => 2,
+        }
+    }
+
+    /// Decodes a tag byte; `None` for unassigned values.
+    pub fn from_byte(b: u8) -> Option<Machine> {
+        Some(match b {
+            0 => Machine::Sparc,
+            1 => Machine::Mips,
+            2 => Machine::Alpha,
+            _ => return None,
+        })
+    }
+
+    /// Lower-case machine name as printed by tools and the `stat` op.
+    pub fn name(self) -> &'static str {
+        match self {
+            Machine::Sparc => "sparc",
+            Machine::Mips => "mips",
+            Machine::Alpha => "alpha",
+        }
+    }
+
+    /// Parses a machine name as accepted by `--machine` flags.
+    pub fn from_name(name: &str) -> Option<Machine> {
+        Some(match name {
+            "sparc" => Machine::Sparc,
+            "mips" => Machine::Mips,
+            "alpha" => Machine::Alpha,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Errors arising from reading or validating a WEF image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WefError {
@@ -195,6 +259,8 @@ pub struct Image {
     pub bss_size: u32,
     /// The symbol table; empty when stripped.
     pub symbols: Vec<Symbol>,
+    /// The target machine; [`Machine::Sparc`] for every pre-tag image.
+    pub machine: Machine,
 }
 
 impl Image {
@@ -208,7 +274,14 @@ impl Image {
             data: Vec::new(),
             bss_size: 0,
             symbols: Vec::new(),
+            machine: Machine::Sparc,
         }
+    }
+
+    /// Sets the machine tag, builder-style.
+    pub fn with_machine(mut self, machine: Machine) -> Image {
+        self.machine = machine;
+        self
     }
 
     /// Is this image stripped (no symbols at all)?
@@ -346,7 +419,7 @@ impl Image {
         let mut out = Vec::with_capacity(40 + self.text.len() + self.data.len());
         for word in [
             MAGIC,
-            0, // flags, reserved
+            self.machine.to_byte() as u32, // flags: machine tag in the low byte
             self.entry,
             self.text_addr,
             self.text.len() as u32,
@@ -386,7 +459,14 @@ impl Image {
         if magic != MAGIC {
             return Err(WefError::BadMagic(magic));
         }
-        let _flags = take_u32(bytes, &mut at, "flags")?;
+        let flags = take_u32(bytes, &mut at, "flags")?;
+        if flags & !0xff != 0 {
+            return Err(WefError::Malformed(format!(
+                "reserved flag bits set: {flags:#010x}"
+            )));
+        }
+        let machine = Machine::from_byte((flags & 0xff) as u8)
+            .ok_or_else(|| WefError::Malformed(format!("unknown machine tag {}", flags & 0xff)))?;
         let entry = take_u32(bytes, &mut at, "entry")?;
         let text_addr = take_u32(bytes, &mut at, "text_addr")?;
         let text_size = take_u32(bytes, &mut at, "text_size")? as usize;
@@ -476,6 +556,7 @@ impl Image {
             data,
             bss_size,
             symbols,
+            machine,
         })
     }
 
@@ -620,6 +701,57 @@ mod tests {
                 "cut at {cut}: {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn machine_tag_round_trips() {
+        for machine in [Machine::Sparc, Machine::Mips, Machine::Alpha] {
+            let img = sample().with_machine(machine);
+            let bytes = img.to_bytes();
+            assert_eq!(bytes[4..8], [0, 0, 0, machine.to_byte()]);
+            let back = Image::from_bytes(&bytes).unwrap();
+            assert_eq!(back.machine, machine);
+            assert_eq!(back, img);
+        }
+    }
+
+    #[test]
+    fn zero_flags_word_reads_as_sparc() {
+        // Pre-tag WEF emitters wrote flags = 0; those images must keep
+        // loading, as SPARC.
+        let mut bytes = sample().with_machine(Machine::Mips).to_bytes();
+        bytes[4..8].copy_from_slice(&[0, 0, 0, 0]);
+        let back = Image::from_bytes(&bytes).unwrap();
+        assert_eq!(back.machine, Machine::Sparc);
+    }
+
+    #[test]
+    fn unknown_machine_tag_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[7] = 0x7f;
+        assert!(matches!(
+            Image::from_bytes(&bytes),
+            Err(WefError::Malformed(_))
+        ));
+        // Reserved high bits of the flags word are also rejected, so they
+        // stay available for future extensions.
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 1;
+        assert!(matches!(
+            Image::from_bytes(&bytes),
+            Err(WefError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn machine_names_round_trip() {
+        for machine in [Machine::Sparc, Machine::Mips, Machine::Alpha] {
+            assert_eq!(Machine::from_name(machine.name()), Some(machine));
+            assert_eq!(Machine::from_byte(machine.to_byte()), Some(machine));
+            assert_eq!(machine.to_string(), machine.name());
+        }
+        assert_eq!(Machine::from_name("vax"), None);
+        assert_eq!(Machine::from_byte(3), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests for the WEF format: serialization round trips and
 //! parser robustness against arbitrary and mutated inputs.
 
-use eel_exe::{Image, Symbol, SymbolKind};
+use eel_exe::{Image, Machine, Symbol, SymbolKind};
 use proptest::prelude::*;
 
 fn arb_symbol() -> impl Strategy<Value = Symbol> {
@@ -34,8 +34,9 @@ fn arb_image() -> impl Strategy<Value = Image> {
         prop::collection::vec(arb_symbol(), 0..8),
         0u32..1024,
         any::<u32>(),
+        0u8..3,
     )
-        .prop_map(|(mut text, data, symbols, bss, entry)| {
+        .prop_map(|(mut text, data, symbols, bss, entry, machine)| {
             text.truncate(text.len() & !3); // word-sized text
             Image {
                 entry,
@@ -45,6 +46,7 @@ fn arb_image() -> impl Strategy<Value = Image> {
                 data,
                 bss_size: bss,
                 symbols,
+                machine: Machine::from_byte(machine).unwrap(),
             }
         })
 }

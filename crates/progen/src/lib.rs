@@ -26,16 +26,18 @@
 //! ```
 
 mod gen;
+pub mod mips;
 mod suite;
 
 pub use gen::{random_program, GenConfig};
+pub use mips::compile_mips;
 pub use suite::{
     compress_like, eqntott_like, espresso_like, gcc_like, li_like, sc_like, spim_like, suite,
     suite_sized, Workload,
 };
 
 use eel_cc::{CcError, Options, Personality};
-use eel_exe::{Image, Symbol, SymbolKind};
+use eel_exe::{Image, Machine, Symbol, SymbolKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,6 +54,36 @@ pub fn compile(w: &Workload, personality: Personality) -> Result<Image, CcError>
             ..Options::default()
         },
     )
+}
+
+/// Compiles a workload for the named machine.
+///
+/// SPARC goes through `eel-cc` with the requested compiler personality;
+/// MIPS goes through the [`mips`] twin generator (personality is
+/// irrelevant there — one code shape). This is the entry `wisc
+/// --machine` uses, so every suite workload exists as a byte-comparable
+/// pair of images differing only in ISA.
+///
+/// # Errors
+///
+/// Compiler errors for SPARC; unsupported-construct or semantic errors
+/// (reported as [`CcError::Semantic`]) for MIPS. Alpha is not yet
+/// generatable.
+pub fn compile_machine(
+    w: &Workload,
+    personality: Personality,
+    machine: Machine,
+) -> Result<Image, CcError> {
+    match machine {
+        Machine::Sparc => compile(w, personality),
+        Machine::Mips => {
+            let program = eel_cc::parse(&w.source)?;
+            compile_mips(&program).map_err(CcError::Semantic)
+        }
+        Machine::Alpha => Err(CcError::Semantic(
+            "no alpha code generator yet (add one following docs/MACHINES.md)".into(),
+        )),
+    }
 }
 
 /// Makes an image's symbol table realistically unreliable (§3.1):
@@ -106,6 +138,10 @@ pub fn degrade_symbols(image: &mut Image, seed: u64) {
 /// `None` when no routine contains an ALU immediate.
 pub fn mutate_routine(image: &mut Image, k: usize) -> Option<(String, u32)> {
     use eel_isa::{Op, Src2};
+
+    if image.machine == Machine::Mips {
+        return mutate_routine_mips(image, k);
+    }
 
     // Symbol sizes are 0 in WEF images; a routine's extent runs to the
     // next routine symbol (or the end of text), like §3.1 discovery.
@@ -170,6 +206,45 @@ pub fn mutate_routine(image: &mut Image, k: usize) -> Option<(String, u32)> {
     });
     let at = (addr - image.text_addr) as usize;
     image.text[at..at + 4].copy_from_slice(&word.to_be_bytes());
+    Some((name, addr))
+}
+
+/// The MIPS twin-mutation path: bumps the imm16 of one `addiu` (opcode
+/// 9) whose destination is not `$sp` — the stack-pointer adjusts encode
+/// frame shape, so patching one would desynchronize prologue and
+/// epilogue; any other `addiu` is a pure data constant in this backend.
+fn mutate_routine_mips(image: &mut Image, k: usize) -> Option<(String, u32)> {
+    let mut starts: Vec<(String, u32)> = image
+        .symbols
+        .iter()
+        .filter(|s| s.kind == SymbolKind::Routine)
+        .map(|s| (s.name.clone(), s.value))
+        .collect();
+    starts.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    let text_end = image.text_addr + image.text.len() as u32;
+    let mut eligible: Vec<(String, u32, u32)> = Vec::new();
+    for i in 0..starts.len() {
+        let end = starts.get(i + 1).map_or(text_end, |n| n.1);
+        let (name, start) = starts[i].clone();
+        let hit = (start..end).step_by(4).find_map(|addr| {
+            let word = image.word_at(addr)?;
+            let is_addiu = word >> 26 == 9;
+            let rt = (word >> 16) & 31;
+            (is_addiu && rt != 29).then_some((addr, word))
+        });
+        if let Some((addr, word)) = hit {
+            eligible.push((name, addr, word));
+        }
+    }
+    if eligible.is_empty() {
+        return None;
+    }
+    let (name, addr, word) = eligible.swap_remove(k % eligible.len());
+    let imm = word as u16 as i16;
+    let bumped = if imm == i16::MAX { imm - 1 } else { imm + 1 };
+    let patched = (word & 0xffff_0000) | (bumped as u16 as u32);
+    let at = (addr - image.text_addr) as usize;
+    image.text[at..at + 4].copy_from_slice(&patched.to_be_bytes());
     Some((name, addr))
 }
 
@@ -314,6 +389,97 @@ mod tests {
             let mut again = base.clone();
             assert_eq!(mutate_routine(&mut again, k), Some((name, addr)));
             assert_eq!(again.text, twin.text);
+        }
+    }
+
+    /// True when a MIPS compile error is one of the documented
+    /// unsupported constructs (function pointers / indirect calls)
+    /// rather than a backend bug.
+    fn mips_unsupported(e: &CcError) -> bool {
+        matches!(e, CcError::Semantic(m) if m.contains("not yet supported on mips"))
+    }
+
+    /// Fixed workloads on the second ISA: interpreter oracle == MIPS
+    /// execution, through the spawn-derived emulator. Workloads that use
+    /// function pointers are skipped (documented restriction), but most
+    /// of the suite must compile.
+    #[test]
+    fn suite_agrees_with_oracle_on_mips() {
+        let mut ran = 0;
+        for w in suite() {
+            let program = parse(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let image = match compile_machine(&w, Personality::Gcc, Machine::Mips) {
+                Ok(i) => i,
+                Err(e) if mips_unsupported(&e) => continue,
+                Err(e) => panic!("{}: mips compile failed: {e}", w.name),
+            };
+            assert_eq!(image.machine, Machine::Mips, "{}", w.name);
+            let oracle =
+                interpret(&program, 200_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let out =
+                eel_emu::run_image(&image).unwrap_or_else(|e| panic!("{} (mips): {e}", w.name));
+            assert_eq!(out.exit_code, oracle.exit_code as u32, "{} exit", w.name);
+            assert_eq!(out.output_str(), oracle.output, "{} output", w.name);
+            ran += 1;
+        }
+        assert!(ran >= 4, "only {ran} suite workloads compiled for mips");
+    }
+
+    /// Random programs on MIPS: interpreter == compiled execution across
+    /// seeds. Programs using function pointers are skipped; the rest must
+    /// agree exactly (exit code and printed output).
+    #[test]
+    fn random_programs_differential_mips() {
+        let config = GenConfig::default();
+        let mut ran = 0;
+        for seed in 0..25u64 {
+            let program = random_program(seed, &config);
+            let oracle = match interpret(&program, 5_000_000) {
+                Ok(o) => o,
+                Err(eel_cc::InterpError::StepLimit) => continue, // too slow, skip
+                Err(e) => panic!("seed {seed}: oracle failed: {e}"),
+            };
+            let image = match compile_mips(&program) {
+                Ok(i) => i,
+                Err(m) if m.contains("not yet supported on mips") => continue,
+                Err(m) => panic!("seed {seed}: mips compile failed: {m}"),
+            };
+            let out =
+                eel_emu::run_image(&image).unwrap_or_else(|e| panic!("seed {seed} (mips): {e}"));
+            assert_eq!(out.exit_code, oracle.exit_code as u32, "seed {seed} exit");
+            assert_eq!(out.output_str(), oracle.output, "seed {seed} output");
+            ran += 1;
+        }
+        assert!(ran >= 10, "only {ran} random programs ran on mips");
+    }
+
+    /// The MIPS mutation path: one word changes, execution still starts
+    /// (frame shape preserved because `addiu $sp` is never patched).
+    #[test]
+    fn mutate_routine_mips_changes_one_word() {
+        let base = compile_machine(&suite()[1], Personality::Gcc, Machine::Mips).unwrap();
+        for k in [0usize, 3] {
+            let mut twin = base.clone();
+            let (name, addr) = mutate_routine(&mut twin, k).expect("mips addiu exists");
+            let diffs: Vec<usize> = base
+                .text
+                .iter()
+                .zip(&twin.text)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(i, _)| i)
+                .collect();
+            assert!(!diffs.is_empty(), "k={k}");
+            let word = (addr - base.text_addr) as usize;
+            assert!(diffs.iter().all(|&i| i / 4 * 4 == word), "k={k}");
+            assert!(
+                twin.symbols
+                    .iter()
+                    .any(|s| s.name == name && s.kind == SymbolKind::Routine),
+                "k={k}: {name} is a routine symbol"
+            );
+            let mut again = base.clone();
+            assert_eq!(mutate_routine(&mut again, k), Some((name, addr)));
         }
     }
 

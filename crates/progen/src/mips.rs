@@ -1,0 +1,878 @@
+//! Wisc → MIPS-I code generation.
+//!
+//! The cross-ISA twin generator: compiles the same Wisc AST that
+//! `eel-cc` compiles for SPARC into a MIPS-tagged WEF image, so every
+//! workload in the suite exists for both machines and the
+//! `eel_cc::interpret` oracle checks both backends.
+//!
+//! The code shape is a plain stack machine — every temporary lives on
+//! the stack, expression results travel in `$v0` — which keeps the
+//! generator small and makes the output a good analysis subject:
+//! branches with architecturally-exposed delay slots (always filled with
+//! `nop`), `jal`/`jr $ra` calls, and `addiu $sp,...; sw $ra,...`
+//! prologues for eel-strip's MIPS signature.
+//!
+//! Two deliberate restrictions keep MIPS text block-relocatable (no
+//! absolute code addresses escape into registers or data, so the
+//! generic instrumenter can move blocks): `switch` compiles to a
+//! compare chain instead of a dispatch table, and function pointers
+//! (`&f`, `(*e)(..)`) are rejected with a clear error.
+//!
+//! Register conventions: `$v0` result, `$a0–$a2` syscall arguments,
+//! `$t0–$t5` runtime scratch, `$sp`/`$ra` as usual. `$at`, `$k0`, `$k1`
+//! are never emitted — `$k0`/`$k1` are reserved for instrumentation
+//! counter code, exactly like `%g2`/`%g3` on the SPARC side.
+
+use eel_cc::ast::{BinOp, Expr, Function, LValue, Program, Stmt};
+use eel_exe::{Image, Machine, Symbol, DATA_BASE, TEXT_BASE};
+use std::collections::HashMap;
+
+// Register numbers.
+const ZERO: u32 = 0;
+const V0: u32 = 2;
+const A0: u32 = 4;
+const A1: u32 = 5;
+const A2: u32 = 6;
+const T0: u32 = 8;
+const T1: u32 = 9;
+const T2: u32 = 10;
+const T3: u32 = 11;
+const T4: u32 = 12;
+const T5: u32 = 13;
+const SP: u32 = 29;
+const RA: u32 = 31;
+
+/// System-call numbers (shared with `eel_emu::sys`).
+const SYS_EXIT: u32 = 1;
+const SYS_WRITE: u32 = 4;
+
+// ---- encoders ----------------------------------------------------------
+
+fn r_type(funct: u32, rs: u32, rt: u32, rd: u32, shamt: u32) -> u32 {
+    (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+}
+
+fn i_type(op: u32, rs: u32, rt: u32, imm: u32) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | (imm & 0xffff)
+}
+
+fn addu(rd: u32, rs: u32, rt: u32) -> u32 {
+    r_type(33, rs, rt, rd, 0)
+}
+
+fn subu(rd: u32, rs: u32, rt: u32) -> u32 {
+    r_type(35, rs, rt, rd, 0)
+}
+
+fn addiu(rt: u32, rs: u32, imm: i32) -> u32 {
+    i_type(9, rs, rt, imm as u32)
+}
+
+fn lui(rt: u32, imm: u32) -> u32 {
+    i_type(15, 0, rt, imm)
+}
+
+fn ori(rt: u32, rs: u32, imm: u32) -> u32 {
+    i_type(13, rs, rt, imm)
+}
+
+fn lw(rt: u32, base: u32, off: i32) -> u32 {
+    i_type(35, base, rt, off as u32)
+}
+
+fn sw(rt: u32, base: u32, off: i32) -> u32 {
+    i_type(43, base, rt, off as u32)
+}
+
+fn sb(rt: u32, base: u32, off: i32) -> u32 {
+    i_type(40, base, rt, off as u32)
+}
+
+fn sll(rd: u32, rt: u32, shamt: u32) -> u32 {
+    r_type(0, 0, rt, rd, shamt)
+}
+
+fn jr(rs: u32) -> u32 {
+    r_type(8, rs, 0, 0, 0)
+}
+
+const NOP: u32 = 0;
+const SYSCALL: u32 = 12; // r_type funct 12, all fields zero
+
+/// One emitted slot: either a finished word or a control transfer whose
+/// displacement is patched once label addresses are known.
+#[derive(Clone, Copy)]
+enum Slot {
+    Word(u32),
+    /// I-type `beq`/`bne` *with its delay slot*: assembles to branch +
+    /// `nop` when the displacement fits imm16, or relaxes to an
+    /// inverted branch over a `j` (4 words) when it does not — random
+    /// programs routinely exceed MIPS's ±128 KiB conditional reach.
+    Branch {
+        word: u32,
+        label: usize,
+    },
+    /// J-type jump (target26 patched to a pseudo-absolute word address).
+    Jump {
+        word: u32,
+        label: usize,
+    },
+}
+
+/// The per-program emitter.
+struct Emitter<'p> {
+    program: &'p Program,
+    code: Vec<Slot>,
+    /// label id → slot index.
+    labels: Vec<Option<usize>>,
+    /// function name → entry label.
+    fn_labels: HashMap<String, usize>,
+    /// global name → (absolute address, element count).
+    globals: HashMap<String, (u32, u32)>,
+    /// Routine symbols as (name, entry label).
+    routines: Vec<(String, usize)>,
+    print_label: usize,
+    print_buf: u32,
+    errors: Vec<String>,
+}
+
+/// Per-function state.
+struct Frame {
+    /// local/param name → slot index (slot s lives at `4*s(sp)`).
+    slots: HashMap<String, usize>,
+    /// Total local slots (ra is stored at `4*slots_len(sp)`).
+    nslots: usize,
+    /// Words currently pushed on the eval stack (adjusts sp offsets).
+    depth: usize,
+    epilogue: usize,
+    /// (continue target, break target) for enclosing loops.
+    loop_labels: Vec<(usize, usize)>,
+}
+
+impl Frame {
+    fn frame_size(&self) -> i32 {
+        4 * (self.nslots as i32 + 1)
+    }
+}
+
+/// Compiles a Wisc program to a MIPS-tagged WEF image.
+///
+/// # Errors
+///
+/// A human-readable message for unsupported constructs (function
+/// pointers, indirect calls, too many distinct locals) or unresolved
+/// names — the same classes of error `eel_cc` reports for SPARC.
+pub fn compile_mips(program: &Program) -> Result<Image, String> {
+    let _obs = eel_obs::span("progen.compile_mips");
+    let mut e = Emitter {
+        program,
+        code: Vec::new(),
+        labels: Vec::new(),
+        fn_labels: HashMap::new(),
+        globals: HashMap::new(),
+        routines: Vec::new(),
+        print_label: 0,
+        print_buf: DATA_BASE,
+        errors: Vec::new(),
+    };
+    e.run()
+}
+
+impl<'p> Emitter<'p> {
+    fn run(&mut self) -> Result<Image, String> {
+        if self.program.function("main").is_none() {
+            return Err("no `main` function".into());
+        }
+        // Data layout: 16-byte print buffer, then globals.
+        let mut data_off = 16u32;
+        for g in &self.program.globals {
+            self.globals
+                .insert(g.name.clone(), (DATA_BASE + data_off, g.count));
+            data_off += 4 * g.count.max(1);
+        }
+        // Pre-assign entry labels so forward calls resolve.
+        self.print_label = self.new_label();
+        for f in &self.program.functions {
+            let l = self.new_label();
+            self.fn_labels.insert(f.name.clone(), l);
+        }
+
+        self.emit_start();
+        for f in &self.program.functions {
+            self.emit_function(f)?;
+        }
+        self.emit_print_int();
+
+        if !self.errors.is_empty() {
+            return Err(self.errors.join("; "));
+        }
+        self.assemble(data_off)
+    }
+
+    // ---- emission primitives -------------------------------------------
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, label: usize) {
+        self.labels[label] = Some(self.code.len());
+    }
+
+    fn word(&mut self, w: u32) {
+        self.code.push(Slot::Word(w));
+    }
+
+    /// Emits a branch; the delay-slot `nop` is part of the slot so the
+    /// assembler can relax it to a branch-over-jump when out of range.
+    fn branch(&mut self, op: u32, rs: u32, rt: u32, label: usize) {
+        debug_assert!(op == 4 || op == 5, "only beq/bne are relaxable");
+        self.code.push(Slot::Branch {
+            word: i_type(op, rs, rt, 0),
+            label,
+        });
+    }
+
+    fn beq(&mut self, rs: u32, rt: u32, label: usize) {
+        self.branch(4, rs, rt, label);
+    }
+
+    fn bne(&mut self, rs: u32, rt: u32, label: usize) {
+        self.branch(5, rs, rt, label);
+    }
+
+    /// Emits `j label` with a `nop` delay slot.
+    fn jump(&mut self, label: usize) {
+        self.code.push(Slot::Jump {
+            word: 2 << 26,
+            label,
+        });
+        self.word(NOP);
+    }
+
+    /// Emits `jal label` with a `nop` delay slot.
+    fn call(&mut self, label: usize) {
+        self.code.push(Slot::Jump {
+            word: 3 << 26,
+            label,
+        });
+        self.word(NOP);
+    }
+
+    /// Loads a 32-bit constant into `r`.
+    fn li(&mut self, r: u32, v: i32) {
+        if (-0x8000..0x8000).contains(&v) {
+            self.word(addiu(r, ZERO, v));
+        } else {
+            self.word(lui(r, (v as u32) >> 16));
+            if v as u32 & 0xffff != 0 {
+                self.word(ori(r, r, v as u32 & 0xffff));
+            }
+        }
+    }
+
+    /// Splits an absolute address for `lui` + signed-offset addressing:
+    /// returns `(hi, lo)` with `hi` pre-adjusted for sign-extension.
+    fn hi_lo(addr: u32) -> (u32, i32) {
+        let lo = (addr & 0xffff) as i32;
+        let lo = if lo >= 0x8000 { lo - 0x10000 } else { lo };
+        let hi = addr.wrapping_sub(lo as u32) >> 16;
+        (hi, lo)
+    }
+
+    // ---- runtime routines ----------------------------------------------
+
+    /// `__start`: call main, pass its result to `exit`.
+    fn emit_start(&mut self) {
+        let entry = self.new_label();
+        self.bind(entry);
+        self.routines.push(("__start".into(), entry));
+        let main = self.fn_labels["main"];
+        self.call(main);
+        self.word(addu(A0, V0, ZERO));
+        self.li(V0, SYS_EXIT as i32);
+        self.word(SYSCALL);
+        self.word(NOP);
+    }
+
+    /// `__print_int`: decimal + newline via `write`, digits built
+    /// backward in the print buffer (the MIPS twin of the SPARC runtime).
+    fn emit_print_int(&mut self) {
+        let label = self.print_label;
+        self.bind(label);
+        self.routines.push(("__print_int".into(), label));
+        let (digit, write) = (self.new_label(), self.new_label());
+        let positive = self.new_label();
+        // p = buf+15; *p = '\n' (10, which is also the divisor).
+        self.li(T1, (self.print_buf + 15) as i32);
+        self.li(T2, 10);
+        self.word(sb(T2, T1, 0));
+        // n = a0; t3 = n < 0; if so negate (0x8000_0000 stays put and is
+        // handled as unsigned by divu below).
+        self.word(addu(T0, A0, ZERO));
+        self.word(r_type(42, T0, ZERO, T3, 0)); // slt t3, t0, zero
+        self.beq(T3, ZERO, positive);
+        self.word(subu(T0, ZERO, T0));
+        self.bind(positive);
+        self.bind(digit);
+        self.word(r_type(27, T0, T2, 0, 0)); // divu t0, t2 → LO=q, HI=r
+        self.word(r_type(16, 0, 0, T4, 0)); // mfhi t4
+        self.word(addiu(T4, T4, 48)); // '0'
+        self.word(addiu(T1, T1, -1));
+        self.word(sb(T4, T1, 0));
+        self.word(r_type(18, 0, 0, T0, 0)); // mflo t0
+        self.bne(T0, ZERO, digit);
+        self.beq(T3, ZERO, write);
+        self.li(T4, 45); // '-'
+        self.word(addiu(T1, T1, -1));
+        self.word(sb(T4, T1, 0));
+        self.bind(write);
+        // write(1, p, buf+16 - p)
+        self.li(A0, 1);
+        self.word(addu(A1, T1, ZERO));
+        self.li(T5, (self.print_buf + 16) as i32);
+        self.word(subu(A2, T5, T1));
+        self.li(V0, SYS_WRITE as i32);
+        self.word(SYSCALL);
+        self.word(jr(RA));
+        self.word(NOP);
+    }
+
+    // ---- functions ------------------------------------------------------
+
+    fn emit_function(&mut self, f: &Function) -> Result<(), String> {
+        let entry = self.fn_labels[&f.name];
+        self.bind(entry);
+        self.routines.push((f.name.clone(), entry));
+
+        // Slot assignment: params first, then every `var` in order of
+        // first declaration (collected ahead of time so nested blocks
+        // reuse one frame).
+        let mut slots = HashMap::new();
+        for p in &f.params {
+            let n = slots.len();
+            slots.entry(p.clone()).or_insert(n);
+        }
+        collect_vars(&f.body, &mut slots);
+        let mut frame = Frame {
+            nslots: slots.len(),
+            slots,
+            depth: 0,
+            epilogue: self.new_label(),
+            loop_labels: Vec::new(),
+        };
+
+        // Prologue: grow frame, save ra, spill incoming stack args into
+        // their local slots. This is the MIPS prologue signature
+        // (`addiu $sp,$sp,-imm` + `sw $ra,off($sp)`) eel-strip keys on.
+        let fs = frame.frame_size();
+        self.word(addiu(SP, SP, -fs));
+        self.word(sw(RA, SP, 4 * frame.nslots as i32));
+        let nargs = f.params.len() as i32;
+        for (i, p) in f.params.iter().enumerate() {
+            let slot = frame.slots[p] as i32;
+            // Caller pushed args left-to-right: arg i sits above the new
+            // frame at fs + 4*(nargs-1-i).
+            self.word(lw(T0, SP, fs + 4 * (nargs - 1 - i as i32)));
+            self.word(sw(T0, SP, 4 * slot));
+        }
+
+        for s in &f.body {
+            self.stmt(s, &mut frame)?;
+        }
+        // Implicit `return 0`.
+        self.li(V0, 0);
+        self.bind(frame.epilogue);
+        self.word(lw(RA, SP, 4 * frame.nslots as i32));
+        self.word(addiu(SP, SP, fs));
+        self.word(jr(RA));
+        self.word(NOP);
+        debug_assert_eq!(frame.depth, 0, "{}: unbalanced eval stack", f.name);
+        Ok(())
+    }
+
+    // ---- eval-stack helpers --------------------------------------------
+
+    fn push_v0(&mut self, frame: &mut Frame) {
+        self.word(addiu(SP, SP, -4));
+        self.word(sw(V0, SP, 0));
+        frame.depth += 1;
+    }
+
+    fn pop(&mut self, frame: &mut Frame, r: u32) {
+        self.word(lw(r, SP, 0));
+        self.word(addiu(SP, SP, 4));
+        frame.depth -= 1;
+    }
+
+    /// sp-relative offset of a local slot, adjusted for pushed temporaries.
+    fn slot_off(frame: &Frame, slot: usize) -> i32 {
+        4 * (slot as i32 + frame.depth as i32)
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt, frame: &mut Frame) -> Result<(), String> {
+        match s {
+            Stmt::Var(name, init) => {
+                let slot = *frame
+                    .slots
+                    .get(name)
+                    .ok_or_else(|| format!("unslotted local {name:?}"))?;
+                match init {
+                    Some(e) => self.expr(e, frame)?,
+                    None => self.li(V0, 0),
+                }
+                self.word(sw(V0, SP, Self::slot_off(frame, slot)));
+            }
+            Stmt::Assign(lv, e) => match lv {
+                LValue::Var(name) => {
+                    if let Some(&slot) = frame.slots.get(name) {
+                        self.expr(e, frame)?;
+                        self.word(sw(V0, SP, Self::slot_off(frame, slot)));
+                    } else if self.globals.contains_key(name) {
+                        self.assign_global(name, e, frame)?;
+                    } else {
+                        return Err(format!("assignment to undefined {name:?}"));
+                    }
+                }
+                LValue::Global(name) => self.assign_global(name, e, frame)?,
+                LValue::Index(name, idx) => {
+                    let (addr, _) = *self
+                        .globals
+                        .get(name)
+                        .ok_or_else(|| format!("unknown global {name:?}"))?;
+                    self.expr(e, frame)?;
+                    self.push_v0(frame);
+                    self.expr(idx, frame)?;
+                    self.word(sll(V0, V0, 2));
+                    let (hi, lo) = Self::hi_lo(addr);
+                    self.word(lui(T1, hi));
+                    self.word(addu(T1, T1, V0));
+                    self.pop(frame, T0);
+                    self.word(sw(T0, T1, lo));
+                }
+            },
+            Stmt::If(cond, then, els) => {
+                let (l_else, l_end) = (self.new_label(), self.new_label());
+                self.expr(cond, frame)?;
+                self.beq(V0, ZERO, l_else);
+                for s in then {
+                    self.stmt(s, frame)?;
+                }
+                self.jump(l_end);
+                self.bind(l_else);
+                for s in els {
+                    self.stmt(s, frame)?;
+                }
+                self.bind(l_end);
+            }
+            Stmt::While(cond, body) => {
+                let (l_loop, l_end) = (self.new_label(), self.new_label());
+                self.bind(l_loop);
+                self.expr(cond, frame)?;
+                self.beq(V0, ZERO, l_end);
+                frame.loop_labels.push((l_loop, l_end));
+                for s in body {
+                    self.stmt(s, frame)?;
+                }
+                frame.loop_labels.pop();
+                self.jump(l_loop);
+                self.bind(l_end);
+            }
+            Stmt::For(init, cond, step, body) => {
+                // Parser-desugared in practice; handled directly for
+                // programmatically-built ASTs. `continue` targets the step.
+                let (l_cond, l_step, l_end) =
+                    (self.new_label(), self.new_label(), self.new_label());
+                self.stmt(init, frame)?;
+                self.bind(l_cond);
+                self.expr(cond, frame)?;
+                self.beq(V0, ZERO, l_end);
+                frame.loop_labels.push((l_step, l_end));
+                for s in body {
+                    self.stmt(s, frame)?;
+                }
+                frame.loop_labels.pop();
+                self.bind(l_step);
+                self.stmt(step, frame)?;
+                self.jump(l_cond);
+                self.bind(l_end);
+            }
+            Stmt::Switch(scrutinee, cases, default) => {
+                // Compare chain, not a dispatch table: MIPS text stays
+                // free of absolute code addresses (block-relocatable).
+                self.expr(scrutinee, frame)?;
+                let l_end = self.new_label();
+                let l_default = self.new_label();
+                let case_labels: Vec<usize> = cases.iter().map(|_| self.new_label()).collect();
+                for ((k, _), &l) in cases.iter().zip(&case_labels) {
+                    self.li(T0, *k);
+                    self.beq(V0, T0, l);
+                }
+                self.jump(l_default);
+                for ((_, body), &l) in cases.iter().zip(&case_labels) {
+                    self.bind(l);
+                    for s in body {
+                        self.stmt(s, frame)?;
+                    }
+                    self.jump(l_end);
+                }
+                self.bind(l_default);
+                for s in default {
+                    self.stmt(s, frame)?;
+                }
+                self.bind(l_end);
+            }
+            Stmt::Return(e) => {
+                self.expr(e, frame)?;
+                self.jump(frame.epilogue);
+            }
+            Stmt::Break => {
+                let (_, l_end) = *frame
+                    .loop_labels
+                    .last()
+                    .ok_or_else(|| "break outside loop".to_string())?;
+                self.jump(l_end);
+            }
+            Stmt::Continue => {
+                let (l_cont, _) = *frame
+                    .loop_labels
+                    .last()
+                    .ok_or_else(|| "continue outside loop".to_string())?;
+                self.jump(l_cont);
+            }
+            Stmt::Print(e) => {
+                self.expr(e, frame)?;
+                self.word(addu(A0, V0, ZERO));
+                let print = self.print_label;
+                self.call(print);
+            }
+            Stmt::Expr(e) => {
+                self.expr(e, frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn assign_global(&mut self, name: &str, e: &Expr, frame: &mut Frame) -> Result<(), String> {
+        let (addr, _) = *self
+            .globals
+            .get(name)
+            .ok_or_else(|| format!("unknown global {name:?}"))?;
+        self.expr(e, frame)?;
+        let (hi, lo) = Self::hi_lo(addr);
+        self.word(lui(T1, hi));
+        self.word(sw(V0, T1, lo));
+        Ok(())
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    /// Evaluates `e` into `$v0`.
+    fn expr(&mut self, e: &Expr, frame: &mut Frame) -> Result<(), String> {
+        match e {
+            Expr::Num(n) => self.li(V0, *n),
+            Expr::Var(name) => {
+                if let Some(&slot) = frame.slots.get(name) {
+                    self.word(lw(V0, SP, Self::slot_off(frame, slot)));
+                } else if let Some(&(addr, _)) = self.globals.get(name) {
+                    let (hi, lo) = Self::hi_lo(addr);
+                    self.word(lui(V0, hi));
+                    self.word(lw(V0, V0, lo));
+                } else {
+                    return Err(format!("undefined name {name:?}"));
+                }
+            }
+            Expr::Global(name) => {
+                let (addr, _) = *self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| format!("unknown global {name:?}"))?;
+                let (hi, lo) = Self::hi_lo(addr);
+                self.word(lui(V0, hi));
+                self.word(lw(V0, V0, lo));
+            }
+            Expr::Index(name, idx) => {
+                let (addr, _) = *self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| format!("unknown global {name:?}"))?;
+                self.expr(idx, frame)?;
+                self.word(sll(V0, V0, 2));
+                let (hi, lo) = Self::hi_lo(addr);
+                self.word(lui(T1, hi));
+                self.word(addu(T1, T1, V0));
+                self.word(lw(V0, T1, lo));
+            }
+            Expr::AddrOf(name) => {
+                if self.program.function(name).is_some() {
+                    return Err(format!(
+                        "&{name}: function addresses are not yet supported on mips \
+                         (text must stay block-relocatable)"
+                    ));
+                }
+                let (addr, _) = *self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| format!("unknown name {name:?}"))?;
+                self.li(V0, addr as i32);
+            }
+            Expr::Call(name, args) => {
+                let target = *self
+                    .fn_labels
+                    .get(name)
+                    .ok_or_else(|| format!("call to undefined {name:?}"))?;
+                let expect = self
+                    .program
+                    .function(name)
+                    .map(|f| f.params.len())
+                    .unwrap_or(0);
+                if args.len() != expect {
+                    return Err(format!("arity mismatch calling {name:?}"));
+                }
+                for a in args {
+                    self.expr(a, frame)?;
+                    self.push_v0(frame);
+                }
+                self.call(target);
+                if !args.is_empty() {
+                    self.word(addiu(SP, SP, 4 * args.len() as i32));
+                    frame.depth -= args.len();
+                }
+            }
+            Expr::CallPtr(..) => {
+                return Err("indirect calls are not yet supported on mips \
+                     (text must stay block-relocatable)"
+                    .into());
+            }
+            Expr::Neg(inner) => {
+                self.expr(inner, frame)?;
+                self.word(subu(V0, ZERO, V0));
+            }
+            Expr::Not(inner) => {
+                self.expr(inner, frame)?;
+                self.word(i_type(11, V0, V0, 1)); // sltiu v0, v0, 1
+            }
+            Expr::Bin(op, lhs, rhs) => self.bin(*op, lhs, rhs, frame)?,
+        }
+        Ok(())
+    }
+
+    fn bin(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, frame: &mut Frame) -> Result<(), String> {
+        // Short-circuit forms branch instead of evaluating eagerly.
+        match op {
+            BinOp::LogAnd => {
+                let (l_false, l_end) = (self.new_label(), self.new_label());
+                self.expr(lhs, frame)?;
+                self.beq(V0, ZERO, l_false);
+                self.expr(rhs, frame)?;
+                self.word(r_type(43, ZERO, V0, V0, 0)); // sltu v0, zero, v0
+                self.jump(l_end);
+                self.bind(l_false);
+                self.li(V0, 0);
+                self.bind(l_end);
+                return Ok(());
+            }
+            BinOp::LogOr => {
+                let (l_true, l_end) = (self.new_label(), self.new_label());
+                self.expr(lhs, frame)?;
+                self.bne(V0, ZERO, l_true);
+                self.expr(rhs, frame)?;
+                self.word(r_type(43, ZERO, V0, V0, 0)); // sltu v0, zero, v0
+                self.jump(l_end);
+                self.bind(l_true);
+                self.li(V0, 1);
+                self.bind(l_end);
+                return Ok(());
+            }
+            _ => {}
+        }
+        self.expr(lhs, frame)?;
+        self.push_v0(frame);
+        self.expr(rhs, frame)?;
+        self.pop(frame, T0); // t0 = lhs, v0 = rhs
+        match op {
+            BinOp::Add => self.word(addu(V0, T0, V0)),
+            BinOp::Sub => self.word(subu(V0, T0, V0)),
+            BinOp::Mul => {
+                self.word(r_type(24, T0, V0, 0, 0)); // mult
+                self.word(r_type(18, 0, 0, V0, 0)); // mflo
+            }
+            BinOp::Div => {
+                self.word(r_type(26, T0, V0, 0, 0)); // div → LO=q, HI=r
+                self.word(r_type(18, 0, 0, V0, 0)); // mflo
+            }
+            BinOp::Rem => {
+                self.word(r_type(26, T0, V0, 0, 0)); // div
+                self.word(r_type(16, 0, 0, V0, 0)); // mfhi
+            }
+            BinOp::And => self.word(r_type(36, T0, V0, V0, 0)),
+            BinOp::Or => self.word(r_type(37, T0, V0, V0, 0)),
+            BinOp::Xor => self.word(r_type(38, T0, V0, V0, 0)),
+            BinOp::Shl => self.word(r_type(4, V0, T0, V0, 0)), // sllv v0 = t0 << v0
+            BinOp::Shr => self.word(r_type(7, V0, T0, V0, 0)), // srav
+            BinOp::Eq => {
+                self.word(r_type(38, T0, V0, V0, 0)); // xor
+                self.word(i_type(11, V0, V0, 1)); // sltiu v0, v0, 1
+            }
+            BinOp::Ne => {
+                self.word(r_type(38, T0, V0, V0, 0)); // xor
+                self.word(r_type(43, ZERO, V0, V0, 0)); // sltu v0, zero, v0
+            }
+            BinOp::Lt => self.word(r_type(42, T0, V0, V0, 0)), // slt t0 < v0
+            BinOp::Ge => {
+                self.word(r_type(42, T0, V0, V0, 0));
+                self.word(i_type(14, V0, V0, 1)); // xori
+            }
+            BinOp::Gt => self.word(r_type(42, V0, T0, V0, 0)), // slt v0 < t0
+            BinOp::Le => {
+                self.word(r_type(42, V0, T0, V0, 0));
+                self.word(i_type(14, V0, V0, 1)); // xori
+            }
+            BinOp::LogAnd | BinOp::LogOr => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
+    // ---- final assembly -------------------------------------------------
+
+    fn assemble(&mut self, data_len: u32) -> Result<Image, String> {
+        // Relaxation: a Branch slot is 2 words (branch + nop) when its
+        // displacement fits imm16, else 4 (inverted branch over a `j`).
+        // Expanding one branch can push another out of range, so iterate
+        // to a fixed point; expansion is monotone, so it terminates.
+        let nslots = self.code.len();
+        let mut far = vec![false; nslots];
+        let size = |slot: &Slot, far: bool| -> u32 {
+            match slot {
+                Slot::Branch { .. } if far => 4,
+                Slot::Branch { .. } => 2,
+                _ => 1,
+            }
+        };
+        let mut offsets = vec![0u32; nslots + 1];
+        loop {
+            for (i, slot) in self.code.iter().enumerate() {
+                offsets[i + 1] = offsets[i] + size(slot, far[i]);
+            }
+            let mut changed = false;
+            for (i, slot) in self.code.iter().enumerate() {
+                if let Slot::Branch { label, .. } = slot {
+                    if far[i] {
+                        continue;
+                    }
+                    let target =
+                        self.labels[*label].ok_or_else(|| format!("unbound label {label}"))?;
+                    let disp = offsets[target] as i64 - (offsets[i] as i64 + 1);
+                    if !(-0x8000..0x8000).contains(&disp) {
+                        far[i] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let addr_of = |slot: usize| TEXT_BASE + 4 * offsets[slot];
+        let resolve = |label: usize| -> Result<u32, String> {
+            self.labels[label]
+                .map(addr_of)
+                .ok_or_else(|| format!("unbound label {label}"))
+        };
+        let mut text = Vec::with_capacity(offsets[nslots] as usize * 4);
+        for (i, slot) in self.code.iter().enumerate() {
+            let pc = addr_of(i);
+            match *slot {
+                Slot::Word(w) => text.extend_from_slice(&w.to_be_bytes()),
+                Slot::Branch { word, label } => {
+                    let target = resolve(label)?;
+                    if far[i] {
+                        // Inverted condition (beq ^ bne is opcode bit
+                        // 26) skips the jump; `j` reaches anywhere in
+                        // the 256 MiB segment.
+                        let inv = (word ^ (1 << 26)) | 3;
+                        let j = (2 << 26) | ((target >> 2) & 0x03ff_ffff);
+                        for w in [inv, NOP, j, NOP] {
+                            text.extend_from_slice(&w.to_be_bytes());
+                        }
+                    } else {
+                        let disp = (target as i64 - (pc as i64 + 4)) >> 2;
+                        debug_assert!((-0x8000..0x8000).contains(&disp));
+                        let b = word | (disp as u32 & 0xffff);
+                        for w in [b, NOP] {
+                            text.extend_from_slice(&w.to_be_bytes());
+                        }
+                    }
+                }
+                Slot::Jump { word, label } => {
+                    let target = resolve(label)?;
+                    let w = word | ((target >> 2) & 0x03ff_ffff);
+                    text.extend_from_slice(&w.to_be_bytes());
+                }
+            }
+        }
+
+        let mut image = Image::new(TEXT_BASE, DATA_BASE).with_machine(Machine::Mips);
+        image.text = text;
+        image.entry = TEXT_BASE;
+        let mut data = vec![0u8; data_len as usize];
+        for g in &self.program.globals {
+            if g.count == 1 {
+                let off = (self.globals[&g.name].0 - DATA_BASE) as usize;
+                data[off..off + 4].copy_from_slice(&g.init.to_be_bytes());
+            }
+        }
+        image.data = data;
+        for (name, label) in &self.routines {
+            let addr = self.labels[*label]
+                .map(addr_of)
+                .ok_or_else(|| format!("unbound routine {name:?}"))?;
+            image.symbols.push(Symbol::routine(name, addr));
+        }
+        image
+            .symbols
+            .push(Symbol::object("__print_buf", self.print_buf, 16));
+        for g in &self.program.globals {
+            let (addr, count) = self.globals[&g.name];
+            image
+                .symbols
+                .push(Symbol::object(&format!("_{}", g.name), addr, 4 * count));
+        }
+        image.validate().map_err(|e| e.to_string())?;
+        Ok(image)
+    }
+}
+
+/// Collects every `var` declaration into the slot map (first-declaration
+/// order, nested blocks included).
+fn collect_vars(stmts: &[Stmt], slots: &mut HashMap<String, usize>) {
+    for s in stmts {
+        match s {
+            Stmt::Var(name, _) => {
+                let n = slots.len();
+                slots.entry(name.clone()).or_insert(n);
+            }
+            Stmt::If(_, a, b) => {
+                collect_vars(a, slots);
+                collect_vars(b, slots);
+            }
+            Stmt::While(_, body) => collect_vars(body, slots),
+            Stmt::For(init, _, step, body) => {
+                collect_vars(std::slice::from_ref(init), slots);
+                collect_vars(std::slice::from_ref(step), slots);
+                collect_vars(body, slots);
+            }
+            Stmt::Switch(_, cases, default) => {
+                for (_, body) in cases {
+                    collect_vars(body, slots);
+                }
+                collect_vars(default, slots);
+            }
+            _ => {}
+        }
+    }
+}

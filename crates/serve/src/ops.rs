@@ -24,8 +24,9 @@
 
 use crate::cache::CostClass;
 use eel_core::{
-    Analysis, BlockKind, Cfg, CfgBatchItem, EdgeId, Executable, FragmentMeta, Liveness, Routine,
-    Snippet,
+    generic_cfg, generic_disasm, generic_liveness, instrument_block_counters,
+    uses_generic_pipeline, Analysis, BlockKind, Cfg, CfgBatchItem, EdgeId, Executable,
+    FragmentMeta, Liveness, Routine, Snippet,
 };
 use eel_exe::Image;
 use std::collections::HashMap;
@@ -111,16 +112,129 @@ pub fn run_op_fragments(
     threads: usize,
     tier: &dyn FragmentTier,
 ) -> Result<(Vec<u8>, FragmentStats), String> {
+    // Machine dispatch: the WEF header tag picks the pipeline. A
+    // non-SPARC image routes through the generic description-derived
+    // ops — the per-routine fragment tier is a SPARC editable-CFG
+    // artifact (its meta records escape targets and block splits), so
+    // generic results run cold at this layer. Whole-image caching above
+    // still applies: the image hash covers the flags word, which
+    // carries the machine tag, so byte-identical text under different
+    // tags can never share an entry.
+    if uses_generic_pipeline(analysis.machine()) {
+        return run_op_generic(op, analysis).map(|b| (b, FragmentStats::default()));
+    }
     match op {
         "disasm" => disasm(analysis, threads, tier),
         "cfg-summary" => cfg_summary(analysis, threads, tier),
         "liveness" => liveness(analysis, threads, tier),
         "stat" => stat(analysis).map(|b| (b, FragmentStats::default())),
         "instrument" => instrument(analysis, threads, tier),
-        other => Err(format!(
-            "unknown op {other:?} (expected one of {CACHED_OPS:?}, edit, ping, metrics, shutdown)"
-        )),
+        other => Err(unknown_op(other)),
     }
+}
+
+fn unknown_op(other: &str) -> String {
+    format!("unknown op {other:?} (expected one of {CACHED_OPS:?}, edit, ping, metrics, shutdown)")
+}
+
+/// The generic (machine-dispatched) twins of the analysis ops, used for
+/// every non-SPARC image: disassembly, CFG statistics, and liveness
+/// come from the spawn-derived [`eel_core::MachineOps`] backend;
+/// `instrument` places the per-block counters of
+/// [`eel_core::instrument_block_counters`] rather than SPARC's per-edge
+/// snippets. Output shapes mirror the SPARC renderings line for line so
+/// clients parse one format.
+fn run_op_generic(op: &str, analysis: &Analysis) -> Result<Vec<u8>, String> {
+    eel_obs::counter(&format!("serve.ops.{}.generic", op)).add(1);
+    match op {
+        "disasm" => disasm_generic(analysis),
+        "cfg-summary" => cfg_summary_generic(analysis),
+        "liveness" => liveness_generic(analysis),
+        "stat" => stat(analysis),
+        "instrument" => {
+            let (edited, _counters) =
+                instrument_block_counters(analysis.image()).map_err(|e| err("instrument", e))?;
+            Ok(edited.to_bytes())
+        }
+        other => Err(unknown_op(other)),
+    }
+}
+
+fn disasm_generic(analysis: &Analysis) -> Result<Vec<u8>, String> {
+    let image = analysis.image();
+    let mut out = String::new();
+    for routine in analysis.routines() {
+        let _ = writeln!(
+            out,
+            "{:#010x} <{}>{}:",
+            routine.start(),
+            routine.name(),
+            if routine.is_hidden() { " (hidden)" } else { "" }
+        );
+        for line in generic_disasm(image, routine) {
+            let _ = writeln!(out, "  {line}");
+        }
+        out.push('\n');
+    }
+    Ok(out.into_bytes())
+}
+
+fn cfg_summary_generic(analysis: &Analysis) -> Result<Vec<u8>, String> {
+    let image = analysis.image();
+    let mut out = String::new();
+    let (mut blocks, mut edges, mut insns) = (0u64, 0u64, 0u64);
+    for routine in analysis.routines() {
+        let cfg = generic_cfg(image, routine).map_err(|e| err("cfg-summary", e))?;
+        let b = cfg.blocks.len() as u64;
+        let e: u64 = cfg.blocks.iter().map(|blk| blk.succs.len() as u64).sum();
+        let i: u64 = cfg
+            .blocks
+            .iter()
+            .map(|blk| u64::from(blk.end - blk.start) / 4)
+            .sum();
+        let indirect = cfg
+            .blocks
+            .iter()
+            .filter(|blk| blk.has_indirect_exit)
+            .count();
+        let _ = writeln!(
+            out,
+            "{}: blocks={b} edges={e} insns={i} indirect-exits={indirect}",
+            routine.name()
+        );
+        blocks += b;
+        edges += e;
+        insns += i;
+    }
+    let _ = writeln!(
+        out,
+        "TOTAL: routines={} blocks={blocks} edges={edges} insns={insns}",
+        analysis.routines().len()
+    );
+    Ok(out.into_bytes())
+}
+
+fn liveness_generic(analysis: &Analysis) -> Result<Vec<u8>, String> {
+    let image = analysis.image();
+    let mut out = String::new();
+    for routine in analysis.routines() {
+        let cfg = generic_cfg(image, routine).map_err(|e| err("liveness", e))?;
+        let live = generic_liveness(image, &cfg);
+        let entry = cfg
+            .blocks
+            .iter()
+            .position(|b| b.start == routine.start())
+            .unwrap_or(0);
+        let regs: Vec<&str> = live.live_in[entry].iter().map(String::as_str).collect();
+        let _ = writeln!(
+            out,
+            "{}: entry-live-in={{{}}} ({} regs)",
+            routine.name(),
+            regs.join(" "),
+            regs.len()
+        );
+    }
+    Ok(out.into_bytes())
 }
 
 /// The recompute [`CostClass`] of an op's cached result, steering the
@@ -387,6 +501,9 @@ fn stat(analysis: &Analysis) -> Result<Vec<u8>, String> {
     let hidden = analysis.routines().iter().filter(|r| r.is_hidden()).count();
     let entries: usize = analysis.routines().iter().map(|r| r.entries().len()).sum();
     let mut out = String::new();
+    // Baked into the cached body, like the discovery line below, so a
+    // warm `stat` still says which backend the image takes.
+    let _ = writeln!(out, "machine: {}", analysis.machine().name());
     let _ = writeln!(
         out,
         "text: {} bytes @ {:#010x}",
@@ -425,6 +542,16 @@ fn stat(analysis: &Analysis) -> Result<Vec<u8>, String> {
 /// rejected.
 pub fn run_edit(analysis: &Arc<Analysis>, script: &str) -> Result<Vec<u8>, String> {
     let _obs = eel_obs::span("edit.serve_op");
+    // The command-script engine drives the SPARC editable CFG; reject
+    // other machines up front with a pointer at what does work, instead
+    // of letting the first `apply` surface a deeper error.
+    if uses_generic_pipeline(analysis.machine()) {
+        return Err(format!(
+            "edit: the command-script engine is sparc-only; a {} image takes the generic ops \
+             (disasm, cfg-summary, liveness, stat, instrument)",
+            analysis.machine().name()
+        ));
+    }
     let mut session = eel_edit::EditSession::from_analysis(Arc::clone(analysis));
     let applied = session
         .run_script_to_image(script)
@@ -584,6 +711,96 @@ mod tests {
         )
         .expect("compile");
         Arc::new(Analysis::compute(Arc::new(image)).expect("analyze"))
+    }
+
+    fn mips_analysis() -> Arc<Analysis> {
+        let w = eel_progen::Workload {
+            name: "serve-mips",
+            source: "
+                global acc;
+                fn step(x) {
+                    var t = 0;
+                    while (x > 0) { t = t + x % 5; x = x - 1; }
+                    return t;
+                }
+                fn main() {
+                    var i;
+                    acc = 0;
+                    for (i = 1; i < 12; i = i + 1) { acc = acc + step(i); print(acc); }
+                    return acc & 63;
+                }
+            "
+            .into(),
+        };
+        let image =
+            eel_progen::compile_machine(&w, eel_cc::Personality::Gcc, eel_exe::Machine::Mips)
+                .expect("compile mips");
+        Arc::new(Analysis::compute(Arc::new(image)).expect("analyze"))
+    }
+
+    #[test]
+    fn generic_ops_render_for_mips() {
+        let a = mips_analysis();
+        for op in CACHED_OPS {
+            let one = run_op(op, &a).expect(op);
+            let two = run_op(op, &a).expect(op);
+            assert!(!one.is_empty(), "{op} produced output");
+            assert_eq!(one, two, "{op} is deterministic");
+        }
+        let stat = String::from_utf8(run_op("stat", &a).unwrap()).unwrap();
+        assert!(stat.contains("machine: mips"), "{stat}");
+        let disasm = String::from_utf8(run_op("disasm", &a).unwrap()).unwrap();
+        assert!(disasm.contains("<main>"), "{disasm}");
+        assert!(disasm.contains("addiu"), "{disasm}");
+        let summary = String::from_utf8(run_op("cfg-summary", &a).unwrap()).unwrap();
+        assert!(summary.contains("TOTAL:"), "{summary}");
+        let live = String::from_utf8(run_op("liveness", &a).unwrap()).unwrap();
+        assert!(live.contains("entry-live-in="), "{live}");
+        assert!(live.contains("$29"), "{live}");
+    }
+
+    #[test]
+    fn mips_instrument_preserves_behavior() {
+        let a = mips_analysis();
+        let original = eel_emu::run_image(a.image()).expect("run original");
+        let wef = run_op("instrument", &a).expect("instrument");
+        let edited = Image::from_bytes(&wef).expect("edited image parses");
+        assert_eq!(edited.machine, eel_exe::Machine::Mips);
+        let outcome = eel_emu::run_image(&edited).expect("run edited");
+        assert_eq!(outcome.exit_code, original.exit_code);
+        assert_eq!(outcome.output, original.output);
+    }
+
+    #[test]
+    fn mips_edit_is_rejected_with_a_pointer() {
+        let a = mips_analysis();
+        let e = run_edit(&a, "counter main\napply\n").unwrap_err();
+        assert!(e.contains("sparc-only"), "{e}");
+        assert!(e.contains("mips"), "{e}");
+    }
+
+    #[test]
+    fn mips_ops_bypass_the_fragment_tier() {
+        let a = mips_analysis();
+        let tier = MemTier::default();
+        for op in ["disasm", "instrument"] {
+            let (cold, s1) = run_op_fragments(op, &a, 1, &tier).expect(op);
+            let (warm, s2) = run_op_fragments(op, &a, 1, &tier).expect(op);
+            assert_eq!(cold, warm, "{op}: generic path is deterministic");
+            assert_eq!(s1, FragmentStats::default(), "{op}: no fragment accounting");
+            assert_eq!(s2, FragmentStats::default());
+        }
+        assert!(
+            tier.0.lock().unwrap().is_empty(),
+            "generic ops never write SPARC CFG fragments"
+        );
+    }
+
+    #[test]
+    fn stat_reports_the_machine_line_for_sparc_too() {
+        let a = analysis();
+        let stat = String::from_utf8(run_op("stat", &a).unwrap()).unwrap();
+        assert!(stat.contains("machine: sparc"), "{stat}");
     }
 
     /// In-memory fragment tier for tests and benches.

@@ -31,7 +31,8 @@
 //! ```text
 //! u8 version (=1) | u8 status (0 ok / 1 error / 2 busy) |
 //!   u8 tier (0 computed / 1 memory / 2 disk) | u32 length | body bytes |
-//!   [u32 fragment hits | u32 fragment total]
+//!   [u32 fragment hits | u32 fragment total] |
+//!   [u8 discovery (0 symbols / 1 inferred) [u8 machine (WEF tag)]]
 //! ```
 //!
 //! `tier` reports where the result came from: `0` is a fresh
@@ -47,8 +48,16 @@
 //! many the op decomposed into (`total`). Old decoders stop at the body
 //! and never see the extension; new decoders treat a body with nothing
 //! after it as "no fragment accounting" (`None`), so both directions
-//! interoperate and the protocol version stays 1. The full byte-level
-//! specification, including a worked hex example, lives in
+//! interoperate and the protocol version stays 1.
+//!
+//! The discovery byte and the machine byte are two further additive
+//! extensions: an op that analyzed an image appends how its routine set
+//! was found, and — immediately after, never alone — the WEF machine
+//! tag of the analyzed image (`eel_exe::Machine::to_byte`), so clients
+//! can report which backend served the result. `remaining()` after the
+//! body disambiguates: ≥8 bytes start with the fragment pair; then one
+//! trailing byte is discovery, two are discovery + machine. The full
+//! byte-level specification, including a worked hex example, lives in
 //! `docs/PROTOCOL.md`.
 
 use std::io::{self, Read, Write};
@@ -202,6 +211,14 @@ pub enum Response {
         /// inference rules. `None` when the op never analyzed an image
         /// or the peer predates the extension.
         discovery: Option<Discovery>,
+        /// The machine the analyzed image targets (its WEF header tag),
+        /// so clients can report which backend served the result. Rides
+        /// the wire only when `discovery` does — the machine byte is
+        /// encoded immediately after the discovery byte, which is what
+        /// keeps the trailing-extension lengths unambiguous. `None`
+        /// when the op never analyzed an image or the peer predates the
+        /// extension.
+        machine: Option<eel_exe::Machine>,
     },
     /// The operation failed; the message says why.
     Err(String),
@@ -333,16 +350,24 @@ impl Response {
     /// Appends the versionless field encoding (`status | tier | length |
     /// body`) — shared by the v1 body and v2 tagged frames.
     fn encode_fields(&self, out: &mut Vec<u8>) {
-        type Fields<'a> = (u8, u8, &'a [u8], Option<(u32, u32)>, Option<Discovery>);
-        let (status, tier, body, fragments, discovery): Fields<'_> = match self {
+        type Fields<'a> = (
+            u8,
+            u8,
+            &'a [u8],
+            Option<(u32, u32)>,
+            Option<Discovery>,
+            Option<eel_exe::Machine>,
+        );
+        let (status, tier, body, fragments, discovery, machine): Fields<'_> = match self {
             Response::Ok {
                 tier,
                 body,
                 fragments,
                 discovery,
-            } => (0, tier.to_byte(), body, *fragments, *discovery),
-            Response::Err(msg) => (1, 0, msg.as_bytes(), None, None),
-            Response::Busy => (2, 0, &[], None, None),
+                machine,
+            } => (0, tier.to_byte(), body, *fragments, *discovery, *machine),
+            Response::Err(msg) => (1, 0, msg.as_bytes(), None, None, None),
+            Response::Busy => (2, 0, &[], None, None, None),
         };
         out.push(status);
         out.push(tier);
@@ -353,7 +378,10 @@ impl Response {
         // fragment pair (8 bytes) and the discovery byte (1 byte) are
         // each independently optional — the decoder tells them apart by
         // how many bytes remain, so `fragments: None` with
-        // `discovery: Some` encodes as a lone trailing byte.
+        // `discovery: Some` encodes as a lone trailing byte. The
+        // machine byte rides only behind a discovery byte (both are set
+        // from the same analysis), so a lone trailing byte is always
+        // discovery and a trailing pair is discovery + machine.
         if status == 0 {
             if let Some((hits, total)) = fragments {
                 out.extend_from_slice(&hits.to_be_bytes());
@@ -361,6 +389,9 @@ impl Response {
             }
             if let Some(d) = discovery {
                 out.push(d.to_byte());
+                if let Some(m) = machine {
+                    out.push(m.to_byte());
+                }
             }
         }
     }
@@ -379,10 +410,17 @@ impl Response {
         } else {
             None
         };
+        let mut machine = None;
         let discovery = if status == 0 && c.remaining() >= 1 {
             // An unknown byte is a future peer's extension, not an
             // error — decode stays tolerant.
-            Discovery::from_byte(c.u8("discovery")?)
+            let d = Discovery::from_byte(c.u8("discovery")?);
+            // The machine tag only ever follows a discovery byte; an
+            // unknown byte (a future machine) decodes as `None`.
+            if c.remaining() >= 1 {
+                machine = eel_exe::Machine::from_byte(c.u8("machine")?);
+            }
+            d
         } else {
             None
         };
@@ -393,6 +431,7 @@ impl Response {
                 body: bytes,
                 fragments,
                 discovery,
+                machine,
             },
             1 => Response::Err(String::from_utf8_lossy(&bytes).into_owned()),
             2 => Response::Busy,
@@ -653,36 +692,42 @@ mod tests {
                 body: b"hello".to_vec(),
                 fragments: None,
                 discovery: None,
+                machine: None,
             },
             Response::Ok {
                 tier: CacheTier::Computed,
                 body: Vec::new(),
                 fragments: None,
                 discovery: None,
+                machine: None,
             },
             Response::Ok {
                 tier: CacheTier::Disk,
                 body: b"warm".to_vec(),
                 fragments: None,
                 discovery: Some(Discovery::Symbols),
+                machine: Some(eel_exe::Machine::Mips),
             },
             Response::Ok {
                 tier: CacheTier::Computed,
                 body: b"stitched".to_vec(),
                 fragments: Some((7, 8)),
                 discovery: Some(Discovery::Inferred),
+                machine: Some(eel_exe::Machine::Sparc),
             },
             Response::Ok {
                 tier: CacheTier::Computed,
                 body: Vec::new(),
                 fragments: Some((0, 0)),
                 discovery: None,
+                machine: None,
             },
             Response::Ok {
                 tier: CacheTier::Computed,
                 body: b"bare".to_vec(),
                 fragments: None,
                 discovery: Some(Discovery::Inferred),
+                machine: None,
             },
             Response::Err("nope".into()),
             Response::Busy,
@@ -707,6 +752,7 @@ mod tests {
                 body: b"ok".to_vec(),
                 fragments: None,
                 discovery: None,
+                machine: None,
             }
         );
         // The extension also rides tagged session replies, where the
@@ -718,6 +764,7 @@ mod tests {
                 body: b"x".to_vec(),
                 fragments: Some((3, 5)),
                 discovery: Some(Discovery::Inferred),
+                machine: None,
             },
         };
         assert_eq!(SessionReply::decode(&reply.encode()).unwrap(), reply);
@@ -732,6 +779,7 @@ mod tests {
             body: b"ok".to_vec(),
             fragments: Some((1, 2)),
             discovery: None,
+            machine: None,
         }
         .encode();
         assert_eq!(enc.len(), 1 + 2 + 4 + 2 + 8);
@@ -742,6 +790,7 @@ mod tests {
             body: b"ok".to_vec(),
             fragments: None,
             discovery: Some(Discovery::Symbols),
+            machine: None,
         }
         .encode();
         assert_eq!(enc.len(), 1 + 2 + 4 + 2 + 1);
@@ -752,6 +801,7 @@ mod tests {
                 body: b"ok".to_vec(),
                 fragments: None,
                 discovery: Some(Discovery::Symbols),
+                machine: None,
             }
         );
         // A discovery byte from a future peer decodes as None rather
@@ -765,11 +815,64 @@ mod tests {
                 body: b"ok".to_vec(),
                 fragments: None,
                 discovery: None,
+                machine: None,
             }
         );
         // Errors never carry either extension.
         assert_eq!(Discovery::Inferred.as_str(), "inferred");
         assert_eq!(Discovery::Symbols.as_str(), "symbols");
+    }
+
+    #[test]
+    fn machine_is_a_trailing_extension() {
+        use eel_exe::Machine;
+        // The machine byte rides immediately after the discovery byte:
+        // one extra trailing byte versus a discovery-only frame.
+        let with = Response::Ok {
+            tier: CacheTier::Computed,
+            body: b"ok".to_vec(),
+            fragments: None,
+            discovery: Some(Discovery::Symbols),
+            machine: Some(Machine::Mips),
+        };
+        let enc = with.encode();
+        assert_eq!(enc.len(), 1 + 2 + 4 + 2 + 2);
+        assert_eq!(Response::decode(&enc).unwrap(), with);
+        // A machine without a discovery byte never encodes — the lone
+        // trailing byte would be misread as discovery by old peers — so
+        // the field quietly drops instead.
+        let orphan = Response::Ok {
+            tier: CacheTier::Computed,
+            body: b"ok".to_vec(),
+            fragments: None,
+            discovery: None,
+            machine: Some(Machine::Mips),
+        }
+        .encode();
+        assert_eq!(orphan.len(), 1 + 2 + 4 + 2);
+        // All three extensions together: pair, discovery, machine.
+        let full = Response::Ok {
+            tier: CacheTier::Memory,
+            body: b"ok".to_vec(),
+            fragments: Some((2, 3)),
+            discovery: Some(Discovery::Inferred),
+            machine: Some(Machine::Sparc),
+        };
+        let enc = full.encode();
+        assert_eq!(enc.len(), 1 + 2 + 4 + 2 + 8 + 2);
+        assert_eq!(Response::decode(&enc).unwrap(), full);
+        // A machine byte from a future peer decodes as None, tolerantly.
+        let mut future = enc;
+        *future.last_mut().unwrap() = 0x7f;
+        match Response::decode(&future).unwrap() {
+            Response::Ok {
+                discovery, machine, ..
+            } => {
+                assert_eq!(discovery, Some(Discovery::Inferred));
+                assert_eq!(machine, None);
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
     }
 
     #[test]
@@ -838,6 +941,7 @@ mod tests {
                     body: b"out".to_vec(),
                     fragments: None,
                     discovery: Some(Discovery::Inferred),
+                    machine: None,
                 },
             },
             SessionReply::Tagged {

@@ -616,12 +616,14 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
             body: b"pong".to_vec(),
             fragments: None,
             discovery: None,
+            machine: None,
         },
         "metrics" => Response::Ok {
             tier: CacheTier::Computed,
             body: render_metrics().into_bytes(),
             fragments: None,
             discovery: None,
+            machine: None,
         },
         "shutdown" => {
             shared.request_stop();
@@ -630,6 +632,7 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
                 body: b"shutting down".to_vec(),
                 fragments: None,
                 discovery: None,
+                machine: None,
             }
         }
         "edit" => cached_edit(shared, &req.payload),
@@ -653,14 +656,15 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
         }
     };
     let hash = content_hash(&bytes);
-    // Fragment accounting and the discovery source ride out of the
-    // compute closure through cells: both stay `None` whenever a
-    // whole-image tier answered and the analysis never ran. (A cached
-    // `stat` body still reports its discovery line — the source is part
-    // of the rendered result — so only the wire-level annotation goes
-    // quiet on cache hits.)
+    // Fragment accounting, the discovery source, and the machine tag
+    // ride out of the compute closure through cells: all stay `None`
+    // whenever a whole-image tier answered and the analysis never ran.
+    // (A cached `stat` body still reports its discovery and machine
+    // lines — both are part of the rendered result — so only the
+    // wire-level annotation goes quiet on cache hits.)
     let frag_stats = std::cell::Cell::new(None);
     let disc = std::cell::Cell::new(None);
+    let mach = std::cell::Cell::new(None);
     let resp = cached_result(shared, hash, op, op, || {
         let threads = analysis_threads(shared);
         let tier = SharedFragmentTier { shared };
@@ -669,6 +673,7 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
                 eel_core::DiscoverySource::Symbols => Discovery::Symbols,
                 eel_core::DiscoverySource::Inferred => Discovery::Inferred,
             }));
+            mach.set(Some(a.machine()));
             run_op_fragments(op, &a, threads, &tier).map(|(body, stats)| {
                 if stats.total > 0 {
                     eel_obs::counter!("serve.cache.fragment.hit").add(u64::from(stats.hits));
@@ -686,6 +691,7 @@ fn cached_op(shared: &Shared, op: &str, payload: &Payload) -> Response {
             body,
             fragments: frag_stats.get(),
             discovery: disc.get(),
+            machine: mach.get(),
         },
         other => other,
     }
@@ -833,6 +839,7 @@ fn cached_result(
             body: body.to_vec(),
             fragments: None,
             discovery: None,
+            machine: None,
         },
         Err(msg) => Response::Err(msg),
     }

@@ -129,14 +129,36 @@ fn corrupt_and_truncated_sidecars_recover_on_restart() {
     );
 
     // Vandalize the tier: flip a payload byte in one sidecar, truncate
-    // another mid-header, and empty a third.
-    let mut bytes = fs::read(&files[0]).unwrap();
+    // another mid-header, and empty a third. Damage only sidecars whose
+    // routine keys the twin shares — recovery is probe-triggered, so a
+    // sidecar only the base's mutated routine owns would survive
+    // damaged no matter what (the twin never asks for it).
+    let twin_keys: std::collections::HashSet<u64> = {
+        let image = std::sync::Arc::new(eel_exe::Image::from_bytes(&twin).unwrap());
+        eel_core::Analysis::compute(image)
+            .unwrap()
+            .routine_keys()
+            .iter()
+            .copied()
+            .collect()
+    };
+    let shared: Vec<&PathBuf> = files
+        .iter()
+        .filter(|f| {
+            let name = f.file_name().unwrap().to_string_lossy().into_owned();
+            name.split_once('.')
+                .and_then(|(h, _)| u64::from_str_radix(h, 16).ok())
+                .is_some_and(|h| twin_keys.contains(&h))
+        })
+        .collect();
+    assert!(shared.len() >= 3, "expected ≥3 shared sidecars");
+    let mut bytes = fs::read(shared[0]).unwrap();
     let last = bytes.len() - 1;
     bytes[last] ^= 0xff;
-    fs::write(&files[0], &bytes).unwrap();
-    let bytes = fs::read(&files[1]).unwrap();
-    fs::write(&files[1], &bytes[..bytes.len().min(13)]).unwrap();
-    fs::write(&files[2], b"").unwrap();
+    fs::write(shared[0], &bytes).unwrap();
+    let bytes = fs::read(shared[1]).unwrap();
+    fs::write(shared[1], &bytes[..bytes.len().min(13)]).unwrap();
+    fs::write(shared[2], b"").unwrap();
 
     // A restarted daemon must stitch the twin to the cold answer anyway:
     // damaged sidecars validate as stale, are deleted, and recompute.

@@ -23,6 +23,10 @@ pub struct SpawnState {
     pub npc: u32,
     /// Annul flag for the next instruction.
     pub annul: bool,
+    /// MIPS multiply/divide high result (`HI`); unused by SPARC semantics.
+    pub hi: u32,
+    /// MIPS multiply/divide low result (`LO`); unused by SPARC semantics.
+    pub lo: u32,
 }
 
 impl SpawnState {
@@ -35,6 +39,8 @@ impl SpawnState {
             pc: entry,
             npc: entry + 4,
             annul: false,
+            hi: 0,
+            lo: 0,
         }
     }
 }
@@ -302,6 +308,8 @@ impl<'a, M: Memory> Evaluator<'a, M> {
             }),
             "ICC" => Ok(self.state.icc as u32),
             "Y" => Ok(self.state.y),
+            "HI" => Ok(self.state.hi),
+            "LO" => Ok(self.state.lo),
             other => Err(EvalStop::Bug(SpawnError::Semantic(format!(
                 "unknown register set {other:?}"
             )))),
@@ -378,6 +386,22 @@ impl<'a, M: Memory> Evaluator<'a, M> {
                     Ok(q.clamp(i32::MIN as i64, i32::MAX as i64) as u32)
                 }
             }
+            "rems" | "remu" => {
+                // 32-bit division remainder: a - trunc(a/b)*b, with the
+                // quotient clamped exactly as `divs`/`divu` clamp it, so
+                // LO/HI pairs stay consistent (INT_MIN rem -1 included).
+                let (a, b) = (args[0], args[1]);
+                if b == 0 {
+                    return Err(EvalStop::Event(SpawnEvent::DivZero));
+                }
+                if name == "remu" {
+                    Ok(a % b)
+                } else {
+                    let q = ((a as i32 as i64) / (b as i32 as i64))
+                        .clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                    Ok((a as i32).wrapping_sub(q.wrapping_mul(b as i32)) as u32)
+                }
+            }
             "test" => {
                 // test(cond_field, cc): dynamic condition evaluation.
                 let cond = eel_isa::Cond::from_bits(args[0]);
@@ -434,6 +458,8 @@ impl<'a, M: Memory> Evaluator<'a, M> {
                     }
                     "ICC" => self.state.icc = (v & 0xf) as u8,
                     "Y" => self.state.y = v,
+                    "HI" => self.state.hi = v,
+                    "LO" => self.state.lo = v,
                     other => {
                         return Err(SpawnError::Semantic(format!(
                             "unknown register set {other:?}"

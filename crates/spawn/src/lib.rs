@@ -222,6 +222,97 @@ mod tests {
     }
 
     #[test]
+    fn mips_static_targets() {
+        let m = mips_machine().unwrap();
+        // beq $0, $0, +1 at 0x1000: target = pc + 4 + (1 << 2).
+        let d = m.decode(0x1000_0001).unwrap();
+        assert_eq!(m.static_target(&d, 0x1000), Some(0x1008));
+        // bne with a negative displacement (-2).
+        let d = m.decode(0x1485_fffe).unwrap();
+        assert_eq!(d.spec.name, "bne");
+        assert_eq!(m.static_target(&d, 0x1000), Some(0x1000 + 4 - 8));
+        // jal 0x100: pseudo-absolute within the current 256 MB region.
+        let d = m.decode(0x0c00_0040).unwrap();
+        assert_eq!(m.static_target(&d, 0x1000), Some(0x100));
+        // jr $ra has no static target; addu has none at all.
+        let d = m.decode(0x03e0_0008).unwrap();
+        assert_eq!(m.static_target(&d, 0x1000), None);
+        let d = m.decode(0x0085_1021).unwrap();
+        assert_eq!(m.static_target(&d, 0x1000), None);
+    }
+
+    #[test]
+    fn sparc_static_targets() {
+        let m = sparc_machine().unwrap();
+        // call .+16 — disp30 of 4.
+        let d = m.decode(0x4000_0004).unwrap();
+        assert_eq!(m.static_target(&d, 0x2000), Some(0x2010));
+        // bne .+16 — conditional targets resolve too.
+        let d = m.decode(0x3280_0004).unwrap();
+        assert_eq!(m.static_target(&d, 0x2000), Some(0x2010));
+    }
+
+    #[test]
+    fn mips_divide_semantics() {
+        struct NoMem;
+        impl eel_isa::Memory for NoMem {
+            fn load(&mut self, _: u32, _: u32) -> Option<u32> {
+                None
+            }
+            fn store(&mut self, _: u32, _: u32, _: u32) -> Option<()> {
+                None
+            }
+        }
+        let m = mips_machine().unwrap();
+        let div = 0x008f_001a; // div $4, $15 (funct 26)
+        let divu = 0x008f_001b;
+        let cases: [(u32, u32); 6] = [
+            (7, 2),
+            (0x8000_0000, 2),
+            ((-7i32) as u32, 2),
+            (7, (-2i32) as u32),
+            (0x8000_0000, (-1i32) as u32),
+            (0xffff_fff1, 3),
+        ];
+        for (a, b) in cases {
+            let mut st = SpawnState::new(0x1000);
+            st.r[4] = a;
+            st.r[15] = b;
+            let d = m.decode(div).unwrap();
+            assert_eq!(m.execute(&d, &mut st, &mut NoMem).unwrap(), SpawnEvent::Ok);
+            // LO/HI mirror i64 truncating division clamped to i32, with a
+            // consistent remainder (a == q*b + r).
+            let q = ((a as i32 as i64) / (b as i32 as i64)).clamp(i32::MIN as i64, i32::MAX as i64)
+                as i32;
+            assert_eq!(st.lo, q as u32, "div {a:#x}/{b:#x} quotient");
+            assert_eq!(
+                st.hi,
+                (a as i32).wrapping_sub(q.wrapping_mul(b as i32)) as u32,
+                "div {a:#x}/{b:#x} remainder"
+            );
+            let mut st = SpawnState::new(0x1000);
+            st.r[4] = a;
+            st.r[15] = b;
+            let d = m.decode(divu).unwrap();
+            assert_eq!(m.execute(&d, &mut st, &mut NoMem).unwrap(), SpawnEvent::Ok);
+            assert_eq!(st.lo, a / b, "divu {a:#x}/{b:#x} quotient");
+            assert_eq!(st.hi, a % b, "divu {a:#x}/{b:#x} remainder");
+        }
+        // Division by zero surfaces as the DivZero event, like SPARC sdiv.
+        let mut st = SpawnState::new(0x1000);
+        st.r[4] = 5;
+        let d = m.decode(div).unwrap();
+        assert_eq!(
+            m.execute(&d, &mut st, &mut NoMem).unwrap(),
+            SpawnEvent::DivZero
+        );
+        // div now reports HI and LO as written, so liveness sees both.
+        let writes = m.writes(&d);
+        assert!(writes.contains(&("HI".into(), 0)));
+        assert!(writes.contains(&("LO".into(), 0)));
+    }
+
+    #[test]
     fn errors_display() {
         for e in [
             SpawnError::Parse {

@@ -262,6 +262,45 @@ impl Machine {
         out
     }
 
+    /// The statically-known control-transfer target of this instance at
+    /// `pc`, derived from the semantics: the first `npc :=` assignment
+    /// (conditional or not) whose right-hand side depends only on
+    /// instruction fields, constants, and `pc`. `None` for indirect
+    /// transfers (register targets) and non-transfers.
+    ///
+    /// This is how spawn-derived analyses compute branch and call targets
+    /// without any handwritten per-ISA target arithmetic.
+    pub fn static_target(&self, d: &Decoded<'_>, pc: u32) -> Option<u32> {
+        fn find(desc: &Description, stmts: &[Stmt], word: u32, pc: u32) -> Option<u32> {
+            for s in stmts {
+                match s {
+                    Stmt::Assign(LValue::Npc, e) => {
+                        if let Some(t) = eval_static_expr(desc, e, word, pc) {
+                            return Some(t);
+                        }
+                    }
+                    Stmt::If(_, a, b) => {
+                        if let Some(t) = find(desc, a, word, pc).or_else(|| find(desc, b, word, pc))
+                        {
+                            return Some(t);
+                        }
+                    }
+                    Stmt::Par(g) => {
+                        if let Some(t) = find(desc, g, word, pc) {
+                            return Some(t);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        d.spec
+            .sem
+            .as_ref()
+            .and_then(|sem| find(&self.desc, sem, d.word, pc))
+    }
+
     /// Memory access width in bytes, if the instruction touches memory.
     pub fn mem_width(&self, d: &Decoded<'_>) -> Option<u32> {
         fn find_stmt(s: &Stmt) -> Option<u32> {
@@ -661,6 +700,42 @@ pub(crate) fn eval_field_expr(desc: &Description, e: &Expr, word: u32) -> Option
                 eval_field_expr(desc, a, word)
             } else {
                 eval_field_expr(desc, b, word)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Like [`eval_field_expr`] but additionally resolves `pc`, for static
+/// control-transfer target computation.
+fn eval_static_expr(desc: &Description, e: &Expr, word: u32, pc: u32) -> Option<u32> {
+    match e {
+        Expr::Pc => Some(pc),
+        Expr::Num(n) => Some(*n),
+        Expr::Field(f) => desc.field(f).map(|fd| fd.extract(word)),
+        Expr::SxField(f) => desc.field(f).map(|fd| {
+            let v = fd.extract(word);
+            let sh = 32 - fd.width();
+            (((v << sh) as i32) >> sh) as u32
+        }),
+        Expr::Sxm(e, bits) => eval_static_expr(desc, e, word, pc).map(|v| {
+            let sh = 32 - bits;
+            (((v << sh) as i32) >> sh) as u32
+        }),
+        Expr::Val(n) => desc
+            .val(n)
+            .and_then(|v| eval_static_expr(desc, v, word, pc)),
+        Expr::Bin(op, a, b) => {
+            let a = eval_static_expr(desc, a, word, pc)?;
+            let b = eval_static_expr(desc, b, word, pc)?;
+            Some(crate::eval::apply_binop(*op, a, b))
+        }
+        Expr::Cond(c, a, b) => {
+            let c = eval_static_expr(desc, c, word, pc)?;
+            if c != 0 {
+                eval_static_expr(desc, a, word, pc)
+            } else {
+                eval_static_expr(desc, b, word, pc)
             }
         }
         _ => None,

@@ -188,9 +188,10 @@ fn main() -> ExitCode {
                 body,
                 fragments,
                 discovery,
+                machine,
             }) => {
                 eprintln!(
-                    "eelctl: {op} {file}: {}{}{}",
+                    "eelctl: {op} {file}: {}{}{}{}",
                     match tier {
                         CacheTier::Computed => "cache miss",
                         CacheTier::Memory => "cache hit",
@@ -202,6 +203,10 @@ fn main() -> ExitCode {
                     },
                     match discovery {
                         Some(d) => format!(" (discovery {})", d.as_str()),
+                        None => String::new(),
+                    },
+                    match machine {
+                        Some(m) => format!(" (machine {})", m.name()),
                         None => String::new(),
                     }
                 );

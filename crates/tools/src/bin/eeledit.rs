@@ -61,6 +61,13 @@ fn main() -> ExitCode {
         Ok(image) => image,
         Err(e) => return cli.fail(format_args!("cannot load {input}: {e}")),
     };
+    if eel_core::uses_generic_pipeline(image.machine) {
+        return cli.fail(format_args!(
+            "{input} is a {} image; the edit-command engine is sparc-only \
+             (qpt --blocks places generic block counters)",
+            image.machine.name()
+        ));
+    }
     let mut session = match EditSession::new(Arc::new(image)) {
         Ok(session) => session,
         Err(e) => return cli.fail(format_args!("cannot analyze {input}: {e}")),

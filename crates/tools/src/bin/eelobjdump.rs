@@ -73,9 +73,37 @@ fn main() -> ExitCode {
         println!("; discovery: inferred (no symbol table; routine names are synthetic)");
         println!();
     }
+    let generic = eel_core::uses_generic_pipeline(exec.image().machine);
+    if generic {
+        println!("; machine: {}", exec.image().machine.name());
+        println!();
+    }
 
     for id in exec.all_routine_ids() {
         let routine = exec.routine(id).clone();
+        if generic {
+            println!(
+                "{:#010x} <{}>{}:",
+                routine.start(),
+                routine.name(),
+                if routine.is_hidden() { " (hidden)" } else { "" }
+            );
+            let image = exec.image();
+            if show_cfg {
+                match eel_core::generic_cfg(image, &routine) {
+                    Ok(cfg) => {
+                        let edges: usize = cfg.blocks.iter().map(|b| b.succs.len()).sum();
+                        println!("    ; blocks={} edges={edges}", cfg.blocks.len());
+                    }
+                    Err(e) => eprintln!("eelobjdump: {}: {e}", routine.name()),
+                }
+            }
+            for line in eel_core::generic_disasm(image, &routine) {
+                println!("  {line}");
+            }
+            println!();
+            continue;
+        }
         let cfg = match exec.build_cfg(id) {
             Ok(c) => c,
             Err(e) => {

@@ -3,8 +3,11 @@
 //! ```text
 //! eelrun PROGRAM.wef [--stats] [--limit N] [--trace FILE]
 //! ```
+//!
+//! The image's WEF machine tag picks the emulator backend (SPARC, or
+//! the description-derived MIPS interpreter).
 
-use eel_emu::Machine;
+use eel_emu::AnyMachine;
 use eel_exe::Image;
 use eel_tools::cli::Cli;
 use eel_tools::obs_cli::ObsSession;
@@ -44,7 +47,7 @@ fn main() -> ExitCode {
         Ok(i) => i,
         Err(e) => return cli.fail(format_args!("cannot read {input}: {e}")),
     };
-    let mut machine = match Machine::load(&image) {
+    let mut machine = match AnyMachine::load(&image) {
         Ok(m) => m,
         Err(e) => return cli.fail(e),
     };

@@ -18,7 +18,7 @@
 //! Chrome `trace_event` file (or JSON lines under `EEL_OBS=json`).
 
 use eel_core::Executable;
-use eel_emu::Machine;
+use eel_emu::AnyMachine;
 use eel_exe::Image;
 use eel_tools::cli::Cli;
 use eel_tools::obs_cli::ObsSession;
@@ -67,13 +67,25 @@ fn main() -> ExitCode {
     // report includes the core.routine_key.* counters.
     let keys = exec.routine_keys();
     let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
-    // Drive the whole pipeline: CFG build + delay-slot normalization,
-    // liveness, and layout for every routine (discovery included).
-    if let Err(e) = exec.write_edited() {
+    // Drive the whole pipeline. SPARC: CFG build + delay-slot
+    // normalization, liveness, and layout for every routine (discovery
+    // included). Other machines: the generic description-derived CFG
+    // and liveness passes (the `core.generic.*` spans).
+    if eel_core::uses_generic_pipeline(image.machine) {
+        for id in exec.all_routine_ids() {
+            let routine = exec.routine(id).clone();
+            match eel_core::generic_cfg(exec.image(), &routine) {
+                Ok(cfg) => {
+                    let _ = eel_core::generic_liveness(exec.image(), &cfg);
+                }
+                Err(e) => eprintln!("eelstat: {}: {e}", routine.name()),
+            }
+        }
+    } else if let Err(e) = exec.write_edited() {
         return cli.fail(e);
     }
     if run {
-        let outcome = Machine::load(&image).and_then(|mut m| m.run());
+        let outcome = AnyMachine::load(&image).and_then(|mut m| m.run());
         match outcome {
             Ok(o) => eprintln!("eelstat: ran {input}: exit code {}", o.exit_code),
             Err(e) => return cli.fail(format_args!("run failed: {e}")),
@@ -81,8 +93,9 @@ fn main() -> ExitCode {
     }
     eprintln!(
         "eelstat: analyzed {input}: {routines} routines ({} distinct content keys, \
-         discovery: {})",
+         machine: {}, discovery: {})",
         distinct.len(),
+        image.machine.name(),
         exec.discovery_source().as_str()
     );
     if let Some(report) = obs.finish_report("eelstat") {

@@ -6,6 +6,11 @@
 //!
 //! With `--run`, executes the instrumented program in the emulator and
 //! prints the non-zero counters as a profile.
+//!
+//! The image's machine tag picks the instrumenter: SPARC images take
+//! the full qpt2 edge/block/entry placement; other machines take the
+//! generic per-block counters of
+//! [`eel_core::instrument_block_counters`] (`--blocks` only).
 
 use eel_exe::Image;
 use eel_tools::cli::Cli;
@@ -54,6 +59,50 @@ fn main() -> ExitCode {
         Ok(i) => i,
         Err(e) => return cli.fail(format_args!("cannot read {input}: {e}")),
     };
+    if eel_core::uses_generic_pipeline(image.machine) {
+        if !matches!(granularity, Granularity::Blocks) {
+            return cli.fail(format_args!(
+                "a {} image supports --blocks only (the generic instrumenter places \
+                 per-block counters)",
+                image.machine.name()
+            ));
+        }
+        let (edited, counters) = match eel_core::instrument_block_counters(&image) {
+            Ok(r) => r,
+            Err(e) => return cli.fail(e),
+        };
+        eprintln!("qpt: instrumented {} blocks", counters.len());
+        if let Some(out) = &output {
+            if let Err(e) = edited.write_file(out) {
+                return cli.fail(format_args!("cannot write {out}: {e}"));
+            }
+        }
+        if run {
+            let mut machine = match eel_emu::AnyMachine::load(&edited) {
+                Ok(m) => m,
+                Err(e) => return cli.fail(e),
+            };
+            match machine.run() {
+                Ok(outcome) => {
+                    println!("# exit code: {}", outcome.exit_code);
+                    println!("# cycles: {}", outcome.cycles);
+                    let mut rows: Vec<(u32, u32)> = counters
+                        .iter()
+                        .map(|c| (machine.read_word(c.counter_addr), c.orig_start))
+                        .filter(|(c, _)| *c > 0)
+                        .collect();
+                    rows.sort_by_key(|row| std::cmp::Reverse(row.0));
+                    println!("{:>12}  block", "count");
+                    for (c, addr) in rows {
+                        println!("{c:>12}  {addr:#010x}");
+                    }
+                }
+                Err(e) => return cli.fail(format_args!("run failed: {e}")),
+            }
+        }
+        obs.finish("qpt");
+        return ExitCode::SUCCESS;
+    }
     let profiled = match instrument(image, granularity) {
         Ok(p) => p,
         Err(e) => return cli.fail(e),

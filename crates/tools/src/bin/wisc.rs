@@ -1,17 +1,21 @@
 //! `wisc` — the Wisc compiler CLI.
 //!
 //! ```text
-//! wisc INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm]
-//!      [--mutate-routine N] [--trace FILE]
+//! wisc INPUT.wisc -o OUT.wef [--machine sparc|mips] [--sunpro] [--no-fill]
+//!      [--strip] [--emit-asm] [--mutate-routine N] [--trace FILE]
 //! ```
 //!
-//! `--mutate-routine N` emits a *near-duplicate twin*: after compiling,
-//! one ALU immediate in the N-th eligible routine (modulo the eligible
-//! count) is bumped, so the output differs from the unmutated build in
-//! exactly one word — the workload for exercising eel-serve's
-//! per-routine fragment cache.
+//! `--machine` picks the code generator (default sparc); the output
+//! image's WEF header carries the chosen tag, which is what every
+//! downstream consumer — eel-serve, the emulator, the analysis tools —
+//! dispatches on. `--mutate-routine N` emits a *near-duplicate twin*:
+//! after compiling, one ALU immediate in the N-th eligible routine
+//! (modulo the eligible count) is bumped, so the output differs from
+//! the unmutated build in exactly one word — the workload for
+//! exercising eel-serve's per-routine fragment cache.
 
 use eel_cc::{compile_str, compile_to_asm, Options, Personality};
+use eel_exe::Machine;
 use eel_tools::cli::Cli;
 use eel_tools::obs_cli::ObsSession;
 use std::process::ExitCode;
@@ -20,8 +24,8 @@ fn main() -> ExitCode {
     let mut obs = ObsSession::begin();
     let mut cli = match Cli::new(
         "wisc",
-        "INPUT.wisc -o OUT.wef [--sunpro] [--no-fill] [--strip] [--emit-asm] \
-         [--mutate-routine N] [--trace FILE]",
+        "INPUT.wisc -o OUT.wef [--machine sparc|mips] [--sunpro] [--no-fill] [--strip] \
+         [--emit-asm] [--mutate-routine N] [--trace FILE]",
     ) {
         Ok(cli) => cli,
         Err(code) => return code,
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
     let mut options = Options::default();
     let mut emit_asm = false;
     let mut mutate: Option<usize> = None;
+    let mut machine = Machine::Sparc;
     while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
             "-o" => {
@@ -39,6 +44,13 @@ fn main() -> ExitCode {
                     Err(code) => return code,
                 }
             }
+            "--machine" => match cli.value("--machine") {
+                Ok(name) => match Machine::from_name(&name) {
+                    Some(m) => machine = m,
+                    None => return cli.fail(format_args!("unknown machine {name:?}")),
+                },
+                Err(code) => return code,
+            },
             "--sunpro" => options.personality = Personality::SunPro,
             "--no-fill" => options.fill_delay_slots = false,
             "--strip" => options.strip = true,
@@ -67,6 +79,12 @@ fn main() -> ExitCode {
         Err(e) => return cli.fail(format_args!("cannot read {input}: {e}")),
     };
     if emit_asm {
+        if machine != Machine::Sparc {
+            return cli.fail(format_args!(
+                "--emit-asm is sparc-only (no {} assembly printer yet)",
+                machine.name()
+            ));
+        }
         match compile_to_asm(&source, &options) {
             Ok(asm) => {
                 print!("{asm}");
@@ -76,9 +94,33 @@ fn main() -> ExitCode {
             Err(e) => return cli.fail(e),
         }
     }
-    let mut image = match compile_str(&source, &options) {
-        Ok(i) => i,
-        Err(e) => return cli.fail(e),
+    let mut image = match machine {
+        Machine::Sparc => match compile_str(&source, &options) {
+            Ok(i) => i,
+            Err(e) => return cli.fail(e),
+        },
+        other => {
+            let program = match eel_cc::parse(&source) {
+                Ok(p) => p,
+                Err(e) => return cli.fail(e),
+            };
+            let compiled = match other {
+                Machine::Mips => eel_progen::compile_mips(&program),
+                _ => Err(format!(
+                    "no {} code generator yet (add one following docs/MACHINES.md)",
+                    other.name()
+                )),
+            };
+            match compiled {
+                Ok(mut i) => {
+                    if options.strip {
+                        i.strip();
+                    }
+                    i
+                }
+                Err(e) => return cli.fail(e),
+            }
+        }
     };
     if let Some(k) = mutate {
         match eel_progen::mutate_routine(&mut image, k) {
@@ -93,9 +135,10 @@ fn main() -> ExitCode {
         return cli.fail(format_args!("cannot write {output}: {e}"));
     }
     eprintln!(
-        "wisc: {} -> {} ({} text bytes, {} routines)",
+        "wisc: {} -> {} ({}, {} text bytes, {} routines)",
         input,
         output,
+        image.machine.name(),
         image.text.len(),
         image
             .symbols

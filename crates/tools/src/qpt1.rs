@@ -260,6 +260,7 @@ pub fn instrument(image: Image) -> Result<Qpt1Profiled, ToolError> {
         data,
         bss_size: 0,
         symbols,
+        machine: image.machine,
     };
     edited
         .validate()
