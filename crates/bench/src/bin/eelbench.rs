@@ -5,6 +5,7 @@
 //! eelbench edit        [--images N] [--out PATH]
 //! eelbench incremental [--twins N] [--out PATH]
 //! eelbench machines    [--out PATH]
+//! eelbench cluster     [--images N] [--out PATH]
 //! ```
 //!
 //! The `serve` subcommand measures the two session-era optimizations
@@ -42,6 +43,19 @@
 //! into `BENCH_serve.json` like `"edit"`; run the subcommands in
 //! serve → edit → incremental order when regenerating the whole file.
 //!
+//! The `cluster` subcommand measures what consistent-hash sharding
+//! (`eel_serve::ClusterClient`) buys a cache-bound fleet: N distinct
+//! images whose `instrument` results overflow one daemon's fixed
+//! result-cache budget are driven through one shard and then through
+//! three shards with the **same per-shard budget**. One shard LRU-
+//! thrashes (every warm pass recomputes); three shards each own ~N/3
+//! of the keyspace, their aggregate capacity holds the working set,
+//! and warm passes hit memory — the cache-capacity aggregation effect
+//! that makes warm throughput scale with shard count even on one core.
+//! Every response is asserted byte-identical across topologies, and
+//! the `"cluster"` section is merged into `BENCH_serve.json` like the
+//! others.
+//!
 //! The `machines` subcommand measures the machine-dispatch seam: every
 //! suite workload compiled as a SPARC/MIPS twin pair, every cached op
 //! run through both pipelines (SPARC's editable-CFG path, MIPS's
@@ -65,17 +79,19 @@ fn main() -> ExitCode {
         Some("edit") => edit_bench(&args[1..]),
         Some("incremental") => incremental_bench(&args[1..]),
         Some("machines") => machines_bench(&args[1..]),
+        Some("cluster") => cluster_bench(&args[1..]),
         Some("-h") | Some("--help") => {
             println!("usage: eelbench serve       [--images N] [--window N] [--out PATH]");
             println!("       eelbench edit        [--images N] [--out PATH]");
             println!("       eelbench incremental [--twins N] [--out PATH]");
             println!("       eelbench machines    [--out PATH]");
+            println!("       eelbench cluster     [--images N] [--out PATH]");
             ExitCode::SUCCESS
         }
         other => {
             eprintln!(
                 "eelbench: unknown subcommand {other:?} (try: eelbench serve | edit | \
-                 incremental | machines)"
+                 incremental | machines | cluster)"
             );
             ExitCode::FAILURE
         }
@@ -794,6 +810,252 @@ fn machines_bench(args: &[String]) -> ExitCode {
                 base.truncate(pos);
                 format!("{base},\n{section}}}\n")
             } else if base.trim_start().starts_with("{\n  \"machines\"") {
+                format!("{{\n{section}}}\n")
+            } else {
+                let end = base.trim_end().len() - 1;
+                base.truncate(end);
+                base.truncate(base.trim_end().len());
+                format!("{base},\n{section}}}\n")
+            }
+        }
+        _ => format!("{{\n{section}}}\n"),
+    };
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("eelbench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    eprintln!("eelbench: results written to {out}");
+    ExitCode::SUCCESS
+}
+
+/// Warm-throughput scaling from consistent-hash sharding, isolated to
+/// the cache-capacity effect: the same per-shard result-cache budget,
+/// sized *below* the working set, drives one topology into LRU thrash
+/// while three shards' aggregate holds everything. Single-core honest:
+/// the speedup here is recompute-avoided-per-request, not parallelism —
+/// on a multi-core fleet the two effects compound.
+fn cluster_bench(args: &[String]) -> ExitCode {
+    use eel_serve::ClusterClient;
+
+    let mut images = 24usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("eelbench: {flag} needs a value");
+            return ExitCode::FAILURE;
+        };
+        match flag {
+            "--images" => images = value.parse().unwrap_or(24).max(6),
+            "--out" => out = value.clone(),
+            other => {
+                eprintln!("eelbench: unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    const SHARDS: usize = 3;
+
+    // Distinct medium images: instrument bodies are whole edited WEFs,
+    // big enough that their sum defines a meaningful working set.
+    eprintln!("eelbench: compiling {images} seeded images...");
+    let config = eel_progen::GenConfig::default();
+    let mut wefs: Vec<Vec<u8>> = Vec::with_capacity(images);
+    let mut seed = 0u64;
+    while wefs.len() < images {
+        let program = eel_progen::random_program(seed, &config);
+        if let Ok(image) = eel_cc::compile_ast(&program, &eel_cc::Options::default()) {
+            wefs.push(image.to_bytes());
+        }
+        seed += 1;
+    }
+    let requests: Vec<Request> = wefs
+        .iter()
+        .map(|wef| Request {
+            op: "instrument".into(),
+            payload: Payload::Inline(wef.clone()),
+        })
+        .collect();
+
+    // Ground truth computed in-process through a counting fragment tier,
+    // which measures the exact result-LRU working set a server accrues
+    // for these images: every instrument body plus every *distinct*
+    // per-routine fragment (fragments live in the same LRU, costed by
+    // their byte length, and are shared across images by content key).
+    struct CountingTier {
+        map: std::cell::RefCell<std::collections::HashMap<(u64, String), Vec<u8>>>,
+        bytes: std::cell::Cell<usize>,
+    }
+    impl FragmentTier for CountingTier {
+        fn load(&self, key: u64, op: &str) -> Option<Vec<u8>> {
+            self.map.borrow().get(&(key, op.to_string())).cloned()
+        }
+        fn store(&self, key: u64, op: &str, bytes: &[u8]) {
+            let prev = self
+                .map
+                .borrow_mut()
+                .insert((key, op.to_string()), bytes.to_vec());
+            if prev.is_none() {
+                self.bytes.set(self.bytes.get() + bytes.len());
+            }
+        }
+    }
+    eprintln!("eelbench: computing ground-truth instrument results...");
+    let tier = CountingTier {
+        map: std::cell::RefCell::new(std::collections::HashMap::new()),
+        bytes: std::cell::Cell::new(0),
+    };
+    let expected: Vec<Vec<u8>> = wefs
+        .iter()
+        .map(|wef| {
+            let image = eel_exe::Image::from_bytes(wef).expect("parse image");
+            let analysis =
+                eel_core::Analysis::compute(std::sync::Arc::new(image)).expect("analyze");
+            run_op_fragments("instrument", &analysis, 1, &tier)
+                .expect("instrument")
+                .0
+        })
+        .collect();
+    let working_set: usize = expected.iter().map(Vec::len).sum::<usize>() + tier.bytes.get();
+    // The server splits cache_bytes evenly between the analysis and
+    // result LRUs. A result budget of 70% of the working set guarantees
+    // one shard thrashes on a sequential warm scan, while three shards'
+    // aggregate (2.1x the working set) holds every shard's ~1/3 slice
+    // with ample headroom for placement imbalance.
+    let cache_bytes = (working_set * 7 / 10) * 2;
+    eprintln!(
+        "eelbench: working set {working_set} bytes, per-shard cache budget {cache_bytes} bytes"
+    );
+    let shard_config = || ServerConfig {
+        workers: 2,
+        cache_bytes,
+        ..ServerConfig::default()
+    };
+    const REPS: usize = 3;
+
+    // -- One shard: every warm pass rescans a set its LRU cannot hold.
+    let single = Server::start(shard_config()).expect("start single shard");
+    let client = Client::connect(single.local_addr().to_string())
+        .with_timeout(Some(Duration::from_secs(300)));
+    eprintln!("eelbench: single shard: priming...");
+    for (req, want) in requests.iter().zip(&expected) {
+        let body = expect_body(client.request(req).expect("prime"));
+        if &body != want {
+            eprintln!("eelbench: FAIL: single-shard response differs from ground truth");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("eelbench: single shard: timing {REPS} warm passes...");
+    let mut single_ms = f64::INFINITY;
+    let mut single_recomputes = 0usize;
+    for rep in 0..REPS {
+        let started = Instant::now();
+        for (req, want) in requests.iter().zip(&expected) {
+            let resp = client.request(req).expect("single warm");
+            if rep == 0 {
+                if let Response::Ok {
+                    tier: eel_serve::CacheTier::Computed,
+                    ..
+                } = &resp
+                {
+                    single_recomputes += 1;
+                }
+            }
+            if &expect_body(resp) != want {
+                eprintln!("eelbench: FAIL: single-shard warm response differs");
+                return ExitCode::FAILURE;
+            }
+        }
+        single_ms = single_ms.min(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let (_, _) = (single.shutdown(), single.wait());
+
+    // -- Three shards, same per-shard budget: each owns ~1/3 of the
+    // keyspace and keeps its slice resident.
+    let servers: Vec<Server> = (0..SHARDS)
+        .map(|_| Server::start(shard_config()).expect("start shard"))
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let cluster = ClusterClient::connect(addrs).with_timeout(Some(Duration::from_secs(300)));
+    let placed: Vec<usize> = requests.iter().map(|r| cluster.shard_for(r)).collect();
+    let mut per_shard = [0usize; SHARDS];
+    for &s in &placed {
+        per_shard[s] += 1;
+    }
+    eprintln!("eelbench: cluster: images per shard {per_shard:?}, priming...");
+    for (req, want) in requests.iter().zip(&expected) {
+        let body = expect_body(cluster.request(req).expect("prime"));
+        if &body != want {
+            eprintln!("eelbench: FAIL: cluster response differs from ground truth");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("eelbench: cluster: timing {REPS} warm passes...");
+    let mut cluster_ms = f64::INFINITY;
+    let mut cluster_hits = 0usize;
+    for rep in 0..REPS {
+        let started = Instant::now();
+        for (req, want) in requests.iter().zip(&expected) {
+            let resp = cluster.request(req).expect("cluster warm");
+            if rep == 0 {
+                if let Response::Ok {
+                    tier: eel_serve::CacheTier::Memory,
+                    ..
+                } = &resp
+                {
+                    cluster_hits += 1;
+                }
+            }
+            if &expect_body(resp) != want {
+                eprintln!("eelbench: FAIL: cluster warm response differs from single-shard");
+                return ExitCode::FAILURE;
+            }
+        }
+        cluster_ms = cluster_ms.min(started.elapsed().as_secs_f64() * 1e3);
+    }
+    for server in servers {
+        server.shutdown();
+        server.wait();
+    }
+
+    let speedup = single_ms / cluster_ms;
+    let single_rps = images as f64 / (single_ms / 1e3);
+    let cluster_rps = images as f64 / (cluster_ms / 1e3);
+    eprintln!(
+        "eelbench: cluster: 1 shard {single_ms:.1}ms/pass ({single_recomputes}/{images} \
+         recomputed), {SHARDS} shards {cluster_ms:.1}ms/pass ({cluster_hits}/{images} memory \
+         hits), {speedup:.2}x warm throughput"
+    );
+    if cluster_hits * 2 < images {
+        eprintln!("eelbench: FAIL: cluster warm pass mostly missed; budget sizing is off");
+        return ExitCode::FAILURE;
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let section = format!(
+        "  \"cluster\": {{\n    \"cores\": {cores},\n    \"shards\": {SHARDS},\n    \
+         \"images\": {images},\n    \"working_set_bytes\": {working_set},\n    \
+         \"per_shard_cache_bytes\": {cache_bytes},\n    \
+         \"single_pass_ms\": {single_ms:.2},\n    \"single_rps\": {single_rps:.1},\n    \
+         \"single_warm_recomputes\": {single_recomputes},\n    \
+         \"cluster_pass_ms\": {cluster_ms:.2},\n    \"cluster_rps\": {cluster_rps:.1},\n    \
+         \"cluster_warm_memory_hits\": {cluster_hits},\n    \
+         \"speedup\": {speedup:.2},\n    \"byte_identical\": true\n  }}\n"
+    );
+    // Merge like the other sections: drop any previous cluster section,
+    // then splice before the closing brace.
+    let json = match std::fs::read_to_string(&out) {
+        Ok(mut base) if base.trim_end().ends_with('}') => {
+            if let Some(pos) = base.find(",\n  \"cluster\"") {
+                base.truncate(pos);
+                format!("{base},\n{section}}}\n")
+            } else if base.trim_start().starts_with("{\n  \"cluster\"") {
                 format!("{{\n{section}}}\n")
             } else {
                 let end = base.trim_end().len() - 1;

@@ -5,7 +5,7 @@
 //!           [--cache-bytes N] [--timeout-ms N]
 //!           [--cache-dir PATH] [--disk-bytes N]
 //!           [--session-window N] [--session-workers N]
-//!           [--analysis-threads N]
+//!           [--analysis-threads N] [--write-hwm N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7099`), prints a `listening on` line once
@@ -23,7 +23,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: eelserved [--addr HOST:PORT] [--workers N] [--queue N] \
 [--cache-bytes N] [--timeout-ms N] [--cache-dir PATH] [--disk-bytes N] \
-[--session-window N] [--session-workers N] [--analysis-threads N]";
+[--session-window N] [--session-workers N] [--analysis-threads N] [--write-hwm N]";
 
 fn main() -> ExitCode {
     eel_obs::init_from_env();
@@ -46,7 +46,7 @@ fn main() -> ExitCode {
             }
             "--addr" | "--workers" | "--queue" | "--cache-bytes" | "--timeout-ms"
             | "--cache-dir" | "--disk-bytes" | "--session-window" | "--session-workers"
-            | "--analysis-threads" => {
+            | "--analysis-threads" | "--write-hwm" => {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("eelserved: {flag} needs a value");
@@ -64,6 +64,7 @@ fn main() -> ExitCode {
                     ("--session-window", Ok(n)) => config.session_window = n.max(1) as u32,
                     ("--session-workers", Ok(n)) => config.session_workers = n as usize,
                     ("--analysis-threads", Ok(n)) => config.analysis_threads = n as usize,
+                    ("--write-hwm", Ok(n)) => config.write_hwm = n.max(1) as usize,
                     (_, Err(_)) => {
                         eprintln!("eelserved: {flag} needs a number, got {value:?}");
                         return ExitCode::FAILURE;

@@ -66,13 +66,16 @@
 
 mod cache;
 mod client;
+mod cluster;
 mod disk;
 mod ops;
 mod proto;
+mod reactor;
 mod server;
 
 pub use cache::{content_hash, CostClass, SingleFlightLru};
-pub use client::{Client, Session};
+pub use client::{Backoff, Client, Session};
+pub use cluster::{ClusterClient, VNODES_PER_SHARD};
 pub use disk::{DiskCache, DISK_FORMAT_VERSION};
 pub use ops::{
     recompute_cost, run_op, run_op_fragments, run_op_with, FragmentStats, FragmentTier,

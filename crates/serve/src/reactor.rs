@@ -1,0 +1,435 @@
+//! Readiness-driven connection plumbing for the event-loop server.
+//!
+//! The server's reactor thread multiplexes every connection over
+//! `poll(2)`: nonblocking sockets, per-connection read buffers that
+//! reassemble length-prefixed frames, and per-connection bounded write
+//! buffers that drain as the socket accepts bytes. This module holds the
+//! machinery the loop in `server.rs` is built from:
+//!
+//! * a thin `poll(2)` binding ([`poll_fds`]) declared directly against
+//!   the C library every Rust binary on a Unix host already links — the
+//!   workspace stays std-only, no new dependency;
+//! * [`Conn`], one nonblocking connection: [`Conn::fill`] reads whatever
+//!   the socket has and returns the *complete* frames reassembled so
+//!   far, [`Conn::queue_frame`] appends an outbound frame to the write
+//!   buffer, and [`Conn::flush`] drains it without ever blocking;
+//! * [`WakePipe`], a loopback socket pair executors (and `shutdown`)
+//!   write one byte into to interrupt a parked `poll` — the std-only
+//!   stand-in for a self-pipe.
+//!
+//! Nothing here knows the wire protocol beyond the 4-byte length prefix;
+//! admission, sessions, and dispatch live in `server.rs`.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::{Duration, Instant};
+
+/// `struct pollfd` from `<poll.h>`, laid out for the C ABI.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by
+    /// the kernel, which poll-style loops use for tombstones).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events; the kernel may add [`POLLERR`] / [`POLLHUP`] /
+    /// [`POLLNVAL`] even when unrequested.
+    pub revents: i16,
+}
+
+/// Data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// An error condition is pending on the descriptor.
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (a half-closed or reset connection).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open — a bookkeeping bug if it ever fires.
+pub const POLLNVAL: i16 = 0x020;
+
+#[cfg(unix)]
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: core::ffi::c_int) -> i32;
+}
+
+/// Blocks until at least one descriptor in `fds` is ready, `timeout`
+/// elapses (`None` waits forever), or a signal interrupts the wait
+/// (reported as `Ok(0)`, like a timeout — the caller re-evaluates and
+/// re-polls either way).
+///
+/// # Errors
+///
+/// The raw `poll(2)` failure, `EINTR` excepted.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        // poll's granularity is a millisecond; round up so a nearly
+        // expired deadline doesn't busy-spin at timeout 0.
+        Some(d) => d
+            .as_millis()
+            .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+            .min(i32::MAX as u128) as i32,
+        None => -1,
+    };
+    let rc = unsafe {
+        poll(
+            fds.as_mut_ptr(),
+            fds.len() as core::ffi::c_ulong,
+            timeout_ms,
+        )
+    };
+    if rc < 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(e);
+    }
+    Ok(rc as usize)
+}
+
+/// A loopback socket pair used to interrupt a parked [`poll_fds`]: any
+/// thread with a clone of the write half sends one byte; the reactor
+/// holds the read half in its poll set and drains it on wake. Pure std —
+/// `pipe(2)` has no std surface, a 127.0.0.1 socket pair does.
+pub struct WakePipe {
+    rx: TcpStream,
+    tx: TcpStream,
+}
+
+impl WakePipe {
+    /// Builds the pair over an ephemeral loopback listener.
+    ///
+    /// # Errors
+    ///
+    /// Socket setup failures.
+    pub fn new() -> io::Result<WakePipe> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        let _ = tx.set_nodelay(true);
+        Ok(WakePipe { rx, tx })
+    }
+
+    /// A clonable write half for executors and shutdown paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `try_clone` failure.
+    pub fn notifier(&self) -> io::Result<TcpStream> {
+        self.tx.try_clone()
+    }
+
+    /// The descriptor the reactor polls for readability.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Discards every pending wake byte. Wakes are level-collapsed by
+    /// design: N notifications before a drain mean one loop iteration.
+    pub fn drain(&mut self) {
+        let mut sink = [0u8; 256];
+        while matches!(self.rx.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// Sends one wake byte through a [`WakePipe::notifier`] clone. A full
+/// socket buffer counts as success — the reactor is already guaranteed
+/// to wake.
+pub fn notify(tx: &TcpStream) {
+    let _ = (&*tx).write(&[1u8]);
+}
+
+/// One nonblocking connection owned by the reactor: the socket plus its
+/// frame-reassembly read buffer and its bounded write buffer.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into complete frames.
+    rbuf: Vec<u8>,
+    /// Encoded frames (with length prefixes) waiting for the socket.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has already been written.
+    wpos: usize,
+    /// Set once the peer's read side is done: EOF observed, or the
+    /// server decided to stop reading (answered a one-shot, Goodbye).
+    pub read_closed: bool,
+    /// Last moment any byte arrived — drives the mid-frame stall
+    /// deadline.
+    pub last_progress: Instant,
+}
+
+/// How much one `fill` call will read before yielding back to the loop,
+/// so one firehose connection cannot starve its neighbors (poll is
+/// level-triggered — leftovers re-report readable on the next
+/// iteration).
+const READ_QUANTUM: usize = 1 << 20;
+
+impl Conn {
+    /// Adopts an accepted stream: nonblocking, `TCP_NODELAY` (pipelined
+    /// small frames + Nagle + delayed ACK cost ~40 ms/frame).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `set_nonblocking` failure.
+    pub fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            read_closed: false,
+            last_progress: Instant::now(),
+        })
+    }
+
+    /// The descriptor for the poll set.
+    pub fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Reads whatever the socket has (up to one quantum) and returns
+    /// every *complete* frame body reassembled so far, oldest first.
+    /// A clean EOF sets [`Conn::read_closed`]; EOF in the middle of a
+    /// frame is an error (the stream's framing is unrecoverable).
+    ///
+    /// # Errors
+    ///
+    /// Fatal socket errors, a length prefix beyond `max_frame`, or a
+    /// mid-frame EOF. The connection should be dropped on any of them.
+    pub fn fill(&mut self, max_frame: u32) -> io::Result<Vec<Vec<u8>>> {
+        let mut chunk = [0u8; 16 << 10];
+        let mut budget = READ_QUANTUM;
+        while budget > 0 {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    if !self.rbuf.is_empty() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ));
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    self.last_progress = Instant::now();
+                    budget = budget.saturating_sub(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.extract_frames(max_frame)
+    }
+
+    fn extract_frames(&mut self, max_frame: u32) -> io::Result<Vec<Vec<u8>>> {
+        let mut frames = Vec::new();
+        let mut at = 0usize;
+        while self.rbuf.len() - at >= 4 {
+            let len = u32::from_be_bytes([
+                self.rbuf[at],
+                self.rbuf[at + 1],
+                self.rbuf[at + 2],
+                self.rbuf[at + 3],
+            ]);
+            if len > max_frame {
+                self.rbuf.drain(..at);
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame of {len} bytes exceeds MAX_FRAME"),
+                ));
+            }
+            let total = 4 + len as usize;
+            if self.rbuf.len() - at < total {
+                break;
+            }
+            frames.push(self.rbuf[at + 4..at + total].to_vec());
+            at += total;
+        }
+        if at > 0 {
+            self.rbuf.drain(..at);
+        }
+        Ok(frames)
+    }
+
+    /// True while a frame is partially received — the state the
+    /// mid-frame inactivity deadline applies to. Between frames an idle
+    /// session may sit forever.
+    pub fn mid_frame(&self) -> bool {
+        !self.rbuf.is_empty()
+    }
+
+    /// Appends one outbound frame (length prefix + body) to the write
+    /// buffer. Never blocks and never fails; the buffer's growth is
+    /// bounded by the caller's admission control plus the high-water
+    /// pushback in `server.rs`.
+    pub fn queue_frame(&mut self, body: &[u8]) {
+        self.wbuf
+            .extend_from_slice(&(body.len() as u32).to_be_bytes());
+        self.wbuf.extend_from_slice(body);
+    }
+
+    /// Drains as much of the write buffer as the socket accepts right
+    /// now.
+    ///
+    /// # Errors
+    ///
+    /// Fatal socket errors (the peer is gone; drop the connection).
+    pub fn flush(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos >= 64 << 10 {
+            // Compact occasionally so a long-lived slow consumer doesn't
+            // pin already-written bytes forever.
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    /// Reads and throws away whatever the socket has — the read mode of
+    /// a connection that is done (one-shot answered, Goodbye received)
+    /// but must keep draining so closing with unread bytes in the
+    /// receive buffer doesn't RST the reply away. Returns `Ok(true)`
+    /// once the peer's EOF arrives (safe to close immediately).
+    ///
+    /// # Errors
+    ///
+    /// Never — socket errors at this stage are as final as EOF and are
+    /// folded into `Ok(true)`.
+    pub fn discard(&mut self) -> io::Result<bool> {
+        let mut sink = [0u8; 16 << 10];
+        loop {
+            match self.stream.read(&mut sink) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return Ok(true);
+                }
+                Ok(_) => self.last_progress = Instant::now(),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.read_closed = true;
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// Half-closes the write side (FIN after the last flushed byte), the
+    /// first step of a graceful close.
+    pub fn shutdown_write(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+    }
+
+    /// Bytes queued and not yet accepted by the socket — the quantity
+    /// the high-water mark compares against.
+    pub fn buffered(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// True when the poll set should include `POLLOUT` for this
+    /// connection.
+    pub fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pipe_wakes_and_collapses() {
+        let mut pipe = WakePipe::new().expect("wake pipe");
+        let tx = pipe.notifier().expect("notifier");
+        notify(&tx);
+        notify(&tx);
+        notify(&tx);
+        let mut fds = [PollFd {
+            fd: pipe.fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(1))).expect("poll");
+        assert_eq!(n, 1, "wake byte reported readable");
+        pipe.drain();
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(10))).expect("poll");
+        assert_eq!(n, 0, "drained pipe is quiet");
+    }
+
+    #[test]
+    fn frames_reassemble_across_partial_reads() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut peer = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        let mut conn = Conn::new(server_side).expect("conn");
+
+        // Two frames, the second split across writes.
+        peer.write_all(&3u32.to_be_bytes()).unwrap();
+        peer.write_all(b"abc").unwrap();
+        peer.write_all(&5u32.to_be_bytes()).unwrap();
+        peer.write_all(b"he").unwrap();
+        peer.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let frames = conn.fill(1 << 20).expect("fill");
+        assert_eq!(frames, vec![b"abc".to_vec()]);
+        assert!(conn.mid_frame(), "second frame partially buffered");
+
+        peer.write_all(b"llo").unwrap();
+        peer.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let frames = conn.fill(1 << 20).expect("fill");
+        assert_eq!(frames, vec![b"hello".to_vec()]);
+        assert!(!conn.mid_frame());
+
+        // Oversized length prefix is a protocol error.
+        peer.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        peer.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(conn.fill(1 << 20).is_err(), "garbage length rejected");
+    }
+
+    #[test]
+    fn queue_and_flush_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        let mut conn = Conn::new(server_side).expect("conn");
+
+        conn.queue_frame(b"pong");
+        assert!(conn.wants_write());
+        assert_eq!(conn.buffered(), 8);
+        conn.flush().expect("flush");
+        assert!(!conn.wants_write());
+
+        let mut peer = peer;
+        peer.set_read_timeout(Some(Duration::from_secs(1))).unwrap();
+        let body = crate::proto::read_frame(&mut peer).expect("frame");
+        assert_eq!(body, b"pong");
+    }
+}

@@ -1,56 +1,71 @@
-//! The eel-serve daemon: acceptor, bounded queue, worker pool, caches.
+//! The eel-serve daemon: a readiness-driven reactor, a fixed executor
+//! pool, caches.
 //!
-//! One acceptor thread pulls connections off the listener and pushes them
-//! onto a bounded queue; when the queue is full it answers [`Response::Busy`]
-//! itself and drops the connection — explicit backpressure instead of an
-//! unbounded backlog. A pool of worker threads (default: one per core)
-//! drains the queue; a request that waited in the queue longer than the
-//! configured timeout is answered with a timeout error rather than served
-//! stale. Results flow through two content-addressed, single-flight LRU
-//! caches: one for [`Analysis`] artifacts keyed by image hash, one for
-//! rendered operation results keyed by (image hash, op).
+//! One reactor thread owns every connection: a nonblocking listener and
+//! all accepted sockets are multiplexed through `poll(2)` (see
+//! [`crate::reactor`]), with per-connection read buffers reassembling
+//! length-prefixed frames and per-connection bounded write buffers
+//! draining as sockets accept bytes. Decoded requests — one-shot v1 and
+//! tagged session frames alike — are handed to a fixed pool of executor
+//! threads over a channel; finished replies come back through a
+//! completion queue plus a wake byte, and the reactor serializes them
+//! onto the right socket. An idle connection therefore costs a file
+//! descriptor and two buffers, not threads: the thread budget is
+//! `1 + executors`, independent of connection count.
 //!
-//! With `cache_dir` set the result cache grows a disk tier
-//! ([`crate::disk::DiskCache`]): memory misses consult the directory
-//! before computing (a hit is promoted back into the LRU), computed
-//! results spill through, and LRU evictions demote instead of discard —
-//! so a daemon restart serves warm from disk with zero re-analysis.
+//! Backpressure is layered and all of it lives in the reactor:
 //!
-//! A connection whose first frame carries the session version byte is
-//! handed to the session mux instead of the single-shot path: the
-//! worker becomes the frame reader, executor threads drain admitted
-//! requests, and a dedicated writer thread owns the write half so
-//! replies leave in completion order without interleaving. The
-//! in-flight window doubles as backpressure against slow consumers —
-//! the writer's bounded channel can only ever hold `window` replies.
+//! * v1 admission — more than `queue_depth` decoded one-shot requests
+//!   waiting for executors answers [`Response::Busy`] at decode time
+//!   (counted under both `serve.busy` and `serve.conn.busy`); an
+//!   admitted request that waits in the channel past the configured
+//!   timeout is answered with a timeout error rather than served stale;
+//! * session windows — frames beyond the granted in-flight window get a
+//!   per-frame tagged [`Response::Busy`] and the connection survives;
+//! * slow consumers — a connection whose write buffer grows past
+//!   `write_hwm` stops being read (its `POLLIN` is withheld, counted
+//!   under `serve.reactor.pushback`) until the client drains it below
+//!   half the mark, so a stalled reader stalls only its own session.
+//!
+//! Results flow through two content-addressed, single-flight LRU caches:
+//! one for [`Analysis`] artifacts keyed by image hash, one for rendered
+//! operation results keyed by (image hash, op). With `cache_dir` set the
+//! result cache grows a disk tier ([`crate::disk::DiskCache`]): memory
+//! misses consult the directory before computing (a hit is promoted back
+//! into the LRU), computed results spill through, and LRU evictions
+//! demote instead of discard — so a daemon restart serves warm from disk
+//! with zero re-analysis.
 //!
 //! Everything is instrumented through eel-obs: `serve.requests`,
 //! `serve.cache.hit` / `serve.cache.miss` (the *memory* tier),
 //! `serve.cache.disk.{hit,miss,write,evict,corrupt}` and the
-//! `serve.cache.disk.bytes` gauge (the disk tier), `serve.busy`,
-//! `serve.errors`, `serve.timeouts`, the `serve.queue.depth` gauge,
-//! per-op `serve.latency.<op>` histograms (microseconds) plus
-//! `serve.latency.disk.{load,spill}`, per-op
+//! `serve.cache.disk.bytes` gauge (the disk tier), `serve.busy` and
+//! `serve.conn.busy`, `serve.errors`, `serve.timeouts`, the
+//! `serve.queue.depth` gauge, per-op `serve.latency.<op>` histograms
+//! (microseconds) plus `serve.latency.disk.{load,spill}`, per-op
 //! `serve.ops.<op>.computed` counters that count *actual* computations —
-//! the single-flight and warm-restart evidence — and the session-mode
-//! series `serve.session.{opened,closed,requests,busy}` with the
-//! `serve.session.inflight` gauge.
+//! the single-flight and warm-restart evidence — the session-mode series
+//! `serve.session.{opened,closed,requests,busy}` with the
+//! `serve.session.inflight` gauge, and the event-loop series
+//! `serve.reactor.conns` (gauge) / `serve.reactor.pushback`.
 
 use crate::cache::{content_hash, SingleFlightLru};
 use crate::disk::DiskCache;
 use crate::ops::{recompute_cost, run_edit, run_op_fragments, FragmentTier, CACHED_OPS};
 use crate::proto::{
-    read_frame, write_frame, CacheTier, Discovery, Payload, Request, Response, SessionFrame,
-    SessionReply, MAX_FRAME, SESSION_VERSION,
+    CacheTier, Discovery, Payload, Request, Response, SessionFrame, SessionReply, MAX_FRAME,
+    SESSION_VERSION,
+};
+use crate::reactor::{
+    notify, poll_fds, Conn, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT,
 };
 use eel_core::Analysis;
 use eel_exe::Image;
-use std::collections::VecDeque;
-use std::io::{self, Read as _};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -59,15 +74,19 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads; 0 means one per available core.
+    /// Executor threads; 0 means one per available core. (The pool is
+    /// shared by one-shot and session requests; see
+    /// [`ServerConfig::session_workers`].)
     pub workers: usize,
-    /// Bounded queue depth; connections beyond this get [`Response::Busy`].
+    /// Bounded admission depth for one-shot requests; decoded requests
+    /// beyond this many waiting for executors get [`Response::Busy`].
     pub queue_depth: usize,
     /// LRU byte budget, split evenly between the analysis and result
     /// caches.
     pub cache_bytes: usize,
-    /// Per-request budget: both the socket read/write timeout and the
-    /// maximum time a request may wait in the queue.
+    /// Per-request budget: the deadline for a connection's first frame,
+    /// the mid-frame inactivity limit, and the maximum time an admitted
+    /// one-shot request may wait for an executor.
     pub timeout: Duration,
     /// Directory for the on-disk result-cache spill tier; `None` (the
     /// default) keeps the cache memory-only.
@@ -80,8 +99,11 @@ pub struct ServerConfig {
     /// the granted window are answered per-frame with
     /// [`Response::Busy`] (the connection survives).
     pub session_window: u32,
-    /// Executor threads per session connection (capped at the granted
-    /// window); 0 means one per available core.
+    /// Floor on the executor pool when session traffic is expected; the
+    /// pool is `max(workers, session_workers)` threads. 0 defers to
+    /// `workers`. (Historically the per-session executor count; the
+    /// pool is shared now, but the knob keeps its spirit: how much
+    /// session parallelism the daemon should sustain.)
     pub session_workers: usize,
     /// Threads for the per-routine parallel CFG fan-out inside one
     /// request. 1 pins analysis sequential; 0 adapts — each request
@@ -90,6 +112,10 @@ pub struct ServerConfig {
     /// one thread each (inter-request parallelism already saturates the
     /// cores). Any other value is used as-is.
     pub analysis_threads: usize,
+    /// Per-connection write-buffer high-water mark in bytes: past this
+    /// the reactor stops reading from the connection until the client
+    /// drains replies below half the mark.
+    pub write_hwm: usize,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +131,7 @@ impl Default for ServerConfig {
             session_window: 32,
             session_workers: 0,
             analysis_threads: 0,
+            write_hwm: 4 << 20,
         }
     }
 }
@@ -119,20 +146,63 @@ impl ServerConfig {
                 .unwrap_or(4)
         }
     }
+
+    /// The executor pool size: the larger of the worker and
+    /// session-worker knobs, floored at 2 so one slow request can never
+    /// wedge `ping` on a single-core box.
+    fn executor_pool(&self) -> usize {
+        self.effective_workers().max(self.session_workers).max(2)
+    }
 }
 
 type CachedAnalysis = Result<Arc<Analysis>, String>;
 type CachedResult = Result<Arc<Vec<u8>>, String>;
 
+/// A (slot, generation) handle naming one connection across the
+/// executor boundary; a completion whose generation no longer matches
+/// the slot's is for a connection that already died and is dropped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Token {
+    slot: usize,
+    gen: u64,
+}
+
+/// One unit of work handed to the executor pool.
+enum Work {
+    /// A one-shot v1 request; `enqueued` drives the stale-in-queue
+    /// timeout.
+    V1 {
+        token: Token,
+        req: Request,
+        enqueued: Instant,
+    },
+    /// A tagged session request.
+    Session { token: Token, id: u64, req: Request },
+}
+
+/// A finished reply traveling back from an executor to the reactor:
+/// the already-encoded frame body, addressed by connection token.
+struct Done {
+    token: Token,
+    frame: Vec<u8>,
+}
+
 struct Shared {
     config: ServerConfig,
     local_addr: SocketAddr,
-    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
-    queue_ready: Condvar,
     stop: AtomicBool,
     /// Requests currently executing (v1 and session alike); the
     /// denominator of the adaptive intra-request thread split.
     active_requests: AtomicUsize,
+    /// Admitted one-shot requests waiting for (or held by the channel
+    /// ahead of) an executor — the v1 admission-control quantity.
+    queued_jobs: AtomicUsize,
+    /// Replies finished by executors, waiting for the reactor to drain
+    /// them onto sockets.
+    completions: Mutex<Vec<Done>>,
+    /// Write half of the reactor's wake pipe; executors and
+    /// [`Shared::request_stop`] poke it to interrupt a parked poll.
+    wake_tx: TcpStream,
     analyses: SingleFlightLru<u64, CachedAnalysis>,
     results: SingleFlightLru<(u64, String), CachedResult>,
     /// The optional spill tier under the results cache.
@@ -143,12 +213,12 @@ struct Shared {
 /// thread.
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds and starts the acceptor and worker threads.
+    /// Binds and starts the reactor and executor threads.
     ///
     /// If eel-obs is off, summary mode is switched on: a service without
     /// its metrics is flying blind, and the `metrics` op must have
@@ -162,8 +232,11 @@ impl Server {
             eel_obs::set_mode(eel_obs::Mode::Summary);
         }
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let worker_count = config.effective_workers();
+        let wake = WakePipe::new()?;
+        let wake_tx = wake.notifier()?;
+        let pool = config.executor_pool();
         let half = (config.cache_bytes / 2).max(1);
         let disk = config
             .cache_dir
@@ -171,35 +244,39 @@ impl Server {
             .map(|dir| DiskCache::open(dir, config.disk_bytes));
         let shared = Arc::new(Shared {
             local_addr,
-            queue: Mutex::new(VecDeque::new()),
-            queue_ready: Condvar::new(),
             stop: AtomicBool::new(false),
             active_requests: AtomicUsize::new(0),
+            queued_jobs: AtomicUsize::new(0),
+            completions: Mutex::new(Vec::new()),
+            wake_tx,
             analyses: SingleFlightLru::new(half),
             results: SingleFlightLru::new(half),
             disk,
             config,
         });
 
-        let acceptor = {
+        let (job_tx, job_rx) = mpsc::channel::<Work>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut executors = Vec::with_capacity(pool);
+        for k in 0..pool {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("eelserved-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))?
-        };
-        let mut workers = Vec::with_capacity(worker_count);
-        for k in 0..worker_count {
-            let shared = Arc::clone(&shared);
-            workers.push(
+            let job_rx = Arc::clone(&job_rx);
+            executors.push(
                 std::thread::Builder::new()
-                    .name(format!("eelserved-worker-{k}"))
-                    .spawn(move || worker_loop(&shared))?,
+                    .name(format!("eelserved-exec-{k}"))
+                    .spawn(move || executor_loop(&shared, &job_rx))?,
             );
         }
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("eelserved-reactor".into())
+                .spawn(move || Reactor::new(&shared, listener, wake, job_tx).run())?
+        };
         Ok(Server {
             shared,
-            acceptor: Some(acceptor),
-            workers,
+            reactor: Some(reactor),
+            executors,
         })
     }
 
@@ -208,9 +285,9 @@ impl Server {
         self.shared.local_addr
     }
 
-    /// Signals shutdown: stops accepting, lets workers drain the queue,
-    /// wakes everything up. Does not block; pair with [`Server::wait`] or
-    /// drop.
+    /// Signals shutdown: stops accepting, finishes every admitted
+    /// request, flushes replies. Does not block; pair with
+    /// [`Server::wait`] or drop.
     pub fn shutdown(&self) {
         self.shared.request_stop();
     }
@@ -220,18 +297,14 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Propagates a worker or acceptor panic, so tests fail loudly if a
+    /// Propagates a reactor or executor panic, so tests fail loudly if a
     /// thread died.
     pub fn wait(mut self) {
-        self.join_all();
-    }
-
-    fn join_all(&mut self) {
-        if let Some(a) = self.acceptor.take() {
-            a.join().expect("acceptor thread panicked");
+        if let Some(r) = self.reactor.take() {
+            r.join().expect("reactor thread panicked");
         }
-        for w in self.workers.drain(..) {
-            w.join().expect("worker thread panicked");
+        for w in self.executors.drain(..) {
+            w.join().expect("executor thread panicked");
         }
     }
 }
@@ -239,10 +312,10 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shared.request_stop();
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
         }
-        for w in self.workers.drain(..) {
+        for w in self.executors.drain(..) {
             let _ = w.join();
         }
     }
@@ -254,349 +327,735 @@ impl Shared {
     }
 
     fn request_stop(&self) {
-        if !self.stop.swap(true, Ordering::SeqCst) {
-            // Unblock the acceptor's blocking accept() with a throwaway
-            // connection; it re-checks the flag on wake.
-            let _ = TcpStream::connect(self.local_addr);
-        }
-        self.queue_ready.notify_all();
+        self.stop.store(true, Ordering::SeqCst);
+        notify(&self.wake_tx);
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        let conn = listener.accept();
-        if shared.stopping() {
-            return;
+/// How long a fully answered connection gets to hit EOF (or at least
+/// quiesce) after our FIN before it is closed anyway.
+const CLOSE_DRAIN: Duration = Duration::from_millis(500);
+
+/// Per-connection protocol state, driven entirely by the reactor thread.
+enum ConnState {
+    /// No complete first frame yet; `accepted` drives the first-frame
+    /// deadline.
+    Greeting { accepted: Instant },
+    /// A one-shot exchange; `pending` is the submitted-but-unanswered
+    /// job count (0 or 1).
+    V1 { pending: usize },
+    /// A pipelined session.
+    Session {
+        granted: u32,
+        in_flight: usize,
+        /// Goodbye received, peer EOF, stream error, or server shutdown:
+        /// no new frames are admitted and the connection closes once
+        /// `in_flight` drains.
+        draining: bool,
+    },
+}
+
+struct ConnEntry {
+    conn: Conn,
+    state: ConnState,
+    /// Keep reading (so close doesn't RST queued replies away) but
+    /// ignore the bytes.
+    discard_input: bool,
+    /// For Greeting/V1: close once all replies are queued and flushed.
+    close_when_done: bool,
+    /// Reads withheld by the write-buffer high-water mark.
+    paused: bool,
+    /// Write side FIN'd; drop at EOF or at this deadline.
+    closing: Option<Instant>,
+    /// Socket is broken; reap on the next cleanup pass.
+    dead: bool,
+}
+
+impl ConnEntry {
+    /// All protocol work finished — nothing pending, no reply to wait
+    /// for — so the connection may begin its graceful close.
+    fn work_done(&self) -> bool {
+        match self.state {
+            ConnState::Greeting { .. } => self.close_when_done,
+            ConnState::V1 { pending } => self.close_when_done && pending == 0,
+            ConnState::Session {
+                in_flight,
+                draining,
+                ..
+            } => draining && in_flight == 0,
         }
-        let Ok((stream, _)) = conn else {
-            // Fatal listener error: stop the whole server rather than
-            // spinning on a dead socket.
-            shared.request_stop();
-            return;
-        };
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(shared.config.timeout));
-        let _ = stream.set_write_timeout(Some(shared.config.timeout));
-        let mut queue = shared.queue.lock().expect("queue lock poisoned");
-        if queue.len() >= shared.config.queue_depth {
-            drop(queue);
-            eel_obs::counter!("serve.busy").add(1);
-            // Backpressure costs no worker time: a throwaway thread
-            // writes BUSY, then drains the unread request before closing
-            // — closing with bytes still in the receive buffer would RST
-            // the connection and race the client out of the BUSY frame.
-            std::thread::spawn(move || write_then_drain(stream, &Response::Busy));
-            continue;
-        }
-        queue.push_back((stream, Instant::now()));
-        eel_obs::gauge("serve.queue.depth").set(queue.len() as i64);
-        drop(queue);
-        shared.queue_ready.notify_one();
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    loop {
-        let mut queue = shared.queue.lock().expect("queue lock poisoned");
-        let (stream, enqueued) = loop {
-            if let Some(item) = queue.pop_front() {
-                eel_obs::gauge("serve.queue.depth").set(queue.len() as i64);
-                break item;
+struct Reactor<'a> {
+    shared: &'a Shared,
+    listener: Option<TcpListener>,
+    wake: WakePipe,
+    job_tx: mpsc::Sender<Work>,
+    conns: Vec<Option<ConnEntry>>,
+    gens: Vec<u64>,
+    free: Vec<usize>,
+    /// Jobs submitted to executors whose completions have not yet been
+    /// drained; shutdown waits for this to hit zero.
+    outstanding: usize,
+    /// Sum of session `in_flight` across live connections — the
+    /// `serve.session.inflight` gauge.
+    total_inflight: usize,
+    open_conns: usize,
+    shutting_down: bool,
+}
+
+impl<'a> Reactor<'a> {
+    fn new(
+        shared: &'a Shared,
+        listener: TcpListener,
+        wake: WakePipe,
+        job_tx: mpsc::Sender<Work>,
+    ) -> Reactor<'a> {
+        Reactor {
+            shared,
+            listener: Some(listener),
+            wake,
+            job_tx,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            outstanding: 0,
+            total_inflight: 0,
+            open_conns: 0,
+            shutting_down: false,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            if self.shared.stopping() && !self.shutting_down {
+                self.begin_shutdown();
             }
-            if shared.stopping() {
+            self.drain_completions();
+            self.reap_deadlines();
+            self.cleanup();
+            if self.shutting_down && self.outstanding == 0 && self.open_conns == 0 {
                 return;
             }
-            queue = shared.queue_ready.wait(queue).expect("queue lock poisoned");
-        };
-        drop(queue);
-        serve_connection(shared, stream, enqueued);
-    }
-}
-
-fn serve_connection(shared: &Shared, mut stream: TcpStream, enqueued: Instant) {
-    let waited = enqueued.elapsed();
-    if waited >= shared.config.timeout {
-        eel_obs::counter!("serve.timeouts").add(1);
-        let resp = Response::Err(format!(
-            "request timed out after {}ms in queue",
-            waited.as_millis()
-        ));
-        // The request was never read; drain it before closing so the
-        // reply is not lost to a connection reset.
-        write_then_drain(stream, &resp);
-        return;
-    }
-    let first = match read_frame(&mut stream) {
-        Ok(b) => b,
-        Err(e) => {
-            eel_obs::counter!("serve.errors").add(1);
-            let _ = write_frame(
-                &mut stream,
-                &Response::Err(format!("bad request: {e}")).encode(),
-            );
-            return;
-        }
-    };
-    // The version byte picks the connection's mode: version 2 opens a
-    // pipelined session, anything else is a one-shot v1 exchange
-    // (including unknown versions, which Request::decode rejects with a
-    // clean error a v1 client can render).
-    if first.first() == Some(&SESSION_VERSION) {
-        serve_session(shared, stream, &first);
-        return;
-    }
-    let resp = match Request::decode(&first) {
-        Ok(req) => handle_request(shared, &req),
-        Err(e) => Response::Err(format!("bad request: {e}")),
-    };
-    if matches!(resp, Response::Err(_)) {
-        eel_obs::counter!("serve.errors").add(1);
-    }
-    let _ = write_frame(&mut stream, &resp.encode());
-}
-
-/// Runs one pipelined session connection: this worker thread becomes the
-/// session's frame reader, a pool of executor threads runs the tagged
-/// requests, and a single writer thread serializes the out-of-order
-/// replies onto the socket.
-///
-/// Backpressure is layered: the reader answers frames beyond the granted
-/// in-flight window with a per-frame tagged [`Response::Busy`] (the
-/// connection survives), and the writer's bounded channel blocks
-/// executors when the client reads replies slower than it submits work —
-/// a slow consumer stalls its own session, never the server.
-///
-/// On server shutdown the reader stops consuming frames; every request
-/// already admitted is finished and its reply written before the
-/// connection closes.
-fn serve_session(shared: &Shared, stream: TcpStream, first: &[u8]) {
-    let granted = match SessionFrame::decode(first) {
-        Ok(SessionFrame::Hello { window }) => {
-            let requested = if window == 0 {
-                shared.config.session_window
-            } else {
-                window
-            };
-            requested.clamp(1, shared.config.session_window.max(1))
-        }
-        _ => {
-            eel_obs::counter!("serve.errors").add(1);
-            let mut stream = stream;
-            let _ = write_frame(
-                &mut stream,
-                &SessionReply::Tagged {
-                    id: 0,
-                    response: Response::Err("session must open with Hello".into()),
+            let (mut fds, listener_at, conn_at) = self.build_pollset();
+            let timeout = self
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            match poll_fds(&mut fds, timeout) {
+                Ok(_) => {}
+                Err(_) => {
+                    // A failing poll on our own fd set is unrecoverable;
+                    // shut the daemon down instead of spinning.
+                    self.shared.request_stop();
+                    continue;
                 }
-                .encode(),
-            );
-            return;
+            }
+            self.wake.drain();
+            if let Some(at) = listener_at {
+                if fds[at].revents != 0 {
+                    self.accept_new();
+                }
+            }
+            for (at, slot) in conn_at {
+                let revents = fds[at].revents;
+                if revents != 0 {
+                    self.handle_conn_event(slot, revents);
+                }
+            }
         }
-    };
-    eel_obs::counter!("serve.session.opened").add(1);
+    }
 
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut read_half = stream;
-    // Short poll interval so the reader notices server shutdown while
-    // parked in read(); the real inactivity budget is enforced per
-    // partial frame in read_session_frame.
-    let _ = read_half.set_read_timeout(Some(Duration::from_millis(250)));
+    /// Stop accepting, stop admitting new frames everywhere, let
+    /// admitted work finish and replies flush.
+    fn begin_shutdown(&mut self) {
+        self.shutting_down = true;
+        self.listener = None;
+        for entry in self.conns.iter_mut().flatten() {
+            entry.discard_input = true;
+            match entry.state {
+                // Never sent a complete request: nothing owed, close.
+                ConnState::Greeting { .. } => entry.close_when_done = true,
+                // The pending reply (if any) still gets delivered.
+                ConnState::V1 { .. } => entry.close_when_done = true,
+                ConnState::Session {
+                    ref mut draining, ..
+                } => *draining = true,
+            }
+        }
+    }
 
-    // Writer: the single owner of the socket's write half. The bound is
-    // the window — once the client lets `granted` finished replies pile
-    // up unread, executors block on send() instead of buffering
-    // unboundedly.
-    let (reply_tx, reply_rx) = mpsc::sync_channel::<SessionReply>(granted as usize);
-    let writer = std::thread::Builder::new()
-        .name("eelserved-session-writer".into())
-        .spawn(move || {
-            let mut stream = write_half;
-            while let Ok(reply) = reply_rx.recv() {
-                if write_frame(&mut stream, &reply.encode()).is_err() {
-                    // Client gone: drain remaining replies so executors
-                    // never block on a dead socket.
-                    while reply_rx.recv().is_ok() {}
+    fn build_pollset(&self) -> (Vec<PollFd>, Option<usize>, Vec<(usize, usize)>) {
+        let mut fds = vec![PollFd {
+            fd: self.wake.fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        let listener_at = self.listener.as_ref().map(|l| {
+            use std::os::fd::AsRawFd as _;
+            fds.push(PollFd {
+                fd: l.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            fds.len() - 1
+        });
+        let mut conn_at = Vec::with_capacity(self.open_conns);
+        for (slot, entry) in self.conns.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            let mut events = 0i16;
+            if !entry.conn.read_closed && (entry.discard_input || !entry.paused) {
+                events |= POLLIN;
+            }
+            if entry.conn.wants_write() {
+                events |= POLLOUT;
+            }
+            if events == 0 {
+                continue;
+            }
+            fds.push(PollFd {
+                fd: entry.conn.fd(),
+                events,
+                revents: 0,
+            });
+            conn_at.push((fds.len() - 1, slot));
+        }
+        (fds, listener_at, conn_at)
+    }
+
+    /// The soonest of: first-frame deadlines, mid-frame stall deadlines,
+    /// and close-drain deadlines. `None` parks poll indefinitely (the
+    /// wake pipe covers completions and shutdown).
+    fn next_deadline(&self) -> Option<Instant> {
+        let timeout = self.shared.config.timeout;
+        let mut soonest: Option<Instant> = None;
+        let mut consider = |d: Instant| {
+            soonest = Some(match soonest {
+                Some(s) if s <= d => s,
+                _ => d,
+            });
+        };
+        for entry in self.conns.iter().flatten() {
+            if let Some(d) = entry.closing {
+                consider(d);
+            }
+            if entry.discard_input {
+                continue;
+            }
+            match entry.state {
+                ConnState::Greeting { accepted } if !entry.close_when_done => {
+                    consider(accepted + timeout);
+                }
+                ConnState::Session { .. } if entry.conn.mid_frame() => {
+                    consider(entry.conn.last_progress + timeout);
+                }
+                _ => {}
+            }
+        }
+        soonest
+    }
+
+    fn reap_deadlines(&mut self) {
+        let now = Instant::now();
+        let timeout = self.shared.config.timeout;
+        for slot in 0..self.conns.len() {
+            let Some(mut entry) = self.conns[slot].take() else {
+                continue;
+            };
+            if let Some(d) = entry.closing {
+                if now >= d {
+                    entry.dead = true;
+                }
+            }
+            if !entry.dead && !entry.discard_input {
+                match entry.state {
+                    ConnState::Greeting { accepted }
+                        if !entry.close_when_done && now >= accepted + timeout =>
+                    {
+                        eel_obs::counter!("serve.errors").add(1);
+                        self.queue_reply(
+                            &mut entry,
+                            &Response::Err("bad request: timed out waiting for request".into())
+                                .encode(),
+                        );
+                        entry.close_when_done = true;
+                        entry.discard_input = true;
+                    }
+                    ConnState::Session {
+                        ref mut draining, ..
+                    } if entry.conn.mid_frame() && now >= entry.conn.last_progress + timeout => {
+                        // A frame stalled mid-transfer: the stream's
+                        // framing is unrecoverable. Finish in-flight
+                        // work, then close.
+                        *draining = true;
+                        entry.discard_input = true;
+                    }
+                    _ => {}
+                }
+            }
+            self.put_back(slot, entry);
+        }
+    }
+
+    /// Initiates graceful closes for finished connections and reaps dead
+    /// ones.
+    fn cleanup(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let Some(entry) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if !entry.dead && entry.work_done() && !entry.conn.wants_write() {
+                if entry.conn.read_closed {
+                    entry.dead = true;
+                } else if entry.closing.is_none() {
+                    entry.conn.shutdown_write();
+                    entry.closing = Some(now + CLOSE_DRAIN);
+                }
+            }
+            if entry.dead {
+                let entry = self.conns[slot].take().expect("slot checked above");
+                self.drop_conn(slot, entry);
+            }
+        }
+    }
+
+    fn insert_conn(&mut self, conn: Conn) {
+        let entry = ConnEntry {
+            conn,
+            state: ConnState::Greeting {
+                accepted: Instant::now(),
+            },
+            discard_input: false,
+            close_when_done: false,
+            paused: false,
+            closing: None,
+            dead: false,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.conns[s] = Some(entry);
+                s
+            }
+            None => {
+                self.conns.push(Some(entry));
+                self.gens.push(0);
+                self.conns.len() - 1
+            }
+        };
+        let _ = slot;
+        self.open_conns += 1;
+        eel_obs::gauge("serve.reactor.conns").set(self.open_conns as i64);
+    }
+
+    fn drop_conn(&mut self, slot: usize, entry: ConnEntry) {
+        if let ConnState::Session { in_flight, .. } = entry.state {
+            // Jobs still running for this connection will complete and
+            // be discarded by the token generation check.
+            self.total_inflight -= in_flight;
+            eel_obs::gauge("serve.session.inflight").set(self.total_inflight as i64);
+            eel_obs::counter!("serve.session.closed").add(1);
+        }
+        self.gens[slot] += 1;
+        self.free.push(slot);
+        self.open_conns -= 1;
+        eel_obs::gauge("serve.reactor.conns").set(self.open_conns as i64);
+    }
+
+    fn put_back(&mut self, slot: usize, entry: ConnEntry) {
+        if entry.dead {
+            self.drop_conn(slot, entry);
+        } else {
+            self.conns[slot] = Some(entry);
+        }
+    }
+
+    fn accept_new(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if let Ok(conn) = Conn::new(stream) {
+                        self.insert_conn(conn);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted
+                            | io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::ConnectionReset
+                    ) => {}
+                Err(_) => {
+                    // Fatal listener error: stop the whole server rather
+                    // than spinning on a dead socket.
+                    self.shared.request_stop();
                     return;
                 }
             }
-        });
-    let Ok(writer) = writer else { return };
-    if reply_tx
-        .send(SessionReply::HelloAck { window: granted })
-        .is_err()
-    {
-        let _ = writer.join();
-        return;
+        }
     }
 
-    let in_flight = Arc::new(AtomicUsize::new(0));
-    let (job_tx, job_rx) = mpsc::channel::<(u64, Request)>();
-    let job_rx = Arc::new(Mutex::new(job_rx));
-    let executor_count = (if shared.config.session_workers > 0 {
-        shared.config.session_workers
-    } else {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-    })
-    .min(granted as usize)
-    .max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..executor_count {
-            let job_rx = Arc::clone(&job_rx);
-            let reply_tx = reply_tx.clone();
-            let in_flight = Arc::clone(&in_flight);
-            scope.spawn(move || loop {
-                let job = job_rx.lock().expect("job lock poisoned").recv();
-                let Ok((id, req)) = job else { return };
+    fn handle_conn_event(&mut self, slot: usize, revents: i16) {
+        let Some(mut entry) = self.conns[slot].take() else {
+            return;
+        };
+        let token = Token {
+            slot,
+            gen: self.gens[slot],
+        };
+        if revents & (POLLERR | POLLNVAL) != 0 {
+            entry.dead = true;
+            self.put_back(slot, entry);
+            return;
+        }
+        if revents & (POLLIN | POLLHUP) != 0 {
+            self.handle_readable(&mut entry, token);
+        }
+        if revents & POLLOUT != 0 && !entry.dead {
+            self.flush_entry(&mut entry);
+        }
+        self.put_back(slot, entry);
+    }
+
+    fn handle_readable(&mut self, entry: &mut ConnEntry, token: Token) {
+        if entry.discard_input {
+            let _ = entry.conn.discard();
+            return;
+        }
+        match entry.conn.fill(MAX_FRAME) {
+            Ok(frames) => {
+                for body in frames {
+                    if !self.process_frame(entry, token, &body) {
+                        break;
+                    }
+                }
+                if entry.conn.read_closed && !entry.discard_input {
+                    self.peer_eof(entry);
+                }
+            }
+            Err(e) => self.input_error(entry, &e),
+        }
+    }
+
+    /// Clean EOF at a frame boundary: a client hanging up without
+    /// Goodbye is unremarkable.
+    fn peer_eof(&mut self, entry: &mut ConnEntry) {
+        entry.discard_input = true;
+        match entry.state {
+            ConnState::Greeting { .. } => entry.close_when_done = true,
+            ConnState::V1 { .. } => entry.close_when_done = true,
+            ConnState::Session {
+                ref mut draining, ..
+            } => *draining = true,
+        }
+    }
+
+    /// The read stream is broken: mid-frame EOF, an oversized length
+    /// prefix, or a socket error. Greeting connections get the v1-style
+    /// error reply; everything else finishes what it owes and closes.
+    fn input_error(&mut self, entry: &mut ConnEntry, e: &io::Error) {
+        entry.discard_input = true;
+        match entry.state {
+            ConnState::Greeting { .. } => {
+                eel_obs::counter!("serve.errors").add(1);
+                self.queue_reply(
+                    &mut *entry,
+                    &Response::Err(format!("bad request: {e}")).encode(),
+                );
+                entry.close_when_done = true;
+            }
+            ConnState::V1 { .. } => entry.close_when_done = true,
+            ConnState::Session {
+                ref mut draining, ..
+            } => *draining = true,
+        }
+    }
+
+    /// Advances one connection's protocol state machine by one inbound
+    /// frame. Returns false when no further frames should be processed
+    /// from this batch (mode decided, connection draining, …).
+    fn process_frame(&mut self, entry: &mut ConnEntry, token: Token, body: &[u8]) -> bool {
+        match entry.state {
+            ConnState::Greeting { .. } => self.greeting_frame(entry, token, body),
+            // One-shot connections consume exactly one frame; anything
+            // extra is discarded.
+            ConnState::V1 { .. } => false,
+            ConnState::Session { .. } => self.session_frame(entry, token, body),
+        }
+    }
+
+    /// The connection's first frame picks its mode: the session version
+    /// byte opens a pipelined session, anything else is a one-shot v1
+    /// exchange (including unknown versions, which `Request::decode`
+    /// rejects with a clean error a v1 client can render).
+    fn greeting_frame(&mut self, entry: &mut ConnEntry, token: Token, body: &[u8]) -> bool {
+        if body.first() == Some(&SESSION_VERSION) {
+            match SessionFrame::decode(body) {
+                Ok(SessionFrame::Hello { window }) => {
+                    let cap = self.shared.config.session_window;
+                    let requested = if window == 0 { cap } else { window };
+                    let granted = requested.clamp(1, cap.max(1));
+                    entry.state = ConnState::Session {
+                        granted,
+                        in_flight: 0,
+                        draining: false,
+                    };
+                    eel_obs::counter!("serve.session.opened").add(1);
+                    self.queue_reply(entry, &SessionReply::HelloAck { window: granted }.encode());
+                    true
+                }
+                _ => {
+                    eel_obs::counter!("serve.errors").add(1);
+                    self.queue_reply(
+                        entry,
+                        &SessionReply::Tagged {
+                            id: 0,
+                            response: Response::Err("session must open with Hello".into()),
+                        }
+                        .encode(),
+                    );
+                    entry.close_when_done = true;
+                    entry.discard_input = true;
+                    false
+                }
+            }
+        } else {
+            match Request::decode(body) {
+                Ok(req) => {
+                    if self.shared.queued_jobs.load(Ordering::SeqCst)
+                        >= self.shared.config.queue_depth
+                    {
+                        // Admission overflow: explicit backpressure
+                        // instead of an unbounded backlog, at the cost
+                        // of one decoded frame.
+                        eel_obs::counter!("serve.busy").add(1);
+                        eel_obs::counter!("serve.conn.busy").add(1);
+                        self.queue_reply(entry, &Response::Busy.encode());
+                        entry.close_when_done = true;
+                        entry.discard_input = true;
+                        return false;
+                    }
+                    let depth = self.shared.queued_jobs.fetch_add(1, Ordering::SeqCst) + 1;
+                    eel_obs::gauge("serve.queue.depth").set(depth as i64);
+                    entry.state = ConnState::V1 { pending: 1 };
+                    entry.discard_input = true;
+                    self.outstanding += 1;
+                    let _ = self.job_tx.send(Work::V1 {
+                        token,
+                        req,
+                        enqueued: Instant::now(),
+                    });
+                    false
+                }
+                Err(e) => {
+                    eel_obs::counter!("serve.errors").add(1);
+                    self.queue_reply(entry, &Response::Err(format!("bad request: {e}")).encode());
+                    entry.close_when_done = true;
+                    entry.discard_input = true;
+                    false
+                }
+            }
+        }
+    }
+
+    fn session_frame(&mut self, entry: &mut ConnEntry, token: Token, body: &[u8]) -> bool {
+        let ConnState::Session {
+            granted, in_flight, ..
+        } = entry.state
+        else {
+            return false;
+        };
+        match SessionFrame::decode(body) {
+            Ok(SessionFrame::Request { id, request }) => {
+                if in_flight >= granted as usize {
+                    // Window overflow: per-frame BUSY, connection
+                    // survives. Mirrors the v1 admission BUSY.
+                    eel_obs::counter!("serve.session.busy").add(1);
+                    self.queue_reply(
+                        entry,
+                        &SessionReply::Tagged {
+                            id,
+                            response: Response::Busy,
+                        }
+                        .encode(),
+                    );
+                    return true;
+                }
+                eel_obs::counter!("serve.session.requests").add(1);
+                if let ConnState::Session {
+                    ref mut in_flight, ..
+                } = entry.state
+                {
+                    *in_flight += 1;
+                }
+                self.total_inflight += 1;
+                eel_obs::gauge("serve.session.inflight").set(self.total_inflight as i64);
+                self.outstanding += 1;
+                let _ = self.job_tx.send(Work::Session {
+                    token,
+                    id,
+                    req: request,
+                });
+                true
+            }
+            Ok(SessionFrame::Goodbye) => {
+                if let ConnState::Session {
+                    ref mut draining, ..
+                } = entry.state
+                {
+                    *draining = true;
+                }
+                entry.discard_input = true;
+                false
+            }
+            Ok(SessionFrame::Hello { .. }) => {
+                self.queue_reply(
+                    entry,
+                    &SessionReply::Tagged {
+                        id: 0,
+                        response: Response::Err("duplicate Hello".into()),
+                    }
+                    .encode(),
+                );
+                true
+            }
+            Err(e) => {
+                // A malformed frame poisons the stream (framing may be
+                // lost); answer, finish in-flight work, close.
+                eel_obs::counter!("serve.errors").add(1);
+                self.queue_reply(
+                    entry,
+                    &SessionReply::Tagged {
+                        id: 0,
+                        response: Response::Err(format!("bad session frame: {e}")),
+                    }
+                    .encode(),
+                );
+                if let ConnState::Session {
+                    ref mut draining, ..
+                } = entry.state
+                {
+                    *draining = true;
+                }
+                entry.discard_input = true;
+                false
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let done = std::mem::take(
+            &mut *self
+                .shared
+                .completions
+                .lock()
+                .expect("completions lock poisoned"),
+        );
+        for d in done {
+            self.outstanding -= 1;
+            if self.gens[d.token.slot] != d.token.gen {
+                continue; // connection died while the job ran
+            }
+            let Some(mut entry) = self.conns[d.token.slot].take() else {
+                continue;
+            };
+            match entry.state {
+                ConnState::V1 { ref mut pending } => {
+                    *pending -= 1;
+                    entry.close_when_done = true;
+                }
+                ConnState::Session {
+                    ref mut in_flight, ..
+                } => {
+                    *in_flight -= 1;
+                    self.total_inflight -= 1;
+                    eel_obs::gauge("serve.session.inflight").set(self.total_inflight as i64);
+                }
+                ConnState::Greeting { .. } => {}
+            }
+            self.queue_reply(&mut entry, &d.frame);
+            self.put_back(d.token.slot, entry);
+        }
+    }
+
+    /// Queues an outbound frame and eagerly flushes; applies the
+    /// high-water-mark pause/resume transitions.
+    fn queue_reply(&mut self, entry: &mut ConnEntry, frame: &[u8]) {
+        entry.conn.queue_frame(frame);
+        self.flush_entry(entry);
+    }
+
+    fn flush_entry(&mut self, entry: &mut ConnEntry) {
+        if entry.conn.flush().is_err() {
+            entry.dead = true;
+            return;
+        }
+        let hwm = self.shared.config.write_hwm.max(1);
+        if !entry.paused && entry.conn.buffered() > hwm {
+            entry.paused = true;
+            eel_obs::counter!("serve.reactor.pushback").add(1);
+        } else if entry.paused && entry.conn.buffered() <= hwm / 2 {
+            entry.paused = false;
+        }
+    }
+}
+
+fn executor_loop(shared: &Shared, job_rx: &Mutex<mpsc::Receiver<Work>>) {
+    loop {
+        let work = {
+            let rx = job_rx.lock().expect("job lock poisoned");
+            rx.recv()
+        };
+        let Ok(work) = work else { return };
+        let done = match work {
+            Work::V1 {
+                token,
+                req,
+                enqueued,
+            } => {
+                let depth = shared.queued_jobs.fetch_sub(1, Ordering::SeqCst) - 1;
+                eel_obs::gauge("serve.queue.depth").set(depth as i64);
+                let waited = enqueued.elapsed();
+                let resp = if waited >= shared.config.timeout {
+                    eel_obs::counter!("serve.timeouts").add(1);
+                    Response::Err(format!(
+                        "request timed out after {}ms in queue",
+                        waited.as_millis()
+                    ))
+                } else {
+                    let resp = handle_request(shared, &req);
+                    if matches!(resp, Response::Err(_)) {
+                        eel_obs::counter!("serve.errors").add(1);
+                    }
+                    resp
+                };
+                Done {
+                    token,
+                    frame: resp.encode(),
+                }
+            }
+            Work::Session { token, id, req } => {
                 let response = handle_request(shared, &req);
                 if matches!(response, Response::Err(_)) {
                     eel_obs::counter!("serve.errors").add(1);
                 }
-                in_flight.fetch_sub(1, Ordering::SeqCst);
-                eel_obs::gauge("serve.session.inflight")
-                    .set(in_flight.load(Ordering::SeqCst) as i64);
-                if reply_tx
-                    .send(SessionReply::Tagged { id, response })
-                    .is_err()
-                {
-                    return;
-                }
-            });
-        }
-
-        loop {
-            let frame = match read_session_frame(&mut read_half, shared) {
-                Ok(Some(body)) => body,
-                // Clean EOF, Goodbye-less disconnect, or server shutdown.
-                Ok(None) => break,
-                Err(_) => break,
-            };
-            match SessionFrame::decode(&frame) {
-                Ok(SessionFrame::Request { id, request }) => {
-                    if in_flight.load(Ordering::SeqCst) >= granted as usize {
-                        // Window overflow: per-frame BUSY, connection
-                        // survives. Mirrors the v1 accept-queue BUSY.
-                        eel_obs::counter!("serve.session.busy").add(1);
-                        if reply_tx
-                            .send(SessionReply::Tagged {
-                                id,
-                                response: Response::Busy,
-                            })
-                            .is_err()
-                        {
-                            break;
-                        }
-                        continue;
-                    }
-                    eel_obs::counter!("serve.session.requests").add(1);
-                    in_flight.fetch_add(1, Ordering::SeqCst);
-                    eel_obs::gauge("serve.session.inflight")
-                        .set(in_flight.load(Ordering::SeqCst) as i64);
-                    if job_tx.send((id, request)).is_err() {
-                        break;
-                    }
-                }
-                Ok(SessionFrame::Goodbye) => break,
-                Ok(SessionFrame::Hello { .. }) => {
-                    let _ = reply_tx.send(SessionReply::Tagged {
-                        id: 0,
-                        response: Response::Err("duplicate Hello".into()),
-                    });
-                }
-                Err(e) => {
-                    // A malformed frame poisons the stream (framing may
-                    // be lost); answer and close.
-                    eel_obs::counter!("serve.errors").add(1);
-                    let _ = reply_tx.send(SessionReply::Tagged {
-                        id: 0,
-                        response: Response::Err(format!("bad session frame: {e}")),
-                    });
-                    break;
+                Done {
+                    token,
+                    frame: SessionReply::Tagged { id, response }.encode(),
                 }
             }
-        }
-        // Closing the job channel lets executors drain admitted work and
-        // exit; their replies still flow through the writer.
-        drop(job_tx);
-    });
-    drop(reply_tx);
-    let _ = writer.join();
-    eel_obs::counter!("serve.session.closed").add(1);
-}
-
-/// Reads one length-prefixed frame on a session connection, polling so
-/// shutdown is noticed promptly. Returns `Ok(None)` on a clean EOF
-/// between frames or when the server is stopping; a *partial* frame that
-/// stalls past the configured request timeout is an error (the stream's
-/// framing is unrecoverable at that point).
-fn read_session_frame(stream: &mut TcpStream, shared: &Shared) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    if !read_exact_or_stop(stream, &mut len, shared, true)? {
-        return Ok(None);
+        };
+        shared
+            .completions
+            .lock()
+            .expect("completions lock poisoned")
+            .push(done);
+        notify(&shared.wake_tx);
     }
-    let len = u32::from_be_bytes(len);
-    if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds MAX_FRAME"),
-        ));
-    }
-    let mut body = vec![0u8; len as usize];
-    if !read_exact_or_stop(stream, &mut body, shared, false)? {
-        return Ok(None);
-    }
-    Ok(Some(body))
-}
-
-/// Fills `buf` from the socket, tolerating read-timeout wakeups. Returns
-/// `Ok(false)` when the server is stopping, or on clean EOF with nothing
-/// read (only when `idle_ok` — i.e. at a frame boundary, where a client
-/// hanging up without Goodbye is unremarkable). While idle between
-/// frames the wait is unbounded (sessions are persistent); once any byte
-/// of a frame has arrived, `config.timeout` of inactivity is an error.
-fn read_exact_or_stop(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    shared: &Shared,
-    idle_ok: bool,
-) -> io::Result<bool> {
-    let mut at = 0;
-    let mut last_progress = Instant::now();
-    while at < buf.len() {
-        if shared.stopping() {
-            return Ok(false);
-        }
-        match stream.read(&mut buf[at..]) {
-            Ok(0) => {
-                if at == 0 && idle_ok {
-                    return Ok(false);
-                }
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-frame",
-                ));
-            }
-            Ok(n) => {
-                at += n;
-                last_progress = Instant::now();
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                let mid_frame = !idle_ok || at > 0;
-                if mid_frame && last_progress.elapsed() >= shared.config.timeout {
-                    return Err(e);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
 }
 
 fn handle_request(shared: &Shared, req: &Request) -> Response {
@@ -879,20 +1338,6 @@ fn analyze(shared: &Shared, hash: u64, bytes: &[u8]) -> Result<Arc<Analysis>, St
         (computed, cost)
     });
     analysis
-}
-
-/// Replies on a connection whose request was never read, then drains the
-/// unread bytes before closing. Closing with data still in the receive
-/// buffer makes the kernel send RST, which can discard the reply before
-/// the client reads it — this is how BUSY and queue-timeout replies stay
-/// deliverable.
-fn write_then_drain(mut stream: TcpStream, resp: &Response) {
-    use std::io::Read as _;
-    let _ = write_frame(&mut stream, &resp.encode());
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut sink = [0u8; 4096];
-    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
 }
 
 /// Renders the metrics registry as stable `kind name value` lines — what

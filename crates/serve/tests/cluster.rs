@@ -1,0 +1,180 @@
+//! Cluster integration test: three in-process shards behind a
+//! [`ClusterClient`], exercising deterministic routing, per-shard cache
+//! locality, order-independent configs, batch fan-out, and ring
+//! failover when a shard dies.
+//!
+//! All three servers live in one process, so eel-obs counters are
+//! **cluster-global** here: `serve.ops.stat.computed` counts every
+//! computation on every shard, which is exactly what the single-
+//! computation assertions below need. True per-shard metric assertions
+//! (each daemon its own registry) live in the CI `cluster-smoke` job.
+
+use eel_cc::Personality;
+use eel_serve::{
+    CacheTier, Client, ClusterClient, Payload, Request, Response, Server, ServerConfig,
+};
+
+fn expect_ok(resp: Response) -> (CacheTier, Vec<u8>) {
+    match resp {
+        Response::Ok { tier, body, .. } => (tier, body),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+fn metric(metrics: &str, kind: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| {
+            let rest = l.strip_prefix(&format!("{kind} {name} "))?;
+            rest.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+fn read_metrics(client: &Client) -> String {
+    let (_, body) = expect_ok(client.control("metrics").expect("metrics"));
+    String::from_utf8(body).expect("metrics are text")
+}
+
+fn stat(wef: &[u8]) -> Request {
+    Request {
+        op: "stat".into(),
+        payload: Payload::Inline(wef.to_vec()),
+    }
+}
+
+#[test]
+fn three_shard_cluster_routes_caches_and_fails_over() {
+    let mut servers: Vec<Server> = (0..3)
+        .map(|_| {
+            Server::start(ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            })
+            .expect("start shard")
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let cluster = ClusterClient::connect(addrs.clone());
+    // Any in-process client sees the process-global registry.
+    let probe = Client::connect(addrs[0].clone());
+
+    // Six distinct images spread (hash-dependently) over the ring.
+    let images: Vec<Vec<u8>> = [10u32, 20, 30, 40, 50, 60]
+        .iter()
+        .map(|&n| {
+            let w = eel_progen::spim_like(n);
+            eel_progen::compile(&w, Personality::Gcc)
+                .expect("compile")
+                .to_bytes()
+        })
+        .collect();
+
+    // Pass 1: every image is computed exactly once, cluster-wide —
+    // consistent hashing sends each image's requests to one shard, so
+    // N images cost N computations no matter how many land where.
+    let computed_before = metric(&read_metrics(&probe), "counter", "serve.ops.stat.computed");
+    let mut bodies = Vec::new();
+    for wef in &images {
+        let (tier, body) = expect_ok(cluster.request(&stat(wef)).expect("pass 1"));
+        assert_eq!(tier, CacheTier::Computed, "cold request computes");
+        bodies.push(body);
+    }
+    let computed_after = metric(&read_metrics(&probe), "counter", "serve.ops.stat.computed");
+    assert_eq!(
+        computed_after - computed_before,
+        images.len() as u64,
+        "one computation per image across the whole cluster"
+    );
+
+    // Pass 2: cache locality — the same image routes back to the same
+    // shard, whose memory tier now holds the result.
+    for (wef, body) in images.iter().zip(&bodies) {
+        let (tier, b) = expect_ok(cluster.request(&stat(wef)).expect("pass 2"));
+        assert_eq!(tier, CacheTier::Memory, "warm request hits its home shard");
+        assert_eq!(&b, body);
+    }
+
+    // A client configured with the same shards in a different order
+    // routes every image identically (all hits, same bytes) — placement
+    // depends on the address *set*, not the list.
+    let mut rotated = addrs.clone();
+    rotated.rotate_left(1);
+    let reordered = ClusterClient::connect(rotated);
+    for (i, (wef, body)) in images.iter().zip(&bodies).enumerate() {
+        let req = stat(wef);
+        assert_eq!(
+            cluster.addrs()[cluster.shard_for(&req)],
+            reordered.addrs()[reordered.shard_for(&req)],
+            "image {i} routes to the same shard under both configs"
+        );
+        let (tier, b) = expect_ok(reordered.request(&req).expect("reordered request"));
+        assert_eq!(tier, CacheTier::Memory);
+        assert_eq!(&b, body);
+    }
+
+    // Batch fan-out: per-shard sessions answer in request order with
+    // the same bytes as the one-shots.
+    let reqs: Vec<Request> = images.iter().map(|w| stat(w)).collect();
+    let batched = cluster.batch(&reqs, 8).expect("cluster batch");
+    assert_eq!(batched.len(), images.len());
+    for (resp, body) in batched.into_iter().zip(&bodies) {
+        let (_, b) = expect_ok(resp);
+        assert_eq!(&b, body, "batched reply matches one-shot");
+    }
+
+    // Failover: kill image[0]'s home shard; its requests walk the ring
+    // to the next distinct shard and come back byte-identical (every
+    // shard computes the same results — a mis-placement only costs a
+    // cache miss).
+    let victim_req = stat(&images[0]);
+    let victim_addr = cluster.addrs()[cluster.shard_for(&victim_req)].clone();
+    let victim_idx = servers
+        .iter()
+        .position(|s| s.local_addr().to_string() == victim_addr)
+        .expect("victim server");
+    let victim = servers.remove(victim_idx);
+    victim.shutdown();
+    victim.wait();
+    let survivor = Client::connect(servers[0].local_addr().to_string());
+
+    let failover_before = metric(
+        &read_metrics(&survivor),
+        "counter",
+        "serve.cluster.failover",
+    );
+    let (tier, b) = expect_ok(cluster.request(&victim_req).expect("failover request"));
+    assert_eq!(tier, CacheTier::Computed, "successor shard computes fresh");
+    assert_eq!(&b, &bodies[0], "failed-over reply is byte-identical");
+    let failover_after = metric(
+        &read_metrics(&survivor),
+        "counter",
+        "serve.cluster.failover",
+    );
+    assert!(
+        failover_after > failover_before,
+        "failover is metered under serve.cluster.failover"
+    );
+
+    // Fleet control keeps answering: the dead shard reports its error,
+    // the survivors still pong.
+    let answers = cluster.control_each("ping");
+    assert_eq!(answers.len(), 3);
+    let mut pongs = 0;
+    for (addr, result) in answers {
+        match result {
+            Ok(resp) => {
+                let (_, body) = expect_ok(resp);
+                assert_eq!(body, b"pong");
+                pongs += 1;
+            }
+            Err(_) => assert_eq!(addr, victim_addr, "only the killed shard errors"),
+        }
+    }
+    assert_eq!(pongs, 2, "both survivors answer control ops");
+
+    for server in servers {
+        server.shutdown();
+        server.wait();
+    }
+}

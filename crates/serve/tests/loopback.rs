@@ -3,7 +3,7 @@
 
 use eel_cc::Personality;
 use eel_exe::Image;
-use eel_serve::{CacheTier, Client, Payload, Response, Server, ServerConfig};
+use eel_serve::{CacheTier, Client, Payload, Request, Response, Server, ServerConfig};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -138,74 +138,132 @@ fn instrument_round_trips_over_the_wire() {
     server.wait();
 }
 
-/// With one worker wedged and the 2-deep queue full, the acceptor answers
-/// BUSY without worker involvement.
+/// Distinct cold images whose `instrument` each takes ~200ms: the wedge
+/// load for the backpressure tests. Distinct hashes matter — identical
+/// images would single-flight onto one computation and free the
+/// executors early. (Some seeds generate programs the compiler rejects;
+/// skip those.)
+fn wedge_wefs(n: usize) -> Vec<Vec<u8>> {
+    let wefs: Vec<Vec<u8>> = (0..64)
+        .filter_map(|seed| {
+            let program = eel_progen::random_program(seed, &eel_progen::GenConfig::default());
+            eel_cc::compile_ast(&program, &eel_cc::Options::default()).ok()
+        })
+        .map(|img| img.to_bytes())
+        .take(n)
+        .collect();
+    assert_eq!(wefs.len(), n, "enough compilable seeds");
+    wefs
+}
+
+/// Saturates the whole executor pool through one session (session jobs
+/// are admitted by the in-flight window, not the v1 queue) and returns
+/// the open session so the wedge stays pending until it is dropped.
+fn wedge_executors(client: &Client, wefs: &[Vec<u8>]) -> eel_serve::Session {
+    let mut session = client
+        .open_session(wefs.len() as u32)
+        .expect("open wedge session");
+    for wef in wefs {
+        session
+            .submit(&Request {
+                op: "instrument".into(),
+                payload: Payload::Inline(wef.clone()),
+            })
+            .expect("submit wedge");
+    }
+    session
+}
+
+/// With every executor wedged and the 1-deep admission queue full, the
+/// reactor answers a fresh one-shot with BUSY at decode time — no
+/// executor involvement, metered under `serve.conn.busy`.
 #[test]
 fn bounded_queue_overflows_to_busy() {
     let _serial = TIMING.lock().unwrap_or_else(|e| e.into_inner());
     let server = Server::start(ServerConfig {
-        workers: 1,
-        queue_depth: 2,
-        timeout: Duration::from_secs(2),
+        workers: 2,
+        queue_depth: 1,
+        timeout: Duration::from_secs(30),
         ..ServerConfig::default()
     })
     .expect("start server");
     let addr = server.local_addr();
-
-    // The staller connects but never sends a frame, wedging the single
-    // worker in read_frame until its socket timeout.
-    let staller = std::net::TcpStream::connect(addr).expect("staller connects");
-    std::thread::sleep(Duration::from_millis(200)); // let the worker pick it up
-    let fillers: Vec<std::net::TcpStream> = (0..2)
-        .map(|_| std::net::TcpStream::connect(addr).expect("filler connects"))
-        .collect();
-    std::thread::sleep(Duration::from_millis(200)); // let the acceptor queue them
-
     let client = Client::connect(addr.to_string());
-    let resp = client.control("ping").expect("exchange completes");
-    assert_eq!(resp, Response::Busy, "full queue answers BUSY");
 
-    drop(staller);
-    drop(fillers);
+    // Four slow session jobs keep both executors busy back to back.
+    let mut wedge = wedge_executors(&client, &wedge_wefs(4));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The filler is admitted (queue depth 1) and waits for an executor;
+    // it must be answered eventually, just late.
+    let filler = {
+        let client = client.clone();
+        std::thread::spawn(move || client.control("ping").expect("filler completes"))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    let resp = client.control("ping").expect("exchange completes");
+    assert_eq!(resp, Response::Busy, "full admission queue answers BUSY");
+
+    // Drain the wedge; everything admitted still completes.
+    for _ in 0..4 {
+        let (_, resp) = wedge.recv().expect("wedge reply");
+        expect_ok(resp);
+    }
+    wedge.goodbye().expect("goodbye");
+    assert_eq!(filler.join().unwrap(), {
+        Response::Ok {
+            tier: CacheTier::Computed,
+            body: b"pong".to_vec(),
+            fragments: None,
+            discovery: None,
+            machine: None,
+        }
+    });
+
+    let (_, metrics) = expect_ok(client.control("metrics").expect("metrics"));
+    let metrics = String::from_utf8(metrics).expect("metrics are text");
+    assert!(
+        metric(&metrics, "counter", "serve.conn.busy").unwrap_or(0) >= 1,
+        "reactor BUSY is metered\n{metrics}"
+    );
+
     server.shutdown();
     server.wait();
 }
 
-/// A request that waited in the queue longer than the timeout budget is
-/// answered with a timeout error, not served stale.
+/// A one-shot that waited for an executor longer than the timeout budget
+/// is answered with a timeout error, not served stale.
 #[test]
 fn queued_request_past_deadline_times_out() {
     let _serial = TIMING.lock().unwrap_or_else(|e| e.into_inner());
     let server = Server::start(ServerConfig {
-        workers: 1,
+        workers: 2,
         queue_depth: 8,
         timeout: Duration::from_millis(500),
         ..ServerConfig::default()
     })
     .expect("start server");
     let addr = server.local_addr();
+    let client = Client::connect(addr.to_string()).with_timeout(Some(Duration::from_secs(30)));
 
-    // Two staggered stallers wedge the single worker for two full socket
-    // read timeouts (~1s). The stagger matters: the second staller must
-    // still be *fresh* (queue age < 500ms) when the worker pops it at
-    // t≈500ms, or the queue-age check would answer it instantly instead
-    // of the worker blocking on its silent socket for another 500ms.
-    let staller1 = std::net::TcpStream::connect(addr).expect("staller connects");
-    std::thread::sleep(Duration::from_millis(350));
-    let staller2 = std::net::TcpStream::connect(addr).expect("staller connects");
-    std::thread::sleep(Duration::from_millis(50));
+    // Eight slow session jobs sit ahead of the ping in the executor
+    // channel; by the time an executor dequeues the ping (~800ms in),
+    // its queue age is far past the 500ms budget.
+    let mut wedge = wedge_executors(&client, &wedge_wefs(8));
+    std::thread::sleep(Duration::from_millis(100));
 
-    // This request is queued at t≈400ms and popped at t≈1000ms — a queue
-    // age of ~600ms, past its own 500ms deadline.
-    let client = Client::connect(addr.to_string()).with_timeout(Some(Duration::from_secs(5)));
     let resp = client.control("ping").expect("exchange completes");
     match resp {
         Response::Err(msg) => assert!(msg.contains("timed out"), "unexpected error: {msg}"),
         other => panic!("expected queue-timeout error, got {other:?}"),
     }
 
-    drop(staller1);
-    drop(staller2);
+    for _ in 0..8 {
+        let (_, resp) = wedge.recv().expect("wedge reply");
+        expect_ok(resp);
+    }
+    wedge.goodbye().expect("goodbye");
     server.shutdown();
     server.wait();
 }

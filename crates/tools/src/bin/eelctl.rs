@@ -21,7 +21,14 @@
 //! (single file only); the other ops print text to stdout.
 //!
 //! The server address comes from `--addr`, else the `EEL_SERVE_ADDR`
-//! environment variable, else `127.0.0.1:7099`. Cache status for each
+//! environment variable, else `127.0.0.1:7099`. Alternatively
+//! `--cluster HOST:PORT,HOST:PORT,...` routes each request across a
+//! fleet of daemons by consistent hash of the image it operates on
+//! (see `eel_serve::ClusterClient`): the same image always lands on the
+//! same shard (whose caches stay hot for it), an unreachable shard
+//! fails over to the next on the ring, and the status line reports
+//! which shard was routed. Control ops under `--cluster` fan out to
+//! **every** shard. Cache status for each
 //! request goes to stderr — `cache miss` (computed fresh), `cache hit`
 //! (served from the server's memory LRU or deduped onto an in-flight
 //! twin), or `cache hit (disk)` (loaded from the daemon's `--cache-dir`
@@ -31,7 +38,7 @@
 //! reuse as `(fragments H/T)`: H of the image's T routines were
 //! stitched from the daemon's fragment cache instead of re-analyzed.
 
-use eel_serve::{CacheTier, Client, Payload, Request, Response};
+use eel_serve::{CacheTier, Client, ClusterClient, Payload, Request, Response};
 use eel_tools::cli::Cli;
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -41,7 +48,7 @@ const CONTROL_OPS: &[&str] = &["ping", "metrics", "shutdown"];
 fn main() -> ExitCode {
     let mut cli = match Cli::new(
         "eelctl",
-        "OP [FILE.wef ...] [--addr HOST:PORT] [--path] [--batch] [--script FILE.eel] [-o OUT.wef]",
+        "OP [FILE.wef ...] [--addr HOST:PORT | --cluster H:P,H:P,...] [--path] [--batch] [--script FILE.eel] [-o OUT.wef]",
     ) {
         Ok(cli) => cli,
         Err(code) => return code,
@@ -49,6 +56,7 @@ fn main() -> ExitCode {
     let mut op: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut addr: Option<String> = None;
+    let mut cluster_addrs: Option<String> = None;
     let mut by_path = false;
     let mut batch = false;
     let mut script: Option<String> = None;
@@ -58,6 +66,12 @@ fn main() -> ExitCode {
             "--addr" => {
                 addr = match cli.value("--addr") {
                     Ok(a) => Some(a),
+                    Err(code) => return code,
+                }
+            }
+            "--cluster" => {
+                cluster_addrs = match cli.value("--cluster") {
+                    Ok(c) => Some(c),
                     Err(code) => return code,
                 }
             }
@@ -82,6 +96,24 @@ fn main() -> ExitCode {
     let Some(op) = op else {
         return cli.fail("no operation (see --help)");
     };
+    if addr.is_some() && cluster_addrs.is_some() {
+        return cli.fail("--addr and --cluster are mutually exclusive");
+    }
+    let cluster: Option<ClusterClient> = match cluster_addrs {
+        Some(list) => {
+            let shards: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect();
+            if shards.is_empty() {
+                return cli.fail("--cluster needs at least one HOST:PORT");
+            }
+            Some(ClusterClient::connect(shards))
+        }
+        None => None,
+    };
     let addr = addr
         .or_else(|| std::env::var("EEL_SERVE_ADDR").ok())
         .unwrap_or_else(|| "127.0.0.1:7099".into());
@@ -90,6 +122,39 @@ fn main() -> ExitCode {
     if CONTROL_OPS.contains(&op.as_str()) {
         if !files.is_empty() {
             return cli.fail(format_args!("{op} takes no files"));
+        }
+        // Control is fleet-wide under --cluster: every shard answers
+        // (or reports why it can't), one section per shard.
+        if let Some(cluster) = &cluster {
+            let many = cluster.addrs().len() > 1;
+            let mut failed = false;
+            for (shard, result) in cluster.control_each(&op) {
+                match result {
+                    Ok(Response::Ok { body, .. }) => {
+                        if many {
+                            println!("==> {shard} <==");
+                        }
+                        let _ = std::io::stdout().write_all(&body);
+                    }
+                    Ok(Response::Err(msg)) => {
+                        eprintln!("eelctl: {op} {shard}: {msg}");
+                        failed = true;
+                    }
+                    Ok(Response::Busy) => {
+                        eprintln!("eelctl: {op} {shard}: server busy, try again");
+                        failed = true;
+                    }
+                    Err(e) => {
+                        eprintln!("eelctl: {op} {shard}: request failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            return if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            };
         }
         return match client.control(&op) {
             Ok(Response::Ok { body, .. }) => {
@@ -152,22 +217,35 @@ fn main() -> ExitCode {
         payloads.push((file, payload));
     }
 
+    // Under --cluster every request is routed by consistent hash; the
+    // status line reports the shard so scripts can check placement.
+    let requests: Vec<Request> = payloads
+        .iter()
+        .map(|(_, payload)| Request {
+            op: op.clone(),
+            payload: payload.clone(),
+        })
+        .collect();
+    let shard_of = |req: &Request| -> Option<String> {
+        cluster
+            .as_ref()
+            .map(|c| c.addrs()[c.shard_for(req)].clone())
+    };
+
     // One connection per request, or — with --batch — everything
-    // pipelined through a single session (window 0 = server default),
+    // pipelined through per-shard sessions (window 0 = server default),
     // responses reordered back to command-line order by the client.
-    let responses: Vec<(&String, std::io::Result<Response>)> = if batch {
-        let requests: Vec<Request> = payloads
-            .iter()
-            .map(|(_, payload)| Request {
-                op: op.clone(),
-                payload: payload.clone(),
-            })
-            .collect();
-        match client.batch(&requests, 0) {
+    let responses: Vec<(&String, Option<String>, std::io::Result<Response>)> = if batch {
+        let batched = match &cluster {
+            Some(c) => c.batch(&requests, 0),
+            None => client.batch(&requests, 0),
+        };
+        match batched {
             Ok(resps) => payloads
                 .iter()
-                .map(|(file, _)| *file)
-                .zip(resps.into_iter().map(Ok))
+                .zip(&requests)
+                .zip(resps)
+                .map(|(((file, _), req), resp)| (*file, shard_of(req), Ok(resp)))
                 .collect(),
             Err(e) => {
                 eprintln!("eelctl: batch session failed: {e}");
@@ -176,12 +254,19 @@ fn main() -> ExitCode {
         }
     } else {
         payloads
-            .into_iter()
-            .map(|(file, payload)| (file, client.op(&op, payload)))
+            .iter()
+            .zip(&requests)
+            .map(|((file, _), req)| {
+                let resp = match &cluster {
+                    Some(c) => c.request(req),
+                    None => client.request(req),
+                };
+                (*file, shard_of(req), resp)
+            })
             .collect()
     };
 
-    for (file, resp) in responses {
+    for (file, shard, resp) in responses {
         match resp {
             Ok(Response::Ok {
                 tier,
@@ -191,11 +276,15 @@ fn main() -> ExitCode {
                 machine,
             }) => {
                 eprintln!(
-                    "eelctl: {op} {file}: {}{}{}{}",
+                    "eelctl: {op} {file}: {}{}{}{}{}",
                     match tier {
                         CacheTier::Computed => "cache miss",
                         CacheTier::Memory => "cache hit",
                         CacheTier::Disk => "cache hit (disk)",
+                    },
+                    match &shard {
+                        Some(s) => format!(" (shard {s})"),
+                        None => String::new(),
                     },
                     match fragments {
                         Some((hits, total)) if total > 0 => format!(" (fragments {hits}/{total})"),
